@@ -1,0 +1,107 @@
+// A3 — Section 4.2, the end-to-end argument: "we could have used UDP,
+// instead of TCP/IP, for more efficiency and directly use the PRAM
+// object-based model to implement reliability. Then, simply by changing
+// the object-outdate reaction parameter from wait to demand,
+// reliability comes as a side-effect of the coherence model."
+//
+// Measures update delivery over (a) a reliable-ordered transport,
+// (b) a lossy-unordered transport with reaction=demand, and
+// (c) a lossy-unordered transport with reaction=wait, across loss
+// rates.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace globe::bench {
+namespace {
+
+struct E2EResult {
+  bool delivered_all = false;    // cache reached the final version
+  double msgs = 0;               // total messages sent
+  double pram_ok = 0;            // order preserved?
+};
+
+E2EResult run_e2e(double drop_rate, bool lossy,
+                  core::OutdateReaction reaction, std::uint64_t seed) {
+  TestbedOptions opts;
+  opts.seed = seed;
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+  core::ReplicationPolicy policy;  // PRAM
+  policy.instant = core::TransferInstant::kImmediate;
+  policy.object_outdate_reaction = reaction;
+
+  auto& server = bed.add_primary(kObj, policy);
+  auto& cache =
+      bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  bed.settle();
+
+  if (lossy) {
+    sim::LinkSpec link;
+    link.reliable_ordered = false;
+    link.drop_rate = drop_rate;
+    link.jitter = sim::SimDuration::millis(15);
+    bed.net().set_link(server.address().node, cache.address().node, link);
+  }
+  bed.net().reset_stats();
+
+  auto& writer = bed.add_client(kObj, coherence::ClientModel::kNone);
+  constexpr int kWrites = 50;
+  for (int i = 1; i <= kWrites; ++i) {
+    writer.write("p", "v" + std::to_string(i), [](replication::WriteResult) {});
+    bed.run_for(sim::SimDuration::millis(50));
+  }
+  bed.run_for(sim::SimDuration::seconds(15));
+  bed.settle();
+
+  E2EResult res;
+  res.delivered_all =
+      cache.document().has("p") &&
+      cache.document().get("p")->content == "v" + std::to_string(kWrites);
+  res.msgs = static_cast<double>(bed.net().stats().messages_sent);
+  res.pram_ok = coherence::check_pram(bed.history()).ok ? 1 : 0;
+  return res;
+}
+
+void emit_table() {
+  metrics::TablePrinter table({"transport / reaction", "loss", "final v ok",
+                               "msgs", "order ok"});
+  auto add = [&table](const std::string& label, double loss, bool lossy,
+                      core::OutdateReaction reaction) {
+    const auto r = run_e2e(loss, lossy, reaction, 1234);
+    table.add_row({label, metrics::TablePrinter::num(loss, 2),
+                   r.delivered_all ? "yes" : "NO",
+                   metrics::TablePrinter::num(r.msgs, 0),
+                   r.pram_ok != 0 ? "yes" : "NO"});
+  };
+
+  add("reliable (TCP-like), wait", 0.0, false, core::OutdateReaction::kWait);
+  for (double loss : {0.05, 0.15, 0.30}) {
+    add("lossy (UDP-like), demand", loss, true,
+        core::OutdateReaction::kDemand);
+  }
+  for (double loss : {0.05, 0.15, 0.30}) {
+    add("lossy (UDP-like), wait", loss, true, core::OutdateReaction::kWait);
+  }
+
+  std::printf(
+      "A3 — the end-to-end argument (Section 4.2): reliability as a\n"
+      "side effect of PRAM + demand over an unreliable transport\n"
+      "(50 writes, 1 cache, 20ms WAN, 15ms jitter)\n\n%s\n",
+      table.render().c_str());
+  std::printf(
+      "Expected shape: demand recovers every loss (final version reached\n"
+      "at any loss rate, modest extra fetch traffic); wait leaves the\n"
+      "replica permanently behind once a push is lost; PRAM order holds\n"
+      "in every configuration — gaps block, they never reorder.\n");
+}
+
+}  // namespace
+}  // namespace globe::bench
+
+int main(int argc, char** argv) {
+  globe::bench::emit_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

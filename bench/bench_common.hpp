@@ -1,0 +1,225 @@
+// Shared scenario runner for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper by
+// sweeping a parameter over this runner: a full deployment (primary,
+// optional mirrors, caches, clients) executes a Zipf-distributed
+// read/write workload on the simulated WAN, and the runner reports
+// traffic, latency, and staleness — the quantities the paper's
+// qualitative claims are about.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/checkers.hpp"
+#include "globe/metrics/report.hpp"
+#include "globe/replication/testbed.hpp"
+#include "globe/workload/content.hpp"
+#include "globe/workload/zipf.hpp"
+
+namespace globe::bench {
+
+using replication::CacheMode;
+using replication::ClientBinding;
+using replication::Testbed;
+using replication::TestbedOptions;
+
+struct ScenarioConfig {
+  core::ReplicationPolicy policy;
+  CacheMode cache_mode = CacheMode::kGlobe;
+  sim::SimDuration ttl = sim::SimDuration::seconds(60);
+
+  int mirrors = 0;   // object-initiated stores under the primary
+  int caches = 2;    // client-initiated stores (under mirrors if any)
+  int clients = 8;   // workload clients, spread across the caches
+  coherence::ClientModel session = coherence::ClientModel::kNone;
+
+  int pages = 10;
+  std::size_t page_bytes = 1024;
+  int ops = 400;
+  double write_fraction = 0.10;
+  double zipf_s = 0.9;
+  sim::SimDuration think = sim::SimDuration::millis(40);
+
+  sim::LinkSpec wan;  // default: 20ms reliable
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioResult {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double msgs_per_op = 0;
+  double bytes_per_op = 0;
+  double read_p50_ms = 0;
+  double read_p95_ms = 0;
+  double write_p50_ms = 0;
+  double stale_versions_mean = 0;   // committed writes missing per read
+  double stale_time_ms_mean = 0;    // age of newest missing write
+  double stale_read_fraction = 0;   // reads that missed >= 1 write
+  std::uint64_t demands = 0;
+  std::uint64_t waits = 0;
+  bool converged = false;
+  bool model_ok = false;
+  std::size_t reads_done = 0;
+  std::size_t writes_done = 0;
+};
+
+inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  TestbedOptions opts;
+  opts.seed = cfg.seed;
+  opts.wan = cfg.wan;
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  auto& primary = bed.add_primary(kObj, cfg.policy);
+  util::Rng seed_rng(cfg.seed * 7919 + 13);
+  std::vector<std::string> pages;
+  for (int i = 0; i < cfg.pages; ++i) {
+    pages.push_back("page" + std::to_string(i) + ".html");
+    primary.seed(pages.back(),
+                 workload::make_content(seed_rng, cfg.page_bytes));
+  }
+
+  std::vector<net::Address> mirror_addrs;
+  for (int i = 0; i < cfg.mirrors; ++i) {
+    mirror_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, cfg.policy)
+            .address());
+  }
+  bed.settle();
+
+  std::vector<net::Address> cache_addrs;
+  for (int i = 0; i < cfg.caches; ++i) {
+    const net::Address upstream =
+        mirror_addrs.empty() ? primary.address()
+                             : mirror_addrs[i % mirror_addrs.size()];
+    if (cfg.cache_mode == CacheMode::kGlobe) {
+      cache_addrs.push_back(bed.add_store(kObj,
+                                          naming::StoreClass::kClientInitiated,
+                                          cfg.policy, upstream)
+                                .address());
+    } else {
+      cache_addrs.push_back(
+          bed.add_baseline_cache(kObj, cfg.cache_mode, cfg.ttl, cfg.policy,
+                                 upstream)
+              .address());
+    }
+  }
+  bed.settle();
+
+  std::vector<ClientBinding*> clients;
+  for (int i = 0; i < cfg.clients; ++i) {
+    // Clients bind to the nearest layer that exists: cache, else mirror,
+    // else the permanent store (Figure 2's layering). A client is
+    // *near* its chosen store (metro link); only the store hierarchy
+    // crosses the WAN — that is the whole point of the layered model.
+    const net::Address read_store =
+        !cache_addrs.empty()  ? cache_addrs[i % cache_addrs.size()]
+        : !mirror_addrs.empty() ? mirror_addrs[i % mirror_addrs.size()]
+                                : primary.address();
+    ClientBinding& c = bed.add_client(kObj, cfg.session, read_store);
+    if (read_store != primary.address()) {
+      sim::LinkSpec metro = cfg.wan;
+      metro.base_latency = sim::SimDuration::millis(
+          std::max<std::int64_t>(1, cfg.wan.base_latency.count_micros() /
+                                        8000));
+      bed.net().set_link(c.address().node, read_store.node, metro);
+    }
+    clients.push_back(&c);
+  }
+
+  // Workload loop with staleness scoring against the oracle.
+  bed.metrics().reset();
+  bed.net().reset_stats();
+  util::Rng rng(cfg.seed);
+  workload::ZipfGenerator zipf(pages.size(), cfg.zipf_s);
+  auto& oracle = bed.oracle();
+  auto& metrics = bed.metrics();
+  std::size_t reads = 0, writes = 0, stale_reads = 0;
+  int version = 0;
+
+  for (int op = 0; op < cfg.ops; ++op) {
+    ClientBinding& c = *clients[rng.below(clients.size())];
+    const std::string& page = pages[zipf.sample(rng)];
+    if (rng.chance(cfg.write_fraction)) {
+      ++writes;
+      std::string content =
+          workload::make_content(rng, cfg.page_bytes) + "<!--" +
+          std::to_string(++version) + "-->";
+      c.write(page, content, [&oracle, &bed, page](
+                                 replication::WriteResult r) {
+        if (r.ok) oracle.committed(page, r.wid, bed.sim().now());
+      });
+    } else {
+      ++reads;
+      const util::SimTime issued = bed.sim().now();
+      c.read(page, [&, page, issued](replication::ReadResult r) {
+        if (!r.ok) return;
+        const auto score =
+            oracle.score(page, r.store_clock, issued, bed.sim().now());
+        metrics.record_staleness(score.versions_behind, score.time_behind_us);
+        if (score.versions_behind > 0) ++stale_reads;
+      });
+    }
+    bed.run_for(cfg.think);
+  }
+  bed.settle();
+
+  ScenarioResult res;
+  res.messages = bed.metrics().total_traffic().messages;
+  res.bytes = bed.metrics().total_traffic().bytes;
+  // Invalidation with the wait reaction leaves caches cold on purpose
+  // (data moves at the next read); warm every cache with one read per
+  // page — after metrics are captured — so the convergence check below
+  // compares post-demand state.
+  if (cfg.policy.propagation == core::Propagation::kInvalidate) {
+    for (ClientBinding* c : clients) {
+      for (const auto& page : pages) {
+        c->read(page, [](replication::ReadResult) {});
+      }
+    }
+    bed.settle();
+  }
+  res.msgs_per_op = static_cast<double>(res.messages) / cfg.ops;
+  res.bytes_per_op = static_cast<double>(res.bytes) / cfg.ops;
+  res.read_p50_ms = bed.metrics().read_latency_us().p50() / 1000.0;
+  res.read_p95_ms = bed.metrics().read_latency_us().p95() / 1000.0;
+  res.write_p50_ms = bed.metrics().write_latency_us().p50() / 1000.0;
+  res.stale_versions_mean = bed.metrics().staleness_versions().mean();
+  res.stale_time_ms_mean = bed.metrics().staleness_time_us().mean() / 1000.0;
+  res.stale_read_fraction =
+      reads == 0 ? 0 : static_cast<double>(stale_reads) / reads;
+  res.demands = bed.metrics().session_demands();
+  res.waits = bed.metrics().session_waits();
+  res.converged = bed.converged(kObj);
+  res.model_ok = cfg.cache_mode == CacheMode::kGlobe
+                     ? coherence::check_object_model(bed.history(),
+                                                     cfg.policy.model)
+                           .ok
+                     : true;
+  res.reads_done = reads;
+  res.writes_done = writes;
+  return res;
+}
+
+/// Standard row rendering used by most benches.
+inline std::vector<std::string> result_row(const std::string& label,
+                                           const ScenarioResult& r) {
+  using metrics::TablePrinter;
+  return {label,
+          TablePrinter::num(r.msgs_per_op, 2),
+          TablePrinter::num(r.bytes_per_op / 1024.0, 2),
+          TablePrinter::num(r.read_p50_ms, 1),
+          TablePrinter::num(r.stale_versions_mean, 3),
+          TablePrinter::num(r.stale_time_ms_mean, 0),
+          r.converged ? "yes" : "NO",
+          r.model_ok ? "yes" : "NO"};
+}
+
+inline std::vector<std::string> result_header() {
+  return {"configuration", "msgs/op",      "KB/op", "read p50 ms",
+          "stale ver",     "stale age ms", "conv",  "model"};
+}
+
+}  // namespace globe::bench

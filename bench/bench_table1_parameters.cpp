@@ -1,0 +1,139 @@
+// TAB1 — Table 1 of the paper: "Implementation parameters for
+// replication policies".
+//
+// The paper's Table 1 enumerates the parameter space qualitatively; this
+// bench regenerates it as a *measured* table: starting from a fixed
+// default configuration (PRAM, update, all stores, single writer, push,
+// immediate, full access transfer, partial coherence transfer), each
+// parameter is swept over its Table 1 values while everything else is
+// held constant, and the cost/staleness consequences are measured.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace globe::bench {
+namespace {
+
+ScenarioConfig default_config() {
+  ScenarioConfig cfg;
+  cfg.policy = core::ReplicationPolicy();  // Table 2 defaults sans lazy
+  cfg.policy.instant = core::TransferInstant::kImmediate;
+  cfg.policy.lazy_period = sim::SimDuration::millis(500);
+  cfg.caches = 4;
+  cfg.clients = 8;
+  cfg.ops = 400;
+  cfg.write_fraction = 0.10;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void emit_table() {
+  metrics::TablePrinter table(result_header());
+  auto add = [&table](const std::string& label, ScenarioConfig cfg) {
+    table.add_row(result_row(label, run_scenario(cfg)));
+  };
+
+  // -- Consistency propagation: update | invalidate --
+  {
+    auto cfg = default_config();
+    add("propagation=update", cfg);
+    cfg.policy.propagation = core::Propagation::kInvalidate;
+    add("propagation=invalidate", cfg);
+  }
+  // -- Store scope: permanent | permanent+object | all --
+  {
+    auto cfg = default_config();
+    cfg.mirrors = 2;
+    cfg.policy.store_scope = core::StoreScope::kPermanent;
+    add("store=permanent", cfg);
+    cfg.policy.store_scope = core::StoreScope::kPermanentAndObject;
+    add("store=permanent+object", cfg);
+    cfg.policy.store_scope = core::StoreScope::kAll;
+    add("store=all", cfg);
+  }
+  // -- Write set: single | multiple --
+  {
+    auto cfg = default_config();
+    add("write-set=single (PRAM)", cfg);
+    cfg.policy.model = coherence::ObjectModel::kCausal;
+    cfg.policy.write_set = core::WriteSet::kMultiple;
+    add("write-set=multiple (causal)", cfg);
+  }
+  // -- Transfer initiative: push | pull --
+  {
+    auto cfg = default_config();
+    add("initiative=push", cfg);
+    cfg.policy.initiative = core::TransferInitiative::kPull;
+    cfg.policy.instant = core::TransferInstant::kLazy;
+    add("initiative=pull (500ms poll)", cfg);
+  }
+  // -- Transfer instant: immediate | lazy --
+  {
+    auto cfg = default_config();
+    add("instant=immediate", cfg);
+    cfg.policy.instant = core::TransferInstant::kLazy;
+    add("instant=lazy (500ms)", cfg);
+  }
+  // -- Access transfer type: partial | full --
+  {
+    auto cfg = default_config();
+    cfg.policy.access_transfer = core::AccessTransfer::kPartial;
+    add("access-transfer=partial", cfg);
+    cfg.policy.access_transfer = core::AccessTransfer::kFull;
+    add("access-transfer=full", cfg);
+  }
+  // -- Coherence transfer type: notification | partial | full --
+  {
+    auto cfg = default_config();
+    cfg.policy.access_transfer = core::AccessTransfer::kPartial;
+    cfg.policy.coherence_transfer = core::CoherenceTransfer::kNotification;
+    cfg.policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+    add("coh-transfer=notification(+demand)", cfg);
+    cfg.policy.coherence_transfer = core::CoherenceTransfer::kPartial;
+    cfg.policy.object_outdate_reaction = core::OutdateReaction::kWait;
+    add("coh-transfer=partial", cfg);
+    cfg.policy.coherence_transfer = core::CoherenceTransfer::kFull;
+    add("coh-transfer=full", cfg);
+  }
+  // -- Outdate reactions: wait | demand (client side) --
+  {
+    auto cfg = default_config();
+    cfg.policy.instant = core::TransferInstant::kLazy;
+    cfg.policy.lazy_period = sim::SimDuration::seconds(2);
+    cfg.session = coherence::ClientModel::kReadYourWrites |
+                  coherence::ClientModel::kMonotonicReads;
+    cfg.write_fraction = 0.3;
+    cfg.policy.client_outdate_reaction = core::OutdateReaction::kWait;
+    add("client-outdate=wait (RYW+MR)", cfg);
+    cfg.policy.client_outdate_reaction = core::OutdateReaction::kDemand;
+    add("client-outdate=demand (RYW+MR)", cfg);
+  }
+
+  std::printf("TAB1 — Table 1 implementation parameters, measured\n");
+  std::printf("(defaults: PRAM, update, all stores, single writer, push,\n");
+  std::printf(" immediate, full access, partial coherence transfer;\n");
+  std::printf(" 4 caches, 8 clients, 400 ops, 10%% writes, Zipf 0.9)\n\n");
+  std::printf("%s\n", table.render().c_str());
+}
+
+// A micro-benchmark for the machinery itself: how fast one sweep cell
+// executes (useful to size bigger sweeps).
+void BM_ScenarioCell(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = default_config();
+    cfg.ops = static_cast<int>(state.range(0));
+    auto res = run_scenario(cfg);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_ScenarioCell)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace globe::bench
+
+int main(int argc, char** argv) {
+  globe::bench::emit_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// The paper's headline claim (Section 1): different Web documents need
+// different caching/replication strategies, chosen *per object*.
+//
+// Three documents run side by side on the same infrastructure, each
+// encapsulating its own strategy:
+//   1. a personal home page   — rarely read, rarely written: no
+//      replication at all (reads go to the server; caching would waste
+//      resources);
+//   2. a conference page      — read-mostly, incremental updates:
+//      PRAM + periodic push to proxy caches (Table 2);
+//   3. a breaking-news page   — hot, frequently updated: immediate
+//      invalidation so caches never serve stale headlines for long.
+//
+// The example reports per-object traffic and staleness, showing why a
+// single global strategy would be wrong for at least one of them.
+//
+// Build & run:   ./build/examples/example_per_object_strategies
+#include <cstdio>
+#include <string>
+
+#include "globe/metrics/report.hpp"
+#include "globe/replication/testbed.hpp"
+
+using namespace globe;
+using replication::ClientModel;
+using replication::Testbed;
+
+namespace {
+
+struct ObjectRun {
+  const char* name;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  double stale_reads;
+  double reads;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Per-object replication strategies (paper Section 1) ==\n\n");
+
+  // --- Object 1: personal home page, central server only -------------
+  core::ReplicationPolicy home;
+  home.model = coherence::ObjectModel::kPram;
+  home.store_scope = core::StoreScope::kPermanent;
+  home.instant = core::TransferInstant::kImmediate;
+
+  // --- Object 2: conference page, Table 2 strategy --------------------
+  auto conf = core::ReplicationPolicy::conference_example();
+  conf.lazy_period = sim::SimDuration::seconds(2);
+
+  // --- Object 3: breaking news, immediate invalidation ----------------
+  core::ReplicationPolicy news;
+  news.model = coherence::ObjectModel::kPram;
+  news.propagation = core::Propagation::kInvalidate;
+  news.instant = core::TransferInstant::kImmediate;
+  news.object_outdate_reaction = core::OutdateReaction::kWait;  // fetch on read
+
+  std::vector<ObjectRun> rows;
+
+  const struct {
+    ObjectId id;
+    const char* name;
+    core::ReplicationPolicy policy;
+    bool cached;
+    int writes;
+    int reads;
+  } objects[] = {
+      {1, "home-page (no replication)", home, false, 2, 20},
+      {2, "conference (PRAM + lazy push)", conf, true, 5, 60},
+      {3, "news (immediate invalidate)", news, true, 30, 60},
+  };
+
+  for (const auto& obj : objects) {
+    Testbed bed;
+    auto& server = bed.add_primary(obj.id, obj.policy, "server");
+    server.seed("page.html", "initial content of " + std::string(obj.name));
+    net::Address read_store = server.address();
+    if (obj.cached) {
+      auto& cache = bed.add_store(
+          obj.id, naming::StoreClass::kClientInitiated, obj.policy);
+      read_store = cache.address();
+    }
+    bed.settle();
+    bed.metrics().reset();
+
+    auto& writer = bed.add_client(obj.id, ClientModel::kNone);
+    auto& reader = bed.add_client(obj.id, ClientModel::kNone, read_store);
+
+    util::Rng rng(7);
+    std::string committed = "initial";
+    double stale = 0, total_reads = 0;
+    int writes_left = obj.writes, reads_left = obj.reads;
+    while (writes_left > 0 || reads_left > 0) {
+      if (writes_left > 0 &&
+          (reads_left == 0 ||
+           rng.chance(static_cast<double>(obj.writes) /
+                      (obj.writes + obj.reads)))) {
+        committed = "v" + std::to_string(obj.writes - writes_left + 1);
+        writer.write("page.html", committed, [](replication::WriteResult) {});
+        --writes_left;
+      } else {
+        reader.read("page.html", [&](replication::ReadResult r) {
+          total_reads += 1;
+          // Compare against the version committed when the read returns.
+          if (r.ok && r.content != committed) stale += 1;
+        });
+        --reads_left;
+      }
+      bed.run_for(sim::SimDuration::millis(150));
+    }
+    bed.settle();
+
+    const auto& t = bed.metrics().total_traffic();
+    rows.push_back(ObjectRun{obj.name, t.messages, t.bytes, stale,
+                             total_reads});
+  }
+
+  metrics::TablePrinter table(
+      {"object (strategy)", "msgs", "bytes", "stale reads"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, std::to_string(r.messages),
+                   std::to_string(r.bytes),
+                   metrics::TablePrinter::num(r.stale_reads, 0) + " / " +
+                       metrics::TablePrinter::num(r.reads, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Each document got the coherence/traffic trade-off its usage\n"
+      "pattern needs — with ONE strategy for all three, at least one of\n"
+      "them would pay: the home page would waste cache pushes, the news\n"
+      "page would serve stale headlines, or the conference page would\n"
+      "burn messages on per-write invalidations.\n");
+  return 0;
+}

@@ -1,0 +1,342 @@
+#include "globe/coherence/checkers.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "globe/coherence/models.hpp"
+
+namespace globe::coherence {
+
+std::string CheckResult::summary(std::size_t max_lines) const {
+  if (ok) {
+    return "OK (" + std::to_string(events_checked) + " events checked)";
+  }
+  std::string out = std::to_string(violations.size()) + " violation(s):";
+  for (std::size_t i = 0; i < violations.size() && i < max_lines; ++i) {
+    out += "\n  " + violations[i];
+  }
+  if (violations.size() > max_lines) {
+    out += "\n  ... (" + std::to_string(violations.size() - max_lines) +
+           " more)";
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared core of the PRAM/FIFO checks: per store, per writer, applied
+/// sequence numbers must be strictly increasing; when `contiguous`, every
+/// write must be applied (no gaps).
+CheckResult check_per_writer_order(const History& h, bool contiguous) {
+  CheckResult res;
+  for (StoreId store : h.stores()) {
+    std::unordered_map<ClientId, std::uint64_t> last_seq;
+    for (const ApplyEvent* a : h.store_applies(store)) {
+      ++res.events_checked;
+      if (a->from_snapshot) {
+        for (const auto& [c, v] : a->deps.entries()) {
+          auto& cur = last_seq[c];
+          cur = std::max(cur, v);
+        }
+        continue;
+      }
+      auto [it, inserted] = last_seq.try_emplace(a->wid.client, 0);
+      const std::uint64_t prev = it->second;
+      if (a->wid.seq <= prev) {
+        res.fail("store " + std::to_string(store) + " applied " +
+                 a->wid.str() + " after seq " + std::to_string(prev) +
+                 " of the same writer (out of order)");
+      } else if (contiguous && a->wid.seq != prev + 1) {
+        res.fail("store " + std::to_string(store) + " applied " +
+                 a->wid.str() + " with a gap (expected seq " +
+                 std::to_string(prev + 1) + ")");
+      }
+      if (a->wid.seq > prev) it->second = a->wid.seq;
+      (void)inserted;
+    }
+  }
+  return res;
+}
+
+/// Verifies that apply order respects each write's dependency clock.
+/// Used for causal coherence and (restricted) writes-follow-reads.
+CheckResult check_dependencies_respected(
+    const History& h, const std::set<WriteId>& only_these_writes,
+    const char* label) {
+  CheckResult res;
+  // Look up full dependency info from the write events.
+  std::unordered_map<WriteId, const WriteEvent*> by_wid;
+  for (const auto& w : h.writes()) by_wid[w.wid] = &w;
+
+  for (StoreId store : h.stores()) {
+    VectorClock applied;
+    for (const ApplyEvent* a : h.store_applies(store)) {
+      ++res.events_checked;
+      if (a->from_snapshot) {
+        applied.merge(a->deps);
+        continue;
+      }
+      const bool selected =
+          only_these_writes.empty() || only_these_writes.count(a->wid) > 0;
+      if (selected && !applied.dominates(a->deps)) {
+        res.fail(std::string(label) + ": store " + std::to_string(store) +
+                 " applied " + a->wid.str() + " with deps " + a->deps.str() +
+                 " before those dependencies were applied (applied=" +
+                 applied.str() + ")");
+      }
+      applied.observe(a->wid);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+CheckResult check_pram(const History& h) {
+  return check_per_writer_order(h, /*contiguous=*/true);
+}
+
+CheckResult check_fifo_pram(const History& h) {
+  return check_per_writer_order(h, /*contiguous=*/false);
+}
+
+CheckResult check_causal(const History& h) {
+  return check_dependencies_respected(h, {}, "causal");
+}
+
+CheckResult check_sequential(const History& h) {
+  CheckResult res;
+
+  // 1. Every applied write must carry a primary-assigned global sequence
+  //    number, and each store must apply in strictly increasing global
+  //    order with no gaps relative to what it applied: the sequences at
+  //    all stores must then be prefixes of one another (one total order).
+  std::map<std::uint64_t, WriteId> order;  // global_seq -> wid
+  for (StoreId store : h.stores()) {
+    std::uint64_t prev = 0;
+    for (const ApplyEvent* a : h.store_applies(store)) {
+      ++res.events_checked;
+      if (a->from_snapshot) {
+        prev = std::max(prev, a->global_seq);
+        continue;
+      }
+      if (a->global_seq == 0) {
+        res.fail("sequential: store " + std::to_string(store) + " applied " +
+                 a->wid.str() + " without a global sequence number");
+        continue;
+      }
+      if (a->global_seq != prev + 1) {
+        res.fail("sequential: store " + std::to_string(store) +
+                 " applied global seq " + std::to_string(a->global_seq) +
+                 " after " + std::to_string(prev) +
+                 " (total order broken)");
+      }
+      prev = a->global_seq;
+      auto [it, inserted] = order.try_emplace(a->global_seq, a->wid);
+      if (!inserted && it->second != a->wid) {
+        res.fail("sequential: global seq " + std::to_string(a->global_seq) +
+                 " maps to both " + it->second.str() + " and " +
+                 a->wid.str());
+      }
+    }
+  }
+
+  // 2. The total order must respect each client's program order of writes.
+  {
+    std::unordered_map<ClientId, std::uint64_t> last_gseq;
+    std::vector<const WriteEvent*> writes;
+    for (const auto& w : h.writes()) writes.push_back(&w);
+    std::sort(writes.begin(), writes.end(),
+              [](const WriteEvent* a, const WriteEvent* b) {
+                if (a->client != b->client) return a->client < b->client;
+                return a->client_op_index < b->client_op_index;
+              });
+    for (const WriteEvent* w : writes) {
+      ++res.events_checked;
+      if (w->global_seq == 0) continue;  // flagged above via applies
+      auto& prev = last_gseq[w->client];
+      if (w->global_seq <= prev) {
+        res.fail("sequential: client " + std::to_string(w->client) +
+                 " write " + w->wid.str() +
+                 " ordered before its earlier write in the total order");
+      }
+      prev = w->global_seq;
+    }
+  }
+
+  // 3. Reads: per client, the observed global sequence number must be
+  //    monotonically nondecreasing and at least the client's own last
+  //    write. Together with the unique total write order this yields a
+  //    single interleaving consistent with every client's program order.
+  for (ClientId c : h.clients()) {
+    std::uint64_t floor = 0;
+    for (const History::ClientOp& op : h.client_ops(c)) {
+      ++res.events_checked;
+      if (op.is_write) {
+        if (op.write->global_seq > floor) floor = op.write->global_seq;
+      } else {
+        if (op.read->store_global_seq < floor) {
+          res.fail("sequential: client " + std::to_string(c) +
+                   " read at store " + std::to_string(op.read->store) +
+                   " observed global seq " +
+                   std::to_string(op.read->store_global_seq) +
+                   " older than its floor " + std::to_string(floor));
+        } else {
+          floor = op.read->store_global_seq;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+CheckResult check_eventual_delivery(const History& h) {
+  CheckResult res;
+  const auto stores = h.stores();
+  if (stores.empty()) return res;
+
+  // Under eventual coherence (last-writer-wins), a record that loses the
+  // conflict at one replica is legitimately never applied downstream of
+  // it; what must agree after quiescence is each page's *final* applied
+  // write. Apply events are recorded only for state-changing
+  // applications, so "the last apply per (store, page)" is that store's
+  // final content for the page. Stores that received the page only via
+  // snapshot transfer record no applies and are vacuously consistent
+  // here (Testbed::converged() compares full states).
+  std::map<StoreId, std::map<std::string, WriteId>> final_write;
+  for (StoreId store : stores) {
+    auto& per_page = final_write[store];
+    for (const ApplyEvent* a : h.store_applies(store)) {
+      ++res.events_checked;
+      if (a->from_snapshot) {
+        per_page.clear();  // full-state transfer replaced everything
+        continue;
+      }
+      per_page[a->page] = a->wid;  // later applies overwrite
+    }
+  }
+  std::map<std::string, std::map<WriteId, std::vector<StoreId>>> by_page;
+  for (const auto& [store, per_page] : final_write) {
+    for (const auto& [page, wid] : per_page) {
+      by_page[page][wid].push_back(store);
+    }
+  }
+  for (const auto& [page, winners] : by_page) {
+    if (winners.size() <= 1) continue;
+    std::string what = "eventual: page '" + page +
+                       "' settled on different final writes:";
+    for (const auto& [wid, who] : winners) {
+      what += " " + wid.str() + "@stores{";
+      for (std::size_t i = 0; i < who.size(); ++i) {
+        what += (i != 0 ? "," : "") + std::to_string(who[i]);
+      }
+      what += "}";
+    }
+    res.fail(std::move(what));
+  }
+  return res;
+}
+
+CheckResult check_object_model(const History& h, ObjectModel model) {
+  switch (model) {
+    case ObjectModel::kSequential: return check_sequential(h);
+    case ObjectModel::kPram: return check_pram(h);
+    case ObjectModel::kFifoPram: return check_fifo_pram(h);
+    case ObjectModel::kCausal: return check_causal(h);
+    case ObjectModel::kEventual: return check_eventual_delivery(h);
+  }
+  CheckResult res;
+  res.fail("unknown object model");
+  return res;
+}
+
+CheckResult check_monotonic_writes(const History& h, ClientId client) {
+  CheckResult res;
+  for (StoreId store : h.stores()) {
+    std::uint64_t prev = 0;
+    for (const ApplyEvent* a : h.store_applies(store)) {
+      if (a->from_snapshot) {
+        prev = std::max(prev, a->deps.get(client));
+        continue;
+      }
+      if (a->wid.client != client) continue;
+      ++res.events_checked;
+      if (a->wid.seq <= prev) {
+        res.fail("MW: store " + std::to_string(store) + " applied " +
+                 a->wid.str() + " after seq " + std::to_string(prev));
+      } else {
+        prev = a->wid.seq;
+      }
+    }
+  }
+  return res;
+}
+
+CheckResult check_read_your_writes(const History& h, ClientId client) {
+  CheckResult res;
+  std::uint64_t own_writes = 0;  // highest seq this client has written
+  for (const History::ClientOp& op : h.client_ops(client)) {
+    ++res.events_checked;
+    if (op.is_write) {
+      own_writes = std::max(own_writes, op.write->wid.seq);
+    } else if (op.read->store_clock.get(client) < own_writes) {
+      res.fail("RYW: client " + std::to_string(client) + " read at store " +
+               std::to_string(op.read->store) + " saw clock " +
+               op.read->store_clock.str() + " missing its own write seq " +
+               std::to_string(own_writes));
+    }
+  }
+  return res;
+}
+
+CheckResult check_monotonic_reads(const History& h, ClientId client) {
+  CheckResult res;
+  VectorClock seen;
+  for (const History::ClientOp& op : h.client_ops(client)) {
+    if (op.is_write) continue;
+    ++res.events_checked;
+    if (!op.read->store_clock.dominates(seen)) {
+      res.fail("MR: client " + std::to_string(client) + " read at store " +
+               std::to_string(op.read->store) + " saw clock " +
+               op.read->store_clock.str() +
+               " which does not dominate earlier read clock " + seen.str());
+    }
+    seen.merge(op.read->store_clock);
+  }
+  return res;
+}
+
+CheckResult check_writes_follow_reads(const History& h, ClientId client) {
+  // The client's writes must be ordered, at every store, after the writes
+  // the client had observed when issuing them. The write's recorded deps
+  // clock captures that read context; reuse the dependency checker
+  // restricted to this client's writes.
+  std::set<WriteId> own;
+  for (const auto& w : h.writes()) {
+    if (w.client == client) own.insert(w.wid);
+  }
+  if (own.empty()) return {};
+  return check_dependencies_respected(h, own, "WFR");
+}
+
+CheckResult check_client_models(const History& h, ClientId client,
+                                ClientModel models) {
+  CheckResult res;
+  if (has(models, ClientModel::kMonotonicWrites)) {
+    res.merge(check_monotonic_writes(h, client));
+  }
+  if (has(models, ClientModel::kReadYourWrites)) {
+    res.merge(check_read_your_writes(h, client));
+  }
+  if (has(models, ClientModel::kMonotonicReads)) {
+    res.merge(check_monotonic_reads(h, client));
+  }
+  if (has(models, ClientModel::kWritesFollowReads)) {
+    res.merge(check_writes_follow_reads(h, client));
+  }
+  return res;
+}
+
+}  // namespace globe::coherence

@@ -1,0 +1,45 @@
+#include "globe/coherence/history.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace globe::coherence {
+
+std::vector<History::ClientOp> History::client_ops(ClientId client) const {
+  std::vector<ClientOp> ops;
+  for (const auto& w : writes_) {
+    if (w.client == client) ops.push_back(ClientOp{true, &w, nullptr});
+  }
+  for (const auto& r : reads_) {
+    if (r.client == client) ops.push_back(ClientOp{false, nullptr, &r});
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const ClientOp& a, const ClientOp& b) {
+              return a.index() < b.index();
+            });
+  return ops;
+}
+
+std::vector<const ApplyEvent*> History::store_applies(StoreId store) const {
+  std::vector<const ApplyEvent*> out;
+  for (const auto& a : applies_) {
+    if (a.store == store) out.push_back(&a);
+  }
+  // applies_ is already in application (recording) order.
+  return out;
+}
+
+std::vector<StoreId> History::stores() const {
+  std::set<StoreId> ids;
+  for (const auto& a : applies_) ids.insert(a.store);
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<ClientId> History::clients() const {
+  std::set<ClientId> ids;
+  for (const auto& w : writes_) ids.insert(w.client);
+  for (const auto& r : reads_) ids.insert(r.client);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace globe::coherence

@@ -1,0 +1,117 @@
+// Operation histories.
+//
+// When a History recorder is attached to the runtime, every client
+// operation and every store-level write application is recorded. The
+// checkers (checkers.hpp) then verify that a recorded execution satisfies
+// the coherence model the object was configured with. This is how the
+// test suite demonstrates — rather than assumes — that each replication
+// strategy implements its advertised model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/coherence/write_id.hpp"
+#include "globe/util/ids.hpp"
+#include "globe/util/time.hpp"
+
+namespace globe::coherence {
+
+using util::SimTime;
+
+/// A client completed a write (it was accepted by the store it is bound
+/// to, or by the primary on its behalf).
+struct WriteEvent {
+  SimTime at{};
+  std::uint64_t client_op_index = 0;  // program order within the client
+  ClientId client = 0;
+  StoreId via_store = kInvalidStore;  // store that accepted the write
+  WriteId wid;
+  std::string page;
+  VectorClock deps;          // causal/session dependencies carried
+  std::uint64_t global_seq = 0;  // primary-assigned total order (0 if none)
+};
+
+/// A client completed a read.
+struct ReadEvent {
+  SimTime at{};
+  std::uint64_t client_op_index = 0;
+  ClientId client = 0;
+  StoreId store = kInvalidStore;  // store that served the read
+  std::string page;
+  WriteId observed;               // writer of the returned content
+  VectorClock store_clock;        // serving store's applied clock
+  std::uint64_t store_global_seq = 0;
+};
+
+/// A store applied a write record to its replica — or, when
+/// `from_snapshot` is set, initialized/replaced its state from a
+/// full-state transfer. Snapshot events carry the snapshot's clock in
+/// `deps` and its total-order position in `global_seq`; checkers fold
+/// them into the store's applied state so that replicas joining late
+/// (Subscribe -> SubscribeAck) are judged from their true baseline.
+struct ApplyEvent {
+  SimTime at{};
+  StoreId store = kInvalidStore;
+  WriteId wid;
+  std::string page;
+  VectorClock deps;
+  std::uint64_t global_seq = 0;
+  bool from_snapshot = false;
+};
+
+class History {
+ public:
+  void record_write(WriteEvent e) { writes_.push_back(std::move(e)); }
+  void record_read(ReadEvent e) { reads_.push_back(std::move(e)); }
+  void record_apply(ApplyEvent e) { applies_.push_back(std::move(e)); }
+
+  [[nodiscard]] const std::vector<WriteEvent>& writes() const {
+    return writes_;
+  }
+  [[nodiscard]] const std::vector<ReadEvent>& reads() const { return reads_; }
+  [[nodiscard]] const std::vector<ApplyEvent>& applies() const {
+    return applies_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return writes_.size() + reads_.size() + applies_.size();
+  }
+
+  void clear() {
+    writes_.clear();
+    reads_.clear();
+    applies_.clear();
+  }
+
+  /// All client operations (reads and writes) of `client`, in program
+  /// order (by client_op_index).
+  struct ClientOp {
+    bool is_write = false;
+    const WriteEvent* write = nullptr;
+    const ReadEvent* read = nullptr;
+    [[nodiscard]] std::uint64_t index() const {
+      return is_write ? write->client_op_index : read->client_op_index;
+    }
+  };
+  [[nodiscard]] std::vector<ClientOp> client_ops(ClientId client) const;
+
+  /// Apply events of a given store, in application order.
+  [[nodiscard]] std::vector<const ApplyEvent*> store_applies(
+      StoreId store) const;
+
+  /// The set of store ids that applied at least one write.
+  [[nodiscard]] std::vector<StoreId> stores() const;
+
+  /// The set of clients that performed at least one operation.
+  [[nodiscard]] std::vector<ClientId> clients() const;
+
+ private:
+  std::vector<WriteEvent> writes_;
+  std::vector<ReadEvent> reads_;
+  std::vector<ApplyEvent> applies_;
+};
+
+}  // namespace globe::coherence

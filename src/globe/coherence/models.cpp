@@ -1,0 +1,50 @@
+#include "globe/coherence/models.hpp"
+
+namespace globe::coherence {
+
+const char* to_string(ObjectModel m) {
+  switch (m) {
+    case ObjectModel::kSequential: return "sequential";
+    case ObjectModel::kPram: return "PRAM";
+    case ObjectModel::kFifoPram: return "FIFO-PRAM";
+    case ObjectModel::kCausal: return "causal";
+    case ObjectModel::kEventual: return "eventual";
+  }
+  return "unknown";
+}
+
+std::string to_string(ClientModel m) {
+  if (m == ClientModel::kNone) return "none";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (has(m, ClientModel::kMonotonicWrites)) append("MW");
+  if (has(m, ClientModel::kReadYourWrites)) append("RYW");
+  if (has(m, ClientModel::kMonotonicReads)) append("MR");
+  if (has(m, ClientModel::kWritesFollowReads)) append("WFR");
+  return out;
+}
+
+bool subsumes(ObjectModel object, ClientModel client) {
+  switch (object) {
+    case ObjectModel::kSequential:
+      return true;  // sequential subsumes every session guarantee
+    case ObjectModel::kPram:
+      // PRAM orders each client's own writes at every store.
+      return client == ClientModel::kMonotonicWrites;
+    case ObjectModel::kCausal:
+      // Causal coherence preserves all four session guarantees for
+      // operations routed through stores that track the client's context;
+      // we still enforce them client-side, so only MW (implied by causal
+      // dependency of successive writes) is treated as subsumed.
+      return client == ClientModel::kMonotonicWrites;
+    case ObjectModel::kFifoPram:
+    case ObjectModel::kEventual:
+      return client == ClientModel::kNone;
+  }
+  return false;
+}
+
+}  // namespace globe::coherence

@@ -1,0 +1,129 @@
+// Vector clocks over client identifiers.
+//
+// A VectorClock maps each writing client to the highest *contiguous*
+// sequence number of that client's writes known/applied. It serves three
+// roles in the library:
+//   * causal coherence: write dependencies and applicability tests,
+//   * session guarantees: read-sets and write-sets (monotonic reads,
+//     writes-follow-reads) are summarized as vector clocks,
+//   * anti-entropy: replicas exchange clocks to compute missing records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "globe/coherence/write_id.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/util/ids.hpp"
+
+namespace globe::coherence {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Sequence number recorded for `c` (0 if absent).
+  [[nodiscard]] std::uint64_t get(ClientId c) const {
+    auto it = entries_.find(c);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Sets the entry for `c`; removing it when v == 0 keeps clocks canonical.
+  void set(ClientId c, std::uint64_t v) {
+    if (v == 0) {
+      entries_.erase(c);
+    } else {
+      entries_[c] = v;
+    }
+  }
+
+  /// Advances the entry for `c` to at least `v`.
+  void advance(ClientId c, std::uint64_t v) {
+    auto it = entries_.find(c);
+    if (it == entries_.end()) {
+      if (v > 0) entries_[c] = v;
+    } else if (v > it->second) {
+      it->second = v;
+    }
+  }
+
+  /// Records a write: advances the writer's entry.
+  void observe(const WriteId& w) { advance(w.client, w.seq); }
+
+  /// Component-wise maximum with `other`.
+  void merge(const VectorClock& other) {
+    for (const auto& [c, v] : other.entries_) advance(c, v);
+  }
+
+  /// True if every entry of `other` is <= the corresponding entry here.
+  [[nodiscard]] bool dominates(const VectorClock& other) const {
+    for (const auto& [c, v] : other.entries_) {
+      if (get(c) < v) return false;
+    }
+    return true;
+  }
+
+  /// True if this and other are incomparable (concurrent).
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return !dominates(other) && !other.dominates(*this);
+  }
+
+  /// True if the write `w` is "covered": we have seen it.
+  [[nodiscard]] bool covers(const WriteId& w) const {
+    return get(w.client) >= w.seq;
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Sum of all entries; a scalar progress measure used by staleness
+  /// metrics ("how many writes behind is this replica").
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [c, v] : entries_) sum += v;
+    return sum;
+  }
+
+  [[nodiscard]] const std::map<ClientId, std::uint64_t>& entries() const {
+    return entries_;
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [c, v] : entries_) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(c) + ":" + std::to_string(v);
+    }
+    return out + "}";
+  }
+
+  void encode(util::Writer& w) const {
+    w.varint(entries_.size());
+    for (const auto& [c, v] : entries_) {
+      w.u32(c);
+      w.varint(v);
+    }
+  }
+
+  static VectorClock decode(util::Reader& r) {
+    VectorClock vc;
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ClientId c = r.u32();
+      const std::uint64_t v = r.varint();
+      vc.set(c, v);
+    }
+    return vc;
+  }
+
+ private:
+  // std::map keeps encoding deterministic (sorted by client id).
+  std::map<ClientId, std::uint64_t> entries_;
+};
+
+}  // namespace globe::coherence

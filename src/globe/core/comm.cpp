@@ -1,0 +1,108 @@
+#include "globe/core/comm.hpp"
+
+#include "globe/util/assert.hpp"
+#include "globe/util/log.hpp"
+
+namespace globe::core {
+
+CommunicationObject::CommunicationObject(const TransportFactory& factory,
+                                         sim::Simulator* sim,
+                                         TrafficObserver* observer)
+    : sim_(sim), observer_(observer) {
+  transport_ = factory([this](const Address& from, util::BytesView payload) {
+    on_message(from, payload);
+  });
+  GLOBE_ASSERT(transport_ != nullptr);
+}
+
+void CommunicationObject::send(const Address& to, MsgType type,
+                               ObjectId object, Buffer body) {
+  transmit(to, type, object, 0, std::move(body));
+}
+
+std::uint64_t CommunicationObject::request(const Address& to, MsgType type,
+                                           ObjectId object, Buffer body,
+                                           ReplyHandler handler,
+                                           sim::SimDuration timeout,
+                                           int retries) {
+  const std::uint64_t id = next_request_id_++;
+  PendingRequest req;
+  req.to = to;
+  req.type = type;
+  req.object = object;
+  req.body = body;  // kept for retransmission
+  req.handler = std::move(handler);
+  req.timeout = timeout;
+  req.retries_left = retries;
+  pending_.emplace(id, std::move(req));
+  transmit(to, type, object, id, std::move(body));
+  if (timeout.count_micros() > 0) {
+    GLOBE_ASSERT_MSG(sim_ != nullptr,
+                     "request timeouts require a simulator clock");
+    arm_timer(id);
+  }
+  return id;
+}
+
+void CommunicationObject::reply(const Address& to, MsgType type,
+                                ObjectId object, std::uint64_t request_id,
+                                Buffer body) {
+  GLOBE_ASSERT_MSG(request_id != 0, "reply requires a request id");
+  transmit(to, type, object, request_id, std::move(body));
+}
+
+void CommunicationObject::multicast(const std::vector<Address>& to,
+                                    MsgType type, ObjectId object,
+                                    const Buffer& body) {
+  for (const Address& addr : to) {
+    transmit(addr, type, object, 0, body);
+  }
+}
+
+void CommunicationObject::transmit(const Address& to, MsgType type,
+                                   ObjectId object, std::uint64_t request_id,
+                                   Buffer body) {
+  Envelope env{type, object, request_id, std::move(body)};
+  Buffer wire = env.encode();
+  if (observer_ != nullptr) observer_->on_send(type, wire.size());
+  transport_->send(to, std::move(wire));
+}
+
+void CommunicationObject::on_message(const Address& from,
+                                     util::BytesView payload) {
+  Envelope env = Envelope::decode(payload);
+  if (env.request_id != 0 && msg::is_reply(env.type)) {
+    auto it = pending_.find(env.request_id);
+    if (it == pending_.end()) return;  // late duplicate after timeout
+    PendingRequest req = std::move(it->second);
+    pending_.erase(it);
+    if (sim_ != nullptr && req.timer != 0) sim_->cancel(req.timer);
+    req.handler(true, from, std::move(env));
+    return;
+  }
+  if (deliver_) deliver_(from, std::move(env));
+}
+
+void CommunicationObject::arm_timer(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  GLOBE_ASSERT(it != pending_.end());
+  it->second.timer = sim_->schedule_after(
+      it->second.timeout, [this, request_id] { on_timeout(request_id); });
+}
+
+void CommunicationObject::on_timeout(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // reply won the race
+  PendingRequest& req = it->second;
+  if (req.retries_left > 0) {
+    --req.retries_left;
+    transmit(req.to, req.type, req.object, request_id, req.body);
+    arm_timer(request_id);
+    return;
+  }
+  PendingRequest done = std::move(it->second);
+  pending_.erase(it);
+  done.handler(false, done.to, Envelope{});
+}
+
+}  // namespace globe::core

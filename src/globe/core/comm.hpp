@@ -1,0 +1,122 @@
+// Communication object.
+//
+// "This is generally a system-provided local object. It is responsible
+//  for handling communication between parts of the distributed object
+//  that reside in different address spaces. Depending on what is needed
+//  from the other components, a communication object may offer primitives
+//  for point-to-point communication, multicast facilities, or both."
+//  (Section 2)
+//
+// The communication object offers:
+//   * send        — one-way point-to-point,
+//   * request     — point-to-point with reply correlation (send/receive),
+//   * reply       — answer a correlated request,
+//   * multicast   — one-way to a set of addresses.
+// It never inspects message bodies; it sees only envelopes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "globe/msg/envelope.hpp"
+#include "globe/net/transport.hpp"
+#include "globe/sim/simulator.hpp"
+#include "globe/util/ids.hpp"
+
+namespace globe::core {
+
+using msg::Envelope;
+using msg::MsgType;
+using net::Address;
+using util::Buffer;
+
+/// Observer for outbound traffic; implemented by the metrics layer.
+class TrafficObserver {
+ public:
+  virtual ~TrafficObserver() = default;
+  virtual void on_send(MsgType type, std::size_t bytes) = 0;
+};
+
+/// Creates a transport bound to a fresh endpoint whose incoming messages
+/// go to `handler`. Provided by the runtime (simulated or loopback).
+using TransportFactory =
+    std::function<std::unique_ptr<net::Transport>(net::MessageHandler handler)>;
+
+class CommunicationObject {
+ public:
+  /// Handler for incoming non-reply messages.
+  using DeliveryHandler =
+      std::function<void(const Address& from, Envelope env)>;
+  /// Handler for replies; `ok` is false when the request timed out.
+  using ReplyHandler =
+      std::function<void(bool ok, const Address& from, Envelope env)>;
+
+  /// `sim` may be null (loopback runtime); request timeouts then require
+  /// the caller not to pass a timeout.
+  CommunicationObject(const TransportFactory& factory, sim::Simulator* sim,
+                      TrafficObserver* observer = nullptr);
+
+  CommunicationObject(const CommunicationObject&) = delete;
+  CommunicationObject& operator=(const CommunicationObject&) = delete;
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  [[nodiscard]] Address local_address() const {
+    return transport_->local_address();
+  }
+
+  /// One-way message (request_id = 0).
+  void send(const Address& to, MsgType type, ObjectId object, Buffer body);
+
+  /// Correlated request. Returns the request id. If `timeout` is positive
+  /// and no reply arrives in time, the handler is invoked with ok=false
+  /// (and the request retried `retries` times first).
+  std::uint64_t request(const Address& to, MsgType type, ObjectId object,
+                        Buffer body, ReplyHandler handler,
+                        sim::SimDuration timeout = sim::SimDuration(0),
+                        int retries = 0);
+
+  /// Replies to a correlated request.
+  void reply(const Address& to, MsgType type, ObjectId object,
+             std::uint64_t request_id, Buffer body);
+
+  /// Multicast facility: one-way send to each address.
+  void multicast(const std::vector<Address>& to, MsgType type, ObjectId object,
+                 const Buffer& body);
+
+  /// Number of requests still awaiting a reply.
+  [[nodiscard]] std::size_t pending_requests() const {
+    return pending_.size();
+  }
+
+ private:
+  struct PendingRequest {
+    Address to;
+    MsgType type{};
+    ObjectId object = 0;
+    Buffer body;
+    ReplyHandler handler;
+    sim::SimDuration timeout{};
+    int retries_left = 0;
+    sim::EventId timer = 0;
+  };
+
+  void on_message(const Address& from, util::BytesView payload);
+  void transmit(const Address& to, MsgType type, ObjectId object,
+                std::uint64_t request_id, Buffer body);
+  void arm_timer(std::uint64_t request_id);
+  void on_timeout(std::uint64_t request_id);
+
+  sim::Simulator* sim_;
+  TrafficObserver* observer_;
+  DeliveryHandler deliver_;
+  std::unique_ptr<net::Transport> transport_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace globe::core

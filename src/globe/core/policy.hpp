@@ -1,0 +1,110 @@
+// Replication policy: the implementation parameters of Table 1.
+//
+// "We have defined a set of implementation parameters that are used to
+//  specify when, how, and by whom coherence is managed." (Section 3.3)
+//
+// A ReplicationPolicy is a plain value set by the programmer of a Web
+// object at initialization, after the object-based coherence model has
+// been chosen. One generic replication engine interprets the policy; the
+// per-model ordering logic is plugged in separately. The two outdate
+// reaction parameters (Section 3.3, last paragraph) are included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "globe/coherence/models.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/util/time.hpp"
+
+namespace globe::core {
+
+/// "Consistency propagation": update replicas or invalidate them.
+enum class Propagation : std::uint8_t { kUpdate, kInvalidate };
+
+/// "Store": which store layers implement the object-based model.
+enum class StoreScope : std::uint8_t {
+  kPermanent,                // only permanent stores
+  kPermanentAndObject,       // permanent + object-initiated
+  kAll,                      // every layer, including client caches
+};
+
+/// "Write set": how many clients may write concurrently.
+enum class WriteSet : std::uint8_t { kSingle, kMultiple };
+
+/// "Transfer initiative": who moves coherence information.
+enum class TransferInitiative : std::uint8_t { kPush, kPull };
+
+/// "Transfer instant": when coherence is managed.
+enum class TransferInstant : std::uint8_t { kImmediate, kLazy };
+
+/// "Access transfer type": how much of the document a read retrieves.
+enum class AccessTransfer : std::uint8_t { kPartial, kFull };
+
+/// "Coherence transfer type": how much of the document coherence
+/// messages carry.
+enum class CoherenceTransfer : std::uint8_t { kNotification, kPartial, kFull };
+
+/// Outdate reaction: what a store does when it notices its copy is stale.
+enum class OutdateReaction : std::uint8_t { kWait, kDemand };
+
+[[nodiscard]] const char* to_string(Propagation v);
+[[nodiscard]] const char* to_string(StoreScope v);
+[[nodiscard]] const char* to_string(WriteSet v);
+[[nodiscard]] const char* to_string(TransferInitiative v);
+[[nodiscard]] const char* to_string(TransferInstant v);
+[[nodiscard]] const char* to_string(AccessTransfer v);
+[[nodiscard]] const char* to_string(CoherenceTransfer v);
+[[nodiscard]] const char* to_string(OutdateReaction v);
+
+struct ReplicationPolicy {
+  coherence::ObjectModel model = coherence::ObjectModel::kPram;
+
+  Propagation propagation = Propagation::kUpdate;
+  StoreScope store_scope = StoreScope::kAll;
+  WriteSet write_set = WriteSet::kSingle;
+  TransferInitiative initiative = TransferInitiative::kPush;
+  TransferInstant instant = TransferInstant::kImmediate;
+  AccessTransfer access_transfer = AccessTransfer::kFull;
+  CoherenceTransfer coherence_transfer = CoherenceTransfer::kPartial;
+
+  /// Reaction of a store whose replica violates the object-based model.
+  OutdateReaction object_outdate_reaction = OutdateReaction::kWait;
+  /// Reaction of a store that cannot satisfy a client-based requirement.
+  OutdateReaction client_outdate_reaction = OutdateReaction::kDemand;
+
+  /// Period for lazy transfers (push flush or pull poll).
+  util::SimDuration lazy_period = util::SimDuration::millis(500);
+
+  /// Validates internal consistency of the combination; returns an error
+  /// description, or the empty string when the policy is usable.
+  [[nodiscard]] std::string validate() const;
+
+  /// Wire encoding, used when a strategy change is propagated through
+  /// the object at runtime (Section 3.2.2: "The standardized interfaces
+  /// offered by our model allow us to dynamically update strategies").
+  void encode(util::Writer& w) const;
+  static ReplicationPolicy decode(util::Reader& r);
+
+  friend bool operator==(const ReplicationPolicy&,
+                         const ReplicationPolicy&) = default;
+
+  /// Human-readable multi-line rendering (Table 2 style).
+  [[nodiscard]] std::string describe() const;
+
+  // -- Named presets --------------------------------------------------
+
+  /// The paper's Table 2 configuration for the conference page example.
+  static ReplicationPolicy conference_example();
+
+  /// Strong coherence at every layer (groupware editor, Section 3.2.1).
+  static ReplicationPolicy groupware_sequential();
+
+  /// Causal coherence for forum-like objects.
+  static ReplicationPolicy forum_causal();
+
+  /// Eventual coherence via lazy propagation (weakest, cheapest).
+  static ReplicationPolicy eventual_lazy();
+};
+
+}  // namespace globe::core

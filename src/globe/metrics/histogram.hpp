@@ -1,0 +1,76 @@
+// Sample-retaining histogram for latency/staleness distributions.
+//
+// Experiments in this repository are laptop-scale (≤ a few million
+// samples), so we keep raw samples and compute exact percentiles rather
+// than approximating.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace globe::metrics {
+
+class Histogram {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p95() const { return percentile(95); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace globe::metrics

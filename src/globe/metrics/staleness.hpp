@@ -1,0 +1,73 @@
+// Staleness oracle.
+//
+// The oracle records every committed write (globally, outside the
+// protocol) so that a read result can be scored: how many committed
+// writes to that page were missing from the serving store's clock, and
+// how old the newest missing one was. This is the metric behind the
+// paper's qualitative staleness trade-offs (Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/coherence/write_id.hpp"
+#include "globe/util/time.hpp"
+
+namespace globe::metrics {
+
+class StalenessOracle {
+ public:
+  /// Records that a write to `page` was accepted at `at`.
+  void committed(const std::string& page, const coherence::WriteId& wid,
+                 util::SimTime at) {
+    writes_[page].push_back(Committed{wid, at});
+  }
+
+  struct Score {
+    double versions_behind = 0;
+    double time_behind_us = 0;  // age of the newest missing write
+  };
+
+  /// Scores a read of `page` served with `store_clock` at time `served`.
+  /// Only writes committed before `issued` count against the store.
+  [[nodiscard]] Score score(const std::string& page,
+                            const coherence::VectorClock& store_clock,
+                            util::SimTime issued,
+                            util::SimTime served) const {
+    Score s;
+    auto it = writes_.find(page);
+    if (it == writes_.end()) return s;
+    util::SimTime oldest_missing = served;
+    bool any = false;
+    for (const Committed& c : it->second) {
+      if (c.at > issued) continue;              // not yet committed
+      if (store_clock.covers(c.wid)) continue;  // store had it
+      s.versions_behind += 1;
+      if (!any || c.at < oldest_missing) oldest_missing = c.at;
+      any = true;
+    }
+    if (any) {
+      s.time_behind_us =
+          static_cast<double>((served - oldest_missing).count_micros());
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::size_t total_commits() const {
+    std::size_t n = 0;
+    for (const auto& [_, v] : writes_) n += v.size();
+    return n;
+  }
+
+ private:
+  struct Committed {
+    coherence::WriteId wid;
+    util::SimTime at;
+  };
+  std::map<std::string, std::vector<Committed>> writes_;
+};
+
+}  // namespace globe::metrics

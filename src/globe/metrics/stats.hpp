@@ -1,0 +1,85 @@
+// Experiment statistics: traffic, latency, staleness.
+//
+// A MetricsSink is shared by all components of one experiment run. The
+// replication layer feeds it message traffic; the workload harness feeds
+// it operation latencies and read staleness (how many committed writes a
+// returned page version was behind, and by how much time).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "globe/metrics/histogram.hpp"
+
+namespace globe::metrics {
+
+struct TypeTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class MetricsSink {
+ public:
+  /// Message traffic, keyed by wire message-type id.
+  void on_message(std::uint8_t type, std::size_t bytes) {
+    auto& t = traffic_[type];
+    ++t.messages;
+    t.bytes += bytes;
+    ++total_.messages;
+    total_.bytes += bytes;
+  }
+
+  void record_read_latency_us(double us) { read_latency_.add(us); }
+  void record_write_latency_us(double us) { write_latency_.add(us); }
+
+  /// Staleness of a read: versions behind the globally committed state
+  /// and the age (microseconds) of the newest missing write.
+  void record_staleness(double versions_behind, double time_behind_us) {
+    staleness_versions_.add(versions_behind);
+    staleness_time_us_.add(time_behind_us);
+  }
+
+  void record_session_demand() { ++session_demands_; }
+  void record_session_wait() { ++session_waits_; }
+  void record_stale_serve() { ++stale_serves_; }
+
+  [[nodiscard]] const TypeTraffic& total_traffic() const { return total_; }
+  [[nodiscard]] const std::map<std::uint8_t, TypeTraffic>& traffic_by_type()
+      const {
+    return traffic_;
+  }
+  [[nodiscard]] const Histogram& read_latency_us() const {
+    return read_latency_;
+  }
+  [[nodiscard]] const Histogram& write_latency_us() const {
+    return write_latency_;
+  }
+  [[nodiscard]] const Histogram& staleness_versions() const {
+    return staleness_versions_;
+  }
+  [[nodiscard]] const Histogram& staleness_time_us() const {
+    return staleness_time_us_;
+  }
+  [[nodiscard]] std::uint64_t session_demands() const {
+    return session_demands_;
+  }
+  [[nodiscard]] std::uint64_t session_waits() const { return session_waits_; }
+  [[nodiscard]] std::uint64_t stale_serves() const { return stale_serves_; }
+
+  void reset() { *this = MetricsSink{}; }
+
+ private:
+  std::map<std::uint8_t, TypeTraffic> traffic_;
+  TypeTraffic total_;
+  Histogram read_latency_;
+  Histogram write_latency_;
+  Histogram staleness_versions_;
+  Histogram staleness_time_us_;
+  std::uint64_t session_demands_ = 0;
+  std::uint64_t session_waits_ = 0;
+  std::uint64_t stale_serves_ = 0;
+};
+
+}  // namespace globe::metrics

@@ -1,0 +1,30 @@
+#include "globe/msg/envelope.hpp"
+
+namespace globe::msg {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kInvokeRequest: return "InvokeRequest";
+    case MsgType::kInvokeReply: return "InvokeReply";
+    case MsgType::kWriteForward: return "WriteForward";
+    case MsgType::kWriteAck: return "WriteAck";
+    case MsgType::kUpdate: return "Update";
+    case MsgType::kSnapshot: return "Snapshot";
+    case MsgType::kInvalidate: return "Invalidate";
+    case MsgType::kNotify: return "Notify";
+    case MsgType::kFetchRequest: return "FetchRequest";
+    case MsgType::kFetchReply: return "FetchReply";
+    case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kSubscribeAck: return "SubscribeAck";
+    case MsgType::kAntiEntropyRequest: return "AntiEntropyRequest";
+    case MsgType::kAntiEntropyReply: return "AntiEntropyReply";
+    case MsgType::kPolicyUpdate: return "PolicyUpdate";
+    case MsgType::kNameRequest: return "NameRequest";
+    case MsgType::kNameReply: return "NameReply";
+    case MsgType::kLocateRequest: return "LocateRequest";
+    case MsgType::kLocateReply: return "LocateReply";
+  }
+  return "Unknown";
+}
+
+}  // namespace globe::msg

@@ -1,0 +1,95 @@
+// Wire envelope shared by all protocol traffic.
+//
+// Every message on the network is an Envelope: a fixed header naming the
+// message type, the distributed object it concerns, and a request id for
+// request/reply correlation, followed by an opaque body encoded by the
+// layer that owns the message type. Replication and communication objects
+// never look inside bodies they do not own — the paper's requirement that
+// they operate only on encoded invocation messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "globe/util/buffer.hpp"
+#include "globe/util/ids.hpp"
+
+namespace globe::msg {
+
+using util::Buffer;
+using util::BytesView;
+using util::Reader;
+using util::Writer;
+
+enum class MsgType : std::uint8_t {
+  // Client <-> store (control object traffic).
+  kInvokeRequest = 1,
+  kInvokeReply = 2,
+  // Inter-store replication protocol.
+  kWriteForward = 3,   // record forwarded towards the primary
+  kWriteAck = 4,       // primary/store acknowledges a write
+  kUpdate = 5,         // push propagation of write records
+  kSnapshot = 6,       // full-state transfer
+  kInvalidate = 7,     // page invalidations
+  kNotify = 8,         // notification-only coherence transfer
+  kFetchRequest = 9,   // pull / demand-update
+  kFetchReply = 10,
+  kSubscribe = 11,     // store joins the propagation graph
+  kSubscribeAck = 12,
+  kAntiEntropyRequest = 13,  // eventual-coherence gossip
+  kAntiEntropyReply = 14,
+  kPolicyUpdate = 15,        // runtime strategy replacement
+  // Naming and location services.
+  kNameRequest = 20,
+  kNameReply = 21,
+  kLocateRequest = 22,
+  kLocateReply = 23,
+};
+
+[[nodiscard]] const char* to_string(MsgType t);
+
+/// True for message types that answer a correlated request; the
+/// communication object routes these to the pending-reply handler.
+[[nodiscard]] constexpr bool is_reply(MsgType t) {
+  switch (t) {
+    case MsgType::kInvokeReply:
+    case MsgType::kWriteAck:
+    case MsgType::kFetchReply:
+    case MsgType::kSubscribeAck:
+    case MsgType::kAntiEntropyReply:
+    case MsgType::kNameReply:
+    case MsgType::kLocateReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Envelope {
+  MsgType type{};
+  ObjectId object = 0;
+  std::uint64_t request_id = 0;  // 0 when not a correlated request/reply
+  Buffer body;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u64(object);
+    w.u64(request_id);
+    w.bytes(BytesView(body));
+    return w.take();
+  }
+
+  static Envelope decode(BytesView wire) {
+    Reader r(wire);
+    Envelope e;
+    e.type = static_cast<MsgType>(r.u8());
+    e.object = r.u64();
+    e.request_id = r.u64();
+    e.body = r.bytes_copy();
+    r.expect_end();
+    return e;
+  }
+};
+
+}  // namespace globe::msg

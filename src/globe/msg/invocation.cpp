@@ -1,0 +1,16 @@
+#include "globe/msg/invocation.hpp"
+
+namespace globe::msg {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kGetPage: return "GetPage";
+    case Method::kPutPage: return "PutPage";
+    case Method::kDeletePage: return "DeletePage";
+    case Method::kListPages: return "ListPages";
+    case Method::kGetDocument: return "GetDocument";
+  }
+  return "Unknown";
+}
+
+}  // namespace globe::msg

@@ -1,0 +1,62 @@
+// Contact points and store classes.
+//
+// Binding (Section 2) starts by resolving an object name to an ObjectId
+// and the ObjectId to a set of contact points — the addresses of the
+// stores that carry the object, each labelled with its store class from
+// the layered model of Section 3.1 (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "globe/net/address.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/util/ids.hpp"
+
+namespace globe::naming {
+
+/// The three store layers of Section 3.1.
+enum class StoreClass : std::uint8_t {
+  kPermanent = 0,        // e.g. a Web server; implements persistence
+  kObjectInitiated = 1,  // e.g. a mirrored Web site
+  kClientInitiated = 2,  // e.g. a Web proxy cache
+};
+
+[[nodiscard]] inline const char* to_string(StoreClass c) {
+  switch (c) {
+    case StoreClass::kPermanent: return "permanent";
+    case StoreClass::kObjectInitiated: return "object-initiated";
+    case StoreClass::kClientInitiated: return "client-initiated";
+  }
+  return "?";
+}
+
+struct ContactPoint {
+  net::Address address;
+  StoreClass store_class = StoreClass::kPermanent;
+  StoreId store_id = kInvalidStore;
+  bool is_primary = false;
+
+  friend bool operator==(const ContactPoint&, const ContactPoint&) = default;
+
+  void encode(util::Writer& w) const {
+    w.u32(address.node);
+    w.u16(address.port);
+    w.u8(static_cast<std::uint8_t>(store_class));
+    w.u32(store_id);
+    w.boolean(is_primary);
+  }
+
+  static ContactPoint decode(util::Reader& r) {
+    ContactPoint c;
+    c.address.node = r.u32();
+    c.address.port = r.u16();
+    c.store_class = static_cast<StoreClass>(r.u8());
+    c.store_id = r.u32();
+    c.is_primary = r.boolean();
+    return c;
+  }
+};
+
+}  // namespace globe::naming

@@ -1,0 +1,198 @@
+#include "globe/naming/service.hpp"
+
+#include <algorithm>
+
+#include "globe/util/log.hpp"
+
+namespace globe::naming {
+
+namespace {
+
+// Operation codes inside kNameRequest / kLocateRequest bodies.
+enum class NameOp : std::uint8_t { kRegister = 0, kLookup = 1 };
+enum class LocateOp : std::uint8_t {
+  kRegisterContact = 0,
+  kLocate = 1,
+  kUnregisterContact = 2,
+};
+
+}  // namespace
+
+NamingServer::NamingServer(const TransportFactory& factory,
+                           sim::Simulator* sim)
+    : comm_(factory, sim) {
+  comm_.set_delivery_handler([this](const Address& from, msg::Envelope env) {
+    on_message(from, env);
+  });
+}
+
+void NamingServer::register_name(const std::string& name, ObjectId object) {
+  names_[name] = object;
+}
+
+ObjectId NamingServer::lookup(const std::string& name) const {
+  auto it = names_.find(name);
+  return it == names_.end() ? 0 : it->second;
+}
+
+void NamingServer::register_contact(ObjectId object,
+                                    const ContactPoint& contact) {
+  auto& list = contacts_[object];
+  auto it = std::find_if(list.begin(), list.end(),
+                         [&](const ContactPoint& c) {
+                           return c.address == contact.address;
+                         });
+  if (it != list.end()) {
+    *it = contact;
+  } else {
+    list.push_back(contact);
+  }
+}
+
+void NamingServer::unregister_contact(ObjectId object, const Address& addr) {
+  auto it = contacts_.find(object);
+  if (it == contacts_.end()) return;
+  std::erase_if(it->second,
+                [&](const ContactPoint& c) { return c.address == addr; });
+}
+
+std::vector<ContactPoint> NamingServer::locate(ObjectId object) const {
+  auto it = contacts_.find(object);
+  return it == contacts_.end() ? std::vector<ContactPoint>{} : it->second;
+}
+
+void NamingServer::on_message(const Address& from, msg::Envelope env) {
+  util::Reader r{util::BytesView(env.body)};
+  switch (env.type) {
+    case msg::MsgType::kNameRequest: {
+      const auto op = static_cast<NameOp>(r.u8());
+      if (op == NameOp::kRegister) {
+        const std::string name = r.str();
+        const ObjectId object = r.u64();
+        register_name(name, object);
+        util::Writer w;
+        w.boolean(true);
+        w.u64(object);
+        comm_.reply(from, msg::MsgType::kNameReply, env.object, env.request_id,
+                    w.take());
+      } else {
+        const std::string name = r.str();
+        const ObjectId object = lookup(name);
+        util::Writer w;
+        w.boolean(object != 0);
+        w.u64(object);
+        comm_.reply(from, msg::MsgType::kNameReply, env.object, env.request_id,
+                    w.take());
+      }
+      return;
+    }
+    case msg::MsgType::kLocateRequest: {
+      const auto op = static_cast<LocateOp>(r.u8());
+      if (op == LocateOp::kRegisterContact) {
+        register_contact(env.object, ContactPoint::decode(r));
+        util::Writer w;
+        w.boolean(true);
+        comm_.reply(from, msg::MsgType::kLocateReply, env.object,
+                    env.request_id, w.take());
+      } else if (op == LocateOp::kUnregisterContact) {
+        Address addr;
+        addr.node = r.u32();
+        addr.port = r.u16();
+        unregister_contact(env.object, addr);
+        util::Writer w;
+        w.boolean(true);
+        comm_.reply(from, msg::MsgType::kLocateReply, env.object,
+                    env.request_id, w.take());
+      } else {
+        const auto found = locate(env.object);
+        util::Writer w;
+        w.boolean(!found.empty());
+        w.varint(found.size());
+        for (const auto& c : found) c.encode(w);
+        comm_.reply(from, msg::MsgType::kLocateReply, env.object,
+                    env.request_id, w.take());
+      }
+      return;
+    }
+    default:
+      GLOBE_LOG_ERROR("naming", "unexpected message type %d",
+                      static_cast<int>(env.type));
+  }
+}
+
+void NamingClient::register_name(const std::string& name, ObjectId object,
+                                 AckHandler cb) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(NameOp::kRegister));
+  w.str(name);
+  w.u64(object);
+  comm_.request(server_, msg::MsgType::kNameRequest, object, w.take(),
+                [cb = std::move(cb)](bool ok, const Address&,
+                                     msg::Envelope env) {
+                  if (!ok) {
+                    cb(false);
+                    return;
+                  }
+                  util::Reader r{util::BytesView(env.body)};
+                  cb(r.boolean());
+                });
+}
+
+void NamingClient::lookup(const std::string& name, LookupHandler cb) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(NameOp::kLookup));
+  w.str(name);
+  comm_.request(server_, msg::MsgType::kNameRequest, 0, w.take(),
+                [cb = std::move(cb)](bool ok, const Address&,
+                                     msg::Envelope env) {
+                  if (!ok) {
+                    cb(false, 0);
+                    return;
+                  }
+                  util::Reader r{util::BytesView(env.body)};
+                  const bool found = r.boolean();
+                  cb(found, r.u64());
+                });
+}
+
+void NamingClient::register_contact(ObjectId object,
+                                    const ContactPoint& contact,
+                                    AckHandler cb) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(LocateOp::kRegisterContact));
+  contact.encode(w);
+  comm_.request(server_, msg::MsgType::kLocateRequest, object, w.take(),
+                [cb = std::move(cb)](bool ok, const Address&,
+                                     msg::Envelope env) {
+                  if (!ok) {
+                    cb(false);
+                    return;
+                  }
+                  util::Reader r{util::BytesView(env.body)};
+                  cb(r.boolean());
+                });
+}
+
+void NamingClient::locate(ObjectId object, LocateHandler cb) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(LocateOp::kLocate));
+  comm_.request(server_, msg::MsgType::kLocateRequest, object, w.take(),
+                [cb = std::move(cb)](bool ok, const Address&,
+                                     msg::Envelope env) {
+                  if (!ok) {
+                    cb(false, {});
+                    return;
+                  }
+                  util::Reader r{util::BytesView(env.body)};
+                  const bool found = r.boolean();
+                  const std::uint64_t n = r.varint();
+                  std::vector<ContactPoint> contacts;
+                  contacts.reserve(n);
+                  for (std::uint64_t i = 0; i < n; ++i) {
+                    contacts.push_back(ContactPoint::decode(r));
+                  }
+                  cb(found, std::move(contacts));
+                });
+}
+
+}  // namespace globe::naming

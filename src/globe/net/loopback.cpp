@@ -1,0 +1,63 @@
+#include "globe/net/loopback.hpp"
+
+namespace globe::net {
+
+LoopbackRouter::LoopbackRouter()
+    : dispatcher_([this] { dispatch_loop(); }) {}
+
+LoopbackRouter::~LoopbackRouter() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+void LoopbackRouter::bind(const Address& at, MessageHandler handler) {
+  std::lock_guard lock(mu_);
+  handlers_[at] = std::move(handler);
+}
+
+void LoopbackRouter::unbind(const Address& at) {
+  std::lock_guard lock(mu_);
+  handlers_.erase(at);
+}
+
+void LoopbackRouter::post(const Address& from, const Address& to,
+                          Buffer payload) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(Pending{from, to, std::move(payload)});
+  }
+  cv_.notify_one();
+}
+
+void LoopbackRouter::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void LoopbackRouter::dispatch_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    Pending msg = std::move(queue_.front());
+    queue_.pop_front();
+    auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {  // endpoint gone: drop
+      if (queue_.empty()) idle_cv_.notify_all();
+      continue;
+    }
+    MessageHandler handler = it->second;  // copy: handler may rebind
+    busy_ = true;
+    lock.unlock();
+    handler(msg.from, util::BytesView(msg.payload));
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace globe::net

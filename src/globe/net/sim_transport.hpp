@@ -1,0 +1,36 @@
+// Transport bound to the simulated network.
+#pragma once
+
+#include <utility>
+
+#include "globe/net/transport.hpp"
+#include "globe/sim/network.hpp"
+
+namespace globe::net {
+
+/// Endpoint on the simulated network. Binding happens at construction and
+/// is released on destruction (RAII).
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Network& network, Address local, MessageHandler handler)
+      : network_(network), local_(local) {
+    network_.bind(local_, std::move(handler));
+  }
+
+  ~SimTransport() override { network_.unbind(local_); }
+
+  SimTransport(const SimTransport&) = delete;
+  SimTransport& operator=(const SimTransport&) = delete;
+
+  void send(const Address& to, Buffer payload) override {
+    network_.send(local_, to, std::move(payload));
+  }
+
+  [[nodiscard]] Address local_address() const override { return local_; }
+
+ private:
+  sim::Network& network_;
+  Address local_;
+};
+
+}  // namespace globe::net

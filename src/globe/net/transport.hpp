@@ -1,0 +1,38 @@
+// Transport abstraction.
+//
+// A Transport delivers opaque byte payloads between endpoints. The
+// communication object (core layer) is written against this interface so
+// that the same protocol code runs over:
+//   * SimTransport      — the deterministic simulated network,
+//   * LoopbackTransport — a real threaded in-process router.
+// This mirrors the paper's structure, where communication objects are
+// system-provided and independent of the replication logic above them.
+#pragma once
+
+#include <functional>
+
+#include "globe/net/address.hpp"
+#include "globe/util/buffer.hpp"
+
+namespace globe::net {
+
+using util::Buffer;
+using util::BytesView;
+
+/// Delivery callback: invoked with the sender address and payload.
+using MessageHandler =
+    std::function<void(const Address& from, BytesView payload)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `payload` to `to`. Fire-and-forget; reliability depends on the
+  /// underlying implementation (see Section 4.2 of the paper).
+  virtual void send(const Address& to, Buffer payload) = 0;
+
+  /// The local endpoint this transport is bound to.
+  [[nodiscard]] virtual Address local_address() const = 0;
+};
+
+}  // namespace globe::net

@@ -1,0 +1,231 @@
+#include "globe/replication/client_binding.hpp"
+
+#include "globe/util/assert.hpp"
+
+namespace globe::replication {
+
+using coherence::ObjectModel;
+
+ClientBinding::ClientBinding(const TransportFactory& factory,
+                             sim::Simulator& sim, BindOptions options,
+                             coherence::History* history,
+                             metrics::MetricsSink* metrics)
+    : sim_(sim),
+      options_(std::move(options)),
+      traffic_(metrics),
+      comm_(factory, &sim, &traffic_),
+      history_(history),
+      metrics_(metrics) {
+  GLOBE_ASSERT_MSG(options_.read_store.valid(), "bind requires a read store");
+  if (!options_.write_store.valid()) {
+    options_.write_store = options_.read_store;
+  }
+}
+
+bool ClientBinding::wants(ClientModel m) const {
+  if (!coherence::has(options_.session, m)) return false;
+  return !coherence::subsumes(options_.object_model, m);
+}
+
+ClientRequest ClientBinding::base_request(msg::Invocation inv) {
+  ClientRequest req;
+  req.inv = std::move(inv);
+  req.client = options_.client;
+  req.client_op_index = ++op_index_;
+  req.issued_at_us = sim_.now().count_micros();
+  return req;
+}
+
+void ClientBinding::read(const std::string& page, ReadHandler cb) {
+  if (options_.object_model == ObjectModel::kSequential &&
+      pending_writes_ > 0) {
+    // Program order: the read's floor must cover the in-flight writes;
+    // defer it until their total-order positions are known.
+    deferred_reads_.push_back(
+        [this, page, cb = std::move(cb)]() mutable {
+          read(page, std::move(cb));
+        });
+    return;
+  }
+  ClientRequest req = base_request(msg::Invocation::get_page(page));
+
+  // Session requirements the serving store must satisfy before replying.
+  if (wants(ClientModel::kReadYourWrites) && write_seq_ > 0) {
+    req.min_clock.advance(options_.client, write_seq_);
+  }
+  if (wants(ClientModel::kMonotonicReads)) {
+    req.min_clock.merge(read_set_);
+  }
+  if (options_.object_model == ObjectModel::kSequential) {
+    req.min_global_seq = max_gseq_seen_;
+  }
+
+  const util::SimTime issued = sim_.now();
+  const std::uint64_t op_index = req.client_op_index;
+  comm_.request(
+      options_.read_store, msg::MsgType::kInvokeRequest, options_.object,
+      req.encode(),
+      [this, cb = std::move(cb), page, issued, op_index](
+          bool ok, const Address&, msg::Envelope env) {
+        ReadResult res;
+        res.issued_at = issued;
+        res.completed_at = sim_.now();
+        if (!ok) {
+          res.error = "request timed out";
+          cb(std::move(res));
+          return;
+        }
+        InvokeReply rep = InvokeReply::decode(util::BytesView(env.body));
+        res.ok = rep.ok;
+        res.error = std::move(rep.error);
+        res.store = rep.store;
+        res.store_global_seq = rep.global_seq;
+        res.store_clock = rep.store_clock;
+        if (rep.ok) {
+          util::Reader r{util::BytesView(rep.value)};
+          core::PageReadValue v = core::PageReadValue::decode(r);
+          res.content = std::move(v.content);
+          res.mime = std::move(v.mime);
+          res.writer = v.writer;
+        }
+        // Update session state from what this read observed.
+        read_set_.merge(rep.store_clock);
+        if (rep.global_seq > max_gseq_seen_) max_gseq_seen_ = rep.global_seq;
+
+        if (history_ != nullptr) {
+          coherence::ReadEvent e;
+          e.at = res.completed_at;
+          e.client_op_index = op_index;
+          e.client = options_.client;
+          e.store = rep.store;
+          e.page = page;
+          e.observed = res.writer;
+          e.store_clock = rep.store_clock;
+          e.store_global_seq = rep.global_seq;
+          history_->record_read(std::move(e));
+        }
+        if (metrics_ != nullptr) {
+          metrics_->record_read_latency_us(
+              static_cast<double>((res.completed_at - issued).count_micros()));
+        }
+        cb(std::move(res));
+      },
+      options_.timeout, options_.retries);
+}
+
+void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
+  ClientRequest req = base_request(std::move(inv));
+  req.wid = coherence::WriteId{options_.client, ++write_seq_};
+  ++pending_writes_;
+
+  // Dependencies the stores must order this write after.
+  if (options_.object_model == ObjectModel::kCausal) {
+    req.deps = read_set_;
+    req.deps.advance(options_.client, write_seq_ - 1);
+    req.deps.set(options_.client,
+                 write_seq_ - 1);  // own previous write, exactly
+  } else if (wants(ClientModel::kWritesFollowReads)) {
+    req.deps = read_set_;
+  }
+  req.ordered = wants(ClientModel::kMonotonicWrites);
+
+  const util::SimTime issued = sim_.now();
+  const std::uint64_t op_index = req.client_op_index;
+  const coherence::WriteId wid = req.wid;
+  const coherence::VectorClock deps = req.deps;
+  const std::string page = [&] {
+    util::Reader r{util::BytesView(req.inv.args)};
+    return r.str();
+  }();
+
+  comm_.request(
+      options_.write_store, msg::MsgType::kInvokeRequest, options_.object,
+      req.encode(),
+      [this, cb = std::move(cb), issued, op_index, wid, deps, page](
+          bool ok, const Address&, msg::Envelope env) {
+        WriteResult res;
+        res.issued_at = issued;
+        res.completed_at = sim_.now();
+        res.wid = wid;
+        --pending_writes_;
+        if (!ok) {
+          res.error = "request timed out";
+          cb(std::move(res));
+          flush_deferred_reads();
+          return;
+        }
+        InvokeReply rep = InvokeReply::decode(util::BytesView(env.body));
+        res.ok = rep.ok;
+        res.error = std::move(rep.error);
+        res.global_seq = rep.global_seq;
+        res.store = rep.store;
+        if (rep.global_seq > max_gseq_seen_) max_gseq_seen_ = rep.global_seq;
+        // A client sees its own writes: fold them into the read set used
+        // for causal dependencies of later operations.
+        read_set_.observe(wid);
+
+        if (history_ != nullptr) {
+          coherence::WriteEvent e;
+          e.at = res.completed_at;
+          e.client_op_index = op_index;
+          e.client = options_.client;
+          e.via_store = rep.store;
+          e.wid = wid;
+          e.page = page;
+          e.deps = deps;
+          e.global_seq = rep.global_seq;
+          history_->record_write(std::move(e));
+        }
+        if (metrics_ != nullptr) {
+          metrics_->record_write_latency_us(
+              static_cast<double>((res.completed_at - issued).count_micros()));
+        }
+        cb(std::move(res));
+        flush_deferred_reads();
+      },
+      options_.timeout, options_.retries);
+}
+
+void ClientBinding::flush_deferred_reads() {
+  if (pending_writes_ > 0 || deferred_reads_.empty()) return;
+  auto pending = std::move(deferred_reads_);
+  deferred_reads_.clear();
+  for (auto& fn : pending) fn();
+}
+
+void ClientBinding::write(const std::string& page, const std::string& content,
+                          WriteHandler cb, const std::string& mime) {
+  send_write(msg::Invocation::put_page(page, content, mime), std::move(cb));
+}
+
+void ClientBinding::remove(const std::string& page, WriteHandler cb) {
+  send_write(msg::Invocation::delete_page(page), std::move(cb));
+}
+
+void ClientBinding::get_document(DocumentHandler cb) {
+  ClientRequest req = base_request(msg::Invocation::get_document());
+  comm_.request(options_.read_store, msg::MsgType::kInvokeRequest,
+                options_.object, req.encode(),
+                [this, cb = std::move(cb)](bool ok, const Address&,
+                                           msg::Envelope env) {
+                  DocumentResult res;
+                  if (!ok) {
+                    res.error = "request timed out";
+                    cb(std::move(res));
+                    return;
+                  }
+                  InvokeReply rep =
+                      InvokeReply::decode(util::BytesView(env.body));
+                  res.ok = rep.ok;
+                  res.error = std::move(rep.error);
+                  res.store = rep.store;
+                  if (rep.ok) {
+                    res.document.restore(util::BytesView(rep.value));
+                  }
+                  read_set_.merge(rep.store_clock);
+                  cb(std::move(res));
+                },
+                options_.timeout, options_.retries);
+}
+
+}  // namespace globe::replication

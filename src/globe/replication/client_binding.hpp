@@ -1,0 +1,169 @@
+// Client binding: the client-side local object.
+//
+// "Binding results in an interface belonging to the object being placed
+//  in the client's address space, along with an implementation of that
+//  interface." (Section 2)
+//
+// A ClientBinding translates method calls into invocation messages sent
+// to the store the client is bound to (Section 4.2: "clients only
+// translate method calls to messages"). Its replication sub-object is
+// the *session filter*: it maintains the client-based coherence state
+// (own-writes clock, read-set clock, sequential floor) and attaches the
+// corresponding requirements to every request, which the stores then
+// guarantee — the paper's strengthening of Bayou's checked guarantees.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "globe/coherence/history.hpp"
+#include "globe/coherence/models.hpp"
+#include "globe/core/comm.hpp"
+#include "globe/core/policy.hpp"
+#include "globe/core/semantics.hpp"
+#include "globe/metrics/stats.hpp"
+#include "globe/replication/protocol.hpp"
+
+namespace globe::replication {
+
+using coherence::ClientModel;
+using core::TransportFactory;
+using net::Address;
+
+struct BindOptions {
+  ObjectId object = 1;
+  ClientId client = 1;
+  /// Client-based coherence models to enforce (Section 3.2.2).
+  ClientModel session = ClientModel::kNone;
+  /// Store serving this client's reads (its cache, typically).
+  Address read_store;
+  /// Store accepting this client's writes (the primary for the
+  /// single-writer example of Section 4; may equal read_store).
+  Address write_store;
+  /// Object-based model of the bound object; used to skip session
+  /// requirements the object already subsumes.
+  coherence::ObjectModel object_model = coherence::ObjectModel::kPram;
+  /// Optional request timeout/retries (used over lossy transports).
+  sim::SimDuration timeout{};
+  int retries = 0;
+};
+
+struct ReadResult {
+  bool ok = false;
+  std::string error;
+  std::string content;
+  std::string mime;
+  coherence::WriteId writer;            // write that produced the content
+  std::uint64_t store_global_seq = 0;   // serving store's applied seq
+  coherence::VectorClock store_clock;   // serving store's applied clock
+  StoreId store = kInvalidStore;
+  util::SimTime issued_at;
+  util::SimTime completed_at;
+  [[nodiscard]] sim::SimDuration latency() const {
+    return completed_at - issued_at;
+  }
+};
+
+struct WriteResult {
+  bool ok = false;
+  std::string error;
+  coherence::WriteId wid;
+  std::uint64_t global_seq = 0;
+  StoreId store = kInvalidStore;
+  util::SimTime issued_at;
+  util::SimTime completed_at;
+  [[nodiscard]] sim::SimDuration latency() const {
+    return completed_at - issued_at;
+  }
+};
+
+struct DocumentResult {
+  bool ok = false;
+  std::string error;
+  web::WebDocument document;
+  StoreId store = kInvalidStore;
+};
+
+class ClientBinding {
+ public:
+  using ReadHandler = std::function<void(ReadResult)>;
+  using WriteHandler = std::function<void(WriteResult)>;
+  using DocumentHandler = std::function<void(DocumentResult)>;
+
+  ClientBinding(const TransportFactory& factory, sim::Simulator& sim,
+                BindOptions options, coherence::History* history = nullptr,
+                metrics::MetricsSink* metrics = nullptr);
+
+  ClientBinding(const ClientBinding&) = delete;
+  ClientBinding& operator=(const ClientBinding&) = delete;
+
+  [[nodiscard]] ClientId id() const { return options_.client; }
+  [[nodiscard]] Address address() const { return comm_.local_address(); }
+
+  /// Reads one page from the bound read store.
+  void read(const std::string& page, ReadHandler cb);
+
+  /// Writes (replaces) one page via the bound write store.
+  void write(const std::string& page, const std::string& content,
+             WriteHandler cb, const std::string& mime = "text/html");
+
+  /// Deletes a page.
+  void remove(const std::string& page, WriteHandler cb);
+
+  /// Fetches the entire document.
+  void get_document(DocumentHandler cb);
+
+  /// Rebinds reads to a different store (mobile client; exercises the
+  /// monotonic-reads guarantee).
+  void switch_read_store(const Address& store) {
+    options_.read_store = store;
+  }
+  void switch_write_store(const Address& store) {
+    options_.write_store = store;
+  }
+
+  [[nodiscard]] const coherence::VectorClock& read_set() const {
+    return read_set_;
+  }
+  [[nodiscard]] std::uint64_t writes_issued() const { return write_seq_; }
+
+ private:
+  ClientRequest base_request(msg::Invocation inv);
+  void send_write(msg::Invocation inv, WriteHandler cb);
+  void flush_deferred_reads();
+  [[nodiscard]] bool wants(ClientModel m) const;
+
+  class TrafficAdapter final : public core::TrafficObserver {
+   public:
+    explicit TrafficAdapter(metrics::MetricsSink* sink) : sink_(sink) {}
+    void on_send(msg::MsgType type, std::size_t bytes) override {
+      if (sink_ != nullptr) {
+        sink_->on_message(static_cast<std::uint8_t>(type), bytes);
+      }
+    }
+
+   private:
+    metrics::MetricsSink* sink_;
+  };
+
+  sim::Simulator& sim_;
+  BindOptions options_;
+  TrafficAdapter traffic_;
+  core::CommunicationObject comm_;
+
+  std::uint64_t op_index_ = 0;   // program order
+  std::uint64_t write_seq_ = 0;  // WiD sequence numbers
+  coherence::VectorClock read_set_;   // store clocks observed by reads
+  std::uint64_t max_gseq_seen_ = 0;   // sequential-model floor
+  // Under the sequential model a read's floor includes the client's own
+  // in-flight writes, whose total-order position is unknown until the
+  // ack arrives; such reads are deferred behind the pending writes.
+  int pending_writes_ = 0;
+  std::vector<std::function<void()>> deferred_reads_;
+
+  coherence::History* history_;
+  metrics::MetricsSink* metrics_;
+};
+
+}  // namespace globe::replication

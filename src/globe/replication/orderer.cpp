@@ -1,0 +1,194 @@
+#include "globe/replication/orderer.hpp"
+
+namespace globe::replication {
+
+Admission PramOrderer::admit(web::WriteRecord rec,
+                             std::vector<web::WriteRecord>& ready) {
+  auto& applied = applied_[rec.wid.client];
+  if (rec.wid.seq <= applied) return Admission::kDuplicate;
+  if (rec.wid.seq != applied + 1) {
+    auto [it, inserted] = pending_[rec.wid.client].try_emplace(
+        rec.wid.seq, std::move(rec));
+    (void)it;
+    return inserted ? Admission::kBuffered : Admission::kDuplicate;
+  }
+  applied = rec.wid.seq;
+  const ClientId client = rec.wid.client;
+  ready.push_back(std::move(rec));
+  drain(client, ready);
+  return Admission::kApplied;
+}
+
+void PramOrderer::drain(ClientId client, std::vector<web::WriteRecord>& ready) {
+  auto pit = pending_.find(client);
+  if (pit == pending_.end()) return;
+  auto& applied = applied_[client];
+  auto& buf = pit->second;
+  // Drop buffered records already covered, then drain what is contiguous.
+  while (!buf.empty() && buf.begin()->first <= applied) buf.erase(buf.begin());
+  while (!buf.empty() && buf.begin()->first == applied + 1) {
+    applied = buf.begin()->first;
+    ready.push_back(std::move(buf.begin()->second));
+    buf.erase(buf.begin());
+  }
+  if (buf.empty()) pending_.erase(pit);
+}
+
+void PramOrderer::reset_to(const VectorClock& clock, std::uint64_t /*gseq*/,
+                           std::vector<web::WriteRecord>& ready) {
+  for (const auto& [client, seq] : clock.entries()) {
+    auto& applied = applied_[client];
+    if (seq > applied) applied = seq;
+  }
+  const auto clients = [this] {
+    std::vector<ClientId> ids;
+    for (const auto& [c, _] : pending_) ids.push_back(c);
+    return ids;
+  }();
+  for (ClientId c : clients) drain(c, ready);
+}
+
+bool PramOrderer::has_gaps() const { return !pending_.empty(); }
+
+std::size_t PramOrderer::buffered() const {
+  std::size_t n = 0;
+  for (const auto& [_, buf] : pending_) n += buf.size();
+  return n;
+}
+
+Admission FifoOrderer::admit(web::WriteRecord rec,
+                             std::vector<web::WriteRecord>& ready) {
+  auto& latest = latest_[rec.wid.client];
+  if (rec.wid.seq <= latest) return Admission::kSuperseded;
+  latest = rec.wid.seq;
+  ready.push_back(std::move(rec));
+  return Admission::kApplied;
+}
+
+void FifoOrderer::reset_to(const VectorClock& clock, std::uint64_t /*gseq*/,
+                           std::vector<web::WriteRecord>& /*ready*/) {
+  for (const auto& [client, seq] : clock.entries()) {
+    auto& latest = latest_[client];
+    if (seq > latest) latest = seq;
+  }
+}
+
+Admission SequentialOrderer::admit(web::WriteRecord rec,
+                                   std::vector<web::WriteRecord>& ready) {
+  if (rec.global_seq == 0) {
+    // Records without an assigned sequence cannot be ordered; treat as a
+    // protocol error surfaced by tests, applied nowhere.
+    return Admission::kDuplicate;
+  }
+  if (rec.global_seq <= applied_) return Admission::kDuplicate;
+  if (rec.global_seq != applied_ + 1) {
+    auto [it, inserted] = pending_.try_emplace(rec.global_seq, std::move(rec));
+    (void)it;
+    return inserted ? Admission::kBuffered : Admission::kDuplicate;
+  }
+  applied_ = rec.global_seq;
+  ready.push_back(std::move(rec));
+  drain(ready);
+  return Admission::kApplied;
+}
+
+void SequentialOrderer::drain(std::vector<web::WriteRecord>& ready) {
+  while (!pending_.empty() && pending_.begin()->first <= applied_) {
+    pending_.erase(pending_.begin());
+  }
+  while (!pending_.empty() && pending_.begin()->first == applied_ + 1) {
+    applied_ = pending_.begin()->first;
+    ready.push_back(std::move(pending_.begin()->second));
+    pending_.erase(pending_.begin());
+  }
+}
+
+void SequentialOrderer::reset_to(const VectorClock& /*clock*/,
+                                 std::uint64_t gseq,
+                                 std::vector<web::WriteRecord>& ready) {
+  if (gseq > applied_) applied_ = gseq;
+  drain(ready);
+}
+
+bool CausalOrderer::applicable(const web::WriteRecord& rec) const {
+  // All causal predecessors must be applied. The record's own previous
+  // write (seq-1 of the same writer) is an implicit dependency.
+  if (rec.wid.seq > 1 && applied_.get(rec.wid.client) < rec.wid.seq - 1) {
+    return false;
+  }
+  return applied_.dominates(rec.deps);
+}
+
+Admission CausalOrderer::admit(web::WriteRecord rec,
+                               std::vector<web::WriteRecord>& ready) {
+  if (applied_.covers(rec.wid)) return Admission::kDuplicate;
+  for (const auto& p : pending_) {
+    if (p.wid == rec.wid) return Admission::kDuplicate;
+  }
+  if (!applicable(rec)) {
+    pending_.push_back(std::move(rec));
+    return Admission::kBuffered;
+  }
+  applied_.observe(rec.wid);
+  ready.push_back(std::move(rec));
+  drain(ready);
+  return Admission::kApplied;
+}
+
+void CausalOrderer::drain(std::vector<web::WriteRecord>& ready) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (applicable(*it)) {
+        applied_.observe(it->wid);
+        ready.push_back(std::move(*it));
+        pending_.erase(it);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+Admission EventualOrderer::admit(web::WriteRecord rec,
+                                 std::vector<web::WriteRecord>& ready) {
+  if (!seen_.insert(rec.wid).second) return Admission::kDuplicate;
+  ready.push_back(std::move(rec));
+  return Admission::kApplied;
+}
+
+void EventualOrderer::reset_to(const VectorClock& /*clock*/,
+                               std::uint64_t /*gseq*/,
+                               std::vector<web::WriteRecord>& /*ready*/) {
+  // Nothing to reconstruct: duplicates of pre-snapshot records are
+  // rejected by last-writer-wins at the document.
+}
+
+void CausalOrderer::reset_to(const VectorClock& clock, std::uint64_t /*gseq*/,
+                             std::vector<web::WriteRecord>& ready) {
+  applied_.merge(clock);
+  std::erase_if(pending_, [this](const web::WriteRecord& r) {
+    return applied_.covers(r.wid);
+  });
+  drain(ready);
+}
+
+std::unique_ptr<Orderer> make_orderer(coherence::ObjectModel model) {
+  using coherence::ObjectModel;
+  switch (model) {
+    case ObjectModel::kSequential:
+      return std::make_unique<SequentialOrderer>();
+    case ObjectModel::kPram:
+      return std::make_unique<PramOrderer>();
+    case ObjectModel::kFifoPram:
+      return std::make_unique<FifoOrderer>();
+    case ObjectModel::kCausal:
+      return std::make_unique<CausalOrderer>();
+    case ObjectModel::kEventual:
+      return std::make_unique<EventualOrderer>();
+  }
+  return std::make_unique<EventualOrderer>();
+}
+
+}  // namespace globe::replication

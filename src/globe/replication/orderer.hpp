@@ -1,0 +1,155 @@
+// Orderers: the per-model admission logic of replication objects.
+//
+// "the internals of the replication objects differ as each implements
+//  its own part of a coherence protocol" (Section 4.2). An Orderer
+// decides, for each arriving write record, whether it can be applied
+// now, must wait for earlier records (a gap), or is superseded and
+// should be discarded. The store engine is model-agnostic: it feeds
+// arriving records to its orderer and applies whatever comes back, in
+// order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "globe/coherence/models.hpp"
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/web/write_record.hpp"
+
+namespace globe::replication {
+
+using coherence::VectorClock;
+
+/// Outcome classification for one offered record (mostly for metrics and
+/// tests; applicable records are returned from admit()).
+enum class Admission : std::uint8_t {
+  kApplied,     // returned for application (possibly with drained buffer)
+  kBuffered,    // waiting for earlier records
+  kDuplicate,   // already seen / already applied
+  kSuperseded,  // FIFO: older than the latest applied from that writer
+};
+
+class Orderer {
+ public:
+  virtual ~Orderer() = default;
+
+  /// Offers one record. Appends every record that became applicable (in
+  /// application order) to `ready`. Returns the classification of the
+  /// offered record itself.
+  virtual Admission admit(web::WriteRecord rec,
+                          std::vector<web::WriteRecord>& ready) = 0;
+
+  /// True if records are buffered waiting for missing predecessors.
+  [[nodiscard]] virtual bool has_gaps() const = 0;
+
+  /// Number of buffered (not yet applicable) records.
+  [[nodiscard]] virtual std::size_t buffered() const = 0;
+
+  /// Re-seeds the orderer after a full-state (snapshot) transfer: the
+  /// replica is now at `clock`/`gseq`; buffered records covered by that
+  /// state are dropped and newly applicable ones are drained to `ready`.
+  virtual void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                        std::vector<web::WriteRecord>& ready) = 0;
+};
+
+/// PRAM: per-writer contiguous order. Buffers out-of-order records.
+class PramOrderer final : public Orderer {
+ public:
+  Admission admit(web::WriteRecord rec,
+                  std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] bool has_gaps() const override;
+  [[nodiscard]] std::size_t buffered() const override;
+  void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                std::vector<web::WriteRecord>& ready) override;
+
+ private:
+  void drain(ClientId client, std::vector<web::WriteRecord>& ready);
+
+  std::map<ClientId, std::uint64_t> applied_;  // highest contiguous seq
+  std::map<ClientId, std::map<std::uint64_t, web::WriteRecord>> pending_;
+};
+
+/// FIFO-PRAM: "a write request from a client is honored if it is more
+/// recent than the latest write from that same client. Otherwise, the
+/// request is simply ignored." Gaps are allowed; stale writes discarded.
+class FifoOrderer final : public Orderer {
+ public:
+  Admission admit(web::WriteRecord rec,
+                  std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] bool has_gaps() const override { return false; }
+  [[nodiscard]] std::size_t buffered() const override { return 0; }
+  void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                std::vector<web::WriteRecord>& ready) override;
+
+ private:
+  std::map<ClientId, std::uint64_t> latest_;
+};
+
+/// Sequential: records carry a primary-assigned global sequence number
+/// and must be applied in exactly that order (contiguously).
+class SequentialOrderer final : public Orderer {
+ public:
+  Admission admit(web::WriteRecord rec,
+                  std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] bool has_gaps() const override { return !pending_.empty(); }
+  [[nodiscard]] std::size_t buffered() const override {
+    return pending_.size();
+  }
+  void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] std::uint64_t applied_gseq() const { return applied_; }
+
+ private:
+  void drain(std::vector<web::WriteRecord>& ready);
+
+  std::uint64_t applied_ = 0;
+  std::map<std::uint64_t, web::WriteRecord> pending_;
+};
+
+/// Causal: a record is applicable once its dependency clock is covered
+/// by the applied clock. Buffers otherwise.
+class CausalOrderer final : public Orderer {
+ public:
+  Admission admit(web::WriteRecord rec,
+                  std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] bool has_gaps() const override { return !pending_.empty(); }
+  [[nodiscard]] std::size_t buffered() const override {
+    return pending_.size();
+  }
+  void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] const VectorClock& applied_clock() const { return applied_; }
+
+ private:
+  [[nodiscard]] bool applicable(const web::WriteRecord& rec) const;
+  void drain(std::vector<web::WriteRecord>& ready);
+
+  VectorClock applied_;
+  std::vector<web::WriteRecord> pending_;
+};
+
+/// Eventual: every new record is immediately applicable (conflict
+/// resolution happens at the document via last-writer-wins). Duplicate
+/// suppression only.
+class EventualOrderer final : public Orderer {
+ public:
+  Admission admit(web::WriteRecord rec,
+                  std::vector<web::WriteRecord>& ready) override;
+  [[nodiscard]] bool has_gaps() const override { return false; }
+  [[nodiscard]] std::size_t buffered() const override { return 0; }
+  void reset_to(const VectorClock& clock, std::uint64_t gseq,
+                std::vector<web::WriteRecord>& ready) override;
+
+ private:
+  // A true set (not a vector clock): records may arrive out of order
+  // across pages and every distinct record must still be applied once.
+  std::unordered_set<coherence::WriteId> seen_;
+};
+
+/// Builds the orderer for an object-based model.
+std::unique_ptr<Orderer> make_orderer(coherence::ObjectModel model);
+
+}  // namespace globe::replication

@@ -1,0 +1,390 @@
+// Replication protocol message bodies.
+//
+// These are the payloads carried inside envelopes between client local
+// objects and store local objects, and between stores. One message
+// vocabulary serves every coherence model; which messages actually flow,
+// when, and with how much data is decided by the ReplicationPolicy
+// (Table 1) interpreted by the store engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/coherence/write_id.hpp"
+#include "globe/msg/invocation.hpp"
+#include "globe/net/address.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/web/write_record.hpp"
+
+namespace globe::replication {
+
+using coherence::VectorClock;
+using coherence::WriteId;
+using util::Buffer;
+using util::BytesView;
+using util::Reader;
+using util::Writer;
+
+inline void encode_address(Writer& w, const net::Address& a) {
+  w.u32(a.node);
+  w.u16(a.port);
+}
+
+inline net::Address decode_address(Reader& r) {
+  net::Address a;
+  a.node = r.u32();
+  a.port = r.u16();
+  return a;
+}
+
+/// kInvokeRequest body: a client operation plus its session context.
+struct ClientRequest {
+  msg::Invocation inv;
+  ClientId client = 0;
+  std::uint64_t client_op_index = 0;
+  WriteId wid;                     // writes only; assigned by the client
+  VectorClock deps;                // write dependencies (causal / WFR)
+  VectorClock min_clock;           // read requirement (RYW / MR)
+  std::uint64_t min_global_seq = 0;  // sequential-model read floor
+  bool ordered = false;            // require per-writer ordered application
+  std::int64_t issued_at_us = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.bytes(BytesView(inv.encode()));
+    w.u32(client);
+    w.varint(client_op_index);
+    wid.encode(w);
+    deps.encode(w);
+    min_clock.encode(w);
+    w.varint(min_global_seq);
+    w.boolean(ordered);
+    w.i64(issued_at_us);
+    return w.take();
+  }
+
+  static ClientRequest decode(BytesView wire) {
+    Reader r(wire);
+    ClientRequest req;
+    req.inv = msg::Invocation::decode(r.bytes());
+    req.client = r.u32();
+    req.client_op_index = r.varint();
+    req.wid = WriteId::decode(r);
+    req.deps = VectorClock::decode(r);
+    req.min_clock = VectorClock::decode(r);
+    req.min_global_seq = r.varint();
+    req.ordered = r.boolean();
+    req.issued_at_us = r.i64();
+    r.expect_end();
+    return req;
+  }
+};
+
+/// kInvokeReply body.
+struct InvokeReply {
+  bool ok = false;
+  std::string error;
+  Buffer value;             // read result (method-specific encoding)
+  Buffer document;          // full document, when access transfer = full
+  WriteId wid;              // echoed for writes
+  std::uint64_t global_seq = 0;  // write: assigned seq; read: store's seq
+  VectorClock store_clock;  // serving/accepting store's applied clock
+  StoreId store = kInvalidStore;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.boolean(ok);
+    w.str(error);
+    w.bytes(BytesView(value));
+    w.bytes(BytesView(document));
+    wid.encode(w);
+    w.varint(global_seq);
+    store_clock.encode(w);
+    w.u32(store);
+    return w.take();
+  }
+
+  static InvokeReply decode(BytesView wire) {
+    Reader r(wire);
+    InvokeReply rep;
+    rep.ok = r.boolean();
+    rep.error = r.str();
+    rep.value = r.bytes_copy();
+    rep.document = r.bytes_copy();
+    rep.wid = WriteId::decode(r);
+    rep.global_seq = r.varint();
+    rep.store_clock = VectorClock::decode(r);
+    rep.store = r.u32();
+    r.expect_end();
+    return rep;
+  }
+};
+
+/// kWriteForward body: a write relayed towards the accepting store. The
+/// accepting store replies kInvokeReply directly to the origin.
+struct WriteForward {
+  ClientRequest request;
+  net::Address origin;              // client comm endpoint
+  std::uint64_t origin_request_id = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.bytes(BytesView(request.encode()));
+    encode_address(w, origin);
+    w.varint(origin_request_id);
+    return w.take();
+  }
+
+  static WriteForward decode(BytesView wire) {
+    Reader r(wire);
+    WriteForward f;
+    f.request = ClientRequest::decode(r.bytes());
+    f.origin = decode_address(r);
+    f.origin_request_id = r.varint();
+    r.expect_end();
+    return f;
+  }
+};
+
+/// kUpdate body: push propagation of write records.
+struct UpdateMsg {
+  std::vector<web::WriteRecord> records;
+  VectorClock sender_clock;
+  std::uint64_t sender_gseq = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    web::encode_records(w, records);
+    sender_clock.encode(w);
+    w.varint(sender_gseq);
+    return w.take();
+  }
+
+  static UpdateMsg decode(BytesView wire) {
+    Reader r(wire);
+    UpdateMsg m;
+    m.records = web::decode_records(r);
+    m.sender_clock = VectorClock::decode(r);
+    m.sender_gseq = r.varint();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kSnapshot / kSubscribeAck body: full-state transfer.
+struct SnapshotMsg {
+  Buffer document;  // WebDocument::snapshot()
+  VectorClock clock;
+  std::uint64_t gseq = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.bytes(BytesView(document));
+    clock.encode(w);
+    w.varint(gseq);
+    return w.take();
+  }
+
+  static SnapshotMsg decode(BytesView wire) {
+    Reader r(wire);
+    SnapshotMsg m;
+    m.document = r.bytes_copy();
+    m.clock = VectorClock::decode(r);
+    m.gseq = r.varint();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kInvalidate body: page invalidations.
+struct InvalidateMsg {
+  std::vector<std::string> pages;
+  VectorClock known_clock;
+  std::uint64_t known_gseq = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.varint(pages.size());
+    for (const auto& p : pages) w.str(p);
+    known_clock.encode(w);
+    w.varint(known_gseq);
+    return w.take();
+  }
+
+  static InvalidateMsg decode(BytesView wire) {
+    Reader r(wire);
+    InvalidateMsg m;
+    const std::uint64_t n = r.varint();
+    m.pages.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.pages.push_back(r.str());
+    m.known_clock = VectorClock::decode(r);
+    m.known_gseq = r.varint();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kNotify body: "a change occurred", with no data (Table 1:
+/// coherence transfer type = notification).
+struct NotifyMsg {
+  VectorClock known_clock;
+  std::uint64_t known_gseq = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    known_clock.encode(w);
+    w.varint(known_gseq);
+    return w.take();
+  }
+
+  static NotifyMsg decode(BytesView wire) {
+    Reader r(wire);
+    NotifyMsg m;
+    m.known_clock = VectorClock::decode(r);
+    m.known_gseq = r.varint();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kFetchRequest body: pull / demand-update / cache validation.
+struct FetchRequest {
+  VectorClock have_clock;
+  std::uint64_t have_gseq = 0;
+  bool want_full = false;            // request a snapshot
+  std::vector<std::string> pages;    // restrict to these pages (empty = all)
+  bool validate_only = false;        // baseline: If-Modified-Since check
+  std::uint64_t have_lamport = 0;    // version held, for validate_only
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    have_clock.encode(w);
+    w.varint(have_gseq);
+    w.boolean(want_full);
+    w.varint(pages.size());
+    for (const auto& p : pages) w.str(p);
+    w.boolean(validate_only);
+    w.varint(have_lamport);
+    return w.take();
+  }
+
+  static FetchRequest decode(BytesView wire) {
+    Reader r(wire);
+    FetchRequest m;
+    m.have_clock = VectorClock::decode(r);
+    m.have_gseq = r.varint();
+    m.want_full = r.boolean();
+    const std::uint64_t n = r.varint();
+    m.pages.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.pages.push_back(r.str());
+    m.validate_only = r.boolean();
+    m.have_lamport = r.varint();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kFetchReply body.
+struct FetchReply {
+  bool full = false;          // snapshot transfer
+  Buffer snapshot;            // when full
+  std::vector<web::WriteRecord> records;  // when !full
+  VectorClock clock;
+  std::uint64_t gseq = 0;
+  bool not_modified = false;  // validate_only result
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.boolean(full);
+    w.bytes(BytesView(snapshot));
+    web::encode_records(w, records);
+    clock.encode(w);
+    w.varint(gseq);
+    w.boolean(not_modified);
+    return w.take();
+  }
+
+  static FetchReply decode(BytesView wire) {
+    Reader r(wire);
+    FetchReply m;
+    m.full = r.boolean();
+    m.snapshot = r.bytes_copy();
+    m.records = web::decode_records(r);
+    m.clock = VectorClock::decode(r);
+    m.gseq = r.varint();
+    m.not_modified = r.boolean();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kSubscribe body: a store joins the propagation graph under a parent.
+struct SubscribeMsg {
+  net::Address subscriber;
+  StoreId store_id = kInvalidStore;
+  std::uint8_t store_class = 0;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode_address(w, subscriber);
+    w.u32(store_id);
+    w.u8(store_class);
+    return w.take();
+  }
+
+  static SubscribeMsg decode(BytesView wire) {
+    Reader r(wire);
+    SubscribeMsg m;
+    m.subscriber = decode_address(r);
+    m.store_id = r.u32();
+    m.store_class = r.u8();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kAntiEntropyRequest body: "here is my clock; send what I am missing".
+struct AntiEntropyRequest {
+  VectorClock have_clock;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    have_clock.encode(w);
+    return w.take();
+  }
+
+  static AntiEntropyRequest decode(BytesView wire) {
+    Reader r(wire);
+    AntiEntropyRequest m;
+    m.have_clock = VectorClock::decode(r);
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kAntiEntropyReply body: missing records plus the responder's clock so
+/// the requester can push back what the responder is missing.
+struct AntiEntropyReply {
+  std::vector<web::WriteRecord> records;
+  VectorClock responder_clock;
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    web::encode_records(w, records);
+    responder_clock.encode(w);
+    return w.take();
+  }
+
+  static AntiEntropyReply decode(BytesView wire) {
+    Reader r(wire);
+    AntiEntropyReply m;
+    m.records = web::decode_records(r);
+    m.responder_clock = VectorClock::decode(r);
+    r.expect_end();
+    return m;
+  }
+};
+
+}  // namespace globe::replication

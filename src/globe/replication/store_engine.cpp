@@ -1,0 +1,1063 @@
+#include "globe/replication/store_engine.hpp"
+
+#include <algorithm>
+
+#include "globe/util/assert.hpp"
+#include "globe/util/log.hpp"
+
+namespace globe::replication {
+
+using core::AccessTransfer;
+using core::CoherenceTransfer;
+using core::OutdateReaction;
+using core::Propagation;
+using core::StoreScope;
+using core::TransferInitiative;
+using core::TransferInstant;
+using coherence::ObjectModel;
+
+namespace {
+
+[[nodiscard]] std::uint64_t addr_key(const Address& a) {
+  return (static_cast<std::uint64_t>(a.node) << 16) | a.port;
+}
+
+[[nodiscard]] Address key_addr(std::uint64_t key) {
+  Address a;
+  a.node = static_cast<NodeId>(key >> 16);
+  a.port = static_cast<PortId>(key & 0xFFFF);
+  return a;
+}
+
+}  // namespace
+
+StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
+                         StoreConfig config, coherence::History* history,
+                         metrics::MetricsSink* metrics)
+    : sim_(sim),
+      config_(std::move(config)),
+      traffic_(metrics),
+      comm_(factory, &sim, &traffic_),
+      history_(history),
+      metrics_(metrics) {
+  GLOBE_ASSERT_MSG(config_.policy.validate().empty(),
+                   "invalid replication policy");
+  GLOBE_ASSERT_MSG(config_.is_primary || config_.upstream.valid(),
+                   "non-primary store needs an upstream");
+
+  orderer_ = enforces_model() ? make_orderer(config_.policy.model)
+             : config_.policy.model == ObjectModel::kEventual
+                 ? make_orderer(ObjectModel::kEventual)
+                 : std::make_unique<FifoOrderer>();
+
+  comm_.set_delivery_handler([this](const Address& from, msg::Envelope env) {
+    on_message(from, std::move(env));
+  });
+
+  configure_timers();
+
+  if (config_.is_primary || config_.cache_mode != CacheMode::kGlobe ||
+      !config_.auto_subscribe) {
+    ready_ = true;
+  } else {
+    subscribe_to_upstream();
+  }
+}
+
+StoreEngine::~StoreEngine() = default;
+
+void StoreEngine::configure_timers() {
+  const auto& p = config_.policy;
+  const bool is_globe_cache = config_.cache_mode == CacheMode::kGlobe;
+  lazy_timer_.reset();
+  pull_timer_.reset();
+  heartbeat_timer_.reset();
+
+  // Lazy push flush timer: any store that may propagate data.
+  if (p.initiative == TransferInitiative::kPush &&
+      p.instant == TransferInstant::kLazy && is_globe_cache) {
+    lazy_timer_.emplace(sim_, p.lazy_period, [this] { flush_lazy(); });
+    lazy_timer_->start();
+  }
+  // Pull poll timer: non-primary Globe stores poll their upstream.
+  if (p.initiative == TransferInitiative::kPull && !config_.is_primary &&
+      is_globe_cache) {
+    pull_timer_.emplace(sim_, p.lazy_period, [this] { pull_from_upstream(); });
+    pull_timer_->start();
+  }
+  // Heartbeat clock advertisement: with push + demand reaction, a
+  // subscriber that lost the *last* pushes of a burst would never learn
+  // it is behind (gap detection needs a later message). A periodic
+  // Notify carrying the sender's clock closes that window — this is
+  // what makes reliability a genuine side effect of the coherence model
+  // over lossy transports (Section 4.2).
+  if (p.initiative == TransferInitiative::kPush &&
+      p.object_outdate_reaction == OutdateReaction::kDemand &&
+      is_globe_cache) {
+    const auto period = p.instant == TransferInstant::kLazy
+                            ? p.lazy_period
+                            : sim::SimDuration::millis(500);
+    heartbeat_timer_.emplace(sim_, period, [this] { advertise_clock(); });
+    heartbeat_timer_->start();
+  }
+}
+
+bool StoreEngine::update_policy(const core::ReplicationPolicy& policy) {
+  if (policy.model != config_.policy.model) return false;
+  if (!policy.validate().empty()) return false;
+  if (policy == config_.policy) return true;
+
+  // Drain anything queued under the old parameters, then switch.
+  flush_lazy();
+  config_.policy = policy;
+  configure_timers();
+
+  // Propagate the strategy change through the object (downstream).
+  util::Writer w;
+  policy.encode(w);
+  const Buffer body = w.take();
+  for (const Subscriber& s : subscribers_) {
+    comm_.send(s.address, msg::MsgType::kPolicyUpdate, config_.object, body);
+  }
+  return true;
+}
+
+void StoreEngine::handle_policy_update(const Address& /*from*/,
+                                       msg::Envelope& env) {
+  util::Reader r{util::BytesView(env.body)};
+  const auto policy = core::ReplicationPolicy::decode(r);
+  update_policy(policy);
+}
+
+bool StoreEngine::enforces_model() const {
+  switch (config_.policy.store_scope) {
+    case StoreScope::kPermanent:
+      return config_.store_class == naming::StoreClass::kPermanent;
+    case StoreScope::kPermanentAndObject:
+      return config_.store_class != naming::StoreClass::kClientInitiated;
+    case StoreScope::kAll:
+      return true;
+  }
+  return true;
+}
+
+bool StoreEngine::multi_master() const {
+  return config_.policy.model == ObjectModel::kCausal ||
+         config_.policy.model == ObjectModel::kEventual;
+}
+
+bool StoreEngine::accepts_writes() const {
+  if (multi_master()) return true;
+  return config_.is_primary;
+}
+
+void StoreEngine::finalize_propagation() {
+  // One synchronous flush/pull so Testbed::settle() can drain in-flight
+  // coherence state; the periodic timers keep running (they are
+  // background events and never block quiescence on their own).
+  if (pull_timer_.has_value()) pull_from_upstream();
+  flush_lazy();
+}
+
+naming::ContactPoint StoreEngine::contact() const {
+  naming::ContactPoint c;
+  c.address = comm_.local_address();
+  c.store_class = config_.store_class;
+  c.store_id = config_.store_id;
+  c.is_primary = config_.is_primary;
+  return c;
+}
+
+void StoreEngine::seed(const std::string& page, const std::string& content,
+                       const std::string& mime) {
+  GLOBE_ASSERT_MSG(config_.is_primary, "seed() is a primary-store operation");
+  web::WriteRecord rec;
+  rec.wid = coherence::WriteId{0, applied_clock_.get(0) + 1};
+  rec.op = web::WriteOp::kPut;
+  rec.page = page;
+  rec.content = content;
+  rec.mime = mime;
+  rec.issued_at_us = sim_.now().count_micros();
+  rec.lamport = ++lamport_;
+  std::vector<web::WriteRecord> ready;
+  if (config_.policy.model == ObjectModel::kSequential) {
+    rec.global_seq = next_gseq_ + 1;
+  }
+  orderer_->admit(std::move(rec), ready);
+  apply_ready(std::move(ready));
+}
+
+// ---------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------
+
+void StoreEngine::on_message(const Address& from, msg::Envelope env) {
+  switch (env.type) {
+    case msg::MsgType::kInvokeRequest:
+      handle_client_request(from, env.request_id,
+                            ClientRequest::decode(util::BytesView(env.body)));
+      return;
+    case msg::MsgType::kWriteForward:
+      handle_write_forward(from, env);
+      return;
+    case msg::MsgType::kUpdate:
+      handle_update(from, env);
+      return;
+    case msg::MsgType::kSnapshot:
+      handle_snapshot(env);
+      return;
+    case msg::MsgType::kInvalidate:
+      handle_invalidate(from, env);
+      return;
+    case msg::MsgType::kNotify:
+      handle_notify(env);
+      return;
+    case msg::MsgType::kFetchRequest:
+      handle_fetch_request(from, env);
+      return;
+    case msg::MsgType::kSubscribe:
+      handle_subscribe(from, env);
+      return;
+    case msg::MsgType::kAntiEntropyRequest:
+      handle_anti_entropy(from, env);
+      return;
+    case msg::MsgType::kPolicyUpdate:
+      handle_policy_update(from, env);
+      return;
+    default:
+      GLOBE_LOG_ERROR("store", "store %u: unexpected message type %s",
+                      config_.store_id, msg::to_string(env.type));
+  }
+}
+
+void StoreEngine::reply_invoke(const Address& to, std::uint64_t request_id,
+                               const InvokeReply& rep) {
+  comm_.reply(to, msg::MsgType::kInvokeReply, config_.object, request_id,
+              rep.encode());
+}
+
+void StoreEngine::handle_client_request(const Address& from,
+                                        std::uint64_t request_id,
+                                        ClientRequest req) {
+  if (!ready_) {
+    park(from, request_id, std::move(req));
+    return;
+  }
+  if (req.inv.writes()) {
+    if (accepts_writes()) {
+      accept_write(from, request_id, std::move(req));
+    } else {
+      // Relay towards the accepting store; it replies to the origin.
+      WriteForward fwd;
+      fwd.origin = from;
+      fwd.origin_request_id = request_id;
+      fwd.request = std::move(req);
+      comm_.send(config_.upstream, msg::MsgType::kWriteForward, config_.object,
+                 fwd.encode());
+    }
+    return;
+  }
+  serve_read(from, request_id, req);
+}
+
+void StoreEngine::handle_write_forward(const Address& /*from*/,
+                                       msg::Envelope& env) {
+  WriteForward fwd = WriteForward::decode(util::BytesView(env.body));
+  if (accepts_writes()) {
+    accept_write(fwd.origin, fwd.origin_request_id, std::move(fwd.request));
+  } else {
+    comm_.send(config_.upstream, msg::MsgType::kWriteForward, config_.object,
+               env.body);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------
+
+void StoreEngine::accept_write(const Address& reply_to,
+                               std::uint64_t request_id, ClientRequest req) {
+  web::WriteRecord rec = semantics_.to_record(req.inv);
+  rec.wid = req.wid;
+  rec.deps = req.deps;
+  rec.ordered = req.ordered;
+  rec.issued_at_us = req.issued_at_us;
+  lamport_ = std::max(lamport_, applied_clock_.total()) + 1;
+  rec.lamport = lamport_;
+  if (config_.policy.model == ObjectModel::kSequential) {
+    GLOBE_ASSERT_MSG(config_.is_primary,
+                     "sequential writes are accepted only at the primary");
+    rec.global_seq = next_gseq_ + 1;
+  }
+
+  std::vector<web::WriteRecord> ready;
+  const Admission adm = orderer_->admit(rec, ready);
+  switch (adm) {
+    case Admission::kApplied:
+      apply_ready(std::move(ready));
+      // record_apply acked if it was registered; ack directly otherwise.
+      {
+        InvokeReply rep;
+        rep.ok = true;
+        rep.wid = req.wid;
+        rep.global_seq =
+            rec.global_seq != 0 ? rec.global_seq : applied_gseq_;
+        rep.store_clock = applied_clock_;
+        rep.store = config_.store_id;
+        reply_invoke(reply_to, request_id, rep);
+      }
+      return;
+    case Admission::kBuffered:
+      // Ack once the record is finally applied.
+      pending_write_acks_[req.wid] = {reply_to, request_id};
+      note_gaps();
+      if (!config_.is_primary &&
+          config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+        demand_fetch();
+      }
+      return;
+    case Admission::kDuplicate:
+    case Admission::kSuperseded: {
+      // Idempotent/ignored writes still succeed from the client's view
+      // (FIFO model: "the request is simply ignored").
+      InvokeReply rep;
+      rep.ok = true;
+      rep.wid = req.wid;
+      rep.global_seq = applied_gseq_;
+      rep.store_clock = applied_clock_;
+      rep.store = config_.store_id;
+      reply_invoke(reply_to, request_id, rep);
+      return;
+    }
+  }
+}
+
+void StoreEngine::record_snapshot_event() {
+  if (history_ == nullptr) return;
+  coherence::ApplyEvent e;
+  e.at = sim_.now();
+  e.store = config_.store_id;
+  e.deps = applied_clock_;
+  e.global_seq = applied_gseq_;
+  e.from_snapshot = true;
+  history_->record_apply(std::move(e));
+}
+
+void StoreEngine::record_apply(const web::WriteRecord& rec, bool changed) {
+  if (history_ != nullptr && changed) {
+    coherence::ApplyEvent e;
+    e.at = sim_.now();
+    e.store = config_.store_id;
+    e.wid = rec.wid;
+    e.page = rec.page;
+    e.deps = rec.deps;
+    e.global_seq = rec.global_seq;
+    history_->record_apply(std::move(e));
+  }
+  auto ack = pending_write_acks_.find(rec.wid);
+  if (ack != pending_write_acks_.end()) {
+    InvokeReply rep;
+    rep.ok = true;
+    rep.wid = rec.wid;
+    rep.global_seq = rec.global_seq != 0 ? rec.global_seq : applied_gseq_;
+    rep.store_clock = applied_clock_;
+    rep.store = config_.store_id;
+    reply_invoke(ack->second.first, ack->second.second, rep);
+    pending_write_acks_.erase(ack);
+  }
+}
+
+void StoreEngine::apply_ready(std::vector<web::WriteRecord> ready) {
+  if (ready.empty()) return;
+  std::vector<web::WriteRecord> applied;
+  applied.reserve(ready.size());
+  for (web::WriteRecord& rec : ready) {
+    // The primary stamps the total-order position at apply time for the
+    // primary-ordered models (sequential records were stamped earlier).
+    if (config_.is_primary && rec.global_seq == 0 && !multi_master()) {
+      rec.global_seq = next_gseq_ + 1;
+    }
+    if (rec.global_seq > next_gseq_) next_gseq_ = rec.global_seq;
+
+    // State application. Multi-master models need convergent conflict
+    // resolution: last-writer-wins with a Lamport clock. For the causal
+    // model the Lamport order refines the causal order (the clock is
+    // advanced on every receive), so LWW picks a causally-consistent
+    // winner among concurrent writes and every replica converges.
+    const bool is_eventual = config_.policy.model == ObjectModel::kEventual;
+    const bool is_causal = config_.policy.model == ObjectModel::kCausal;
+    bool changed = true;
+    if (is_eventual || is_causal) {
+      changed = semantics_.apply_lww(rec);
+    } else {
+      semantics_.apply(rec);
+    }
+    // Deletes must propagate even when the page was already absent.
+    changed = changed || rec.op == web::WriteOp::kDelete;
+    applied_clock_.observe(rec.wid);
+    if (rec.global_seq > applied_gseq_ &&
+        (config_.policy.model != ObjectModel::kSequential ||
+         rec.global_seq == applied_gseq_ + 1)) {
+      applied_gseq_ = rec.global_seq;
+    }
+    lamport_ = std::max(lamport_, rec.lamport);
+    invalid_pages_.erase(rec.page);
+
+    // Causal records are logged and propagated even when LWW rejected
+    // their content: other replicas need their WiDs for dependency
+    // coverage. Eventual losers are dropped (the winner suffices).
+    if (changed || !is_eventual) {
+      log_.push_back(rec);
+      record_apply(rec, /*changed=*/true);
+      ++writes_applied_;
+      applied.push_back(std::move(rec));
+    } else {
+      // Last-writer-wins rejected the record: the state kept a newer
+      // version. Ack the writer but record no application.
+      record_apply(rec, /*changed=*/false);
+    }
+  }
+  demand_retry_budget_ = 100;  // progress: re-arm the retry budget
+  note_gaps();
+  unpark_ready();
+  if (!applied.empty()) propagate(applied);
+}
+
+void StoreEngine::note_gaps() {
+  outdated_ = orderer_->has_gaps() ||
+              !applied_clock_.dominates(known_clock_) ||
+              applied_gseq_ < known_gseq_;
+}
+
+// ---------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------
+
+bool StoreEngine::requirement_satisfied(const ClientRequest& req) const {
+  return applied_clock_.dominates(req.min_clock) &&
+         applied_gseq_ >= req.min_global_seq;
+}
+
+bool StoreEngine::needs_page_fetch(const ClientRequest& req) const {
+  if (req.inv.method != msg::Method::kGetPage) return false;
+  util::Reader args{util::BytesView(req.inv.args)};
+  const std::string page = args.str();
+  return invalid_pages_.count(page) > 0;
+}
+
+InvokeReply StoreEngine::make_read_reply(const ClientRequest& req) {
+  core::InvokeResult res = semantics_.execute_read(req.inv);
+  InvokeReply rep;
+  rep.ok = res.ok;
+  rep.error = std::move(res.error);
+  rep.value = std::move(res.value);
+  if (config_.policy.access_transfer == AccessTransfer::kFull &&
+      req.inv.method == msg::Method::kGetPage) {
+    // Access transfer type "full": the whole document travels with the
+    // access (Table 1), regardless of how little the client asked for.
+    rep.document = semantics_.snapshot();
+  }
+  rep.global_seq = applied_gseq_;
+  rep.store_clock = applied_clock_;
+  rep.store = config_.store_id;
+  ++reads_served_;
+  if (metrics_ != nullptr && outdated_) metrics_->record_stale_serve();
+  return rep;
+}
+
+void StoreEngine::serve_read(const Address& from, std::uint64_t request_id,
+                             const ClientRequest& req) {
+  if (config_.cache_mode == CacheMode::kCheckOnRead) {
+    serve_read_check_on_read(from, request_id, req);
+    return;
+  }
+  if (config_.cache_mode == CacheMode::kTtl) {
+    serve_read_ttl(from, request_id, req);
+    return;
+  }
+
+  const bool satisfied = requirement_satisfied(req);
+  const bool invalid = needs_page_fetch(req);
+  if (satisfied && !invalid) {
+    reply_invoke(from, request_id, make_read_reply(req));
+    return;
+  }
+
+  // The store cannot serve this read coherently yet: apply the outdate
+  // reaction (Section 3.3): wait for propagation, or demand an update.
+  if (invalid ||
+      config_.policy.client_outdate_reaction == OutdateReaction::kDemand) {
+    if (metrics_ != nullptr) metrics_->record_session_demand();
+    std::vector<std::string> pages;
+    if (invalid &&
+        config_.policy.access_transfer == AccessTransfer::kPartial) {
+      util::Reader args{util::BytesView(req.inv.args)};
+      pages.push_back(args.str());
+    }
+    park(from, request_id, req);
+    demand_fetch(std::move(pages));
+  } else {
+    if (metrics_ != nullptr) metrics_->record_session_wait();
+    park(from, request_id, req);
+  }
+}
+
+void StoreEngine::park(const Address& from, std::uint64_t request_id,
+                       ClientRequest req) {
+  parked_.push_back(Parked{from, request_id, std::move(req)});
+}
+
+void StoreEngine::unpark_ready() {
+  if (parked_.empty() || unparking_) return;
+  unparking_ = true;
+  std::vector<Parked> waiting = std::move(parked_);
+  parked_.clear();
+  for (Parked& p : waiting) {
+    if (!ready_) {
+      parked_.push_back(std::move(p));
+      continue;
+    }
+    if (p.request.inv.writes()) {
+      handle_client_request(p.from, p.request_id, std::move(p.request));
+      continue;
+    }
+    const bool satisfied = requirement_satisfied(p.request);
+    const bool invalid = needs_page_fetch(p.request);
+    if (satisfied && !invalid) {
+      reply_invoke(p.from, p.request_id, make_read_reply(p.request));
+    } else {
+      parked_.push_back(std::move(p));
+    }
+  }
+  unparking_ = false;
+  // Unsatisfied demand-mode reads must eventually retry: their update may
+  // not have reached our upstream when we last fetched. The budget bounds
+  // the loop when the awaited write never arrives.
+  if (!parked_.empty() && !fetch_in_flight_ &&
+      config_.policy.client_outdate_reaction == OutdateReaction::kDemand &&
+      !config_.is_primary && demand_retry_budget_ > 0) {
+    --demand_retry_budget_;
+    sim_.schedule_after(sim::SimDuration::millis(25), [this] {
+      if (!parked_.empty()) demand_fetch();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------
+// Baseline Web cache protocols (Section 1)
+// ---------------------------------------------------------------------
+
+void StoreEngine::serve_read_check_on_read(const Address& from,
+                                           std::uint64_t request_id,
+                                           ClientRequest req) {
+  if (req.inv.method != msg::Method::kGetPage) {
+    reply_invoke(from, request_id, make_read_reply(req));
+    return;
+  }
+  util::Reader args{util::BytesView(req.inv.args)};
+  const std::string page = args.str();
+  const auto current = semantics_.document().get(page);
+
+  FetchRequest fetch;
+  fetch.validate_only = true;
+  fetch.pages.push_back(page);
+  fetch.have_lamport = current ? current->lamport : 0;
+  comm_.request(
+      config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+      fetch.encode(),
+      [this, from, request_id, req = std::move(req)](
+          bool ok, const Address&, msg::Envelope env) mutable {
+        if (ok) {
+          FetchReply rep = FetchReply::decode(util::BytesView(env.body));
+          if (!rep.not_modified) {
+            for (auto& rec : rep.records) {
+              semantics_.apply(rec);
+              applied_clock_.observe(rec.wid);
+              if (rec.global_seq > applied_gseq_) {
+                applied_gseq_ = rec.global_seq;
+              }
+              fetched_at_[rec.page] = sim_.now();
+            }
+          }
+        }
+        reply_invoke(from, request_id, make_read_reply(req));
+      });
+}
+
+void StoreEngine::serve_read_ttl(const Address& from, std::uint64_t request_id,
+                                 ClientRequest req) {
+  if (req.inv.method != msg::Method::kGetPage) {
+    reply_invoke(from, request_id, make_read_reply(req));
+    return;
+  }
+  util::Reader args{util::BytesView(req.inv.args)};
+  const std::string page = args.str();
+  const auto it = fetched_at_.find(page);
+  const bool fresh = semantics_.document().has(page) &&
+                     it != fetched_at_.end() &&
+                     sim_.now() - it->second < config_.ttl;
+  if (fresh) {
+    reply_invoke(from, request_id, make_read_reply(req));
+    return;
+  }
+  FetchRequest fetch;
+  fetch.validate_only = true;  // "give me the latest copy of this page"
+  fetch.pages.push_back(page);
+  fetch.have_lamport = 0;
+  comm_.request(
+      config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+      fetch.encode(),
+      [this, from, request_id, page,
+       req = std::move(req)](bool ok, const Address&,
+                             msg::Envelope env) mutable {
+        if (ok) {
+          FetchReply rep = FetchReply::decode(util::BytesView(env.body));
+          for (auto& rec : rep.records) {
+            semantics_.apply(rec);
+            applied_clock_.observe(rec.wid);
+            if (rec.global_seq > applied_gseq_) applied_gseq_ = rec.global_seq;
+          }
+          fetched_at_[page] = sim_.now();
+        }
+        reply_invoke(from, request_id, make_read_reply(req));
+      });
+}
+
+// ---------------------------------------------------------------------
+// Propagation
+// ---------------------------------------------------------------------
+
+void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
+  if (config_.policy.initiative == TransferInitiative::kPull) {
+    return;  // downstream stores poll; nothing is pushed
+  }
+  std::vector<Address> targets;
+  for (const Subscriber& s : subscribers_) targets.push_back(s.address);
+  if (multi_master() && !config_.is_primary && config_.upstream.valid()) {
+    targets.push_back(config_.upstream);
+  }
+  if (targets.empty()) return;
+
+  // Per-record exclusion: never reflect a record straight back to the
+  // neighbour it arrived from (it may still need to travel to every
+  // other neighbour, e.g. a buffered client write draining after an
+  // upstream update must still flow upstream).
+  for (const Address& t : targets) {
+    const std::uint64_t tkey = addr_key(t);
+    std::vector<web::WriteRecord> out;
+    out.reserve(recs.size());
+    for (const auto& rec : recs) {
+      if (rec.transient_origin != tkey) out.push_back(rec);
+    }
+    if (out.empty()) continue;
+    if (config_.policy.instant == TransferInstant::kLazy) {
+      auto& queue = lazy_queues_[tkey];
+      queue.insert(queue.end(), out.begin(), out.end());
+      lazy_dirty_ = true;
+    } else {
+      send_coherence(t, out);
+    }
+  }
+}
+
+void StoreEngine::send_coherence(const Address& to,
+                                 const std::vector<web::WriteRecord>& recs) {
+  const auto& p = config_.policy;
+  if (p.propagation == Propagation::kInvalidate) {
+    InvalidateMsg m;
+    std::set<std::string> pages;
+    for (const auto& r : recs) pages.insert(r.page);
+    m.pages.assign(pages.begin(), pages.end());
+    m.known_clock = applied_clock_;
+    m.known_gseq = applied_gseq_;
+    comm_.send(to, msg::MsgType::kInvalidate, config_.object, m.encode());
+    return;
+  }
+  switch (p.coherence_transfer) {
+    case CoherenceTransfer::kNotification: {
+      NotifyMsg m;
+      m.known_clock = applied_clock_;
+      m.known_gseq = applied_gseq_;
+      comm_.send(to, msg::MsgType::kNotify, config_.object, m.encode());
+      return;
+    }
+    case CoherenceTransfer::kPartial: {
+      UpdateMsg m;
+      m.records = recs;
+      m.sender_clock = applied_clock_;
+      m.sender_gseq = applied_gseq_;
+      comm_.send(to, msg::MsgType::kUpdate, config_.object, m.encode());
+      return;
+    }
+    case CoherenceTransfer::kFull: {
+      SnapshotMsg m;
+      m.document = semantics_.snapshot();
+      m.clock = applied_clock_;
+      m.gseq = applied_gseq_;
+      comm_.send(to, msg::MsgType::kSnapshot, config_.object, m.encode());
+      return;
+    }
+  }
+}
+
+void StoreEngine::flush_lazy() {
+  if (!lazy_dirty_) return;
+  lazy_dirty_ = false;
+  auto queues = std::move(lazy_queues_);
+  lazy_queues_.clear();
+  // Notification and full transfers carry no per-record data: a queued
+  // target with an empty record list still gets its (aggregated) message.
+  const bool data_free =
+      config_.policy.propagation == Propagation::kUpdate &&
+      config_.policy.coherence_transfer != CoherenceTransfer::kPartial;
+  for (auto& [key, recs] : queues) {
+    if (recs.empty() && !data_free) continue;
+    send_coherence(key_addr(key), recs);
+  }
+}
+
+void StoreEngine::pull_from_upstream() {
+  if (multi_master()) {
+    // Anti-entropy exchange: offer my clock; receive missing records and
+    // learn what the upstream is missing so I can push it back.
+    AntiEntropyRequest reqmsg;
+    reqmsg.have_clock = applied_clock_;
+    comm_.request(
+        config_.upstream, msg::MsgType::kAntiEntropyRequest, config_.object,
+        reqmsg.encode(),
+        [this](bool ok, const Address& from, msg::Envelope env) {
+          if (!ok) return;
+          AntiEntropyReply rep =
+              AntiEntropyReply::decode(util::BytesView(env.body));
+          // Push back records the responder is missing.
+          std::vector<web::WriteRecord> for_peer;
+          for (const auto& rec : log_) {
+            if (!rep.responder_clock.covers(rec.wid)) for_peer.push_back(rec);
+          }
+          if (!for_peer.empty()) {
+            UpdateMsg up;
+            up.records = std::move(for_peer);
+            up.sender_clock = applied_clock_;
+            up.sender_gseq = applied_gseq_;
+            comm_.send(from, msg::MsgType::kUpdate, config_.object,
+                       up.encode());
+          }
+          std::vector<web::WriteRecord> ready;
+          for (auto& rec : rep.records) {
+            rec.transient_origin = addr_key(from);
+            orderer_->admit(std::move(rec), ready);
+          }
+          apply_ready(std::move(ready));
+        });
+    return;
+  }
+  FetchRequest fetch;
+  fetch.have_clock = applied_clock_;
+  fetch.have_gseq = applied_gseq_;
+  fetch.want_full =
+      config_.policy.coherence_transfer == CoherenceTransfer::kFull;
+  comm_.request(config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+                fetch.encode(),
+                [this](bool ok, const Address&, msg::Envelope env) {
+                  if (!ok) return;
+                  apply_fetch_reply(
+                      FetchReply::decode(util::BytesView(env.body)));
+                });
+}
+
+void StoreEngine::demand_fetch(std::vector<std::string> pages) {
+  if (fetch_in_flight_ || config_.is_primary) return;
+  fetch_in_flight_ = true;
+  FetchRequest fetch;
+  fetch.have_clock = applied_clock_;
+  fetch.have_gseq = applied_gseq_;
+  fetch.pages = std::move(pages);
+  fetch.want_full =
+      config_.policy.coherence_transfer == CoherenceTransfer::kFull ||
+      (fetch.pages.empty() &&
+       config_.policy.access_transfer == AccessTransfer::kFull &&
+       config_.policy.propagation == Propagation::kInvalidate);
+  // Demand-updates must survive lossy links (Section 4.2: they are the
+  // retransmission mechanism), so the request itself carries a timeout
+  // and retries.
+  comm_.request(config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+                fetch.encode(),
+                [this](bool ok, const Address&, msg::Envelope env) {
+                  fetch_in_flight_ = false;
+                  if (!ok) {
+                    if (demand_retry_budget_ > 0 &&
+                        (outdated_ || !parked_.empty())) {
+                      --demand_retry_budget_;
+                      sim_.schedule_after(sim::SimDuration::millis(50),
+                                          [this] { demand_fetch(); });
+                    }
+                    return;
+                  }
+                  apply_fetch_reply(
+                      FetchReply::decode(util::BytesView(env.body)));
+                },
+                sim::SimDuration::millis(250), /*retries=*/4);
+}
+
+void StoreEngine::apply_fetch_reply(FetchReply reply) {
+  if (reply.not_modified) return;
+  if (reply.full) {
+    SnapshotMsg snap;
+    snap.document = std::move(reply.snapshot);
+    snap.clock = std::move(reply.clock);
+    snap.gseq = reply.gseq;
+    msg::Envelope env;
+    env.body = snap.encode();
+    handle_snapshot(env);
+    return;
+  }
+  std::vector<web::WriteRecord> ready;
+  for (auto& rec : reply.records) {
+    rec.transient_origin = addr_key(config_.upstream);
+    orderer_->admit(std::move(rec), ready);
+  }
+  known_clock_.merge(reply.clock);
+  known_gseq_ = std::max(known_gseq_, reply.gseq);
+  apply_ready(std::move(ready));
+  note_gaps();
+  if (outdated_ &&
+      config_.policy.object_outdate_reaction == OutdateReaction::kDemand &&
+      demand_retry_budget_ > 0) {
+    // Our fetch did not close every gap (e.g. the missing record had not
+    // yet reached our upstream either): retry shortly.
+    --demand_retry_budget_;
+    sim_.schedule_after(sim::SimDuration::millis(25), [this] {
+      if (outdated_) demand_fetch();
+    });
+  }
+}
+
+void StoreEngine::subscribe_to_upstream() {
+  SubscribeMsg sub;
+  sub.subscriber = comm_.local_address();
+  sub.store_id = config_.store_id;
+  sub.store_class = static_cast<std::uint8_t>(config_.store_class);
+  comm_.request(config_.upstream, msg::MsgType::kSubscribe, config_.object,
+                sub.encode(),
+                [this](bool ok, const Address&, msg::Envelope env) {
+                  GLOBE_ASSERT_MSG(ok, "subscribe failed");
+                  SnapshotMsg snap =
+                      SnapshotMsg::decode(util::BytesView(env.body));
+                  semantics_.restore(util::BytesView(snap.document));
+                  applied_clock_.merge(snap.clock);
+                  applied_gseq_ = std::max(applied_gseq_, snap.gseq);
+                  record_snapshot_event();
+                  std::vector<web::WriteRecord> ready;
+                  for (auto& rec : ready) {
+                    rec.transient_origin = addr_key(config_.upstream);
+                  }
+                  orderer_->reset_to(applied_clock_, applied_gseq_, ready);
+                  ready_ = true;
+                  apply_ready(std::move(ready));
+                  note_gaps();
+                  unpark_ready();
+                });
+}
+
+// ---------------------------------------------------------------------
+// Inter-store message handlers
+// ---------------------------------------------------------------------
+
+void StoreEngine::handle_update(const Address& from, msg::Envelope& env) {
+  UpdateMsg m = UpdateMsg::decode(util::BytesView(env.body));
+  known_clock_.merge(m.sender_clock);
+  known_gseq_ = std::max(known_gseq_, m.sender_gseq);
+
+  std::vector<web::WriteRecord> ready;
+  for (auto& rec : m.records) {
+    rec.transient_origin = addr_key(from);
+    if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
+      // Monotonic-writes clients need per-writer order even under
+      // eventual coherence; gate through a PRAM filter first.
+      if (mw_filter_ == nullptr) mw_filter_ = std::make_unique<PramOrderer>();
+      std::vector<web::WriteRecord> gated;
+      mw_filter_->admit(std::move(rec), gated);
+      for (auto& g : gated) orderer_->admit(std::move(g), ready);
+    } else {
+      orderer_->admit(std::move(rec), ready);
+    }
+  }
+  apply_ready(std::move(ready));
+  note_gaps();
+  if (outdated_ &&
+      config_.policy.object_outdate_reaction == OutdateReaction::kDemand &&
+      !config_.is_primary) {
+    demand_fetch();
+  }
+}
+
+void StoreEngine::handle_snapshot(msg::Envelope& env) {
+  SnapshotMsg m = SnapshotMsg::decode(util::BytesView(env.body));
+  // Only move forward: ignore snapshots older than our state.
+  const bool newer = m.clock.dominates(applied_clock_) &&
+                     (m.clock != applied_clock_ || m.gseq > applied_gseq_);
+  if (!newer && !(m.gseq > applied_gseq_)) return;
+  semantics_.restore(util::BytesView(m.document));
+  applied_clock_.merge(m.clock);
+  applied_gseq_ = std::max(applied_gseq_, m.gseq);
+  known_clock_.merge(m.clock);
+  known_gseq_ = std::max(known_gseq_, m.gseq);
+  record_snapshot_event();
+  invalid_pages_.clear();
+  std::vector<web::WriteRecord> ready;
+  orderer_->reset_to(applied_clock_, applied_gseq_, ready);
+  for (auto& rec : ready) rec.transient_origin = addr_key(config_.upstream);
+  apply_ready(std::move(ready));
+  // Forward the (new) state downstream in full-transfer mode.
+  if (config_.policy.coherence_transfer == CoherenceTransfer::kFull &&
+      config_.policy.initiative == TransferInitiative::kPush &&
+      !subscribers_.empty()) {
+    if (config_.policy.instant == TransferInstant::kLazy) {
+      lazy_dirty_ = true;
+      for (const Subscriber& s : subscribers_) {
+        lazy_queues_[addr_key(s.address)];  // mark target; body is snapshot
+      }
+    } else {
+      for (const Subscriber& s : subscribers_) send_coherence(s.address, {});
+    }
+  }
+  note_gaps();
+  unpark_ready();
+}
+
+void StoreEngine::handle_invalidate(const Address& from, msg::Envelope& env) {
+  InvalidateMsg m = InvalidateMsg::decode(util::BytesView(env.body));
+  for (const auto& p : m.pages) invalid_pages_.insert(p);
+  known_clock_.merge(m.known_clock);
+  known_gseq_ = std::max(known_gseq_, m.known_gseq);
+  note_gaps();
+  // Forward invalidations downstream.
+  for (const Subscriber& s : subscribers_) {
+    if (s.address != from) {
+      comm_.send(s.address, msg::MsgType::kInvalidate, config_.object,
+                 env.body);
+    }
+  }
+  if (config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+    std::vector<std::string> pages = m.pages;
+    if (config_.policy.access_transfer == AccessTransfer::kFull) pages.clear();
+    demand_fetch(std::move(pages));
+  }
+}
+
+void StoreEngine::handle_notify(msg::Envelope& env) {
+  NotifyMsg m = NotifyMsg::decode(util::BytesView(env.body));
+  known_clock_.merge(m.known_clock);
+  known_gseq_ = std::max(known_gseq_, m.known_gseq);
+  note_gaps();
+  for (const Subscriber& s : subscribers_) {
+    comm_.send(s.address, msg::MsgType::kNotify, config_.object, env.body);
+  }
+  if (outdated_ &&
+      config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+    demand_fetch();
+  }
+}
+
+void StoreEngine::advertise_clock() {
+  if (subscribers_.empty()) return;
+  NotifyMsg m;
+  m.known_clock = applied_clock_;
+  m.known_gseq = applied_gseq_;
+  const Buffer body = m.encode();
+  for (const Subscriber& s : subscribers_) {
+    comm_.send(s.address, msg::MsgType::kNotify, config_.object, body);
+  }
+}
+
+web::WriteRecord StoreEngine::record_for_page(const std::string& page) const {
+  const auto p = semantics_.document().get(page);
+  web::WriteRecord rec;
+  rec.page = page;
+  if (!p) {
+    rec.op = web::WriteOp::kDelete;
+    return rec;
+  }
+  rec.op = web::WriteOp::kPut;
+  rec.content = p->content;
+  rec.mime = p->mime;
+  rec.wid = p->last_writer;
+  rec.global_seq = p->global_seq;
+  rec.lamport = p->lamport;
+  rec.issued_at_us = p->updated_at_us;
+  return rec;
+}
+
+std::vector<web::WriteRecord> StoreEngine::records_since(
+    const coherence::VectorClock& have, std::uint64_t have_gseq,
+    const std::vector<std::string>& pages) const {
+  std::vector<web::WriteRecord> out;
+  for (const auto& rec : log_) {
+    if (have.covers(rec.wid)) continue;
+    if (rec.global_seq != 0 && rec.global_seq <= have_gseq) continue;
+    if (!pages.empty() &&
+        std::find(pages.begin(), pages.end(), rec.page) == pages.end()) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void StoreEngine::handle_fetch_request(const Address& from,
+                                       msg::Envelope& env) {
+  FetchRequest m = FetchRequest::decode(util::BytesView(env.body));
+  FetchReply rep;
+  rep.clock = applied_clock_;
+  rep.gseq = applied_gseq_;
+
+  if (m.validate_only) {
+    GLOBE_ASSERT_MSG(!m.pages.empty(), "validate requires a page");
+    const auto p = semantics_.document().get(m.pages.front());
+    if (p && m.have_lamport != 0 && p->lamport == m.have_lamport) {
+      rep.not_modified = true;
+    } else if (p) {
+      rep.records.push_back(record_for_page(m.pages.front()));
+    }
+    // Page absent: empty records; the cache serves not-found.
+  } else if (m.want_full) {
+    rep.full = true;
+    rep.snapshot = semantics_.snapshot();
+  } else {
+    rep.records = records_since(m.have_clock, m.have_gseq, m.pages);
+  }
+  comm_.reply(from, msg::MsgType::kFetchReply, config_.object, env.request_id,
+              rep.encode());
+}
+
+void StoreEngine::handle_subscribe(const Address& from, msg::Envelope& env) {
+  SubscribeMsg m = SubscribeMsg::decode(util::BytesView(env.body));
+  auto it = std::find_if(subscribers_.begin(), subscribers_.end(),
+                         [&](const Subscriber& s) {
+                           return s.address == m.subscriber;
+                         });
+  if (it == subscribers_.end()) {
+    subscribers_.push_back(Subscriber{m.subscriber, m.store_id});
+  }
+  SnapshotMsg snap;
+  snap.document = semantics_.snapshot();
+  snap.clock = applied_clock_;
+  snap.gseq = applied_gseq_;
+  comm_.reply(from, msg::MsgType::kSubscribeAck, config_.object,
+              env.request_id, snap.encode());
+}
+
+void StoreEngine::handle_anti_entropy(const Address& from,
+                                      msg::Envelope& env) {
+  AntiEntropyRequest m =
+      AntiEntropyRequest::decode(util::BytesView(env.body));
+  AntiEntropyReply rep;
+  rep.responder_clock = applied_clock_;
+  for (const auto& rec : log_) {
+    if (!m.have_clock.covers(rec.wid)) rep.records.push_back(rec);
+  }
+  comm_.reply(from, msg::MsgType::kAntiEntropyReply, config_.object,
+              env.request_id, rep.encode());
+}
+
+}  // namespace globe::replication

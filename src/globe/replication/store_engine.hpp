@@ -1,0 +1,263 @@
+// Store engine: the replication + control object of a store replica.
+//
+// One StoreEngine embodies a store from Figure 2 (permanent,
+// object-initiated, or client-initiated) of one distributed Web object.
+// It is the paper's replication object and control object fused for one
+// store role:
+//
+//   * it receives encoded client invocations (control object duty),
+//   * decides how they interact with the coherence protocol
+//     (replication object duty) under the object's ReplicationPolicy,
+//   * drives the semantics object (the Web document) and the
+//     communication object.
+//
+// Every coherence model and every Table 1 parameter value runs through
+// this one engine; the model-specific part is the pluggable Orderer plus
+// a handful of policy branches. This mirrors the paper's observation
+// that "the replication objects all have the same interface ... however,
+// the internals differ".
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/history.hpp"
+#include "globe/core/comm.hpp"
+#include "globe/core/policy.hpp"
+#include "globe/core/semantics.hpp"
+#include "globe/metrics/stats.hpp"
+#include "globe/naming/contact.hpp"
+#include "globe/replication/orderer.hpp"
+#include "globe/replication/protocol.hpp"
+#include "globe/sim/simulator.hpp"
+
+namespace globe::replication {
+
+using core::CommunicationObject;
+using core::ReplicationPolicy;
+using core::TransportFactory;
+using net::Address;
+
+/// How a client-initiated store keeps itself coherent. kGlobe subscribes
+/// to the object's propagation graph (the paper's approach); the other
+/// two are the baseline Web cache protocols from Section 1.
+enum class CacheMode : std::uint8_t {
+  kGlobe = 0,
+  kCheckOnRead = 1,  // validate with upstream on every read
+  kTtl = 2,          // serve until an expiration time, then refetch
+};
+
+[[nodiscard]] inline const char* to_string(CacheMode m) {
+  switch (m) {
+    case CacheMode::kGlobe: return "globe";
+    case CacheMode::kCheckOnRead: return "check-on-read";
+    case CacheMode::kTtl: return "ttl";
+  }
+  return "?";
+}
+
+struct StoreConfig {
+  ObjectId object = 1;
+  StoreId store_id = 0;
+  naming::StoreClass store_class = naming::StoreClass::kPermanent;
+  bool is_primary = false;
+  Address upstream;  // propagation parent; invalid for the primary
+  ReplicationPolicy policy;
+  CacheMode cache_mode = CacheMode::kGlobe;
+  sim::SimDuration ttl = sim::SimDuration::seconds(60);
+  /// Subscribe to upstream at construction (Globe mode, non-primary).
+  bool auto_subscribe = true;
+};
+
+class StoreEngine {
+ public:
+  StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
+              StoreConfig config, coherence::History* history = nullptr,
+              metrics::MetricsSink* metrics = nullptr);
+  ~StoreEngine();
+
+  StoreEngine(const StoreEngine&) = delete;
+  StoreEngine& operator=(const StoreEngine&) = delete;
+
+  [[nodiscard]] Address address() const { return comm_.local_address(); }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+  [[nodiscard]] StoreId id() const { return config_.store_id; }
+
+  /// Local state inspection (tests / examples).
+  [[nodiscard]] const web::WebDocument& document() const {
+    return semantics_.document();
+  }
+  [[nodiscard]] const coherence::VectorClock& applied_clock() const {
+    return applied_clock_;
+  }
+  [[nodiscard]] std::uint64_t applied_gseq() const { return applied_gseq_; }
+  [[nodiscard]] bool outdated() const { return outdated_; }
+  [[nodiscard]] std::size_t parked_requests() const { return parked_.size(); }
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return subscribers_.size();
+  }
+  [[nodiscard]] bool ready() const { return ready_; }
+
+  /// Seeds initial content directly (primary only; used to set up the
+  /// document before clients bind, like uploading files to a Web server).
+  void seed(const std::string& page, const std::string& content,
+            const std::string& mime = "text/html");
+
+  /// This store's contact point for the location service.
+  [[nodiscard]] naming::ContactPoint contact() const;
+
+  /// Stops periodic timers and performs one final lazy flush / pull so
+  /// in-flight coherence state drains. Used by Testbed::settle() to let
+  /// the simulation reach quiescence.
+  void finalize_propagation();
+
+  /// Replaces the implementation parameters of the object's strategy at
+  /// runtime and propagates the change to every downstream store
+  /// (Section 3.2.2: standardized interfaces make strategies dynamically
+  /// replaceable; Section 5 names self-adaptive policies as future
+  /// work). The coherence model itself cannot change (the orderer state
+  /// is model-specific); returns false and leaves the store untouched if
+  /// the new policy is invalid or alters the model.
+  bool update_policy(const core::ReplicationPolicy& policy);
+
+  /// Operation counters driving adaptive policy decisions.
+  [[nodiscard]] std::uint64_t reads_served() const { return reads_served_; }
+  [[nodiscard]] std::uint64_t writes_applied() const {
+    return writes_applied_;
+  }
+
+ private:
+  struct Parked {
+    Address from;
+    std::uint64_t request_id = 0;
+    ClientRequest request;
+  };
+
+  // ---- message dispatch ----
+  void on_message(const Address& from, msg::Envelope env);
+  void handle_client_request(const Address& from, std::uint64_t request_id,
+                             ClientRequest req);
+  void handle_write_forward(const Address& from, msg::Envelope& env);
+  void handle_update(const Address& from, msg::Envelope& env);
+  void handle_snapshot(msg::Envelope& env);
+  void handle_invalidate(const Address& from, msg::Envelope& env);
+  void handle_notify(msg::Envelope& env);
+  void handle_fetch_request(const Address& from, msg::Envelope& env);
+  void handle_subscribe(const Address& from, msg::Envelope& env);
+  void handle_anti_entropy(const Address& from, msg::Envelope& env);
+
+  // ---- write path ----
+  [[nodiscard]] bool accepts_writes() const;
+  void accept_write(const Address& reply_to, std::uint64_t request_id,
+                    ClientRequest req);
+  void apply_ready(std::vector<web::WriteRecord> ready);
+  void note_gaps();
+
+  // ---- read path ----
+  void serve_read(const Address& from, std::uint64_t request_id,
+                  const ClientRequest& req);
+  [[nodiscard]] bool requirement_satisfied(const ClientRequest& req) const;
+  [[nodiscard]] bool needs_page_fetch(const ClientRequest& req) const;
+  void park(const Address& from, std::uint64_t request_id, ClientRequest req);
+  void unpark_ready();
+
+  // ---- baselines ----
+  void serve_read_check_on_read(const Address& from, std::uint64_t request_id,
+                                ClientRequest req);
+  void serve_read_ttl(const Address& from, std::uint64_t request_id,
+                      ClientRequest req);
+
+  // ---- propagation ----
+  void propagate(const std::vector<web::WriteRecord>& recs);
+  void send_coherence(const Address& to,
+                      const std::vector<web::WriteRecord>& recs);
+  void flush_lazy();
+  void pull_from_upstream();
+  void advertise_clock();
+  void configure_timers();
+  void handle_policy_update(const Address& from, msg::Envelope& env);
+  void demand_fetch(std::vector<std::string> pages = {});
+  void apply_fetch_reply(FetchReply reply);
+  void subscribe_to_upstream();
+
+  // ---- helpers ----
+  [[nodiscard]] bool enforces_model() const;
+  [[nodiscard]] bool multi_master() const;
+  void record_apply(const web::WriteRecord& rec, bool changed);
+  void record_snapshot_event();
+  [[nodiscard]] InvokeReply make_read_reply(const ClientRequest& req);
+  void reply_invoke(const Address& to, std::uint64_t request_id,
+                    const InvokeReply& rep);
+  [[nodiscard]] std::vector<web::WriteRecord> records_since(
+      const coherence::VectorClock& have, std::uint64_t have_gseq,
+      const std::vector<std::string>& pages) const;
+  [[nodiscard]] web::WriteRecord record_for_page(const std::string& page) const;
+
+  class TrafficAdapter final : public core::TrafficObserver {
+   public:
+    explicit TrafficAdapter(metrics::MetricsSink* sink) : sink_(sink) {}
+    void on_send(msg::MsgType type, std::size_t bytes) override {
+      if (sink_ != nullptr) {
+        sink_->on_message(static_cast<std::uint8_t>(type), bytes);
+      }
+    }
+
+   private:
+    metrics::MetricsSink* sink_;
+  };
+
+  sim::Simulator& sim_;
+  StoreConfig config_;
+  TrafficAdapter traffic_;
+  CommunicationObject comm_;
+  core::WebSemanticsObject semantics_;
+  std::unique_ptr<Orderer> orderer_;
+  std::unique_ptr<Orderer> mw_filter_;  // per-writer order for MW clients
+
+  coherence::VectorClock applied_clock_;
+  coherence::VectorClock known_clock_;  // heard of via notify/invalidate
+  std::uint64_t applied_gseq_ = 0;
+  std::uint64_t known_gseq_ = 0;
+  std::uint64_t next_gseq_ = 0;  // primary only: total-order counter
+  std::uint64_t lamport_ = 0;
+
+  std::vector<web::WriteRecord> log_;  // applied records, in apply order
+  struct Subscriber {
+    Address address;
+    StoreId store_id;
+  };
+  std::vector<Subscriber> subscribers_;
+  std::map<std::uint64_t, std::vector<web::WriteRecord>> lazy_queues_;
+  bool lazy_dirty_ = false;  // for notify/full lazy transfers
+  std::optional<sim::PeriodicTimer> lazy_timer_;
+  std::optional<sim::PeriodicTimer> pull_timer_;
+  std::optional<sim::PeriodicTimer> heartbeat_timer_;
+
+  std::vector<Parked> parked_;
+  // Writes buffered by the orderer whose client still awaits an ack.
+  std::map<coherence::WriteId, std::pair<Address, std::uint64_t>>
+      pending_write_acks_;
+  std::set<std::string> invalid_pages_;
+  std::map<std::string, sim::SimTime> fetched_at_;  // TTL bookkeeping
+  bool outdated_ = false;
+  bool fetch_in_flight_ = false;
+  bool ready_ = false;
+  bool unparking_ = false;  // reentrancy guard for unpark_ready()
+  // Bounds demand-fetch retry loops when a required write never arrives
+  // (the request then effectively degrades to wait).
+  int demand_retry_budget_ = 100;
+
+  std::uint64_t reads_served_ = 0;
+  std::uint64_t writes_applied_ = 0;
+
+  coherence::History* history_;
+  metrics::MetricsSink* metrics_;
+};
+
+}  // namespace globe::replication

@@ -1,0 +1,175 @@
+#include "globe/replication/testbed.hpp"
+
+#include "globe/util/assert.hpp"
+
+namespace globe::replication {
+
+Testbed::Testbed(TestbedOptions options)
+    : options_(options), sim_(), net_(sim_, options.seed) {
+  net_.set_default_link(options_.wan);
+  const NodeId naming_node = add_node("naming");
+  naming_ = std::make_unique<naming::NamingServer>(factory(naming_node), &sim_);
+}
+
+NodeId Testbed::add_node(std::string name) {
+  const NodeId node = net_.add_node(std::move(name));
+  next_port_[node] = 1;
+  return node;
+}
+
+core::TransportFactory Testbed::factory(NodeId node) {
+  return [this, node](net::MessageHandler handler)
+             -> std::unique_ptr<net::Transport> {
+    const PortId port = next_port_.at(node)++;
+    return std::make_unique<net::SimTransport>(
+        net_, net::Address{node, port}, std::move(handler));
+  };
+}
+
+StoreEngine& Testbed::add_store_impl(StoreConfig cfg, std::string node_name) {
+  const NodeId node = add_node(std::move(node_name));
+  auto store = std::make_unique<StoreEngine>(
+      factory(node), sim_, std::move(cfg),
+      options_.record_history ? &history_ : nullptr, &metrics_);
+  StoreEngine& ref = *store;
+  stores_.push_back(std::move(store));
+  return ref;
+}
+
+StoreEngine& Testbed::add_primary(ObjectId object,
+                                  const core::ReplicationPolicy& policy,
+                                  std::string node_name) {
+  GLOBE_ASSERT_MSG(primaries_.find(object) == primaries_.end(),
+                   "object already has a primary");
+  StoreConfig cfg;
+  cfg.object = object;
+  cfg.store_id = next_store_id_++;
+  cfg.store_class = naming::StoreClass::kPermanent;
+  cfg.is_primary = true;
+  cfg.policy = policy;
+  StoreEngine& ref = add_store_impl(std::move(cfg), std::move(node_name));
+  primaries_[object] = &ref;
+  return ref;
+}
+
+StoreEngine& Testbed::add_store(ObjectId object,
+                                naming::StoreClass store_class,
+                                const core::ReplicationPolicy& policy,
+                                net::Address upstream,
+                                std::string node_name) {
+  StoreConfig cfg;
+  cfg.object = object;
+  cfg.store_id = next_store_id_++;
+  cfg.store_class = store_class;
+  cfg.is_primary = false;
+  cfg.upstream = upstream.valid() ? upstream : primary(object).address();
+  cfg.policy = policy;
+  if (node_name.empty()) {
+    node_name = std::string(naming::to_string(store_class)) + "-" +
+                std::to_string(cfg.store_id);
+  }
+  return add_store_impl(std::move(cfg), std::move(node_name));
+}
+
+StoreEngine& Testbed::add_baseline_cache(ObjectId object, CacheMode mode,
+                                         sim::SimDuration ttl,
+                                         const core::ReplicationPolicy& policy,
+                                         net::Address upstream,
+                                         std::string node_name) {
+  GLOBE_ASSERT(mode != CacheMode::kGlobe);
+  StoreConfig cfg;
+  cfg.object = object;
+  cfg.store_id = next_store_id_++;
+  cfg.store_class = naming::StoreClass::kClientInitiated;
+  cfg.is_primary = false;
+  cfg.upstream = upstream.valid() ? upstream : primary(object).address();
+  cfg.policy = policy;
+  cfg.cache_mode = mode;
+  cfg.ttl = ttl;
+  if (node_name.empty()) {
+    node_name = std::string(to_string(mode)) + "-" +
+                std::to_string(cfg.store_id);
+  }
+  return add_store_impl(std::move(cfg), std::move(node_name));
+}
+
+ClientBinding& Testbed::add_client(ObjectId object,
+                                   coherence::ClientModel session,
+                                   net::Address read_store,
+                                   net::Address write_store,
+                                   std::string node_name) {
+  if (node_name.empty()) {
+    node_name = "client-" + std::to_string(next_client_id_);
+  }
+  const NodeId node = add_node(std::move(node_name));
+  if (!read_store.valid()) read_store = primary(object).address();
+  return add_client_at(node, object, session, read_store, write_store);
+}
+
+ClientBinding& Testbed::add_client_at(NodeId node, ObjectId object,
+                                      coherence::ClientModel session,
+                                      net::Address read_store,
+                                      net::Address write_store) {
+  BindOptions opts;
+  opts.object = object;
+  opts.client = next_client_id_++;
+  opts.session = session;
+  opts.read_store = read_store;
+  auto pit = primaries_.find(object);
+  if (pit != primaries_.end()) {
+    opts.object_model = pit->second->config().policy.model;
+    const bool single_master =
+        opts.object_model != coherence::ObjectModel::kCausal &&
+        opts.object_model != coherence::ObjectModel::kEventual;
+    opts.write_store = write_store.valid()
+                           ? write_store
+                           : (single_master ? pit->second->address()
+                                            : read_store);
+  } else if (write_store.valid()) {
+    opts.write_store = write_store;
+  }
+  auto client = std::make_unique<ClientBinding>(
+      factory(node), sim_, std::move(opts),
+      options_.record_history ? &history_ : nullptr, &metrics_);
+  ClientBinding& ref = *client;
+  clients_.push_back(std::move(client));
+  return ref;
+}
+
+void Testbed::flush_propagation() {
+  for (auto& s : stores_) s->finalize_propagation();
+}
+
+void Testbed::settle() {
+  sim_.run();
+  // Repeated flush rounds drain propagation chains (primary -> mirror
+  // -> cache) even in lazy/pull modes.
+  for (int round = 0; round < 8; ++round) {
+    flush_propagation();
+    sim_.run();
+  }
+}
+
+bool Testbed::converged(ObjectId object) const {
+  const StoreEngine* primary = nullptr;
+  auto pit = primaries_.find(object);
+  if (pit == primaries_.end()) return false;
+  primary = pit->second;
+  for (const auto& s : stores_) {
+    if (s->config().object != object) continue;
+    if (s->config().cache_mode != CacheMode::kGlobe) continue;
+    if (!(s->document() == primary->document())) return false;
+  }
+  return true;
+}
+
+void Testbed::publish(ObjectId object, const std::string& name) {
+  naming_->register_name(name, object);
+  for (const auto& s : stores_) {
+    if (s->config().object == object) {
+      naming_->register_contact(object, s->contact());
+    }
+  }
+}
+
+}  // namespace globe::replication

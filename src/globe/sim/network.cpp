@@ -1,0 +1,71 @@
+#include "globe/sim/network.hpp"
+
+#include "globe/util/assert.hpp"
+#include "globe/util/log.hpp"
+
+namespace globe::sim {
+
+void Network::bind(const Address& at, Handler handler) {
+  GLOBE_ASSERT_MSG(at.node < node_names_.size(), "bind to unknown node");
+  GLOBE_ASSERT_MSG(handlers_.find(at) == handlers_.end(),
+                   "endpoint already bound");
+  handlers_.emplace(at, std::move(handler));
+}
+
+void Network::set_link(NodeId a, NodeId b, const LinkSpec& spec) {
+  links_[pair_key(a, b)] = spec;
+}
+
+void Network::send(const Address& from, const Address& to, Buffer payload) {
+  GLOBE_ASSERT_MSG(from.node < node_names_.size(), "send from unknown node");
+  GLOBE_ASSERT_MSG(to.node < node_names_.size(), "send to unknown node");
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  if (partitions_.count(pair_key(from.node, to.node)) > 0) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const LinkSpec& spec = link(from.node, to.node);
+  if (!spec.reliable_ordered && spec.drop_rate > 0.0 &&
+      rng_.chance(spec.drop_rate)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  SimDuration delay = spec.base_latency;
+  if (from.node == to.node) delay = SimDuration::micros(10);  // local loop
+  if (spec.jitter.count_micros() > 0) {
+    delay = delay + SimDuration(static_cast<std::int64_t>(
+                        rng_.below(static_cast<std::uint64_t>(
+                            spec.jitter.count_micros() + 1))));
+  }
+
+  SimTime deliver_at = sim_.now() + delay;
+  if (spec.reliable_ordered) {
+    const std::uint64_t directed =
+        (static_cast<std::uint64_t>(from.node) << 32) | to.node;
+    auto [it, _] = last_delivery_.try_emplace(directed, deliver_at);
+    if (deliver_at < it->second) deliver_at = it->second;
+    it->second = deliver_at;
+  }
+
+  const std::size_t size = payload.size();
+  sim_.schedule_at(
+      deliver_at,
+      [this, from, to, size, payload = std::move(payload)]() mutable {
+        auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          // Endpoint disappeared (e.g. store torn down); count as a drop.
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        stats_.bytes_delivered += size;
+        it->second(from, BytesView(payload));
+      });
+}
+
+}  // namespace globe::sim

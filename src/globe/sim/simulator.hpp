@@ -1,0 +1,217 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator owns a virtual clock and an event queue ordered by
+// (time, insertion sequence). All protocol activity in the simulated
+// configuration — message delivery, periodic propagation timers, client
+// think time — is expressed as scheduled events. Determinism: two runs
+// with the same seed and the same schedule produce identical histories.
+//
+// Events come in two kinds:
+//   * foreground — real protocol work (message deliveries, timeouts);
+//   * background — self-rearming periodic timers (lazy push, pull poll).
+// run() executes events until no FOREGROUND work remains; background
+// timers alone never keep the simulation alive, which is what lets a
+// test harness "run to quiescence" even when stores poll periodically.
+// run_until() is purely time-bounded and executes both kinds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "globe/util/assert.hpp"
+#include "globe/util/time.hpp"
+
+namespace globe::sim {
+
+using util::SimDuration;
+using util::SimTime;
+
+/// Handle for a scheduled event; used to cancel timers.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now).
+  EventId schedule_at(SimTime t, Callback cb) {
+    return schedule_impl(t, std::move(cb), /*background=*/false);
+  }
+
+  /// Schedules `cb` to run `d` after the current time.
+  EventId schedule_after(SimDuration d, Callback cb) {
+    return schedule_impl(now_ + d, std::move(cb), /*background=*/false);
+  }
+
+  /// Schedules a background event (periodic-timer tick): it fires at its
+  /// time like any other event, but does not count as pending work for
+  /// run().
+  EventId schedule_background_after(SimDuration d, Callback cb) {
+    return schedule_impl(now_ + d, std::move(cb), /*background=*/true);
+  }
+
+  /// Cancels a pending event. Cancelling an already-run or unknown event
+  /// is a no-op, which makes timer management in protocols simple.
+  void cancel(EventId id) {
+    auto it = kind_.find(id);
+    if (it == kind_.end()) return;  // already ran
+    if (!it->second) --foreground_pending_;
+    it->second = true;  // neutralize: treat as background + mark cancelled
+    cancelled_.insert(id);
+  }
+
+  /// Runs a single event (foreground or background). Returns false if
+  /// the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = pop();
+      const bool was_cancelled = cancelled_.erase(ev.id) > 0;
+      auto kit = kind_.find(ev.id);
+      if (kit != kind_.end()) {
+        if (!kit->second) --foreground_pending_;
+        kind_.erase(kit);
+      }
+      if (was_cancelled) continue;
+      now_ = ev.at;
+      ++events_run_;
+      ev.cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Runs until no foreground events remain. Background timer ticks due
+  /// before the last foreground event still execute (and may spawn new
+  /// foreground work, which extends the run). Returns events executed.
+  std::size_t run() {
+    std::size_t n = 0;
+    while (foreground_pending_ > 0 && step()) ++n;
+    return n;
+  }
+
+  /// Runs all events (both kinds) with time <= t, then advances the
+  /// clock to exactly t.
+  std::size_t run_until(SimTime t) {
+    std::size_t n = 0;
+    for (;;) {
+      prune_cancelled_head();
+      if (queue_.empty() || queue_.top().at > t) break;
+      if (step()) ++n;
+    }
+    if (now_ < t) now_ = t;
+    return n;
+  }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
+
+  /// Pending foreground work.
+  [[nodiscard]] std::size_t pending() const { return foreground_pending_; }
+  [[nodiscard]] bool idle() const { return foreground_pending_ == 0; }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  EventId schedule_impl(SimTime t, Callback cb, bool background) {
+    GLOBE_ASSERT_MSG(t >= now_, "cannot schedule event in the past");
+    const EventId id = next_id_++;
+    queue_.push(Event{t, id, std::move(cb)});
+    kind_.emplace(id, background);
+    if (!background) ++foreground_pending_;
+    return id;
+  }
+
+  Event pop() {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  /// Discards cancelled events at the head so queue_.top() reflects the
+  /// next event that will actually execute (run_until relies on this
+  /// when comparing against its time bound).
+  void prune_cancelled_head() {
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      kind_.erase(queue_.top().id);  // cancel() already fixed the count
+      queue_.pop();
+    }
+  }
+
+  SimTime now_{};
+  EventId next_id_ = 1;
+  std::uint64_t events_run_ = 0;
+  std::size_t foreground_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<EventId, bool> kind_;  // id -> background?
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Convenience: a repeating timer that reschedules itself until stopped.
+/// Timer ticks are background events: they never keep Simulator::run()
+/// alive on their own.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(pending_);
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+  void set_period(SimDuration p) { period_ = p; }
+
+ private:
+  void arm() {
+    pending_ = sim_.schedule_background_after(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+}  // namespace globe::sim

@@ -1,0 +1,34 @@
+// Lightweight always-on assertion macro for internal invariants.
+//
+// GLOBE_ASSERT is enabled in all build types: the library is a research
+// artifact where silent invariant violations would invalidate experiment
+// results, so we prefer a crash with a message over undefined behaviour.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace globe::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "GLOBE_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace globe::util
+
+#define GLOBE_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::globe::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                   \
+  } while (false)
+
+#define GLOBE_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::globe::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,191 @@
+// Byte buffers and a small bounds-checked binary codec.
+//
+// All wire traffic in the library — invocation messages, replication
+// protocol messages, naming requests — is encoded with Writer and decoded
+// with Reader. The format is deliberately simple and deterministic:
+//   * fixed-width little-endian integers,
+//   * LEB128-style varints for lengths and optional compactness,
+//   * length-prefixed strings / byte blobs.
+// Reader throws CodecError on any out-of-bounds or malformed read, so a
+// corrupted or truncated message can never silently yield garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace globe::util {
+
+/// Error thrown by Reader on malformed or truncated input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Owned byte buffer used for all message payloads.
+using Buffer = std::vector<std::byte>;
+
+/// View over immutable bytes.
+using BytesView = std::span<const std::byte>;
+
+inline Buffer to_buffer(std::string_view s) {
+  Buffer b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Appends binary data to a Buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Buffer initial) : out_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Unsigned LEB128 varint; used for lengths.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(BytesView b) {
+    varint(b.size());
+    raw(b);
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    out_.insert(out_.end(), reinterpret_cast<const std::byte*>(s.data()),
+                reinterpret_cast<const std::byte*>(s.data() + s.size()));
+  }
+
+  /// Appends bytes without a length prefix.
+  void raw(BytesView b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] Buffer take() { return std::move(out_); }
+  [[nodiscard]] const Buffer& view() const { return out_; }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  Buffer out_;
+};
+
+/// Reads binary data from a byte view with bounds checking.
+class Reader {
+ public:
+  explicit Reader(BytesView in) : in_(in) {}
+  explicit Reader(const Buffer& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw CodecError("invalid boolean encoding");
+    return v == 1;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t result = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw CodecError("varint too long");
+      const std::uint8_t byte = u8();
+      result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return result;
+  }
+
+  BytesView bytes() {
+    const std::uint64_t n = varint();
+    need(n);
+    BytesView v = in_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::string str() {
+    BytesView v = bytes();
+    return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+
+  Buffer bytes_copy() {
+    BytesView v = bytes();
+    return Buffer(v.begin(), v.end());
+  }
+
+  /// Remaining unread bytes.
+  [[nodiscard]] BytesView rest() const { return in_.subspan(pos_); }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == in_.size(); }
+
+  /// Requires all input to have been consumed; call at end of decode.
+  void expect_end() const {
+    if (!at_end()) throw CodecError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > in_.size() - pos_) throw CodecError("read past end of buffer");
+  }
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(in_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace globe::util

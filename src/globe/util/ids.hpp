@@ -1,0 +1,30 @@
+// Shared identifier types used across layers.
+//
+// These are plain aliases rather than strong types: they cross module
+// boundaries constantly (wire encoding, map keys, logging) and the
+// naming convention keeps them distinct in practice.
+#pragma once
+
+#include <cstdint>
+
+namespace globe {
+
+/// Identifies an address space (a machine/process) in the system.
+using NodeId = std::uint32_t;
+
+/// Demultiplexing port within a node; each local object or service binds one.
+using PortId = std::uint16_t;
+
+/// Identifies a distributed shared object (a Web document).
+using ObjectId = std::uint64_t;
+
+/// Identifies a client process (e.g. a browser or the Web master).
+using ClientId = std::uint32_t;
+
+/// Identifies a store replica of an object (node-scoped role instance).
+using StoreId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr StoreId kInvalidStore = 0xFFFFFFFFu;
+
+}  // namespace globe

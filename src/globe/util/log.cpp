@@ -1,0 +1,23 @@
+#include "globe/util/log.hpp"
+
+namespace globe::util {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+void log_line(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  const char* prefix = level == LogLevel::kError  ? "E"
+                       : level == LogLevel::kInfo ? "I"
+                                                  : "D";
+  std::fprintf(stderr, "[%s %s] ", prefix, tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace globe::util

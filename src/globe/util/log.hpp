@@ -1,0 +1,29 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (tests and benches must stay quiet); examples
+// turn it on to narrate protocol activity. The logger is process-global
+// and intentionally simple: printf-style formatting to stderr.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace globe::util {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Returns the mutable global log level.
+LogLevel& log_level();
+
+/// Emits a log line if `level` is enabled. printf-style.
+void log_line(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace globe::util
+
+#define GLOBE_LOG_ERROR(tag, ...) \
+  ::globe::util::log_line(::globe::util::LogLevel::kError, (tag), __VA_ARGS__)
+#define GLOBE_LOG_INFO(tag, ...) \
+  ::globe::util::log_line(::globe::util::LogLevel::kInfo, (tag), __VA_ARGS__)
+#define GLOBE_LOG_DEBUG(tag, ...) \
+  ::globe::util::log_line(::globe::util::LogLevel::kDebug, (tag), __VA_ARGS__)

@@ -1,0 +1,84 @@
+// Simulated time types.
+//
+// The discrete-event simulator advances a virtual clock measured in
+// microseconds. Strong types keep simulated durations from being mixed
+// with wall-clock values by accident.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace globe::util {
+
+/// Duration in simulated microseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimDuration micros(std::int64_t v) { return SimDuration(v); }
+  static constexpr SimDuration millis(std::int64_t v) {
+    return SimDuration(v * 1000);
+  }
+  static constexpr SimDuration seconds(std::int64_t v) {
+    return SimDuration(v * 1'000'000);
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return micros_; }
+  [[nodiscard]] constexpr double count_millis() const {
+    return static_cast<double>(micros_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double count_seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(micros_ + o.micros_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(micros_ - o.micros_);
+  }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration(micros_ * k);
+  }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration(micros_ / k);
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Absolute simulated time (microseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return micros_; }
+  [[nodiscard]] constexpr double count_seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(micros_ + d.count_micros());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration(micros_ - o.micros_);
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.count_micros()) + "us";
+}
+inline std::string to_string(SimDuration d) {
+  return std::to_string(d.count_micros()) + "us";
+}
+
+}  // namespace globe::util

@@ -1,0 +1,87 @@
+#include "globe/web/document.hpp"
+
+namespace globe::web {
+
+bool WebDocument::apply(const WriteRecord& rec) {
+  if (rec.op == WriteOp::kDelete) {
+    return pages_.erase(rec.page) > 0;
+  }
+  Page& p = pages_[rec.page];
+  p.content = rec.content;
+  p.mime = rec.mime;
+  p.last_writer = rec.wid;
+  p.global_seq = rec.global_seq;
+  p.lamport = rec.lamport;
+  p.updated_at_us = rec.issued_at_us;
+  return true;
+}
+
+bool WebDocument::apply_lww(const WriteRecord& rec) {
+  auto it = pages_.find(rec.page);
+  if (it != pages_.end()) {
+    const Page& cur = it->second;
+    // Higher Lamport timestamp wins; ties broken by writer id then seq so
+    // that all replicas decide identically.
+    const auto cur_key =
+        std::tuple(cur.lamport, cur.last_writer.client, cur.last_writer.seq);
+    const auto new_key =
+        std::tuple(rec.lamport, rec.wid.client, rec.wid.seq);
+    if (new_key <= cur_key) return false;
+  }
+  return apply(rec);
+}
+
+std::optional<Page> WebDocument::get(const std::string& page) const {
+  auto it = pages_.find(page);
+  if (it == pages_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> WebDocument::page_names() const {
+  std::vector<std::string> names;
+  names.reserve(pages_.size());
+  for (const auto& [name, _] : pages_) names.push_back(name);
+  return names;
+}
+
+std::size_t WebDocument::content_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, p] : pages_) total += p.content.size();
+  return total;
+}
+
+util::Buffer WebDocument::snapshot() const {
+  util::Writer w;
+  w.varint(pages_.size());
+  for (const auto& [name, p] : pages_) {
+    w.str(name);
+    w.str(p.content);
+    w.str(p.mime);
+    p.last_writer.encode(w);
+    w.varint(p.global_seq);
+    w.varint(p.lamport);
+    w.i64(p.updated_at_us);
+  }
+  return w.take();
+}
+
+void WebDocument::restore(util::BytesView snapshot) {
+  util::Reader r(snapshot);
+  std::map<std::string, Page> pages;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    Page p;
+    p.content = r.str();
+    p.mime = r.str();
+    p.last_writer = coherence::WriteId::decode(r);
+    p.global_seq = r.varint();
+    p.lamport = r.varint();
+    p.updated_at_us = r.i64();
+    pages.emplace(std::move(name), std::move(p));
+  }
+  r.expect_end();
+  pages_ = std::move(pages);
+}
+
+}  // namespace globe::web

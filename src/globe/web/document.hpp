@@ -1,0 +1,67 @@
+// Web documents: the state of a distributed Web object.
+//
+// Section 2 of the paper: "A Web document consists of a collection of
+// HTML pages, together with files for images, applets, etc., which
+// jointly comprise the state of the distributed shared object."
+//
+// WebDocument is the semantics-object state: a set of named pages, each
+// remembering which write produced it. Applying a WriteRecord mutates the
+// document; snapshots support full-state coherence transfer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "globe/coherence/write_id.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/web/write_record.hpp"
+
+namespace globe::web {
+
+struct Page {
+  std::string content;
+  std::string mime = "text/html";
+  WriteId last_writer;           // WiD of the write that produced it
+  std::uint64_t global_seq = 0;  // total-order position of that write
+  std::uint64_t lamport = 0;     // LWW timestamp of that write
+  std::int64_t updated_at_us = 0;
+
+  friend bool operator==(const Page&, const Page&) = default;
+};
+
+class WebDocument {
+ public:
+  /// Applies a write record unconditionally (ordering was decided by the
+  /// replication object). Returns false if the record was a no-op delete.
+  bool apply(const WriteRecord& rec);
+
+  /// Applies a record only if it wins last-writer-wins against the
+  /// current page version (used by eventual coherence). Returns true if
+  /// the document changed.
+  bool apply_lww(const WriteRecord& rec);
+
+  [[nodiscard]] std::optional<Page> get(const std::string& page) const;
+  [[nodiscard]] bool has(const std::string& page) const {
+    return pages_.find(page) != pages_.end();
+  }
+  [[nodiscard]] std::vector<std::string> page_names() const;
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+  /// Total content bytes; approximates document transfer size.
+  [[nodiscard]] std::size_t content_bytes() const;
+
+  /// Full-state snapshot (coherence transfer type = full).
+  [[nodiscard]] util::Buffer snapshot() const;
+  void restore(util::BytesView snapshot);
+
+  /// Structural equality of page contents (used by convergence checks).
+  friend bool operator==(const WebDocument&, const WebDocument&) = default;
+
+ private:
+  std::map<std::string, Page> pages_;
+};
+
+}  // namespace globe::web

@@ -1,0 +1,29 @@
+// Synthetic page content generation.
+#pragma once
+
+#include <string>
+
+#include "globe/util/rng.hpp"
+
+namespace globe::workload {
+
+/// Produces `bytes` of deterministic pseudo-HTML content.
+inline std::string make_content(util::Rng& rng, std::size_t bytes,
+                                std::string_view tag = "p") {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz     ABCDEFGHIJKLMNOPQRSTUVWXYZ.,";
+  std::string out;
+  out.reserve(bytes + 16);
+  out += "<";
+  out += tag;
+  out += ">";
+  while (out.size() < bytes) {
+    out += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  out += "</";
+  out += tag;
+  out += ">";
+  return out;
+}
+
+}  // namespace globe::workload

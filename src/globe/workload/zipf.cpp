@@ -1,0 +1,28 @@
+#include "globe/workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "globe/util/assert.hpp"
+
+namespace globe::workload {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s) {
+  GLOBE_ASSERT(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfGenerator::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace globe::workload

@@ -1,0 +1,26 @@
+// Zipf-distributed popularity, the standard model for Web page access.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "globe/util/rng.hpp"
+
+namespace globe::workload {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^s.
+/// s = 0 degenerates to uniform; s ~ 0.8-1.0 models Web popularity.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Draws one rank using the provided generator.
+  std::size_t sample(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative distribution, cdf_.back() == 1
+};
+
+}  // namespace globe::workload

@@ -1,0 +1,228 @@
+// Tests for the baseline Web cache consistency protocols of Section 1:
+// check-on-read (If-Modified-Since validation: "never returns an
+// outdated page") and TTL/expiration caching ("it is possible that a
+// cached page is stale").
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "globe/replication/testbed.hpp"
+
+namespace globe::replication {
+namespace {
+
+using coherence::ClientModel;
+using core::ReplicationPolicy;
+
+constexpr ObjectId kObj = 1;
+
+ReplicationPolicy server_policy() {
+  ReplicationPolicy p;
+  p.instant = core::TransferInstant::kImmediate;
+  // Baseline caches serve single pages, not whole-document transfers.
+  p.access_transfer = core::AccessTransfer::kPartial;
+  return p;
+}
+
+TEST(CheckOnRead, NeverReturnsOutdatedPage) {
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("p", "v0");
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kCheckOnRead,
+                                       sim::SimDuration::seconds(0),
+                                       server_policy());
+  bed.settle();
+
+  auto& writer = bed.add_client(kObj, ClientModel::kNone);
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+
+  std::optional<ReadResult> r;
+  reader.read("p", [&](ReadResult res) { r = std::move(res); });
+  bed.settle();
+  ASSERT_TRUE(r && r->ok);
+  EXPECT_EQ(r->content, "v0");
+
+  writer.write("p", "v1", [](WriteResult) {});
+  bed.settle();
+
+  r.reset();
+  reader.read("p", [&](ReadResult res) { r = std::move(res); });
+  bed.settle();
+  ASSERT_TRUE(r && r->ok);
+  EXPECT_EQ(r->content, "v1");  // validation caught the change
+}
+
+TEST(CheckOnRead, NotModifiedAvoidsContentTransfer) {
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("big", std::string(50'000, 'x'));
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kCheckOnRead,
+                                       sim::SimDuration::seconds(0),
+                                       server_policy());
+  bed.settle();
+
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+  reader.read("big", [](ReadResult) {});  // first read: full fetch
+  bed.settle();
+  const auto after_first = bed.net().stats().bytes_sent;
+
+  reader.read("big", [](ReadResult) {});  // second read: 304-style check
+  bed.settle();
+  const auto second_read_bytes = bed.net().stats().bytes_sent - after_first;
+  EXPECT_LT(second_read_bytes, 52'000u);  // page moved cache->client once,
+                                          // but NOT server->cache again
+}
+
+TEST(CheckOnRead, EveryReadCostsAnUpstreamRoundTrip) {
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("p", "v");
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kCheckOnRead,
+                                       sim::SimDuration::seconds(0),
+                                       server_policy());
+  bed.settle();
+  bed.metrics().reset();
+
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+  for (int i = 0; i < 7; ++i) {
+    reader.read("p", [](ReadResult) {});
+    bed.settle();
+  }
+  const auto fetches =
+      bed.metrics()
+          .traffic_by_type()
+          .at(static_cast<std::uint8_t>(msg::MsgType::kFetchRequest))
+          .messages;
+  EXPECT_EQ(fetches, 7u);  // one validation per read — the scalability cost
+}
+
+TEST(CheckOnRead, MissingPageServesNotFound) {
+  Testbed bed;
+  bed.add_primary(kObj, server_policy());
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kCheckOnRead,
+                                       sim::SimDuration::seconds(0),
+                                       server_policy());
+  bed.settle();
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+  std::optional<ReadResult> r;
+  reader.read("ghost", [&](ReadResult res) { r = std::move(res); });
+  bed.settle();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+}
+
+TEST(TtlCache, ServesStaleWithinTtl) {
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("p", "v0");
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kTtl,
+                                       sim::SimDuration::seconds(60),
+                                       server_policy());
+  bed.settle();
+
+  auto& writer = bed.add_client(kObj, ClientModel::kNone);
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+
+  reader.read("p", [](ReadResult) {});  // populates the cache entry
+  bed.settle();
+  writer.write("p", "v1", [](WriteResult) {});
+  bed.settle();
+
+  std::optional<ReadResult> r;
+  reader.read("p", [&](ReadResult res) { r = std::move(res); });
+  bed.settle();
+  ASSERT_TRUE(r && r->ok);
+  EXPECT_EQ(r->content, "v0");  // stale but within TTL: served anyway
+}
+
+TEST(TtlCache, RefreshesAfterExpiry) {
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("p", "v0");
+  auto& cache = bed.add_baseline_cache(kObj, CacheMode::kTtl,
+                                       sim::SimDuration::seconds(2),
+                                       server_policy());
+  bed.settle();
+
+  auto& writer = bed.add_client(kObj, ClientModel::kNone);
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+
+  reader.read("p", [](ReadResult) {});
+  bed.settle();
+  writer.write("p", "v1", [](WriteResult) {});
+  bed.settle();
+
+  bed.run_for(sim::SimDuration::seconds(3));  // TTL expires
+  std::optional<ReadResult> r;
+  reader.read("p", [&](ReadResult res) { r = std::move(res); });
+  bed.settle();
+  ASSERT_TRUE(r && r->ok);
+  EXPECT_EQ(r->content, "v1");
+}
+
+TEST(TtlCache, StalenessBoundedByTtl) {
+  // Property: with TTL t, a served page is never more than t behind.
+  Testbed bed;
+  auto& server = bed.add_primary(kObj, server_policy());
+  server.seed("p", "v0");
+  const auto ttl = sim::SimDuration::seconds(5);
+  auto& cache =
+      bed.add_baseline_cache(kObj, CacheMode::kTtl, ttl, server_policy());
+  bed.settle();
+
+  auto& writer = bed.add_client(kObj, ClientModel::kNone);
+  auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+
+  std::int64_t worst_staleness_us = 0;
+  std::int64_t last_write_us = 0;
+  std::string last_committed = "v0";
+  std::string last_seen_at_commit;  // content at time of serving
+
+  for (int i = 1; i <= 20; ++i) {
+    const std::string v = "v" + std::to_string(i);
+    writer.write("p", v, [](WriteResult) {});
+    bed.settle();
+    last_write_us = bed.sim().now().count_micros();
+    last_committed = v;
+
+    bed.run_for(sim::SimDuration::seconds(1));
+    reader.read("p", [&](ReadResult r) {
+      ASSERT_TRUE(r.ok);
+      if (r.content != last_committed) {
+        // Serving stale content: measure how old.
+        worst_staleness_us = std::max(
+            worst_staleness_us,
+            bed.sim().now().count_micros() - last_write_us);
+      }
+    });
+    bed.settle();
+  }
+  EXPECT_LE(worst_staleness_us, ttl.count_micros());
+}
+
+TEST(TtlCache, FewerUpstreamMessagesThanCheckOnRead) {
+  auto run = [](CacheMode mode) {
+    Testbed bed;
+    auto& server = bed.add_primary(kObj, server_policy());
+    server.seed("p", "v");
+    auto& cache = bed.add_baseline_cache(kObj, mode,
+                                         sim::SimDuration::seconds(3600),
+                                         server_policy());
+    bed.settle();
+    bed.metrics().reset();
+    auto& reader = bed.add_client(kObj, ClientModel::kNone, cache.address());
+    for (int i = 0; i < 20; ++i) {
+      reader.read("p", [](ReadResult) {});
+      bed.settle();
+    }
+    const auto& by_type = bed.metrics().traffic_by_type();
+    const auto it =
+        by_type.find(static_cast<std::uint8_t>(msg::MsgType::kFetchRequest));
+    return it == by_type.end() ? 0ULL : it->second.messages;
+  };
+  EXPECT_EQ(run(CacheMode::kCheckOnRead), 20u);
+  EXPECT_EQ(run(CacheMode::kTtl), 1u);  // one fill, then TTL hits
+}
+
+}  // namespace
+}  // namespace globe::replication

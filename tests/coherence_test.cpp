@@ -1,0 +1,342 @@
+// Unit tests for coherence primitives: WriteId, VectorClock, model
+// relations, and the history checkers (both acceptance of valid
+// histories and detection of violations).
+#include <gtest/gtest.h>
+
+#include "globe/coherence/checkers.hpp"
+#include "globe/coherence/models.hpp"
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/coherence/write_id.hpp"
+
+namespace globe::coherence {
+namespace {
+
+TEST(WriteIdTest, OrderingAndValidity) {
+  const WriteId a{1, 1}, b{1, 2}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // ordered by client first
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(kNoWrite.valid());
+  EXPECT_EQ(a, (WriteId{1, 1}));
+}
+
+TEST(WriteIdTest, CodecRoundTrip) {
+  util::Writer w;
+  WriteId{42, 99}.encode(w);
+  util::Reader r{util::BytesView(w.view())};
+  EXPECT_EQ(WriteId::decode(r), (WriteId{42, 99}));
+}
+
+TEST(VectorClockTest, GetSetAdvance) {
+  VectorClock vc;
+  EXPECT_EQ(vc.get(1), 0u);
+  vc.set(1, 5);
+  EXPECT_EQ(vc.get(1), 5u);
+  vc.advance(1, 3);  // no regression
+  EXPECT_EQ(vc.get(1), 5u);
+  vc.advance(1, 9);
+  EXPECT_EQ(vc.get(1), 9u);
+  vc.set(1, 0);  // canonical removal
+  EXPECT_TRUE(vc.empty());
+}
+
+TEST(VectorClockTest, MergeAndDominates) {
+  VectorClock a, b;
+  a.set(1, 3);
+  a.set(2, 1);
+  b.set(1, 2);
+  b.set(3, 4);
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_TRUE(a.concurrent_with(b));
+  a.merge(b);
+  EXPECT_EQ(a.get(1), 3u);
+  EXPECT_EQ(a.get(3), 4u);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VectorClockTest, DominatesIsReflexiveAndEmptyIsBottom) {
+  VectorClock a;
+  a.set(1, 1);
+  EXPECT_TRUE(a.dominates(a));
+  VectorClock empty;
+  EXPECT_TRUE(a.dominates(empty));
+  EXPECT_FALSE(empty.dominates(a));
+  EXPECT_TRUE(empty.dominates(empty));
+}
+
+TEST(VectorClockTest, CoversWrites) {
+  VectorClock vc;
+  vc.set(1, 3);
+  EXPECT_TRUE(vc.covers(WriteId{1, 3}));
+  EXPECT_TRUE(vc.covers(WriteId{1, 1}));
+  EXPECT_FALSE(vc.covers(WriteId{1, 4}));
+  EXPECT_FALSE(vc.covers(WriteId{2, 1}));
+}
+
+TEST(VectorClockTest, TotalSumsEntries) {
+  VectorClock vc;
+  vc.set(1, 3);
+  vc.set(2, 4);
+  EXPECT_EQ(vc.total(), 7u);
+}
+
+TEST(VectorClockTest, CodecRoundTrip) {
+  VectorClock vc;
+  vc.set(1, 3);
+  vc.set(1000, 12345678);
+  util::Writer w;
+  vc.encode(w);
+  util::Reader r{util::BytesView(w.view())};
+  EXPECT_EQ(VectorClock::decode(r), vc);
+}
+
+TEST(ModelsTest, SubsumptionRelation) {
+  EXPECT_TRUE(subsumes(ObjectModel::kSequential, ClientModel::kReadYourWrites));
+  EXPECT_TRUE(subsumes(ObjectModel::kSequential, ClientModel::kMonotonicReads));
+  EXPECT_TRUE(subsumes(ObjectModel::kPram, ClientModel::kMonotonicWrites));
+  EXPECT_FALSE(subsumes(ObjectModel::kPram, ClientModel::kMonotonicReads));
+  EXPECT_FALSE(subsumes(ObjectModel::kEventual, ClientModel::kReadYourWrites));
+}
+
+TEST(ModelsTest, ClientModelBitmask) {
+  const ClientModel both =
+      ClientModel::kReadYourWrites | ClientModel::kMonotonicReads;
+  EXPECT_TRUE(has(both, ClientModel::kReadYourWrites));
+  EXPECT_TRUE(has(both, ClientModel::kMonotonicReads));
+  EXPECT_FALSE(has(both, ClientModel::kMonotonicWrites));
+  EXPECT_EQ(to_string(both), "RYW+MR");
+}
+
+// ---- checker fixtures -------------------------------------------------
+
+History pram_ok_history() {
+  History h;
+  for (StoreId s : {0u, 1u}) {
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      h.record_apply(ApplyEvent{{}, s, WriteId{1, i}, "p", {}, 0});
+    }
+  }
+  return h;
+}
+
+TEST(CheckPram, AcceptsInOrderApplies) {
+  const History h = pram_ok_history();
+  const auto res = check_pram(h);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_EQ(res.events_checked, 6u);
+}
+
+TEST(CheckPram, DetectsOutOfOrder) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  const auto res = check_pram(h);
+  EXPECT_FALSE(res.ok);
+  // Two findings: the gap when (1,2) applied first, then the regression.
+  EXPECT_EQ(res.violations.size(), 2u);
+}
+
+TEST(CheckPram, DetectsGaps) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, "p", {}, 0});
+  EXPECT_FALSE(check_pram(h).ok);
+  EXPECT_TRUE(check_fifo_pram(h).ok);  // FIFO allows skipping
+}
+
+TEST(CheckFifo, StillDetectsRegression) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, "p", {}, 0});
+  EXPECT_FALSE(check_fifo_pram(h).ok);
+}
+
+TEST(CheckCausal, AcceptsDependencyRespectingOrder) {
+  History h;
+  // w(2,1) depends on w(1,1).
+  VectorClock dep;
+  dep.set(1, 1);
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  for (StoreId s : {0u, 1u}) {
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, "p", {}, 0});
+    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, "p", dep, 0});
+  }
+  const auto res = check_causal(h);
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST(CheckCausal, DetectsDependencyViolation) {
+  History h;
+  VectorClock dep;
+  dep.set(1, 1);
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  // Store applies the dependent write first.
+  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, "p", dep, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  EXPECT_FALSE(check_causal(h).ok);
+}
+
+TEST(CheckSequential, AcceptsIdenticalTotalOrder) {
+  History h;
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 1});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", {}, 2});
+  for (StoreId s : {0u, 1u}) {
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, "p", {}, 1});
+    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, "p", {}, 2});
+  }
+  const auto res = check_sequential(h);
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST(CheckSequential, DetectsDivergentOrders) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 1});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, "p", {}, 2});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, "p", {}, 1});  // swapped
+  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 1}, "p", {}, 2});
+  EXPECT_FALSE(check_sequential(h).ok);
+}
+
+TEST(CheckSequential, DetectsMissingGlobalSeq) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  EXPECT_FALSE(check_sequential(h).ok);
+}
+
+TEST(CheckSequential, DetectsNonMonotonicClientReads) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 1});
+  ReadEvent r1;
+  r1.client = 7;
+  r1.client_op_index = 1;
+  r1.store = 0;
+  r1.store_global_seq = 5;
+  ReadEvent r2 = r1;
+  r2.client_op_index = 2;
+  r2.store_global_seq = 3;  // went backwards
+  h.record_read(r1);
+  h.record_read(r2);
+  EXPECT_FALSE(check_sequential(h).ok);
+}
+
+TEST(CheckEventual, AcceptsConvergedStores) {
+  History h;
+  for (StoreId s : {0u, 1u, 2u}) {
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 4}, "p", {}, 0});
+  }
+  EXPECT_TRUE(check_eventual_delivery(h).ok);
+}
+
+TEST(CheckEventual, DetectsStoreLeftBehind) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 4}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 2}, "p", {}, 0});
+  EXPECT_FALSE(check_eventual_delivery(h).ok);
+}
+
+TEST(CheckRyw, AcceptsAndDetects) {
+  History h;
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", {}, 0});
+  ReadEvent ok_read;
+  ok_read.client = 5;
+  ok_read.client_op_index = 2;
+  ok_read.store = 1;
+  ok_read.store_clock.set(5, 1);
+  h.record_read(ok_read);
+  EXPECT_TRUE(check_read_your_writes(h, 5).ok);
+
+  ReadEvent bad_read;
+  bad_read.client = 5;
+  bad_read.client_op_index = 3;
+  bad_read.store = 2;  // clock missing the client's write
+  h.record_read(bad_read);
+  EXPECT_FALSE(check_read_your_writes(h, 5).ok);
+}
+
+TEST(CheckMonotonicReads, DetectsRegression) {
+  History h;
+  ReadEvent r1;
+  r1.client = 5;
+  r1.client_op_index = 1;
+  r1.store_clock.set(1, 4);
+  h.record_read(r1);
+  ReadEvent r2;
+  r2.client = 5;
+  r2.client_op_index = 2;
+  r2.store_clock.set(1, 2);  // older state
+  h.record_read(r2);
+  EXPECT_FALSE(check_monotonic_reads(h, 5).ok);
+  EXPECT_TRUE(check_monotonic_reads(h, 6).ok);  // other client unaffected
+}
+
+TEST(CheckMonotonicWrites, DetectsOutOfOrderAtOneStore) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 2}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, "p", {}, 0});
+  EXPECT_FALSE(check_monotonic_writes(h, 5).ok);
+  EXPECT_TRUE(check_monotonic_writes(h, 6).ok);
+}
+
+TEST(CheckWfr, DetectsWriteBeforeItsReadContext) {
+  History h;
+  // Client 5 read w(1,1), then wrote w(5,1) with that dependency.
+  VectorClock dep;
+  dep.set(1, 1);
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", dep, 0});
+  // Store applies the client's write before its read context.
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, "p", dep, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  EXPECT_FALSE(check_writes_follow_reads(h, 5).ok);
+  // The violation is attributed only to client 5's writes.
+  EXPECT_TRUE(check_writes_follow_reads(h, 1).ok);
+}
+
+TEST(CheckClientModels, CombinesResults) {
+  History h;
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", {}, 0});
+  ReadEvent bad;
+  bad.client = 5;
+  bad.client_op_index = 2;
+  h.record_read(bad);
+  const auto res = check_client_models(
+      h, 5, ClientModel::kReadYourWrites | ClientModel::kMonotonicReads);
+  EXPECT_FALSE(res.ok);  // RYW violated, MR fine
+  EXPECT_EQ(res.violations.size(), 1u);
+}
+
+TEST(CheckResultTest, SummaryTruncates) {
+  CheckResult res;
+  for (int i = 0; i < 10; ++i) res.fail("violation " + std::to_string(i));
+  const std::string s = res.summary(3);
+  EXPECT_NE(s.find("10 violation(s)"), std::string::npos);
+  EXPECT_NE(s.find("7 more"), std::string::npos);
+}
+
+TEST(HistoryTest, ClientOpsSortedByProgramOrder) {
+  History h;
+  h.record_read(ReadEvent{{}, 3, 9, 0, "p", {}, {}, 0});
+  h.record_write(WriteEvent{{}, 1, 9, 0, WriteId{9, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 2, 9, 0, WriteId{9, 2}, "p", {}, 0});
+  const auto ops = h.client_ops(9);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_TRUE(ops[0].is_write);
+  EXPECT_TRUE(ops[1].is_write);
+  EXPECT_FALSE(ops[2].is_write);
+}
+
+TEST(HistoryTest, StoresAndClientsEnumerated) {
+  History h;
+  h.record_apply(ApplyEvent{{}, 3, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 7, 0, WriteId{7, 1}, "p", {}, 0});
+  EXPECT_EQ(h.stores(), (std::vector<StoreId>{1, 3}));
+  EXPECT_EQ(h.clients(), (std::vector<ClientId>{7}));
+}
+
+}  // namespace
+}  // namespace globe::coherence

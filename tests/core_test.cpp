@@ -1,0 +1,264 @@
+// Tests for the core object model: communication object (point-to-point
+// send, request/reply correlation, timeouts/retries, multicast), the Web
+// semantics object, and replication policies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "globe/core/comm.hpp"
+#include "globe/core/policy.hpp"
+#include "globe/core/semantics.hpp"
+#include "globe/net/sim_transport.hpp"
+#include "globe/sim/network.hpp"
+
+namespace globe::core {
+namespace {
+
+class CommTest : public ::testing::Test {
+ protected:
+  CommTest() : net(sim, 1) {
+    node_a = net.add_node("a");
+    node_b = net.add_node("b");
+  }
+
+  TransportFactory factory(NodeId node) {
+    return [this, node](net::MessageHandler handler)
+               -> std::unique_ptr<net::Transport> {
+      const PortId port = next_port[node]++;
+      return std::make_unique<net::SimTransport>(
+          net, net::Address{node, port}, std::move(handler));
+    };
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  std::map<NodeId, PortId> next_port{{0, 1}, {1, 1}};
+  NodeId node_a = 0, node_b = 0;
+};
+
+TEST_F(CommTest, OneWaySendDelivers) {
+  CommunicationObject a(factory(node_a), &sim);
+  std::optional<msg::Envelope> got;
+  CommunicationObject b(factory(node_b), &sim);
+  b.set_delivery_handler(
+      [&](const net::Address&, msg::Envelope env) { got = std::move(env); });
+
+  a.send(b.local_address(), msg::MsgType::kUpdate, 42,
+         util::to_buffer("payload"));
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, msg::MsgType::kUpdate);
+  EXPECT_EQ(got->object, 42u);
+  EXPECT_EQ(got->request_id, 0u);
+}
+
+TEST_F(CommTest, RequestReplyCorrelation) {
+  CommunicationObject a(factory(node_a), &sim);
+  CommunicationObject b(factory(node_b), &sim);
+  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+    b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
+            util::to_buffer("answer"));
+  });
+
+  std::optional<std::string> answer;
+  a.request(b.local_address(), msg::MsgType::kFetchRequest, 1,
+            util::to_buffer("question"),
+            [&](bool ok, const net::Address&, msg::Envelope env) {
+              if (ok) answer = util::to_string(util::BytesView(env.body));
+            });
+  sim.run();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, "answer");
+  EXPECT_EQ(a.pending_requests(), 0u);
+}
+
+TEST_F(CommTest, ConcurrentRequestsKeepTheirHandlers) {
+  CommunicationObject a(factory(node_a), &sim);
+  CommunicationObject b(factory(node_b), &sim);
+  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+    b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
+            env.body);  // echo
+  });
+
+  std::vector<std::string> answers(3);
+  for (int i = 0; i < 3; ++i) {
+    a.request(b.local_address(), msg::MsgType::kFetchRequest, 1,
+              util::to_buffer("q" + std::to_string(i)),
+              [&answers, i](bool ok, const net::Address&, msg::Envelope env) {
+                if (ok) {
+                  answers[i] = util::to_string(util::BytesView(env.body));
+                }
+              });
+  }
+  sim.run();
+  EXPECT_EQ(answers, (std::vector<std::string>{"q0", "q1", "q2"}));
+}
+
+TEST_F(CommTest, TimeoutFiresWhenNoReply) {
+  CommunicationObject a(factory(node_a), &sim);
+  CommunicationObject b(factory(node_b), &sim);
+  // b never replies.
+  b.set_delivery_handler([](const net::Address&, msg::Envelope) {});
+
+  bool failed = false;
+  a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
+            [&](bool ok, const net::Address&, msg::Envelope) {
+              failed = !ok;
+            },
+            sim::SimDuration::millis(100));
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(a.pending_requests(), 0u);
+}
+
+TEST_F(CommTest, RetriesSucceedAfterTransientPartition) {
+  CommunicationObject a(factory(node_a), &sim);
+  CommunicationObject b(factory(node_b), &sim);
+  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+    b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id, {});
+  });
+
+  net.partition(node_a, node_b);
+  std::optional<bool> outcome;
+  a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
+            [&](bool ok, const net::Address&, msg::Envelope) {
+              outcome = ok;
+            },
+            sim::SimDuration::millis(100), /*retries=*/3);
+  // Heal while retries are still pending.
+  sim.schedule_after(sim::SimDuration::millis(150),
+                     [&] { net.heal_all(); });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(*outcome);
+}
+
+TEST_F(CommTest, LateReplyAfterTimeoutIsIgnored) {
+  CommunicationObject a(factory(node_a), &sim);
+  CommunicationObject b(factory(node_b), &sim);
+  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+    // Reply very late.
+    sim.schedule_after(sim::SimDuration::millis(500), [&b, from, env] {
+      b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
+              {});
+    });
+  });
+
+  int calls = 0;
+  a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
+            [&](bool, const net::Address&, msg::Envelope) { ++calls; },
+            sim::SimDuration::millis(100));
+  sim.run();
+  EXPECT_EQ(calls, 1);  // the timeout only; late reply dropped
+}
+
+TEST_F(CommTest, MulticastReachesAllTargets) {
+  CommunicationObject sender(factory(node_a), &sim);
+  int received = 0;
+  std::vector<std::unique_ptr<CommunicationObject>> receivers;
+  std::vector<net::Address> targets;
+  for (int i = 0; i < 4; ++i) {
+    auto r = std::make_unique<CommunicationObject>(factory(node_b), &sim);
+    r->set_delivery_handler(
+        [&received](const net::Address&, msg::Envelope) { ++received; });
+    targets.push_back(r->local_address());
+    receivers.push_back(std::move(r));
+  }
+  sender.multicast(targets, msg::MsgType::kUpdate, 1,
+                   util::to_buffer("fanout"));
+  sim.run();
+  EXPECT_EQ(received, 4);
+}
+
+TEST_F(CommTest, TrafficObserverSeesOutboundBytes) {
+  struct Observer : TrafficObserver {
+    std::uint64_t bytes = 0;
+    int messages = 0;
+    void on_send(msg::MsgType, std::size_t b) override {
+      bytes += b;
+      ++messages;
+    }
+  } obs;
+  CommunicationObject a(factory(node_a), &sim, &obs);
+  a.send({node_b, 1}, msg::MsgType::kUpdate, 1, util::to_buffer("12345"));
+  EXPECT_EQ(obs.messages, 1);
+  EXPECT_GT(obs.bytes, 5u);  // envelope overhead + payload
+}
+
+// ---- Web semantics object -------------------------------------------
+
+TEST(WebSemantics, GetPageExecutesAgainstDocument) {
+  WebSemanticsObject sem;
+  web::WriteRecord rec;
+  rec.wid = {1, 1};
+  rec.page = "index.html";
+  rec.content = "<p>hello</p>";
+  rec.global_seq = 7;
+  sem.apply(rec);
+
+  const auto res = sem.execute_read(msg::Invocation::get_page("index.html"));
+  ASSERT_TRUE(res.ok);
+  util::Reader r{util::BytesView(res.value)};
+  const auto v = PageReadValue::decode(r);
+  EXPECT_EQ(v.content, "<p>hello</p>");
+  EXPECT_EQ(v.writer, (coherence::WriteId{1, 1}));
+  EXPECT_EQ(v.global_seq, 7u);
+}
+
+TEST(WebSemantics, MissingPageReturnsError) {
+  WebSemanticsObject sem;
+  const auto res = sem.execute_read(msg::Invocation::get_page("nope"));
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+}
+
+TEST(WebSemantics, ListPages) {
+  WebSemanticsObject sem;
+  for (const char* p : {"a.html", "b.html"}) {
+    web::WriteRecord rec;
+    rec.wid = {1, 1};
+    rec.page = p;
+    rec.content = "x";
+    sem.apply(rec);
+  }
+  const auto res = sem.execute_read(msg::Invocation::list_pages());
+  ASSERT_TRUE(res.ok);
+  util::Reader r{util::BytesView(res.value)};
+  EXPECT_EQ(r.varint(), 2u);
+  EXPECT_EQ(r.str(), "a.html");
+  EXPECT_EQ(r.str(), "b.html");
+}
+
+TEST(WebSemantics, ToRecordTranslatesPut) {
+  WebSemanticsObject sem;
+  const auto rec =
+      sem.to_record(msg::Invocation::put_page("p", "content", "text/plain"));
+  EXPECT_EQ(rec.op, web::WriteOp::kPut);
+  EXPECT_EQ(rec.page, "p");
+  EXPECT_EQ(rec.content, "content");
+  EXPECT_EQ(rec.mime, "text/plain");
+}
+
+TEST(WebSemantics, ToRecordTranslatesDelete) {
+  WebSemanticsObject sem;
+  const auto rec = sem.to_record(msg::Invocation::delete_page("p"));
+  EXPECT_EQ(rec.op, web::WriteOp::kDelete);
+  EXPECT_EQ(rec.page, "p");
+}
+
+TEST(WebSemantics, SnapshotRestoreMatchesDocument) {
+  WebSemanticsObject a;
+  web::WriteRecord rec;
+  rec.wid = {2, 9};
+  rec.page = "p";
+  rec.content = "v";
+  a.apply(rec);
+
+  WebSemanticsObject b;
+  b.restore(util::BytesView(a.snapshot()));
+  EXPECT_EQ(b.document(), a.document());
+}
+
+}  // namespace
+}  // namespace globe::core

@@ -1,0 +1,232 @@
+// Unit tests for envelopes, invocations, and replication protocol bodies.
+#include <gtest/gtest.h>
+
+#include "globe/msg/envelope.hpp"
+#include "globe/msg/invocation.hpp"
+#include "globe/replication/protocol.hpp"
+
+namespace globe {
+namespace {
+
+TEST(Envelope, RoundTrip) {
+  msg::Envelope env;
+  env.type = msg::MsgType::kUpdate;
+  env.object = 0xDEADBEEFCAFEULL;
+  env.request_id = 77;
+  env.body = util::to_buffer("payload");
+  const auto wire = env.encode();
+  const auto back = msg::Envelope::decode(util::BytesView(wire));
+  EXPECT_EQ(back.type, env.type);
+  EXPECT_EQ(back.object, env.object);
+  EXPECT_EQ(back.request_id, env.request_id);
+  EXPECT_EQ(util::to_string(util::BytesView(back.body)), "payload");
+}
+
+TEST(Envelope, ReplyClassification) {
+  EXPECT_TRUE(msg::is_reply(msg::MsgType::kInvokeReply));
+  EXPECT_TRUE(msg::is_reply(msg::MsgType::kFetchReply));
+  EXPECT_TRUE(msg::is_reply(msg::MsgType::kSubscribeAck));
+  EXPECT_FALSE(msg::is_reply(msg::MsgType::kInvokeRequest));
+  EXPECT_FALSE(msg::is_reply(msg::MsgType::kUpdate));
+  EXPECT_FALSE(msg::is_reply(msg::MsgType::kNotify));
+}
+
+TEST(Envelope, TypeNames) {
+  EXPECT_STREQ(msg::to_string(msg::MsgType::kUpdate), "Update");
+  EXPECT_STREQ(msg::to_string(msg::MsgType::kInvalidate), "Invalidate");
+}
+
+TEST(Invocation, GetPageRoundTrip) {
+  const auto inv = msg::Invocation::get_page("index.html");
+  EXPECT_FALSE(inv.writes());
+  const auto back = msg::Invocation::decode(util::BytesView(inv.encode()));
+  EXPECT_EQ(back.method, msg::Method::kGetPage);
+  util::Reader r{util::BytesView(back.args)};
+  EXPECT_EQ(r.str(), "index.html");
+}
+
+TEST(Invocation, PutPageRoundTrip) {
+  const auto inv = msg::Invocation::put_page("p", "content", "image/png");
+  EXPECT_TRUE(inv.writes());
+  const auto back = msg::Invocation::decode(util::BytesView(inv.encode()));
+  util::Reader r{util::BytesView(back.args)};
+  EXPECT_EQ(r.str(), "p");
+  EXPECT_EQ(r.str(), "content");
+  EXPECT_EQ(r.str(), "image/png");
+}
+
+TEST(Invocation, WriteClassification) {
+  EXPECT_TRUE(msg::is_write(msg::Method::kPutPage));
+  EXPECT_TRUE(msg::is_write(msg::Method::kDeletePage));
+  EXPECT_FALSE(msg::is_write(msg::Method::kGetPage));
+  EXPECT_FALSE(msg::is_write(msg::Method::kListPages));
+  EXPECT_FALSE(msg::is_write(msg::Method::kGetDocument));
+}
+
+TEST(Protocol, ClientRequestRoundTrip) {
+  replication::ClientRequest req;
+  req.inv = msg::Invocation::put_page("p", "v");
+  req.client = 9;
+  req.client_op_index = 4;
+  req.wid = {9, 2};
+  req.deps.set(1, 5);
+  req.min_clock.set(9, 1);
+  req.min_global_seq = 11;
+  req.ordered = true;
+  req.issued_at_us = 777;
+
+  const auto back =
+      replication::ClientRequest::decode(util::BytesView(req.encode()));
+  EXPECT_EQ(back.client, 9u);
+  EXPECT_EQ(back.client_op_index, 4u);
+  EXPECT_EQ(back.wid, (coherence::WriteId{9, 2}));
+  EXPECT_EQ(back.deps.get(1), 5u);
+  EXPECT_EQ(back.min_clock.get(9), 1u);
+  EXPECT_EQ(back.min_global_seq, 11u);
+  EXPECT_TRUE(back.ordered);
+  EXPECT_EQ(back.inv.method, msg::Method::kPutPage);
+}
+
+TEST(Protocol, InvokeReplyRoundTrip) {
+  replication::InvokeReply rep;
+  rep.ok = true;
+  rep.value = util::to_buffer("result");
+  rep.document = util::to_buffer("doc");
+  rep.wid = {3, 4};
+  rep.global_seq = 12;
+  rep.store_clock.set(3, 4);
+  rep.store = 2;
+  const auto back =
+      replication::InvokeReply::decode(util::BytesView(rep.encode()));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(util::to_string(util::BytesView(back.value)), "result");
+  EXPECT_EQ(util::to_string(util::BytesView(back.document)), "doc");
+  EXPECT_EQ(back.global_seq, 12u);
+  EXPECT_EQ(back.store, 2u);
+}
+
+TEST(Protocol, UpdateMsgRoundTrip) {
+  replication::UpdateMsg m;
+  web::WriteRecord rec;
+  rec.wid = {1, 1};
+  rec.page = "p";
+  rec.content = "v";
+  m.records.push_back(rec);
+  m.sender_clock.set(1, 1);
+  m.sender_gseq = 3;
+  const auto back =
+      replication::UpdateMsg::decode(util::BytesView(m.encode()));
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].page, "p");
+  EXPECT_EQ(back.sender_gseq, 3u);
+}
+
+TEST(Protocol, FetchRoundTrip) {
+  replication::FetchRequest f;
+  f.have_clock.set(2, 7);
+  f.have_gseq = 5;
+  f.want_full = true;
+  f.pages = {"a", "b"};
+  f.validate_only = true;
+  f.have_lamport = 99;
+  const auto back =
+      replication::FetchRequest::decode(util::BytesView(f.encode()));
+  EXPECT_EQ(back.have_clock.get(2), 7u);
+  EXPECT_EQ(back.have_gseq, 5u);
+  EXPECT_TRUE(back.want_full);
+  EXPECT_EQ(back.pages, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(back.validate_only);
+  EXPECT_EQ(back.have_lamport, 99u);
+
+  replication::FetchReply r;
+  r.not_modified = true;
+  r.gseq = 8;
+  const auto rback =
+      replication::FetchReply::decode(util::BytesView(r.encode()));
+  EXPECT_TRUE(rback.not_modified);
+  EXPECT_EQ(rback.gseq, 8u);
+}
+
+TEST(Protocol, WriteForwardRoundTrip) {
+  replication::WriteForward f;
+  f.request.inv = msg::Invocation::put_page("p", "v");
+  f.request.client = 5;
+  f.origin = {3, 14};
+  f.origin_request_id = 99;
+  const auto back =
+      replication::WriteForward::decode(util::BytesView(f.encode()));
+  EXPECT_EQ(back.origin, (net::Address{3, 14}));
+  EXPECT_EQ(back.origin_request_id, 99u);
+  EXPECT_EQ(back.request.client, 5u);
+}
+
+TEST(Protocol, SubscribeAndSnapshotRoundTrip) {
+  replication::SubscribeMsg s;
+  s.subscriber = {7, 2};
+  s.store_id = 4;
+  s.store_class = 2;
+  const auto sback =
+      replication::SubscribeMsg::decode(util::BytesView(s.encode()));
+  EXPECT_EQ(sback.subscriber, (net::Address{7, 2}));
+  EXPECT_EQ(sback.store_id, 4u);
+  EXPECT_EQ(sback.store_class, 2u);
+
+  replication::SnapshotMsg snap;
+  snap.document = util::to_buffer("state");
+  snap.clock.set(1, 2);
+  snap.gseq = 6;
+  const auto nback =
+      replication::SnapshotMsg::decode(util::BytesView(snap.encode()));
+  EXPECT_EQ(util::to_string(util::BytesView(nback.document)), "state");
+  EXPECT_EQ(nback.gseq, 6u);
+}
+
+TEST(Protocol, InvalidateAndNotifyRoundTrip) {
+  replication::InvalidateMsg inv;
+  inv.pages = {"x", "y"};
+  inv.known_clock.set(1, 3);
+  inv.known_gseq = 9;
+  const auto iback =
+      replication::InvalidateMsg::decode(util::BytesView(inv.encode()));
+  EXPECT_EQ(iback.pages, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(iback.known_gseq, 9u);
+
+  replication::NotifyMsg n;
+  n.known_clock.set(2, 2);
+  n.known_gseq = 4;
+  const auto nback =
+      replication::NotifyMsg::decode(util::BytesView(n.encode()));
+  EXPECT_EQ(nback.known_clock.get(2), 2u);
+  EXPECT_EQ(nback.known_gseq, 4u);
+}
+
+TEST(Protocol, AntiEntropyRoundTrip) {
+  replication::AntiEntropyRequest req;
+  req.have_clock.set(1, 1);
+  const auto rb =
+      replication::AntiEntropyRequest::decode(util::BytesView(req.encode()));
+  EXPECT_EQ(rb.have_clock.get(1), 1u);
+
+  replication::AntiEntropyReply rep;
+  web::WriteRecord rec;
+  rec.wid = {2, 2};
+  rec.page = "p";
+  rep.records.push_back(rec);
+  rep.responder_clock.set(2, 2);
+  const auto pb =
+      replication::AntiEntropyReply::decode(util::BytesView(rep.encode()));
+  ASSERT_EQ(pb.records.size(), 1u);
+  EXPECT_EQ(pb.responder_clock.get(2), 2u);
+}
+
+TEST(Protocol, DecodeRejectsTruncated) {
+  replication::ClientRequest req;
+  req.inv = msg::Invocation::get_page("p");
+  auto wire = req.encode();
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(replication::ClientRequest::decode(util::BytesView(wire)),
+               util::CodecError);
+}
+
+}  // namespace
+}  // namespace globe

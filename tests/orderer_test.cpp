@@ -1,0 +1,210 @@
+// Unit tests for the per-model orderers.
+#include <gtest/gtest.h>
+
+#include "globe/replication/orderer.hpp"
+
+namespace globe::replication {
+namespace {
+
+web::WriteRecord rec(ClientId client, std::uint64_t seq,
+                     std::uint64_t gseq = 0) {
+  web::WriteRecord r;
+  r.wid = {client, seq};
+  r.page = "p";
+  r.content = "v" + std::to_string(seq);
+  r.global_seq = gseq;
+  return r;
+}
+
+web::WriteRecord rec_dep(ClientId client, std::uint64_t seq,
+                         const coherence::VectorClock& deps) {
+  auto r = rec(client, seq);
+  r.deps = deps;
+  return r;
+}
+
+TEST(PramOrdererTest, InOrderApplies) {
+  PramOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(1, 2), ready), Admission::kApplied);
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_FALSE(o.has_gaps());
+}
+
+TEST(PramOrdererTest, BuffersOutOfOrderAndDrains) {
+  PramOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec(1, 2), ready), Admission::kBuffered);
+  EXPECT_TRUE(o.has_gaps());
+  EXPECT_EQ(o.buffered(), 2u);
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[0].wid.seq, 1u);
+  EXPECT_EQ(ready[1].wid.seq, 2u);
+  EXPECT_EQ(ready[2].wid.seq, 3u);
+  EXPECT_FALSE(o.has_gaps());
+}
+
+TEST(PramOrdererTest, DuplicatesRejected) {
+  PramOrderer o;
+  std::vector<web::WriteRecord> ready;
+  o.admit(rec(1, 1), ready);
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kDuplicate);
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kDuplicate);
+}
+
+TEST(PramOrdererTest, WritersIndependent) {
+  PramOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(2, 1), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(2, 3), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec(1, 2), ready), Admission::kApplied);
+}
+
+TEST(PramOrdererTest, ResetToSkipsCoveredAndDrains) {
+  PramOrderer o;
+  std::vector<web::WriteRecord> ready;
+  o.admit(rec(1, 3), ready);  // buffered
+  o.admit(rec(1, 5), ready);  // buffered
+  coherence::VectorClock snap;
+  snap.set(1, 2);
+  o.reset_to(snap, 0, ready);  // snapshot covers 1..2; 3 drains, 5 waits
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].wid.seq, 3u);
+  EXPECT_TRUE(o.has_gaps());  // 5 still waits for 4
+}
+
+TEST(FifoOrdererTest, SkipsGapsAndDiscardsStale) {
+  FifoOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 5), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kSuperseded);
+  EXPECT_EQ(o.admit(rec(1, 9), ready), Admission::kApplied);
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_FALSE(o.has_gaps());
+}
+
+TEST(FifoOrdererTest, ResetToSetsFloor) {
+  FifoOrderer o;
+  std::vector<web::WriteRecord> ready;
+  coherence::VectorClock snap;
+  snap.set(1, 4);
+  o.reset_to(snap, 0, ready);
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kSuperseded);
+  EXPECT_EQ(o.admit(rec(1, 5), ready), Admission::kApplied);
+}
+
+TEST(SequentialOrdererTest, TotalOrderContiguous) {
+  SequentialOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 1, 1), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(2, 1, 3), ready), Admission::kBuffered);
+  EXPECT_TRUE(o.has_gaps());
+  EXPECT_EQ(o.admit(rec(3, 1, 2), ready), Admission::kApplied);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[1].global_seq, 2u);
+  EXPECT_EQ(ready[2].global_seq, 3u);
+  EXPECT_EQ(o.applied_gseq(), 3u);
+}
+
+TEST(SequentialOrdererTest, RejectsUnassignedSeq) {
+  SequentialOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 1, 0), ready), Admission::kDuplicate);
+  EXPECT_TRUE(ready.empty());
+}
+
+TEST(SequentialOrdererTest, ResetToAdvances) {
+  SequentialOrderer o;
+  std::vector<web::WriteRecord> ready;
+  o.admit(rec(1, 1, 5), ready);  // buffered (expects 1)
+  o.reset_to({}, 4, ready);      // snapshot at gseq 4
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(o.applied_gseq(), 5u);
+}
+
+TEST(CausalOrdererTest, AppliesWhenDepsSatisfied) {
+  CausalOrderer o;
+  std::vector<web::WriteRecord> ready;
+  coherence::VectorClock dep;
+  dep.set(1, 1);
+  EXPECT_EQ(o.admit(rec_dep(2, 1, dep), ready), Admission::kBuffered);
+  EXPECT_TRUE(o.has_gaps());
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].wid, (coherence::WriteId{1, 1}));
+  EXPECT_EQ(ready[1].wid, (coherence::WriteId{2, 1}));
+}
+
+TEST(CausalOrdererTest, ImplicitSelfDependency) {
+  CausalOrderer o;
+  std::vector<web::WriteRecord> ready;
+  // seq 2 of client 1 cannot apply before seq 1 even with empty deps.
+  EXPECT_EQ(o.admit(rec(1, 2), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  EXPECT_EQ(ready.size(), 2u);
+}
+
+TEST(CausalOrdererTest, TransitiveDrain) {
+  CausalOrderer o;
+  std::vector<web::WriteRecord> ready;
+  coherence::VectorClock dep_a, dep_b;
+  dep_a.set(1, 1);
+  dep_b.set(2, 1);
+  EXPECT_EQ(o.admit(rec_dep(3, 1, dep_b), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec_dep(2, 1, dep_a), ready), Admission::kBuffered);
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kApplied);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[2].wid, (coherence::WriteId{3, 1}));
+}
+
+TEST(CausalOrdererTest, DuplicateDetection) {
+  CausalOrderer o;
+  std::vector<web::WriteRecord> ready;
+  o.admit(rec(1, 1), ready);
+  EXPECT_EQ(o.admit(rec(1, 1), ready), Admission::kDuplicate);
+  coherence::VectorClock dep;
+  dep.set(9, 9);
+  o.admit(rec_dep(2, 1, dep), ready);  // buffered
+  EXPECT_EQ(o.admit(rec_dep(2, 1, dep), ready), Admission::kDuplicate);
+}
+
+TEST(CausalOrdererTest, ResetToDropsCovered) {
+  CausalOrderer o;
+  std::vector<web::WriteRecord> ready;
+  coherence::VectorClock dep;
+  dep.set(1, 2);
+  o.admit(rec_dep(2, 1, dep), ready);  // waits for (1,2)
+  coherence::VectorClock snap;
+  snap.set(1, 2);
+  o.reset_to(snap, 0, ready);
+  ASSERT_EQ(ready.size(), 1u);  // now applicable
+  EXPECT_FALSE(o.has_gaps());
+}
+
+TEST(EventualOrdererTest, AppliesEverythingOnce) {
+  EventualOrderer o;
+  std::vector<web::WriteRecord> ready;
+  EXPECT_EQ(o.admit(rec(1, 5), ready), Admission::kApplied);
+  EXPECT_EQ(o.admit(rec(1, 3), ready), Admission::kApplied);  // out of order ok
+  EXPECT_EQ(o.admit(rec(1, 5), ready), Admission::kDuplicate);
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_FALSE(o.has_gaps());
+}
+
+TEST(MakeOrderer, BuildsEveryModel) {
+  using coherence::ObjectModel;
+  for (auto m : {ObjectModel::kSequential, ObjectModel::kPram,
+                 ObjectModel::kFifoPram, ObjectModel::kCausal,
+                 ObjectModel::kEventual}) {
+    EXPECT_NE(make_orderer(m), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace globe::replication

@@ -1,0 +1,260 @@
+// Unit tests for the discrete-event simulator and the simulated network.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "globe/sim/network.hpp"
+#include "globe/sim/simulator.hpp"
+
+namespace globe::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(SimDuration::millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(SimDuration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(SimDuration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().count_micros(), 30'000);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(SimDuration::millis(5), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(SimDuration::millis(1), [&] {
+    ++fired;
+    sim.schedule_after(SimDuration::millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().count_micros(), 2000);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id =
+      sim.schedule_after(SimDuration::millis(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(SimDuration::millis(10), [&] { ++fired; });
+  sim.schedule_after(SimDuration::millis(30), [&] { ++fired; });
+  sim.run_until(SimTime(20'000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().count_micros(), 20'000);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen{};
+  sim.schedule_at(SimTime(5000), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.count_micros(), 5000);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, SimDuration::millis(10), [&] {
+    ++fired;
+  });
+  timer.start();
+  sim.run_until(SimTime(55'000));
+  EXPECT_EQ(fired, 5);
+  timer.stop();
+  sim.run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTimerTest, StopFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, SimDuration::millis(10), [&] { ++fired; });
+  // A second timer stops the first after 25ms.
+  PeriodicTimer stopper(sim, SimDuration::millis(25), [&] { timer.stop(); });
+  timer.start();
+  stopper.start();
+  sim.run_until(SimTime(100'000));
+  stopper.stop();
+  EXPECT_EQ(fired, 2);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  Network net{sim, /*seed=*/123};
+};
+
+TEST_F(NetworkTest, DeliversWithConfiguredLatency) {
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkSpec spec;
+  spec.base_latency = SimDuration::millis(15);
+  net.set_default_link(spec);
+
+  SimTime delivered_at{};
+  net.bind({b, 1}, [&](const net::Address&, util::BytesView) {
+    delivered_at = sim.now();
+  });
+  net.send({a, 1}, {b, 1}, util::to_buffer("hi"));
+  sim.run();
+  EXPECT_EQ(delivered_at.count_micros(), 15'000);
+}
+
+TEST_F(NetworkTest, ReliableLinksPreserveFifoDespiteJitter) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  LinkSpec spec;
+  spec.base_latency = SimDuration::millis(5);
+  spec.jitter = SimDuration::millis(20);
+  spec.reliable_ordered = true;
+  net.set_default_link(spec);
+
+  std::vector<std::string> received;
+  net.bind({b, 1}, [&](const net::Address&, util::BytesView payload) {
+    received.push_back(util::to_string(payload));
+  });
+  for (int i = 0; i < 50; ++i) {
+    net.send({a, 1}, {b, 1}, util::to_buffer(std::to_string(i)));
+  }
+  sim.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[i], std::to_string(i));
+}
+
+TEST_F(NetworkTest, LossyLinksDropApproximatelyAtRate) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  LinkSpec spec;
+  spec.reliable_ordered = false;
+  spec.drop_rate = 0.3;
+  net.set_default_link(spec);
+
+  int received = 0;
+  net.bind({b, 1},
+           [&](const net::Address&, util::BytesView) { ++received; });
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    net.send({a, 1}, {b, 1}, util::to_buffer("x"));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / sent, 0.7, 0.05);
+  EXPECT_EQ(net.stats().messages_dropped,
+            static_cast<std::uint64_t>(sent - received));
+}
+
+TEST_F(NetworkTest, PartitionBlocksAndHealRestores) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  int received = 0;
+  net.bind({b, 1},
+           [&](const net::Address&, util::BytesView) { ++received; });
+
+  net.partition(a, b);
+  net.send({a, 1}, {b, 1}, util::to_buffer("lost"));
+  sim.run();
+  EXPECT_EQ(received, 0);
+
+  net.heal(a, b);
+  net.send({a, 1}, {b, 1}, util::to_buffer("ok"));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, PerLinkOverrides) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const NodeId c = net.add_node();
+  LinkSpec fast;
+  fast.base_latency = SimDuration::millis(1);
+  net.set_link(a, b, fast);
+
+  SimTime at_b{}, at_c{};
+  net.bind({b, 1},
+           [&](const net::Address&, util::BytesView) { at_b = sim.now(); });
+  net.bind({c, 1},
+           [&](const net::Address&, util::BytesView) { at_c = sim.now(); });
+  net.send({a, 1}, {b, 1}, util::to_buffer("x"));
+  net.send({a, 1}, {c, 1}, util::to_buffer("x"));
+  sim.run();
+  EXPECT_EQ(at_b.count_micros(), 1'000);
+  EXPECT_EQ(at_c.count_micros(), 20'000);  // default link
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  net.bind({b, 1}, [](const net::Address&, util::BytesView) {});
+  net.send({a, 1}, {b, 1}, util::to_buffer("12345"));
+  sim.run();
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 5u);
+  EXPECT_EQ(net.stats().bytes_delivered, 5u);
+}
+
+TEST_F(NetworkTest, SendToUnboundEndpointCountsAsDrop) {
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  net.send({a, 1}, {b, 9}, util::to_buffer("x"));
+  sim.run();
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, SameNodeDeliveryIsFast) {
+  const NodeId a = net.add_node();
+  SimTime delivered{};
+  net.bind({a, 2}, [&](const net::Address&, util::BytesView) {
+    delivered = sim.now();
+  });
+  net.send({a, 1}, {a, 2}, util::to_buffer("x"));
+  sim.run();
+  EXPECT_LE(delivered.count_micros(), 100);
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator s;
+    Network n(s, seed);
+    const NodeId a = n.add_node();
+    const NodeId b = n.add_node();
+    LinkSpec spec;
+    spec.reliable_ordered = false;
+    spec.drop_rate = 0.5;
+    spec.jitter = SimDuration::millis(10);
+    n.set_default_link(spec);
+    std::vector<std::int64_t> times;
+    n.bind({b, 1}, [&](const net::Address&, util::BytesView) {
+      times.push_back(s.now().count_micros());
+    });
+    for (int i = 0; i < 100; ++i) n.send({a, 1}, {b, 1}, util::to_buffer("x"));
+    s.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(run_once(77), run_once(78));
+}
+
+}  // namespace
+}  // namespace globe::sim

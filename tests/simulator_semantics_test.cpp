@@ -1,0 +1,124 @@
+// Tests for the simulator's foreground/background event semantics —
+// the mechanism that lets the harness run protocols "to quiescence"
+// while periodic timers (lazy push, pull polls, heartbeats) stay armed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "globe/sim/simulator.hpp"
+
+namespace globe::sim {
+namespace {
+
+TEST(BackgroundEvents, RunIgnoresPureBackgroundWork) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_background_after(SimDuration::millis(10), [&] { ++fired; });
+  EXPECT_EQ(sim.run(), 0u);  // nothing foreground: returns immediately
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(BackgroundEvents, DueBackgroundRunsWhileForegroundPends) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_background_after(SimDuration::millis(5),
+                                [&] { order.push_back(1); });
+  sim.schedule_after(SimDuration::millis(10), [&] { order.push_back(2); });
+  sim.run();
+  // The background tick at 5ms executes because foreground work at 10ms
+  // was still pending.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(BackgroundEvents, BackgroundMaySpawnForegroundExtendingRun) {
+  Simulator sim;
+  int fg = 0;
+  // Background tick at 1ms fires because foreground work at 5ms keeps
+  // the run alive; the foreground event it spawns must also run.
+  sim.schedule_background_after(SimDuration::millis(1), [&] {
+    sim.schedule_after(SimDuration::millis(1), [&] { ++fg; });
+  });
+  sim.schedule_after(SimDuration::millis(5), [&] { ++fg; });
+  sim.run();
+  EXPECT_EQ(fg, 2);
+}
+
+TEST(BackgroundEvents, RunUntilExecutesBothKinds) {
+  Simulator sim;
+  int bg = 0, fg = 0;
+  sim.schedule_background_after(SimDuration::millis(5), [&] { ++bg; });
+  sim.schedule_after(SimDuration::millis(7), [&] { ++fg; });
+  sim.run_until(SimTime(10'000));
+  EXPECT_EQ(bg, 1);
+  EXPECT_EQ(fg, 1);
+  EXPECT_EQ(sim.now().count_micros(), 10'000);
+}
+
+TEST(BackgroundEvents, RunUntilStopsAtBoundaryDespiteCancelledHead) {
+  // Regression test: a cancelled event at the queue head must not let
+  // run_until execute a later event beyond its time bound.
+  Simulator sim;
+  const EventId id =
+      sim.schedule_after(SimDuration::millis(1), [] { FAIL(); });
+  bool late_ran = false;
+  sim.schedule_after(SimDuration::millis(100), [&] { late_ran = true; });
+  sim.cancel(id);
+  sim.run_until(SimTime(10'000));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now().count_micros(), 10'000);
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(BackgroundEvents, CancelBackgroundKeepsCountsConsistent) {
+  Simulator sim;
+  const EventId bg =
+      sim.schedule_background_after(SimDuration::millis(5), [] { FAIL(); });
+  sim.schedule_after(SimDuration::millis(1), [] {});
+  sim.cancel(bg);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(BackgroundEvents, CancelForegroundReducesPending) {
+  Simulator sim;
+  const EventId a = sim.schedule_after(SimDuration::millis(1), [] { FAIL(); });
+  sim.schedule_after(SimDuration::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(BackgroundEvents, PeriodicTimerNeverBlocksQuiescence) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimDuration::millis(10), [&] { ++ticks; });
+  timer.start();
+  // run() must terminate even though the timer is self-rearming.
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(ticks, 0);
+  // Time-driven execution still fires it.
+  sim.run_until(SimTime(35'000));
+  EXPECT_EQ(ticks, 3);
+  timer.stop();
+}
+
+TEST(BackgroundEvents, TimerInterleavesWithForegroundWork) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimDuration::millis(10), [&] { ++ticks; });
+  timer.start();
+  bool done = false;
+  sim.schedule_after(SimDuration::millis(25), [&] { done = true; });
+  sim.run();  // foreground at 25ms keeps the run alive through 2 ticks
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ticks, 2);
+  timer.stop();
+}
+
+}  // namespace
+}  // namespace globe::sim

@@ -1,0 +1,141 @@
+// Tests for the workload generators and metrics utilities.
+#include <gtest/gtest.h>
+
+#include "globe/metrics/histogram.hpp"
+#include "globe/metrics/report.hpp"
+#include "globe/metrics/staleness.hpp"
+#include "globe/metrics/stats.hpp"
+#include "globe/workload/content.hpp"
+#include "globe/workload/zipf.hpp"
+
+namespace globe {
+namespace {
+
+TEST(Zipf, UniformWhenSZero) {
+  workload::ZipfGenerator z(10, 0.0);
+  util::Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  workload::ZipfGenerator z(100, 1.0);
+  util::Rng rng(2);
+  std::vector<int> counts(100, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10] * 5);
+  EXPECT_GT(counts[0], counts[50] * 20);
+  // Rank 0 of Zipf(1.0, 100) has probability 1/H_100 ~ 0.1928.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1928, 0.01);
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  workload::ZipfGenerator z(7, 0.8);
+  util::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  workload::ZipfGenerator z(1, 1.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Content, GeneratesRequestedSize) {
+  util::Rng rng(5);
+  const auto s = workload::make_content(rng, 1000);
+  EXPECT_GE(s.size(), 1000u);
+  EXPECT_LT(s.size(), 1020u);
+  EXPECT_EQ(s.substr(0, 3), "<p>");
+}
+
+TEST(Histogram, BasicStats) {
+  metrics::Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  metrics::Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+}
+
+TEST(MetricsSink, TracksTrafficByType) {
+  metrics::MetricsSink sink;
+  sink.on_message(5, 100);
+  sink.on_message(5, 50);
+  sink.on_message(7, 10);
+  EXPECT_EQ(sink.total_traffic().messages, 3u);
+  EXPECT_EQ(sink.total_traffic().bytes, 160u);
+  EXPECT_EQ(sink.traffic_by_type().at(5).messages, 2u);
+  EXPECT_EQ(sink.traffic_by_type().at(5).bytes, 150u);
+  EXPECT_EQ(sink.traffic_by_type().at(7).messages, 1u);
+  sink.reset();
+  EXPECT_EQ(sink.total_traffic().messages, 0u);
+}
+
+TEST(StalenessOracle, ScoresMissingWrites) {
+  metrics::StalenessOracle oracle;
+  oracle.committed("p", {1, 1}, util::SimTime(1000));
+  oracle.committed("p", {1, 2}, util::SimTime(2000));
+  oracle.committed("p", {1, 3}, util::SimTime(9000));  // after the read
+
+  coherence::VectorClock store;
+  store.set(1, 1);  // store saw only the first write
+  const auto s =
+      oracle.score("p", store, util::SimTime(5000), util::SimTime(6000));
+  EXPECT_DOUBLE_EQ(s.versions_behind, 1.0);       // missing (1,2)
+  EXPECT_DOUBLE_EQ(s.time_behind_us, 4000.0);     // served at 6000, w at 2000
+}
+
+TEST(StalenessOracle, FreshReadScoresZero) {
+  metrics::StalenessOracle oracle;
+  oracle.committed("p", {1, 1}, util::SimTime(1000));
+  coherence::VectorClock store;
+  store.set(1, 1);
+  const auto s =
+      oracle.score("p", store, util::SimTime(2000), util::SimTime(3000));
+  EXPECT_DOUBLE_EQ(s.versions_behind, 0.0);
+  EXPECT_DOUBLE_EQ(s.time_behind_us, 0.0);
+}
+
+TEST(StalenessOracle, UnknownPageScoresZero) {
+  metrics::StalenessOracle oracle;
+  const auto s = oracle.score("ghost", {}, util::SimTime(1), util::SimTime(2));
+  EXPECT_DOUBLE_EQ(s.versions_behind, 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  metrics::TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"x", "123456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("-----  ------"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(metrics::TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(metrics::TablePrinter::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace globe
