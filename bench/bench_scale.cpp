@@ -1,0 +1,391 @@
+// Scale benchmark: the perf trajectory of the replication hot path.
+//
+// Three measurements, emitted as machine-readable BENCH_scale.json:
+//
+//  1. micro_writelog — the delta computation itself: a long write
+//     history served to near-tip requesters, naive O(history) scan vs
+//     the indexed WriteLog (before/after).
+//  2. e2e_pull / e2e_anti_entropy — full simulated deployments with a
+//     long history, run twice: once with the naive scan forced
+//     (TestbedOptions::naive_log_scan, the seed behaviour) and once
+//     with the indexes. Wall-clock before/after for the whole run.
+//  3. scale_trajectory — wide deployments (hundreds of stores/clients,
+//     thousands of ops) across every coherence model, indexed path
+//     only: the numbers the ROADMAP tracks across PRs.
+//
+// Usage: bench_scale [--smoke] [--out <path>]
+//   --smoke  tiny sizes; validates the harness (CI bitrot check)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "globe/replication/write_log.hpp"
+
+namespace globe::bench {
+namespace {
+
+using replication::Testbed;
+using replication::TestbedOptions;
+using replication::WriteLog;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------
+// 1. WriteLog delta microbenchmark
+// ---------------------------------------------------------------------
+
+struct MicroResult {
+  std::size_t records = 0;
+  std::size_t queries = 0;
+  double naive_s = 0;
+  double indexed_s = 0;
+  std::size_t delta_records = 0;  // sanity: both paths returned this many
+};
+
+MicroResult micro_writelog(int records, int queries, int writers, int pages) {
+  util::Rng rng(99);
+  WriteLog log;
+  std::vector<std::uint64_t> next_seq(writers, 1);
+  for (int i = 0; i < records; ++i) {
+    const auto client = static_cast<ClientId>(rng.below(writers));
+    web::WriteRecord rec;
+    rec.wid = coherence::WriteId{client, next_seq[client]++};
+    rec.page = "page" + std::to_string(rng.below(pages)) + ".html";
+    rec.content = "content-" + std::to_string(i);
+    rec.lamport = i + 1;
+    log.append(rec);
+  }
+
+  // Near-tip requesters: each misses the last ~16 writes — the steady
+  // state of a replica polling a busy object.
+  std::vector<coherence::VectorClock> haves;
+  haves.reserve(queries);
+  for (int q = 0; q < queries; ++q) {
+    coherence::VectorClock have;
+    for (int c = 0; c < writers; ++c) {
+      const std::uint64_t top = next_seq[c] - 1;
+      const std::uint64_t missing = rng.below(3);
+      have.set(static_cast<ClientId>(c),
+               top > missing ? top - missing : 0);
+    }
+    haves.push_back(std::move(have));
+  }
+
+  MicroResult res;
+  res.records = static_cast<std::size_t>(records);
+  res.queries = static_cast<std::size_t>(queries);
+
+  auto start = Clock::now();
+  std::size_t naive_total = 0;
+  for (const auto& have : haves) {
+    naive_total += log.records_since_naive(have, 0).size();
+  }
+  res.naive_s = seconds_since(start);
+
+  start = Clock::now();
+  std::size_t indexed_total = 0;
+  for (const auto& have : haves) {
+    indexed_total += log.records_since(have, 0).size();
+  }
+  res.indexed_s = seconds_since(start);
+
+  if (naive_total != indexed_total) {
+    std::fprintf(stderr, "FATAL: delta mismatch naive=%zu indexed=%zu\n",
+                 naive_total, indexed_total);
+    std::exit(1);
+  }
+  res.delta_records = indexed_total;
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// 2. End-to-end long-history scenarios (naive vs indexed)
+// ---------------------------------------------------------------------
+
+struct E2eResult {
+  int writes = 0;
+  int stores = 0;
+  double naive_s = 0;
+  double indexed_s = 0;
+  std::uint64_t events = 0;  // simulator events in the indexed run
+  bool converged = false;
+};
+
+/// Long-history pull: a primary accumulates `writes` records while
+/// `stores` replicas poll it. Every poll used to rescan the whole log.
+double run_pull_scenario(int writes, int stores, bool naive,
+                         std::uint64_t* events_out, bool* converged_out) {
+  TestbedOptions opts;
+  opts.seed = 11;
+  opts.record_history = false;
+  // Poll period must exceed the fetch round-trip, or a request is always
+  // in flight and the run can never quiesce; short metro links model
+  // replicas near their upstream.
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  opts.log_compact_threshold = 0;  // keep the full history: worst case
+  opts.naive_log_scan = naive;
+  const auto start = Clock::now();
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  core::ReplicationPolicy policy;
+  policy.model = coherence::ObjectModel::kPram;
+  policy.initiative = core::TransferInitiative::kPull;
+  policy.coherence_transfer = core::CoherenceTransfer::kPartial;
+  policy.lazy_period = sim::SimDuration::millis(10);  // poll period
+
+  auto& primary = bed.add_primary(kObj, policy);
+  for (int s = 0; s < stores; ++s) {
+    bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  }
+  bed.settle();
+
+  util::Rng rng(3);
+  for (int i = 0; i < writes; ++i) {
+    primary.seed("page" + std::to_string(rng.below(32)) + ".html",
+                 "v" + std::to_string(i));
+    bed.run_for(sim::SimDuration::millis(4));
+  }
+  bed.settle();
+  if (events_out != nullptr) *events_out = bed.sim().events_run();
+  if (converged_out != nullptr) *converged_out = bed.converged(kObj);
+  return seconds_since(start);
+}
+
+/// Long-history anti-entropy: eventual coherence, every store gossips
+/// with the primary; both reply and push-back used to rescan the log.
+double run_anti_entropy_scenario(int writes, int stores, bool naive,
+                                 std::uint64_t* events_out,
+                                 bool* converged_out) {
+  TestbedOptions opts;
+  opts.seed = 13;
+  opts.record_history = false;
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  opts.log_compact_threshold = 0;
+  opts.naive_log_scan = naive;
+  const auto start = Clock::now();
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  core::ReplicationPolicy policy;
+  policy.model = coherence::ObjectModel::kEventual;
+  policy.write_set = core::WriteSet::kMultiple;
+  policy.initiative = core::TransferInitiative::kPull;  // anti-entropy
+  policy.coherence_transfer = core::CoherenceTransfer::kPartial;
+  policy.lazy_period = sim::SimDuration::millis(10);
+
+  auto& primary = bed.add_primary(kObj, policy);
+  for (int s = 0; s < stores; ++s) {
+    bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  }
+  bed.settle();
+
+  util::Rng rng(5);
+  for (int i = 0; i < writes; ++i) {
+    primary.seed("page" + std::to_string(rng.below(32)) + ".html",
+                 "v" + std::to_string(i));
+    bed.run_for(sim::SimDuration::millis(4));
+  }
+  bed.settle();
+  if (events_out != nullptr) *events_out = bed.sim().events_run();
+  if (converged_out != nullptr) *converged_out = bed.converged(kObj);
+  return seconds_since(start);
+}
+
+template <typename Runner>
+E2eResult run_e2e(Runner runner, int writes, int stores) {
+  E2eResult res;
+  res.writes = writes;
+  res.stores = stores;
+  res.naive_s = runner(writes, stores, /*naive=*/true, nullptr, nullptr);
+  res.indexed_s = runner(writes, stores, /*naive=*/false, &res.events,
+                         &res.converged);
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// 3. Scale trajectory across coherence models (indexed only)
+// ---------------------------------------------------------------------
+
+struct TrajectoryRow {
+  std::string model;
+  int stores = 0;
+  int clients = 0;
+  int ops = 0;
+  double wall_s = 0;
+  double msgs_per_op = 0;
+  double kb_per_op = 0;
+  double stale_versions = 0;
+  bool converged = false;
+  bool model_ok = false;
+};
+
+TrajectoryRow run_trajectory(coherence::ObjectModel model, int mirrors,
+                             int caches, int clients, int ops) {
+  ScenarioConfig cfg;
+  cfg.policy.model = model;
+  if (model == coherence::ObjectModel::kCausal ||
+      model == coherence::ObjectModel::kEventual) {
+    cfg.policy.write_set = core::WriteSet::kMultiple;
+    cfg.policy.initiative = core::TransferInitiative::kPush;
+  }
+  cfg.mirrors = mirrors;
+  cfg.caches = caches;
+  cfg.clients = clients;
+  cfg.ops = ops;
+  cfg.pages = 24;
+  cfg.think = sim::SimDuration::millis(10);
+  cfg.seed = 17;
+
+  const auto start = Clock::now();
+  const ScenarioResult r = run_scenario(cfg);
+  TrajectoryRow row;
+  row.model = coherence::to_string(model);
+  row.stores = 1 + mirrors + caches;
+  row.clients = clients;
+  row.ops = ops;
+  row.wall_s = seconds_since(start);
+  row.msgs_per_op = r.msgs_per_op;
+  row.kb_per_op = r.bytes_per_op / 1024.0;
+  row.stale_versions = r.stale_versions_mean;
+  row.converged = r.converged;
+  row.model_ok = r.model_ok;
+  return row;
+}
+
+// ---------------------------------------------------------------------
+
+void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
+               const E2eResult& pull, const E2eResult& ae,
+               const std::vector<TrajectoryRow>& rows) {
+  auto speedup = [](double before, double after) {
+    return after > 0 ? before / after : 0.0;
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"scale\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"micro_writelog\": {\"records\": %zu, \"queries\": %zu, "
+               "\"delta_records\": %zu, \"naive_s\": %.6f, \"indexed_s\": "
+               "%.6f, \"speedup\": %.2f},\n",
+               micro.records, micro.queries, micro.delta_records,
+               micro.naive_s, micro.indexed_s,
+               speedup(micro.naive_s, micro.indexed_s));
+  std::fprintf(f,
+               "  \"e2e_pull_long_history\": {\"writes\": %d, \"stores\": %d, "
+               "\"naive_s\": %.4f, \"indexed_s\": %.4f, \"speedup\": %.2f, "
+               "\"sim_events\": %llu, \"converged\": %s},\n",
+               pull.writes, pull.stores, pull.naive_s, pull.indexed_s,
+               speedup(pull.naive_s, pull.indexed_s),
+               static_cast<unsigned long long>(pull.events),
+               pull.converged ? "true" : "false");
+  std::fprintf(f,
+               "  \"e2e_anti_entropy\": {\"writes\": %d, \"stores\": %d, "
+               "\"naive_s\": %.4f, \"indexed_s\": %.4f, \"speedup\": %.2f, "
+               "\"sim_events\": %llu, \"converged\": %s},\n",
+               ae.writes, ae.stores, ae.naive_s, ae.indexed_s,
+               speedup(ae.naive_s, ae.indexed_s),
+               static_cast<unsigned long long>(ae.events),
+               ae.converged ? "true" : "false");
+  std::fprintf(f, "  \"scale_trajectory\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TrajectoryRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"stores\": %d, \"clients\": %d, "
+                 "\"ops\": %d, \"wall_s\": %.4f, \"msgs_per_op\": %.2f, "
+                 "\"kb_per_op\": %.2f, \"stale_versions\": %.3f, "
+                 "\"converged\": %s, \"model_ok\": %s}%s\n",
+                 r.model.c_str(), r.stores, r.clients, r.ops, r.wall_s,
+                 r.msgs_per_op, r.kb_per_op, r.stale_versions,
+                 r.converged ? "true" : "false",
+                 r.model_ok ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+int run(bool smoke, const std::string& out_path) {
+  const int micro_records = smoke ? 2000 : 30000;
+  const int micro_queries = smoke ? 100 : 3000;
+  const int e2e_writes = smoke ? 150 : 16000;
+  const int e2e_stores = smoke ? 3 : 12;
+  const int traj_caches = smoke ? 6 : 120;
+  const int traj_clients = smoke ? 12 : 240;
+  const int traj_ops = smoke ? 60 : 2000;
+
+  std::printf("bench_scale%s: WriteLog micro...\n", smoke ? " (smoke)" : "");
+  const MicroResult micro =
+      micro_writelog(micro_records, micro_queries, 32, 64);
+  std::printf("  naive %.4fs, indexed %.4fs (%.1fx)\n", micro.naive_s,
+              micro.indexed_s, micro.naive_s / micro.indexed_s);
+
+  std::printf("bench_scale: e2e long-history pull...\n");
+  const E2eResult pull = run_e2e(run_pull_scenario, e2e_writes, e2e_stores);
+  std::printf("  naive %.3fs, indexed %.3fs (%.1fx), converged=%d\n",
+              pull.naive_s, pull.indexed_s, pull.naive_s / pull.indexed_s,
+              pull.converged);
+
+  std::printf("bench_scale: e2e anti-entropy...\n");
+  const E2eResult ae =
+      run_e2e(run_anti_entropy_scenario, e2e_writes, e2e_stores);
+  std::printf("  naive %.3fs, indexed %.3fs (%.1fx), converged=%d\n",
+              ae.naive_s, ae.indexed_s, ae.naive_s / ae.indexed_s,
+              ae.converged);
+
+  std::printf("bench_scale: trajectory across coherence models...\n");
+  std::vector<TrajectoryRow> rows;
+  for (const auto model :
+       {coherence::ObjectModel::kSequential, coherence::ObjectModel::kPram,
+        coherence::ObjectModel::kFifoPram, coherence::ObjectModel::kCausal,
+        coherence::ObjectModel::kEventual}) {
+    rows.push_back(run_trajectory(model, /*mirrors=*/4, traj_caches,
+                                  traj_clients, traj_ops));
+    std::printf("  %-11s %3d stores %3d clients %5d ops: %.2fs, "
+                "%.2f msgs/op, conv=%d model_ok=%d\n",
+                rows.back().model.c_str(), rows.back().stores,
+                rows.back().clients, rows.back().ops, rows.back().wall_s,
+                rows.back().msgs_per_op, rows.back().converged,
+                rows.back().model_ok);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  emit_json(f, smoke, micro, pull, ae, rows);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Smoke mode doubles as a regression gate for the harness itself.
+  if (!pull.converged || !ae.converged) {
+    std::fprintf(stderr, "FAIL: long-history scenarios did not converge\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace globe::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_scale [--smoke] [--out <path>]\n");
+      return 2;
+    }
+  }
+  return globe::bench::run(smoke, out);
+}

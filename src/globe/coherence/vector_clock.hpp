@@ -7,11 +7,18 @@
 //   * session guarantees: read-sets and write-sets (monotonic reads,
 //     writes-follow-reads) are summarized as vector clocks,
 //   * anti-entropy: replicas exchange clocks to compute missing records.
+//
+// Storage is a flat vector of (client, seq) pairs kept sorted by client
+// id: clocks are copied, merged, and compared on every coherence-message
+// hot path, and the contiguous layout makes those operations cache-local
+// with one allocation per clock instead of one per entry (std::map).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "globe/coherence/write_id.hpp"
 #include "globe/util/buffer.hpp"
@@ -21,45 +28,78 @@ namespace globe::coherence {
 
 class VectorClock {
  public:
+  using Entry = std::pair<ClientId, std::uint64_t>;
+
   VectorClock() = default;
 
   /// Sequence number recorded for `c` (0 if absent).
   [[nodiscard]] std::uint64_t get(ClientId c) const {
-    auto it = entries_.find(c);
-    return it == entries_.end() ? 0 : it->second;
+    auto it = find(c);
+    return it != entries_.end() && it->first == c ? it->second : 0;
   }
 
   /// Sets the entry for `c`; removing it when v == 0 keeps clocks canonical.
   void set(ClientId c, std::uint64_t v) {
+    auto it = find(c);
+    const bool present = it != entries_.end() && it->first == c;
     if (v == 0) {
-      entries_.erase(c);
+      if (present) entries_.erase(it);
+    } else if (present) {
+      it->second = v;
     } else {
-      entries_[c] = v;
+      entries_.insert(it, Entry{c, v});
     }
   }
 
   /// Advances the entry for `c` to at least `v`.
   void advance(ClientId c, std::uint64_t v) {
-    auto it = entries_.find(c);
-    if (it == entries_.end()) {
-      if (v > 0) entries_[c] = v;
-    } else if (v > it->second) {
-      it->second = v;
+    if (v == 0) return;
+    auto it = find(c);
+    if (it != entries_.end() && it->first == c) {
+      if (v > it->second) it->second = v;
+    } else {
+      entries_.insert(it, Entry{c, v});
     }
   }
 
   /// Records a write: advances the writer's entry.
   void observe(const WriteId& w) { advance(w.client, w.seq); }
 
-  /// Component-wise maximum with `other`.
+  /// Component-wise maximum with `other`: one linear merge over two
+  /// sorted entry vectors.
   void merge(const VectorClock& other) {
-    for (const auto& [c, v] : other.entries_) advance(c, v);
+    if (other.entries_.empty()) return;
+    if (entries_.empty()) {
+      entries_ = other.entries_;
+      return;
+    }
+    std::vector<Entry> merged;
+    merged.reserve(entries_.size() + other.entries_.size());
+    auto a = entries_.begin();
+    auto b = other.entries_.begin();
+    while (a != entries_.end() && b != other.entries_.end()) {
+      if (a->first < b->first) {
+        merged.push_back(*a++);
+      } else if (b->first < a->first) {
+        merged.push_back(*b++);
+      } else {
+        merged.emplace_back(a->first, std::max(a->second, b->second));
+        ++a;
+        ++b;
+      }
+    }
+    merged.insert(merged.end(), a, entries_.end());
+    merged.insert(merged.end(), b, other.entries_.end());
+    entries_ = std::move(merged);
   }
 
   /// True if every entry of `other` is <= the corresponding entry here.
+  /// Two-pointer walk over the sorted entries.
   [[nodiscard]] bool dominates(const VectorClock& other) const {
+    auto a = entries_.begin();
     for (const auto& [c, v] : other.entries_) {
-      if (get(c) < v) return false;
+      while (a != entries_.end() && a->first < c) ++a;
+      if (a == entries_.end() || a->first != c || a->second < v) return false;
     }
     return true;
   }
@@ -85,9 +125,7 @@ class VectorClock {
     return sum;
   }
 
-  [[nodiscard]] const std::map<ClientId, std::uint64_t>& entries() const {
-    return entries_;
-  }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 
   friend bool operator==(const VectorClock&, const VectorClock&) = default;
 
@@ -113,17 +151,29 @@ class VectorClock {
   static VectorClock decode(util::Reader& r) {
     VectorClock vc;
     const std::uint64_t n = r.varint();
+    vc.entries_.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       const ClientId c = r.u32();
       const std::uint64_t v = r.varint();
-      vc.set(c, v);
+      vc.set(c, v);  // tolerates unsorted/duplicate wire entries
     }
     return vc;
   }
 
  private:
-  // std::map keeps encoding deterministic (sorted by client id).
-  std::map<ClientId, std::uint64_t> entries_;
+  [[nodiscard]] std::vector<Entry>::const_iterator find(ClientId c) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), c,
+        [](const Entry& e, ClientId id) { return e.first < id; });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator find(ClientId c) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), c,
+        [](const Entry& e, ClientId id) { return e.first < id; });
+  }
+
+  // Sorted by client id; keeps the wire encoding deterministic.
+  std::vector<Entry> entries_;
 };
 
 }  // namespace globe::coherence

@@ -17,7 +17,8 @@ CommunicationObject::CommunicationObject(const TransportFactory& factory,
 
 void CommunicationObject::send(const Address& to, MsgType type,
                                ObjectId object, Buffer body) {
-  transmit(to, type, object, 0, std::move(body));
+  send_with(to, type, object,
+            [&](util::Writer& w) { w.raw(util::BytesView(body)); });
 }
 
 std::uint64_t CommunicationObject::request(const Address& to, MsgType type,
@@ -25,62 +26,70 @@ std::uint64_t CommunicationObject::request(const Address& to, MsgType type,
                                            ReplyHandler handler,
                                            sim::SimDuration timeout,
                                            int retries) {
-  const std::uint64_t id = next_request_id_++;
+  return request_with(to, type, object,
+                      [&](util::Writer& w) { w.raw(util::BytesView(body)); },
+                      std::move(handler), timeout, retries);
+}
+
+std::uint64_t CommunicationObject::start_request(
+    const Address& to, MsgType type, std::uint64_t request_id, Buffer wire,
+    ReplyHandler handler, sim::SimDuration timeout, int retries) {
   PendingRequest req;
   req.to = to;
   req.type = type;
-  req.object = object;
-  req.body = body;  // kept for retransmission
   req.handler = std::move(handler);
   req.timeout = timeout;
   req.retries_left = retries;
-  pending_.emplace(id, std::move(req));
-  transmit(to, type, object, id, std::move(body));
+  // Only retryable requests keep a copy of the wire for retransmission;
+  // untimed and timeout-only requests move their buffer straight to the
+  // transport.
+  if (timeout.count_micros() > 0 && retries > 0) req.wire = wire;
+  Buffer first = std::move(wire);
+  pending_.emplace(request_id, std::move(req));
+  transmit(to, type, std::move(first));
   if (timeout.count_micros() > 0) {
     GLOBE_ASSERT_MSG(sim_ != nullptr,
                      "request timeouts require a simulator clock");
-    arm_timer(id);
+    arm_timer(request_id);
   }
-  return id;
+  return request_id;
 }
 
 void CommunicationObject::reply(const Address& to, MsgType type,
                                 ObjectId object, std::uint64_t request_id,
                                 Buffer body) {
-  GLOBE_ASSERT_MSG(request_id != 0, "reply requires a request id");
-  transmit(to, type, object, request_id, std::move(body));
+  reply_with(to, type, object, request_id,
+             [&](util::Writer& w) { w.raw(util::BytesView(body)); });
 }
 
 void CommunicationObject::multicast(const std::vector<Address>& to,
                                     MsgType type, ObjectId object,
                                     const Buffer& body) {
   for (const Address& addr : to) {
-    transmit(addr, type, object, 0, body);
+    send_with(addr, type, object,
+              [&](util::Writer& w) { w.raw(util::BytesView(body)); });
   }
 }
 
 void CommunicationObject::transmit(const Address& to, MsgType type,
-                                   ObjectId object, std::uint64_t request_id,
-                                   Buffer body) {
-  Envelope env{type, object, request_id, std::move(body)};
-  Buffer wire = env.encode();
+                                   Buffer wire) {
   if (observer_ != nullptr) observer_->on_send(type, wire.size());
   transport_->send(to, std::move(wire));
 }
 
 void CommunicationObject::on_message(const Address& from,
                                      util::BytesView payload) {
-  Envelope env = Envelope::decode(payload);
+  const EnvelopeView env = EnvelopeView::decode(payload);
   if (env.request_id != 0 && msg::is_reply(env.type)) {
     auto it = pending_.find(env.request_id);
     if (it == pending_.end()) return;  // late duplicate after timeout
     PendingRequest req = std::move(it->second);
     pending_.erase(it);
     if (sim_ != nullptr && req.timer != 0) sim_->cancel(req.timer);
-    req.handler(true, from, std::move(env));
+    req.handler(true, from, env);
     return;
   }
-  if (deliver_) deliver_(from, std::move(env));
+  if (deliver_) deliver_(from, env);
 }
 
 void CommunicationObject::arm_timer(std::uint64_t request_id) {
@@ -96,13 +105,13 @@ void CommunicationObject::on_timeout(std::uint64_t request_id) {
   PendingRequest& req = it->second;
   if (req.retries_left > 0) {
     --req.retries_left;
-    transmit(req.to, req.type, req.object, request_id, req.body);
+    transmit(req.to, req.type, req.wire);
     arm_timer(request_id);
     return;
   }
   PendingRequest done = std::move(it->second);
   pending_.erase(it);
-  done.handler(false, done.to, Envelope{});
+  done.handler(false, done.to, EnvelopeView{});
 }
 
 }  // namespace globe::core

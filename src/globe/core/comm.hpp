@@ -8,11 +8,17 @@
 //  (Section 2)
 //
 // The communication object offers:
-//   * send        — one-way point-to-point,
-//   * request     — point-to-point with reply correlation (send/receive),
-//   * reply       — answer a correlated request,
-//   * multicast   — one-way to a set of addresses.
+//   * send / send_with       — one-way point-to-point,
+//   * request / request_with — point-to-point with reply correlation,
+//   * reply / reply_with     — answer a correlated request,
+//   * multicast              — one-way to a set of addresses.
 // It never inspects message bodies; it sees only envelopes.
+//
+// Copy discipline: the *_with variants take an encoder functor and
+// serialize header plus body into a single wire buffer — no intermediate
+// body buffer, no header/body stitch copy. On receive, the handler gets
+// an EnvelopeView whose body borrows the transport's receive buffer;
+// nothing is copied until a decoder materializes owned fields.
 #pragma once
 
 #include <functional>
@@ -23,11 +29,13 @@
 #include "globe/msg/envelope.hpp"
 #include "globe/net/transport.hpp"
 #include "globe/sim/simulator.hpp"
+#include "globe/util/assert.hpp"
 #include "globe/util/ids.hpp"
 
 namespace globe::core {
 
 using msg::Envelope;
+using msg::EnvelopeView;
 using msg::MsgType;
 using net::Address;
 using util::Buffer;
@@ -46,12 +54,14 @@ using TransportFactory =
 
 class CommunicationObject {
  public:
-  /// Handler for incoming non-reply messages.
+  /// Handler for incoming non-reply messages. The view's body borrows
+  /// the receive buffer: valid only for the duration of the call.
   using DeliveryHandler =
-      std::function<void(const Address& from, Envelope env)>;
+      std::function<void(const Address& from, const EnvelopeView& env)>;
   /// Handler for replies; `ok` is false when the request timed out.
   using ReplyHandler =
-      std::function<void(bool ok, const Address& from, Envelope env)>;
+      std::function<void(bool ok, const Address& from,
+                         const EnvelopeView& env)>;
 
   /// `sim` may be null (loopback runtime); request timeouts then require
   /// the caller not to pass a timeout.
@@ -72,6 +82,15 @@ class CommunicationObject {
   /// One-way message (request_id = 0).
   void send(const Address& to, MsgType type, ObjectId object, Buffer body);
 
+  /// One-way message whose body is serialized straight into the wire
+  /// buffer: `encode_body(Writer&)` runs after the envelope header.
+  template <typename F>
+  void send_with(const Address& to, MsgType type, ObjectId object,
+                 F&& encode_body) {
+    transmit(to, type, make_wire(type, object, 0,
+                                 std::forward<F>(encode_body)));
+  }
+
   /// Correlated request. Returns the request id. If `timeout` is positive
   /// and no reply arrives in time, the handler is invoked with ok=false
   /// (and the request retried `retries` times first).
@@ -80,9 +99,31 @@ class CommunicationObject {
                         sim::SimDuration timeout = sim::SimDuration(0),
                         int retries = 0);
 
+  /// Correlated request with direct-to-wire body encoding.
+  template <typename F>
+  std::uint64_t request_with(const Address& to, MsgType type, ObjectId object,
+                             F&& encode_body, ReplyHandler handler,
+                             sim::SimDuration timeout = sim::SimDuration(0),
+                             int retries = 0) {
+    const std::uint64_t id = next_request_id_++;
+    return start_request(to, type, id,
+                         make_wire(type, object, id,
+                                   std::forward<F>(encode_body)),
+                         std::move(handler), timeout, retries);
+  }
+
   /// Replies to a correlated request.
   void reply(const Address& to, MsgType type, ObjectId object,
              std::uint64_t request_id, Buffer body);
+
+  /// Reply with direct-to-wire body encoding.
+  template <typename F>
+  void reply_with(const Address& to, MsgType type, ObjectId object,
+                  std::uint64_t request_id, F&& encode_body) {
+    GLOBE_ASSERT_MSG(request_id != 0, "reply requires a request id");
+    transmit(to, type, make_wire(type, object, request_id,
+                                 std::forward<F>(encode_body)));
+  }
 
   /// Multicast facility: one-way send to each address.
   void multicast(const std::vector<Address>& to, MsgType type, ObjectId object,
@@ -97,17 +138,28 @@ class CommunicationObject {
   struct PendingRequest {
     Address to;
     MsgType type{};
-    ObjectId object = 0;
-    Buffer body;
+    Buffer wire;  // full encoded datagram, kept for retransmission
     ReplyHandler handler;
     sim::SimDuration timeout{};
     int retries_left = 0;
     sim::EventId timer = 0;
   };
 
+  template <typename F>
+  [[nodiscard]] Buffer make_wire(MsgType type, ObjectId object,
+                                 std::uint64_t request_id, F&& encode_body) {
+    util::Writer w;
+    Envelope::encode_header(w, type, object, request_id);
+    encode_body(w);
+    return w.take();
+  }
+
+  std::uint64_t start_request(const Address& to, MsgType type,
+                              std::uint64_t request_id, Buffer wire,
+                              ReplyHandler handler, sim::SimDuration timeout,
+                              int retries);
   void on_message(const Address& from, util::BytesView payload);
-  void transmit(const Address& to, MsgType type, ObjectId object,
-                std::uint64_t request_id, Buffer body);
+  void transmit(const Address& to, MsgType type, Buffer wire);
   void arm_timer(std::uint64_t request_id);
   void on_timeout(std::uint64_t request_id);
 

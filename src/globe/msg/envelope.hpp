@@ -6,6 +6,11 @@
 // layer that owns the message type. Replication and communication objects
 // never look inside bodies they do not own — the paper's requirement that
 // they operate only on encoded invocation messages.
+//
+// Wire layout: type (u8), object (u64), request_id (u64), then the body
+// as the remainder of the datagram. The body carries no length prefix —
+// the envelope is always the whole payload — which is what lets the
+// receive path decode an EnvelopeView without copying a single body byte.
 #pragma once
 
 #include <cstdint>
@@ -65,31 +70,62 @@ enum class MsgType : std::uint8_t {
   }
 }
 
+struct Envelope;
+
+/// Borrowed decode of a received datagram: the body is a view into the
+/// receive buffer, valid for the duration of the delivery callback. The
+/// hot path (every message a store handles) copies no body bytes; a
+/// handler that must retain the body copies it explicitly (to_owned()).
+struct EnvelopeView {
+  MsgType type{};
+  ObjectId object = 0;
+  std::uint64_t request_id = 0;  // 0 when not a correlated request/reply
+  BytesView body;
+
+  static EnvelopeView decode(BytesView wire) {
+    Reader r(wire);
+    EnvelopeView e;
+    e.type = static_cast<MsgType>(r.u8());
+    e.object = r.u64();
+    e.request_id = r.u64();
+    e.body = r.rest();
+    return e;
+  }
+
+  [[nodiscard]] Envelope to_owned() const;
+};
+
 struct Envelope {
   MsgType type{};
   ObjectId object = 0;
   std::uint64_t request_id = 0;  // 0 when not a correlated request/reply
   Buffer body;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  /// Writes the fixed header; the body follows as raw bytes, so a sender
+  /// can serialize header and body into one buffer with no intermediate
+  /// copy (CommunicationObject::send_with).
+  static void encode_header(Writer& w, MsgType type, ObjectId object,
+                            std::uint64_t request_id) {
     w.u8(static_cast<std::uint8_t>(type));
     w.u64(object);
     w.u64(request_id);
-    w.bytes(BytesView(body));
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    w.reserve(1 + 8 + 8 + body.size());
+    encode_header(w, type, object, request_id);
+    w.raw(BytesView(body));
     return w.take();
   }
 
   static Envelope decode(BytesView wire) {
-    Reader r(wire);
-    Envelope e;
-    e.type = static_cast<MsgType>(r.u8());
-    e.object = r.u64();
-    e.request_id = r.u64();
-    e.body = r.bytes_copy();
-    r.expect_end();
-    return e;
+    return EnvelopeView::decode(wire).to_owned();
   }
 };
+
+inline Envelope EnvelopeView::to_owned() const {
+  return Envelope{type, object, request_id, Buffer(body.begin(), body.end())};
+}
 
 }  // namespace globe::msg

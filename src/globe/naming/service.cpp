@@ -21,7 +21,7 @@ enum class LocateOp : std::uint8_t {
 NamingServer::NamingServer(const TransportFactory& factory,
                            sim::Simulator* sim)
     : comm_(factory, sim) {
-  comm_.set_delivery_handler([this](const Address& from, msg::Envelope env) {
+  comm_.set_delivery_handler([this](const Address& from, const msg::EnvelopeView& env) {
     on_message(from, env);
   });
 }
@@ -61,8 +61,8 @@ std::vector<ContactPoint> NamingServer::locate(ObjectId object) const {
   return it == contacts_.end() ? std::vector<ContactPoint>{} : it->second;
 }
 
-void NamingServer::on_message(const Address& from, msg::Envelope env) {
-  util::Reader r{util::BytesView(env.body)};
+void NamingServer::on_message(const Address& from, const msg::EnvelopeView& env) {
+  util::Reader r{env.body};
   switch (env.type) {
     case msg::MsgType::kNameRequest: {
       const auto op = static_cast<NameOp>(r.u8());
@@ -128,12 +128,12 @@ void NamingClient::register_name(const std::string& name, ObjectId object,
   w.u64(object);
   comm_.request(server_, msg::MsgType::kNameRequest, object, w.take(),
                 [cb = std::move(cb)](bool ok, const Address&,
-                                     msg::Envelope env) {
+                                     const msg::EnvelopeView& env) {
                   if (!ok) {
                     cb(false);
                     return;
                   }
-                  util::Reader r{util::BytesView(env.body)};
+                  util::Reader r{env.body};
                   cb(r.boolean());
                 });
 }
@@ -144,12 +144,12 @@ void NamingClient::lookup(const std::string& name, LookupHandler cb) {
   w.str(name);
   comm_.request(server_, msg::MsgType::kNameRequest, 0, w.take(),
                 [cb = std::move(cb)](bool ok, const Address&,
-                                     msg::Envelope env) {
+                                     const msg::EnvelopeView& env) {
                   if (!ok) {
                     cb(false, 0);
                     return;
                   }
-                  util::Reader r{util::BytesView(env.body)};
+                  util::Reader r{env.body};
                   const bool found = r.boolean();
                   cb(found, r.u64());
                 });
@@ -163,12 +163,12 @@ void NamingClient::register_contact(ObjectId object,
   contact.encode(w);
   comm_.request(server_, msg::MsgType::kLocateRequest, object, w.take(),
                 [cb = std::move(cb)](bool ok, const Address&,
-                                     msg::Envelope env) {
+                                     const msg::EnvelopeView& env) {
                   if (!ok) {
                     cb(false);
                     return;
                   }
-                  util::Reader r{util::BytesView(env.body)};
+                  util::Reader r{env.body};
                   cb(r.boolean());
                 });
 }
@@ -178,12 +178,12 @@ void NamingClient::locate(ObjectId object, LocateHandler cb) {
   w.u8(static_cast<std::uint8_t>(LocateOp::kLocate));
   comm_.request(server_, msg::MsgType::kLocateRequest, object, w.take(),
                 [cb = std::move(cb)](bool ok, const Address&,
-                                     msg::Envelope env) {
+                                     const msg::EnvelopeView& env) {
                   if (!ok) {
                     cb(false, {});
                     return;
                   }
-                  util::Reader r{util::BytesView(env.body)};
+                  util::Reader r{env.body};
                   const bool found = r.boolean();
                   const std::uint64_t n = r.varint();
                   std::vector<ContactPoint> contacts;

@@ -38,7 +38,7 @@ class NamingServer {
   [[nodiscard]] std::vector<ContactPoint> locate(ObjectId object) const;
 
  private:
-  void on_message(const Address& from, msg::Envelope env);
+  void on_message(const Address& from, const msg::EnvelopeView& env);
 
   CommunicationObject comm_;
   std::map<std::string, ObjectId> names_;

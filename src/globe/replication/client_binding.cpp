@@ -62,11 +62,11 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
 
   const util::SimTime issued = sim_.now();
   const std::uint64_t op_index = req.client_op_index;
-  comm_.request(
+  comm_.request_with(
       options_.read_store, msg::MsgType::kInvokeRequest, options_.object,
-      req.encode(),
+      [&](util::Writer& w) { req.encode(w); },
       [this, cb = std::move(cb), page, issued, op_index](
-          bool ok, const Address&, msg::Envelope env) {
+          bool ok, const Address&, const msg::EnvelopeView& env) {
         ReadResult res;
         res.issued_at = issued;
         res.completed_at = sim_.now();
@@ -75,14 +75,14 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
           cb(std::move(res));
           return;
         }
-        InvokeReply rep = InvokeReply::decode(util::BytesView(env.body));
+        InvokeReply::View rep = InvokeReply::decode_view(env.body);
         res.ok = rep.ok;
         res.error = std::move(rep.error);
         res.store = rep.store;
         res.store_global_seq = rep.global_seq;
         res.store_clock = rep.store_clock;
         if (rep.ok) {
-          util::Reader r{util::BytesView(rep.value)};
+          util::Reader r{rep.value};
           core::PageReadValue v = core::PageReadValue::decode(r);
           res.content = std::move(v.content);
           res.mime = std::move(v.mime);
@@ -138,11 +138,11 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
     return r.str();
   }();
 
-  comm_.request(
+  comm_.request_with(
       options_.write_store, msg::MsgType::kInvokeRequest, options_.object,
-      req.encode(),
+      [&](util::Writer& w) { req.encode(w); },
       [this, cb = std::move(cb), issued, op_index, wid, deps, page](
-          bool ok, const Address&, msg::Envelope env) {
+          bool ok, const Address&, const msg::EnvelopeView& env) {
         WriteResult res;
         res.issued_at = issued;
         res.completed_at = sim_.now();
@@ -154,7 +154,7 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
           flush_deferred_reads();
           return;
         }
-        InvokeReply rep = InvokeReply::decode(util::BytesView(env.body));
+        InvokeReply::View rep = InvokeReply::decode_view(env.body);
         res.ok = rep.ok;
         res.error = std::move(rep.error);
         res.global_seq = rep.global_seq;
@@ -204,23 +204,24 @@ void ClientBinding::remove(const std::string& page, WriteHandler cb) {
 
 void ClientBinding::get_document(DocumentHandler cb) {
   ClientRequest req = base_request(msg::Invocation::get_document());
-  comm_.request(options_.read_store, msg::MsgType::kInvokeRequest,
-                options_.object, req.encode(),
+  comm_.request_with(options_.read_store, msg::MsgType::kInvokeRequest,
+                options_.object,
+                [&](util::Writer& w) { req.encode(w); },
                 [this, cb = std::move(cb)](bool ok, const Address&,
-                                           msg::Envelope env) {
+                                           const msg::EnvelopeView& env) {
                   DocumentResult res;
                   if (!ok) {
                     res.error = "request timed out";
                     cb(std::move(res));
                     return;
                   }
-                  InvokeReply rep =
-                      InvokeReply::decode(util::BytesView(env.body));
+                  InvokeReply::View rep =
+                      InvokeReply::decode_view(env.body);
                   res.ok = rep.ok;
                   res.error = std::move(rep.error);
                   res.store = rep.store;
                   if (rep.ok) {
-                    res.document.restore(util::BytesView(rep.value));
+                    res.document.restore(rep.value);
                   }
                   read_set_.merge(rep.store_clock);
                   cb(std::move(res));

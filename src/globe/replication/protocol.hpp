@@ -5,6 +5,13 @@
 // vocabulary serves every coherence model; which messages actually flow,
 // when, and with how much data is decided by the ReplicationPolicy
 // (Table 1) interpreted by the store engine.
+//
+// Encode/decode discipline: every struct encodes via `encode(Writer&)`
+// so senders can serialize straight into the wire buffer
+// (CommunicationObject::send_with). Messages that carry large opaque
+// blobs (snapshots, read values) additionally offer a `View` decode
+// whose blob fields borrow the receive buffer — valid for the duration
+// of the delivery callback, copied only if a handler must retain them.
 #pragma once
 
 #include <cstdint>
@@ -51,8 +58,7 @@ struct ClientRequest {
   bool ordered = false;            // require per-writer ordered application
   std::int64_t issued_at_us = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.bytes(BytesView(inv.encode()));
     w.u32(client);
     w.varint(client_op_index);
@@ -62,6 +68,11 @@ struct ClientRequest {
     w.varint(min_global_seq);
     w.boolean(ordered);
     w.i64(issued_at_us);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -93,8 +104,7 @@ struct InvokeReply {
   VectorClock store_clock;  // serving/accepting store's applied clock
   StoreId store = kInvalidStore;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.boolean(ok);
     w.str(error);
     w.bytes(BytesView(value));
@@ -103,21 +113,52 @@ struct InvokeReply {
     w.varint(global_seq);
     store_clock.encode(w);
     w.u32(store);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
-  static InvokeReply decode(BytesView wire) {
+  /// Borrowed decode: `value` and `document` view the receive buffer.
+  struct View {
+    bool ok = false;
+    std::string error;
+    BytesView value;
+    BytesView document;
+    WriteId wid;
+    std::uint64_t global_seq = 0;
+    VectorClock store_clock;
+    StoreId store = kInvalidStore;
+  };
+
+  static View decode_view(BytesView wire) {
     Reader r(wire);
-    InvokeReply rep;
+    View rep;
     rep.ok = r.boolean();
     rep.error = r.str();
-    rep.value = r.bytes_copy();
-    rep.document = r.bytes_copy();
+    rep.value = r.bytes();
+    rep.document = r.bytes();
     rep.wid = WriteId::decode(r);
     rep.global_seq = r.varint();
     rep.store_clock = VectorClock::decode(r);
     rep.store = r.u32();
     r.expect_end();
+    return rep;
+  }
+
+  static InvokeReply decode(BytesView wire) {
+    View v = decode_view(wire);
+    InvokeReply rep;
+    rep.ok = v.ok;
+    rep.error = std::move(v.error);
+    rep.value = util::to_buffer(v.value);
+    rep.document = util::to_buffer(v.document);
+    rep.wid = v.wid;
+    rep.global_seq = v.global_seq;
+    rep.store_clock = std::move(v.store_clock);
+    rep.store = v.store;
     return rep;
   }
 };
@@ -129,11 +170,15 @@ struct WriteForward {
   net::Address origin;              // client comm endpoint
   std::uint64_t origin_request_id = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.bytes(BytesView(request.encode()));
     encode_address(w, origin);
     w.varint(origin_request_id);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -154,11 +199,25 @@ struct UpdateMsg {
   VectorClock sender_clock;
   std::uint64_t sender_gseq = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  /// Single source of truth for the wire layout; senders that already
+  /// hold the fields encode straight to the wire without building an
+  /// UpdateMsg.
+  static void encode_fields(Writer& w,
+                            const std::vector<web::WriteRecord>& records,
+                            const VectorClock& sender_clock,
+                            std::uint64_t sender_gseq) {
     web::encode_records(w, records);
     sender_clock.encode(w);
     w.varint(sender_gseq);
+  }
+
+  void encode(Writer& w) const {
+    encode_fields(w, records, sender_clock, sender_gseq);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -179,22 +238,41 @@ struct SnapshotMsg {
   VectorClock clock;
   std::uint64_t gseq = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.bytes(BytesView(document));
     clock.encode(w);
     w.varint(gseq);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
-  static SnapshotMsg decode(BytesView wire) {
+  /// Borrowed decode: `document` views the receive buffer. A snapshot is
+  /// the largest message in the protocol; the receive path restores the
+  /// document straight from the view without an intermediate copy.
+  struct View {
+    BytesView document;
+    VectorClock clock;
+    std::uint64_t gseq = 0;
+  };
+
+  static View decode_view(BytesView wire) {
     Reader r(wire);
-    SnapshotMsg m;
-    m.document = r.bytes_copy();
+    View m;
+    m.document = r.bytes();
     m.clock = VectorClock::decode(r);
     m.gseq = r.varint();
     r.expect_end();
     return m;
+  }
+
+  static SnapshotMsg decode(BytesView wire) {
+    View v = decode_view(wire);
+    return SnapshotMsg{util::to_buffer(v.document), std::move(v.clock),
+                       v.gseq};
   }
 };
 
@@ -204,12 +282,16 @@ struct InvalidateMsg {
   VectorClock known_clock;
   std::uint64_t known_gseq = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.varint(pages.size());
     for (const auto& p : pages) w.str(p);
     known_clock.encode(w);
     w.varint(known_gseq);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -232,10 +314,14 @@ struct NotifyMsg {
   VectorClock known_clock;
   std::uint64_t known_gseq = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     known_clock.encode(w);
     w.varint(known_gseq);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -258,8 +344,7 @@ struct FetchRequest {
   bool validate_only = false;        // baseline: If-Modified-Since check
   std::uint64_t have_lamport = 0;    // version held, for validate_only
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     have_clock.encode(w);
     w.varint(have_gseq);
     w.boolean(want_full);
@@ -267,6 +352,11 @@ struct FetchRequest {
     for (const auto& p : pages) w.str(p);
     w.boolean(validate_only);
     w.varint(have_lamport);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -295,27 +385,54 @@ struct FetchReply {
   std::uint64_t gseq = 0;
   bool not_modified = false;  // validate_only result
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     w.boolean(full);
     w.bytes(BytesView(snapshot));
     web::encode_records(w, records);
     clock.encode(w);
     w.varint(gseq);
     w.boolean(not_modified);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
-  static FetchReply decode(BytesView wire) {
+  /// Borrowed decode: `snapshot` views the receive buffer; records are
+  /// materialized (they outlive the buffer inside the orderer).
+  struct View {
+    bool full = false;
+    BytesView snapshot;
+    std::vector<web::WriteRecord> records;
+    VectorClock clock;
+    std::uint64_t gseq = 0;
+    bool not_modified = false;
+  };
+
+  static View decode_view(BytesView wire) {
     Reader r(wire);
-    FetchReply m;
+    View m;
     m.full = r.boolean();
-    m.snapshot = r.bytes_copy();
+    m.snapshot = r.bytes();
     m.records = web::decode_records(r);
     m.clock = VectorClock::decode(r);
     m.gseq = r.varint();
     m.not_modified = r.boolean();
     r.expect_end();
+    return m;
+  }
+
+  static FetchReply decode(BytesView wire) {
+    View v = decode_view(wire);
+    FetchReply m;
+    m.full = v.full;
+    m.snapshot = util::to_buffer(v.snapshot);
+    m.records = std::move(v.records);
+    m.clock = std::move(v.clock);
+    m.gseq = v.gseq;
+    m.not_modified = v.not_modified;
     return m;
   }
 };
@@ -326,11 +443,15 @@ struct SubscribeMsg {
   StoreId store_id = kInvalidStore;
   std::uint8_t store_class = 0;
 
-  [[nodiscard]] Buffer encode() const {
-    Writer w;
+  void encode(Writer& w) const {
     encode_address(w, subscriber);
     w.u32(store_id);
     w.u8(store_class);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
     return w.take();
   }
 
@@ -346,12 +467,20 @@ struct SubscribeMsg {
 };
 
 /// kAntiEntropyRequest body: "here is my clock; send what I am missing".
+/// Carries the requester's total-order floor too, so the responder can
+/// skip totally-ordered records the requester already holds.
 struct AntiEntropyRequest {
   VectorClock have_clock;
+  std::uint64_t have_gseq = 0;
+
+  void encode(Writer& w) const {
+    have_clock.encode(w);
+    w.varint(have_gseq);
+  }
 
   [[nodiscard]] Buffer encode() const {
     Writer w;
-    have_clock.encode(w);
+    encode(w);
     return w.take();
   }
 
@@ -359,21 +488,34 @@ struct AntiEntropyRequest {
     Reader r(wire);
     AntiEntropyRequest m;
     m.have_clock = VectorClock::decode(r);
+    m.have_gseq = r.varint();
     r.expect_end();
     return m;
   }
 };
 
 /// kAntiEntropyReply body: missing records plus the responder's clock so
-/// the requester can push back what the responder is missing.
+/// the requester can push back what the responder is missing. When the
+/// requester is behind the responder's compacted log horizon, the
+/// records are the responder's current *state as records* (one per
+/// page). Restore-semantics snapshots are unusable here: with
+/// divergence on both sides neither clock dominates and a snapshot
+/// would never apply, whereas state-records merge commutatively through
+/// the normal orderer / last-writer-wins path.
 struct AntiEntropyReply {
   std::vector<web::WriteRecord> records;
   VectorClock responder_clock;
+  std::uint64_t responder_gseq = 0;
+
+  void encode(Writer& w) const {
+    web::encode_records(w, records);
+    responder_clock.encode(w);
+    w.varint(responder_gseq);
+  }
 
   [[nodiscard]] Buffer encode() const {
     Writer w;
-    web::encode_records(w, records);
-    responder_clock.encode(w);
+    encode(w);
     return w.take();
   }
 
@@ -382,6 +524,7 @@ struct AntiEntropyReply {
     AntiEntropyReply m;
     m.records = web::decode_records(r);
     m.responder_clock = VectorClock::decode(r);
+    m.responder_gseq = r.varint();
     r.expect_end();
     return m;
   }

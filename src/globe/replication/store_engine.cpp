@@ -50,9 +50,10 @@ StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
                  ? make_orderer(ObjectModel::kEventual)
                  : std::make_unique<FifoOrderer>();
 
-  comm_.set_delivery_handler([this](const Address& from, msg::Envelope env) {
-    on_message(from, std::move(env));
-  });
+  comm_.set_delivery_handler(
+      [this](const Address& from, const msg::EnvelopeView& env) {
+        on_message(from, env);
+      });
 
   configure_timers();
 
@@ -113,18 +114,16 @@ bool StoreEngine::update_policy(const core::ReplicationPolicy& policy) {
   configure_timers();
 
   // Propagate the strategy change through the object (downstream).
-  util::Writer w;
-  policy.encode(w);
-  const Buffer body = w.take();
   for (const Subscriber& s : subscribers_) {
-    comm_.send(s.address, msg::MsgType::kPolicyUpdate, config_.object, body);
+    comm_.send_with(s.address, msg::MsgType::kPolicyUpdate, config_.object,
+                    [&](util::Writer& w) { policy.encode(w); });
   }
   return true;
 }
 
 void StoreEngine::handle_policy_update(const Address& /*from*/,
-                                       msg::Envelope& env) {
-  util::Reader r{util::BytesView(env.body)};
+                                       const msg::EnvelopeView& env) {
+  util::Reader r{env.body};
   const auto policy = core::ReplicationPolicy::decode(r);
   update_policy(policy);
 }
@@ -191,11 +190,12 @@ void StoreEngine::seed(const std::string& page, const std::string& content,
 // Message dispatch
 // ---------------------------------------------------------------------
 
-void StoreEngine::on_message(const Address& from, msg::Envelope env) {
+void StoreEngine::on_message(const Address& from,
+                             const msg::EnvelopeView& env) {
   switch (env.type) {
     case msg::MsgType::kInvokeRequest:
       handle_client_request(from, env.request_id,
-                            ClientRequest::decode(util::BytesView(env.body)));
+                            ClientRequest::decode(env.body));
       return;
     case msg::MsgType::kWriteForward:
       handle_write_forward(from, env);
@@ -261,13 +261,15 @@ void StoreEngine::handle_client_request(const Address& from,
 }
 
 void StoreEngine::handle_write_forward(const Address& /*from*/,
-                                       msg::Envelope& env) {
-  WriteForward fwd = WriteForward::decode(util::BytesView(env.body));
+                                       const msg::EnvelopeView& env) {
   if (accepts_writes()) {
+    WriteForward fwd = WriteForward::decode(env.body);
     accept_write(fwd.origin, fwd.origin_request_id, std::move(fwd.request));
   } else {
-    comm_.send(config_.upstream, msg::MsgType::kWriteForward, config_.object,
-               env.body);
+    // Relay the encoded body as-is; no need to decode it here.
+    comm_.send_with(config_.upstream, msg::MsgType::kWriteForward,
+                    config_.object,
+                    [&](util::Writer& w) { w.raw(env.body); });
   }
 }
 
@@ -407,7 +409,7 @@ void StoreEngine::apply_ready(std::vector<web::WriteRecord> ready) {
     // their content: other replicas need their WiDs for dependency
     // coverage. Eventual losers are dropped (the winner suffices).
     if (changed || !is_eventual) {
-      log_.push_back(rec);
+      log_.append(rec);
       record_apply(rec, /*changed=*/true);
       ++writes_applied_;
       applied.push_back(std::move(rec));
@@ -418,9 +420,19 @@ void StoreEngine::apply_ready(std::vector<web::WriteRecord> ready) {
     }
   }
   demand_retry_budget_ = 100;  // progress: re-arm the retry budget
+  maybe_compact();
   note_gaps();
   unpark_ready();
   if (!applied.empty()) propagate(applied);
+}
+
+void StoreEngine::maybe_compact() {
+  const std::size_t threshold = config_.log_compact_threshold;
+  if (threshold == 0 || log_.size() <= threshold) return;
+  // Fold the oldest half into the base clock; requesters behind the
+  // horizon fall back to a snapshot cutover (handle_fetch_request /
+  // handle_anti_entropy check can_serve()).
+  log_.compact(threshold / 2);
 }
 
 void StoreEngine::note_gaps() {
@@ -562,18 +574,23 @@ void StoreEngine::serve_read_check_on_read(const Address& from,
   fetch.validate_only = true;
   fetch.pages.push_back(page);
   fetch.have_lamport = current ? current->lamport : 0;
-  comm_.request(
+  comm_.request_with(
       config_.upstream, msg::MsgType::kFetchRequest, config_.object,
-      fetch.encode(),
+      [&](util::Writer& w) { fetch.encode(w); },
       [this, from, request_id, req = std::move(req)](
-          bool ok, const Address&, msg::Envelope env) mutable {
+          bool ok, const Address&, const msg::EnvelopeView& env) mutable {
         if (ok) {
-          FetchReply rep = FetchReply::decode(util::BytesView(env.body));
+          FetchReply::View rep = FetchReply::decode_view(env.body);
           if (!rep.not_modified) {
             for (auto& rec : rep.records) {
               semantics_.apply(rec);
               applied_clock_.observe(rec.wid);
-              if (rec.global_seq > applied_gseq_) {
+              // Same contiguity guard as apply_ready: a sequential-model
+              // store must never advertise a gseq floor with holes
+              // behind it (WriteLog::can_serve trusts that floor).
+              if (rec.global_seq > applied_gseq_ &&
+                  (config_.policy.model != ObjectModel::kSequential ||
+                   rec.global_seq == applied_gseq_ + 1)) {
                 applied_gseq_ = rec.global_seq;
               }
               fetched_at_[rec.page] = sim_.now();
@@ -604,18 +621,22 @@ void StoreEngine::serve_read_ttl(const Address& from, std::uint64_t request_id,
   fetch.validate_only = true;  // "give me the latest copy of this page"
   fetch.pages.push_back(page);
   fetch.have_lamport = 0;
-  comm_.request(
+  comm_.request_with(
       config_.upstream, msg::MsgType::kFetchRequest, config_.object,
-      fetch.encode(),
+      [&](util::Writer& w) { fetch.encode(w); },
       [this, from, request_id, page,
        req = std::move(req)](bool ok, const Address&,
-                             msg::Envelope env) mutable {
+                             const msg::EnvelopeView& env) mutable {
         if (ok) {
-          FetchReply rep = FetchReply::decode(util::BytesView(env.body));
+          FetchReply::View rep = FetchReply::decode_view(env.body);
           for (auto& rec : rep.records) {
             semantics_.apply(rec);
             applied_clock_.observe(rec.wid);
-            if (rec.global_seq > applied_gseq_) applied_gseq_ = rec.global_seq;
+            if (rec.global_seq > applied_gseq_ &&
+                (config_.policy.model != ObjectModel::kSequential ||
+                 rec.global_seq == applied_gseq_ + 1)) {
+              applied_gseq_ = rec.global_seq;
+            }
           }
           fetched_at_[page] = sim_.now();
         }
@@ -670,7 +691,8 @@ void StoreEngine::send_coherence(const Address& to,
     m.pages.assign(pages.begin(), pages.end());
     m.known_clock = applied_clock_;
     m.known_gseq = applied_gseq_;
-    comm_.send(to, msg::MsgType::kInvalidate, config_.object, m.encode());
+    comm_.send_with(to, msg::MsgType::kInvalidate, config_.object,
+                    [&](util::Writer& w) { m.encode(w); });
     return;
   }
   switch (p.coherence_transfer) {
@@ -678,15 +700,18 @@ void StoreEngine::send_coherence(const Address& to,
       NotifyMsg m;
       m.known_clock = applied_clock_;
       m.known_gseq = applied_gseq_;
-      comm_.send(to, msg::MsgType::kNotify, config_.object, m.encode());
+      comm_.send_with(to, msg::MsgType::kNotify, config_.object,
+                      [&](util::Writer& w) { m.encode(w); });
       return;
     }
     case CoherenceTransfer::kPartial: {
-      UpdateMsg m;
-      m.records = recs;
-      m.sender_clock = applied_clock_;
-      m.sender_gseq = applied_gseq_;
-      comm_.send(to, msg::MsgType::kUpdate, config_.object, m.encode());
+      // Serialize the records straight into the wire buffer: the record
+      // payloads travel from the log to the transport with one copy.
+      comm_.send_with(to, msg::MsgType::kUpdate, config_.object,
+                      [&](util::Writer& w) {
+                        UpdateMsg::encode_fields(w, recs, applied_clock_,
+                                                 applied_gseq_);
+                      });
       return;
     }
     case CoherenceTransfer::kFull: {
@@ -694,7 +719,8 @@ void StoreEngine::send_coherence(const Address& to,
       m.document = semantics_.snapshot();
       m.clock = applied_clock_;
       m.gseq = applied_gseq_;
-      comm_.send(to, msg::MsgType::kSnapshot, config_.object, m.encode());
+      comm_.send_with(to, msg::MsgType::kSnapshot, config_.object,
+                      [&](util::Writer& w) { m.encode(w); });
       return;
     }
   }
@@ -722,25 +748,33 @@ void StoreEngine::pull_from_upstream() {
     // learn what the upstream is missing so I can push it back.
     AntiEntropyRequest reqmsg;
     reqmsg.have_clock = applied_clock_;
-    comm_.request(
+    reqmsg.have_gseq = applied_gseq_;
+    comm_.request_with(
         config_.upstream, msg::MsgType::kAntiEntropyRequest, config_.object,
-        reqmsg.encode(),
-        [this](bool ok, const Address& from, msg::Envelope env) {
+        [&](util::Writer& w) { reqmsg.encode(w); },
+        [this](bool ok, const Address& from, const msg::EnvelopeView& env) {
           if (!ok) return;
-          AntiEntropyReply rep =
-              AntiEntropyReply::decode(util::BytesView(env.body));
-          // Push back records the responder is missing.
-          std::vector<web::WriteRecord> for_peer;
-          for (const auto& rec : log_) {
-            if (!rep.responder_clock.covers(rec.wid)) for_peer.push_back(rec);
-          }
+          AntiEntropyReply rep = AntiEntropyReply::decode(env.body);
+          // Push back records the responder is missing — an indexed
+          // delta, not a log scan. If the responder is behind *our*
+          // compaction horizon, a delta can no longer reach it (and it
+          // may never request from us): push the current state as
+          // records instead. State-records LWW-merge commutatively at
+          // the peer, which converges even when both sides compacted
+          // past each other (a restore-snapshot would apply in neither
+          // direction there).
+          std::vector<web::WriteRecord> for_peer =
+              log_.can_serve(rep.responder_clock, rep.responder_gseq)
+                  ? records_since(rep.responder_clock, rep.responder_gseq,
+                                  {})
+                  : state_as_records();
           if (!for_peer.empty()) {
-            UpdateMsg up;
-            up.records = std::move(for_peer);
-            up.sender_clock = applied_clock_;
-            up.sender_gseq = applied_gseq_;
-            comm_.send(from, msg::MsgType::kUpdate, config_.object,
-                       up.encode());
+            comm_.send_with(from, msg::MsgType::kUpdate, config_.object,
+                            [&](util::Writer& w) {
+                              UpdateMsg::encode_fields(w, for_peer,
+                                                       applied_clock_,
+                                                       applied_gseq_);
+                            });
           }
           std::vector<web::WriteRecord> ready;
           for (auto& rec : rep.records) {
@@ -756,13 +790,14 @@ void StoreEngine::pull_from_upstream() {
   fetch.have_gseq = applied_gseq_;
   fetch.want_full =
       config_.policy.coherence_transfer == CoherenceTransfer::kFull;
-  comm_.request(config_.upstream, msg::MsgType::kFetchRequest, config_.object,
-                fetch.encode(),
-                [this](bool ok, const Address&, msg::Envelope env) {
-                  if (!ok) return;
-                  apply_fetch_reply(
-                      FetchReply::decode(util::BytesView(env.body)));
-                });
+  comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
+                     config_.object,
+                     [&](util::Writer& w) { fetch.encode(w); },
+                     [this](bool ok, const Address&,
+                            const msg::EnvelopeView& env) {
+                       if (!ok) return;
+                       apply_fetch_reply(FetchReply::decode_view(env.body));
+                     });
 }
 
 void StoreEngine::demand_fetch(std::vector<std::string> pages) {
@@ -780,35 +815,32 @@ void StoreEngine::demand_fetch(std::vector<std::string> pages) {
   // Demand-updates must survive lossy links (Section 4.2: they are the
   // retransmission mechanism), so the request itself carries a timeout
   // and retries.
-  comm_.request(config_.upstream, msg::MsgType::kFetchRequest, config_.object,
-                fetch.encode(),
-                [this](bool ok, const Address&, msg::Envelope env) {
-                  fetch_in_flight_ = false;
-                  if (!ok) {
-                    if (demand_retry_budget_ > 0 &&
-                        (outdated_ || !parked_.empty())) {
-                      --demand_retry_budget_;
-                      sim_.schedule_after(sim::SimDuration::millis(50),
-                                          [this] { demand_fetch(); });
-                    }
-                    return;
-                  }
-                  apply_fetch_reply(
-                      FetchReply::decode(util::BytesView(env.body)));
-                },
-                sim::SimDuration::millis(250), /*retries=*/4);
+  comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
+                     config_.object,
+                     [&](util::Writer& w) { fetch.encode(w); },
+                     [this](bool ok, const Address&,
+                            const msg::EnvelopeView& env) {
+                       fetch_in_flight_ = false;
+                       if (!ok) {
+                         if (demand_retry_budget_ > 0 &&
+                             (outdated_ || !parked_.empty())) {
+                           --demand_retry_budget_;
+                           sim_.schedule_after(sim::SimDuration::millis(50),
+                                               [this] { demand_fetch(); });
+                         }
+                         return;
+                       }
+                       apply_fetch_reply(FetchReply::decode_view(env.body));
+                     },
+                     sim::SimDuration::millis(250), /*retries=*/4);
 }
 
-void StoreEngine::apply_fetch_reply(FetchReply reply) {
+void StoreEngine::apply_fetch_reply(FetchReply::View reply) {
   if (reply.not_modified) return;
   if (reply.full) {
-    SnapshotMsg snap;
-    snap.document = std::move(reply.snapshot);
-    snap.clock = std::move(reply.clock);
-    snap.gseq = reply.gseq;
-    msg::Envelope env;
-    env.body = snap.encode();
-    handle_snapshot(env);
+    // Snapshot cutover: restore straight from the borrowed view — the
+    // document bytes are never copied into an intermediate message.
+    apply_snapshot(reply.snapshot, reply.clock, reply.gseq);
     return;
   }
   std::vector<web::WriteRecord> ready;
@@ -837,34 +869,35 @@ void StoreEngine::subscribe_to_upstream() {
   sub.subscriber = comm_.local_address();
   sub.store_id = config_.store_id;
   sub.store_class = static_cast<std::uint8_t>(config_.store_class);
-  comm_.request(config_.upstream, msg::MsgType::kSubscribe, config_.object,
-                sub.encode(),
-                [this](bool ok, const Address&, msg::Envelope env) {
-                  GLOBE_ASSERT_MSG(ok, "subscribe failed");
-                  SnapshotMsg snap =
-                      SnapshotMsg::decode(util::BytesView(env.body));
-                  semantics_.restore(util::BytesView(snap.document));
-                  applied_clock_.merge(snap.clock);
-                  applied_gseq_ = std::max(applied_gseq_, snap.gseq);
-                  record_snapshot_event();
-                  std::vector<web::WriteRecord> ready;
-                  for (auto& rec : ready) {
-                    rec.transient_origin = addr_key(config_.upstream);
-                  }
-                  orderer_->reset_to(applied_clock_, applied_gseq_, ready);
-                  ready_ = true;
-                  apply_ready(std::move(ready));
-                  note_gaps();
-                  unpark_ready();
-                });
+  comm_.request_with(
+      config_.upstream, msg::MsgType::kSubscribe, config_.object,
+      [&](util::Writer& w) { sub.encode(w); },
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        GLOBE_ASSERT_MSG(ok, "subscribe failed");
+        SnapshotMsg::View snap = SnapshotMsg::decode_view(env.body);
+        semantics_.restore(snap.document);
+        applied_clock_.merge(snap.clock);
+        applied_gseq_ = std::max(applied_gseq_, snap.gseq);
+        record_snapshot_event();
+        std::vector<web::WriteRecord> ready;
+        orderer_->reset_to(applied_clock_, applied_gseq_, ready);
+        for (auto& rec : ready) {
+          rec.transient_origin = addr_key(config_.upstream);
+        }
+        ready_ = true;
+        apply_ready(std::move(ready));
+        note_gaps();
+        unpark_ready();
+      });
 }
 
 // ---------------------------------------------------------------------
 // Inter-store message handlers
 // ---------------------------------------------------------------------
 
-void StoreEngine::handle_update(const Address& from, msg::Envelope& env) {
-  UpdateMsg m = UpdateMsg::decode(util::BytesView(env.body));
+void StoreEngine::handle_update(const Address& from,
+                                const msg::EnvelopeView& env) {
+  UpdateMsg m = UpdateMsg::decode(env.body);
   known_clock_.merge(m.sender_clock);
   known_gseq_ = std::max(known_gseq_, m.sender_gseq);
 
@@ -891,17 +924,23 @@ void StoreEngine::handle_update(const Address& from, msg::Envelope& env) {
   }
 }
 
-void StoreEngine::handle_snapshot(msg::Envelope& env) {
-  SnapshotMsg m = SnapshotMsg::decode(util::BytesView(env.body));
+void StoreEngine::handle_snapshot(const msg::EnvelopeView& env) {
+  SnapshotMsg::View m = SnapshotMsg::decode_view(env.body);
+  apply_snapshot(m.document, m.clock, m.gseq);
+}
+
+void StoreEngine::apply_snapshot(util::BytesView document,
+                                 const coherence::VectorClock& clock,
+                                 std::uint64_t gseq) {
   // Only move forward: ignore snapshots older than our state.
-  const bool newer = m.clock.dominates(applied_clock_) &&
-                     (m.clock != applied_clock_ || m.gseq > applied_gseq_);
-  if (!newer && !(m.gseq > applied_gseq_)) return;
-  semantics_.restore(util::BytesView(m.document));
-  applied_clock_.merge(m.clock);
-  applied_gseq_ = std::max(applied_gseq_, m.gseq);
-  known_clock_.merge(m.clock);
-  known_gseq_ = std::max(known_gseq_, m.gseq);
+  const bool newer = clock.dominates(applied_clock_) &&
+                     (clock != applied_clock_ || gseq > applied_gseq_);
+  if (!newer && !(gseq > applied_gseq_)) return;
+  semantics_.restore(document);
+  applied_clock_.merge(clock);
+  applied_gseq_ = std::max(applied_gseq_, gseq);
+  known_clock_.merge(clock);
+  known_gseq_ = std::max(known_gseq_, gseq);
   record_snapshot_event();
   invalid_pages_.clear();
   std::vector<web::WriteRecord> ready;
@@ -925,17 +964,19 @@ void StoreEngine::handle_snapshot(msg::Envelope& env) {
   unpark_ready();
 }
 
-void StoreEngine::handle_invalidate(const Address& from, msg::Envelope& env) {
-  InvalidateMsg m = InvalidateMsg::decode(util::BytesView(env.body));
+void StoreEngine::handle_invalidate(const Address& from,
+                                    const msg::EnvelopeView& env) {
+  InvalidateMsg m = InvalidateMsg::decode(env.body);
   for (const auto& p : m.pages) invalid_pages_.insert(p);
   known_clock_.merge(m.known_clock);
   known_gseq_ = std::max(known_gseq_, m.known_gseq);
   note_gaps();
-  // Forward invalidations downstream.
+  // Forward invalidations downstream (re-serialized from the borrowed
+  // body; no intermediate buffer).
   for (const Subscriber& s : subscribers_) {
     if (s.address != from) {
-      comm_.send(s.address, msg::MsgType::kInvalidate, config_.object,
-                 env.body);
+      comm_.send_with(s.address, msg::MsgType::kInvalidate, config_.object,
+                      [&](util::Writer& w) { w.raw(env.body); });
     }
   }
   if (config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
@@ -945,13 +986,14 @@ void StoreEngine::handle_invalidate(const Address& from, msg::Envelope& env) {
   }
 }
 
-void StoreEngine::handle_notify(msg::Envelope& env) {
-  NotifyMsg m = NotifyMsg::decode(util::BytesView(env.body));
+void StoreEngine::handle_notify(const msg::EnvelopeView& env) {
+  NotifyMsg m = NotifyMsg::decode(env.body);
   known_clock_.merge(m.known_clock);
   known_gseq_ = std::max(known_gseq_, m.known_gseq);
   note_gaps();
   for (const Subscriber& s : subscribers_) {
-    comm_.send(s.address, msg::MsgType::kNotify, config_.object, env.body);
+    comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
+                    [&](util::Writer& w) { w.raw(env.body); });
   }
   if (outdated_ &&
       config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
@@ -964,10 +1006,24 @@ void StoreEngine::advertise_clock() {
   NotifyMsg m;
   m.known_clock = applied_clock_;
   m.known_gseq = applied_gseq_;
-  const Buffer body = m.encode();
   for (const Subscriber& s : subscribers_) {
-    comm_.send(s.address, msg::MsgType::kNotify, config_.object, body);
+    comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
+                    [&](util::Writer& w) { m.encode(w); });
   }
+}
+
+std::vector<web::WriteRecord> StoreEngine::state_as_records() const {
+  // The whole document expressed as one LWW state record per page (the
+  // page's last writer, total-order position, and Lamport stamp travel
+  // with it). Used when a peer is behind the log's compaction horizon:
+  // unlike a restore-snapshot, these merge commutatively through the
+  // peer's orderer. Pages deleted before compaction are not represented
+  // — the usual tombstone-less LWW limitation, noted in docs/perf.md.
+  std::vector<web::WriteRecord> out;
+  const auto pages = semantics_.document().page_names();
+  out.reserve(pages.size());
+  for (const auto& page : pages) out.push_back(record_for_page(page));
+  return out;
 }
 
 web::WriteRecord StoreEngine::record_for_page(const std::string& page) const {
@@ -991,22 +1047,14 @@ web::WriteRecord StoreEngine::record_for_page(const std::string& page) const {
 std::vector<web::WriteRecord> StoreEngine::records_since(
     const coherence::VectorClock& have, std::uint64_t have_gseq,
     const std::vector<std::string>& pages) const {
-  std::vector<web::WriteRecord> out;
-  for (const auto& rec : log_) {
-    if (have.covers(rec.wid)) continue;
-    if (rec.global_seq != 0 && rec.global_seq <= have_gseq) continue;
-    if (!pages.empty() &&
-        std::find(pages.begin(), pages.end(), rec.page) == pages.end()) {
-      continue;
-    }
-    out.push_back(rec);
-  }
-  return out;
+  return config_.naive_log_scan
+             ? log_.records_since_naive(have, have_gseq, pages)
+             : log_.records_since(have, have_gseq, pages);
 }
 
 void StoreEngine::handle_fetch_request(const Address& from,
-                                       msg::Envelope& env) {
-  FetchRequest m = FetchRequest::decode(util::BytesView(env.body));
+                                       const msg::EnvelopeView& env) {
+  FetchRequest m = FetchRequest::decode(env.body);
   FetchReply rep;
   rep.clock = applied_clock_;
   rep.gseq = applied_gseq_;
@@ -1020,18 +1068,25 @@ void StoreEngine::handle_fetch_request(const Address& from,
       rep.records.push_back(record_for_page(m.pages.front()));
     }
     // Page absent: empty records; the cache serves not-found.
-  } else if (m.want_full) {
+  } else if (m.want_full ||
+             !log_.can_serve(m.have_clock, m.have_gseq,
+                             config_.policy.model ==
+                                 ObjectModel::kSequential)) {
+    // Snapshot cutover: either the requester asked for full state, or it
+    // is behind the log's compaction horizon and a delta can no longer
+    // be computed for it.
     rep.full = true;
     rep.snapshot = semantics_.snapshot();
   } else {
     rep.records = records_since(m.have_clock, m.have_gseq, m.pages);
   }
-  comm_.reply(from, msg::MsgType::kFetchReply, config_.object, env.request_id,
-              rep.encode());
+  comm_.reply_with(from, msg::MsgType::kFetchReply, config_.object,
+                   env.request_id, [&](util::Writer& w) { rep.encode(w); });
 }
 
-void StoreEngine::handle_subscribe(const Address& from, msg::Envelope& env) {
-  SubscribeMsg m = SubscribeMsg::decode(util::BytesView(env.body));
+void StoreEngine::handle_subscribe(const Address& from,
+                                   const msg::EnvelopeView& env) {
+  SubscribeMsg m = SubscribeMsg::decode(env.body);
   auto it = std::find_if(subscribers_.begin(), subscribers_.end(),
                          [&](const Subscriber& s) {
                            return s.address == m.subscriber;
@@ -1043,21 +1098,35 @@ void StoreEngine::handle_subscribe(const Address& from, msg::Envelope& env) {
   snap.document = semantics_.snapshot();
   snap.clock = applied_clock_;
   snap.gseq = applied_gseq_;
-  comm_.reply(from, msg::MsgType::kSubscribeAck, config_.object,
-              env.request_id, snap.encode());
+  comm_.reply_with(from, msg::MsgType::kSubscribeAck, config_.object,
+                   env.request_id, [&](util::Writer& w) { snap.encode(w); });
 }
 
 void StoreEngine::handle_anti_entropy(const Address& from,
-                                      msg::Envelope& env) {
-  AntiEntropyRequest m =
-      AntiEntropyRequest::decode(util::BytesView(env.body));
+                                      const msg::EnvelopeView& env) {
+  AntiEntropyRequest m = AntiEntropyRequest::decode(env.body);
   AntiEntropyReply rep;
   rep.responder_clock = applied_clock_;
-  for (const auto& rec : log_) {
-    if (!m.have_clock.covers(rec.wid)) rep.records.push_back(rec);
+  rep.responder_gseq = applied_gseq_;
+  // Anti-entropy runs under multi-master models, whose gseq floors are
+  // not contiguous — only clock domination proves the peer is past the
+  // compaction horizon (can_serve's gseq shortcut stays off). The
+  // records_since gseq filter below is safe because multi-master
+  // records are never sequenced (global_seq == 0); it only bites for
+  // totally-ordered records the peer genuinely holds.
+  if (!log_.can_serve(m.have_clock, m.have_gseq)) {
+    // Peer is behind the compaction horizon: send the current state as
+    // records. They merge through the peer's normal orderer/LWW path,
+    // which converges even when both peers compacted past each other —
+    // a restore-snapshot would apply in neither direction there.
+    rep.records = state_as_records();
+  } else {
+    // Indexed delta honoring the peer's total-order floor — gossip no
+    // longer resends totally-ordered records the peer already holds.
+    rep.records = records_since(m.have_clock, m.have_gseq, {});
   }
-  comm_.reply(from, msg::MsgType::kAntiEntropyReply, config_.object,
-              env.request_id, rep.encode());
+  comm_.reply_with(from, msg::MsgType::kAntiEntropyReply, config_.object,
+                   env.request_id, [&](util::Writer& w) { rep.encode(w); });
 }
 
 }  // namespace globe::replication

@@ -35,6 +35,7 @@
 #include "globe/naming/contact.hpp"
 #include "globe/replication/orderer.hpp"
 #include "globe/replication/protocol.hpp"
+#include "globe/replication/write_log.hpp"
 #include "globe/sim/simulator.hpp"
 
 namespace globe::replication {
@@ -73,6 +74,14 @@ struct StoreConfig {
   sim::SimDuration ttl = sim::SimDuration::seconds(60);
   /// Subscribe to upstream at construction (Globe mode, non-primary).
   bool auto_subscribe = true;
+  /// Write-log compaction: when the retained log exceeds this many
+  /// records, the oldest half is folded into the log's base clock and
+  /// requesters behind the horizon get a snapshot cutover instead of a
+  /// delta. 0 disables compaction.
+  std::size_t log_compact_threshold = 4096;
+  /// Benchmark baseline: compute deltas with the naive O(history) log
+  /// scan instead of the indexes (bench_scale's before/after knob).
+  bool naive_log_scan = false;
 };
 
 class StoreEngine {
@@ -132,6 +141,9 @@ class StoreEngine {
     return writes_applied_;
   }
 
+  /// The applied-record log with its delta indexes (tests / benches).
+  [[nodiscard]] const WriteLog& write_log() const { return log_; }
+
  private:
   struct Parked {
     Address from;
@@ -140,17 +152,17 @@ class StoreEngine {
   };
 
   // ---- message dispatch ----
-  void on_message(const Address& from, msg::Envelope env);
+  void on_message(const Address& from, const msg::EnvelopeView& env);
   void handle_client_request(const Address& from, std::uint64_t request_id,
                              ClientRequest req);
-  void handle_write_forward(const Address& from, msg::Envelope& env);
-  void handle_update(const Address& from, msg::Envelope& env);
-  void handle_snapshot(msg::Envelope& env);
-  void handle_invalidate(const Address& from, msg::Envelope& env);
-  void handle_notify(msg::Envelope& env);
-  void handle_fetch_request(const Address& from, msg::Envelope& env);
-  void handle_subscribe(const Address& from, msg::Envelope& env);
-  void handle_anti_entropy(const Address& from, msg::Envelope& env);
+  void handle_write_forward(const Address& from, const msg::EnvelopeView& env);
+  void handle_update(const Address& from, const msg::EnvelopeView& env);
+  void handle_snapshot(const msg::EnvelopeView& env);
+  void handle_invalidate(const Address& from, const msg::EnvelopeView& env);
+  void handle_notify(const msg::EnvelopeView& env);
+  void handle_fetch_request(const Address& from, const msg::EnvelopeView& env);
+  void handle_subscribe(const Address& from, const msg::EnvelopeView& env);
+  void handle_anti_entropy(const Address& from, const msg::EnvelopeView& env);
 
   // ---- write path ----
   [[nodiscard]] bool accepts_writes() const;
@@ -158,6 +170,7 @@ class StoreEngine {
                     ClientRequest req);
   void apply_ready(std::vector<web::WriteRecord> ready);
   void note_gaps();
+  void maybe_compact();
 
   // ---- read path ----
   void serve_read(const Address& from, std::uint64_t request_id,
@@ -181,9 +194,11 @@ class StoreEngine {
   void pull_from_upstream();
   void advertise_clock();
   void configure_timers();
-  void handle_policy_update(const Address& from, msg::Envelope& env);
+  void handle_policy_update(const Address& from, const msg::EnvelopeView& env);
   void demand_fetch(std::vector<std::string> pages = {});
-  void apply_fetch_reply(FetchReply reply);
+  void apply_fetch_reply(FetchReply::View reply);
+  void apply_snapshot(util::BytesView document,
+                      const coherence::VectorClock& clock, std::uint64_t gseq);
   void subscribe_to_upstream();
 
   // ---- helpers ----
@@ -196,8 +211,9 @@ class StoreEngine {
                     const InvokeReply& rep);
   [[nodiscard]] std::vector<web::WriteRecord> records_since(
       const coherence::VectorClock& have, std::uint64_t have_gseq,
-      const std::vector<std::string>& pages) const;
+      const std::vector<std::string>& pages = {}) const;
   [[nodiscard]] web::WriteRecord record_for_page(const std::string& page) const;
+  [[nodiscard]] std::vector<web::WriteRecord> state_as_records() const;
 
   class TrafficAdapter final : public core::TrafficObserver {
    public:
@@ -227,7 +243,7 @@ class StoreEngine {
   std::uint64_t next_gseq_ = 0;  // primary only: total-order counter
   std::uint64_t lamport_ = 0;
 
-  std::vector<web::WriteRecord> log_;  // applied records, in apply order
+  WriteLog log_;  // applied records, in apply order, with delta indexes
   struct Subscriber {
     Address address;
     StoreId store_id;

@@ -30,6 +30,10 @@ struct TestbedOptions {
   std::uint64_t seed = 1;
   sim::LinkSpec wan;  // default link between nodes
   bool record_history = true;
+  /// Per-store write-log compaction threshold (0 = disabled).
+  std::size_t log_compact_threshold = 4096;
+  /// Benchmark baseline: force the naive O(history) delta scan.
+  bool naive_log_scan = false;
 };
 
 class Testbed {

@@ -1,0 +1,154 @@
+#include "globe/replication/write_log.hpp"
+
+#include <algorithm>
+
+namespace globe::replication {
+
+void WriteLog::append(const web::WriteRecord& rec) {
+  const std::uint64_t pos = first_pos_ + entries_.size();
+  entries_.push_back(rec);
+
+  // Per-client index, kept sorted by seq. Records of one client almost
+  // always arrive in seq order, so the common case is a push_back.
+  auto& client_index = by_client_[rec.wid.client];
+  const Keyed keyed{rec.wid.seq, pos};
+  if (client_index.empty() || client_index.back().key <= rec.wid.seq) {
+    client_index.push_back(keyed);
+  } else {
+    client_index.insert(
+        std::upper_bound(client_index.begin(), client_index.end(), rec.wid.seq,
+                         [](std::uint64_t s, const Keyed& k) {
+                           return s < k.key;
+                         }),
+        keyed);
+  }
+
+  by_page_[rec.page].push_back(pos);
+
+  if (rec.global_seq != 0) {
+    const Keyed gkeyed{rec.global_seq, pos};
+    if (by_gseq_.empty() || by_gseq_.back().key <= rec.global_seq) {
+      by_gseq_.push_back(gkeyed);
+    } else {
+      by_gseq_.insert(
+          std::upper_bound(by_gseq_.begin(), by_gseq_.end(), rec.global_seq,
+                           [](std::uint64_t s, const Keyed& k) {
+                             return s < k.key;
+                           }),
+          gkeyed);
+    }
+  }
+}
+
+void WriteLog::emit_sorted(std::vector<std::uint64_t>& positions,
+                           std::vector<web::WriteRecord>& out) const {
+  std::sort(positions.begin(), positions.end());
+  out.reserve(out.size() + positions.size());
+  for (const std::uint64_t pos : positions) out.push_back(at(pos));
+}
+
+std::vector<web::WriteRecord> WriteLog::records_since(
+    const VectorClock& have, std::uint64_t have_gseq,
+    const std::vector<std::string>& pages) const {
+  std::vector<web::WriteRecord> out;
+  std::vector<std::uint64_t> positions;
+
+  if (!pages.empty()) {
+    // Page-filtered fetch: walk only the requested pages' records.
+    for (const std::string& page : pages) {
+      auto it = by_page_.find(page);
+      if (it == by_page_.end()) continue;
+      for (const std::uint64_t pos : it->second) {
+        const web::WriteRecord& rec = at(pos);
+        if (have.covers(rec.wid)) continue;
+        if (rec.global_seq != 0 && rec.global_seq <= have_gseq) continue;
+        positions.push_back(pos);
+      }
+    }
+    // A page listed twice must not emit its records twice.
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+    out.reserve(positions.size());
+    for (const std::uint64_t pos : positions) out.push_back(at(pos));
+    return out;
+  }
+
+  // Delta by vector clock: for each writing client, the records above
+  // the requester's entry form a suffix of the seq-sorted index.
+  for (const auto& [client, index] : by_client_) {
+    const std::uint64_t floor = have.get(client);
+    auto it = std::upper_bound(index.begin(), index.end(), floor,
+                               [](std::uint64_t s, const Keyed& k) {
+                                 return s < k.key;
+                               });
+    for (; it != index.end(); ++it) {
+      const web::WriteRecord& rec = at(it->pos);
+      if (rec.global_seq != 0 && rec.global_seq <= have_gseq) continue;
+      positions.push_back(it->pos);
+    }
+  }
+  emit_sorted(positions, out);
+  return out;
+}
+
+std::vector<web::WriteRecord> WriteLog::records_since_naive(
+    const VectorClock& have, std::uint64_t have_gseq,
+    const std::vector<std::string>& pages) const {
+  std::vector<web::WriteRecord> out;
+  for (const auto& rec : entries_) {
+    if (have.covers(rec.wid)) continue;
+    if (rec.global_seq != 0 && rec.global_seq <= have_gseq) continue;
+    if (!pages.empty() &&
+        std::find(pages.begin(), pages.end(), rec.page) == pages.end()) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+bool WriteLog::can_serve(const VectorClock& have, std::uint64_t have_gseq,
+                         bool contiguous_gseq_floor) const {
+  if (base_clock_.empty()) return true;  // nothing compacted yet
+  if (have.dominates(base_clock_)) return true;
+  // Sequential catch-up: every compacted record was totally ordered and
+  // the requester's floor — contiguous under the sequential model — is
+  // at or past the newest of them.
+  return contiguous_gseq_floor && base_all_sequenced_ &&
+         have_gseq >= base_gseq_;
+}
+
+void WriteLog::compact(std::size_t keep) {
+  if (entries_.size() <= keep) return;
+  const std::size_t drop = entries_.size() - keep;
+  for (std::size_t i = 0; i < drop; ++i) {
+    const web::WriteRecord& rec = entries_[i];
+    base_clock_.observe(rec.wid);
+    if (rec.global_seq == 0) {
+      base_all_sequenced_ = false;
+    } else if (rec.global_seq > base_gseq_) {
+      base_gseq_ = rec.global_seq;
+    }
+  }
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(drop));
+  first_pos_ += drop;
+
+  const std::uint64_t horizon = first_pos_;
+  for (auto it = by_client_.begin(); it != by_client_.end();) {
+    auto& index = it->second;
+    std::erase_if(index, [horizon](const Keyed& k) { return k.pos < horizon; });
+    it = index.empty() ? by_client_.erase(it) : std::next(it);
+  }
+  for (auto it = by_page_.begin(); it != by_page_.end();) {
+    auto& index = it->second;
+    index.erase(index.begin(),
+                std::lower_bound(index.begin(), index.end(), horizon));
+    it = index.empty() ? by_page_.erase(it) : std::next(it);
+  }
+  std::erase_if(by_gseq_,
+                [horizon](const Keyed& k) { return k.pos < horizon; });
+}
+
+}  // namespace globe::replication

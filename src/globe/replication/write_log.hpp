@@ -1,0 +1,120 @@
+// Indexed write log: the replication hot path's delta structure.
+//
+// Every store keeps the records it has applied, in apply (append) order.
+// Pull, demand-fetch, and anti-entropy all ask the same question: "given
+// the requester's vector clock and total-order floor, which retained
+// records does it lack?" The original implementation answered it with a
+// full scan of the log — O(history) per request, O(history²) over a long
+// run. WriteLog answers it in O(delta):
+//
+//   * a per-client index sorted by the client's write sequence number:
+//     the records not covered by `have` are exactly the per-client
+//     suffixes above have.get(client), found by binary search;
+//   * a per-page index in append order for page-filtered fetches
+//     (partial access transfer), replacing the O(pages) std::find per
+//     record;
+//   * a global-sequence index (binary search by global_seq) for the
+//     total-order floor and compaction bookkeeping.
+//
+// Output is always in append order — byte-identical to the naive scan,
+// which is kept as records_since_naive() for equivalence tests and the
+// before/after benchmark.
+//
+// Compaction: old records can be folded into a base clock so the log
+// stays bounded. A requester behind the compaction horizon cannot be
+// served a delta anymore (can_serve() is false); the store then cuts
+// over to a full snapshot transfer, exactly like a Table 1 "full"
+// coherence transfer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "globe/coherence/vector_clock.hpp"
+#include "globe/web/write_record.hpp"
+
+namespace globe::replication {
+
+using coherence::VectorClock;
+
+class WriteLog {
+ public:
+  /// Appends one applied record and indexes it.
+  void append(const web::WriteRecord& rec);
+
+  /// Retained (non-compacted) records.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Total records ever appended, including compacted ones.
+  [[nodiscard]] std::uint64_t appended_total() const {
+    return first_pos_ + entries_.size();
+  }
+
+  /// The delta a requester at (`have`, `have_gseq`) is missing, from the
+  /// retained records, in append order. Restricted to `pages` when
+  /// non-empty. O(delta log delta) instead of O(history).
+  [[nodiscard]] std::vector<web::WriteRecord> records_since(
+      const VectorClock& have, std::uint64_t have_gseq,
+      const std::vector<std::string>& pages = {}) const;
+
+  /// Reference implementation: full linear scan over the retained
+  /// records. Kept for the equivalence test and the scale benchmark.
+  [[nodiscard]] std::vector<web::WriteRecord> records_since_naive(
+      const VectorClock& have, std::uint64_t have_gseq,
+      const std::vector<std::string>& pages = {}) const;
+
+  /// True when the requester is at or above the compaction horizon, so
+  /// its delta can be computed from the retained records alone. False
+  /// means the store must cut over to a full snapshot.
+  /// `contiguous_gseq_floor` must only be true when the requester's
+  /// have_gseq is known to be contiguous (the sequential model, which
+  /// applies records in exact total order) — FIFO/PRAM stores advance
+  /// their gseq with max semantics and may still miss earlier records.
+  [[nodiscard]] bool can_serve(const VectorClock& have,
+                               std::uint64_t have_gseq,
+                               bool contiguous_gseq_floor = false) const;
+
+  /// Folds the oldest records into the base clock until at most `keep`
+  /// records are retained.
+  void compact(std::size_t keep);
+
+  /// Clock summarizing every compacted-away record.
+  [[nodiscard]] const VectorClock& base_clock() const { return base_clock_; }
+  /// Highest global sequence number among compacted records.
+  [[nodiscard]] std::uint64_t base_gseq() const { return base_gseq_; }
+
+ private:
+  /// (key, position) pair; position is the global append position.
+  struct Keyed {
+    std::uint64_t key = 0;
+    std::uint64_t pos = 0;
+  };
+
+  [[nodiscard]] const web::WriteRecord& at(std::uint64_t pos) const {
+    return entries_[pos - first_pos_];
+  }
+
+  void emit_sorted(std::vector<std::uint64_t>& positions,
+                   std::vector<web::WriteRecord>& out) const;
+
+  std::vector<web::WriteRecord> entries_;  // append order, post-compaction
+  std::uint64_t first_pos_ = 0;            // append position of entries_[0]
+
+  // Per-client positions sorted by that client's write seq.
+  std::unordered_map<ClientId, std::vector<Keyed>> by_client_;
+  // Per-page positions in append order.
+  std::unordered_map<std::string, std::vector<std::uint64_t>> by_page_;
+  // (global_seq, position) sorted by global_seq, records with gseq != 0.
+  std::vector<Keyed> by_gseq_;
+
+  VectorClock base_clock_;
+  std::uint64_t base_gseq_ = 0;
+  // True while every compacted record carried a global sequence number;
+  // lets a sequential-model requester above base_gseq_ still be served.
+  bool base_all_sequenced_ = true;
+};
+
+}  // namespace globe::replication

@@ -13,16 +13,25 @@
 // timers alone never keep the simulation alive, which is what lets a
 // test harness "run to quiescence" even when stores poll periodically.
 // run_until() is purely time-bounded and executes both kinds.
+//
+// Event core: events live in a slab of reusable slots; the heap holds
+// plain (time, seq, slot, generation) entries. The background/cancelled
+// flags sit inline in the slot, so the per-event hot path costs two
+// array accesses instead of the hash-map (kind) and hash-set (cancelled)
+// probes of the original design. EventIds are generation-checked: a
+// stale id (its event already ran, or its slot was reused) can never
+// cancel somebody else's event. Callbacks are stored in a small-buffer
+// optimized slot (util::UniqueFunction), so scheduling the common
+// closures performs no allocation at all.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "globe/util/assert.hpp"
+#include "globe/util/function.hpp"
 #include "globe/util/time.hpp"
 
 namespace globe::sim {
@@ -30,12 +39,14 @@ namespace globe::sim {
 using util::SimDuration;
 using util::SimTime;
 
-/// Handle for a scheduled event; used to cancel timers.
+/// Handle for a scheduled event; used to cancel timers. Encodes
+/// (generation << 32 | slot); 0 is never issued, so a default-initialized
+/// id is safely cancellable as a no-op.
 using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::UniqueFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -61,31 +72,34 @@ class Simulator {
     return schedule_impl(now_ + d, std::move(cb), /*background=*/true);
   }
 
-  /// Cancels a pending event. Cancelling an already-run or unknown event
-  /// is a no-op, which makes timer management in protocols simple.
+  /// Cancels a pending event. Cancelling an already-run, stale, or
+  /// unknown event is a no-op, which makes timer management in protocols
+  /// simple.
   void cancel(EventId id) {
-    auto it = kind_.find(id);
-    if (it == kind_.end()) return;  // already ran
-    if (!it->second) --foreground_pending_;
-    it->second = true;  // neutralize: treat as background + mark cancelled
-    cancelled_.insert(id);
+    const std::uint32_t index = slot_index(id);
+    if (index >= slots_.size()) return;
+    Slot& s = slots_[index];
+    if (!s.armed || s.generation != generation(id) || s.cancelled) return;
+    s.cancelled = true;
+    if (!s.background) --foreground_pending_;
   }
 
   /// Runs a single event (foreground or background). Returns false if
   /// the queue is empty.
   bool step() {
     while (!queue_.empty()) {
-      Event ev = pop();
-      const bool was_cancelled = cancelled_.erase(ev.id) > 0;
-      auto kit = kind_.find(ev.id);
-      if (kit != kind_.end()) {
-        if (!kit->second) --foreground_pending_;
-        kind_.erase(kit);
-      }
-      if (was_cancelled) continue;
-      now_ = ev.at;
+      const HeapEntry top = queue_.top();
+      queue_.pop();
+      Slot& s = slots_[top.slot];
+      GLOBE_ASSERT(s.armed && s.generation == top.generation);
+      const bool cancelled = s.cancelled;
+      if (!cancelled && !s.background) --foreground_pending_;
+      Callback cb = std::move(s.cb);
+      release(top.slot);
+      if (cancelled) continue;
+      now_ = top.at;
       ++events_run_;
-      ev.cb();
+      cb();
       return true;
     }
     return false;
@@ -121,52 +135,88 @@ class Simulator {
   [[nodiscard]] bool idle() const { return foreground_pending_ == 0; }
 
  private:
-  struct Event {
-    SimTime at;
-    EventId id;
+  struct Slot {
     Callback cb;
+    std::uint32_t generation = 1;
+    bool armed = false;
+    bool background = false;
+    bool cancelled = false;
+  };
+
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq = 0;  // schedule order; FIFO among same-time events
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
   };
 
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among same-time events
+      return a.seq > b.seq;
     }
   };
 
-  EventId schedule_impl(SimTime t, Callback cb, bool background) {
-    GLOBE_ASSERT_MSG(t >= now_, "cannot schedule event in the past");
-    const EventId id = next_id_++;
-    queue_.push(Event{t, id, std::move(cb)});
-    kind_.emplace(id, background);
-    if (!background) ++foreground_pending_;
-    return id;
+  [[nodiscard]] static std::uint32_t slot_index(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  }
+  [[nodiscard]] static std::uint32_t generation(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  [[nodiscard]] static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
   }
 
-  Event pop() {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    return ev;
+  EventId schedule_impl(SimTime t, Callback cb, bool background) {
+    GLOBE_ASSERT_MSG(t >= now_, "cannot schedule event in the past");
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[index];
+    s.cb = std::move(cb);
+    s.armed = true;
+    s.background = background;
+    s.cancelled = false;
+    queue_.push(HeapEntry{t, next_seq_++, index, s.generation});
+    if (!background) ++foreground_pending_;
+    return make_id(s.generation, index);
+  }
+
+  /// Returns a fired/cancelled slot to the free list. Bumping the
+  /// generation invalidates every outstanding EventId for it.
+  void release(std::uint32_t index) {
+    Slot& s = slots_[index];
+    s.armed = false;
+    ++s.generation;
+    free_.push_back(index);
   }
 
   /// Discards cancelled events at the head so queue_.top() reflects the
   /// next event that will actually execute (run_until relies on this
   /// when comparing against its time bound).
   void prune_cancelled_head() {
-    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
-      cancelled_.erase(queue_.top().id);
-      kind_.erase(queue_.top().id);  // cancel() already fixed the count
+    while (!queue_.empty()) {
+      const HeapEntry top = queue_.top();
+      Slot& s = slots_[top.slot];
+      if (!s.cancelled) break;  // armed and live (cancel() is gen-checked)
+      s.cb.reset();
+      release(top.slot);
       queue_.pop();
     }
   }
 
   SimTime now_{};
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
   std::size_t foreground_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<EventId, bool> kind_;  // id -> background?
-  std::unordered_set<EventId> cancelled_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 /// Convenience: a repeating timer that reschedules itself until stopped.

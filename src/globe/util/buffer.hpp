@@ -39,6 +39,10 @@ inline Buffer to_buffer(std::string_view s) {
   return b;
 }
 
+/// Explicit copy of a borrowed view, for the rare handler that must
+/// retain bytes beyond the life of the receive buffer.
+inline Buffer to_buffer(BytesView b) { return Buffer(b.begin(), b.end()); }
+
 inline std::string to_string(BytesView b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
@@ -48,6 +52,10 @@ class Writer {
  public:
   Writer() = default;
   explicit Writer(Buffer initial) : out_(std::move(initial)) {}
+
+  /// Pre-sizes the underlying buffer; senders that know the rough
+  /// message size avoid reallocation during encoding.
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
 
   void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
 

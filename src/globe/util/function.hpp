@@ -1,0 +1,120 @@
+// Move-only callable with small-buffer optimization.
+//
+// UniqueFunction is the event-core replacement for std::function<void()>:
+// the common simulator callbacks (message deliveries capturing a payload
+// buffer, timer rearms capturing `this`) fit in the inline storage, so
+// scheduling an event performs no heap allocation. Captures larger than
+// the inline buffer fall back to a single heap allocation, and move-only
+// captures (unique_ptr, moved-in buffers) are supported — something
+// std::function cannot hold at all.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace globe::util {
+
+class UniqueFunction {
+ public:
+  /// Sized for the hot captures: a network delivery closure (router
+  /// pointer, two addresses, size, owned payload buffer) is 56 bytes.
+  static constexpr std::size_t kInlineSize = 64;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, UniqueFunction> &&
+                std::is_invocable_r_v<void, D&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &inline_invoke<D>;
+      relocate_ = &inline_relocate<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &heap_invoke<D>;
+      relocate_ = &heap_relocate<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { take(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      relocate_(storage_, nullptr);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  /// Moves the value into `dst` when non-null, then destroys the source.
+  using Relocate = void (*)(void* src, void* dst);
+  using Invoke = void (*)(void* src);
+
+  template <typename D>
+  static void inline_invoke(void* src) {
+    (*std::launder(reinterpret_cast<D*>(src)))();
+  }
+
+  template <typename D>
+  static void inline_relocate(void* src, void* dst) {
+    D* f = std::launder(reinterpret_cast<D*>(src));
+    if (dst != nullptr) ::new (dst) D(std::move(*f));
+    f->~D();
+  }
+
+  template <typename D>
+  static void heap_invoke(void* src) {
+    (**std::launder(reinterpret_cast<D**>(src)))();
+  }
+
+  template <typename D>
+  static void heap_relocate(void* src, void* dst) {
+    D** p = std::launder(reinterpret_cast<D**>(src));
+    if (dst != nullptr) {
+      ::new (dst) D*(*p);
+    } else {
+      delete *p;
+    }
+  }
+
+  void take(UniqueFunction& other) {
+    if (other.invoke_ != nullptr) {
+      other.relocate_(other.storage_, storage_);
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  Invoke invoke_ = nullptr;
+  Relocate relocate_ = nullptr;
+};
+
+}  // namespace globe::util

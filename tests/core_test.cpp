@@ -42,7 +42,9 @@ TEST_F(CommTest, OneWaySendDelivers) {
   std::optional<msg::Envelope> got;
   CommunicationObject b(factory(node_b), &sim);
   b.set_delivery_handler(
-      [&](const net::Address&, msg::Envelope env) { got = std::move(env); });
+      [&](const net::Address&, const msg::EnvelopeView& env) {
+        got = env.to_owned();
+      });
 
   a.send(b.local_address(), msg::MsgType::kUpdate, 42,
          util::to_buffer("payload"));
@@ -56,7 +58,7 @@ TEST_F(CommTest, OneWaySendDelivers) {
 TEST_F(CommTest, RequestReplyCorrelation) {
   CommunicationObject a(factory(node_a), &sim);
   CommunicationObject b(factory(node_b), &sim);
-  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+  b.set_delivery_handler([&](const net::Address& from, const msg::EnvelopeView& env) {
     b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
             util::to_buffer("answer"));
   });
@@ -64,8 +66,8 @@ TEST_F(CommTest, RequestReplyCorrelation) {
   std::optional<std::string> answer;
   a.request(b.local_address(), msg::MsgType::kFetchRequest, 1,
             util::to_buffer("question"),
-            [&](bool ok, const net::Address&, msg::Envelope env) {
-              if (ok) answer = util::to_string(util::BytesView(env.body));
+            [&](bool ok, const net::Address&, const msg::EnvelopeView& env) {
+              if (ok) answer = util::to_string(env.body);
             });
   sim.run();
   ASSERT_TRUE(answer.has_value());
@@ -76,18 +78,18 @@ TEST_F(CommTest, RequestReplyCorrelation) {
 TEST_F(CommTest, ConcurrentRequestsKeepTheirHandlers) {
   CommunicationObject a(factory(node_a), &sim);
   CommunicationObject b(factory(node_b), &sim);
-  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+  b.set_delivery_handler([&](const net::Address& from, const msg::EnvelopeView& env) {
     b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
-            env.body);  // echo
+            util::to_buffer(env.body));  // echo
   });
 
   std::vector<std::string> answers(3);
   for (int i = 0; i < 3; ++i) {
     a.request(b.local_address(), msg::MsgType::kFetchRequest, 1,
               util::to_buffer("q" + std::to_string(i)),
-              [&answers, i](bool ok, const net::Address&, msg::Envelope env) {
+              [&answers, i](bool ok, const net::Address&, const msg::EnvelopeView& env) {
                 if (ok) {
-                  answers[i] = util::to_string(util::BytesView(env.body));
+                  answers[i] = util::to_string(env.body);
                 }
               });
   }
@@ -99,11 +101,11 @@ TEST_F(CommTest, TimeoutFiresWhenNoReply) {
   CommunicationObject a(factory(node_a), &sim);
   CommunicationObject b(factory(node_b), &sim);
   // b never replies.
-  b.set_delivery_handler([](const net::Address&, msg::Envelope) {});
+  b.set_delivery_handler([](const net::Address&, const msg::EnvelopeView&) {});
 
   bool failed = false;
   a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
-            [&](bool ok, const net::Address&, msg::Envelope) {
+            [&](bool ok, const net::Address&, const msg::EnvelopeView&) {
               failed = !ok;
             },
             sim::SimDuration::millis(100));
@@ -115,14 +117,14 @@ TEST_F(CommTest, TimeoutFiresWhenNoReply) {
 TEST_F(CommTest, RetriesSucceedAfterTransientPartition) {
   CommunicationObject a(factory(node_a), &sim);
   CommunicationObject b(factory(node_b), &sim);
-  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
+  b.set_delivery_handler([&](const net::Address& from, const msg::EnvelopeView& env) {
     b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id, {});
   });
 
   net.partition(node_a, node_b);
   std::optional<bool> outcome;
   a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
-            [&](bool ok, const net::Address&, msg::Envelope) {
+            [&](bool ok, const net::Address&, const msg::EnvelopeView&) {
               outcome = ok;
             },
             sim::SimDuration::millis(100), /*retries=*/3);
@@ -137,17 +139,19 @@ TEST_F(CommTest, RetriesSucceedAfterTransientPartition) {
 TEST_F(CommTest, LateReplyAfterTimeoutIsIgnored) {
   CommunicationObject a(factory(node_a), &sim);
   CommunicationObject b(factory(node_b), &sim);
-  b.set_delivery_handler([&](const net::Address& from, msg::Envelope env) {
-    // Reply very late.
-    sim.schedule_after(sim::SimDuration::millis(500), [&b, from, env] {
-      b.reply(from, msg::MsgType::kFetchReply, env.object, env.request_id,
-              {});
-    });
+  b.set_delivery_handler([&](const net::Address& from, const msg::EnvelopeView& env) {
+    // Reply very late. (Copy the header fields out: the view's body
+    // borrows the receive buffer and must not outlive the handler.)
+    sim.schedule_after(
+        sim::SimDuration::millis(500),
+        [&b, from, object = env.object, request_id = env.request_id] {
+          b.reply(from, msg::MsgType::kFetchReply, object, request_id, {});
+        });
   });
 
   int calls = 0;
   a.request(b.local_address(), msg::MsgType::kFetchRequest, 1, {},
-            [&](bool, const net::Address&, msg::Envelope) { ++calls; },
+            [&](bool, const net::Address&, const msg::EnvelopeView&) { ++calls; },
             sim::SimDuration::millis(100));
   sim.run();
   EXPECT_EQ(calls, 1);  // the timeout only; late reply dropped
@@ -161,7 +165,7 @@ TEST_F(CommTest, MulticastReachesAllTargets) {
   for (int i = 0; i < 4; ++i) {
     auto r = std::make_unique<CommunicationObject>(factory(node_b), &sim);
     r->set_delivery_handler(
-        [&received](const net::Address&, msg::Envelope) { ++received; });
+        [&received](const net::Address&, const msg::EnvelopeView&) { ++received; });
     targets.push_back(r->local_address());
     receivers.push_back(std::move(r));
   }

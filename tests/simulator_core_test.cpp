@@ -1,0 +1,190 @@
+// Regression tests for the slab-based event core: generation-checked
+// cancellation, slot reuse, FIFO ordering under cancel/reschedule churn,
+// and move-only callbacks in the small-buffer-optimized slot.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "globe/sim/simulator.hpp"
+
+namespace globe::sim {
+namespace {
+
+TEST(SimulatorCore, StaleIdCannotCancelSlotReuser) {
+  Simulator sim;
+  bool a_ran = false;
+  bool b_ran = false;
+  const EventId a = sim.schedule_after(SimDuration::millis(5),
+                                       [&] { a_ran = true; });
+  sim.cancel(a);
+  sim.run();  // a's slot is released
+  // b likely reuses a's slot; the stale id must not touch it.
+  const EventId b = sim.schedule_after(SimDuration::millis(5),
+                                       [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale: generation mismatch, no-op
+  sim.run();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SimulatorCore, DoubleCancelDecrementsPendingOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(SimDuration::millis(1), [] {});
+  sim.schedule_after(SimDuration::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  sim.cancel(id);  // second cancel must be a no-op
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorCore, CancelOfAlreadyRunEventIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(SimDuration::millis(1),
+                                        [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(id);  // already ran
+  sim.cancel(0);   // never-issued id
+  sim.schedule_after(SimDuration::millis(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorCore, CancelInsideOwnCallbackIsNoOp) {
+  Simulator sim;
+  EventId self = 0;
+  bool later_ran = false;
+  self = sim.schedule_after(SimDuration::millis(1), [&] {
+    sim.cancel(self);  // must not corrupt pending bookkeeping
+    sim.schedule_after(SimDuration::millis(1), [&] { later_ran = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(later_ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorCore, FifoOrderSurvivesCancelChurn) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.schedule_after(SimDuration::millis(5),
+                                     [&, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; the survivors must still run in schedule
+  // order at the same timestamp.
+  std::vector<int> expect;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 == 0) {
+      sim.cancel(ids[i]);
+    } else {
+      expect.push_back(i);
+    }
+  }
+  sim.run();
+  EXPECT_EQ(order, expect);
+}
+
+TEST(SimulatorCore, RescheduleAfterCancelKeepsFifoWithNewEvents) {
+  Simulator sim;
+  std::vector<std::string> order;
+  const EventId a =
+      sim.schedule_after(SimDuration::millis(10), [&] { order.push_back("a"); });
+  sim.schedule_after(SimDuration::millis(10), [&] { order.push_back("b"); });
+  sim.cancel(a);
+  // c reuses a's slot but schedules later: must run after b.
+  sim.schedule_after(SimDuration::millis(10), [&] { order.push_back("c"); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(SimulatorCore, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  int fired = 0;
+  const EventId head =
+      sim.schedule_after(SimDuration::millis(1), [&] { ++fired; });
+  sim.schedule_after(SimDuration::millis(2), [&] { ++fired; });
+  sim.cancel(head);
+  EXPECT_EQ(sim.run_until(SimTime{} + SimDuration::millis(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().count_micros(), 5000);
+}
+
+TEST(SimulatorCore, MoveOnlyCallbacksAreSupported) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(99);
+  int got = 0;
+  sim.schedule_after(SimDuration::millis(1),
+                     [p = std::move(payload), &got] { got = *p; });
+  sim.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(SimulatorCore, LargeCapturesSpillToHeapCorrectly) {
+  Simulator sim;
+  // Capture well beyond the inline buffer to exercise the heap path.
+  std::vector<std::uint64_t> big(64);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  struct Fat {
+    std::uint64_t a[16] = {1, 2, 3};
+  } fat;
+  std::uint64_t sum = 0;
+  sim.schedule_after(SimDuration::millis(1), [big, fat, &sum] {
+    for (auto v : big) sum += v;
+    sum += fat.a[2];
+  });
+  sim.run();
+  EXPECT_EQ(sum, 64u * 63u / 2 + 3);
+}
+
+TEST(SimulatorCore, BackgroundCancellationKeepsRunSemantics) {
+  Simulator sim;
+  int bg = 0, fg = 0;
+  const EventId tick = sim.schedule_background_after(
+      SimDuration::millis(1), [&] { ++bg; });
+  sim.cancel(tick);
+  EXPECT_TRUE(sim.idle());  // cancelled background never counted anyway
+  sim.schedule_after(SimDuration::millis(2), [&] { ++fg; });
+  sim.run();
+  EXPECT_EQ(bg, 0);
+  EXPECT_EQ(fg, 1);
+}
+
+TEST(SimulatorCore, PeriodicTimerStopWithStaleIdAfterManyEvents) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, SimDuration::millis(10), [&] { ++ticks; });
+  timer.start();
+  // Interleave plenty of foreground churn so the timer's slot
+  // neighbourhood is recycled repeatedly.
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_after(SimDuration::millis(i), [] {});
+  }
+  sim.run_until(SimTime{} + SimDuration::millis(55));
+  EXPECT_EQ(ticks, 5);
+  timer.stop();
+  sim.run_until(SimTime{} + SimDuration::millis(200));
+  EXPECT_EQ(ticks, 5);  // stop() cancelled the pending tick
+}
+
+TEST(SimulatorCore, EventIdsAreNeverReissued) {
+  Simulator sim;
+  std::vector<EventId> seen;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      seen.push_back(sim.schedule_after(SimDuration::millis(1), [] {}));
+    }
+    sim.run();
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace globe::sim
