@@ -13,20 +13,36 @@
 //     thousands of ops) across every coherence model, indexed path
 //     only: the numbers the ROADMAP tracks across PRs.
 //
+//  4. fanout — propagation fan-out (1 primary, 64–256 subscribers,
+//     immediate vs lazy vs pull): per-subscriber record copies + per-
+//     subscriber encodes (the seed behaviour, TestbedOptions::
+//     shared_fanout=false) vs shared pre-encoded RecordBatches. Both
+//     runs must deliver byte-identical records to every store.
+//  5. fanout_loopback — the same fan-out over the threaded
+//     LoopbackRouter runtime (ROADMAP: the non-simulated path had no
+//     benchmark).
+//  6. micro_snapshot — WebDocument snapshot encoding, uncached oracle
+//     vs the shared snapshot cache (cutover-storm cost model).
+//
 // Usage: bench_scale [--smoke] [--out <path>]
 //   --smoke  tiny sizes; validates the harness (CI bitrot check)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "globe/net/loopback.hpp"
 #include "globe/replication/write_log.hpp"
+#include "globe/web/document.hpp"
 
 namespace globe::bench {
 namespace {
 
+using replication::StoreConfig;
+using replication::StoreEngine;
 using replication::Testbed;
 using replication::TestbedOptions;
 using replication::WriteLog;
@@ -260,9 +276,229 @@ TrajectoryRow run_trajectory(coherence::ObjectModel model, int mirrors,
 }
 
 // ---------------------------------------------------------------------
+// 4. Propagation fan-out: shared batches vs per-subscriber copies
+// ---------------------------------------------------------------------
+
+struct FanoutRow {
+  std::string mode;  // immediate | lazy | pull
+  int subscribers = 0;
+  int writes = 0;
+  double copy_s = 0;    // per-subscriber copy + encode (seed behaviour)
+  double shared_s = 0;  // shared RecordBatch fan-out
+  bool identical = false;  // delivered records byte-identical
+  bool converged = false;
+};
+
+struct FanoutRun {
+  double wall_s = 0;
+  bool converged = false;
+  std::vector<util::Buffer> digests;  // per-store delivered state
+};
+
+FanoutRun run_fanout(const std::string& mode, int subscribers, int writes,
+                     bool shared) {
+  TestbedOptions opts;
+  opts.seed = 29;
+  opts.record_history = false;
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  opts.shared_fanout = shared;
+  const auto start = Clock::now();
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  core::ReplicationPolicy policy;  // PRAM, push, immediate, partial
+  if (mode == "lazy") {
+    policy.instant = core::TransferInstant::kLazy;
+    policy.lazy_period = sim::SimDuration::millis(10);
+  } else if (mode == "pull") {
+    policy.initiative = core::TransferInitiative::kPull;
+    policy.lazy_period = sim::SimDuration::millis(10);  // poll period
+  }
+
+  auto& primary = bed.add_primary(kObj, policy);
+  for (int s = 0; s < subscribers; ++s) {
+    bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  }
+  bed.settle();
+
+  util::Rng rng(7);
+  const std::string payload(2048, 'f');
+  for (int i = 0; i < writes; ++i) {
+    primary.seed("page" + std::to_string(rng.below(16)) + ".html",
+                 payload + std::to_string(i));
+    bed.run_for(sim::SimDuration::millis(2));
+  }
+  bed.settle();
+
+  FanoutRun out;
+  out.wall_s = seconds_since(start);
+  out.converged = bed.converged(kObj);
+  for (const auto& s : bed.stores()) out.digests.push_back(replication::store_state_digest(*s));
+  return out;
+}
+
+FanoutRow run_fanout_pair(const std::string& mode, int subscribers,
+                          int writes) {
+  FanoutRow row;
+  row.mode = mode;
+  row.subscribers = subscribers;
+  row.writes = writes;
+  const FanoutRun copy = run_fanout(mode, subscribers, writes, false);
+  const FanoutRun shared = run_fanout(mode, subscribers, writes, true);
+  row.copy_s = copy.wall_s;
+  row.shared_s = shared.wall_s;
+  row.converged = copy.converged && shared.converged;
+  row.identical = copy.digests == shared.digests;
+  if (!row.identical) {
+    std::fprintf(stderr,
+                 "FATAL: %s fan-out delivered different records with "
+                 "shared batches vs per-subscriber copies\n",
+                 mode.c_str());
+    std::exit(1);
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------
+// 5. Fan-out over the threaded loopback runtime
+// ---------------------------------------------------------------------
+
+struct LoopbackRow {
+  int subscribers = 0;
+  int writes = 0;
+  double copy_s = 0;
+  double shared_s = 0;
+  bool identical = false;
+  bool converged = false;
+};
+
+FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared) {
+  net::LoopbackRouter router;
+  sim::Simulator sim;  // clock source only; delivery is thread-driven
+  std::vector<std::unique_ptr<StoreEngine>> stores;
+  NodeId next_node = 0;
+  auto make_factory = [&router, &next_node]() {
+    const NodeId node = next_node++;
+    return core::TransportFactory(
+        [&router, node](net::MessageHandler h) -> std::unique_ptr<net::Transport> {
+          return std::make_unique<net::LoopbackTransport>(
+              router, net::Address{node, 1}, std::move(h));
+        });
+  };
+
+  StoreConfig pcfg;  // PRAM push immediate partial: no timers, no sim run
+  pcfg.object = 1;
+  pcfg.store_id = 0;
+  pcfg.is_primary = true;
+  pcfg.shared_fanout = shared;
+  stores.push_back(
+      std::make_unique<StoreEngine>(make_factory(), sim, pcfg));
+  const net::Address primary_addr = stores.front()->address();
+  for (int s = 0; s < subscribers; ++s) {
+    StoreConfig cfg;
+    cfg.object = 1;
+    cfg.store_id = static_cast<StoreId>(s + 1);
+    cfg.store_class = naming::StoreClass::kObjectInitiated;
+    cfg.upstream = primary_addr;
+    cfg.shared_fanout = shared;
+    stores.push_back(
+        std::make_unique<StoreEngine>(make_factory(), sim, cfg));
+  }
+  router.drain();  // all subscriptions acknowledged
+
+  const auto start = Clock::now();
+  const std::string payload(2048, 'l');
+  for (int i = 0; i < writes; ++i) {
+    stores.front()->seed("page" + std::to_string(i % 16) + ".html",
+                         payload + std::to_string(i));
+  }
+  router.drain();
+
+  FanoutRun out;
+  out.wall_s = seconds_since(start);
+  out.converged = true;
+  for (std::size_t i = 1; i < stores.size(); ++i) {
+    out.converged = out.converged &&
+                    stores[i]->document() == stores.front()->document();
+  }
+  for (const auto& s : stores) out.digests.push_back(replication::store_state_digest(*s));
+  stores.clear();  // unbind endpoints before the router goes away
+  return out;
+}
+
+LoopbackRow run_loopback_pair(int subscribers, int writes) {
+  LoopbackRow row;
+  row.subscribers = subscribers;
+  row.writes = writes;
+  const FanoutRun copy = run_loopback_fanout(subscribers, writes, false);
+  const FanoutRun shared = run_loopback_fanout(subscribers, writes, true);
+  row.copy_s = copy.wall_s;
+  row.shared_s = shared.wall_s;
+  row.converged = copy.converged && shared.converged;
+  row.identical = copy.digests == shared.digests;
+  if (!row.identical) {
+    std::fprintf(stderr, "FATAL: loopback fan-out digests diverged\n");
+    std::exit(1);
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------
+// 6. Snapshot-cache microbenchmark
+// ---------------------------------------------------------------------
+
+struct SnapshotMicroResult {
+  std::size_t pages = 0;
+  std::size_t requests = 0;
+  double uncached_s = 0;
+  double cached_s = 0;
+};
+
+SnapshotMicroResult micro_snapshot(int pages, int requests) {
+  web::WebDocument doc;
+  for (int i = 0; i < pages; ++i) {
+    web::WriteRecord rec;
+    rec.wid = {1, static_cast<std::uint64_t>(i + 1)};
+    rec.page = "page" + std::to_string(i) + ".html";
+    rec.content = std::string(1024, 'p');
+    doc.apply(rec);
+  }
+
+  SnapshotMicroResult res;
+  res.pages = static_cast<std::size_t>(pages);
+  res.requests = static_cast<std::size_t>(requests);
+
+  // N snapshot requesters without the cache: N full encodes (the seed's
+  // cutover-storm cost).
+  std::size_t uncached_bytes = 0;
+  auto start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    uncached_bytes += doc.encode_snapshot().size();
+  }
+  res.uncached_s = seconds_since(start);
+
+  // The same storm through the cache: one encode, N shared references.
+  std::size_t cached_bytes = 0;
+  start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    cached_bytes += doc.snapshot()->size();
+  }
+  res.cached_s = seconds_since(start);
+
+  if (uncached_bytes != cached_bytes ||
+      *doc.snapshot() != doc.encode_snapshot()) {
+    std::fprintf(stderr, "FATAL: cached snapshot diverged from oracle\n");
+    std::exit(1);
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------
 
 void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
-               const E2eResult& pull, const E2eResult& ae,
+               const SnapshotMicroResult& snap, const E2eResult& pull,
+               const E2eResult& ae, const std::vector<FanoutRow>& fanout,
+               const LoopbackRow& loopback,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -277,6 +513,12 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                micro.records, micro.queries, micro.delta_records,
                micro.naive_s, micro.indexed_s,
                speedup(micro.naive_s, micro.indexed_s));
+  std::fprintf(f,
+               "  \"micro_snapshot\": {\"pages\": %zu, \"requests\": %zu, "
+               "\"uncached_s\": %.6f, \"cached_s\": %.6f, \"speedup\": "
+               "%.2f},\n",
+               snap.pages, snap.requests, snap.uncached_s, snap.cached_s,
+               speedup(snap.uncached_s, snap.cached_s));
   std::fprintf(f,
                "  \"e2e_pull_long_history\": {\"writes\": %d, \"stores\": %d, "
                "\"naive_s\": %.4f, \"indexed_s\": %.4f, \"speedup\": %.2f, "
@@ -293,6 +535,28 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                speedup(ae.naive_s, ae.indexed_s),
                static_cast<unsigned long long>(ae.events),
                ae.converged ? "true" : "false");
+  std::fprintf(f, "  \"fanout\": [\n");
+  for (std::size_t i = 0; i < fanout.size(); ++i) {
+    const FanoutRow& r = fanout[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"subscribers\": %d, \"writes\": "
+                 "%d, \"copy_s\": %.4f, \"shared_s\": %.4f, \"speedup\": "
+                 "%.2f, \"identical\": %s, \"converged\": %s}%s\n",
+                 r.mode.c_str(), r.subscribers, r.writes, r.copy_s,
+                 r.shared_s, speedup(r.copy_s, r.shared_s),
+                 r.identical ? "true" : "false",
+                 r.converged ? "true" : "false",
+                 i + 1 < fanout.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"fanout_loopback\": {\"subscribers\": %d, \"writes\": "
+               "%d, \"copy_s\": %.4f, \"shared_s\": %.4f, \"speedup\": "
+               "%.2f, \"identical\": %s, \"converged\": %s},\n",
+               loopback.subscribers, loopback.writes, loopback.copy_s,
+               loopback.shared_s, speedup(loopback.copy_s, loopback.shared_s),
+               loopback.identical ? "true" : "false",
+               loopback.converged ? "true" : "false");
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -313,8 +577,14 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
 int run(bool smoke, const std::string& out_path) {
   const int micro_records = smoke ? 2000 : 30000;
   const int micro_queries = smoke ? 100 : 3000;
+  const int snap_pages = smoke ? 32 : 256;
+  const int snap_requests = smoke ? 200 : 4000;
   const int e2e_writes = smoke ? 150 : 16000;
   const int e2e_stores = smoke ? 3 : 12;
+  const int fanout_subs = smoke ? 16 : 128;
+  const int fanout_writes = smoke ? 40 : 400;
+  const int loop_subs = smoke ? 8 : 64;
+  const int loop_writes = smoke ? 30 : 300;
   const int traj_caches = smoke ? 6 : 120;
   const int traj_clients = smoke ? 12 : 240;
   const int traj_ops = smoke ? 60 : 2000;
@@ -324,6 +594,11 @@ int run(bool smoke, const std::string& out_path) {
       micro_writelog(micro_records, micro_queries, 32, 64);
   std::printf("  naive %.4fs, indexed %.4fs (%.1fx)\n", micro.naive_s,
               micro.indexed_s, micro.naive_s / micro.indexed_s);
+
+  std::printf("bench_scale: snapshot cache micro...\n");
+  const SnapshotMicroResult snap = micro_snapshot(snap_pages, snap_requests);
+  std::printf("  uncached %.4fs, cached %.4fs (%.1fx)\n", snap.uncached_s,
+              snap.cached_s, snap.uncached_s / snap.cached_s);
 
   std::printf("bench_scale: e2e long-history pull...\n");
   const E2eResult pull = run_e2e(run_pull_scenario, e2e_writes, e2e_stores);
@@ -337,6 +612,28 @@ int run(bool smoke, const std::string& out_path) {
   std::printf("  naive %.3fs, indexed %.3fs (%.1fx), converged=%d\n",
               ae.naive_s, ae.indexed_s, ae.naive_s / ae.indexed_s,
               ae.converged);
+
+  std::printf("bench_scale: propagation fan-out (%d subscribers)...\n",
+              fanout_subs);
+  std::vector<FanoutRow> fanout;
+  for (const char* mode : {"immediate", "lazy", "pull"}) {
+    fanout.push_back(run_fanout_pair(mode, fanout_subs, fanout_writes));
+    std::printf("  %-9s copy %.3fs, shared %.3fs (%.1fx), identical=%d, "
+                "converged=%d\n",
+                fanout.back().mode.c_str(), fanout.back().copy_s,
+                fanout.back().shared_s,
+                fanout.back().copy_s / fanout.back().shared_s,
+                fanout.back().identical, fanout.back().converged);
+  }
+
+  std::printf("bench_scale: loopback-runtime fan-out (%d subscribers)...\n",
+              loop_subs);
+  const LoopbackRow loopback = run_loopback_pair(loop_subs, loop_writes);
+  std::printf("  copy %.3fs, shared %.3fs (%.1fx), identical=%d, "
+              "converged=%d\n",
+              loopback.copy_s, loopback.shared_s,
+              loopback.copy_s / loopback.shared_s, loopback.identical,
+              loopback.converged);
 
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
@@ -359,13 +656,24 @@ int run(bool smoke, const std::string& out_path) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  emit_json(f, smoke, micro, pull, ae, rows);
+  emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
   // Smoke mode doubles as a regression gate for the harness itself.
   if (!pull.converged || !ae.converged) {
     std::fprintf(stderr, "FAIL: long-history scenarios did not converge\n");
+    return 1;
+  }
+  for (const FanoutRow& r : fanout) {
+    if (!r.converged || !r.identical) {
+      std::fprintf(stderr, "FAIL: fan-out scenario %s broke equivalence\n",
+                   r.mode.c_str());
+      return 1;
+    }
+  }
+  if (!loopback.converged || !loopback.identical) {
+    std::fprintf(stderr, "FAIL: loopback fan-out broke equivalence\n");
     return 1;
   }
   return 0;

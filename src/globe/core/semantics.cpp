@@ -52,7 +52,7 @@ InvokeResult WebSemanticsObject::execute_read(const Invocation& inv) const {
     }
     case msg::Method::kGetDocument: {
       res.ok = true;
-      res.value = doc_.snapshot();
+      res.value = *doc_.snapshot();  // reply value is owned; copy the cache
       return res;
     }
     default:

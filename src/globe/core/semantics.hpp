@@ -51,8 +51,10 @@ class SemanticsObject {
   /// Applies a record under last-writer-wins conflict resolution.
   virtual bool apply_lww(const web::WriteRecord& rec) = 0;
 
-  /// Full-state transfer.
-  [[nodiscard]] virtual Buffer snapshot() const = 0;
+  /// Full-state transfer. The returned buffer is immutable and shared:
+  /// implementations may cache it between mutations, so callers fanning
+  /// one snapshot out to many receivers pay for a single encode.
+  [[nodiscard]] virtual util::SharedBuffer snapshot() const = 0;
   virtual void restore(util::BytesView snapshot) = 0;
 };
 
@@ -67,7 +69,9 @@ class WebSemanticsObject final : public SemanticsObject {
   bool apply_lww(const web::WriteRecord& rec) override {
     return doc_.apply_lww(rec);
   }
-  [[nodiscard]] Buffer snapshot() const override { return doc_.snapshot(); }
+  [[nodiscard]] util::SharedBuffer snapshot() const override {
+    return doc_.snapshot();
+  }
   void restore(util::BytesView snapshot) override { doc_.restore(snapshot); }
 
   [[nodiscard]] const web::WebDocument& document() const { return doc_; }

@@ -1,5 +1,7 @@
 #include "globe/net/loopback.hpp"
 
+#include "globe/util/assert.hpp"
+
 namespace globe::net {
 
 LoopbackRouter::LoopbackRouter()
@@ -16,7 +18,12 @@ LoopbackRouter::~LoopbackRouter() {
 
 void LoopbackRouter::bind(const Address& at, MessageHandler handler) {
   std::lock_guard lock(mu_);
-  handlers_[at] = std::move(handler);
+  // Same contract as sim::Network::bind: binding an endpoint that is
+  // already bound is a bug (it would silently swallow the old handler's
+  // traffic). Rebinding after an explicit unbind is supported.
+  GLOBE_ASSERT_MSG(handlers_.find(at) == handlers_.end(),
+                   "endpoint already bound");
+  handlers_.emplace(at, std::move(handler));
 }
 
 void LoopbackRouter::unbind(const Address& at) {

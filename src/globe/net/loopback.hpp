@@ -26,7 +26,9 @@ class LoopbackRouter {
   LoopbackRouter(const LoopbackRouter&) = delete;
   LoopbackRouter& operator=(const LoopbackRouter&) = delete;
 
-  /// Registers a handler for an endpoint. Thread-safe.
+  /// Registers a handler for an endpoint. Thread-safe. Asserts if the
+  /// endpoint is already bound (same contract as sim::Network::bind);
+  /// rebinding after unbind is supported.
   void bind(const Address& at, MessageHandler handler);
 
   /// Removes an endpoint. Thread-safe.

@@ -32,6 +32,11 @@ struct AdaptiveOptions {
   double immediate_below_writes_per_s = 1.0;
   /// Aggregation period used when lazy.
   sim::SimDuration lazy_period = sim::SimDuration::millis(500);
+  /// Write-counter source override; defaults to the primary store's
+  /// writes_applied(). Lets deployments whose store can be re-created or
+  /// snapshot-restored mid-run (counter regression) feed the controller
+  /// — and lets tests drive exactly that.
+  std::function<std::uint64_t()> writes_probe;
 };
 
 class AdaptiveController {
@@ -58,10 +63,17 @@ class AdaptiveController {
 
  private:
   void sample() {
-    const std::uint64_t writes = primary_.writes_applied();
+    const std::uint64_t writes = options_.writes_probe
+                                     ? options_.writes_probe()
+                                     : primary_.writes_applied();
+    // A counter regression (store re-created or snapshot-restored
+    // between samples) would wrap the unsigned subtraction into a huge
+    // rate and force a spurious switch to lazy. Treat a regression as
+    // zero observed writes and re-baseline at the new counter value.
+    const std::uint64_t delta = writes >= last_writes_ ? writes - last_writes_
+                                                       : 0;
     const double interval_s = options_.interval.count_seconds();
-    const double write_rate =
-        static_cast<double>(writes - last_writes_) / interval_s;
+    const double write_rate = static_cast<double>(delta) / interval_s;
     last_writes_ = writes;
 
     auto policy = primary_.config().policy;

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "globe/msg/invocation.hpp"
 #include "globe/net/address.hpp"
 #include "globe/util/buffer.hpp"
+#include "globe/web/record_batch.hpp"
 #include "globe/web/write_record.hpp"
 
 namespace globe::replication {
@@ -32,6 +35,7 @@ using coherence::WriteId;
 using util::Buffer;
 using util::BytesView;
 using util::Reader;
+using util::SharedBuffer;
 using util::Writer;
 
 inline void encode_address(Writer& w, const net::Address& a) {
@@ -98,7 +102,9 @@ struct InvokeReply {
   bool ok = false;
   std::string error;
   Buffer value;             // read result (method-specific encoding)
-  Buffer document;          // full document, when access transfer = full
+  // Full document when access transfer = full: the store's cached
+  // snapshot, shared (not copied) into every reply.
+  SharedBuffer document;
   WriteId wid;              // echoed for writes
   std::uint64_t global_seq = 0;  // write: assigned seq; read: store's seq
   VectorClock store_clock;  // serving/accepting store's applied clock
@@ -108,7 +114,7 @@ struct InvokeReply {
     w.boolean(ok);
     w.str(error);
     w.bytes(BytesView(value));
-    w.bytes(BytesView(document));
+    w.bytes(util::view_of(document));
     wid.encode(w);
     w.varint(global_seq);
     store_clock.encode(w);
@@ -154,7 +160,7 @@ struct InvokeReply {
     rep.ok = v.ok;
     rep.error = std::move(v.error);
     rep.value = util::to_buffer(v.value);
-    rep.document = util::to_buffer(v.document);
+    rep.document = std::make_shared<const Buffer>(util::to_buffer(v.document));
     rep.wid = v.wid;
     rep.global_seq = v.global_seq;
     rep.store_clock = std::move(v.store_clock);
@@ -211,6 +217,18 @@ struct UpdateMsg {
     w.varint(sender_gseq);
   }
 
+  /// Same wire layout, but the records field is spliced from pre-encoded
+  /// shared batches — the zero-copy fan-out path. Byte-identical to
+  /// encode_fields over the batches' records.
+  static void encode_batches(Writer& w,
+                             std::span<const web::RecordBatchPtr> batches,
+                             const VectorClock& sender_clock,
+                             std::uint64_t sender_gseq) {
+    web::encode_batches(w, batches);
+    sender_clock.encode(w);
+    w.varint(sender_gseq);
+  }
+
   void encode(Writer& w) const {
     encode_fields(w, records, sender_clock, sender_gseq);
   }
@@ -232,14 +250,16 @@ struct UpdateMsg {
   }
 };
 
-/// kSnapshot / kSubscribeAck body: full-state transfer.
+/// kSnapshot / kSubscribeAck body: full-state transfer. The document is
+/// the sender's cached snapshot, shared across every concurrent receiver
+/// (one encode per document version, not per message).
 struct SnapshotMsg {
-  Buffer document;  // WebDocument::snapshot()
+  SharedBuffer document;  // WebDocument::snapshot()
   VectorClock clock;
   std::uint64_t gseq = 0;
 
   void encode(Writer& w) const {
-    w.bytes(BytesView(document));
+    w.bytes(util::view_of(document));
     clock.encode(w);
     w.varint(gseq);
   }
@@ -271,8 +291,9 @@ struct SnapshotMsg {
 
   static SnapshotMsg decode(BytesView wire) {
     View v = decode_view(wire);
-    return SnapshotMsg{util::to_buffer(v.document), std::move(v.clock),
-                       v.gseq};
+    return SnapshotMsg{
+        std::make_shared<const Buffer>(util::to_buffer(v.document)),
+        std::move(v.clock), v.gseq};
   }
 };
 
@@ -379,7 +400,7 @@ struct FetchRequest {
 /// kFetchReply body.
 struct FetchReply {
   bool full = false;          // snapshot transfer
-  Buffer snapshot;            // when full
+  SharedBuffer snapshot;      // when full: the store's cached snapshot
   std::vector<web::WriteRecord> records;  // when !full
   VectorClock clock;
   std::uint64_t gseq = 0;
@@ -387,7 +408,7 @@ struct FetchReply {
 
   void encode(Writer& w) const {
     w.boolean(full);
-    w.bytes(BytesView(snapshot));
+    w.bytes(util::view_of(snapshot));
     web::encode_records(w, records);
     clock.encode(w);
     w.varint(gseq);
@@ -428,7 +449,7 @@ struct FetchReply {
     View v = decode_view(wire);
     FetchReply m;
     m.full = v.full;
-    m.snapshot = util::to_buffer(v.snapshot);
+    m.snapshot = std::make_shared<const Buffer>(util::to_buffer(v.snapshot));
     m.records = std::move(v.records);
     m.clock = std::move(v.clock);
     m.gseq = v.gseq;

@@ -662,18 +662,56 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
   // Per-record exclusion: never reflect a record straight back to the
   // neighbour it arrived from (it may still need to travel to every
   // other neighbour, e.g. a buffered client write draining after an
-  // upstream update must still flow upstream).
+  // upstream update must still flow upstream). Batches are consecutive
+  // same-origin runs so dropping one preserves the apply order of the
+  // remaining records.
+  // Only materialize what this store's propagation mode consumes:
+  // partial updates splice the encoded bytes, invalidations read the
+  // page list, notification/full transfers use the batch as a marker.
+  const web::BatchNeeds needs{
+      .wire = config_.policy.propagation == Propagation::kUpdate &&
+              config_.policy.coherence_transfer == CoherenceTransfer::kPartial,
+      .pages = config_.policy.propagation == Propagation::kInvalidate};
+  std::vector<web::RecordBatchPtr> batches;
+  if (config_.shared_fanout) {
+    for (std::size_t i = 0; i < recs.size();) {
+      std::size_t j = i + 1;
+      while (j < recs.size() &&
+             recs[j].transient_origin == recs[i].transient_origin) {
+        ++j;
+      }
+      batches.push_back(std::make_shared<const web::RecordBatch>(
+          std::span(recs).subspan(i, j - i), recs[i].transient_origin,
+          needs));
+      i = j;
+    }
+  }
   for (const Address& t : targets) {
     const std::uint64_t tkey = addr_key(t);
-    std::vector<web::WriteRecord> out;
-    out.reserve(recs.size());
-    for (const auto& rec : recs) {
-      if (rec.transient_origin != tkey) out.push_back(rec);
+    std::vector<web::RecordBatchPtr> out;
+    if (config_.shared_fanout) {
+      out.reserve(batches.size());
+      for (const web::RecordBatchPtr& b : batches) {
+        if (b->origin() != tkey) out.push_back(b);
+      }
+    } else {
+      // Benchmark baseline (the seed behaviour): every target gets its
+      // own record copy and its own encode.
+      std::vector<web::WriteRecord> copy;
+      copy.reserve(recs.size());
+      for (const auto& rec : recs) {
+        if (rec.transient_origin != tkey) copy.push_back(rec);
+      }
+      if (!copy.empty()) {
+        out.push_back(std::make_shared<const web::RecordBatch>(
+            std::span<const web::WriteRecord>(copy), 0, needs));
+      }
     }
     if (out.empty()) continue;
     if (config_.policy.instant == TransferInstant::kLazy) {
       auto& queue = lazy_queues_[tkey];
-      queue.insert(queue.end(), out.begin(), out.end());
+      queue.insert(queue.end(), std::make_move_iterator(out.begin()),
+                   std::make_move_iterator(out.end()));
       lazy_dirty_ = true;
     } else {
       send_coherence(t, out);
@@ -681,13 +719,15 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
   }
 }
 
-void StoreEngine::send_coherence(const Address& to,
-                                 const std::vector<web::WriteRecord>& recs) {
+void StoreEngine::send_coherence(
+    const Address& to, std::span<const web::RecordBatchPtr> batches) {
   const auto& p = config_.policy;
   if (p.propagation == Propagation::kInvalidate) {
     InvalidateMsg m;
     std::set<std::string> pages;
-    for (const auto& r : recs) pages.insert(r.page);
+    for (const web::RecordBatchPtr& b : batches) {
+      pages.insert(b->pages().begin(), b->pages().end());
+    }
     m.pages.assign(pages.begin(), pages.end());
     m.known_clock = applied_clock_;
     m.known_gseq = applied_gseq_;
@@ -705,12 +745,13 @@ void StoreEngine::send_coherence(const Address& to,
       return;
     }
     case CoherenceTransfer::kPartial: {
-      // Serialize the records straight into the wire buffer: the record
-      // payloads travel from the log to the transport with one copy.
+      // Splice the pre-encoded shared batches straight into the wire
+      // buffer: the record payloads were serialized once, no matter how
+      // many subscribers this update reaches.
       comm_.send_with(to, msg::MsgType::kUpdate, config_.object,
                       [&](util::Writer& w) {
-                        UpdateMsg::encode_fields(w, recs, applied_clock_,
-                                                 applied_gseq_);
+                        UpdateMsg::encode_batches(w, batches, applied_clock_,
+                                                  applied_gseq_);
                       });
       return;
     }
@@ -732,13 +773,13 @@ void StoreEngine::flush_lazy() {
   auto queues = std::move(lazy_queues_);
   lazy_queues_.clear();
   // Notification and full transfers carry no per-record data: a queued
-  // target with an empty record list still gets its (aggregated) message.
+  // target with an empty batch list still gets its (aggregated) message.
   const bool data_free =
       config_.policy.propagation == Propagation::kUpdate &&
       config_.policy.coherence_transfer != CoherenceTransfer::kPartial;
-  for (auto& [key, recs] : queues) {
-    if (recs.empty() && !data_free) continue;
-    send_coherence(key_addr(key), recs);
+  for (auto& [key, batches] : queues) {
+    if (batches.empty() && !data_free) continue;
+    send_coherence(key_addr(key), batches);
   }
 }
 
@@ -1127,6 +1168,15 @@ void StoreEngine::handle_anti_entropy(const Address& from,
   }
   comm_.reply_with(from, msg::MsgType::kAntiEntropyReply, config_.object,
                    env.request_id, [&](util::Writer& w) { rep.encode(w); });
+}
+
+util::Buffer store_state_digest(const StoreEngine& s) {
+  util::Writer w;
+  web::encode_records(w, s.write_log().retained());
+  w.bytes(util::BytesView(s.document().encode_snapshot()));
+  w.varint(s.applied_gseq());
+  s.applied_clock().encode(w);
+  return w.take();
 }
 
 }  // namespace globe::replication

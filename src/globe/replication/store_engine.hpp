@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "globe/replication/protocol.hpp"
 #include "globe/replication/write_log.hpp"
 #include "globe/sim/simulator.hpp"
+#include "globe/web/record_batch.hpp"
 
 namespace globe::replication {
 
@@ -82,6 +84,12 @@ struct StoreConfig {
   /// Benchmark baseline: compute deltas with the naive O(history) log
   /// scan instead of the indexes (bench_scale's before/after knob).
   bool naive_log_scan = false;
+  /// Fan-out discipline. True (default): records are encoded once into
+  /// shared RecordBatches referenced by every subscriber. False
+  /// (benchmark baseline, the seed behaviour): every subscriber gets its
+  /// own record copy and its own encode. The delivered bytes are
+  /// identical either way.
+  bool shared_fanout = true;
 };
 
 class StoreEngine {
@@ -189,7 +197,7 @@ class StoreEngine {
   // ---- propagation ----
   void propagate(const std::vector<web::WriteRecord>& recs);
   void send_coherence(const Address& to,
-                      const std::vector<web::WriteRecord>& recs);
+                      std::span<const web::RecordBatchPtr> batches);
   void flush_lazy();
   void pull_from_upstream();
   void advertise_clock();
@@ -249,7 +257,9 @@ class StoreEngine {
     StoreId store_id;
   };
   std::vector<Subscriber> subscribers_;
-  std::map<std::uint64_t, std::vector<web::WriteRecord>> lazy_queues_;
+  // Per-target lazy segments: shared, immutable, pre-encoded batches.
+  // N subscribers hold N pointers to one encode, not N record copies.
+  std::map<std::uint64_t, std::vector<web::RecordBatchPtr>> lazy_queues_;
   bool lazy_dirty_ = false;  // for notify/full lazy transfers
   std::optional<sim::PeriodicTimer> lazy_timer_;
   std::optional<sim::PeriodicTimer> pull_timer_;
@@ -275,5 +285,12 @@ class StoreEngine {
   coherence::History* history_;
   metrics::MetricsSink* metrics_;
 };
+
+/// Serialized delivered state of a store: the retained log records in
+/// apply order, the document (oracle-encoded, bypassing the snapshot
+/// cache), and the applied gseq/clock. The fan-out equivalence test and
+/// the bench_scale gate compare these digests to prove two propagation
+/// configurations delivered byte-identical records.
+[[nodiscard]] util::Buffer store_state_digest(const StoreEngine& s);
 
 }  // namespace globe::replication

@@ -29,6 +29,7 @@ core::TransportFactory Testbed::factory(NodeId node) {
 StoreEngine& Testbed::add_store_impl(StoreConfig cfg, std::string node_name) {
   cfg.log_compact_threshold = options_.log_compact_threshold;
   cfg.naive_log_scan = options_.naive_log_scan;
+  cfg.shared_fanout = options_.shared_fanout;
   const NodeId node = add_node(std::move(node_name));
   auto store = std::make_unique<StoreEngine>(
       factory(node), sim_, std::move(cfg),

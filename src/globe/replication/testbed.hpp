@@ -34,6 +34,9 @@ struct TestbedOptions {
   std::size_t log_compact_threshold = 4096;
   /// Benchmark baseline: force the naive O(history) delta scan.
   bool naive_log_scan = false;
+  /// Benchmark baseline: false forces the per-subscriber copy+encode
+  /// fan-out instead of shared record batches.
+  bool shared_fanout = true;
 };
 
 class Testbed {

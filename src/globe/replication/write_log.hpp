@@ -53,6 +53,11 @@ class WriteLog {
     return first_pos_ + entries_.size();
   }
 
+  /// The retained records in append order (equivalence tests / benches).
+  [[nodiscard]] const std::vector<web::WriteRecord>& retained() const {
+    return entries_;
+  }
+
   /// The delta a requester at (`have`, `have_gseq`) is missing, from the
   /// retained records, in append order. Restricted to `pages` when
   /// non-empty. O(delta log delta) instead of O(history).

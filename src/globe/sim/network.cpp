@@ -28,28 +28,47 @@ void Network::send(const Address& from, const Address& to, Buffer payload) {
     return;
   }
 
+  const bool local = from.node == to.node;
   const LinkSpec& spec = link(from.node, to.node);
-  if (!spec.reliable_ordered && spec.drop_rate > 0.0 &&
-      rng_.chance(spec.drop_rate)) {
-    ++stats_.messages_dropped;
-    return;
-  }
-
-  SimDuration delay = spec.base_latency;
-  if (from.node == to.node) delay = SimDuration::micros(10);  // local loop
-  if (spec.jitter.count_micros() > 0) {
-    delay = delay + SimDuration(static_cast<std::int64_t>(
-                        rng_.below(static_cast<std::uint64_t>(
-                            spec.jitter.count_micros() + 1))));
+  SimDuration delay;
+  if (local) {
+    // Local fast-path: co-located endpoints talk through the node's own
+    // stack, not the modeled link — fixed latency, no jitter, no drop
+    // roll. The constant delay keeps local delivery FIFO by itself (the
+    // simulator breaks time ties in schedule order).
+    delay = SimDuration::micros(10);
+  } else {
+    if (!spec.reliable_ordered && spec.drop_rate > 0.0 &&
+        rng_.chance(spec.drop_rate)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    delay = spec.base_latency;
+    if (spec.jitter.count_micros() > 0) {
+      delay = delay + SimDuration(static_cast<std::int64_t>(
+                          rng_.below(static_cast<std::uint64_t>(
+                              spec.jitter.count_micros() + 1))));
+    }
   }
 
   SimTime deliver_at = sim_.now() + delay;
-  if (spec.reliable_ordered) {
+  if (spec.reliable_ordered && !local) {
     const std::uint64_t directed =
         (static_cast<std::uint64_t>(from.node) << 32) | to.node;
     auto [it, _] = last_delivery_.try_emplace(directed, deliver_at);
     if (deliver_at < it->second) deliver_at = it->second;
     it->second = deliver_at;
+    // A clamp entry at or behind the clock can never delay a future
+    // send (deliver_at >= now): sweep such dead entries periodically so
+    // the FIFO state tracks only in-flight links instead of growing
+    // with every directed pair ever used.
+    if (++sends_since_fifo_prune_ >= kFifoPruneInterval) {
+      sends_since_fifo_prune_ = 0;
+      const SimTime horizon = sim_.now();
+      std::erase_if(last_delivery_, [horizon](const auto& entry) {
+        return entry.second <= horizon;
+      });
+    }
   }
 
   const std::size_t size = payload.size();

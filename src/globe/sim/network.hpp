@@ -105,6 +105,13 @@ class Network {
     return link(a, b).base_latency;
   }
 
+  /// Directed pairs currently tracked for reliable-ordered FIFO
+  /// clamping. Bounded: entries at or behind the clock are swept every
+  /// kFifoPruneInterval sends (regression guard for unbounded growth).
+  [[nodiscard]] std::size_t fifo_state_size() const {
+    return last_delivery_.size();
+  }
+
  private:
   [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) {
     if (a > b) std::swap(a, b);
@@ -123,8 +130,11 @@ class Network {
   std::unordered_map<std::uint64_t, LinkSpec> links_;
   std::unordered_set<std::uint64_t> partitions_;
   // Last scheduled delivery time per directed node pair; enforces FIFO on
-  // reliable-ordered links.
+  // reliable-ordered links. Entries whose time has passed are dead (they
+  // can never clamp a future send) and are pruned periodically.
+  static constexpr std::size_t kFifoPruneInterval = 1024;
   std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  std::size_t sends_since_fifo_prune_ = 0;
   LinkSpec default_link_;
   TrafficStats stats_;
 };

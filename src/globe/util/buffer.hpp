@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -32,6 +33,15 @@ using Buffer = std::vector<std::byte>;
 
 /// View over immutable bytes.
 using BytesView = std::span<const std::byte>;
+
+/// Immutable ref-counted buffer, shared across consumers without
+/// copying: cached document snapshots, fan-out message bodies. A null
+/// SharedBuffer means "no bytes".
+using SharedBuffer = std::shared_ptr<const Buffer>;
+
+[[nodiscard]] inline BytesView view_of(const SharedBuffer& b) {
+  return b == nullptr ? BytesView{} : BytesView(*b);
+}
 
 inline Buffer to_buffer(std::string_view s) {
   Buffer b(s.size());

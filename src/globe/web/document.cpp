@@ -4,8 +4,11 @@ namespace globe::web {
 
 bool WebDocument::apply(const WriteRecord& rec) {
   if (rec.op == WriteOp::kDelete) {
-    return pages_.erase(rec.page) > 0;
+    const bool erased = pages_.erase(rec.page) > 0;
+    if (erased) snapshot_cache_.reset();
+    return erased;
   }
+  snapshot_cache_.reset();
   Page& p = pages_[rec.page];
   p.content = rec.content;
   p.mime = rec.mime;
@@ -50,7 +53,14 @@ std::size_t WebDocument::content_bytes() const {
   return total;
 }
 
-util::Buffer WebDocument::snapshot() const {
+util::SharedBuffer WebDocument::snapshot() const {
+  if (snapshot_cache_ == nullptr) {
+    snapshot_cache_ = std::make_shared<const util::Buffer>(encode_snapshot());
+  }
+  return snapshot_cache_;
+}
+
+util::Buffer WebDocument::encode_snapshot() const {
   util::Writer w;
   w.varint(pages_.size());
   for (const auto& [name, p] : pages_) {
@@ -82,6 +92,7 @@ void WebDocument::restore(util::BytesView snapshot) {
   }
   r.expect_end();
   pages_ = std::move(pages);
+  snapshot_cache_.reset();
 }
 
 }  // namespace globe::web

@@ -53,15 +53,30 @@ class WebDocument {
   /// Total content bytes; approximates document transfer size.
   [[nodiscard]] std::size_t content_bytes() const;
 
-  /// Full-state snapshot (coherence transfer type = full).
-  [[nodiscard]] util::Buffer snapshot() const;
+  /// Full-state snapshot (coherence transfer type = full). The encoding
+  /// is cached and shared: repeated calls between mutations return the
+  /// same immutable buffer, so N concurrent snapshot requesters (e.g. a
+  /// cutover storm of behind-horizon replicas) cost one encode, not N.
+  [[nodiscard]] util::SharedBuffer snapshot() const;
+
+  /// Reference encoder: always re-encodes, bypassing the cache. Used by
+  /// the cache fill and by equivalence tests as the uncached oracle.
+  [[nodiscard]] util::Buffer encode_snapshot() const;
+
   void restore(util::BytesView snapshot);
 
-  /// Structural equality of page contents (used by convergence checks).
-  friend bool operator==(const WebDocument&, const WebDocument&) = default;
+  /// Structural equality of page contents (used by convergence checks);
+  /// deliberately ignores the snapshot cache.
+  friend bool operator==(const WebDocument& a, const WebDocument& b) {
+    return a.pages_ == b.pages_;
+  }
 
  private:
   std::map<std::string, Page> pages_;
+  // Cached encoding of pages_; reset by every mutation. Copies of the
+  // document share the cache (it is immutable); a copy's own mutation
+  // only drops its own reference.
+  mutable util::SharedBuffer snapshot_cache_;
 };
 
 }  // namespace globe::web

@@ -195,5 +195,46 @@ TEST(Adaptive, QuietObjectNeverSwitches) {
   EXPECT_EQ(controller.current_instant(), core::TransferInstant::kImmediate);
 }
 
+TEST(Adaptive, CounterRegressionDoesNotForceSpuriousLazySwitch) {
+  // A write counter that regresses between samples (store re-created or
+  // snapshot-restored mid-run) used to wrap the unsigned delta into a
+  // huge rate and force a switch to lazy. The controller must instead
+  // treat a regression as zero writes and re-baseline.
+  Testbed bed;
+  auto& primary = bed.add_primary(kObj, immediate_pram());
+  bed.settle();
+
+  // Scripted counter: a healthy sample, then a restore that resets the
+  // counter to a smaller value, then quiet samples from the new base.
+  std::uint64_t counter = 0;
+  AdaptiveOptions opts;
+  opts.interval = sim::SimDuration::seconds(1);
+  opts.writes_probe = [&counter] { return counter; };
+  AdaptiveController controller(bed.sim(), primary, opts);
+  controller.start();
+
+  counter = 2;  // below the lazy threshold (4 writes/s)
+  bed.run_for(sim::SimDuration::millis(1100));  // sample 1
+  EXPECT_EQ(controller.current_instant(), core::TransferInstant::kImmediate);
+
+  counter = 0;  // the regression: restore dropped the counter
+  bed.run_for(sim::SimDuration::seconds(1));  // sample 2: would wrap
+  EXPECT_EQ(controller.switches(), 0u);
+  EXPECT_EQ(controller.current_instant(), core::TransferInstant::kImmediate);
+
+  // Re-baselined at 0: modest progress from there must read as a
+  // modest rate, not as (new - stale_base).
+  counter = 2;
+  bed.run_for(sim::SimDuration::seconds(1));  // sample 3
+  EXPECT_EQ(controller.switches(), 0u);
+  EXPECT_EQ(controller.current_instant(), core::TransferInstant::kImmediate);
+
+  // A genuine burst after the regression still switches.
+  counter += 50;
+  bed.run_for(sim::SimDuration::seconds(1));  // sample 4
+  EXPECT_EQ(controller.current_instant(), core::TransferInstant::kLazy);
+  controller.stop();
+}
+
 }  // namespace
 }  // namespace globe::replication

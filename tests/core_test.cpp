@@ -260,7 +260,7 @@ TEST(WebSemantics, SnapshotRestoreMatchesDocument) {
   a.apply(rec);
 
   WebSemanticsObject b;
-  b.restore(util::BytesView(a.snapshot()));
+  b.restore(util::view_of(a.snapshot()));
   EXPECT_EQ(b.document(), a.document());
 }
 

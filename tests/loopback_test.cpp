@@ -128,5 +128,39 @@ TEST(Loopback, ManySendersInterleaveSafely) {
   EXPECT_EQ(received.load(), kThreads * kPerThread);
 }
 
+TEST(Loopback, DoubleBindAsserts) {
+  // Both runtimes agree on the binding contract: sim::Network asserts
+  // "endpoint already bound" and so does LoopbackRouter (a silent
+  // overwrite would swallow the first handler's traffic).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        LoopbackRouter router;
+        LoopbackTransport first(router, Address{5, 1},
+                                [](const Address&, BytesView) {});
+        LoopbackTransport second(router, Address{5, 1},
+                                 [](const Address&, BytesView) {});
+      },
+      "endpoint already bound");
+}
+
+TEST(Loopback, UnbindThenRebindIsSupported) {
+  LoopbackRouter router;
+  std::atomic<int> second_received{0};
+  LoopbackTransport tx(router, Address{0, 1},
+                       [](const Address&, BytesView) {});
+  {
+    LoopbackTransport first(router, Address{5, 1},
+                            [](const Address&, BytesView) {});
+  }  // unbinds
+  LoopbackTransport second(router, Address{5, 1},
+                           [&](const Address&, BytesView) {
+                             ++second_received;
+                           });
+  tx.send({5, 1}, util::to_buffer("x"));
+  router.drain();
+  EXPECT_EQ(second_received.load(), 1);
+}
+
 }  // namespace
 }  // namespace globe::net

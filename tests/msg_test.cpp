@@ -91,7 +91,8 @@ TEST(Protocol, InvokeReplyRoundTrip) {
   replication::InvokeReply rep;
   rep.ok = true;
   rep.value = util::to_buffer("result");
-  rep.document = util::to_buffer("doc");
+  rep.document =
+      std::make_shared<const util::Buffer>(util::to_buffer("doc"));
   rep.wid = {3, 4};
   rep.global_seq = 12;
   rep.store_clock.set(3, 4);
@@ -100,7 +101,7 @@ TEST(Protocol, InvokeReplyRoundTrip) {
       replication::InvokeReply::decode(util::BytesView(rep.encode()));
   EXPECT_TRUE(back.ok);
   EXPECT_EQ(util::to_string(util::BytesView(back.value)), "result");
-  EXPECT_EQ(util::to_string(util::BytesView(back.document)), "doc");
+  EXPECT_EQ(util::to_string(util::view_of(back.document)), "doc");
   EXPECT_EQ(back.global_seq, 12u);
   EXPECT_EQ(back.store, 2u);
 }
@@ -172,12 +173,13 @@ TEST(Protocol, SubscribeAndSnapshotRoundTrip) {
   EXPECT_EQ(sback.store_class, 2u);
 
   replication::SnapshotMsg snap;
-  snap.document = util::to_buffer("state");
+  snap.document =
+      std::make_shared<const util::Buffer>(util::to_buffer("state"));
   snap.clock.set(1, 2);
   snap.gseq = 6;
   const auto nback =
       replication::SnapshotMsg::decode(util::BytesView(snap.encode()));
-  EXPECT_EQ(util::to_string(util::BytesView(nback.document)), "state");
+  EXPECT_EQ(util::to_string(util::view_of(nback.document)), "state");
   EXPECT_EQ(nback.gseq, 6u);
 }
 

@@ -1,11 +1,13 @@
 // Unit tests for the discrete-event simulator and the simulated network.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "globe/sim/network.hpp"
 #include "globe/sim/simulator.hpp"
+#include "globe/util/rng.hpp"
 
 namespace globe::sim {
 namespace {
@@ -254,6 +256,73 @@ TEST_F(NetworkTest, DeterministicAcrossRunsWithSameSeed) {
   };
   EXPECT_EQ(run_once(77), run_once(77));
   EXPECT_NE(run_once(77), run_once(78));
+}
+
+TEST_F(NetworkTest, LocalLoopSkipsJitterAndDropRoll) {
+  // Co-located endpoints bypass the modeled link entirely: even a lossy
+  // link with certain drop and heavy jitter must deliver local traffic
+  // deterministically at the 10us fast-path latency.
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  LinkSpec spec;
+  spec.base_latency = SimDuration::millis(20);
+  spec.jitter = SimDuration::millis(50);
+  spec.drop_rate = 1.0;  // every remote message is dropped
+  spec.reliable_ordered = false;
+  net.set_default_link(spec);
+
+  std::vector<std::int64_t> local_latencies;
+  std::int64_t sent_at = 0;
+  net.bind({a, 2}, [&](const net::Address&, util::BytesView) {
+    local_latencies.push_back(sim.now().count_micros() - sent_at);
+  });
+  int remote_received = 0;
+  net.bind({b, 1},
+           [&](const net::Address&, util::BytesView) { ++remote_received; });
+
+  for (int i = 0; i < 200; ++i) {
+    sent_at = sim.now().count_micros();
+    net.send({a, 1}, {a, 2}, util::to_buffer("local"));
+    net.send({a, 1}, {b, 1}, util::to_buffer("remote"));
+    sim.run();
+  }
+  ASSERT_EQ(local_latencies.size(), 200u);
+  for (const std::int64_t lat : local_latencies) EXPECT_EQ(lat, 10);
+  EXPECT_EQ(remote_received, 0);  // drop roll still applies off-node
+}
+
+TEST_F(NetworkTest, FifoClampStateStaysBoundedOverLongRuns) {
+  // Regression: last_delivery_ used to keep one entry per directed node
+  // pair forever. Dead entries (delivery time at or behind the clock)
+  // are now swept, so long reliable-ordered runs touching many pairs
+  // keep the FIFO state near the number of genuinely in-flight links.
+  constexpr int kNodes = 96;
+  for (int i = 0; i < kNodes; ++i) net.add_node();
+  for (int i = 0; i < kNodes; ++i) {
+    net.bind({static_cast<NodeId>(i), 1},
+             [](const net::Address&, util::BytesView) {});
+  }
+  util::Rng rng(5);
+  std::size_t max_state = 0;
+  std::size_t sent = 0;
+  while (sent < 100'000) {
+    for (int burst = 0; burst < 200; ++burst, ++sent) {
+      const auto from = static_cast<NodeId>(rng.below(kNodes));
+      auto to = static_cast<NodeId>(rng.below(kNodes));
+      if (to == from) to = (to + 1) % kNodes;
+      net.send({from, 1}, {to, 1}, util::to_buffer("x"));
+    }
+    sim.run();  // drain: all deliveries now behind the clock
+    max_state = std::max(max_state, net.fifo_state_size());
+  }
+  EXPECT_EQ(net.stats().messages_sent, 100'000u);
+  // ~9120 directed pairs were used; without pruning the map holds all
+  // of them. With pruning it never exceeds one sweep interval plus the
+  // in-flight burst.
+  EXPECT_LE(max_state, 2048u);
+  sim.run();
+  net.send({0, 1}, {1, 1}, util::to_buffer("x"));  // triggers no sweep
+  EXPECT_LE(net.fifo_state_size(), 2048u);
 }
 
 }  // namespace

@@ -102,10 +102,10 @@ TEST(WebDocument, SnapshotRoundTrip) {
   WebDocument doc;
   doc.apply(put("a", "alpha", {1, 1}));
   doc.apply(put("b", "beta", {2, 3}));
-  const util::Buffer snap = doc.snapshot();
+  const util::SharedBuffer snap = doc.snapshot();
 
   WebDocument copy;
-  copy.restore(util::BytesView(snap));
+  copy.restore(util::view_of(snap));
   EXPECT_EQ(copy, doc);
   EXPECT_EQ(copy.get("b")->last_writer, (coherence::WriteId{2, 3}));
 }
@@ -115,7 +115,7 @@ TEST(WebDocument, RestoreReplacesState) {
   doc.apply(put("old", "x", {1, 1}));
   WebDocument other;
   other.apply(put("new", "y", {2, 1}));
-  doc.restore(util::BytesView(other.snapshot()));
+  doc.restore(util::view_of(other.snapshot()));
   EXPECT_FALSE(doc.has("old"));
   EXPECT_TRUE(doc.has("new"));
 }
@@ -124,7 +124,7 @@ TEST(WebDocument, EmptySnapshotRoundTrip) {
   WebDocument doc;
   WebDocument copy;
   copy.apply(put("p", "v", {1, 1}));
-  copy.restore(util::BytesView(doc.snapshot()));
+  copy.restore(util::view_of(doc.snapshot()));
   EXPECT_EQ(copy.page_count(), 0u);
 }
 
