@@ -27,8 +27,10 @@
 // Usage: bench_scale [--smoke] [--out <path>]
 //   --smoke  tiny sizes; validates the harness (CI bitrot check)
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -494,11 +496,196 @@ SnapshotMicroResult micro_snapshot(int pages, int requests) {
 }
 
 // ---------------------------------------------------------------------
+// 7. History recording + checker verification (naive vs indexed)
+// ---------------------------------------------------------------------
+//
+// The trajectory-scale scenario (1 primary + 4 mirrors + caches,
+// hundreds of clients) is run once with history recording on; the
+// recorded events are then replayed into a naive-mode History (seed
+// recorder: plain appends, full-scan views) and an indexed one (interned
+// pages, per-client/per-store indexes), and the full verification pass
+// (object model + every client's session guarantees) is timed through
+// the seed checkers vs the swept ones. Verdicts must be identical — the
+// run aborts on divergence, which is the CI equivalence gate.
+
+struct HistoryBenchResult {
+  int stores = 0;
+  int clients = 0;
+  int ops = 0;
+  std::size_t events = 0;
+  std::size_t pages_interned = 0;
+  double record_naive_s = 0;
+  double record_indexed_s = 0;
+  double check_naive_s = 0;
+  double check_indexed_s = 0;
+  bool verdicts_equal = false;
+  bool clean_ok = false;
+};
+
+/// Replays `src` into `dst` in chronological order (3-way merge on the
+/// event timestamps), re-interning page names — i.e. exactly the
+/// recording work the testbed run performed, isolated from the
+/// simulator.
+double replay_history(const coherence::History& src,
+                      coherence::History& dst) {
+  const auto& ws = src.writes();
+  const auto& rs = src.reads();
+  const auto& as = src.applies();
+  const auto start = Clock::now();
+  std::size_t wi = 0, ri = 0, ai = 0;
+  const auto at = [](util::SimTime t) { return t.count_micros(); };
+  while (wi < ws.size() || ri < rs.size() || ai < as.size()) {
+    const std::int64_t wt =
+        wi < ws.size() ? at(ws[wi].at) : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t rt =
+        ri < rs.size() ? at(rs[ri].at) : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t st =
+        ai < as.size() ? at(as[ai].at) : std::numeric_limits<std::int64_t>::max();
+    if (wt <= rt && wt <= st) {
+      coherence::WriteEvent e = ws[wi++];
+      e.page = dst.intern(src.page_name(e.page));
+      dst.record_write(std::move(e));
+    } else if (rt <= st) {
+      coherence::ReadEvent e = rs[ri++];
+      e.page = dst.intern(src.page_name(e.page));
+      dst.record_read(std::move(e));
+    } else {
+      coherence::ApplyEvent e = as[ai++];
+      e.page = dst.intern(src.page_name(e.page));
+      dst.record_apply(std::move(e));
+    }
+  }
+  return seconds_since(start);
+}
+
+HistoryBenchResult run_history_bench(int mirrors, int caches, int clients,
+                                     int ops) {
+  TestbedOptions opts;
+  opts.seed = 23;
+  opts.wan.base_latency = sim::SimDuration::millis(5);
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  core::ReplicationPolicy policy;
+  policy.model = coherence::ObjectModel::kCausal;
+  policy.write_set = core::WriteSet::kMultiple;
+  policy.initiative = core::TransferInitiative::kPush;
+
+  const auto session =
+      coherence::ClientModel::kMonotonicWrites |
+      coherence::ClientModel::kReadYourWrites |
+      coherence::ClientModel::kMonotonicReads |
+      coherence::ClientModel::kWritesFollowReads;
+
+  auto& primary = bed.add_primary(kObj, policy);
+  const int pages = 24;
+  for (int i = 0; i < pages; ++i) {
+    primary.seed("page" + std::to_string(i) + ".html", "v0");
+  }
+  std::vector<net::Address> mirror_addrs;
+  for (int i = 0; i < mirrors; ++i) {
+    mirror_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy)
+            .address());
+  }
+  bed.settle();
+  std::vector<net::Address> cache_addrs;
+  for (int i = 0; i < caches; ++i) {
+    cache_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy,
+                      mirror_addrs[i % mirror_addrs.size()])
+            .address());
+  }
+  bed.settle();
+  std::vector<replication::ClientBinding*> users;
+  for (int i = 0; i < clients; ++i) {
+    users.push_back(&bed.add_client(kObj, session,
+                                    cache_addrs[i % cache_addrs.size()]));
+  }
+
+  util::Rng rng(31);
+  workload::ZipfGenerator zipf(pages, 0.9);
+  for (int op = 0; op < ops; ++op) {
+    auto& c = *users[rng.below(users.size())];
+    const std::string page = "page" + std::to_string(zipf.sample(rng)) +
+                             ".html";
+    if (rng.chance(0.10)) {
+      c.write(page, "v" + std::to_string(op), [](replication::WriteResult) {});
+    } else {
+      c.read(page, [](replication::ReadResult) {});
+    }
+    bed.run_for(sim::SimDuration::millis(10));
+  }
+  bed.settle();
+
+  HistoryBenchResult res;
+  res.stores = 1 + mirrors + caches;
+  res.clients = clients;
+  res.ops = ops;
+  res.events = bed.history().size();
+  res.pages_interned = bed.history().pages_interned();
+
+  // Recording cost: seed appends vs indexed appends, same event stream.
+  coherence::History naive_hist(/*indexed=*/false);
+  coherence::History indexed_hist(/*indexed=*/true);
+  res.record_naive_s = replay_history(bed.history(), naive_hist);
+  res.record_indexed_s = replay_history(bed.history(), indexed_hist);
+
+  std::vector<coherence::SessionSpec> specs;
+  for (replication::ClientBinding* u : users) {
+    specs.push_back({u->id(), session});
+  }
+
+  // Seed verification: object model + per-client session checks, every
+  // one re-scanning the full event log.
+  auto start = Clock::now();
+  const auto naive_object =
+      coherence::naive::check_object_model(naive_hist, policy.model);
+  std::vector<coherence::CheckResult> naive_sessions;
+  naive_sessions.reserve(specs.size());
+  for (const auto& spec : specs) {
+    naive_sessions.push_back(coherence::naive::check_client_models(
+        naive_hist, spec.client, spec.models));
+  }
+  res.check_naive_s = seconds_since(start);
+
+  // Indexed verification: same verdicts from one sweep.
+  start = Clock::now();
+  const auto indexed_object =
+      coherence::check_object_model(indexed_hist, policy.model);
+  const auto indexed_sessions = coherence::check_sessions(indexed_hist, specs);
+  res.check_indexed_s = seconds_since(start);
+
+  res.verdicts_equal = indexed_object == naive_object &&
+                       indexed_sessions.size() == naive_sessions.size();
+  if (res.verdicts_equal) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!(indexed_sessions[i] == naive_sessions[i])) {
+        res.verdicts_equal = false;
+        break;
+      }
+    }
+  }
+  res.clean_ok = indexed_object.ok;
+  for (const auto& r : indexed_sessions) res.clean_ok = res.clean_ok && r.ok;
+
+  if (!res.verdicts_equal) {
+    std::fprintf(stderr,
+                 "FATAL: indexed checker verdicts diverged from the naive "
+                 "baseline\n  naive object:   %s\n  indexed object: %s\n",
+                 naive_object.summary().c_str(),
+                 indexed_object.summary().c_str());
+    std::exit(1);
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------
 
 void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const SnapshotMicroResult& snap, const E2eResult& pull,
                const E2eResult& ae, const std::vector<FanoutRow>& fanout,
-               const LoopbackRow& loopback,
+               const LoopbackRow& loopback, const HistoryBenchResult& hist,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -557,6 +744,20 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                loopback.shared_s, speedup(loopback.copy_s, loopback.shared_s),
                loopback.identical ? "true" : "false",
                loopback.converged ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"history\": {\"stores\": %d, \"clients\": %d, \"ops\": %d, "
+      "\"events\": %zu, \"pages_interned\": %zu, \"record_naive_s\": %.6f, "
+      "\"record_indexed_s\": %.6f, \"check_naive_s\": %.6f, "
+      "\"check_indexed_s\": %.6f, \"speedup\": %.2f, \"verdicts_equal\": "
+      "%s, \"clean_ok\": %s},\n",
+      hist.stores, hist.clients, hist.ops, hist.events, hist.pages_interned,
+      hist.record_naive_s, hist.record_indexed_s, hist.check_naive_s,
+      hist.check_indexed_s,
+      speedup(hist.record_naive_s + hist.check_naive_s,
+              hist.record_indexed_s + hist.check_indexed_s),
+      hist.verdicts_equal ? "true" : "false",
+      hist.clean_ok ? "true" : "false");
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -635,6 +836,19 @@ int run(bool smoke, const std::string& out_path) {
               loopback.copy_s / loopback.shared_s, loopback.identical,
               loopback.converged);
 
+  std::printf("bench_scale: history recording + checker pipeline...\n");
+  const HistoryBenchResult hist =
+      run_history_bench(/*mirrors=*/4, traj_caches, traj_clients, traj_ops);
+  std::printf(
+      "  %zu events, %d stores, %d clients: record naive %.4fs / indexed "
+      "%.4fs, check naive %.4fs / indexed %.4fs (%.1fx), verdicts_equal=%d "
+      "clean=%d\n",
+      hist.events, hist.stores, hist.clients, hist.record_naive_s,
+      hist.record_indexed_s, hist.check_naive_s, hist.check_indexed_s,
+      (hist.record_naive_s + hist.check_naive_s) /
+          (hist.record_indexed_s + hist.check_indexed_s),
+      hist.verdicts_equal, hist.clean_ok);
+
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
   for (const auto model :
@@ -656,7 +870,7 @@ int run(bool smoke, const std::string& out_path) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, rows);
+  emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, hist, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -674,6 +888,12 @@ int run(bool smoke, const std::string& out_path) {
   }
   if (!loopback.converged || !loopback.identical) {
     std::fprintf(stderr, "FAIL: loopback fan-out broke equivalence\n");
+    return 1;
+  }
+  // run_history_bench already aborts on verdict divergence; a session or
+  // model violation in this clean scenario is a regression too.
+  if (!hist.verdicts_equal || !hist.clean_ok) {
+    std::fprintf(stderr, "FAIL: history checker pipeline regressed\n");
     return 1;
   }
   return 0;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "globe/coherence/models.hpp"
 
@@ -60,16 +60,12 @@ CheckResult check_per_writer_order(const History& h, bool contiguous) {
   return res;
 }
 
-/// Verifies that apply order respects each write's dependency clock.
-/// Used for causal coherence and (restricted) writes-follow-reads.
-CheckResult check_dependencies_respected(
-    const History& h, const std::set<WriteId>& only_these_writes,
-    const char* label) {
+/// Verifies that apply order respects every write's dependency clock
+/// (causal coherence; the writes-follow-reads restriction lives in the
+/// check_sessions sweep).
+CheckResult check_dependencies_respected(const History& h,
+                                         const char* label) {
   CheckResult res;
-  // Look up full dependency info from the write events.
-  std::unordered_map<WriteId, const WriteEvent*> by_wid;
-  for (const auto& w : h.writes()) by_wid[w.wid] = &w;
-
   for (StoreId store : h.stores()) {
     VectorClock applied;
     for (const ApplyEvent* a : h.store_applies(store)) {
@@ -78,9 +74,7 @@ CheckResult check_dependencies_respected(
         applied.merge(a->deps);
         continue;
       }
-      const bool selected =
-          only_these_writes.empty() || only_these_writes.count(a->wid) > 0;
-      if (selected && !applied.dominates(a->deps)) {
+      if (!applied.dominates(a->deps)) {
         res.fail(std::string(label) + ": store " + std::to_string(store) +
                  " applied " + a->wid.str() + " with deps " + a->deps.str() +
                  " before those dependencies were applied (applied=" +
@@ -103,7 +97,7 @@ CheckResult check_fifo_pram(const History& h) {
 }
 
 CheckResult check_causal(const History& h) {
-  return check_dependencies_respected(h, {}, "causal");
+  return check_dependencies_respected(h, "causal");
 }
 
 CheckResult check_sequential(const History& h) {
@@ -205,7 +199,7 @@ CheckResult check_eventual_delivery(const History& h) {
   // final content for the page. Stores that received the page only via
   // snapshot transfer record no applies and are vacuously consistent
   // here (Testbed::converged() compares full states).
-  std::map<StoreId, std::map<std::string, WriteId>> final_write;
+  std::map<StoreId, std::map<PageId, WriteId>> final_write;
   for (StoreId store : stores) {
     auto& per_page = final_write[store];
     for (const ApplyEvent* a : h.store_applies(store)) {
@@ -217,7 +211,7 @@ CheckResult check_eventual_delivery(const History& h) {
       per_page[a->page] = a->wid;  // later applies overwrite
     }
   }
-  std::map<std::string, std::map<WriteId, std::vector<StoreId>>> by_page;
+  std::map<PageId, std::map<WriteId, std::vector<StoreId>>> by_page;
   for (const auto& [store, per_page] : final_write) {
     for (const auto& [page, wid] : per_page) {
       by_page[page][wid].push_back(store);
@@ -225,7 +219,7 @@ CheckResult check_eventual_delivery(const History& h) {
   }
   for (const auto& [page, winners] : by_page) {
     if (winners.size() <= 1) continue;
-    std::string what = "eventual: page '" + page +
+    std::string what = "eventual: page '" + h.page_name(page) +
                        "' settled on different final writes:";
     for (const auto& [wid, who] : winners) {
       what += " " + wid.str() + "@stores{";
@@ -252,32 +246,17 @@ CheckResult check_object_model(const History& h, ObjectModel model) {
   return res;
 }
 
-CheckResult check_monotonic_writes(const History& h, ClientId client) {
-  CheckResult res;
-  for (StoreId store : h.stores()) {
-    std::uint64_t prev = 0;
-    for (const ApplyEvent* a : h.store_applies(store)) {
-      if (a->from_snapshot) {
-        prev = std::max(prev, a->deps.get(client));
-        continue;
-      }
-      if (a->wid.client != client) continue;
-      ++res.events_checked;
-      if (a->wid.seq <= prev) {
-        res.fail("MW: store " + std::to_string(store) + " applied " +
-                 a->wid.str() + " after seq " + std::to_string(prev));
-      } else {
-        prev = a->wid.seq;
-      }
-    }
-  }
-  return res;
-}
+namespace {
 
-CheckResult check_read_your_writes(const History& h, ClientId client) {
+// Read-path guarantees over one client's operation sequence. These were
+// already per-client in the seed; with the operation index they cost
+// O(ops of the client) instead of a full history scan per client.
+
+CheckResult check_ryw_ops(const std::vector<History::ClientOp>& ops,
+                          ClientId client) {
   CheckResult res;
   std::uint64_t own_writes = 0;  // highest seq this client has written
-  for (const History::ClientOp& op : h.client_ops(client)) {
+  for (const History::ClientOp& op : ops) {
     ++res.events_checked;
     if (op.is_write) {
       own_writes = std::max(own_writes, op.write->wid.seq);
@@ -291,10 +270,11 @@ CheckResult check_read_your_writes(const History& h, ClientId client) {
   return res;
 }
 
-CheckResult check_monotonic_reads(const History& h, ClientId client) {
+CheckResult check_mr_ops(const std::vector<History::ClientOp>& ops,
+                         ClientId client) {
   CheckResult res;
   VectorClock seen;
-  for (const History::ClientOp& op : h.client_ops(client)) {
+  for (const History::ClientOp& op : ops) {
     if (op.is_write) continue;
     ++res.events_checked;
     if (!op.read->store_clock.dominates(seen)) {
@@ -308,35 +288,144 @@ CheckResult check_monotonic_reads(const History& h, ClientId client) {
   return res;
 }
 
+}  // namespace
+
+// The per-guarantee entry points are one-spec sweeps: a single
+// implementation (check_sessions) serves both the per-client API and
+// the all-clients pass, so they cannot diverge.
+
+CheckResult check_monotonic_writes(const History& h, ClientId client) {
+  return check_sessions(h, {SessionSpec{client, ClientModel::kMonotonicWrites}})
+      .front();
+}
+
+CheckResult check_read_your_writes(const History& h, ClientId client) {
+  return check_ryw_ops(h.client_ops(client), client);
+}
+
+CheckResult check_monotonic_reads(const History& h, ClientId client) {
+  return check_mr_ops(h.client_ops(client), client);
+}
+
 CheckResult check_writes_follow_reads(const History& h, ClientId client) {
-  // The client's writes must be ordered, at every store, after the writes
-  // the client had observed when issuing them. The write's recorded deps
-  // clock captures that read context; reuse the dependency checker
-  // restricted to this client's writes.
-  std::set<WriteId> own;
-  for (const auto& w : h.writes()) {
-    if (w.client == client) own.insert(w.wid);
+  return check_sessions(h,
+                        {SessionSpec{client, ClientModel::kWritesFollowReads}})
+      .front();
+}
+
+std::vector<CheckResult> check_sessions(
+    const History& h, const std::vector<SessionSpec>& specs) {
+  // Per-guarantee partial results, merged per spec at the end in the
+  // same MW, RYW, MR, WFR order the per-client checker used — the
+  // verdicts (including violation order and events_checked) are
+  // identical to running each client separately.
+  std::vector<CheckResult> mw(specs.size()), ryw(specs.size()),
+      mr(specs.size()), wfr(specs.size());
+
+  std::unordered_map<ClientId, std::size_t> mw_slot;   // client -> spec
+  std::unordered_map<ClientId, std::size_t> wfr_slot;  // client -> spec
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (has(specs[i].models, ClientModel::kMonotonicWrites)) {
+      mw_slot.emplace(specs[i].client, i);
+    }
+    if (has(specs[i].models, ClientModel::kWritesFollowReads)) {
+      wfr_slot.emplace(specs[i].client, i);
+    }
   }
-  if (own.empty()) return {};
-  return check_dependencies_respected(h, own, "WFR");
+
+  // Monotonic writes: one walk per store's apply log covering every
+  // flagged client (the seed walked it once per client).
+  if (!mw_slot.empty()) {
+    for (StoreId store : h.stores()) {
+      std::unordered_map<ClientId, std::uint64_t> prev;
+      for (const ApplyEvent* a : h.store_applies(store)) {
+        if (a->from_snapshot) {
+          for (const auto& [c, v] : a->deps.entries()) {
+            if (mw_slot.find(c) == mw_slot.end()) continue;
+            auto& cur = prev[c];
+            cur = std::max(cur, v);
+          }
+          continue;
+        }
+        auto slot = mw_slot.find(a->wid.client);
+        if (slot == mw_slot.end()) continue;
+        CheckResult& res = mw[slot->second];
+        ++res.events_checked;
+        auto& cur = prev[a->wid.client];
+        if (a->wid.seq <= cur) {
+          res.fail("MW: store " + std::to_string(store) + " applied " +
+                   a->wid.str() + " after seq " + std::to_string(cur));
+        } else {
+          cur = a->wid.seq;
+        }
+      }
+    }
+  }
+
+  // Writes-follow-reads: the recorded-write map is built ONCE for all
+  // clients, and each store's apply log is walked once with a single
+  // running applied-clock (the seed rebuilt both per client).
+  if (!wfr_slot.empty()) {
+    std::unordered_map<WriteId, std::size_t> recorded;  // wid -> spec
+    std::unordered_set<std::size_t> active;  // specs with >= 1 write
+    for (const auto& w : h.writes()) {
+      auto slot = wfr_slot.find(w.client);
+      if (slot == wfr_slot.end()) continue;
+      recorded.emplace(w.wid, slot->second);
+      active.insert(slot->second);
+    }
+    if (!recorded.empty()) {
+      std::size_t total_applies = 0;
+      for (StoreId store : h.stores()) {
+        VectorClock applied;
+        const auto applies = h.store_applies(store);
+        total_applies += applies.size();
+        for (const ApplyEvent* a : applies) {
+          if (a->from_snapshot) {
+            applied.merge(a->deps);
+            continue;
+          }
+          auto sel = recorded.find(a->wid);
+          if (sel != recorded.end() && !applied.dominates(a->deps)) {
+            wfr[sel->second].fail(
+                "WFR: store " + std::to_string(store) + " applied " +
+                a->wid.str() + " with deps " + a->deps.str() +
+                " before those dependencies were applied (applied=" +
+                applied.str() + ")");
+          }
+          applied.observe(a->wid);
+        }
+      }
+      // The per-client checker counted every apply event it walked;
+      // clients with no recorded writes short-circuited to zero.
+      for (std::size_t i : active) wfr[i].events_checked = total_applies;
+    }
+  }
+
+  // Read-path guarantees: O(ops of the client) each via the index; one
+  // fetch serves both checks.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const bool want_ryw = has(specs[i].models, ClientModel::kReadYourWrites);
+    const bool want_mr = has(specs[i].models, ClientModel::kMonotonicReads);
+    if (!want_ryw && !want_mr) continue;
+    const auto ops = h.client_ops(specs[i].client);
+    if (want_ryw) ryw[i] = check_ryw_ops(ops, specs[i].client);
+    if (want_mr) mr[i] = check_mr_ops(ops, specs[i].client);
+  }
+
+  std::vector<CheckResult> out(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out[i].merge(mw[i]);
+    out[i].merge(ryw[i]);
+    out[i].merge(mr[i]);
+    out[i].merge(wfr[i]);
+  }
+  return out;
 }
 
 CheckResult check_client_models(const History& h, ClientId client,
                                 ClientModel models) {
-  CheckResult res;
-  if (has(models, ClientModel::kMonotonicWrites)) {
-    res.merge(check_monotonic_writes(h, client));
-  }
-  if (has(models, ClientModel::kReadYourWrites)) {
-    res.merge(check_read_your_writes(h, client));
-  }
-  if (has(models, ClientModel::kMonotonicReads)) {
-    res.merge(check_monotonic_reads(h, client));
-  }
-  if (has(models, ClientModel::kWritesFollowReads)) {
-    res.merge(check_writes_follow_reads(h, client));
-  }
-  return res;
+  return check_sessions(h, {SessionSpec{client, models}}).front();
 }
 
 }  // namespace globe::coherence

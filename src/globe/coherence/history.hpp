@@ -6,10 +6,23 @@
 // the coherence model the object was configured with. This is how the
 // test suite demonstrates — rather than assumes — that each replication
 // strategy implements its advertised model.
+//
+// Scale: recording is on the hot path of every simulated operation, so
+// events carry an interned PageId (one shared string table per History)
+// instead of a std::string per event, and per-client / per-store index
+// vectors are maintained incrementally at record time. `client_ops()`
+// and `store_applies()` assemble their results from those indexes in
+// O(result) instead of rescanning the whole event log. The seed's
+// full-scan implementations are retained as `*_naive()` (and as the
+// behaviour of a History constructed with indexed=false) so that
+// checker-equivalence tests and benchmarks can prove the indexed path
+// returns identical views.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "globe/coherence/vector_clock.hpp"
@@ -21,6 +34,11 @@ namespace globe::coherence {
 
 using util::SimTime;
 
+/// Interned page name. Id 0 (`kNoPage`) is the empty name, used by
+/// events that carry no page (e.g. snapshot applies).
+using PageId = std::uint32_t;
+inline constexpr PageId kNoPage = 0;
+
 /// A client completed a write (it was accepted by the store it is bound
 /// to, or by the primary on its behalf).
 struct WriteEvent {
@@ -29,7 +47,7 @@ struct WriteEvent {
   ClientId client = 0;
   StoreId via_store = kInvalidStore;  // store that accepted the write
   WriteId wid;
-  std::string page;
+  PageId page = kNoPage;
   VectorClock deps;          // causal/session dependencies carried
   std::uint64_t global_seq = 0;  // primary-assigned total order (0 if none)
 };
@@ -40,7 +58,7 @@ struct ReadEvent {
   std::uint64_t client_op_index = 0;
   ClientId client = 0;
   StoreId store = kInvalidStore;  // store that served the read
-  std::string page;
+  PageId page = kNoPage;
   WriteId observed;               // writer of the returned content
   VectorClock store_clock;        // serving store's applied clock
   std::uint64_t store_global_seq = 0;
@@ -56,7 +74,7 @@ struct ApplyEvent {
   SimTime at{};
   StoreId store = kInvalidStore;
   WriteId wid;
-  std::string page;
+  PageId page = kNoPage;
   VectorClock deps;
   std::uint64_t global_seq = 0;
   bool from_snapshot = false;
@@ -64,9 +82,27 @@ struct ApplyEvent {
 
 class History {
  public:
-  void record_write(WriteEvent e) { writes_.push_back(std::move(e)); }
-  void record_read(ReadEvent e) { reads_.push_back(std::move(e)); }
-  void record_apply(ApplyEvent e) { applies_.push_back(std::move(e)); }
+  History() = default;
+  /// indexed=false reproduces the seed recorder: plain event appends,
+  /// all queries answered by full scans. Used as the benchmark baseline.
+  explicit History(bool indexed) : indexed_(indexed) {}
+
+  /// Interns `name`, returning its stable PageId. The empty name is
+  /// always `kNoPage`.
+  PageId intern(std::string_view name);
+
+  /// Resolves an interned id back to its name ("#<id>" for ids this
+  /// History never handed out, so diagnostics on hand-built events
+  /// still render).
+  [[nodiscard]] std::string page_name(PageId id) const;
+
+  [[nodiscard]] std::size_t pages_interned() const {
+    return page_names_.size();
+  }
+
+  void record_write(WriteEvent e);
+  void record_read(ReadEvent e);
+  void record_apply(ApplyEvent e);
 
   [[nodiscard]] const std::vector<WriteEvent>& writes() const {
     return writes_;
@@ -80,14 +116,14 @@ class History {
     return writes_.size() + reads_.size() + applies_.size();
   }
 
-  void clear() {
-    writes_.clear();
-    reads_.clear();
-    applies_.clear();
-  }
+  [[nodiscard]] bool indexed() const { return indexed_; }
+
+  void clear();
 
   /// All client operations (reads and writes) of `client`, in program
-  /// order (by client_op_index).
+  /// order (by client_op_index). Ordering is deterministic: operations
+  /// sharing an index are ordered writes first, then record order
+  /// (stable sort) — the indexed and naive paths agree exactly.
   struct ClientOp {
     bool is_write = false;
     const WriteEvent* write = nullptr;
@@ -108,10 +144,50 @@ class History {
   /// The set of clients that performed at least one operation.
   [[nodiscard]] std::vector<ClientId> clients() const;
 
+  // -- Seed behaviour (full scans), kept as the equivalence baseline --
+
+  [[nodiscard]] std::vector<ClientOp> client_ops_naive(ClientId client) const;
+  [[nodiscard]] std::vector<const ApplyEvent*> store_applies_naive(
+      StoreId store) const;
+  [[nodiscard]] std::vector<StoreId> stores_naive() const;
+  [[nodiscard]] std::vector<ClientId> clients_naive() const;
+
  private:
+  // Index entry: position within writes_ (is_write) or reads_.
+  struct OpRef {
+    std::uint32_t pos = 0;
+    bool is_write = false;
+  };
+  struct ClientIndex {
+    std::vector<OpRef> ops;  // record order
+    // True while client_op_index arrives strictly increasing — then
+    // record order is program order and client_ops() skips its sort.
+    bool in_order = true;
+    std::uint64_t last_index = 0;
+  };
+
+  void note_client_op(ClientId client, std::uint64_t op_index, OpRef ref);
+  static void sort_ops(std::vector<ClientOp>& ops);
+
+  bool indexed_ = true;
   std::vector<WriteEvent> writes_;
   std::vector<ReadEvent> reads_;
   std::vector<ApplyEvent> applies_;
+
+  std::unordered_map<ClientId, ClientIndex> by_client_;
+  std::unordered_map<StoreId, std::vector<std::uint32_t>> by_store_;
+
+  // Transparent hashing: intern() is on the record hot path and must
+  // not allocate a temporary std::string per lookup.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, PageId, StringHash, std::equal_to<>>
+      page_ids_;
+  std::vector<std::string> page_names_{std::string()};  // [kNoPage] = ""
 };
 
 }  // namespace globe::coherence

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,15 +42,20 @@ class Histogram {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// Exact percentile by nearest-rank; p in [0, 100].
+  /// Exact percentile by nearest-rank; p in [0, 100]. The nearest-rank
+  /// percentile is the smallest sample such that at least p% of the
+  /// samples are <= it: sorted[ceil(p/100 * count)] (1-based). p=0 is
+  /// defined as the minimum; every returned value is an actual sample
+  /// (no interpolation).
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) return 0.0;
     ensure_sorted();
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    if (p <= 0.0) return samples_.front();
+    const double exact = p / 100.0 * static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(exact));
+    if (rank < 1) rank = 1;
+    if (rank > samples_.size()) rank = samples_.size();
+    return samples_[rank - 1];
   }
 
   [[nodiscard]] double p50() const { return percentile(50); }

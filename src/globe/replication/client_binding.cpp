@@ -98,7 +98,7 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
           e.client_op_index = op_index;
           e.client = options_.client;
           e.store = rep.store;
-          e.page = page;
+          e.page = history_->intern(page);
           e.observed = res.writer;
           e.store_clock = rep.store_clock;
           e.store_global_seq = rep.global_seq;
@@ -171,7 +171,7 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
           e.client = options_.client;
           e.via_store = rep.store;
           e.wid = wid;
-          e.page = page;
+          e.page = history_->intern(page);
           e.deps = deps;
           e.global_seq = rep.global_seq;
           history_->record_write(std::move(e));

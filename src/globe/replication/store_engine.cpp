@@ -351,7 +351,7 @@ void StoreEngine::record_apply(const web::WriteRecord& rec, bool changed) {
     e.at = sim_.now();
     e.store = config_.store_id;
     e.wid = rec.wid;
-    e.page = rec.page;
+    e.page = history_->intern(rec.page);
     e.deps = rec.deps;
     e.global_seq = rec.global_seq;
     history_->record_apply(std::move(e));

@@ -23,7 +23,7 @@ ApplyEvent apply(StoreId store, WriteId wid, std::uint64_t gseq = 0,
   ApplyEvent e;
   e.store = store;
   e.wid = wid;
-  e.page = "p";
+  e.page = 1;  // arbitrary PageId; these checks never resolve the name
   e.deps = std::move(deps);
   e.global_seq = gseq;
   return e;
@@ -63,7 +63,7 @@ TEST(SnapshotAware, CausalTreatsSnapshotAsDependencyBaseline) {
   snap.set(1, 1);
   VectorClock dep;
   dep.set(1, 1);
-  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, 1, dep, 0});
   h.record_apply(snapshot_at(3, snap));
   h.record_apply(apply(3, {2, 1}, 0, dep));  // dep satisfied via snapshot
   EXPECT_TRUE(check_causal(h).ok);
@@ -75,7 +75,7 @@ TEST(SnapshotAware, CausalStillDetectsMissingDependency) {
   snap.set(1, 1);
   VectorClock dep;
   dep.set(9, 9);  // not covered by the snapshot
-  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, 1, dep, 0});
   h.record_apply(snapshot_at(3, snap));
   h.record_apply(apply(3, {2, 1}, 0, dep));
   EXPECT_FALSE(check_causal(h).ok);

@@ -115,7 +115,7 @@ History pram_ok_history() {
   History h;
   for (StoreId s : {0u, 1u}) {
     for (std::uint64_t i = 1; i <= 3; ++i) {
-      h.record_apply(ApplyEvent{{}, s, WriteId{1, i}, "p", {}, 0});
+      h.record_apply(ApplyEvent{{}, s, WriteId{1, i}, h.intern("p"), {}, 0});
     }
   }
   return h;
@@ -130,8 +130,8 @@ TEST(CheckPram, AcceptsInOrderApplies) {
 
 TEST(CheckPram, DetectsOutOfOrder) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
   const auto res = check_pram(h);
   EXPECT_FALSE(res.ok);
   // Two findings: the gap when (1,2) applied first, then the regression.
@@ -140,16 +140,16 @@ TEST(CheckPram, DetectsOutOfOrder) {
 
 TEST(CheckPram, DetectsGaps) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_pram(h).ok);
   EXPECT_TRUE(check_fifo_pram(h).ok);  // FIFO allows skipping
 }
 
 TEST(CheckFifo, StillDetectsRegression) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 3}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 2}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_fifo_pram(h).ok);
 }
 
@@ -158,11 +158,11 @@ TEST(CheckCausal, AcceptsDependencyRespectingOrder) {
   // w(2,1) depends on w(1,1).
   VectorClock dep;
   dep.set(1, 1);
-  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
-  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, h.intern("p"), dep, 0});
   for (StoreId s : {0u, 1u}) {
-    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, "p", {}, 0});
-    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, "p", dep, 0});
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, h.intern("p"), {}, 0});
+    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, h.intern("p"), dep, 0});
   }
   const auto res = check_causal(h);
   EXPECT_TRUE(res.ok) << res.summary();
@@ -172,21 +172,21 @@ TEST(CheckCausal, DetectsDependencyViolation) {
   History h;
   VectorClock dep;
   dep.set(1, 1);
-  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
-  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", dep, 0});
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, h.intern("p"), dep, 0});
   // Store applies the dependent write first.
-  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, "p", dep, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, h.intern("p"), dep, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_causal(h).ok);
 }
 
 TEST(CheckSequential, AcceptsIdenticalTotalOrder) {
   History h;
-  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 1});
-  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, "p", {}, 2});
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, h.intern("p"), {}, 1});
+  h.record_write(WriteEvent{{}, 1, 2, 0, WriteId{2, 1}, h.intern("p"), {}, 2});
   for (StoreId s : {0u, 1u}) {
-    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, "p", {}, 1});
-    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, "p", {}, 2});
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 1}, h.intern("p"), {}, 1});
+    h.record_apply(ApplyEvent{{}, s, WriteId{2, 1}, h.intern("p"), {}, 2});
   }
   const auto res = check_sequential(h);
   EXPECT_TRUE(res.ok) << res.summary();
@@ -194,22 +194,22 @@ TEST(CheckSequential, AcceptsIdenticalTotalOrder) {
 
 TEST(CheckSequential, DetectsDivergentOrders) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 1});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, "p", {}, 2});
-  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, "p", {}, 1});  // swapped
-  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 1}, "p", {}, 2});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 1});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{2, 1}, h.intern("p"), {}, 2});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, h.intern("p"), {}, 1});  // swapped
+  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 1}, h.intern("p"), {}, 2});
   EXPECT_FALSE(check_sequential(h).ok);
 }
 
 TEST(CheckSequential, DetectsMissingGlobalSeq) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_sequential(h).ok);
 }
 
 TEST(CheckSequential, DetectsNonMonotonicClientReads) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 1});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 1});
   ReadEvent r1;
   r1.client = 7;
   r1.client_op_index = 1;
@@ -226,21 +226,21 @@ TEST(CheckSequential, DetectsNonMonotonicClientReads) {
 TEST(CheckEventual, AcceptsConvergedStores) {
   History h;
   for (StoreId s : {0u, 1u, 2u}) {
-    h.record_apply(ApplyEvent{{}, s, WriteId{1, 4}, "p", {}, 0});
+    h.record_apply(ApplyEvent{{}, s, WriteId{1, 4}, h.intern("p"), {}, 0});
   }
   EXPECT_TRUE(check_eventual_delivery(h).ok);
 }
 
 TEST(CheckEventual, DetectsStoreLeftBehind) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 4}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 2}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 4}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{1, 2}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_eventual_delivery(h).ok);
 }
 
 TEST(CheckRyw, AcceptsAndDetects) {
   History h;
-  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, h.intern("p"), {}, 0});
   ReadEvent ok_read;
   ok_read.client = 5;
   ok_read.client_op_index = 2;
@@ -275,8 +275,8 @@ TEST(CheckMonotonicReads, DetectsRegression) {
 
 TEST(CheckMonotonicWrites, DetectsOutOfOrderAtOneStore) {
   History h;
-  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 2}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 2}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_monotonic_writes(h, 5).ok);
   EXPECT_TRUE(check_monotonic_writes(h, 6).ok);
 }
@@ -286,11 +286,11 @@ TEST(CheckWfr, DetectsWriteBeforeItsReadContext) {
   // Client 5 read w(1,1), then wrote w(5,1) with that dependency.
   VectorClock dep;
   dep.set(1, 1);
-  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, "p", {}, 0});
-  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", dep, 0});
+  h.record_write(WriteEvent{{}, 1, 1, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, h.intern("p"), dep, 0});
   // Store applies the client's write before its read context.
-  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, "p", dep, 0});
-  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{5, 1}, h.intern("p"), dep, 0});
+  h.record_apply(ApplyEvent{{}, 0, WriteId{1, 1}, h.intern("p"), {}, 0});
   EXPECT_FALSE(check_writes_follow_reads(h, 5).ok);
   // The violation is attributed only to client 5's writes.
   EXPECT_TRUE(check_writes_follow_reads(h, 1).ok);
@@ -298,7 +298,7 @@ TEST(CheckWfr, DetectsWriteBeforeItsReadContext) {
 
 TEST(CheckClientModels, CombinesResults) {
   History h;
-  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, "p", {}, 0});
+  h.record_write(WriteEvent{{}, 1, 5, 0, WriteId{5, 1}, h.intern("p"), {}, 0});
   ReadEvent bad;
   bad.client = 5;
   bad.client_op_index = 2;
@@ -319,9 +319,9 @@ TEST(CheckResultTest, SummaryTruncates) {
 
 TEST(HistoryTest, ClientOpsSortedByProgramOrder) {
   History h;
-  h.record_read(ReadEvent{{}, 3, 9, 0, "p", {}, {}, 0});
-  h.record_write(WriteEvent{{}, 1, 9, 0, WriteId{9, 1}, "p", {}, 0});
-  h.record_write(WriteEvent{{}, 2, 9, 0, WriteId{9, 2}, "p", {}, 0});
+  h.record_read(ReadEvent{{}, 3, 9, 0, h.intern("p"), {}, {}, 0});
+  h.record_write(WriteEvent{{}, 1, 9, 0, WriteId{9, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 2, 9, 0, WriteId{9, 2}, h.intern("p"), {}, 0});
   const auto ops = h.client_ops(9);
   ASSERT_EQ(ops.size(), 3u);
   EXPECT_TRUE(ops[0].is_write);
@@ -329,11 +329,49 @@ TEST(HistoryTest, ClientOpsSortedByProgramOrder) {
   EXPECT_FALSE(ops[2].is_write);
 }
 
+TEST(HistoryTest, ClientOpsTieOrderIsDeterministic) {
+  // A read and a write sharing a client_op_index must order
+  // deterministically (write first, then record order), identically on
+  // the indexed and naive paths and across repeated queries.
+  History h;
+  h.record_read(ReadEvent{{}, 2, 9, 0, h.intern("p"), {}, {}, 0});
+  h.record_write(WriteEvent{{}, 2, 9, 0, WriteId{9, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 1, 9, 0, WriteId{9, 2}, h.intern("p"), {}, 0});
+  const auto ops = h.client_ops(9);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].index(), 1u);
+  EXPECT_TRUE(ops[0].is_write);
+  EXPECT_TRUE(ops[1].is_write);   // tied at index 2: write precedes read
+  EXPECT_FALSE(ops[2].is_write);
+  const auto again = h.client_ops(9);
+  const auto naive = h.client_ops_naive(9);
+  ASSERT_EQ(again.size(), 3u);
+  ASSERT_EQ(naive.size(), 3u);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].write, again[i].write);
+    EXPECT_EQ(ops[i].read, again[i].read);
+    EXPECT_EQ(ops[i].write, naive[i].write);
+    EXPECT_EQ(ops[i].read, naive[i].read);
+  }
+}
+
+TEST(HistoryTest, InternedPageNamesRoundTrip) {
+  History h;
+  const PageId a = h.intern("index.html");
+  const PageId b = h.intern("news.html");
+  EXPECT_EQ(h.intern("index.html"), a);  // stable
+  EXPECT_NE(a, b);
+  EXPECT_EQ(h.intern(""), kNoPage);
+  EXPECT_EQ(h.page_name(a), "index.html");
+  EXPECT_EQ(h.page_name(kNoPage), "");
+  EXPECT_EQ(h.page_name(999), "#999");  // unknown ids still render
+}
+
 TEST(HistoryTest, StoresAndClientsEnumerated) {
   History h;
-  h.record_apply(ApplyEvent{{}, 3, WriteId{1, 1}, "p", {}, 0});
-  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, "p", {}, 0});
-  h.record_write(WriteEvent{{}, 1, 7, 0, WriteId{7, 1}, "p", {}, 0});
+  h.record_apply(ApplyEvent{{}, 3, WriteId{1, 1}, h.intern("p"), {}, 0});
+  h.record_apply(ApplyEvent{{}, 1, WriteId{2, 1}, h.intern("p"), {}, 0});
+  h.record_write(WriteEvent{{}, 1, 7, 0, WriteId{7, 1}, h.intern("p"), {}, 0});
   EXPECT_EQ(h.stores(), (std::vector<StoreId>{1, 3}));
   EXPECT_EQ(h.clients(), (std::vector<ClientId>{7}));
 }

@@ -70,11 +70,34 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_TRUE(h.empty());
 }
 
-TEST(Histogram, PercentileInterpolates) {
+TEST(Histogram, PercentileIsNearestRank) {
+  // Nearest-rank never interpolates: every percentile is a sample.
   metrics::Histogram h;
   h.add(0.0);
   h.add(10.0);
-  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);   // ceil(0.5 * 2) = rank 1
+  EXPECT_DOUBLE_EQ(h.percentile(50.1), 10.0);  // rank 2
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  metrics::Histogram single;
+  single.add(7.0);
+  // A single sample is every percentile.
+  EXPECT_DOUBLE_EQ(single.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(single.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(single.p99(), 7.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100), 7.0);
+
+  metrics::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 1.0);    // ceil(1) = rank 1
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
 }
 
 TEST(MetricsSink, TracksTrafficByType) {
@@ -120,6 +143,60 @@ TEST(StalenessOracle, UnknownPageScoresZero) {
   metrics::StalenessOracle oracle;
   const auto s = oracle.score("ghost", {}, util::SimTime(1), util::SimTime(2));
   EXPECT_DOUBLE_EQ(s.versions_behind, 0.0);
+}
+
+// Regression: time_behind_us is the age of the NEWEST missing write.
+// The seed tracked the oldest one, inflating the metric whenever commit
+// times interleaved across writers.
+TEST(StalenessOracle, TimeBehindTracksNewestMissingWrite) {
+  metrics::StalenessOracle oracle;
+  // Two writers with interleaved commit times.
+  oracle.committed("p", {1, 1}, util::SimTime(1000));   // missing, old
+  oracle.committed("p", {2, 1}, util::SimTime(3000));   // missing, newest
+  oracle.committed("p", {1, 2}, util::SimTime(2000));   // missing, middle
+  oracle.committed("p", {2, 2}, util::SimTime(9000));   // after the read
+
+  const coherence::VectorClock store;  // saw nothing
+  const auto s =
+      oracle.score("p", store, util::SimTime(5000), util::SimTime(6000));
+  EXPECT_DOUBLE_EQ(s.versions_behind, 3.0);
+  // Newest missing committed at 3000, served at 6000.
+  EXPECT_DOUBLE_EQ(s.time_behind_us, 3000.0);
+
+  const auto naive =
+      oracle.score_naive("p", store, util::SimTime(5000), util::SimTime(6000));
+  EXPECT_DOUBLE_EQ(naive.versions_behind, s.versions_behind);
+  EXPECT_DOUBLE_EQ(naive.time_behind_us, s.time_behind_us);
+}
+
+// The per-writer indexed scorer must agree with the full-scan baseline
+// on randomized commit logs and clocks.
+TEST(StalenessOracle, IndexedScoreMatchesNaive) {
+  util::Rng rng(42);
+  metrics::StalenessOracle oracle;
+  const int writers = 5, pages = 4;
+  std::vector<std::vector<std::uint64_t>> next_seq(
+      pages, std::vector<std::uint64_t>(writers, 1));
+  for (int i = 0; i < 400; ++i) {
+    const auto page = rng.below(pages);
+    const auto client = static_cast<ClientId>(rng.below(writers));
+    oracle.committed("page" + std::to_string(page),
+                     {client, next_seq[page][client]++},
+                     util::SimTime(static_cast<std::int64_t>(rng.below(10000))));
+  }
+  for (int q = 0; q < 200; ++q) {
+    coherence::VectorClock clock;
+    for (int c = 0; c < writers; ++c) {
+      clock.set(static_cast<ClientId>(c), rng.below(30));
+    }
+    const auto page = "page" + std::to_string(rng.below(pages));
+    const util::SimTime issued(static_cast<std::int64_t>(rng.below(12000)));
+    const util::SimTime served = issued + util::SimDuration::micros(500);
+    const auto a = oracle.score(page, clock, issued, served);
+    const auto b = oracle.score_naive(page, clock, issued, served);
+    ASSERT_DOUBLE_EQ(a.versions_behind, b.versions_behind);
+    ASSERT_DOUBLE_EQ(a.time_behind_us, b.time_behind_us);
+  }
 }
 
 TEST(TablePrinter, AlignsColumns) {
