@@ -24,6 +24,16 @@
 //  6. micro_snapshot — WebDocument snapshot encoding, uncached oracle
 //     vs the shared snapshot cache (cutover-storm cost model).
 //
+//  7. loopback_multicast — shared wire datagrams on the threaded
+//     runtime: per-destination header+body encodes (the PR-2 behaviour)
+//     vs ONE encode whose buffer every destination holds by reference.
+//
+//  8. churn — the membership + fault-scenario gate: a trajectory-scale
+//     deployment (125 stores / 240 clients / 2000 ops) suffers three
+//     partition/heal cycles, ~10% rolling store churn, and a
+//     flash-crowd join, under EVERY coherence model; the run must
+//     converge and the indexed checkers must return clean verdicts.
+//
 // Usage: bench_scale [--smoke] [--out <path>]
 //   --smoke  tiny sizes; validates the harness (CI bitrot check)
 #include <chrono>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "globe/fault/scenario.hpp"
 #include "globe/net/loopback.hpp"
 #include "globe/replication/write_log.hpp"
 #include "globe/web/document.hpp"
@@ -374,7 +385,8 @@ struct LoopbackRow {
   bool converged = false;
 };
 
-FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared) {
+FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared,
+                              bool shared_wire = true) {
   net::LoopbackRouter router;
   sim::Simulator sim;  // clock source only; delivery is thread-driven
   std::vector<std::unique_ptr<StoreEngine>> stores;
@@ -393,6 +405,7 @@ FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared) {
   pcfg.store_id = 0;
   pcfg.is_primary = true;
   pcfg.shared_fanout = shared;
+  pcfg.shared_wire = shared_wire;
   stores.push_back(
       std::make_unique<StoreEngine>(make_factory(), sim, pcfg));
   const net::Address primary_addr = stores.front()->address();
@@ -403,6 +416,7 @@ FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared) {
     cfg.store_class = naming::StoreClass::kObjectInitiated;
     cfg.upstream = primary_addr;
     cfg.shared_fanout = shared;
+    cfg.shared_wire = shared_wire;
     stores.push_back(
         std::make_unique<StoreEngine>(make_factory(), sim, cfg));
   }
@@ -442,6 +456,223 @@ LoopbackRow run_loopback_pair(int subscribers, int writes) {
     std::fprintf(stderr, "FATAL: loopback fan-out digests diverged\n");
     std::exit(1);
   }
+  return row;
+}
+
+/// Shared-wire multicast on the loopback runtime: per-destination wire
+/// encodes (shared record batches, but one header+body serialization
+/// and one owned datagram per subscriber — the PR-2 behaviour) vs one
+/// encode shared by reference across the router queue.
+struct MulticastRow {
+  int subscribers = 0;
+  int writes = 0;
+  double per_target_s = 0;
+  double shared_wire_s = 0;
+  bool identical = false;
+  bool converged = false;
+};
+
+MulticastRow run_loopback_multicast(int subscribers, int writes) {
+  MulticastRow row;
+  row.subscribers = subscribers;
+  row.writes = writes;
+  const FanoutRun per_target =
+      run_loopback_fanout(subscribers, writes, true, /*shared_wire=*/false);
+  const FanoutRun shared_wire =
+      run_loopback_fanout(subscribers, writes, true, /*shared_wire=*/true);
+  row.per_target_s = per_target.wall_s;
+  row.shared_wire_s = shared_wire.wall_s;
+  row.converged = per_target.converged && shared_wire.converged;
+  row.identical = per_target.digests == shared_wire.digests;
+  if (!row.identical) {
+    std::fprintf(stderr, "FATAL: shared-wire multicast digests diverged\n");
+    std::exit(1);
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------
+// 8. Churn: membership + fault scenarios at trajectory scale
+// ---------------------------------------------------------------------
+
+struct ChurnRow {
+  std::string model;
+  int stores = 0;
+  int clients = 0;
+  int ops = 0;
+  double wall_s = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t client_rebinds = 0;
+  std::uint64_t snapshot_cutovers = 0;
+  std::size_t events = 0;
+  bool converged = false;
+  bool model_ok = false;
+  bool sessions_ok = false;
+};
+
+ChurnRow run_churn(coherence::ObjectModel model, int mirrors, int caches,
+                   int clients, int ops, bool smoke) {
+  TestbedOptions opts;
+  opts.seed = 47 + static_cast<std::uint64_t>(model);
+  opts.enable_membership = true;
+  // The failure timeout must sit well inside the scripted partition
+  // window (10% of the run) or the eviction / re-admission / rebinding
+  // machinery this section gates is never exercised.
+  opts.membership_heartbeat = sim::SimDuration::millis(smoke ? 10 : 100);
+  opts.failure_timeout = sim::SimDuration::millis(smoke ? 30 : 400);
+  opts.wan.base_latency = sim::SimDuration::millis(5);
+  opts.client_timeout = sim::SimDuration::millis(300);
+  opts.client_retries = 1;
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  const auto start = Clock::now();
+  core::ReplicationPolicy policy;
+  policy.model = model;
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  if (model == coherence::ObjectModel::kCausal ||
+      model == coherence::ObjectModel::kEventual) {
+    policy.write_set = core::WriteSet::kMultiple;
+  }
+
+  // Writes-follow-reads needs a cross-writer apply order: the causal
+  // orderer enforces the dependencies, and the sequential total order
+  // subsumes them. PRAM-family and eventual objects only promise
+  // per-writer order, which churn-driven resyncs legitimately exploit,
+  // so their clients hold the other three guarantees.
+  auto session = coherence::ClientModel::kMonotonicWrites |
+                 coherence::ClientModel::kReadYourWrites |
+                 coherence::ClientModel::kMonotonicReads;
+  if (model == coherence::ObjectModel::kSequential ||
+      model == coherence::ObjectModel::kCausal) {
+    session = session | coherence::ClientModel::kWritesFollowReads;
+  }
+
+  auto& primary = bed.add_primary(kObj, policy);
+  const int pages = 24;
+  for (int i = 0; i < pages; ++i) {
+    primary.seed("page" + std::to_string(i) + ".html", "v0");
+  }
+  std::vector<net::Address> mirror_addrs;
+  for (int i = 0; i < mirrors; ++i) {
+    mirror_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy)
+            .address());
+  }
+  bed.settle();
+  std::vector<net::Address> cache_addrs;
+  for (int i = 0; i < caches; ++i) {
+    cache_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy,
+                      mirror_addrs[i % mirror_addrs.size()])
+            .address());
+  }
+  bed.settle();
+  std::vector<replication::ClientBinding*> users;
+  for (int i = 0; i < clients; ++i) {
+    users.push_back(&bed.add_client(kObj, session,
+                                    cache_addrs[i % cache_addrs.size()]));
+  }
+  bed.settle();
+
+  // Scenario, scaled to the run length T = ops * think: three
+  // partition/heal cycles, a rolling-churn window crashing ~10% of the
+  // stores, and a flash-crowd join near the end. The partition splits
+  // off the last mirror with its caches (and, via the testbed host,
+  // their clients); services stay with the primary.
+  const auto think = sim::SimDuration::millis(10);
+  const std::int64_t total_ms = ops * think.count_micros() / 1000;
+  std::string side_b = std::to_string(mirrors);  // the last mirror
+  for (int i = 0; i < caches; ++i) {
+    if (i % mirrors == mirrors - 1) {
+      side_b += "," + std::to_string(1 + mirrors + i);
+    }
+  }
+  std::string side_a;
+  for (int s = 0; s < 1 + mirrors + caches; ++s) {
+    const std::string tok = std::to_string(s);
+    if (("," + side_b + ",").find("," + tok + ",") != std::string::npos ||
+        side_b == tok) {
+      continue;
+    }
+    side_a += (side_a.empty() ? "" : ",") + tok;
+  }
+  const auto at = [&](double frac) {
+    return std::to_string(
+               static_cast<std::int64_t>(frac * static_cast<double>(total_ms))) +
+           "ms";
+  };
+  std::string text;
+  for (const double f : {0.10, 0.40, 0.70}) {
+    text += "at " + at(f) + " partition " + side_a + "|" + side_b + "\n";
+    text += "at " + at(f + 0.10) + " heal\n";
+  }
+  text += "at " + at(0.52) + " churn period=" + at(0.02) +
+          " until=" + at(0.64) + " down=" + at(0.03) + " fraction=0.016\n";
+  text += "at " + at(0.85) + " join " + std::to_string(smoke ? 2 : 8) + "\n";
+
+  fault::ScenarioScript script;
+  std::string error;
+  if (!fault::ScenarioScript::parse(text, &script, &error)) {
+    std::fprintf(stderr, "FATAL: churn script did not parse: %s\n%s\n",
+                 error.c_str(), text.c_str());
+    std::exit(1);
+  }
+  replication::TestbedFaultHost host(bed);
+  fault::ScenarioEngine engine(std::move(script), host, opts.seed);
+  engine.arm(bed.sim());
+
+  util::Rng rng(opts.seed * 31 + 7);
+  workload::ZipfGenerator zipf(pages, 0.9);
+  for (int op = 0; op < ops; ++op) {
+    auto& c = *users[rng.below(users.size())];
+    const std::string page =
+        "page" + std::to_string(zipf.sample(rng)) + ".html";
+    if (rng.chance(0.10)) {
+      c.write(page, "v" + std::to_string(op), [](replication::WriteResult) {});
+    } else {
+      c.read(page, [](replication::ReadResult) {});
+    }
+    bed.run_for(think);
+  }
+  // Cover the scenario tail (recoveries, re-admissions), then let the
+  // resync rounds and heartbeats drain.
+  bed.run_for(engine.duration() + sim::SimDuration::seconds(smoke ? 1 : 3));
+  bed.settle();
+
+  ChurnRow row;
+  row.model = coherence::to_string(model);
+  row.stores = static_cast<int>(bed.stores().size());
+  row.clients = clients;
+  row.ops = ops;
+  row.crashes = engine.stats().crashes;
+  row.recoveries = engine.stats().recoveries;
+  row.partitions = engine.stats().partitions;
+  row.heals = engine.stats().heals;
+  row.joins = engine.stats().joins;
+  row.evictions = bed.membership().stats().evictions;
+  row.rejoins = bed.membership().stats().rejoins;
+  row.view_changes = bed.membership().stats().view_changes;
+  row.snapshot_cutovers = bed.metrics().snapshot_cutovers();
+  for (const auto* u : users) row.client_rebinds += u->rebinds();
+  row.events = bed.history().size();
+  row.converged = bed.converged(kObj);
+  row.model_ok = coherence::check_object_model(bed.history(), model).ok;
+  std::vector<coherence::SessionSpec> specs;
+  specs.reserve(users.size());
+  for (const auto* u : users) specs.push_back({u->id(), session});
+  row.sessions_ok = true;
+  for (const auto& res : coherence::check_sessions(bed.history(), specs)) {
+    row.sessions_ok = row.sessions_ok && res.ok;
+  }
+  row.wall_s = seconds_since(start);
   return row;
 }
 
@@ -685,7 +916,9 @@ HistoryBenchResult run_history_bench(int mirrors, int caches, int clients,
 void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const SnapshotMicroResult& snap, const E2eResult& pull,
                const E2eResult& ae, const std::vector<FanoutRow>& fanout,
-               const LoopbackRow& loopback, const HistoryBenchResult& hist,
+               const LoopbackRow& loopback, const MulticastRow& multicast,
+               const HistoryBenchResult& hist,
+               const std::vector<ChurnRow>& churn,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -744,6 +977,15 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                loopback.shared_s, speedup(loopback.copy_s, loopback.shared_s),
                loopback.identical ? "true" : "false",
                loopback.converged ? "true" : "false");
+  std::fprintf(f,
+               "  \"loopback_multicast\": {\"subscribers\": %d, \"writes\": "
+               "%d, \"per_target_s\": %.4f, \"shared_wire_s\": %.4f, "
+               "\"speedup\": %.2f, \"identical\": %s, \"converged\": %s},\n",
+               multicast.subscribers, multicast.writes, multicast.per_target_s,
+               multicast.shared_wire_s,
+               speedup(multicast.per_target_s, multicast.shared_wire_s),
+               multicast.identical ? "true" : "false",
+               multicast.converged ? "true" : "false");
   std::fprintf(
       f,
       "  \"history\": {\"stores\": %d, \"clients\": %d, \"ops\": %d, "
@@ -758,6 +1000,38 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
               hist.record_indexed_s + hist.check_indexed_s),
       hist.verdicts_equal ? "true" : "false",
       hist.clean_ok ? "true" : "false");
+  bool churn_all_converged = true;
+  bool churn_all_clean = true;
+  std::fprintf(f, "  \"churn\": {\n    \"rows\": [\n");
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const ChurnRow& r = churn[i];
+    churn_all_converged = churn_all_converged && r.converged;
+    churn_all_clean = churn_all_clean && r.model_ok && r.sessions_ok;
+    std::fprintf(
+        f,
+        "      {\"model\": \"%s\", \"stores\": %d, \"clients\": %d, "
+        "\"ops\": %d, \"wall_s\": %.4f, \"crashes\": %llu, \"recoveries\": "
+        "%llu, \"partitions\": %llu, \"heals\": %llu, \"joins\": %llu, "
+        "\"evictions\": %llu, \"rejoins\": %llu, \"view_changes\": %llu, "
+        "\"client_rebinds\": %llu, \"snapshot_cutovers\": %llu, \"events\": "
+        "%zu, \"converged\": %s, \"model_ok\": %s, \"sessions_ok\": %s}%s\n",
+        r.model.c_str(), r.stores, r.clients, r.ops, r.wall_s,
+        static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.recoveries),
+        static_cast<unsigned long long>(r.partitions),
+        static_cast<unsigned long long>(r.heals),
+        static_cast<unsigned long long>(r.joins),
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.rejoins),
+        static_cast<unsigned long long>(r.view_changes),
+        static_cast<unsigned long long>(r.client_rebinds),
+        static_cast<unsigned long long>(r.snapshot_cutovers), r.events,
+        r.converged ? "true" : "false", r.model_ok ? "true" : "false",
+        r.sessions_ok ? "true" : "false", i + 1 < churn.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"all_converged\": %s,\n    \"all_clean\": %s\n  },\n",
+               churn_all_converged ? "true" : "false",
+               churn_all_clean ? "true" : "false");
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -836,6 +1110,17 @@ int run(bool smoke, const std::string& out_path) {
               loopback.copy_s / loopback.shared_s, loopback.identical,
               loopback.converged);
 
+  std::printf("bench_scale: loopback shared-wire multicast (%d subscribers)"
+              "...\n",
+              loop_subs);
+  const MulticastRow multicast = run_loopback_multicast(loop_subs,
+                                                        loop_writes);
+  std::printf("  per-target %.3fs, shared wire %.3fs (%.1fx), identical=%d, "
+              "converged=%d\n",
+              multicast.per_target_s, multicast.shared_wire_s,
+              multicast.per_target_s / multicast.shared_wire_s,
+              multicast.identical, multicast.converged);
+
   std::printf("bench_scale: history recording + checker pipeline...\n");
   const HistoryBenchResult hist =
       run_history_bench(/*mirrors=*/4, traj_caches, traj_clients, traj_ops);
@@ -848,6 +1133,27 @@ int run(bool smoke, const std::string& out_path) {
       (hist.record_naive_s + hist.check_naive_s) /
           (hist.record_indexed_s + hist.check_indexed_s),
       hist.verdicts_equal, hist.clean_ok);
+
+  std::printf("bench_scale: churn/partition scenarios across models...\n");
+  std::vector<ChurnRow> churn;
+  for (const auto model :
+       {coherence::ObjectModel::kSequential, coherence::ObjectModel::kPram,
+        coherence::ObjectModel::kFifoPram, coherence::ObjectModel::kCausal,
+        coherence::ObjectModel::kEventual}) {
+    churn.push_back(run_churn(model, /*mirrors=*/4, traj_caches,
+                              traj_clients, traj_ops, smoke));
+    const ChurnRow& r = churn.back();
+    std::printf(
+        "  %-11s %3d stores %3d clients %5d ops: %.2fs, crashes=%llu "
+        "evict=%llu rejoin=%llu rebinds=%llu conv=%d model_ok=%d "
+        "sessions_ok=%d\n",
+        r.model.c_str(), r.stores, r.clients, r.ops, r.wall_s,
+        static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.rejoins),
+        static_cast<unsigned long long>(r.client_rebinds), r.converged,
+        r.model_ok, r.sessions_ok);
+  }
 
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
@@ -870,7 +1176,8 @@ int run(bool smoke, const std::string& out_path) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, hist, rows);
+  emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
+            hist, churn, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -889,6 +1196,18 @@ int run(bool smoke, const std::string& out_path) {
   if (!loopback.converged || !loopback.identical) {
     std::fprintf(stderr, "FAIL: loopback fan-out broke equivalence\n");
     return 1;
+  }
+  if (!multicast.converged || !multicast.identical) {
+    std::fprintf(stderr, "FAIL: shared-wire multicast broke equivalence\n");
+    return 1;
+  }
+  for (const ChurnRow& r : churn) {
+    if (!r.converged || !r.model_ok || !r.sessions_ok) {
+      std::fprintf(stderr,
+                   "FAIL: churn scenario (%s) conv=%d model=%d sessions=%d\n",
+                   r.model.c_str(), r.converged, r.model_ok, r.sessions_ok);
+      return 1;
+    }
   }
   // run_history_bench already aborts on verdict divergence; a session or
   // model violation in this clean scenario is a regression too.

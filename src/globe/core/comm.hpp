@@ -91,6 +91,17 @@ class CommunicationObject {
                                  std::forward<F>(encode_body)));
   }
 
+  /// One-way periodic beacon (heartbeat, clock advertisement): delivered
+  /// like send_with but as background traffic — it never keeps a
+  /// run-to-quiescence simulation alive (see Transport::send_background).
+  template <typename F>
+  void send_with_background(const Address& to, MsgType type, ObjectId object,
+                            F&& encode_body) {
+    Buffer wire = make_wire(type, object, 0, std::forward<F>(encode_body));
+    if (observer_ != nullptr) observer_->on_send(type, wire.size());
+    transport_->send_background(to, std::move(wire));
+  }
+
   /// Correlated request. Returns the request id. If `timeout` is positive
   /// and no reply arrives in time, the handler is invoked with ok=false
   /// (and the request retried `retries` times first).
@@ -128,6 +139,28 @@ class CommunicationObject {
   /// Multicast facility: one-way send to each address.
   void multicast(const std::vector<Address>& to, MsgType type, ObjectId object,
                  const Buffer& body);
+
+  /// Shared-datagram multicast: the body is encoded ONCE into one wire
+  /// buffer, which every destination receives by reference (the
+  /// transport's send_shared). The per-subscriber cost of a fan-out is a
+  /// queue entry, not an encode + copy. Traffic accounting still counts
+  /// one message per destination.
+  template <typename F>
+  void multicast_with(const std::vector<Address>& to, MsgType type,
+                      ObjectId object, F&& encode_body,
+                      bool background = false) {
+    if (to.empty()) return;
+    const auto wire = std::make_shared<const Buffer>(
+        make_wire(type, object, 0, std::forward<F>(encode_body)));
+    for (const Address& addr : to) {
+      if (observer_ != nullptr) observer_->on_send(type, wire->size());
+      if (background) {
+        transport_->send_shared_background(addr, wire);
+      } else {
+        transport_->send_shared(addr, wire);
+      }
+    }
+  }
 
   /// Number of requests still awaiting a reply.
   [[nodiscard]] std::size_t pending_requests() const {

@@ -1,0 +1,306 @@
+#include "globe/fault/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace globe::fault {
+
+const char* to_string(ActionKind k) {
+  switch (k) {
+    case ActionKind::kCrash: return "crash";
+    case ActionKind::kRecover: return "recover";
+    case ActionKind::kLeave: return "leave";
+    case ActionKind::kJoin: return "join";
+    case ActionKind::kPartition: return "partition";
+    case ActionKind::kHeal: return "heal";
+    case ActionKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_time(std::string_view tok, SimDuration* out) {
+  std::int64_t value = 0;
+  const auto [rest, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || value < 0) return false;
+  const std::string_view unit(rest, tok.data() + tok.size() - rest);
+  if (unit == "us") {
+    *out = SimDuration::micros(value);
+  } else if (unit == "ms") {
+    *out = SimDuration::millis(value);
+  } else if (unit == "s") {
+    *out = SimDuration::seconds(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_index(std::string_view tok, std::size_t* out) {
+  std::uint64_t value = 0;
+  const auto [rest, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || rest != tok.data() + tok.size()) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_index_list(std::string_view tok, std::vector<std::size_t>* out) {
+  while (!tok.empty()) {
+    const std::size_t comma = tok.find(',');
+    const std::string_view head = tok.substr(0, comma);
+    std::size_t idx = 0;
+    if (!parse_index(head, &idx)) return false;
+    out->push_back(idx);
+    if (comma == std::string_view::npos) break;
+    tok.remove_prefix(comma + 1);
+  }
+  return !out->empty();
+}
+
+bool parse_fraction(std::string_view tok, double* out) {
+  double value = 0;
+  const auto [rest, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || rest != tok.data() + tok.size()) return false;
+  if (value <= 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ScenarioScript::parse(std::string_view text, ScenarioScript* out,
+                           std::string* error) {
+  out->actions.clear();
+  const auto fail = [&](int line_no, const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+
+  int line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line = text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] != "at" || toks.size() < 3) {
+      return fail(line_no, "expected 'at <time> <action> ...'");
+    }
+    Action a;
+    if (!parse_time(toks[1], &a.at)) {
+      return fail(line_no, "bad time (want <n>us|ms|s)");
+    }
+    const std::string_view verb = toks[2];
+
+    if (verb == "crash" || verb == "recover" || verb == "leave") {
+      if (toks.size() != 4 || !parse_index(toks[3], &a.store)) {
+        return fail(line_no, "want '" + std::string(verb) + " <store-index>'");
+      }
+      a.kind = verb == "crash"     ? ActionKind::kCrash
+               : verb == "recover" ? ActionKind::kRecover
+                                   : ActionKind::kLeave;
+    } else if (verb == "join") {
+      if (toks.size() != 4 || !parse_index(toks[3], &a.count) ||
+          a.count == 0) {
+        return fail(line_no, "want 'join <count>'");
+      }
+      a.kind = ActionKind::kJoin;
+    } else if (verb == "partition") {
+      if (toks.size() != 4) {
+        return fail(line_no, "want 'partition <i,j,..>|<k,l,..>'");
+      }
+      const std::string_view arg = toks[3];
+      const std::size_t bar = arg.find('|');
+      if (bar == std::string_view::npos ||
+          !parse_index_list(arg.substr(0, bar), &a.side_a) ||
+          !parse_index_list(arg.substr(bar + 1), &a.side_b)) {
+        return fail(line_no, "want 'partition <i,j,..>|<k,l,..>'");
+      }
+      a.kind = ActionKind::kPartition;
+    } else if (verb == "heal") {
+      if (toks.size() != 3) return fail(line_no, "want 'heal'");
+      a.kind = ActionKind::kHeal;
+    } else if (verb == "churn") {
+      a.kind = ActionKind::kChurn;
+      a.period = SimDuration::millis(500);
+      a.until = a.at;
+      a.downtime = SimDuration::millis(500);
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const std::string_view kv = toks[i];
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          return fail(line_no, "churn wants key=value arguments");
+        }
+        const std::string_view key = kv.substr(0, eq);
+        const std::string_view val = kv.substr(eq + 1);
+        bool ok = false;
+        if (key == "period") {
+          ok = parse_time(val, &a.period);
+        } else if (key == "until") {
+          ok = parse_time(val, &a.until);
+        } else if (key == "down") {
+          ok = parse_time(val, &a.downtime);
+        } else if (key == "fraction") {
+          ok = parse_fraction(val, &a.fraction);
+        }
+        if (!ok) {
+          return fail(line_no, "bad churn argument '" + std::string(kv) + "'");
+        }
+      }
+      if (a.until < a.at || a.period.count_micros() <= 0) {
+        return fail(line_no, "churn needs until >= at and period > 0");
+      }
+    } else {
+      return fail(line_no, "unknown action '" + std::string(verb) + "'");
+    }
+    out->actions.push_back(std::move(a));
+  }
+  return true;
+}
+
+SimDuration ScenarioScript::duration() const {
+  SimDuration end{};
+  for (const Action& a : actions) {
+    const SimDuration tail =
+        a.kind == ActionKind::kChurn ? a.until + a.downtime : a.at;
+    if (tail > end) end = tail;
+  }
+  return end;
+}
+
+ScenarioEngine::ScenarioEngine(ScenarioScript script, FaultHost& host,
+                               std::uint64_t seed)
+    : host_(host), rng_(seed), script_duration_(script.duration()) {
+  for (Action& a : script.actions) {
+    pending_.emplace(a.at.count_micros(), std::move(a));
+  }
+}
+
+void ScenarioEngine::arm(sim::Simulator& sim) {
+  sim_ = &sim;
+  auto queued = std::move(pending_);
+  pending_.clear();
+  for (auto& [at_us, action] : queued) {
+    dispatch(action, SimDuration(at_us));
+  }
+}
+
+void ScenarioEngine::dispatch(const Action& a, SimDuration delay) {
+  if (sim_ != nullptr) {
+    // Background: fault injection models the environment; it must never
+    // keep a run-to-quiescence alive on its own.
+    sim_->schedule_background_after(delay,
+                                    [this, a] { apply(a); });
+  } else {
+    pending_.emplace(a.at.count_micros(), a);
+  }
+}
+
+void ScenarioEngine::advance_to(SimDuration elapsed) {
+  while (!pending_.empty() &&
+         pending_.begin()->first <= elapsed.count_micros()) {
+    const Action a = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    apply(a);
+  }
+}
+
+void ScenarioEngine::apply(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kCrash:
+      if (a.store < host_.store_count() && host_.store_alive(a.store)) {
+        host_.crash_store(a.store);
+        ++stats_.crashes;
+      }
+      return;
+    case ActionKind::kRecover:
+      if (a.store < host_.store_count() && !host_.store_alive(a.store)) {
+        host_.recover_store(a.store);
+        ++stats_.recoveries;
+      }
+      return;
+    case ActionKind::kLeave:
+      if (a.store < host_.store_count() && host_.store_alive(a.store)) {
+        host_.leave_store(a.store);
+        ++stats_.leaves;
+      }
+      return;
+    case ActionKind::kJoin:
+      host_.join_stores(a.count);
+      stats_.joins += a.count;
+      return;
+    case ActionKind::kPartition:
+      host_.partition(a.side_a, a.side_b);
+      ++stats_.partitions;
+      return;
+    case ActionKind::kHeal:
+      host_.heal();
+      ++stats_.heals;
+      return;
+    case ActionKind::kChurn: {
+      ++stats_.churn_ticks;
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < host_.store_count(); ++i) {
+        if (host_.store_alive(i) && !host_.store_is_primary(i)) {
+          eligible.push_back(i);
+        }
+      }
+      if (!eligible.empty()) {
+        std::size_t victims = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   a.fraction * static_cast<double>(eligible.size()) + 0.5));
+        victims = std::min(victims, eligible.size());
+        for (std::size_t v = 0; v < victims; ++v) {
+          // Partial Fisher-Yates: pick without replacement.
+          const std::size_t pick =
+              v + static_cast<std::size_t>(rng_.below(eligible.size() - v));
+          std::swap(eligible[v], eligible[pick]);
+          host_.crash_store(eligible[v]);
+          ++stats_.crashes;
+          Action rec;
+          rec.kind = ActionKind::kRecover;
+          rec.at = a.at + a.downtime;
+          rec.store = eligible[v];
+          dispatch(rec, a.downtime);
+        }
+      }
+      if (a.at + a.period <= a.until) {
+        Action next = a;
+        next.at = a.at + a.period;
+        dispatch(next, a.period);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace globe::fault

@@ -1,0 +1,145 @@
+// Fault & churn scenario engine.
+//
+// A ScenarioScript is a declarative description of the faults a run
+// should suffer — crashes, recoveries, graceful leaves, flash-crowd
+// joins, network partitions, heals, and rolling churn — each pinned to a
+// point in (virtual) time. The ScenarioEngine binds a script to a
+// FaultHost (the deployment being tormented: the simulated Testbed or a
+// loopback-runtime harness) and fires the actions, either scheduled on
+// the discrete-event simulator or stepped manually for runtimes without
+// one. Scripts are plain text (docs/scenarios.md):
+//
+//   # seconds/millis/micros suffixes; one action per line
+//   at 2s   partition 0,1,3|2,4
+//   at 4s   heal
+//   at 5s   crash 3
+//   at 6s   recover 3
+//   at 7s   leave 2
+//   at 8s   join 4
+//   at 1s   churn period=400ms until=8s down=600ms fraction=0.1
+//
+// `churn` is the rolling-failure generator: every `period` it crashes a
+// random `fraction` of the alive non-primary stores and schedules each
+// one's recovery `down` later, until `until`. Indices are host store
+// indices (the Testbed's construction order). The engine is
+// deterministic given its seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "globe/sim/simulator.hpp"
+#include "globe/util/rng.hpp"
+#include "globe/util/time.hpp"
+
+namespace globe::fault {
+
+using util::SimDuration;
+
+enum class ActionKind : std::uint8_t {
+  kCrash,
+  kRecover,
+  kLeave,
+  kJoin,
+  kPartition,
+  kHeal,
+  kChurn,
+};
+
+[[nodiscard]] const char* to_string(ActionKind k);
+
+struct Action {
+  ActionKind kind{};
+  SimDuration at{};  // offset from scenario start
+  std::size_t store = 0;                     // crash / recover / leave
+  std::size_t count = 0;                     // join
+  std::vector<std::size_t> side_a, side_b;   // partition (store indices)
+  SimDuration period{}, until{}, downtime{};  // churn
+  double fraction = 0.05;                    // churn
+};
+
+struct ScenarioScript {
+  std::vector<Action> actions;
+
+  /// Parses the text format above. Returns false and sets `error`
+  /// (with a line number) on the first malformed line.
+  static bool parse(std::string_view text, ScenarioScript* out,
+                    std::string* error);
+
+  /// Latest time any scripted action (including the recovery tail of a
+  /// churn block) can fire. Harnesses run at least this long before
+  /// settling.
+  [[nodiscard]] SimDuration duration() const;
+};
+
+/// The deployment under test. Store indices follow the host's
+/// construction order; the host decides what a partition means for the
+/// nodes around its stores (clients co-partition with the store they are
+/// bound to, well-known services stay on the primary's side).
+class FaultHost {
+ public:
+  virtual ~FaultHost() = default;
+
+  [[nodiscard]] virtual std::size_t store_count() const = 0;
+  [[nodiscard]] virtual bool store_alive(std::size_t index) const = 0;
+  [[nodiscard]] virtual bool store_is_primary(std::size_t index) const = 0;
+
+  virtual void crash_store(std::size_t index) = 0;
+  virtual void recover_store(std::size_t index) = 0;
+  virtual void leave_store(std::size_t index) = 0;
+  virtual void join_stores(std::size_t count) = 0;
+  virtual void partition(const std::vector<std::size_t>& side_a,
+                         const std::vector<std::size_t>& side_b) = 0;
+  virtual void heal() = 0;
+};
+
+struct ScenarioStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t churn_ticks = 0;
+};
+
+class ScenarioEngine {
+ public:
+  ScenarioEngine(ScenarioScript script, FaultHost& host,
+                 std::uint64_t seed = 1);
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Schedules every action on the simulator, relative to now. Actions
+  /// are background events: they model the environment, so they never
+  /// keep a run-to-quiescence alive by themselves. The engine must
+  /// outlive the simulation.
+  void arm(sim::Simulator& sim);
+
+  /// Manual driving for runtimes without a simulator (loopback): applies
+  /// every action due at or before `elapsed` since construction, in
+  /// order. Monotonic: pass ever-increasing offsets.
+  void advance_to(SimDuration elapsed);
+
+  [[nodiscard]] const ScenarioStats& stats() const { return stats_; }
+  [[nodiscard]] SimDuration duration() const { return script_duration_; }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  void apply(const Action& a);
+  void dispatch(const Action& a, SimDuration at);
+
+  FaultHost& host_;
+  util::Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  // Manual mode: actions not yet applied, keyed by their offset (µs).
+  std::multimap<std::int64_t, Action> pending_;
+  SimDuration script_duration_{};
+  ScenarioStats stats_;
+};
+
+}  // namespace globe::fault

@@ -1,0 +1,180 @@
+#include "globe/membership/service.hpp"
+
+#include <algorithm>
+
+#include "globe/util/log.hpp"
+
+namespace globe::membership {
+
+MembershipService::MembershipService(const TransportFactory& factory,
+                                     sim::Simulator* sim,
+                                     MembershipOptions options)
+    : sim_(sim), options_(options), comm_(factory, sim) {
+  comm_.set_delivery_handler(
+      [this](const Address& from, const msg::EnvelopeView& env) {
+        on_message(from, env);
+      });
+  if (sim_ != nullptr) {
+    sweep_timer_.emplace(*sim_, options_.heartbeat_period, [this] { sweep(); });
+    sweep_timer_->start();
+  }
+}
+
+std::uint64_t MembershipService::epoch(ObjectId object) const {
+  auto it = objects_.find(object);
+  return it == objects_.end() ? 0 : it->second.epoch;
+}
+
+std::size_t MembershipService::watcher_count(ObjectId object) const {
+  auto it = watchers_.find(object);
+  return it == watchers_.end() ? 0 : it->second.size();
+}
+
+View MembershipService::snapshot_view(ObjectId object) const {
+  View v;
+  v.object = object;
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return v;
+  v.epoch = it->second.epoch;
+  v.members.reserve(it->second.members.size());
+  for (const MemberState& m : it->second.members) v.members.push_back(m.contact);
+  return v;
+}
+
+void MembershipService::admit(ObjectId object,
+                              const naming::ContactPoint& contact,
+                              bool* added) {
+  ObjectState& state = objects_[object];
+  auto it = std::find_if(state.members.begin(), state.members.end(),
+                         [&](const MemberState& m) {
+                           return m.contact.address == contact.address;
+                         });
+  if (it != state.members.end()) {
+    it->contact = contact;
+    it->last_heard = now();
+    *added = false;
+    return;
+  }
+  state.members.push_back(MemberState{contact, now()});
+  ++state.epoch;
+  if (options_.naming != nullptr) {
+    options_.naming->register_contact(object, contact);
+  }
+  *added = true;
+}
+
+void MembershipService::remove(ObjectId object, const Address& addr,
+                               bool evicted) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  auto& members = it->second.members;
+  const auto before = members.size();
+  std::erase_if(members, [&](const MemberState& m) {
+    return m.contact.address == addr;
+  });
+  if (members.size() == before) return;
+  ++it->second.epoch;
+  if (options_.naming != nullptr) {
+    options_.naming->unregister_contact(object, addr);
+  }
+  if (evicted) {
+    ++stats_.evictions;
+  } else {
+    ++stats_.leaves;
+  }
+  broadcast(object);
+}
+
+void MembershipService::sweep() {
+  for (auto& [object, state] : objects_) {
+    std::vector<Address> dead;
+    for (const MemberState& m : state.members) {
+      if (m.contact.is_primary && !options_.evict_primary) continue;
+      if (now() - m.last_heard > options_.failure_timeout) {
+        dead.push_back(m.contact.address);
+      }
+    }
+    if (dead.empty()) continue;
+    // One epoch bump for the whole batch: members that stayed see a
+    // contiguous epoch sequence (+1), which is what lets them tell
+    // "routine change" from "I missed view changes myself".
+    auto& members = state.members;
+    for (const Address& addr : dead) {
+      std::erase_if(members, [&](const MemberState& m) {
+        return m.contact.address == addr;
+      });
+      if (options_.naming != nullptr) {
+        options_.naming->unregister_contact(object, addr);
+      }
+      ++stats_.evictions;
+    }
+    ++state.epoch;
+    broadcast(object);
+  }
+}
+
+void MembershipService::broadcast(ObjectId object) {
+  ++stats_.view_changes;
+  const View v = snapshot_view(object);
+  std::vector<Address> targets;
+  for (const auto& m : v.members) targets.push_back(m.address);
+  auto wit = watchers_.find(object);
+  if (wit != watchers_.end()) {
+    targets.insert(targets.end(), wit->second.begin(), wit->second.end());
+  }
+  comm_.multicast_with(targets, msg::MsgType::kViewChange, object,
+                       [&](util::Writer& w) { v.encode(w); });
+}
+
+void MembershipService::on_message(const Address& from,
+                                   const msg::EnvelopeView& env) {
+  switch (env.type) {
+    case msg::MsgType::kMembershipJoin: {
+      const MemberAnnounce m = MemberAnnounce::decode(env.body);
+      bool added = false;
+      admit(env.object, m.contact, &added);
+      if (added) {
+        ++stats_.joins;
+        broadcast(env.object);
+      }
+      const View v = snapshot_view(env.object);
+      comm_.reply_with(from, msg::MsgType::kMembershipJoinAck, env.object,
+                       env.request_id, [&](util::Writer& w) { v.encode(w); });
+      return;
+    }
+    case msg::MsgType::kMembershipHeartbeat: {
+      const MemberAnnounce m = MemberAnnounce::decode(env.body);
+      bool added = false;
+      admit(env.object, m.contact, &added);
+      if (added) {
+        // Heard from a store the view does not contain: it was evicted
+        // during a partition (or crashed and recovered) and is back.
+        ++stats_.rejoins;
+        broadcast(env.object);
+      }
+      return;
+    }
+    case msg::MsgType::kMembershipLeave: {
+      const LeaveMsg m = LeaveMsg::decode(env.body);
+      remove(env.object, m.address, /*evicted=*/false);
+      return;
+    }
+    case msg::MsgType::kMembershipWatch: {
+      const WatchMsg m = WatchMsg::decode(env.body);
+      auto& list = watchers_[env.object];
+      if (!m.subscribe) {
+        std::erase(list, m.watcher);
+        return;
+      }
+      if (std::find(list.begin(), list.end(), m.watcher) == list.end()) {
+        list.push_back(m.watcher);
+      }
+      return;
+    }
+    default:
+      GLOBE_LOG_ERROR("membership", "unexpected message type %s",
+                      msg::to_string(env.type));
+  }
+}
+
+}  // namespace globe::membership

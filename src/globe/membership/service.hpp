@@ -1,0 +1,115 @@
+// Membership service: dynamic replica sets as a first-class subsystem.
+//
+// The service owns one epoch-numbered View per object (view.hpp) and
+// runs the join/leave/evict protocol over the standard envelope
+// transport, so it works on any runtime:
+//
+//   * stores join when they come up and heartbeat periodically;
+//   * a graceful leave removes the member immediately;
+//   * a heartbeat-based failure detector evicts members that have gone
+//     silent (crash or partition) after `failure_timeout`;
+//   * a heartbeat from an evicted member re-admits it — this is what
+//     heals membership automatically after a partition, with no
+//     operator action;
+//   * every change bumps the epoch and broadcasts a kViewChange to the
+//     surviving members and to watching clients.
+//
+// The service keeps the naming/location service consistent: joins
+// register the store's contact point, leaves and evictions unregister it
+// — evicted stores disappear from resolution instead of lingering as
+// stale contacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "globe/core/comm.hpp"
+#include "globe/membership/view.hpp"
+#include "globe/naming/service.hpp"
+#include "globe/sim/simulator.hpp"
+
+namespace globe::membership {
+
+using core::CommunicationObject;
+using core::TransportFactory;
+using net::Address;
+
+struct MembershipOptions {
+  /// Failure-detector sweep period (also the expected member heartbeat
+  /// cadence).
+  sim::SimDuration heartbeat_period = sim::SimDuration::millis(100);
+  /// A member silent for longer than this is evicted.
+  sim::SimDuration failure_timeout = sim::SimDuration::millis(350);
+  /// The permanent primary is normally exempt from eviction (it is the
+  /// paper's persistence root; evicting it would leave the object
+  /// headless for single-master models).
+  bool evict_primary = false;
+  /// When set, joins/leaves/evictions keep the location tables in sync.
+  naming::NamingServer* naming = nullptr;
+};
+
+/// Aggregate protocol counters (tests / benchmarks).
+struct MembershipStats {
+  std::uint64_t joins = 0;
+  std::uint64_t rejoins = 0;  // heartbeat re-admissions after eviction
+  std::uint64_t leaves = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t view_changes = 0;
+};
+
+class MembershipService {
+ public:
+  /// `sim` may be null (loopback runtime); the failure detector then
+  /// stays off and only explicit join/leave traffic changes views.
+  MembershipService(const TransportFactory& factory, sim::Simulator* sim,
+                    MembershipOptions options = {});
+
+  MembershipService(const MembershipService&) = delete;
+  MembershipService& operator=(const MembershipService&) = delete;
+
+  [[nodiscard]] Address address() const { return comm_.local_address(); }
+
+  /// Current view of an object (epoch 0 / empty when nobody joined).
+  [[nodiscard]] View current_view(ObjectId object) const {
+    return snapshot_view(object);
+  }
+  [[nodiscard]] std::uint64_t epoch(ObjectId object) const;
+  [[nodiscard]] const MembershipStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t watcher_count(ObjectId object) const;
+
+  /// Runs one failure-detector sweep immediately (tests).
+  void sweep_now() { sweep(); }
+
+ private:
+  struct MemberState {
+    naming::ContactPoint contact;
+    util::SimTime last_heard{};
+  };
+  struct ObjectState {
+    std::uint64_t epoch = 0;
+    std::vector<MemberState> members;
+  };
+
+  void on_message(const Address& from, const msg::EnvelopeView& env);
+  void admit(ObjectId object, const naming::ContactPoint& contact,
+             bool* added);
+  void remove(ObjectId object, const Address& addr, bool evicted);
+  void sweep();
+  void broadcast(ObjectId object);
+  [[nodiscard]] View snapshot_view(ObjectId object) const;
+  [[nodiscard]] util::SimTime now() const {
+    return sim_ != nullptr ? sim_->now() : util::SimTime{};
+  }
+
+  sim::Simulator* sim_;
+  MembershipOptions options_;
+  CommunicationObject comm_;
+  std::map<ObjectId, ObjectState> objects_;
+  std::map<ObjectId, std::vector<Address>> watchers_;
+  std::optional<sim::PeriodicTimer> sweep_timer_;
+  MembershipStats stats_;
+};
+
+}  // namespace globe::membership

@@ -1,0 +1,174 @@
+// Replica views: epoch-numbered per-object membership.
+//
+// The paper binds clients to a fixed per-object replica set; this module
+// makes that set dynamic. A View is the membership service's statement of
+// which stores currently carry one distributed object, stamped with a
+// monotonically increasing epoch. Every change — join, graceful leave,
+// failure eviction, re-admission after a partition heals — produces a new
+// epoch, broadcast to the members and to watching clients. The
+// replication layer subscribes to these views: stores drop evicted
+// subscribers and re-resolve their propagation parent, clients re-bind
+// their read/write stores (see docs/scenarios.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "globe/naming/contact.hpp"
+#include "globe/net/address.hpp"
+#include "globe/util/buffer.hpp"
+#include "globe/util/ids.hpp"
+
+namespace globe::membership {
+
+/// One object's replica membership at one epoch. Members are the alive
+/// stores only: evicted and departed stores are simply absent.
+struct View {
+  ObjectId object = 0;
+  std::uint64_t epoch = 0;
+  std::vector<naming::ContactPoint> members;
+
+  [[nodiscard]] bool contains(const net::Address& addr) const {
+    for (const auto& m : members) {
+      if (m.address == addr) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const naming::ContactPoint* find(
+      const net::Address& addr) const {
+    for (const auto& m : members) {
+      if (m.address == addr) return &m;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const naming::ContactPoint* primary() const {
+    for (const auto& m : members) {
+      if (m.is_primary) return &m;
+    }
+    return nullptr;
+  }
+
+  void encode(util::Writer& w) const {
+    w.u64(object);
+    w.varint(epoch);
+    w.varint(members.size());
+    for (const auto& m : members) m.encode(w);
+  }
+
+  static View decode(util::Reader& r) {
+    View v;
+    v.object = r.u64();
+    v.epoch = r.varint();
+    const std::uint64_t n = r.varint();
+    v.members.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      v.members.push_back(naming::ContactPoint::decode(r));
+    }
+    return v;
+  }
+
+  friend bool operator==(const View&, const View&) = default;
+};
+
+/// Picks the propagation parent for `self` out of a view: the primary if
+/// one is alive, otherwise the most-permanent other member (lowest store
+/// class, then lowest store id) — the store most likely to hold the
+/// longest history.
+[[nodiscard]] inline const naming::ContactPoint* choose_upstream(
+    const View& view, const net::Address& self) {
+  const naming::ContactPoint* best = nullptr;
+  for (const auto& m : view.members) {
+    if (m.address == self) continue;
+    if (m.is_primary) return &m;
+    if (best == nullptr ||
+        static_cast<std::uint8_t>(m.store_class) <
+            static_cast<std::uint8_t>(best->store_class) ||
+        (m.store_class == best->store_class && m.store_id < best->store_id)) {
+      best = &m;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Wire bodies of the membership protocol (envelope types 24..29).
+// ---------------------------------------------------------------------
+
+/// kMembershipJoin / kMembershipHeartbeat body: the sender's contact
+/// point. A heartbeat from a store that is not in the view (evicted
+/// during a partition, now heard from again) is treated as a join, which
+/// is what re-admits replicas automatically after a heal.
+struct MemberAnnounce {
+  naming::ContactPoint contact;
+
+  void encode(util::Writer& w) const { contact.encode(w); }
+
+  static MemberAnnounce decode(util::BytesView wire) {
+    util::Reader r(wire);
+    MemberAnnounce m;
+    m.contact = naming::ContactPoint::decode(r);
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kMembershipLeave body: graceful departure of an endpoint.
+struct LeaveMsg {
+  net::Address address;
+
+  void encode(util::Writer& w) const {
+    w.u32(address.node);
+    w.u16(address.port);
+  }
+
+  static LeaveMsg decode(util::BytesView wire) {
+    util::Reader r(wire);
+    LeaveMsg m;
+    m.address.node = r.u32();
+    m.address.port = r.u16();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kMembershipWatch body: a client endpoint subscribing to (or, with
+/// subscribe=false, unsubscribing from) view-change pushes.
+struct WatchMsg {
+  net::Address watcher;
+  bool subscribe = true;
+
+  void encode(util::Writer& w) const {
+    w.u32(watcher.node);
+    w.u16(watcher.port);
+    w.boolean(subscribe);
+  }
+
+  static WatchMsg decode(util::BytesView wire) {
+    util::Reader r(wire);
+    WatchMsg m;
+    m.watcher.node = r.u32();
+    m.watcher.port = r.u16();
+    m.subscribe = r.boolean();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kViewChange / kMembershipJoinAck body: the view itself.
+struct ViewMsg {
+  View view;
+
+  void encode(util::Writer& w) const { view.encode(w); }
+
+  static ViewMsg decode(util::BytesView wire) {
+    util::Reader r(wire);
+    ViewMsg m;
+    m.view = View::decode(r);
+    r.expect_end();
+    return m;
+  }
+};
+
+}  // namespace globe::membership

@@ -45,6 +45,12 @@ class MetricsSink {
   void record_session_wait() { ++session_waits_; }
   void record_stale_serve() { ++stale_serves_; }
 
+  /// Write-log compaction ran (count or byte-budget trigger).
+  void record_log_compaction() { ++log_compactions_; }
+  /// A requester behind a compaction horizon forced a full-state
+  /// transfer instead of a delta — the compaction policy's cost signal.
+  void record_snapshot_cutover() { ++snapshot_cutovers_; }
+
   [[nodiscard]] const TypeTraffic& total_traffic() const { return total_; }
   [[nodiscard]] const std::map<std::uint8_t, TypeTraffic>& traffic_by_type()
       const {
@@ -67,6 +73,12 @@ class MetricsSink {
   }
   [[nodiscard]] std::uint64_t session_waits() const { return session_waits_; }
   [[nodiscard]] std::uint64_t stale_serves() const { return stale_serves_; }
+  [[nodiscard]] std::uint64_t log_compactions() const {
+    return log_compactions_;
+  }
+  [[nodiscard]] std::uint64_t snapshot_cutovers() const {
+    return snapshot_cutovers_;
+  }
 
   void reset() { *this = MetricsSink{}; }
 
@@ -80,6 +92,8 @@ class MetricsSink {
   std::uint64_t session_demands_ = 0;
   std::uint64_t session_waits_ = 0;
   std::uint64_t stale_serves_ = 0;
+  std::uint64_t log_compactions_ = 0;
+  std::uint64_t snapshot_cutovers_ = 0;
 };
 
 }  // namespace globe::metrics

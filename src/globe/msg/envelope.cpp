@@ -23,6 +23,12 @@ const char* to_string(MsgType t) {
     case MsgType::kNameReply: return "NameReply";
     case MsgType::kLocateRequest: return "LocateRequest";
     case MsgType::kLocateReply: return "LocateReply";
+    case MsgType::kMembershipJoin: return "MembershipJoin";
+    case MsgType::kMembershipJoinAck: return "MembershipJoinAck";
+    case MsgType::kMembershipLeave: return "MembershipLeave";
+    case MsgType::kMembershipHeartbeat: return "MembershipHeartbeat";
+    case MsgType::kMembershipWatch: return "MembershipWatch";
+    case MsgType::kViewChange: return "ViewChange";
   }
   return "Unknown";
 }

@@ -49,6 +49,13 @@ enum class MsgType : std::uint8_t {
   kNameReply = 21,
   kLocateRequest = 22,
   kLocateReply = 23,
+  // Dynamic replica membership (per-object, epoch-numbered views).
+  kMembershipJoin = 24,       // store joins the object's replica view
+  kMembershipJoinAck = 25,    // reply: the current view
+  kMembershipLeave = 26,      // graceful departure
+  kMembershipHeartbeat = 27,  // liveness beacon (also re-admits after heal)
+  kMembershipWatch = 28,      // client asks for view-change pushes
+  kViewChange = 29,           // new epoch broadcast to members + watchers
 };
 
 [[nodiscard]] const char* to_string(MsgType t);
@@ -64,6 +71,7 @@ enum class MsgType : std::uint8_t {
     case MsgType::kAntiEntropyReply:
     case MsgType::kNameReply:
     case MsgType::kLocateReply:
+    case MsgType::kMembershipJoinAck:
       return true;
     default:
       return false;

@@ -59,4 +59,37 @@ struct ContactPoint {
   }
 };
 
+/// Read-contact selection shared by the Binder and by view-change
+/// rebinding: nearest layer at or below the preferred one, falling back
+/// upward (cache -> mirror -> permanent). `spread` breaks ties among
+/// same-layer contacts (e.g. a client id), so rebinding clients spread
+/// across the surviving stores instead of piling onto the first one.
+[[nodiscard]] inline const ContactPoint* choose_read_contact(
+    const std::vector<ContactPoint>& contacts, StoreClass preferred,
+    std::uint64_t spread = 0) {
+  const StoreClass order[] = {preferred, StoreClass::kClientInitiated,
+                              StoreClass::kObjectInitiated,
+                              StoreClass::kPermanent};
+  for (StoreClass cls : order) {
+    std::vector<const ContactPoint*> layer;
+    for (const auto& c : contacts) {
+      if (c.store_class == cls) layer.push_back(&c);
+    }
+    if (!layer.empty()) return layer[spread % layer.size()];
+  }
+  return contacts.empty() ? nullptr : &contacts.front();
+}
+
+/// Write-contact selection: the primary for single-master objects, the
+/// read choice otherwise (multi-master objects accept writes anywhere).
+[[nodiscard]] inline const ContactPoint* choose_write_contact(
+    const std::vector<ContactPoint>& contacts, bool multi_master,
+    const ContactPoint* read_choice) {
+  if (multi_master) return read_choice;
+  for (const auto& c : contacts) {
+    if (c.is_primary) return &c;
+  }
+  return read_choice;
+}
+
 }  // namespace globe::naming

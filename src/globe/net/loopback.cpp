@@ -31,13 +31,52 @@ void LoopbackRouter::unbind(const Address& at) {
   handlers_.erase(at);
 }
 
-void LoopbackRouter::post(const Address& from, const Address& to,
-                          Buffer payload) {
+void LoopbackRouter::enqueue(Pending msg) {
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(Pending{from, to, std::move(payload)});
+    queue_.push_back(std::move(msg));
   }
   cv_.notify_one();
+}
+
+void LoopbackRouter::post(const Address& from, const Address& to,
+                          Buffer payload) {
+  enqueue(Pending{from, to,
+                  std::make_shared<const Buffer>(std::move(payload))});
+}
+
+void LoopbackRouter::post_shared(const Address& from, const Address& to,
+                                 util::SharedBuffer payload) {
+  enqueue(Pending{from, to, std::move(payload)});
+}
+
+void LoopbackRouter::partition(NodeId a, NodeId b) {
+  std::lock_guard lock(mu_);
+  partitions_.insert(pair_key(a, b));
+}
+
+void LoopbackRouter::heal(NodeId a, NodeId b) {
+  std::lock_guard lock(mu_);
+  partitions_.erase(pair_key(a, b));
+}
+
+void LoopbackRouter::heal_all() {
+  std::lock_guard lock(mu_);
+  partitions_.clear();
+}
+
+void LoopbackRouter::set_node_down(NodeId n, bool down) {
+  std::lock_guard lock(mu_);
+  if (down) {
+    down_nodes_.insert(n);
+  } else {
+    down_nodes_.erase(n);
+  }
+}
+
+std::uint64_t LoopbackRouter::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
 }
 
 void LoopbackRouter::drain() {
@@ -52,15 +91,20 @@ void LoopbackRouter::dispatch_loop() {
     if (stopping_) return;
     Pending msg = std::move(queue_.front());
     queue_.pop_front();
+    const bool faulted =
+        partitions_.count(pair_key(msg.from.node, msg.to.node)) > 0 ||
+        down_nodes_.count(msg.from.node) > 0 ||
+        down_nodes_.count(msg.to.node) > 0;
     auto it = handlers_.find(msg.to);
-    if (it == handlers_.end()) {  // endpoint gone: drop
+    if (faulted || it == handlers_.end()) {  // cut, crashed, or gone: drop
+      ++dropped_;
       if (queue_.empty()) idle_cv_.notify_all();
       continue;
     }
     MessageHandler handler = it->second;  // copy: handler may rebind
     busy_ = true;
     lock.unlock();
-    handler(msg.from, util::BytesView(msg.payload));
+    handler(msg.from, util::BytesView(*msg.payload));
     lock.lock();
     busy_ = false;
     if (queue_.empty()) idle_cv_.notify_all();

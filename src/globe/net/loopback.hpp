@@ -6,13 +6,22 @@
 // replication protocols are independent of the simulator (the paper's
 // prototype ran over real TCP/IP); integration tests and one example run
 // over it.
+//
+// The queue holds shared immutable datagrams (shared_ptr<const Buffer>):
+// a unicast send wraps its buffer once, and a multicast fan-out enqueues
+// N references to ONE encoded wire buffer instead of N owned copies
+// (post_shared). Fault injection mirrors sim::Network: node-pair
+// partitions and crashed nodes drop matching messages at dispatch, so
+// the fault scenario engine drives this runtime too.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "globe/net/transport.hpp"
 
@@ -37,6 +46,21 @@ class LoopbackRouter {
   /// Enqueues a message for asynchronous delivery. Thread-safe.
   void post(const Address& from, const Address& to, Buffer payload);
 
+  /// Enqueues a shared datagram: the queue holds a reference, not a
+  /// copy, so one buffer can be posted to many destinations. Thread-safe.
+  void post_shared(const Address& from, const Address& to,
+                   util::SharedBuffer payload);
+
+  /// Fault injection (same vocabulary as sim::Network). Thread-safe;
+  /// affects messages dispatched after the call.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void heal_all();
+  void set_node_down(NodeId n, bool down);
+
+  /// Messages dropped by fault injection or missing endpoints.
+  [[nodiscard]] std::uint64_t dropped() const;
+
   /// Blocks until the queue is empty and the dispatcher is idle.
   void drain();
 
@@ -44,16 +68,25 @@ class LoopbackRouter {
   struct Pending {
     Address from;
     Address to;
-    Buffer payload;
+    util::SharedBuffer payload;
   };
 
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  void enqueue(Pending msg);
   void dispatch_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<Pending> queue_;
   std::unordered_map<Address, MessageHandler> handlers_;
+  std::unordered_set<std::uint64_t> partitions_;
+  std::unordered_set<NodeId> down_nodes_;
+  std::uint64_t dropped_ = 0;
   bool stopping_ = false;
   bool busy_ = false;
   std::thread dispatcher_;
@@ -75,6 +108,10 @@ class LoopbackTransport final : public Transport {
 
   void send(const Address& to, Buffer payload) override {
     router_.post(local_, to, std::move(payload));
+  }
+
+  void send_shared(const Address& to, util::SharedBuffer payload) override {
+    router_.post_shared(local_, to, std::move(payload));
   }
 
   [[nodiscard]] Address local_address() const override { return local_; }

@@ -26,6 +26,19 @@ class SimTransport final : public Transport {
     network_.send(local_, to, std::move(payload));
   }
 
+  void send_shared(const Address& to, util::SharedBuffer payload) override {
+    network_.send_shared(local_, to, std::move(payload));
+  }
+
+  void send_background(const Address& to, Buffer payload) override {
+    network_.send(local_, to, std::move(payload), /*background=*/true);
+  }
+
+  void send_shared_background(const Address& to,
+                              util::SharedBuffer payload) override {
+    network_.send_shared(local_, to, std::move(payload), /*background=*/true);
+  }
+
   [[nodiscard]] Address local_address() const override { return local_; }
 
  private:

@@ -31,6 +31,29 @@ class Transport {
   /// underlying implementation (see Section 4.2 of the paper).
   virtual void send(const Address& to, Buffer payload) = 0;
 
+  /// Sends a shared, immutable datagram: the multicast fan-out path. One
+  /// encoded wire buffer can be handed to many destinations without a
+  /// per-destination copy — the transport only retains a reference until
+  /// delivery. The default falls back to a copying send for transports
+  /// that own their payloads.
+  virtual void send_shared(const Address& to, util::SharedBuffer payload) {
+    send(to, Buffer(*payload));
+  }
+
+  /// Background sends: periodic liveness chatter (membership heartbeats,
+  /// clock advertisements) whose delivery must not count as pending
+  /// protocol work — with many beacon timers at arbitrary phases there
+  /// is otherwise ALWAYS a datagram in flight and a run-to-quiescence
+  /// simulation never quiesces. Transports without that notion (real
+  /// networks, the threaded loopback) deliver them like any other send.
+  virtual void send_background(const Address& to, Buffer payload) {
+    send(to, std::move(payload));
+  }
+  virtual void send_shared_background(const Address& to,
+                                      util::SharedBuffer payload) {
+    send_shared(to, std::move(payload));
+  }
+
   /// The local endpoint this transport is bound to.
   [[nodiscard]] virtual Address local_address() const = 0;
 };

@@ -73,20 +73,12 @@ class Binder {
 
   /// Contact selection, exposed for tests: nearest layer at or below the
   /// preferred one; falls back upward (cache -> mirror -> permanent).
+  /// The logic lives in naming/contact.hpp so that view-change rebinding
+  /// (ClientBinding) resolves contacts exactly like the initial bind.
   static const naming::ContactPoint* choose_read_contact(
       const std::vector<naming::ContactPoint>& contacts,
       naming::StoreClass preferred) {
-    // Preference order: preferred layer first, then "closer to client"
-    // layers, then towards the permanent store.
-    const naming::StoreClass order[] = {
-        preferred, naming::StoreClass::kClientInitiated,
-        naming::StoreClass::kObjectInitiated, naming::StoreClass::kPermanent};
-    for (naming::StoreClass cls : order) {
-      for (const auto& c : contacts) {
-        if (c.store_class == cls) return &c;
-      }
-    }
-    return contacts.empty() ? nullptr : &contacts.front();
+    return naming::choose_read_contact(contacts, preferred);
   }
 
   static const naming::ContactPoint* choose_write_contact(
@@ -94,11 +86,7 @@ class Binder {
       coherence::ObjectModel model, const naming::ContactPoint* read_choice) {
     const bool multi_master = model == coherence::ObjectModel::kCausal ||
                               model == coherence::ObjectModel::kEventual;
-    if (multi_master) return read_choice;
-    for (const auto& c : contacts) {
-      if (c.is_primary) return &c;
-    }
-    return read_choice;
+    return naming::choose_write_contact(contacts, multi_master, read_choice);
   }
 
  private:

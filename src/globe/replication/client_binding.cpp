@@ -20,6 +20,73 @@ ClientBinding::ClientBinding(const TransportFactory& factory,
   if (!options_.write_store.valid()) {
     options_.write_store = options_.read_store;
   }
+  if (options_.membership.valid()) {
+    // Watch the object's replica view: the membership service pushes
+    // kViewChange on every epoch, and the binding re-resolves its stores
+    // when one of them leaves the view.
+    comm_.set_delivery_handler(
+        [this](const Address&, const msg::EnvelopeView& env) {
+          if (env.type == msg::MsgType::kViewChange) {
+            on_view_change(membership::ViewMsg::decode(env.body).view);
+          }
+        });
+    announce_watch(/*subscribe=*/true);
+  }
+}
+
+ClientBinding::~ClientBinding() {
+  // Best-effort: take this endpoint off the service's watcher list so
+  // long-lived deployments do not broadcast views to dead clients.
+  if (options_.membership.valid()) announce_watch(/*subscribe=*/false);
+}
+
+void ClientBinding::announce_watch(bool subscribe) {
+  membership::WatchMsg watch;
+  watch.watcher = comm_.local_address();
+  watch.subscribe = subscribe;
+  comm_.send_with(options_.membership, msg::MsgType::kMembershipWatch,
+                  options_.object,
+                  [&](util::Writer& w) { watch.encode(w); });
+}
+
+void ClientBinding::on_operation_failed() {
+  // A timed-out operation is churn evidence. The watch registration is
+  // a one-shot datagram, so a loss (or a service that was unreachable
+  // at bind time) would otherwise silently disable rebinding forever —
+  // re-announce it whenever the session observes a failure.
+  if (options_.membership.valid()) announce_watch(/*subscribe=*/true);
+}
+
+void ClientBinding::on_view_change(const membership::View& view) {
+  if (view.object != options_.object || view.epoch <= view_epoch_) return;
+  view_epoch_ = view.epoch;
+  if (view.members.empty()) return;
+  const bool multi_master =
+      options_.object_model == ObjectModel::kCausal ||
+      options_.object_model == ObjectModel::kEventual;
+  if (!view.contains(options_.read_store)) {
+    // The store serving our reads is gone from the view: re-bind onto a
+    // surviving store of the preferred layer. The session filter keeps
+    // its state, so monotonic-reads / read-your-writes requirements
+    // travel to the new store and park there until it catches up.
+    const naming::ContactPoint* read = naming::choose_read_contact(
+        view.members, options_.preferred_layer, options_.client);
+    if (read != nullptr) {
+      options_.read_store = read->address;
+      ++rebinds_;
+    }
+  }
+  if (!view.contains(options_.write_store)) {
+    const naming::ContactPoint* write = naming::choose_write_contact(
+        view.members, multi_master, view.find(options_.read_store));
+    if (write != nullptr) {
+      options_.write_store = write->address;
+      ++rebinds_;
+    } else if (multi_master) {
+      options_.write_store = options_.read_store;
+      ++rebinds_;
+    }
+  }
 }
 
 bool ClientBinding::wants(ClientModel m) const {
@@ -47,6 +114,17 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
         });
     return;
   }
+  if (read_inflight_) {
+    // A session is a serial construct: the monotonic-reads floor of the
+    // NEXT read must include what this one observes, so overlapping
+    // reads of one session would race their own guarantee. Reads queue
+    // behind the in-flight read (writes serialize separately).
+    queued_reads_.push_back([this, page, cb = std::move(cb)]() mutable {
+      read(page, std::move(cb));
+    });
+    return;
+  }
+  read_inflight_ = true;
   ClientRequest req = base_request(msg::Invocation::get_page(page));
 
   // Session requirements the serving store must satisfy before replying.
@@ -72,7 +150,9 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
         res.completed_at = sim_.now();
         if (!ok) {
           res.error = "request timed out";
+          on_operation_failed();
           cb(std::move(res));
+          next_queued_read();
           return;
         }
         InvokeReply::View rep = InvokeReply::decode_view(env.body);
@@ -109,8 +189,17 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
               static_cast<double>((res.completed_at - issued).count_micros()));
         }
         cb(std::move(res));
+        next_queued_read();
       },
       options_.timeout, options_.retries);
+}
+
+void ClientBinding::next_queued_read() {
+  read_inflight_ = false;
+  if (queued_reads_.empty()) return;
+  auto next = std::move(queued_reads_.front());
+  queued_reads_.pop_front();
+  next();
 }
 
 void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
@@ -129,7 +218,24 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
   }
   req.ordered = wants(ClientModel::kMonotonicWrites);
 
-  const util::SimTime issued = sim_.now();
+  // One write on the wire at a time. Timed-out requests retransmit, and
+  // an old write's retransmission must never overtake a newer write of
+  // the same session (it would invert the client's program order at the
+  // accepting store); serializing the sends preserves per-writer order
+  // through any combination of loss, retry, and partition.
+  if (write_inflight_) {
+    queued_writes_.push_back(
+        [this, req = std::move(req), cb = std::move(cb)]() mutable {
+          transmit_write(std::move(req), std::move(cb));
+        });
+    return;
+  }
+  write_inflight_ = true;
+  transmit_write(std::move(req), std::move(cb));
+}
+
+void ClientBinding::transmit_write(ClientRequest req, WriteHandler cb) {
+  const util::SimTime issued = util::SimTime(req.issued_at_us);
   const std::uint64_t op_index = req.client_op_index;
   const coherence::WriteId wid = req.wid;
   const coherence::VectorClock deps = req.deps;
@@ -150,7 +256,9 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
         --pending_writes_;
         if (!ok) {
           res.error = "request timed out";
+          on_operation_failed();
           cb(std::move(res));
+          next_queued_write();
           flush_deferred_reads();
           return;
         }
@@ -181,9 +289,20 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
               static_cast<double>((res.completed_at - issued).count_micros()));
         }
         cb(std::move(res));
+        next_queued_write();
         flush_deferred_reads();
       },
       options_.timeout, options_.retries);
+}
+
+void ClientBinding::next_queued_write() {
+  if (queued_writes_.empty()) {
+    write_inflight_ = false;
+    return;
+  }
+  auto next = std::move(queued_writes_.front());
+  queued_writes_.pop_front();
+  next();
 }
 
 void ClientBinding::flush_deferred_reads() {

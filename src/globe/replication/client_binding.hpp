@@ -13,6 +13,7 @@
 // guarantee — the paper's strengthening of Bayou's checked guarantees.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "globe/core/comm.hpp"
 #include "globe/core/policy.hpp"
 #include "globe/core/semantics.hpp"
+#include "globe/membership/view.hpp"
 #include "globe/metrics/stats.hpp"
 #include "globe/replication/protocol.hpp"
 
@@ -47,6 +49,12 @@ struct BindOptions {
   /// Optional request timeout/retries (used over lossy transports).
   sim::SimDuration timeout{};
   int retries = 0;
+  /// Membership service endpoint; when valid the binding watches the
+  /// object's replica view and re-resolves its read/write stores when a
+  /// view change removes them (eviction, crash, leave).
+  net::Address membership;
+  /// Store layer preferred when re-resolving reads after a view change.
+  naming::StoreClass preferred_layer = naming::StoreClass::kClientInitiated;
 };
 
 struct ReadResult {
@@ -94,6 +102,7 @@ class ClientBinding {
   ClientBinding(const TransportFactory& factory, sim::Simulator& sim,
                 BindOptions options, coherence::History* history = nullptr,
                 metrics::MetricsSink* metrics = nullptr);
+  ~ClientBinding();
 
   ClientBinding(const ClientBinding&) = delete;
   ClientBinding& operator=(const ClientBinding&) = delete;
@@ -123,15 +132,30 @@ class ClientBinding {
     options_.write_store = store;
   }
 
+  [[nodiscard]] Address read_store() const { return options_.read_store; }
+  [[nodiscard]] Address write_store() const { return options_.write_store; }
+
   [[nodiscard]] const coherence::VectorClock& read_set() const {
     return read_set_;
   }
   [[nodiscard]] std::uint64_t writes_issued() const { return write_seq_; }
 
+  /// Replica-view epoch last applied (0 = none; membership disabled or
+  /// no change seen yet) and how often a view change forced this client
+  /// onto different stores.
+  [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
+  [[nodiscard]] std::uint64_t rebinds() const { return rebinds_; }
+
  private:
   ClientRequest base_request(msg::Invocation inv);
   void send_write(msg::Invocation inv, WriteHandler cb);
+  void transmit_write(ClientRequest req, WriteHandler cb);
+  void next_queued_write();
+  void next_queued_read();
   void flush_deferred_reads();
+  void on_view_change(const membership::View& view);
+  void announce_watch(bool subscribe);
+  void on_operation_failed();
   [[nodiscard]] bool wants(ClientModel m) const;
 
   class TrafficAdapter final : public core::TrafficObserver {
@@ -161,6 +185,17 @@ class ClientBinding {
   // ack arrives; such reads are deferred behind the pending writes.
   int pending_writes_ = 0;
   std::vector<std::function<void()>> deferred_reads_;
+  // Per-writer order through loss and retries: one write request on the
+  // wire at a time, the rest queue here in program order. Reads
+  // serialize among themselves the same way (the monotonic-reads floor
+  // of a read must include the previous read's observation).
+  bool write_inflight_ = false;
+  std::deque<std::function<void()>> queued_writes_;
+  bool read_inflight_ = false;
+  std::deque<std::function<void()>> queued_reads_;
+
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t rebinds_ = 0;
 
   coherence::History* history_;
   metrics::MetricsSink* metrics_;

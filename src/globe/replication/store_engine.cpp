@@ -56,6 +56,7 @@ StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
       });
 
   configure_timers();
+  start_membership();
 
   if (config_.is_primary || config_.cache_mode != CacheMode::kGlobe ||
       !config_.auto_subscribe) {
@@ -154,6 +155,7 @@ void StoreEngine::finalize_propagation() {
   // One synchronous flush/pull so Testbed::settle() can drain in-flight
   // coherence state; the periodic timers keep running (they are
   // background events and never block quiescence on their own).
+  if (!alive_ || departed_) return;
   if (pull_timer_.has_value()) pull_from_upstream();
   flush_lazy();
 }
@@ -192,6 +194,10 @@ void StoreEngine::seed(const std::string& page, const std::string& content,
 
 void StoreEngine::on_message(const Address& from,
                              const msg::EnvelopeView& env) {
+  // A crash-stopped or departed store processes nothing; the network
+  // layer usually drops its traffic already (node down), this guards the
+  // co-located and loopback paths.
+  if (!alive_ || departed_) return;
   switch (env.type) {
     case msg::MsgType::kInvokeRequest:
       handle_client_request(from, env.request_id,
@@ -223,6 +229,9 @@ void StoreEngine::on_message(const Address& from,
       return;
     case msg::MsgType::kPolicyUpdate:
       handle_policy_update(from, env);
+      return;
+    case msg::MsgType::kViewChange:
+      apply_view(membership::ViewMsg::decode(env.body).view);
       return;
     default:
       GLOBE_LOG_ERROR("store", "store %u: unexpected message type %s",
@@ -293,7 +302,21 @@ void StoreEngine::accept_write(const Address& reply_to,
   }
 
   std::vector<web::WriteRecord> ready;
-  const Admission adm = orderer_->admit(rec, ready);
+  Admission adm;
+  if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
+    // Locally accepted ordered writes advance the SAME monotonic-writes
+    // cursor as remote ones (admit_remote): a client that rebinds to
+    // another store mid-session leaves a seq gap here, and the filter
+    // must know which of its writes this store already carries.
+    std::vector<web::WriteRecord> gated;
+    adm = mw_gate().admit(std::move(rec), gated);
+    for (auto& g : gated) {
+      if (g.wid == req.wid) rec = g;  // keep the stamped copy for the ack
+      orderer_->admit(std::move(g), ready);
+    }
+  } else {
+    adm = orderer_->admit(rec, ready);
+  }
   switch (adm) {
     case Admission::kApplied:
       apply_ready(std::move(ready));
@@ -427,12 +450,24 @@ void StoreEngine::apply_ready(std::vector<web::WriteRecord> ready) {
 }
 
 void StoreEngine::maybe_compact() {
+  bool compacted = false;
   const std::size_t threshold = config_.log_compact_threshold;
-  if (threshold == 0 || log_.size() <= threshold) return;
-  // Fold the oldest half into the base clock; requesters behind the
-  // horizon fall back to a snapshot cutover (handle_fetch_request /
-  // handle_anti_entropy check can_serve()).
-  log_.compact(threshold / 2);
+  if (threshold != 0 && log_.size() > threshold) {
+    // Fold the oldest half into the base clock; requesters behind the
+    // horizon fall back to a snapshot cutover (handle_fetch_request /
+    // handle_anti_entropy check can_serve()).
+    log_.compact(threshold / 2);
+    compacted = true;
+  }
+  const std::size_t budget = config_.log_compact_bytes;
+  if (budget != 0 && log_.retained_bytes() > budget) {
+    // Byte-budget policy: bound the retained payload regardless of
+    // record count (a handful of huge pages can dwarf thousands of
+    // small ones). Compact down to half the budget to amortize.
+    log_.compact_to_bytes(budget / 2);
+    compacted = true;
+  }
+  if (compacted && metrics_ != nullptr) metrics_->record_log_compaction();
 }
 
 void StoreEngine::note_gaps() {
@@ -686,6 +721,12 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
       i = j;
     }
   }
+  // Immediate pushes group destinations whose batch set is identical
+  // (the common case: everyone but the record's origin receives
+  // everything) so each group can travel as ONE shared wire datagram.
+  const bool lazy = config_.policy.instant == TransferInstant::kLazy;
+  std::vector<std::pair<std::vector<web::RecordBatchPtr>, std::vector<Address>>>
+      groups;
   for (const Address& t : targets) {
     const std::uint64_t tkey = addr_key(t);
     std::vector<web::RecordBatchPtr> out;
@@ -708,13 +749,75 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
       }
     }
     if (out.empty()) continue;
-    if (config_.policy.instant == TransferInstant::kLazy) {
+    if (lazy) {
       auto& queue = lazy_queues_[tkey];
       queue.insert(queue.end(), std::make_move_iterator(out.begin()),
                    std::make_move_iterator(out.end()));
       lazy_dirty_ = true;
     } else {
-      send_coherence(t, out);
+      bool grouped = false;
+      for (auto& g : groups) {
+        if (g.first == out) {
+          g.second.push_back(t);
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) groups.emplace_back(std::move(out), std::vector{t});
+    }
+  }
+  for (auto& g : groups) send_coherence_multi(g.second, g.first);
+}
+
+void StoreEngine::send_coherence_multi(
+    const std::vector<Address>& to,
+    std::span<const web::RecordBatchPtr> batches) {
+  if (to.empty()) return;
+  if (!config_.shared_wire || to.size() == 1) {
+    // Baseline (and trivial) path: one header+body encode per target.
+    for (const Address& t : to) send_coherence(t, batches);
+    return;
+  }
+  const auto& p = config_.policy;
+  if (p.propagation == Propagation::kInvalidate) {
+    InvalidateMsg m;
+    std::set<std::string> pages;
+    for (const web::RecordBatchPtr& b : batches) {
+      pages.insert(b->pages().begin(), b->pages().end());
+    }
+    m.pages.assign(pages.begin(), pages.end());
+    m.known_clock = applied_clock_;
+    m.known_gseq = applied_gseq_;
+    comm_.multicast_with(to, msg::MsgType::kInvalidate, config_.object,
+                         [&](util::Writer& w) { m.encode(w); });
+    return;
+  }
+  switch (p.coherence_transfer) {
+    case CoherenceTransfer::kNotification: {
+      NotifyMsg m;
+      m.known_clock = applied_clock_;
+      m.known_gseq = applied_gseq_;
+      comm_.multicast_with(to, msg::MsgType::kNotify, config_.object,
+                           [&](util::Writer& w) { m.encode(w); });
+      return;
+    }
+    case CoherenceTransfer::kPartial: {
+      comm_.multicast_with(to, msg::MsgType::kUpdate, config_.object,
+                           [&](util::Writer& w) {
+                             UpdateMsg::encode_batches(w, batches,
+                                                       applied_clock_,
+                                                       applied_gseq_);
+                           });
+      return;
+    }
+    case CoherenceTransfer::kFull: {
+      SnapshotMsg m;
+      m.document = semantics_.snapshot();
+      m.clock = applied_clock_;
+      m.gseq = applied_gseq_;
+      comm_.multicast_with(to, msg::MsgType::kSnapshot, config_.object,
+                           [&](util::Writer& w) { m.encode(w); });
+      return;
     }
   }
 }
@@ -818,17 +921,14 @@ void StoreEngine::pull_from_upstream() {
                             });
           }
           std::vector<web::WriteRecord> ready;
-          for (auto& rec : rep.records) {
-            rec.transient_origin = addr_key(from);
-            orderer_->admit(std::move(rec), ready);
-          }
+          admit_remote(std::move(rep.records), addr_key(from), ready);
           apply_ready(std::move(ready));
         });
     return;
   }
   FetchRequest fetch;
   fetch.have_clock = applied_clock_;
-  fetch.have_gseq = applied_gseq_;
+  fetch.have_gseq = fetch_gseq_floor();
   fetch.want_full =
       config_.policy.coherence_transfer == CoherenceTransfer::kFull;
   comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
@@ -846,7 +946,7 @@ void StoreEngine::demand_fetch(std::vector<std::string> pages) {
   fetch_in_flight_ = true;
   FetchRequest fetch;
   fetch.have_clock = applied_clock_;
-  fetch.have_gseq = applied_gseq_;
+  fetch.have_gseq = fetch_gseq_floor();
   fetch.pages = std::move(pages);
   fetch.want_full =
       config_.policy.coherence_transfer == CoherenceTransfer::kFull ||
@@ -885,10 +985,7 @@ void StoreEngine::apply_fetch_reply(FetchReply::View reply) {
     return;
   }
   std::vector<web::WriteRecord> ready;
-  for (auto& rec : reply.records) {
-    rec.transient_origin = addr_key(config_.upstream);
-    orderer_->admit(std::move(rec), ready);
-  }
+  admit_remote(std::move(reply.records), addr_key(config_.upstream), ready);
   known_clock_.merge(reply.clock);
   known_gseq_ = std::max(known_gseq_, reply.gseq);
   apply_ready(std::move(ready));
@@ -906,22 +1003,58 @@ void StoreEngine::apply_fetch_reply(FetchReply::View reply) {
 }
 
 void StoreEngine::subscribe_to_upstream() {
+  if (!config_.upstream.valid()) return;
   SubscribeMsg sub;
   sub.subscriber = comm_.local_address();
   sub.store_id = config_.store_id;
   sub.store_class = static_cast<std::uint8_t>(config_.store_class);
+  // Under dynamic membership the upstream may be crashed or partitioned
+  // away; the request then times out and is re-attempted (bounded), so a
+  // joining or recovering store eventually bootstraps once the network
+  // allows. Without membership the static topology is assumed healthy
+  // and the request is untimed (the seed behaviour).
+  const bool timed = config_.membership.valid();
+  const bool resubscribe = ready_;
+  if (resubscribe) ++resubscribes_;
   comm_.request_with(
       config_.upstream, msg::MsgType::kSubscribe, config_.object,
       [&](util::Writer& w) { sub.encode(w); },
-      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
-        GLOBE_ASSERT_MSG(ok, "subscribe failed");
+      [this, resubscribe](bool ok, const Address&,
+                          const msg::EnvelopeView& env) {
+        if (!ok) {
+          if (subscribe_retry_budget_ > 0 && alive_ && !departed_) {
+            --subscribe_retry_budget_;
+            sim_.schedule_after(sim::SimDuration::millis(500), [this] {
+              if (alive_ && !departed_) subscribe_to_upstream();
+            });
+          }
+          return;
+        }
+        subscribe_retry_budget_ = 50;
         SnapshotMsg::View snap = SnapshotMsg::decode_view(env.body);
+        if (resubscribe) {
+          // Re-subscription of a store that already holds state (view
+          // re-parenting, post-eviction re-admission, crash recovery):
+          // the snapshot merges forward-only, and a resync round closes
+          // whatever the snapshot could not prove (e.g. multi-master
+          // divergence where neither clock dominates).
+          apply_snapshot(snap.document, snap.clock, snap.gseq);
+          resync();
+          return;
+        }
         semantics_.restore(snap.document);
         applied_clock_.merge(snap.clock);
         applied_gseq_ = std::max(applied_gseq_, snap.gseq);
+        log_.note_snapshot(snap.clock, snap.gseq,
+                           config_.policy.model == ObjectModel::kSequential);
         record_snapshot_event();
         std::vector<web::WriteRecord> ready;
         orderer_->reset_to(applied_clock_, applied_gseq_, ready);
+        if (mw_filter_ != nullptr) {
+          std::vector<web::WriteRecord> gated;
+          mw_filter_->reset_to(applied_clock_, applied_gseq_, gated);
+          for (auto& g : gated) orderer_->admit(std::move(g), ready);
+        }
         for (auto& rec : ready) {
           rec.transient_origin = addr_key(config_.upstream);
         }
@@ -929,12 +1062,197 @@ void StoreEngine::subscribe_to_upstream() {
         apply_ready(std::move(ready));
         note_gaps();
         unpark_ready();
-      });
+      },
+      timed ? sim::SimDuration::millis(250) : sim::SimDuration(0),
+      timed ? 4 : 0);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic membership and fault lifecycle
+// ---------------------------------------------------------------------
+
+void StoreEngine::start_membership() {
+  if (!config_.membership.valid() || departed_) return;
+  join_membership();
+  membership_timer_.emplace(sim_, config_.membership_heartbeat,
+                            [this] { send_membership_heartbeat(); });
+  membership_timer_->start();
+}
+
+void StoreEngine::join_membership() {
+  membership::MemberAnnounce ann;
+  ann.contact = contact();
+  comm_.request_with(
+      config_.membership, msg::MsgType::kMembershipJoin, config_.object,
+      [&](util::Writer& w) { ann.encode(w); },
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        if (!ok) return;  // heartbeats re-admit us once reachable
+        apply_view(membership::ViewMsg::decode(env.body).view);
+      },
+      sim::SimDuration::millis(250), /*retries=*/3);
+}
+
+void StoreEngine::send_membership_heartbeat() {
+  membership::MemberAnnounce ann;
+  ann.contact = contact();
+  comm_.send_with_background(config_.membership,
+                             msg::MsgType::kMembershipHeartbeat,
+                             config_.object,
+                             [&](util::Writer& w) { ann.encode(w); });
+}
+
+void StoreEngine::apply_view(const membership::View& view) {
+  if (view.object != config_.object || view.epoch <= view_epoch_) return;
+  // A member that stayed in the view sees every epoch in sequence
+  // (reliable FIFO delivery); a jump means WE missed view changes —
+  // evicted during a partition and just re-admitted, most likely — so
+  // our upstream may have dropped us as a subscriber.
+  const bool jumped = view_epoch_ != 0 && view.epoch > view_epoch_ + 1;
+  view_epoch_ = view.epoch;
+
+  // Members of the PREVIOUS view that the new view lacks have left the
+  // replica set (eviction, crash, graceful leave): they stop receiving
+  // fan-out immediately. Subscribers absent from both views are kept —
+  // a just-joined store can subscribe before the view catches up, and
+  // stores running without membership still subscribe the static way.
+  const auto left = [&](const Address& a) {
+    if (view.contains(a)) return false;
+    for (const Address& m : last_view_members_) {
+      if (m == a) return true;
+    }
+    return false;
+  };
+  std::erase_if(subscribers_,
+                [&](const Subscriber& s) { return left(s.address); });
+  for (auto it = lazy_queues_.begin(); it != lazy_queues_.end();) {
+    it = left(key_addr(it->first)) ? lazy_queues_.erase(it) : std::next(it);
+  }
+  last_view_members_.clear();
+  for (const auto& m : view.members) last_view_members_.push_back(m.address);
+
+  if (config_.is_primary || config_.cache_mode != CacheMode::kGlobe ||
+      !config_.auto_subscribe) {
+    return;
+  }
+  bool need_resubscribe = jumped;
+  if (!view.contains(config_.upstream)) {
+    // Our propagation parent left the view (crash, leave, eviction):
+    // re-parent onto the best surviving member.
+    const naming::ContactPoint* next =
+        membership::choose_upstream(view, address());
+    if (next != nullptr) {
+      config_.upstream = next->address;
+      need_resubscribe = true;
+    }
+  }
+  if (need_resubscribe && ready_) {
+    subscribe_to_upstream();
+  } else if (jumped) {
+    resync();
+  }
+}
+
+void StoreEngine::resync() {
+  if (config_.is_primary || !ready_ || !alive_ || departed_) return;
+  demand_retry_budget_ = 100;  // re-arm: a view event is fresh progress
+  if (multi_master()) {
+    // One anti-entropy exchange heals both directions with the upstream;
+    // records received re-propagate to our own subscribers as usual.
+    pull_from_upstream();
+  } else {
+    demand_fetch();
+  }
+}
+
+void StoreEngine::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  // Timers and volatile protocol state die with the process; document,
+  // write log, clocks survive (a warm disk).
+  lazy_timer_.reset();
+  pull_timer_.reset();
+  heartbeat_timer_.reset();
+  membership_timer_.reset();
+  parked_.clear();
+  pending_write_acks_.clear();
+  lazy_queues_.clear();
+  lazy_dirty_ = false;
+  fetch_in_flight_ = false;
+  unparking_ = false;
+}
+
+void StoreEngine::recover() {
+  if (alive_ || departed_) return;
+  alive_ = true;
+  subscribe_retry_budget_ = 50;
+  demand_retry_budget_ = 100;
+  configure_timers();
+  start_membership();
+  if (!config_.is_primary && config_.cache_mode == CacheMode::kGlobe &&
+      config_.auto_subscribe) {
+    // Bootstrap through the cached-snapshot path; the ready_ flag is
+    // still set from before the crash, so this runs as a re-subscribe
+    // (forward-only snapshot merge + resync round).
+    subscribe_to_upstream();
+  }
+}
+
+void StoreEngine::leave() {
+  if (departed_ || !alive_) return;
+  flush_lazy();  // drain what we still owe downstream
+  if (config_.membership.valid()) {
+    membership::LeaveMsg m;
+    m.address = address();
+    comm_.send_with(config_.membership, msg::MsgType::kMembershipLeave,
+                    config_.object, [&](util::Writer& w) { m.encode(w); });
+  }
+  departed_ = true;
+  lazy_timer_.reset();
+  pull_timer_.reset();
+  heartbeat_timer_.reset();
+  membership_timer_.reset();
+  parked_.clear();
+  pending_write_acks_.clear();
 }
 
 // ---------------------------------------------------------------------
 // Inter-store message handlers
 // ---------------------------------------------------------------------
+
+Orderer& StoreEngine::mw_gate() {
+  if (mw_filter_ == nullptr) {
+    mw_filter_ = std::make_unique<PramOrderer>();
+    // Seed the per-writer cursors with what this store already carries
+    // (bootstrap snapshots included): a fresh filter starting at zero
+    // would buffer the first ordered record forever, waiting for
+    // predecessors a snapshot covered and nobody will resend.
+    std::vector<web::WriteRecord> none;
+    mw_filter_->reset_to(applied_clock_, applied_gseq_, none);
+  }
+  return *mw_filter_;
+}
+
+void StoreEngine::admit_remote(std::vector<web::WriteRecord> recs,
+                               std::uint64_t origin_key,
+                               std::vector<web::WriteRecord>& ready) {
+  for (auto& rec : recs) {
+    rec.transient_origin = origin_key;
+    if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
+      // Monotonic-writes clients need per-writer order even under
+      // eventual coherence; gate through a PRAM filter first. EVERY
+      // remote ingestion path (push update, anti-entropy reply, fetch
+      // reply) must share this gate: if one path bypassed it, the
+      // filter's per-writer cursor would never advance for records that
+      // arrived the other way, and later ordered records would buffer
+      // forever (a permanent post-partition wedge).
+      std::vector<web::WriteRecord> gated;
+      mw_gate().admit(std::move(rec), gated);
+      for (auto& g : gated) orderer_->admit(std::move(g), ready);
+    } else {
+      orderer_->admit(std::move(rec), ready);
+    }
+  }
+}
 
 void StoreEngine::handle_update(const Address& from,
                                 const msg::EnvelopeView& env) {
@@ -943,19 +1261,7 @@ void StoreEngine::handle_update(const Address& from,
   known_gseq_ = std::max(known_gseq_, m.sender_gseq);
 
   std::vector<web::WriteRecord> ready;
-  for (auto& rec : m.records) {
-    rec.transient_origin = addr_key(from);
-    if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
-      // Monotonic-writes clients need per-writer order even under
-      // eventual coherence; gate through a PRAM filter first.
-      if (mw_filter_ == nullptr) mw_filter_ = std::make_unique<PramOrderer>();
-      std::vector<web::WriteRecord> gated;
-      mw_filter_->admit(std::move(rec), gated);
-      for (auto& g : gated) orderer_->admit(std::move(g), ready);
-    } else {
-      orderer_->admit(std::move(rec), ready);
-    }
-  }
+  admit_remote(std::move(m.records), addr_key(from), ready);
   apply_ready(std::move(ready));
   note_gaps();
   if (outdated_ &&
@@ -982,10 +1288,23 @@ void StoreEngine::apply_snapshot(util::BytesView document,
   applied_gseq_ = std::max(applied_gseq_, gseq);
   known_clock_.merge(clock);
   known_gseq_ = std::max(known_gseq_, gseq);
+  // The records the snapshot covered were never appended to our log:
+  // requesters below this horizon must get a snapshot cutover from us,
+  // never a delta with a hole in it.
+  log_.note_snapshot(clock, gseq,
+                     config_.policy.model == ObjectModel::kSequential);
   record_snapshot_event();
   invalid_pages_.clear();
   std::vector<web::WriteRecord> ready;
   orderer_->reset_to(applied_clock_, applied_gseq_, ready);
+  if (mw_filter_ != nullptr) {
+    // The monotonic-writes cursor moves with the snapshot too, or
+    // records above the snapshot horizon would wait forever for
+    // records the snapshot already covers.
+    std::vector<web::WriteRecord> gated;
+    mw_filter_->reset_to(applied_clock_, applied_gseq_, gated);
+    for (auto& g : gated) orderer_->admit(std::move(g), ready);
+  }
   for (auto& rec : ready) rec.transient_origin = addr_key(config_.upstream);
   apply_ready(std::move(ready));
   // Forward the (new) state downstream in full-transfer mode.
@@ -998,7 +1317,10 @@ void StoreEngine::apply_snapshot(util::BytesView document,
         lazy_queues_[addr_key(s.address)];  // mark target; body is snapshot
       }
     } else {
-      for (const Subscriber& s : subscribers_) send_coherence(s.address, {});
+      std::vector<Address> targets;
+      targets.reserve(subscribers_.size());
+      for (const Subscriber& s : subscribers_) targets.push_back(s.address);
+      send_coherence_multi(targets, {});
     }
   }
   note_gaps();
@@ -1013,10 +1335,17 @@ void StoreEngine::handle_invalidate(const Address& from,
   known_gseq_ = std::max(known_gseq_, m.known_gseq);
   note_gaps();
   // Forward invalidations downstream (re-serialized from the borrowed
-  // body; no intermediate buffer).
+  // body; one shared datagram for the whole fan-out).
+  std::vector<Address> forward;
   for (const Subscriber& s : subscribers_) {
-    if (s.address != from) {
-      comm_.send_with(s.address, msg::MsgType::kInvalidate, config_.object,
+    if (s.address != from) forward.push_back(s.address);
+  }
+  if (config_.shared_wire) {
+    comm_.multicast_with(forward, msg::MsgType::kInvalidate, config_.object,
+                         [&](util::Writer& w) { w.raw(env.body); });
+  } else {
+    for (const Address& t : forward) {
+      comm_.send_with(t, msg::MsgType::kInvalidate, config_.object,
                       [&](util::Writer& w) { w.raw(env.body); });
     }
   }
@@ -1032,9 +1361,17 @@ void StoreEngine::handle_notify(const msg::EnvelopeView& env) {
   known_clock_.merge(m.known_clock);
   known_gseq_ = std::max(known_gseq_, m.known_gseq);
   note_gaps();
-  for (const Subscriber& s : subscribers_) {
-    comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
-                    [&](util::Writer& w) { w.raw(env.body); });
+  if (config_.shared_wire) {
+    std::vector<Address> forward;
+    forward.reserve(subscribers_.size());
+    for (const Subscriber& s : subscribers_) forward.push_back(s.address);
+    comm_.multicast_with(forward, msg::MsgType::kNotify, config_.object,
+                         [&](util::Writer& w) { w.raw(env.body); });
+  } else {
+    for (const Subscriber& s : subscribers_) {
+      comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
+                      [&](util::Writer& w) { w.raw(env.body); });
+    }
   }
   if (outdated_ &&
       config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
@@ -1047,9 +1384,19 @@ void StoreEngine::advertise_clock() {
   NotifyMsg m;
   m.known_clock = applied_clock_;
   m.known_gseq = applied_gseq_;
+  if (config_.shared_wire) {
+    std::vector<Address> targets;
+    targets.reserve(subscribers_.size());
+    for (const Subscriber& s : subscribers_) targets.push_back(s.address);
+    comm_.multicast_with(targets, msg::MsgType::kNotify, config_.object,
+                         [&](util::Writer& w) { m.encode(w); },
+                         /*background=*/true);
+    return;
+  }
   for (const Subscriber& s : subscribers_) {
-    comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
-                    [&](util::Writer& w) { m.encode(w); });
+    comm_.send_with_background(s.address, msg::MsgType::kNotify,
+                               config_.object,
+                               [&](util::Writer& w) { m.encode(w); });
   }
 }
 
@@ -1115,7 +1462,11 @@ void StoreEngine::handle_fetch_request(const Address& from,
                                  ObjectModel::kSequential)) {
     // Snapshot cutover: either the requester asked for full state, or it
     // is behind the log's compaction horizon and a delta can no longer
-    // be computed for it.
+    // be computed for it. Only the forced case counts as a cutover in
+    // the metrics (it is the compaction policy's cost signal).
+    if (!m.want_full && metrics_ != nullptr) {
+      metrics_->record_snapshot_cutover();
+    }
     rep.full = true;
     rep.snapshot = semantics_.snapshot();
   } else {
@@ -1160,6 +1511,7 @@ void StoreEngine::handle_anti_entropy(const Address& from,
     // records. They merge through the peer's normal orderer/LWW path,
     // which converges even when both peers compacted past each other —
     // a restore-snapshot would apply in neither direction there.
+    if (metrics_ != nullptr) metrics_->record_snapshot_cutover();
     rep.records = state_as_records();
   } else {
     // Indexed delta honoring the peer's total-order floor — gossip no

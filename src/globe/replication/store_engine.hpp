@@ -32,6 +32,7 @@
 #include "globe/core/comm.hpp"
 #include "globe/core/policy.hpp"
 #include "globe/core/semantics.hpp"
+#include "globe/membership/view.hpp"
 #include "globe/metrics/stats.hpp"
 #include "globe/naming/contact.hpp"
 #include "globe/replication/orderer.hpp"
@@ -90,6 +91,23 @@ struct StoreConfig {
   /// own record copy and its own encode. The delivered bytes are
   /// identical either way.
   bool shared_fanout = true;
+  /// Wire discipline for identical fan-out messages. True (default):
+  /// one encoded wire datagram is shared by reference across every
+  /// destination (Transport::send_shared). False (benchmark baseline):
+  /// each destination gets its own header+body encode. Delivered bytes
+  /// are identical either way.
+  bool shared_wire = true;
+  /// Byte-budget compaction: when the retained log's payload bytes
+  /// exceed this, the oldest records are folded into the base clock
+  /// until half the budget remains. 0 disables. Complements the
+  /// record-count threshold above; either trigger compacts.
+  std::size_t log_compact_bytes = 0;
+  /// Membership service endpoint; invalid = membership disabled. When
+  /// set, the store joins the object's replica view at construction,
+  /// heartbeats periodically, and reacts to epoch-numbered view changes
+  /// (drops evicted subscribers, re-resolves its upstream, resyncs).
+  Address membership;
+  sim::SimDuration membership_heartbeat = sim::SimDuration::millis(100);
 };
 
 class StoreEngine {
@@ -120,6 +138,15 @@ class StoreEngine {
     return subscribers_.size();
   }
   [[nodiscard]] bool ready() const { return ready_; }
+  /// Lifecycle state (fault injection / membership).
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] bool departed() const { return departed_; }
+  /// Epoch of the last replica view this store applied (0 = none yet).
+  [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
+  /// Times this store re-subscribed to an upstream after the initial
+  /// bootstrap (view-driven re-parenting, post-eviction re-admission,
+  /// crash recovery).
+  [[nodiscard]] std::uint64_t resubscribes() const { return resubscribes_; }
 
   /// Seeds initial content directly (primary only; used to set up the
   /// document before clients bind, like uploading files to a Web server).
@@ -133,6 +160,27 @@ class StoreEngine {
   /// in-flight coherence state drains. Used by Testbed::settle() to let
   /// the simulation reach quiescence.
   void finalize_propagation();
+
+  // ---- dynamic membership / fault lifecycle ----
+
+  /// Crash-stops the store: timers stop, volatile protocol state
+  /// (parked requests, pending acks, lazy queues) is lost; the document
+  /// and write log survive (a warm disk). Callers that model a real
+  /// crash also cut the node off the network (sim::Network::
+  /// set_node_down) so in-flight traffic is lost.
+  void crash();
+
+  /// Restarts a crashed store: timers resume, the store rejoins the
+  /// object's replica view, and a non-primary re-subscribes to its
+  /// upstream — bootstrapping via the cached-snapshot transfer and
+  /// closing any remaining gap with a resync round.
+  void recover();
+
+  /// Graceful departure: drains the lazy queues, announces the leave to
+  /// the membership service (evicting this store from the view and from
+  /// naming resolution), and goes quiet. Downstream subscribers
+  /// re-parent when the view change reaches them.
+  void leave();
 
   /// Replaces the implementation parameters of the object's strategy at
   /// runtime and propagates the change to every downstream store
@@ -176,6 +224,24 @@ class StoreEngine {
   [[nodiscard]] bool accepts_writes() const;
   void accept_write(const Address& reply_to, std::uint64_t request_id,
                     ClientRequest req);
+  /// Shared ingestion gate for records received from other stores; all
+  /// remote paths (update push, anti-entropy, fetch reply) go through it
+  /// so the monotonic-writes filter sees one consistent stream.
+  void admit_remote(std::vector<web::WriteRecord> recs,
+                    std::uint64_t origin_key,
+                    std::vector<web::WriteRecord>& ready);
+  /// The monotonic-writes filter, created on first use with its cursors
+  /// seeded from the store's current coverage.
+  [[nodiscard]] Orderer& mw_gate();
+  /// Total-order floor this store may claim when fetching: only the
+  /// sequential model applies records contiguously; PRAM-family stores
+  /// advance their gseq with max semantics and must not have earlier
+  /// missed records filtered away.
+  [[nodiscard]] std::uint64_t fetch_gseq_floor() const {
+    return config_.policy.model == coherence::ObjectModel::kSequential
+               ? applied_gseq_
+               : 0;
+  }
   void apply_ready(std::vector<web::WriteRecord> ready);
   void note_gaps();
   void maybe_compact();
@@ -198,6 +264,11 @@ class StoreEngine {
   void propagate(const std::vector<web::WriteRecord>& recs);
   void send_coherence(const Address& to,
                       std::span<const web::RecordBatchPtr> batches);
+  /// Fan-out of ONE coherence message to many destinations: with
+  /// shared_wire the body is encoded once and the datagram shared by
+  /// reference; otherwise falls back to per-destination send_coherence.
+  void send_coherence_multi(const std::vector<Address>& to,
+                            std::span<const web::RecordBatchPtr> batches);
   void flush_lazy();
   void pull_from_upstream();
   void advertise_clock();
@@ -208,6 +279,19 @@ class StoreEngine {
   void apply_snapshot(util::BytesView document,
                       const coherence::VectorClock& clock, std::uint64_t gseq);
   void subscribe_to_upstream();
+
+  // ---- membership ----
+  void start_membership();
+  void join_membership();
+  void send_membership_heartbeat();
+  /// Applies a newer replica view: prunes evicted subscribers,
+  /// re-resolves the upstream when it left the view, and re-subscribes /
+  /// resyncs when this store itself missed view changes (it was evicted
+  /// and re-admitted, or its parent changed).
+  void apply_view(const membership::View& view);
+  /// One catch-up round after a view event: anti-entropy for
+  /// multi-master objects, a demand fetch otherwise.
+  void resync();
 
   // ---- helpers ----
   [[nodiscard]] bool enforces_model() const;
@@ -264,6 +348,7 @@ class StoreEngine {
   std::optional<sim::PeriodicTimer> lazy_timer_;
   std::optional<sim::PeriodicTimer> pull_timer_;
   std::optional<sim::PeriodicTimer> heartbeat_timer_;
+  std::optional<sim::PeriodicTimer> membership_timer_;
 
   std::vector<Parked> parked_;
   // Writes buffered by the orderer whose client still awaits an ack.
@@ -275,6 +360,16 @@ class StoreEngine {
   bool fetch_in_flight_ = false;
   bool ready_ = false;
   bool unparking_ = false;  // reentrancy guard for unpark_ready()
+  bool alive_ = true;       // false while crash-stopped
+  bool departed_ = false;   // true after a graceful leave
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t resubscribes_ = 0;
+  // Member addresses of the last applied view; subscriber pruning drops
+  // only actual departures (in the old view, gone from the new one).
+  std::vector<Address> last_view_members_;
+  // Bounds re-subscription attempts when the upstream is unreachable
+  // (each attempt itself carries a timeout + retries).
+  int subscribe_retry_budget_ = 50;
   // Bounds demand-fetch retry loops when a required write never arrives
   // (the request then effectively degrades to wait).
   int demand_retry_budget_ = 100;

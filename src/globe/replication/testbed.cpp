@@ -9,6 +9,17 @@ Testbed::Testbed(TestbedOptions options)
   net_.set_default_link(options_.wan);
   const NodeId naming_node = add_node("naming");
   naming_ = std::make_unique<naming::NamingServer>(factory(naming_node), &sim_);
+  service_nodes_.push_back(naming_node);
+  if (options_.enable_membership) {
+    const NodeId membership_node = add_node("membership");
+    membership::MembershipOptions mo;
+    mo.heartbeat_period = options_.membership_heartbeat;
+    mo.failure_timeout = options_.failure_timeout;
+    mo.naming = naming_.get();
+    membership_ = std::make_unique<membership::MembershipService>(
+        factory(membership_node), &sim_, mo);
+    service_nodes_.push_back(membership_node);
+  }
 }
 
 NodeId Testbed::add_node(std::string name) {
@@ -28,8 +39,14 @@ core::TransportFactory Testbed::factory(NodeId node) {
 
 StoreEngine& Testbed::add_store_impl(StoreConfig cfg, std::string node_name) {
   cfg.log_compact_threshold = options_.log_compact_threshold;
+  cfg.log_compact_bytes = options_.log_compact_bytes;
   cfg.naive_log_scan = options_.naive_log_scan;
   cfg.shared_fanout = options_.shared_fanout;
+  cfg.shared_wire = options_.shared_wire;
+  if (membership_ != nullptr) {
+    cfg.membership = membership_->address();
+    cfg.membership_heartbeat = options_.membership_heartbeat;
+  }
   const NodeId node = add_node(std::move(node_name));
   auto store = std::make_unique<StoreEngine>(
       factory(node), sim_, std::move(cfg),
@@ -118,6 +135,20 @@ ClientBinding& Testbed::add_client_at(NodeId node, ObjectId object,
   opts.client = next_client_id_++;
   opts.session = session;
   opts.read_store = read_store;
+  opts.timeout = options_.client_timeout;
+  opts.retries = options_.client_retries;
+  if (membership_ != nullptr) {
+    opts.membership = membership_->address();
+    if (opts.timeout.count_micros() == 0) {
+      // A membership-enabled deployment implies faults. Sessions
+      // serialize their operations, so an UNTIMED request into a store
+      // that crashes would wedge the whole session forever (queued ops
+      // never drain, and a later rebind cannot unstick them) — default
+      // to a generous timeout instead.
+      opts.timeout = sim::SimDuration::seconds(1);
+      opts.retries = std::max(opts.retries, 1);
+    }
+  }
   auto pit = primaries_.find(object);
   if (pit != primaries_.end()) {
     opts.object_model = pit->second->config().policy.model;
@@ -161,9 +192,87 @@ bool Testbed::converged(ObjectId object) const {
   for (const auto& s : stores_) {
     if (s->config().object != object) continue;
     if (s->config().cache_mode != CacheMode::kGlobe) continue;
+    // Crashed and departed stores are out of the replica set; every
+    // store still in it — including ones that joined or recovered mid-
+    // run — must be bootstrapped and equal to the primary.
+    if (!s->alive() || s->departed()) continue;
+    if (!s->ready()) return false;
     if (!(s->document() == primary->document())) return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+void Testbed::crash_store(std::size_t index) {
+  StoreEngine& s = *stores_.at(index);
+  net_.set_node_down(s.address().node, true);
+  s.crash();
+}
+
+void Testbed::recover_store(std::size_t index) {
+  StoreEngine& s = *stores_.at(index);
+  net_.set_node_down(s.address().node, false);
+  s.recover();
+}
+
+void Testbed::leave_store(std::size_t index) { stores_.at(index)->leave(); }
+
+std::vector<NodeId> Testbed::side_nodes(
+    const std::vector<std::size_t>& side) const {
+  std::vector<NodeId> nodes;
+  for (const std::size_t index : side) {
+    const StoreEngine& s = *stores_.at(index);
+    nodes.push_back(s.address().node);
+    // Clients are co-partitioned with the store they currently read
+    // from: a real partition separates a site, not a single process.
+    for (const auto& c : clients_) {
+      if (c->read_store() == s.address()) {
+        nodes.push_back(c->address().node);
+      }
+    }
+  }
+  return nodes;
+}
+
+void Testbed::partition_stores(const std::vector<std::size_t>& side_a,
+                               const std::vector<std::size_t>& side_b) {
+  const std::vector<NodeId> a = side_nodes(side_a);
+  const std::vector<NodeId> b = side_nodes(side_b);
+  const auto has_primary = [&](const std::vector<std::size_t>& side) {
+    for (const std::size_t index : side) {
+      if (stores_.at(index)->config().is_primary) return true;
+    }
+    return false;
+  };
+  // The well-known services stay reachable from the primary's side; the
+  // other side loses them, so its stores miss heartbeats and get
+  // evicted from the view until the heal re-admits them.
+  const bool pa = has_primary(side_a);
+  const bool pb = has_primary(side_b);
+  if (pa && !pb) {
+    net_.partition_groups(service_nodes_, b);
+  } else if (pb && !pa) {
+    net_.partition_groups(service_nodes_, a);
+  }
+  net_.partition_groups(a, b);
+}
+
+void Testbed::join_stores(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (spawner_) {
+      spawner_(*this);
+      continue;
+    }
+    // Default flash-crowd joiner: a Globe cache under the first
+    // object's primary, inheriting the primary's policy.
+    GLOBE_ASSERT_MSG(!primaries_.empty(), "join_stores needs a primary");
+    const auto& [object, primary] = *primaries_.begin();
+    add_store(object, naming::StoreClass::kClientInitiated,
+              primary->config().policy);
+  }
 }
 
 void Testbed::publish(ObjectId object, const std::string& name) {

@@ -9,12 +9,15 @@
 // deploy through this class.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "globe/coherence/history.hpp"
+#include "globe/fault/scenario.hpp"
+#include "globe/membership/service.hpp"
 #include "globe/metrics/staleness.hpp"
 #include "globe/metrics/stats.hpp"
 #include "globe/naming/service.hpp"
@@ -37,6 +40,23 @@ struct TestbedOptions {
   /// Benchmark baseline: false forces the per-subscriber copy+encode
   /// fan-out instead of shared record batches.
   bool shared_fanout = true;
+  /// Benchmark baseline: false forces a per-destination wire encode
+  /// instead of shared multicast datagrams.
+  bool shared_wire = true;
+  /// Per-store byte-budget compaction (0 = disabled; complements
+  /// log_compact_threshold).
+  std::size_t log_compact_bytes = 0;
+  /// Dynamic replica membership: stores join an epoch-numbered
+  /// per-object view, heartbeat, and react to view changes; clients
+  /// watch the view and re-bind when their store leaves it.
+  bool enable_membership = false;
+  sim::SimDuration membership_heartbeat = sim::SimDuration::millis(100);
+  sim::SimDuration failure_timeout = sim::SimDuration::millis(350);
+  /// Request timeout/retries for client operations (0 = untimed). Fault
+  /// scenarios need these: an operation sent into a partition must fail
+  /// instead of pending forever.
+  sim::SimDuration client_timeout{};
+  int client_retries = 0;
 };
 
 class Testbed {
@@ -49,6 +69,13 @@ class Testbed {
   [[nodiscard]] metrics::MetricsSink& metrics() { return metrics_; }
   [[nodiscard]] metrics::StalenessOracle& oracle() { return oracle_; }
   [[nodiscard]] naming::NamingServer& naming() { return *naming_; }
+  /// Valid only with TestbedOptions::enable_membership.
+  [[nodiscard]] membership::MembershipService& membership() {
+    return *membership_;
+  }
+  [[nodiscard]] bool membership_enabled() const {
+    return membership_ != nullptr;
+  }
 
   /// Creates a node (an address space) and returns its id.
   NodeId add_node(std::string name = {});
@@ -120,8 +147,41 @@ class Testbed {
   /// Registers store contacts with the naming service under `name`.
   void publish(ObjectId object, const std::string& name);
 
+  // ---- fault injection (driven by fault::ScenarioEngine) -------------
+
+  /// Crash-stops store `index` (construction order) and cuts its node
+  /// off the network: in-flight traffic to and from it is lost.
+  void crash_store(std::size_t index);
+
+  /// Reconnects the node and restarts the store; it rejoins the view
+  /// and re-bootstraps via the snapshot + resync path.
+  void recover_store(std::size_t index);
+
+  /// Graceful departure of store `index`.
+  void leave_store(std::size_t index);
+
+  /// Cuts the network between the two groups of stores. Each store's
+  /// currently-bound clients are co-partitioned with it; the well-known
+  /// services (naming, membership) stay on the primary's side, so the
+  /// minority side gets evicted from the view until the heal.
+  void partition_stores(const std::vector<std::size_t>& side_a,
+                        const std::vector<std::size_t>& side_b);
+
+  /// Heals every scripted partition (crashed nodes stay down).
+  void heal_partitions() { net_.heal_all(); }
+
+  /// Spawner used by flash-crowd join events. Defaults to cloning a
+  /// Globe cache under the first object's primary with its policy.
+  using StoreSpawner = std::function<StoreEngine&(Testbed&)>;
+  void set_store_spawner(StoreSpawner spawner) {
+    spawner_ = std::move(spawner);
+  }
+  void join_stores(std::size_t count);
+
  private:
   StoreEngine& add_store_impl(StoreConfig cfg, std::string node_name);
+  [[nodiscard]] std::vector<NodeId> side_nodes(
+      const std::vector<std::size_t>& side) const;
 
   TestbedOptions options_;
   sim::Simulator sim_;
@@ -131,11 +191,45 @@ class Testbed {
   metrics::StalenessOracle oracle_;
   std::map<NodeId, PortId> next_port_;
   std::unique_ptr<naming::NamingServer> naming_;
+  std::unique_ptr<membership::MembershipService> membership_;
+  std::vector<NodeId> service_nodes_;  // naming + membership nodes
   std::map<ObjectId, StoreEngine*> primaries_;
   std::vector<std::unique_ptr<StoreEngine>> stores_;
   std::vector<std::unique_ptr<ClientBinding>> clients_;
+  StoreSpawner spawner_;
   StoreId next_store_id_ = 1;
   ClientId next_client_id_ = 1;
+};
+
+/// Adapter presenting a Testbed to the fault scenario engine.
+class TestbedFaultHost final : public fault::FaultHost {
+ public:
+  explicit TestbedFaultHost(Testbed& bed) : bed_(bed) {}
+
+  [[nodiscard]] std::size_t store_count() const override {
+    return bed_.stores().size();
+  }
+  [[nodiscard]] bool store_alive(std::size_t index) const override {
+    const auto& s = *bed_.stores().at(index);
+    return s.alive() && !s.departed();
+  }
+  [[nodiscard]] bool store_is_primary(std::size_t index) const override {
+    return bed_.stores().at(index)->config().is_primary;
+  }
+  void crash_store(std::size_t index) override { bed_.crash_store(index); }
+  void recover_store(std::size_t index) override {
+    bed_.recover_store(index);
+  }
+  void leave_store(std::size_t index) override { bed_.leave_store(index); }
+  void join_stores(std::size_t count) override { bed_.join_stores(count); }
+  void partition(const std::vector<std::size_t>& side_a,
+                 const std::vector<std::size_t>& side_b) override {
+    bed_.partition_stores(side_a, side_b);
+  }
+  void heal() override { bed_.heal_partitions(); }
+
+ private:
+  Testbed& bed_;
 };
 
 }  // namespace globe::replication

@@ -7,6 +7,7 @@ namespace globe::replication {
 void WriteLog::append(const web::WriteRecord& rec) {
   const std::uint64_t pos = first_pos_ + entries_.size();
   entries_.push_back(rec);
+  retained_bytes_ += record_bytes(rec);
 
   // Per-client index, kept sorted by seq. Records of one client almost
   // always arrive in seq order, so the common case is a push_back.
@@ -119,12 +120,33 @@ bool WriteLog::can_serve(const VectorClock& have, std::uint64_t have_gseq,
          have_gseq >= base_gseq_;
 }
 
+void WriteLog::note_snapshot(const VectorClock& clock, std::uint64_t gseq,
+                             bool sequenced) {
+  base_clock_.merge(clock);
+  if (gseq > base_gseq_) base_gseq_ = gseq;
+  if (!sequenced) base_all_sequenced_ = false;
+}
+
+void WriteLog::compact_to_bytes(std::size_t budget) {
+  if (retained_bytes_ <= budget) return;
+  // Walk from the oldest record until the suffix fits the budget, then
+  // reuse the count-based compaction for the fold itself.
+  std::size_t bytes = retained_bytes_;
+  std::size_t drop = 0;
+  while (drop < entries_.size() && bytes > budget) {
+    bytes -= record_bytes(entries_[drop]);
+    ++drop;
+  }
+  compact(entries_.size() - drop);
+}
+
 void WriteLog::compact(std::size_t keep) {
   if (entries_.size() <= keep) return;
   const std::size_t drop = entries_.size() - keep;
   for (std::size_t i = 0; i < drop; ++i) {
     const web::WriteRecord& rec = entries_[i];
     base_clock_.observe(rec.wid);
+    retained_bytes_ -= record_bytes(rec);
     if (rec.global_seq == 0) {
       base_all_sequenced_ = false;
     } else if (rec.global_seq > base_gseq_) {

@@ -86,12 +86,41 @@ class WriteLog {
   /// records are retained.
   void compact(std::size_t keep);
 
+  /// Approximate payload bytes of the retained records (page, content
+  /// and mime strings plus a fixed per-record overhead). Drives the
+  /// byte-budget compaction policy.
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
+
+  /// Folds the oldest records into the base clock until the retained
+  /// payload fits in `budget` bytes.
+  void compact_to_bytes(std::size_t budget);
+
+  /// Records that this store restored a full snapshot at (clock, gseq):
+  /// the covered records were never appended here, so the log must not
+  /// claim it can serve requesters below that horizon — they get a
+  /// snapshot cutover, exactly as if the records had been compacted
+  /// away. `sequenced` says the covered history was totally ordered
+  /// (the sequential model), which keeps the contiguous-floor shortcut
+  /// valid.
+  void note_snapshot(const VectorClock& clock, std::uint64_t gseq,
+                     bool sequenced);
+
+  /// Payload-byte estimate of one record (shared with append/compact).
+  [[nodiscard]] static std::size_t record_bytes(const web::WriteRecord& rec) {
+    return rec.page.size() + rec.content.size() + rec.mime.size() +
+           kRecordOverhead;
+  }
+
   /// Clock summarizing every compacted-away record.
   [[nodiscard]] const VectorClock& base_clock() const { return base_clock_; }
   /// Highest global sequence number among compacted records.
   [[nodiscard]] std::uint64_t base_gseq() const { return base_gseq_; }
 
  private:
+  /// Fixed-cost estimate for the non-string fields of a record (wid,
+  /// clocks, sequence numbers, flags).
+  static constexpr std::size_t kRecordOverhead = 64;
+
   /// (key, position) pair; position is the global append position.
   struct Keyed {
     std::uint64_t key = 0;
@@ -114,6 +143,8 @@ class WriteLog {
   std::unordered_map<std::string, std::vector<std::uint64_t>> by_page_;
   // (global_seq, position) sorted by global_seq, records with gseq != 0.
   std::vector<Keyed> by_gseq_;
+
+  std::size_t retained_bytes_ = 0;
 
   VectorClock base_clock_;
   std::uint64_t base_gseq_ = 0;

@@ -16,16 +16,18 @@ void Network::set_link(NodeId a, NodeId b, const LinkSpec& spec) {
   links_[pair_key(a, b)] = spec;
 }
 
-void Network::send(const Address& from, const Address& to, Buffer payload) {
+bool Network::prepare_send(const Address& from, const Address& to,
+                           std::size_t size, SimTime* deliver_at) {
   GLOBE_ASSERT_MSG(from.node < node_names_.size(), "send from unknown node");
   GLOBE_ASSERT_MSG(to.node < node_names_.size(), "send to unknown node");
 
   ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  stats_.bytes_sent += size;
 
-  if (partitions_.count(pair_key(from.node, to.node)) > 0) {
+  if (partitions_.count(pair_key(from.node, to.node)) > 0 ||
+      down_nodes_.count(from.node) > 0 || down_nodes_.count(to.node) > 0) {
     ++stats_.messages_dropped;
-    return;
+    return false;
   }
 
   const bool local = from.node == to.node;
@@ -41,7 +43,7 @@ void Network::send(const Address& from, const Address& to, Buffer payload) {
     if (!spec.reliable_ordered && spec.drop_rate > 0.0 &&
         rng_.chance(spec.drop_rate)) {
       ++stats_.messages_dropped;
-      return;
+      return false;
     }
     delay = spec.base_latency;
     if (spec.jitter.count_micros() > 0) {
@@ -51,13 +53,13 @@ void Network::send(const Address& from, const Address& to, Buffer payload) {
     }
   }
 
-  SimTime deliver_at = sim_.now() + delay;
+  SimTime at = sim_.now() + delay;
   if (spec.reliable_ordered && !local) {
     const std::uint64_t directed =
         (static_cast<std::uint64_t>(from.node) << 32) | to.node;
-    auto [it, _] = last_delivery_.try_emplace(directed, deliver_at);
-    if (deliver_at < it->second) deliver_at = it->second;
-    it->second = deliver_at;
+    auto [it, _] = last_delivery_.try_emplace(directed, at);
+    if (at < it->second) at = it->second;
+    it->second = at;
     // A clamp entry at or behind the clock can never delay a future
     // send (deliver_at >= now): sweep such dead entries periodically so
     // the FIFO state tracks only in-flight links instead of growing
@@ -71,20 +73,63 @@ void Network::send(const Address& from, const Address& to, Buffer payload) {
     }
   }
 
-  const std::size_t size = payload.size();
-  sim_.schedule_at(
-      deliver_at,
-      [this, from, to, size, payload = std::move(payload)]() mutable {
-        auto it = handlers_.find(to);
-        if (it == handlers_.end()) {
-          // Endpoint disappeared (e.g. store torn down); count as a drop.
-          ++stats_.messages_dropped;
-          return;
-        }
-        ++stats_.messages_delivered;
-        stats_.bytes_delivered += size;
-        it->second(from, BytesView(payload));
-      });
+  *deliver_at = at;
+  return true;
+}
+
+void Network::deliver(const Address& from, const Address& to,
+                      std::size_t size, BytesView payload) {
+  if (down_nodes_.count(to.node) > 0) {
+    // The destination crashed while the message was in flight.
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    // Endpoint disappeared (e.g. store torn down); count as a drop.
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += size;
+  it->second(from, payload);
+}
+
+namespace {
+[[nodiscard]] BytesView payload_view(const Buffer& b) { return BytesView(b); }
+[[nodiscard]] BytesView payload_view(const util::SharedBuffer& b) {
+  return BytesView(*b);
+}
+[[nodiscard]] std::size_t payload_size(const Buffer& b) { return b.size(); }
+[[nodiscard]] std::size_t payload_size(const util::SharedBuffer& b) {
+  return b->size();
+}
+}  // namespace
+
+template <typename P>
+void Network::send_impl(const Address& from, const Address& to, P payload,
+                        bool background) {
+  SimTime at;
+  const std::size_t size = payload_size(payload);
+  if (!prepare_send(from, to, size, &at)) return;
+  auto event = [this, from, to, size, payload = std::move(payload)] {
+    deliver(from, to, size, payload_view(payload));
+  };
+  if (background) {
+    sim_.schedule_background_after(at - sim_.now(), std::move(event));
+  } else {
+    sim_.schedule_at(at, std::move(event));
+  }
+}
+
+void Network::send(const Address& from, const Address& to, Buffer payload,
+                   bool background) {
+  send_impl(from, to, std::move(payload), background);
+}
+
+void Network::send_shared(const Address& from, const Address& to,
+                          util::SharedBuffer payload, bool background) {
+  send_impl(from, to, std::move(payload), background);
 }
 
 }  // namespace globe::sim

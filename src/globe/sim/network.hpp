@@ -94,8 +94,42 @@ class Network {
 
   void heal_all() { partitions_.clear(); }
 
+  /// Cuts every pairwise link between the two node groups (a scripted
+  /// network partition; heal_all() restores them).
+  void partition_groups(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b) {
+    for (const NodeId x : a) {
+      for (const NodeId y : b) partition(x, y);
+    }
+  }
+
+  /// Marks a node as crashed: sends from it are dropped, and messages
+  /// addressed to it — including ones already in flight — are dropped at
+  /// delivery time (a crash loses the wire). Independent of partitions.
+  void set_node_down(NodeId n, bool down) {
+    if (down) {
+      down_nodes_.insert(n);
+    } else {
+      down_nodes_.erase(n);
+    }
+  }
+  [[nodiscard]] bool node_down(NodeId n) const {
+    return down_nodes_.count(n) > 0;
+  }
+
   /// Sends a payload. Delivery (or drop) is scheduled on the simulator.
-  void send(const Address& from, const Address& to, Buffer payload);
+  /// `background` marks periodic liveness chatter (heartbeats, clock
+  /// advertisements): it is delivered at the same time through the same
+  /// link model, but as a background event, so pure beacon traffic never
+  /// keeps a run-to-quiescence simulation alive.
+  void send(const Address& from, const Address& to, Buffer payload,
+            bool background = false);
+
+  /// Shared-datagram send: the multicast fan-out path. The network keeps
+  /// only a reference to the (immutable) payload until delivery, so one
+  /// encoded buffer serves any number of destinations copy-free.
+  void send_shared(const Address& from, const Address& to,
+                   util::SharedBuffer payload, bool background = false);
 
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -113,6 +147,17 @@ class Network {
   }
 
  private:
+  /// Shared pre-delivery logic: traffic accounting, partition/crash and
+  /// loss drops, latency + FIFO clamping. False when the message is
+  /// dropped at send time; otherwise *deliver_at is the delivery time.
+  bool prepare_send(const Address& from, const Address& to, std::size_t size,
+                    SimTime* deliver_at);
+  template <typename P>
+  void send_impl(const Address& from, const Address& to, P payload,
+                 bool background);
+  void deliver(const Address& from, const Address& to, std::size_t size,
+               BytesView payload);
+
   [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -129,6 +174,7 @@ class Network {
   std::unordered_map<Address, Handler> handlers_;
   std::unordered_map<std::uint64_t, LinkSpec> links_;
   std::unordered_set<std::uint64_t> partitions_;
+  std::unordered_set<NodeId> down_nodes_;
   // Last scheduled delivery time per directed node pair; enforces FIFO on
   // reliable-ordered links. Entries whose time has passed are dead (they
   // can never clamp a future send) and are pruned periodically.

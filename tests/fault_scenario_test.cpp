@@ -1,0 +1,282 @@
+// Fault/churn scenario engine: script parsing, deterministic action
+// dispatch (simulator-scheduled and manually stepped), rolling churn
+// with recoveries, and fault injection on both runtimes (sim::Network
+// via the Testbed host, LoopbackRouter partitions/node-down).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "globe/fault/scenario.hpp"
+#include "globe/net/loopback.hpp"
+#include "globe/replication/testbed.hpp"
+
+namespace globe::fault {
+namespace {
+
+TEST(ScenarioScriptTest, ParsesFullGrammar) {
+  const std::string text = R"(
+    # a comment line
+    at 2s partition 0,1,3|2,4
+    at 4s heal              # trailing comment
+    at 500ms crash 3
+    at 1500ms recover 3
+    at 5s leave 2
+    at 6s join 4
+    at 1s churn period=400ms until=3s down=600ms fraction=0.25
+  )";
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse(text, &script, &error)) << error;
+  ASSERT_EQ(script.actions.size(), 7u);
+
+  const Action& part = script.actions[0];
+  EXPECT_EQ(part.kind, ActionKind::kPartition);
+  EXPECT_EQ(part.at, SimDuration::seconds(2));
+  EXPECT_EQ(part.side_a, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(part.side_b, (std::vector<std::size_t>{2, 4}));
+
+  EXPECT_EQ(script.actions[1].kind, ActionKind::kHeal);
+  EXPECT_EQ(script.actions[2].kind, ActionKind::kCrash);
+  EXPECT_EQ(script.actions[2].store, 3u);
+  EXPECT_EQ(script.actions[2].at, SimDuration::millis(500));
+  EXPECT_EQ(script.actions[3].kind, ActionKind::kRecover);
+  EXPECT_EQ(script.actions[4].kind, ActionKind::kLeave);
+  EXPECT_EQ(script.actions[5].kind, ActionKind::kJoin);
+  EXPECT_EQ(script.actions[5].count, 4u);
+
+  const Action& churn = script.actions[6];
+  EXPECT_EQ(churn.kind, ActionKind::kChurn);
+  EXPECT_EQ(churn.period, SimDuration::millis(400));
+  EXPECT_EQ(churn.until, SimDuration::seconds(3));
+  EXPECT_EQ(churn.downtime, SimDuration::millis(600));
+  EXPECT_DOUBLE_EQ(churn.fraction, 0.25);
+
+  // join at 6s is the last plain action, but churn recoveries can land
+  // until 3s + 600ms; duration is the max of both tails.
+  EXPECT_EQ(script.duration(), SimDuration::seconds(6));
+}
+
+TEST(ScenarioScriptTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "at 2x crash 1",              // bad time unit
+      "crash 1",                    // missing 'at <time>'
+      "at 1s crash",                // missing index
+      "at 1s partition 1,2",        // missing '|'
+      "at 1s explode 3",            // unknown verb
+      "at 1s churn fraction=1.5",   // fraction out of range
+      "at 2s churn until=1s",       // until before at
+  };
+  for (const char* text : bad) {
+    ScenarioScript script;
+    std::string error;
+    EXPECT_FALSE(ScenarioScript::parse(text, &script, &error)) << text;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  }
+}
+
+/// Records calls; alive/primary bookkeeping matches the engine's
+/// contract so churn picks only alive non-primaries.
+class FakeHost final : public FaultHost {
+ public:
+  explicit FakeHost(std::size_t stores) : alive_(stores, true) {}
+
+  std::size_t store_count() const override { return alive_.size(); }
+  bool store_alive(std::size_t i) const override { return alive_[i]; }
+  bool store_is_primary(std::size_t i) const override { return i == 0; }
+  void crash_store(std::size_t i) override {
+    alive_[i] = false;
+    log_.push_back("crash " + std::to_string(i));
+  }
+  void recover_store(std::size_t i) override {
+    alive_[i] = true;
+    log_.push_back("recover " + std::to_string(i));
+  }
+  void leave_store(std::size_t i) override {
+    alive_[i] = false;
+    log_.push_back("leave " + std::to_string(i));
+  }
+  void join_stores(std::size_t n) override {
+    alive_.insert(alive_.end(), n, true);
+    log_.push_back("join " + std::to_string(n));
+  }
+  void partition(const std::vector<std::size_t>&,
+                 const std::vector<std::size_t>&) override {
+    log_.push_back("partition");
+  }
+  void heal() override { log_.push_back("heal"); }
+
+  std::vector<std::string> log_;
+  std::vector<bool> alive_;
+};
+
+TEST(ScenarioEngineTest, FiresScriptedActionsInOrderOnSimulator) {
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse("at 100ms partition 1|2\n"
+                                    "at 200ms crash 1\n"
+                                    "at 300ms recover 1\n"
+                                    "at 400ms heal\n"
+                                    "at 500ms join 2\n",
+                                    &script, &error))
+      << error;
+  FakeHost host(3);
+  ScenarioEngine engine(script, host, /*seed=*/7);
+  sim::Simulator sim;
+  engine.arm(sim);
+  sim.run_until(sim::SimTime(SimDuration::seconds(1).count_micros()));
+
+  EXPECT_EQ(host.log_,
+            (std::vector<std::string>{"partition", "crash 1", "recover 1",
+                                      "heal", "join 2"}));
+  EXPECT_EQ(engine.stats().partitions, 1u);
+  EXPECT_EQ(engine.stats().crashes, 1u);
+  EXPECT_EQ(engine.stats().recoveries, 1u);
+  EXPECT_EQ(engine.stats().heals, 1u);
+  EXPECT_EQ(engine.stats().joins, 2u);
+}
+
+TEST(ScenarioEngineTest, ChurnCrashesAndRecoversRollingVictims) {
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse(
+                  "at 100ms churn period=100ms until=600ms down=150ms "
+                  "fraction=0.3\n",
+                  &script, &error))
+      << error;
+  FakeHost host(8);  // 7 eligible (index 0 is the primary)
+  ScenarioEngine engine(script, host, /*seed=*/11);
+  sim::Simulator sim;
+  engine.arm(sim);
+  sim.run_until(sim::SimTime(SimDuration::seconds(2).count_micros()));
+
+  EXPECT_EQ(engine.stats().churn_ticks, 6u);  // 100..600ms inclusive
+  EXPECT_GE(engine.stats().crashes, 6u);      // >= 1 victim per tick
+  // Every victim recovered (downtime < horizon), never the primary.
+  EXPECT_EQ(engine.stats().recoveries, engine.stats().crashes);
+  for (std::size_t i = 0; i < host.alive_.size(); ++i) {
+    EXPECT_TRUE(host.alive_[i]) << i;
+  }
+  for (const std::string& entry : host.log_) {
+    EXPECT_NE(entry, "crash 0");
+  }
+}
+
+TEST(ScenarioEngineTest, ManualSteppingDrivesHostsWithoutASimulator) {
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse("at 100ms crash 2\n"
+                                    "at 300ms recover 2\n"
+                                    "at 400ms churn period=100ms until=500ms "
+                                    "down=50ms fraction=0.2\n",
+                                    &script, &error))
+      << error;
+  FakeHost host(4);
+  ScenarioEngine engine(script, host, /*seed=*/3);
+
+  engine.advance_to(SimDuration::millis(99));
+  EXPECT_TRUE(host.log_.empty());
+  engine.advance_to(SimDuration::millis(100));
+  EXPECT_EQ(host.log_, std::vector<std::string>{"crash 2"});
+  // Advancing past the whole script applies churn ticks AND the
+  // recoveries they scheduled inside the window.
+  engine.advance_to(SimDuration::seconds(1));
+  EXPECT_EQ(engine.stats().churn_ticks, 2u);
+  EXPECT_EQ(engine.stats().recoveries, engine.stats().crashes);
+  EXPECT_EQ(engine.pending(), 0u);
+  for (std::size_t i = 0; i < host.alive_.size(); ++i) {
+    EXPECT_TRUE(host.alive_[i]) << i;
+  }
+}
+
+TEST(LoopbackFaultTest, PartitionsAndCrashesDropTraffic) {
+  net::LoopbackRouter router;
+  int received = 0;
+  net::Address a{0, 1};
+  net::Address b{1, 1};
+  router.bind(b, [&](const net::Address&, util::BytesView) { ++received; });
+
+  const auto send_ab = [&] {
+    util::Buffer payload{std::byte{42}};
+    router.post(a, b, std::move(payload));
+    router.drain();
+  };
+
+  send_ab();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(router.dropped(), 0u);
+
+  router.partition(0, 1);
+  send_ab();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(router.dropped(), 1u);
+
+  router.heal_all();
+  send_ab();
+  EXPECT_EQ(received, 2);
+
+  router.set_node_down(1, true);
+  send_ab();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(router.dropped(), 2u);
+
+  router.set_node_down(1, false);
+  // Shared datagrams: one buffer posted to the same endpoint twice.
+  const auto shared = std::make_shared<const util::Buffer>(
+      util::Buffer{std::byte{7}});
+  router.post_shared(a, b, shared);
+  router.post_shared(a, b, shared);
+  router.drain();
+  EXPECT_EQ(received, 4);
+
+  router.unbind(b);
+}
+
+// A scripted crash/recover cycle against the real simulated deployment:
+// the testbed host wires engine actions to membership + network faults.
+TEST(ScenarioEngineTest, ScriptedCrashRecoverCycleConvergesOnTestbed) {
+  using namespace globe::replication;
+  constexpr ObjectId kObj = 1;
+  TestbedOptions opts;
+  opts.seed = 5;
+  opts.enable_membership = true;
+  opts.membership_heartbeat = sim::SimDuration::millis(50);
+  opts.failure_timeout = sim::SimDuration::millis(200);
+  opts.wan.base_latency = sim::SimDuration::millis(5);
+  Testbed bed(opts);
+
+  core::ReplicationPolicy policy;  // PRAM push immediate partial
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  auto& primary = bed.add_primary(kObj, policy);
+  primary.seed("page.html", "v0");
+  bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  bed.settle();
+
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse("at 200ms crash 1\n"
+                                    "at 900ms recover 1\n"
+                                    "at 400ms crash 2\n"
+                                    "at 1100ms recover 2\n",
+                                    &script, &error))
+      << error;
+  TestbedFaultHost host(bed);
+  ScenarioEngine engine(script, host, opts.seed);
+  engine.arm(bed.sim());
+
+  // Write continuously across the crash window.
+  for (int i = 0; i < 20; ++i) {
+    primary.seed("page.html", "v" + std::to_string(i + 1));
+    bed.run_for(sim::SimDuration::millis(100));
+  }
+  bed.run_for(engine.duration() + sim::SimDuration::millis(800));
+  bed.settle();
+
+  EXPECT_EQ(engine.stats().crashes, 2u);
+  EXPECT_EQ(engine.stats().recoveries, 2u);
+  EXPECT_TRUE(bed.converged(kObj));
+}
+
+}  // namespace
+}  // namespace globe::fault
