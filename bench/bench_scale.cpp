@@ -34,6 +34,14 @@
 //     flash-crowd join, under EVERY coherence model; the run must
 //     converge and the indexed checkers must return clean verdicts.
 //
+//  9. snapshot_delta — page-granular state transfer: a trajectory-scale
+//     deployment with a large document suffers repeated sparse-update
+//     rejoins (caches crash and recover between small writes), run once
+//     with full-snapshot transfers (the seed behaviour,
+//     delta_snapshots=false) and once page-granularly. The restored
+//     documents must be byte-identical between the runs, and the
+//     delta run must ship at least 5x fewer state-transfer bytes.
+//
 // Usage: bench_scale [--smoke] [--out <path>]
 //   --smoke  tiny sizes; validates the harness (CI bitrot check)
 #include <chrono>
@@ -511,6 +519,10 @@ struct ChurnRow {
   std::uint64_t view_changes = 0;
   std::uint64_t client_rebinds = 0;
   std::uint64_t snapshot_cutovers = 0;
+  std::uint64_t delta_snapshots = 0;
+  std::uint64_t full_snapshots = 0;
+  std::uint64_t snapshot_pages_shipped = 0;
+  std::uint64_t snapshot_bytes_saved = 0;
   std::size_t events = 0;
   bool converged = false;
   bool model_ok = false;
@@ -661,6 +673,10 @@ ChurnRow run_churn(coherence::ObjectModel model, int mirrors, int caches,
   row.rejoins = bed.membership().stats().rejoins;
   row.view_changes = bed.membership().stats().view_changes;
   row.snapshot_cutovers = bed.metrics().snapshot_cutovers();
+  row.delta_snapshots = bed.metrics().delta_snapshots();
+  row.full_snapshots = bed.metrics().full_snapshots();
+  row.snapshot_pages_shipped = bed.metrics().snapshot_pages_shipped();
+  row.snapshot_bytes_saved = bed.metrics().snapshot_bytes_saved();
   for (const auto* u : users) row.client_rebinds += u->rebinds();
   row.events = bed.history().size();
   row.converged = bed.converged(kObj);
@@ -674,6 +690,154 @@ ChurnRow run_churn(coherence::ObjectModel model, int mirrors, int caches,
   }
   row.wall_s = seconds_since(start);
   return row;
+}
+
+// ---------------------------------------------------------------------
+// 9. Delta snapshots: sparse-update rejoins on a large document
+// ---------------------------------------------------------------------
+
+struct SnapshotDeltaRun {
+  double wall_s = 0;
+  std::uint64_t state_bytes = 0;  // subscribe/snapshot/delta wire traffic
+  std::uint64_t delta_transfers = 0;
+  std::uint64_t full_transfers = 0;
+  std::uint64_t pages_shipped = 0;
+  std::uint64_t bytes_saved = 0;
+  bool converged = false;
+  std::vector<util::Buffer> docs;  // per-store document encodes
+};
+
+struct SnapshotDeltaResult {
+  int stores = 0;
+  int pages = 0;
+  int page_bytes = 0;
+  int rounds = 0;
+  int rejoins = 0;
+  SnapshotDeltaRun full;
+  SnapshotDeltaRun delta;
+  double reduction = 0;  // full.state_bytes / delta.state_bytes
+  bool identical = false;
+};
+
+SnapshotDeltaRun run_snapshot_rejoin(bool delta_mode, int mirrors, int caches,
+                                     int pages, int page_bytes, int rounds,
+                                     int rejoins_per_round) {
+  TestbedOptions opts;
+  opts.seed = 61;
+  opts.record_history = false;
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  opts.delta_snapshots = delta_mode;
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+
+  core::ReplicationPolicy policy;  // PRAM push immediate partial
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+
+  auto& primary = bed.add_primary(kObj, policy);
+  std::vector<net::Address> mirror_addrs;
+  for (int i = 0; i < mirrors; ++i) {
+    mirror_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy)
+            .address());
+  }
+  bed.settle();
+  for (int i = 0; i < caches; ++i) {
+    bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy,
+                  mirror_addrs[i % mirror_addrs.size()]);
+  }
+  bed.settle();
+
+  // The document grows to production size AFTER the topology exists, so
+  // the (identical-cost) bootstrap snapshots stay out of the measurement.
+  const std::string payload(static_cast<std::size_t>(page_bytes), 'd');
+  for (int p = 0; p < pages; ++p) {
+    primary.seed("page" + std::to_string(p) + ".html",
+                 payload + std::to_string(p));
+    if (p % 16 == 0) bed.run_for(sim::SimDuration::millis(2));
+  }
+  bed.settle();
+  bed.metrics().reset();
+
+  const auto start = Clock::now();
+  util::Rng rng(opts.seed * 7 + 1);
+  for (int r = 0; r < rounds; ++r) {
+    // Rejoin storm with a sparse update in the middle: the caches go
+    // down, a couple of pages change while they are away, and their
+    // recovery re-bootstraps through the state-transfer path — a full
+    // snapshot of the whole (mostly unchanged) document vs a page delta.
+    std::vector<std::size_t> down;
+    for (int k = 0; k < rejoins_per_round; ++k) {
+      down.push_back(1 + static_cast<std::size_t>(mirrors) +
+                     static_cast<std::size_t>((r * rejoins_per_round + k) %
+                                              caches));
+      bed.crash_store(down.back());
+    }
+    bed.run_for(sim::SimDuration::millis(2));
+    for (int wv = 0; wv < 2; ++wv) {
+      primary.seed("page" + std::to_string(rng.below(pages)) + ".html",
+                   payload + "r" + std::to_string(r * 2 + wv));
+    }
+    bed.run_for(sim::SimDuration::millis(5));
+    for (const std::size_t idx : down) {
+      bed.recover_store(idx);
+      bed.run_for(sim::SimDuration::millis(5));
+    }
+    bed.settle();
+  }
+  bed.settle();
+
+  SnapshotDeltaRun out;
+  out.wall_s = seconds_since(start);
+  out.converged = bed.converged(kObj);
+  const auto& traffic = bed.metrics().traffic_by_type();
+  for (const auto type :
+       {msg::MsgType::kSubscribe, msg::MsgType::kSubscribeAck,
+        msg::MsgType::kSnapshot, msg::MsgType::kSnapshotDeltaRequest,
+        msg::MsgType::kSnapshotDeltaReply}) {
+    auto it = traffic.find(static_cast<std::uint8_t>(type));
+    if (it != traffic.end()) out.state_bytes += it->second.bytes;
+  }
+  out.delta_transfers = bed.metrics().delta_snapshots();
+  out.full_transfers = bed.metrics().full_snapshots();
+  out.pages_shipped = bed.metrics().snapshot_pages_shipped();
+  out.bytes_saved = bed.metrics().snapshot_bytes_saved();
+  for (const auto& s : bed.stores()) {
+    out.docs.push_back(s->document().encode_snapshot());
+  }
+  return out;
+}
+
+SnapshotDeltaResult run_snapshot_delta(bool smoke) {
+  const int mirrors = smoke ? 2 : 4;
+  const int caches = smoke ? 6 : 120;
+  const int pages = smoke ? 32 : 160;
+  const int page_bytes = smoke ? 512 : 3072;
+  const int rounds = smoke ? 4 : 12;
+  const int per_round = smoke ? 2 : 5;
+
+  SnapshotDeltaResult res;
+  res.stores = 1 + mirrors + caches;
+  res.pages = pages;
+  res.page_bytes = page_bytes;
+  res.rounds = rounds;
+  res.rejoins = rounds * per_round;
+  res.full = run_snapshot_rejoin(false, mirrors, caches, pages, page_bytes,
+                                 rounds, per_round);
+  res.delta = run_snapshot_rejoin(true, mirrors, caches, pages, page_bytes,
+                                  rounds, per_round);
+  res.reduction = res.delta.state_bytes > 0
+                      ? static_cast<double>(res.full.state_bytes) /
+                            static_cast<double>(res.delta.state_bytes)
+                      : 0.0;
+  res.identical = res.full.converged && res.delta.converged &&
+                  res.full.docs == res.delta.docs;
+  if (!res.identical) {
+    std::fprintf(stderr,
+                 "FATAL: delta-snapshot rejoin restored different state "
+                 "than the full-snapshot baseline\n");
+    std::exit(1);
+  }
+  return res;
 }
 
 // ---------------------------------------------------------------------
@@ -919,6 +1083,7 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const LoopbackRow& loopback, const MulticastRow& multicast,
                const HistoryBenchResult& hist,
                const std::vector<ChurnRow>& churn,
+               const SnapshotDeltaResult& sd,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -1013,7 +1178,10 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
         "\"ops\": %d, \"wall_s\": %.4f, \"crashes\": %llu, \"recoveries\": "
         "%llu, \"partitions\": %llu, \"heals\": %llu, \"joins\": %llu, "
         "\"evictions\": %llu, \"rejoins\": %llu, \"view_changes\": %llu, "
-        "\"client_rebinds\": %llu, \"snapshot_cutovers\": %llu, \"events\": "
+        "\"client_rebinds\": %llu, \"snapshot_cutovers\": %llu, "
+        "\"delta_snapshots\": %llu, \"full_snapshots\": %llu, "
+        "\"snapshot_pages_shipped\": %llu, \"snapshot_bytes_saved\": %llu, "
+        "\"events\": "
         "%zu, \"converged\": %s, \"model_ok\": %s, \"sessions_ok\": %s}%s\n",
         r.model.c_str(), r.stores, r.clients, r.ops, r.wall_s,
         static_cast<unsigned long long>(r.crashes),
@@ -1025,13 +1193,35 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
         static_cast<unsigned long long>(r.rejoins),
         static_cast<unsigned long long>(r.view_changes),
         static_cast<unsigned long long>(r.client_rebinds),
-        static_cast<unsigned long long>(r.snapshot_cutovers), r.events,
+        static_cast<unsigned long long>(r.snapshot_cutovers),
+        static_cast<unsigned long long>(r.delta_snapshots),
+        static_cast<unsigned long long>(r.full_snapshots),
+        static_cast<unsigned long long>(r.snapshot_pages_shipped),
+        static_cast<unsigned long long>(r.snapshot_bytes_saved), r.events,
         r.converged ? "true" : "false", r.model_ok ? "true" : "false",
         r.sessions_ok ? "true" : "false", i + 1 < churn.size() ? "," : "");
   }
   std::fprintf(f, "    ],\n    \"all_converged\": %s,\n    \"all_clean\": %s\n  },\n",
                churn_all_converged ? "true" : "false",
                churn_all_clean ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"snapshot_delta\": {\"stores\": %d, \"pages\": %d, "
+      "\"page_bytes\": %d, \"rounds\": %d, \"rejoins\": %d, "
+      "\"full_s\": %.4f, \"delta_s\": %.4f, \"speedup\": %.2f, "
+      "\"full_transfer_bytes\": %llu, \"delta_transfer_bytes\": %llu, "
+      "\"reduction\": %.2f, \"delta_transfers\": %llu, "
+      "\"full_fallbacks\": %llu, \"pages_shipped\": %llu, "
+      "\"bytes_saved\": %llu, \"identical\": %s},\n",
+      sd.stores, sd.pages, sd.page_bytes, sd.rounds, sd.rejoins,
+      sd.full.wall_s, sd.delta.wall_s, speedup(sd.full.wall_s, sd.delta.wall_s),
+      static_cast<unsigned long long>(sd.full.state_bytes),
+      static_cast<unsigned long long>(sd.delta.state_bytes), sd.reduction,
+      static_cast<unsigned long long>(sd.delta.delta_transfers),
+      static_cast<unsigned long long>(sd.delta.full_transfers),
+      static_cast<unsigned long long>(sd.delta.pages_shipped),
+      static_cast<unsigned long long>(sd.delta.bytes_saved),
+      sd.identical ? "true" : "false");
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -1155,6 +1345,19 @@ int run(bool smoke, const std::string& out_path) {
         r.model_ok, r.sessions_ok);
   }
 
+  std::printf("bench_scale: delta-snapshot sparse-update rejoins...\n");
+  const SnapshotDeltaResult sd = run_snapshot_delta(smoke);
+  std::printf(
+      "  %d stores, %d pages x %dB, %d rejoins: full %.3fs / %.1fKB, "
+      "delta %.3fs / %.1fKB (%.1fx fewer bytes), deltas=%llu "
+      "fallbacks=%llu identical=%d\n",
+      sd.stores, sd.pages, sd.page_bytes, sd.rejoins, sd.full.wall_s,
+      sd.full.state_bytes / 1024.0, sd.delta.wall_s,
+      sd.delta.state_bytes / 1024.0, sd.reduction,
+      static_cast<unsigned long long>(sd.delta.delta_transfers),
+      static_cast<unsigned long long>(sd.delta.full_transfers),
+      sd.identical);
+
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
   for (const auto model :
@@ -1177,7 +1380,7 @@ int run(bool smoke, const std::string& out_path) {
     return 1;
   }
   emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
-            hist, churn, rows);
+            hist, churn, sd, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -1213,6 +1416,15 @@ int run(bool smoke, const std::string& out_path) {
   // model violation in this clean scenario is a regression too.
   if (!hist.verdicts_equal || !hist.clean_ok) {
     std::fprintf(stderr, "FAIL: history checker pipeline regressed\n");
+    return 1;
+  }
+  // run_snapshot_delta already aborts on restored-state divergence; the
+  // byte win is the section's reason to exist, so gate it too.
+  if (!sd.identical || sd.reduction < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: delta snapshots identical=%d reduction=%.2f "
+                 "(want identical and >= 5x)\n",
+                 sd.identical, sd.reduction);
     return 1;
   }
   return 0;

@@ -113,17 +113,53 @@ void MembershipService::sweep() {
   }
 }
 
-void MembershipService::broadcast(ObjectId object) {
+void MembershipService::broadcast(ObjectId object, const Address* exclude) {
   ++stats_.view_changes;
   const View v = snapshot_view(object);
   std::vector<Address> targets;
-  for (const auto& m : v.members) targets.push_back(m.address);
+  for (const auto& m : v.members) {
+    if (exclude != nullptr && m.address == *exclude) continue;
+    targets.push_back(m.address);
+  }
   auto wit = watchers_.find(object);
   if (wit != watchers_.end()) {
     targets.insert(targets.end(), wit->second.begin(), wit->second.end());
   }
-  comm_.multicast_with(targets, msg::MsgType::kViewChange, object,
-                       [&](util::Writer& w) { v.encode(w); });
+
+  ObjectState& state = objects_[object];
+  // Diff broadcast: epoch + joined/left instead of the full member list.
+  // Only sound when the receivers can have seen the previous epoch —
+  // i.e. something was broadcast before and exactly one epoch elapsed
+  // since (admit() bumps the epoch without broadcasting only for the
+  // join path, which broadcasts immediately after).
+  const bool can_delta = options_.view_deltas && state.broadcast_epoch != 0 &&
+                         v.epoch == state.broadcast_epoch + 1;
+  if (can_delta) {
+    ViewDelta d;
+    d.object = object;
+    d.epoch = v.epoch;
+    for (const auto& m : v.members) {
+      bool had = false;
+      for (const auto& prev : state.broadcast_members) {
+        if (prev.address == m.address) {
+          had = true;
+          break;
+        }
+      }
+      if (!had) d.joined.push_back(m);
+    }
+    for (const auto& prev : state.broadcast_members) {
+      if (!v.contains(prev.address)) d.left.push_back(prev.address);
+    }
+    ++stats_.delta_broadcasts;
+    comm_.multicast_with(targets, msg::MsgType::kViewDelta, object,
+                         [&](util::Writer& w) { d.encode(w); });
+  } else {
+    comm_.multicast_with(targets, msg::MsgType::kViewChange, object,
+                         [&](util::Writer& w) { v.encode(w); });
+  }
+  state.broadcast_members = v.members;
+  state.broadcast_epoch = v.epoch;
 }
 
 void MembershipService::on_message(const Address& from,
@@ -135,7 +171,7 @@ void MembershipService::on_message(const Address& from,
       admit(env.object, m.contact, &added);
       if (added) {
         ++stats_.joins;
-        broadcast(env.object);
+        broadcast(env.object, &m.contact.address);
       }
       const View v = snapshot_view(env.object);
       comm_.reply_with(from, msg::MsgType::kMembershipJoinAck, env.object,
@@ -157,6 +193,15 @@ void MembershipService::on_message(const Address& from,
     case msg::MsgType::kMembershipLeave: {
       const LeaveMsg m = LeaveMsg::decode(env.body);
       remove(env.object, m.address, /*evicted=*/false);
+      return;
+    }
+    case msg::MsgType::kViewFetchRequest: {
+      // A receiver with an epoch gap (it missed delta broadcasts, e.g.
+      // across a partition) re-anchors on the full view.
+      ++stats_.view_fetches;
+      const View v = snapshot_view(env.object);
+      comm_.reply_with(from, msg::MsgType::kViewFetchReply, env.object,
+                       env.request_id, [&](util::Writer& w) { v.encode(w); });
       return;
     }
     case msg::MsgType::kMembershipWatch: {

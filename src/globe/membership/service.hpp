@@ -48,6 +48,10 @@ struct MembershipOptions {
   bool evict_primary = false;
   /// When set, joins/leaves/evictions keep the location tables in sync.
   naming::NamingServer* naming = nullptr;
+  /// Broadcast view changes as ViewDelta diffs (epoch + joined/left)
+  /// instead of full member lists; receivers with an epoch gap fetch
+  /// the full view. False restores the full-view broadcast baseline.
+  bool view_deltas = true;
 };
 
 /// Aggregate protocol counters (tests / benchmarks).
@@ -57,6 +61,8 @@ struct MembershipStats {
   std::uint64_t leaves = 0;
   std::uint64_t evictions = 0;
   std::uint64_t view_changes = 0;
+  std::uint64_t delta_broadcasts = 0;  // view changes sent as diffs
+  std::uint64_t view_fetches = 0;      // full-view fetches (epoch gaps)
 };
 
 class MembershipService {
@@ -90,6 +96,11 @@ class MembershipService {
   struct ObjectState {
     std::uint64_t epoch = 0;
     std::vector<MemberState> members;
+    // Members as of the last broadcast, for computing ViewDelta diffs.
+    // Empty epoch-0 state means nothing was broadcast yet (the first
+    // change always goes out as a full view).
+    std::vector<naming::ContactPoint> broadcast_members;
+    std::uint64_t broadcast_epoch = 0;
   };
 
   void on_message(const Address& from, const msg::EnvelopeView& env);
@@ -97,7 +108,10 @@ class MembershipService {
              bool* added);
   void remove(ObjectId object, const Address& addr, bool evicted);
   void sweep();
-  void broadcast(ObjectId object);
+  /// `exclude` suppresses the broadcast to one member — a fresh joiner
+  /// whose join ack already carries the full view (a delta would only
+  /// trigger a redundant full-view fetch at its 0-epoch base).
+  void broadcast(ObjectId object, const Address* exclude = nullptr);
   [[nodiscard]] View snapshot_view(ObjectId object) const;
   [[nodiscard]] util::SimTime now() const {
     return sim_ != nullptr ? sim_->now() : util::SimTime{};

@@ -92,6 +92,86 @@ struct View {
   return best;
 }
 
+/// kViewDelta body: one epoch step expressed as a diff — the members that
+/// joined and the addresses that left since the previous epoch — instead
+/// of the full membership list. At high replica counts this removes the
+/// O(members) amplification of broadcasting every view change to every
+/// member and watcher. A receiver applies the delta onto its cached view
+/// when the epoch is contiguous; on a gap (it missed deltas) it fetches
+/// the full view with kViewFetchRequest.
+struct ViewDelta {
+  ObjectId object = 0;
+  std::uint64_t epoch = 0;  // the epoch AFTER this change
+  std::vector<naming::ContactPoint> joined;
+  std::vector<net::Address> left;
+
+  /// The shared receiver rule: this diff is applicable iff the receiver
+  /// has a base (epoch != 0), the base is current (`base.epoch ==
+  /// current_epoch`), and this diff is the next epoch. On success `out`
+  /// is the new view; on failure the receiver must re-anchor with a
+  /// full-view fetch (kViewFetchRequest). Both stores and watching
+  /// clients route through this, so the contiguity policy lives once.
+  [[nodiscard]] bool try_apply(const View& base, std::uint64_t current_epoch,
+                               View* out) const {
+    if (current_epoch == 0 || epoch != current_epoch + 1 ||
+        base.epoch != current_epoch) {
+      return false;
+    }
+    *out = base;
+    apply_to(*out);
+    return true;
+  }
+
+  /// Applies this diff onto `base` (the receiver's cached previous
+  /// view), producing the members of `epoch`.
+  void apply_to(View& base) const {
+    for (const net::Address& a : left) {
+      std::erase_if(base.members, [&](const naming::ContactPoint& m) {
+        return m.address == a;
+      });
+    }
+    for (const naming::ContactPoint& c : joined) {
+      if (!base.contains(c.address)) base.members.push_back(c);
+    }
+    base.object = object;
+    base.epoch = epoch;
+  }
+
+  void encode(util::Writer& w) const {
+    w.u64(object);
+    w.varint(epoch);
+    w.varint(joined.size());
+    for (const auto& c : joined) c.encode(w);
+    w.varint(left.size());
+    for (const auto& a : left) {
+      w.u32(a.node);
+      w.u16(a.port);
+    }
+  }
+
+  static ViewDelta decode(util::BytesView wire) {
+    util::Reader r(wire);
+    ViewDelta d;
+    d.object = r.u64();
+    d.epoch = r.varint();
+    const std::uint64_t nj = r.varint();
+    d.joined.reserve(nj);
+    for (std::uint64_t i = 0; i < nj; ++i) {
+      d.joined.push_back(naming::ContactPoint::decode(r));
+    }
+    const std::uint64_t nl = r.varint();
+    d.left.reserve(nl);
+    for (std::uint64_t i = 0; i < nl; ++i) {
+      net::Address a;
+      a.node = r.u32();
+      a.port = r.u16();
+      d.left.push_back(a);
+    }
+    r.expect_end();
+    return d;
+  }
+};
+
 // ---------------------------------------------------------------------
 // Wire bodies of the membership protocol (envelope types 24..29).
 // ---------------------------------------------------------------------

@@ -51,6 +51,23 @@ class MetricsSink {
   /// transfer instead of a delta — the compaction policy's cost signal.
   void record_snapshot_cutover() { ++snapshot_cutovers_; }
 
+  /// A state transfer was served page-granularly: `pages` page entries
+  /// (plus drops) were shipped, `shipped_bytes` on the wire, where a
+  /// full snapshot would have cost `full_bytes`.
+  void record_delta_snapshot(std::uint64_t pages, std::uint64_t shipped_bytes,
+                             std::uint64_t full_bytes) {
+    ++delta_snapshots_;
+    snapshot_pages_shipped_ += pages;
+    if (full_bytes > shipped_bytes) {
+      snapshot_bytes_saved_ += full_bytes - shipped_bytes;
+    }
+  }
+  /// A *requested* state transfer shipped the whole document (fresh
+  /// bootstrap, forced cutover for a non-delta requester, or a delta
+  /// request that fell back past the horizon). Push-mode kSnapshot
+  /// propagation is the policy's normal traffic and is not counted.
+  void record_full_snapshot() { ++full_snapshots_; }
+
   [[nodiscard]] const TypeTraffic& total_traffic() const { return total_; }
   [[nodiscard]] const std::map<std::uint8_t, TypeTraffic>& traffic_by_type()
       const {
@@ -79,6 +96,18 @@ class MetricsSink {
   [[nodiscard]] std::uint64_t snapshot_cutovers() const {
     return snapshot_cutovers_;
   }
+  [[nodiscard]] std::uint64_t delta_snapshots() const {
+    return delta_snapshots_;
+  }
+  [[nodiscard]] std::uint64_t full_snapshots() const {
+    return full_snapshots_;
+  }
+  [[nodiscard]] std::uint64_t snapshot_pages_shipped() const {
+    return snapshot_pages_shipped_;
+  }
+  [[nodiscard]] std::uint64_t snapshot_bytes_saved() const {
+    return snapshot_bytes_saved_;
+  }
 
   void reset() { *this = MetricsSink{}; }
 
@@ -94,6 +123,10 @@ class MetricsSink {
   std::uint64_t stale_serves_ = 0;
   std::uint64_t log_compactions_ = 0;
   std::uint64_t snapshot_cutovers_ = 0;
+  std::uint64_t delta_snapshots_ = 0;
+  std::uint64_t full_snapshots_ = 0;
+  std::uint64_t snapshot_pages_shipped_ = 0;
+  std::uint64_t snapshot_bytes_saved_ = 0;
 };
 
 }  // namespace globe::metrics

@@ -29,6 +29,11 @@ const char* to_string(MsgType t) {
     case MsgType::kMembershipHeartbeat: return "MembershipHeartbeat";
     case MsgType::kMembershipWatch: return "MembershipWatch";
     case MsgType::kViewChange: return "ViewChange";
+    case MsgType::kSnapshotDeltaRequest: return "SnapshotDeltaRequest";
+    case MsgType::kSnapshotDeltaReply: return "SnapshotDeltaReply";
+    case MsgType::kViewDelta: return "ViewDelta";
+    case MsgType::kViewFetchRequest: return "ViewFetchRequest";
+    case MsgType::kViewFetchReply: return "ViewFetchReply";
   }
   return "Unknown";
 }

@@ -56,6 +56,14 @@ enum class MsgType : std::uint8_t {
   kMembershipHeartbeat = 27,  // liveness beacon (also re-admits after heal)
   kMembershipWatch = 28,      // client asks for view-change pushes
   kViewChange = 29,           // new epoch broadcast to members + watchers
+  // Page-granular delta snapshots (state transfer for receivers that
+  // already hold most of the document).
+  kSnapshotDeltaRequest = 30,  // receiver's page-stamp summary or floor
+  kSnapshotDeltaReply = 31,    // differing pages + drops (or full fallback)
+  // Membership view diffs (epoch + joined/left instead of full views).
+  kViewDelta = 32,          // incremental view-change broadcast
+  kViewFetchRequest = 33,   // full-view fetch after an epoch gap
+  kViewFetchReply = 34,     // reply: the current view
 };
 
 [[nodiscard]] const char* to_string(MsgType t);
@@ -72,6 +80,8 @@ enum class MsgType : std::uint8_t {
     case MsgType::kNameReply:
     case MsgType::kLocateReply:
     case MsgType::kMembershipJoinAck:
+    case MsgType::kSnapshotDeltaReply:
+    case MsgType::kViewFetchReply:
       return true;
     default:
       return false;

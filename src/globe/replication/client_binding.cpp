@@ -21,17 +21,46 @@ ClientBinding::ClientBinding(const TransportFactory& factory,
     options_.write_store = options_.read_store;
   }
   if (options_.membership.valid()) {
-    // Watch the object's replica view: the membership service pushes
-    // kViewChange on every epoch, and the binding re-resolves its stores
-    // when one of them leaves the view.
+    // Watch the object's replica view: the membership service pushes a
+    // view change on every epoch — as a full view, or as a ViewDelta
+    // diff applied onto the cached previous view — and the binding
+    // re-resolves its stores when one of them leaves the view.
     comm_.set_delivery_handler(
         [this](const Address&, const msg::EnvelopeView& env) {
           if (env.type == msg::MsgType::kViewChange) {
             on_view_change(membership::ViewMsg::decode(env.body).view);
+          } else if (env.type == msg::MsgType::kViewDelta) {
+            on_view_delta(membership::ViewDelta::decode(env.body));
           }
         });
     announce_watch(/*subscribe=*/true);
   }
+}
+
+void ClientBinding::on_view_delta(const membership::ViewDelta& delta) {
+  if (delta.object != options_.object || delta.epoch <= view_epoch_) return;
+  membership::View next;
+  if (delta.try_apply(view_, view_epoch_, &next)) {
+    on_view_change(next);
+    return;
+  }
+  // Epoch gap or no base yet (a watcher's first push is always a delta
+  // it cannot apply): re-anchor on the full view.
+  fetch_full_view();
+}
+
+void ClientBinding::fetch_full_view() {
+  if (view_fetch_in_flight_) return;  // collapse gap-burst re-anchors
+  view_fetch_in_flight_ = true;
+  comm_.request_with(
+      options_.membership, msg::MsgType::kViewFetchRequest, options_.object,
+      [](util::Writer&) {},
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        view_fetch_in_flight_ = false;
+        if (!ok) return;
+        on_view_change(membership::ViewMsg::decode(env.body).view);
+      },
+      sim::SimDuration::millis(250), /*retries=*/2);
 }
 
 ClientBinding::~ClientBinding() {
@@ -60,6 +89,7 @@ void ClientBinding::on_operation_failed() {
 void ClientBinding::on_view_change(const membership::View& view) {
   if (view.object != options_.object || view.epoch <= view_epoch_) return;
   view_epoch_ = view.epoch;
+  view_ = view;  // the base the next ViewDelta diff applies onto
   if (view.members.empty()) return;
   const bool multi_master =
       options_.object_model == ObjectModel::kCausal ||
@@ -322,6 +352,10 @@ void ClientBinding::remove(const std::string& page, WriteHandler cb) {
 }
 
 void ClientBinding::get_document(DocumentHandler cb) {
+  if (options_.delta_snapshots) {
+    get_document_delta(std::move(cb));
+    return;
+  }
   ClientRequest req = base_request(msg::Invocation::get_document());
   comm_.request_with(options_.read_store, msg::MsgType::kInvokeRequest,
                 options_.object,
@@ -346,6 +380,52 @@ void ClientBinding::get_document(DocumentHandler cb) {
                   cb(std::move(res));
                 },
                 options_.timeout, options_.retries);
+}
+
+void ClientBinding::get_document_delta(DocumentHandler cb) {
+  // Fetch-miss restore through the delta-snapshot path: ship the cached
+  // document's page summary (or a bare floor while the cache mirrors the
+  // bound store's lineage) and receive only the pages that changed.
+  SnapshotDeltaRequest req;
+  if (doc_source_ != kInvalidStore &&
+      doc_source_addr_ == options_.read_store) {
+    // The cache is only ever mutated by these transfers, so while the
+    // binding is unchanged the last version is an exact floor.
+    req.mode = SnapshotDeltaRequest::Mode::kFloor;
+    req.floor_source = doc_source_;
+    req.floor_version = doc_source_version_;
+  } else {
+    req.mode = SnapshotDeltaRequest::Mode::kSummary;
+    req.have = doc_cache_.summarize();
+  }
+  comm_.request_with(
+      options_.read_store, msg::MsgType::kSnapshotDeltaRequest,
+      options_.object, [&](util::Writer& w) { req.encode(w); },
+      [this, cb = std::move(cb)](bool ok, const Address&,
+                                 const msg::EnvelopeView& env) {
+        DocumentResult res;
+        if (!ok) {
+          res.error = "request timed out";
+          on_operation_failed();
+          cb(std::move(res));
+          return;
+        }
+        StateTransfer::View st = StateTransfer::decode_view(env.body);
+        if (st.full) {
+          doc_cache_.restore(st.snapshot);
+        } else {
+          doc_cache_.apply_delta(st.delta);
+        }
+        doc_source_ = st.source;
+        doc_source_addr_ = options_.read_store;
+        doc_source_version_ = st.version;
+        read_set_.merge(st.clock);
+        res.ok = true;
+        res.store = st.source;
+        res.document = doc_cache_;
+        cb(std::move(res));
+      },
+      options_.timeout, options_.retries);
 }
 
 }  // namespace globe::replication

@@ -55,6 +55,12 @@ struct BindOptions {
   net::Address membership;
   /// Store layer preferred when re-resolving reads after a view change.
   naming::StoreClass preferred_layer = naming::StoreClass::kClientInitiated;
+  /// Page-granular document fetches: get_document() keeps a client-side
+  /// document cache and asks the store for a delta against it (the
+  /// binding's page summary, or a bare version floor while the cache
+  /// mirrors the store's lineage) instead of re-fetching the whole
+  /// document every time. False restores the seed full-fetch behaviour.
+  bool delta_snapshots = true;
 };
 
 struct ReadResult {
@@ -146,7 +152,16 @@ class ClientBinding {
   [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
   [[nodiscard]] std::uint64_t rebinds() const { return rebinds_; }
 
+  /// Client-side document cache maintained by delta-mode get_document()
+  /// (tests / examples).
+  [[nodiscard]] const web::WebDocument& document_cache() const {
+    return doc_cache_;
+  }
+
  private:
+  void get_document_delta(DocumentHandler cb);
+  void on_view_delta(const membership::ViewDelta& delta);
+  void fetch_full_view();
   ClientRequest base_request(msg::Invocation inv);
   void send_write(msg::Invocation inv, WriteHandler cb);
   void transmit_write(ClientRequest req, WriteHandler cb);
@@ -196,6 +211,19 @@ class ClientBinding {
 
   std::uint64_t view_epoch_ = 0;
   std::uint64_t rebinds_ = 0;
+  // Cached view, the base ViewDelta diffs apply onto (valid when its
+  // epoch equals view_epoch_).
+  membership::View view_;
+  bool view_fetch_in_flight_ = false;  // collapse gap-burst re-anchors
+
+  // Delta-mode document cache plus the lineage of its last transfer:
+  // which store sent it, at which document version, and from which
+  // read-store binding. While the binding is unchanged, the next fetch
+  // is a bare floor request.
+  web::WebDocument doc_cache_;
+  StoreId doc_source_ = kInvalidStore;
+  net::Address doc_source_addr_;
+  std::uint64_t doc_source_version_ = 0;
 
   coherence::History* history_;
   metrics::MetricsSink* metrics_;

@@ -25,6 +25,7 @@
 #include "globe/msg/invocation.hpp"
 #include "globe/net/address.hpp"
 #include "globe/util/buffer.hpp"
+#include "globe/web/document.hpp"
 #include "globe/web/record_batch.hpp"
 #include "globe/web/write_record.hpp"
 
@@ -250,9 +251,11 @@ struct UpdateMsg {
   }
 };
 
-/// kSnapshot / kSubscribeAck body: full-state transfer. The document is
+/// kSnapshot body (push-mode full coherence transfer): the document is
 /// the sender's cached snapshot, shared across every concurrent receiver
-/// (one encode per document version, not per message).
+/// (one encode per document version, not per message). Requested state
+/// transfers (kSubscribeAck, kSnapshotDeltaReply) use StateTransfer
+/// below instead, which can be page-granular.
 struct SnapshotMsg {
   SharedBuffer document;  // WebDocument::snapshot()
   VectorClock clock;
@@ -294,6 +297,118 @@ struct SnapshotMsg {
     return SnapshotMsg{
         std::make_shared<const Buffer>(util::to_buffer(v.document)),
         std::move(v.clock), v.gseq};
+  }
+};
+
+/// kSnapshotDeltaRequest body: "bring me to your exact state, shipping
+/// only what I am missing". Two modes:
+///
+///   * kSummary — the receiver's full page-stamp summary; the responder
+///     diffs it against its pages and ships only the difference. Always
+///     exact, regardless of how the receiver diverged.
+///   * kFloor — the receiver mirrors the responder's document lineage at
+///     `floor_version` (it restored a transfer from `floor_source` and
+///     has not mutated since): the responder ships only pages and
+///     tombstones stamped after the floor. Cheapest request; the
+///     responder falls back to a full snapshot when the floor predates
+///     its tombstone horizon or the lineage does not match — mirroring
+///     WriteLog::note_snapshot semantics.
+struct SnapshotDeltaRequest {
+  enum class Mode : std::uint8_t { kSummary = 0, kFloor = 1 };
+
+  Mode mode = Mode::kSummary;
+  StoreId floor_source = kInvalidStore;  // kFloor: lineage owner
+  std::uint64_t floor_version = 0;       // kFloor: last transfer's version
+  std::vector<web::PageStamp> have;      // kSummary: live-page stamps
+
+  void encode(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(mode));
+    w.u32(floor_source);
+    w.varint(floor_version);
+    w.varint(have.size());
+    for (const auto& s : have) s.encode(w);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
+    return w.take();
+  }
+
+  static SnapshotDeltaRequest decode(Reader& r) {
+    SnapshotDeltaRequest m;
+    m.mode = static_cast<Mode>(r.u8());
+    m.floor_source = r.u32();
+    m.floor_version = r.varint();
+    const std::uint64_t n = r.varint();
+    m.have.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.have.push_back(web::PageStamp::decode(r));
+    }
+    return m;
+  }
+
+  static SnapshotDeltaRequest decode(BytesView wire) {
+    Reader r(wire);
+    SnapshotDeltaRequest m = decode(r);
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kSnapshotDeltaReply / kSubscribeAck body: one state transfer, either
+/// page-granular (`delta`, produced by WebDocument::encode_delta*) or a
+/// full snapshot fallback. Carries the sender's store id and document
+/// version so the receiver can use the cheap floor mode next time.
+struct StateTransfer {
+  bool full = true;
+  SharedBuffer snapshot;  // when full: the sender's cached snapshot
+  Buffer delta;           // when !full: encoded page delta
+  VectorClock clock;
+  std::uint64_t gseq = 0;
+  StoreId source = kInvalidStore;
+  std::uint64_t version = 0;  // sender's document version
+
+  void encode(Writer& w) const {
+    w.boolean(full);
+    w.bytes(util::view_of(snapshot));
+    w.bytes(BytesView(delta));
+    clock.encode(w);
+    w.varint(gseq);
+    w.u32(source);
+    w.varint(version);
+  }
+
+  [[nodiscard]] Buffer encode() const {
+    Writer w;
+    encode(w);
+    return w.take();
+  }
+
+  /// Borrowed decode: `snapshot` and `delta` view the receive buffer —
+  /// both are consumed immediately by the restore/apply_delta path.
+  struct View {
+    bool full = true;
+    BytesView snapshot;
+    BytesView delta;
+    VectorClock clock;
+    std::uint64_t gseq = 0;
+    StoreId source = kInvalidStore;
+    std::uint64_t version = 0;
+  };
+
+  static View decode_view(BytesView wire) {
+    Reader r(wire);
+    View m;
+    m.full = r.boolean();
+    m.snapshot = r.bytes();
+    m.delta = r.bytes();
+    m.clock = VectorClock::decode(r);
+    m.gseq = r.varint();
+    m.source = r.u32();
+    m.version = r.varint();
+    r.expect_end();
+    return m;
   }
 };
 
@@ -364,6 +479,11 @@ struct FetchRequest {
   std::vector<std::string> pages;    // restrict to these pages (empty = all)
   bool validate_only = false;        // baseline: If-Modified-Since check
   std::uint64_t have_lamport = 0;    // version held, for validate_only
+  /// The requester can take a page-granular delta snapshot instead of a
+  /// full restore: on a cutover the responder replies `need_snapshot`
+  /// (no payload) and the requester follows up with a
+  /// kSnapshotDeltaRequest carrying its page summary.
+  bool accepts_delta = false;
 
   void encode(Writer& w) const {
     have_clock.encode(w);
@@ -373,6 +493,7 @@ struct FetchRequest {
     for (const auto& p : pages) w.str(p);
     w.boolean(validate_only);
     w.varint(have_lamport);
+    w.boolean(accepts_delta);
   }
 
   [[nodiscard]] Buffer encode() const {
@@ -392,6 +513,7 @@ struct FetchRequest {
     for (std::uint64_t i = 0; i < n; ++i) m.pages.push_back(r.str());
     m.validate_only = r.boolean();
     m.have_lamport = r.varint();
+    m.accepts_delta = r.boolean();
     r.expect_end();
     return m;
   }
@@ -405,6 +527,11 @@ struct FetchReply {
   VectorClock clock;
   std::uint64_t gseq = 0;
   bool not_modified = false;  // validate_only result
+  /// Cutover deferred: the requester is behind the horizon, asked for
+  /// delta snapshots (FetchRequest::accepts_delta), and should follow up
+  /// with a kSnapshotDeltaRequest instead of receiving the full
+  /// document here.
+  bool need_snapshot = false;
 
   void encode(Writer& w) const {
     w.boolean(full);
@@ -413,6 +540,7 @@ struct FetchReply {
     clock.encode(w);
     w.varint(gseq);
     w.boolean(not_modified);
+    w.boolean(need_snapshot);
   }
 
   [[nodiscard]] Buffer encode() const {
@@ -430,6 +558,7 @@ struct FetchReply {
     VectorClock clock;
     std::uint64_t gseq = 0;
     bool not_modified = false;
+    bool need_snapshot = false;
   };
 
   static View decode_view(BytesView wire) {
@@ -441,6 +570,7 @@ struct FetchReply {
     m.clock = VectorClock::decode(r);
     m.gseq = r.varint();
     m.not_modified = r.boolean();
+    m.need_snapshot = r.boolean();
     r.expect_end();
     return m;
   }
@@ -454,20 +584,29 @@ struct FetchReply {
     m.clock = std::move(v.clock);
     m.gseq = v.gseq;
     m.not_modified = v.not_modified;
+    m.need_snapshot = v.need_snapshot;
     return m;
   }
 };
 
 /// kSubscribe body: a store joins the propagation graph under a parent.
+/// The ack is a StateTransfer. A re-subscriber that already holds state
+/// (view re-parenting, post-eviction re-admission, crash recovery) sets
+/// `want_delta` and embeds its SnapshotDeltaRequest so the bootstrap
+/// ships only the pages it is missing.
 struct SubscribeMsg {
   net::Address subscriber;
   StoreId store_id = kInvalidStore;
   std::uint8_t store_class = 0;
+  bool want_delta = false;
+  SnapshotDeltaRequest delta_req;  // meaningful when want_delta
 
   void encode(Writer& w) const {
     encode_address(w, subscriber);
     w.u32(store_id);
     w.u8(store_class);
+    w.boolean(want_delta);
+    if (want_delta) delta_req.encode(w);
   }
 
   [[nodiscard]] Buffer encode() const {
@@ -482,6 +621,8 @@ struct SubscribeMsg {
     m.subscriber = decode_address(r);
     m.store_id = r.u32();
     m.store_class = r.u8();
+    m.want_delta = r.boolean();
+    if (m.want_delta) m.delta_req = SnapshotDeltaRequest::decode(r);
     r.expect_end();
     return m;
   }

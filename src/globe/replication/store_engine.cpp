@@ -227,11 +227,17 @@ void StoreEngine::on_message(const Address& from,
     case msg::MsgType::kAntiEntropyRequest:
       handle_anti_entropy(from, env);
       return;
+    case msg::MsgType::kSnapshotDeltaRequest:
+      handle_snapshot_delta_request(from, env);
+      return;
     case msg::MsgType::kPolicyUpdate:
       handle_policy_update(from, env);
       return;
     case msg::MsgType::kViewChange:
       apply_view(membership::ViewMsg::decode(env.body).view);
+      return;
+    case msg::MsgType::kViewDelta:
+      handle_view_delta(env);
       return;
     default:
       GLOBE_LOG_ERROR("store", "store %u: unexpected message type %s",
@@ -931,6 +937,7 @@ void StoreEngine::pull_from_upstream() {
   fetch.have_gseq = fetch_gseq_floor();
   fetch.want_full =
       config_.policy.coherence_transfer == CoherenceTransfer::kFull;
+  fetch.accepts_delta = config_.delta_snapshots;
   comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
                      config_.object,
                      [&](util::Writer& w) { fetch.encode(w); },
@@ -953,6 +960,7 @@ void StoreEngine::demand_fetch(std::vector<std::string> pages) {
       (fetch.pages.empty() &&
        config_.policy.access_transfer == AccessTransfer::kFull &&
        config_.policy.propagation == Propagation::kInvalidate);
+  fetch.accepts_delta = config_.delta_snapshots;
   // Demand-updates must survive lossy links (Section 4.2: they are the
   // retransmission mechanism), so the request itself carries a timeout
   // and retries.
@@ -978,6 +986,12 @@ void StoreEngine::demand_fetch(std::vector<std::string> pages) {
 
 void StoreEngine::apply_fetch_reply(FetchReply::View reply) {
   if (reply.not_modified) return;
+  if (reply.need_snapshot) {
+    // Cutover deferred for a delta-snapshot requester: ship our page
+    // summary (or floor) and receive only what we are missing.
+    request_snapshot_delta();
+    return;
+  }
   if (reply.full) {
     // Snapshot cutover: restore straight from the borrowed view — the
     // document bytes are never copied into an intermediate message.
@@ -1016,6 +1030,13 @@ void StoreEngine::subscribe_to_upstream() {
   const bool timed = config_.membership.valid();
   const bool resubscribe = ready_;
   if (resubscribe) ++resubscribes_;
+  // A re-subscriber already holds state (view re-parenting, rejoin after
+  // eviction, crash recovery): with delta snapshots it ships what it has
+  // and receives only the difference, instead of the whole document.
+  if (resubscribe && config_.delta_snapshots) {
+    sub.want_delta = true;
+    sub.delta_req = make_delta_request(config_.upstream);
+  }
   comm_.request_with(
       config_.upstream, msg::MsgType::kSubscribe, config_.object,
       [&](util::Writer& w) { sub.encode(w); },
@@ -1031,22 +1052,22 @@ void StoreEngine::subscribe_to_upstream() {
           return;
         }
         subscribe_retry_budget_ = 50;
-        SnapshotMsg::View snap = SnapshotMsg::decode_view(env.body);
+        StateTransfer::View snap = StateTransfer::decode_view(env.body);
         if (resubscribe) {
-          // Re-subscription of a store that already holds state (view
-          // re-parenting, post-eviction re-admission, crash recovery):
-          // the snapshot merges forward-only, and a resync round closes
-          // whatever the snapshot could not prove (e.g. multi-master
-          // divergence where neither clock dominates).
-          apply_snapshot(snap.document, snap.clock, snap.gseq);
+          // Re-subscription of a store that already holds state: the
+          // transfer (full or page-granular) merges forward-only, and a
+          // resync round closes whatever it could not prove (e.g.
+          // multi-master divergence where neither clock dominates).
+          apply_state_transfer(snap);
           resync();
           return;
         }
-        semantics_.restore(snap.document);
+        semantics_.restore(snap.snapshot);
         applied_clock_.merge(snap.clock);
         applied_gseq_ = std::max(applied_gseq_, snap.gseq);
         log_.note_snapshot(snap.clock, snap.gseq,
                            config_.policy.model == ObjectModel::kSequential);
+        note_transfer_lineage(snap.source, snap.version);
         record_snapshot_event();
         std::vector<web::WriteRecord> ready;
         orderer_->reset_to(applied_clock_, applied_gseq_, ready);
@@ -1109,6 +1130,7 @@ void StoreEngine::apply_view(const membership::View& view) {
   // our upstream may have dropped us as a subscriber.
   const bool jumped = view_epoch_ != 0 && view.epoch > view_epoch_ + 1;
   view_epoch_ = view.epoch;
+  view_ = view;  // the base the next ViewDelta diff applies onto
 
   // Members of the PREVIOUS view that the new view lacks have left the
   // replica set (eviction, crash, graceful leave): they stop receiving
@@ -1152,6 +1174,37 @@ void StoreEngine::apply_view(const membership::View& view) {
   }
 }
 
+void StoreEngine::handle_view_delta(const msg::EnvelopeView& env) {
+  const membership::ViewDelta d = membership::ViewDelta::decode(env.body);
+  if (d.object != config_.object || d.epoch <= view_epoch_) return;
+  membership::View next;
+  if (d.try_apply(view_, view_epoch_, &next)) {
+    apply_view(next);
+    return;
+  }
+  // Epoch gap (we missed deltas — evicted during a partition, or the
+  // datagram was lost) or no base yet: re-anchor on the full view.
+  // apply_view then sees the jump and resyncs as before.
+  fetch_full_view();
+}
+
+void StoreEngine::fetch_full_view() {
+  if (!config_.membership.valid() || view_fetch_in_flight_) return;
+  // One fetch at a time: a churn burst delivers several gapped deltas
+  // inside one round trip, and each would otherwise trigger its own
+  // full-view request — the amplification deltas exist to avoid.
+  view_fetch_in_flight_ = true;
+  comm_.request_with(
+      config_.membership, msg::MsgType::kViewFetchRequest, config_.object,
+      [](util::Writer&) {},
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        view_fetch_in_flight_ = false;
+        if (!ok) return;  // the next broadcast (or heartbeat) retries
+        apply_view(membership::ViewMsg::decode(env.body).view);
+      },
+      sim::SimDuration::millis(250), /*retries=*/2);
+}
+
 void StoreEngine::resync() {
   if (config_.is_primary || !ready_ || !alive_ || departed_) return;
   demand_retry_budget_ = 100;  // re-arm: a view event is fresh progress
@@ -1178,6 +1231,7 @@ void StoreEngine::crash() {
   lazy_queues_.clear();
   lazy_dirty_ = false;
   fetch_in_flight_ = false;
+  view_fetch_in_flight_ = false;
   unparking_ = false;
 }
 
@@ -1284,6 +1338,41 @@ void StoreEngine::apply_snapshot(util::BytesView document,
                      (clock != applied_clock_ || gseq > applied_gseq_);
   if (!newer && !(gseq > applied_gseq_)) return;
   semantics_.restore(document);
+  finish_state_adoption(clock, gseq);
+}
+
+void StoreEngine::apply_state_transfer(const StateTransfer::View& st) {
+  // Only move forward, exactly like apply_snapshot: a transfer that
+  // proves nothing new is skipped (the resync round closes the rest).
+  const bool newer = st.clock.dominates(applied_clock_) &&
+                     (st.clock != applied_clock_ || st.gseq > applied_gseq_);
+  if (!newer && !(st.gseq > applied_gseq_)) return;
+  if (st.full) {
+    semantics_.restore(st.snapshot);
+  } else {
+    // Page-granular adoption: shipped pages overwrite, drops erase and
+    // leave tombstones. The result is byte-identical to restoring the
+    // sender's full snapshot.
+    semantics_.document().apply_delta(st.delta);
+  }
+  // Lineage must snapshot the document version BEFORE the adoption tail
+  // runs: finish_state_adoption can flush gated/buffered records into
+  // the document, after which we no longer byte-mirror the sender and a
+  // later floor request would wrongly claim we do.
+  note_transfer_lineage(st.source, st.version);
+  finish_state_adoption(st.clock, st.gseq);
+}
+
+void StoreEngine::note_transfer_lineage(StoreId source,
+                                        std::uint64_t version) {
+  snap_source_ = source;
+  snap_source_addr_ = config_.upstream;
+  snap_source_version_ = version;
+  snap_doc_version_ = semantics_.document().version();
+}
+
+void StoreEngine::finish_state_adoption(const coherence::VectorClock& clock,
+                                        std::uint64_t gseq) {
   applied_clock_.merge(clock);
   applied_gseq_ = std::max(applied_gseq_, gseq);
   known_clock_.merge(clock);
@@ -1405,12 +1494,26 @@ std::vector<web::WriteRecord> StoreEngine::state_as_records() const {
   // page's last writer, total-order position, and Lamport stamp travel
   // with it). Used when a peer is behind the log's compaction horizon:
   // unlike a restore-snapshot, these merge commutatively through the
-  // peer's orderer. Pages deleted before compaction are not represented
-  // — the usual tombstone-less LWW limitation, noted in docs/perf.md.
+  // peer's orderer. Pages deleted before compaction travel as delete
+  // records reconstructed from the document's tombstones, so a peer
+  // still holding the stale page drops it instead of resurrecting it —
+  // this closes the tombstone-less LWW caveat (docs/perf.md).
+  const web::WebDocument& doc = semantics_.document();
   std::vector<web::WriteRecord> out;
-  const auto pages = semantics_.document().page_names();
-  out.reserve(pages.size());
+  const auto pages = doc.page_names();
+  out.reserve(pages.size() + doc.tombstones().size());
   for (const auto& page : pages) out.push_back(record_for_page(page));
+  for (const auto& [page, t] : doc.tombstones()) {
+    if (!t.writer.valid()) continue;  // deletion of unknown identity
+    web::WriteRecord rec;
+    rec.op = web::WriteOp::kDelete;
+    rec.page = page;
+    rec.wid = t.writer;
+    rec.lamport = t.lamport;
+    rec.global_seq = t.global_seq;
+    rec.issued_at_us = t.deleted_at_us;
+    out.push_back(std::move(rec));
+  }
   return out;
 }
 
@@ -1467,8 +1570,21 @@ void StoreEngine::handle_fetch_request(const Address& from,
     if (!m.want_full && metrics_ != nullptr) {
       metrics_->record_snapshot_cutover();
     }
-    rep.full = true;
-    rep.snapshot = semantics_.snapshot();
+    if (m.accepts_delta && !m.want_full) {
+      // Deferred cutover: the requester takes page-granular snapshots —
+      // it follows up with its page summary (kSnapshotDeltaRequest) and
+      // receives only the pages it is missing.
+      rep.need_snapshot = true;
+    } else {
+      rep.full = true;
+      rep.snapshot = semantics_.snapshot();
+      // Routine want_full polls are the policy's normal transfer
+      // traffic; only the forced cutover counts as a full state
+      // transfer (same split as record_snapshot_cutover above).
+      if (!m.want_full && metrics_ != nullptr) {
+        metrics_->record_full_snapshot();
+      }
+    }
   } else {
     rep.records = records_since(m.have_clock, m.have_gseq, m.pages);
   }
@@ -1486,12 +1602,128 @@ void StoreEngine::handle_subscribe(const Address& from,
   if (it == subscribers_.end()) {
     subscribers_.push_back(Subscriber{m.subscriber, m.store_id});
   }
-  SnapshotMsg snap;
-  snap.document = semantics_.snapshot();
-  snap.clock = applied_clock_;
-  snap.gseq = applied_gseq_;
+  const StateTransfer st =
+      make_state_transfer(m.want_delta ? &m.delta_req : nullptr);
   comm_.reply_with(from, msg::MsgType::kSubscribeAck, config_.object,
-                   env.request_id, [&](util::Writer& w) { snap.encode(w); });
+                   env.request_id, [&](util::Writer& w) { st.encode(w); });
+}
+
+void StoreEngine::handle_snapshot_delta_request(const Address& from,
+                                                const msg::EnvelopeView& env) {
+  serve_snapshot_delta(from, env.request_id,
+                       SnapshotDeltaRequest::decode(env.body),
+                       /*defer_budget=*/100);
+}
+
+void StoreEngine::serve_snapshot_delta(const Address& from,
+                                       std::uint64_t request_id,
+                                       SnapshotDeltaRequest req,
+                                       int defer_budget) {
+  // Same gating as a client read: a store still bootstrapping must not
+  // hand out its (empty or partial) document. Re-attempt once state
+  // arrives; the budget bounds the loop if bootstrap never completes.
+  if (!ready_ && defer_budget > 0) {
+    sim_.schedule_after(
+        sim::SimDuration::millis(25),
+        [this, from, request_id, req = std::move(req), defer_budget]() mutable {
+          if (!alive_ || departed_) return;
+          serve_snapshot_delta(from, request_id, std::move(req),
+                               defer_budget - 1);
+        });
+    return;
+  }
+  // A document fetch is a read: keep the serving counters in step with
+  // the invoke path (make_read_reply) so delta-mode clients don't
+  // vanish from the read/staleness accounting.
+  ++reads_served_;
+  if (metrics_ != nullptr && outdated_) metrics_->record_stale_serve();
+  const StateTransfer st = make_state_transfer(&req);
+  comm_.reply_with(from, msg::MsgType::kSnapshotDeltaReply, config_.object,
+                   request_id, [&](util::Writer& w) { st.encode(w); });
+}
+
+SnapshotDeltaRequest StoreEngine::make_delta_request(
+    const Address& target) const {
+  SnapshotDeltaRequest req;
+  const web::WebDocument& doc = semantics_.document();
+  if (snap_source_ != kInvalidStore && target == snap_source_addr_ &&
+      doc.version() == snap_doc_version_) {
+    // The document has not mutated since the last transfer from this
+    // lineage: a bare version floor replaces the page summary.
+    req.mode = SnapshotDeltaRequest::Mode::kFloor;
+    req.floor_source = snap_source_;
+    req.floor_version = snap_source_version_;
+  } else {
+    req.mode = SnapshotDeltaRequest::Mode::kSummary;
+    req.have = doc.summarize();
+  }
+  return req;
+}
+
+StateTransfer StoreEngine::make_state_transfer(
+    const SnapshotDeltaRequest* req) {
+  StateTransfer st;
+  st.clock = applied_clock_;
+  st.gseq = applied_gseq_;
+  st.source = config_.store_id;
+  const web::WebDocument& doc = semantics_.document();
+  st.version = doc.version();
+
+  bool serve_delta = req != nullptr;
+  if (serve_delta && req->mode == SnapshotDeltaRequest::Mode::kFloor &&
+      (req->floor_source != config_.store_id ||
+       !doc.can_delta_since(req->floor_version))) {
+    // The floor names another lineage or predates the tombstone
+    // horizon: which deletions the requester missed can no longer be
+    // proven — fall back to the full snapshot, mirroring the
+    // note_snapshot horizon rule.
+    serve_delta = false;
+  }
+  if (serve_delta) {
+    web::DeltaStats stats;
+    st.full = false;
+    st.delta = req->mode == SnapshotDeltaRequest::Mode::kFloor
+                   ? doc.encode_delta_since(req->floor_version, &stats)
+                   : doc.encode_delta(req->have, &stats);
+    if (metrics_ != nullptr) {
+      // content_bytes approximates what the full transfer would have
+      // cost, without forcing a full encode just for accounting.
+      metrics_->record_delta_snapshot(
+          stats.pages_shipped + stats.drops_shipped, st.delta.size(),
+          doc.content_bytes());
+    }
+  } else {
+    st.full = true;
+    st.snapshot = semantics_.snapshot();
+    if (metrics_ != nullptr) metrics_->record_full_snapshot();
+  }
+  return st;
+}
+
+void StoreEngine::request_snapshot_delta() {
+  if (fetch_in_flight_ || config_.is_primary) return;
+  fetch_in_flight_ = true;
+  const SnapshotDeltaRequest req = make_delta_request(config_.upstream);
+  comm_.request_with(
+      config_.upstream, msg::MsgType::kSnapshotDeltaRequest, config_.object,
+      [&](util::Writer& w) { req.encode(w); },
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        fetch_in_flight_ = false;
+        if (!ok) {
+          // Same retry discipline as demand_fetch: the cutover that got
+          // us here still needs to complete.
+          if (demand_retry_budget_ > 0 && (outdated_ || !parked_.empty())) {
+            --demand_retry_budget_;
+            sim_.schedule_after(sim::SimDuration::millis(50),
+                                [this] { demand_fetch(); });
+          }
+          return;
+        }
+        apply_state_transfer(StateTransfer::decode_view(env.body));
+        note_gaps();
+        unpark_ready();
+      },
+      sim::SimDuration::millis(250), /*retries=*/4);
 }
 
 void StoreEngine::handle_anti_entropy(const Address& from,

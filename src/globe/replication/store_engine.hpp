@@ -102,6 +102,13 @@ struct StoreConfig {
   /// until half the budget remains. 0 disables. Complements the
   /// record-count threshold above; either trigger compacts.
   std::size_t log_compact_bytes = 0;
+  /// Page-granular delta snapshots. True (default): when this store
+  /// needs a state transfer (compaction cutover, re-subscribe after a
+  /// view change, crash-recovery bootstrap) it ships a page-stamp
+  /// summary (or a version floor) and receives only the pages it is
+  /// missing. False (the seed baseline): every state transfer is the
+  /// whole document. The restored state is byte-identical either way.
+  bool delta_snapshots = true;
   /// Membership service endpoint; invalid = membership disabled. When
   /// set, the store joins the object's replica view at construction,
   /// heartbeats periodically, and reacts to epoch-numbered view changes
@@ -219,6 +226,13 @@ class StoreEngine {
   void handle_fetch_request(const Address& from, const msg::EnvelopeView& env);
   void handle_subscribe(const Address& from, const msg::EnvelopeView& env);
   void handle_anti_entropy(const Address& from, const msg::EnvelopeView& env);
+  void handle_snapshot_delta_request(const Address& from,
+                                     const msg::EnvelopeView& env);
+  /// Gated service of one delta request: parks (bounded re-schedule)
+  /// while the store bootstraps, counts the read, replies StateTransfer.
+  void serve_snapshot_delta(const Address& from, std::uint64_t request_id,
+                            SnapshotDeltaRequest req, int defer_budget);
+  void handle_view_delta(const msg::EnvelopeView& env);
 
   // ---- write path ----
   [[nodiscard]] bool accepts_writes() const;
@@ -279,6 +293,34 @@ class StoreEngine {
   void apply_snapshot(util::BytesView document,
                       const coherence::VectorClock& clock, std::uint64_t gseq);
   void subscribe_to_upstream();
+
+  // ---- delta snapshots ----
+  /// Builds the cheapest exact delta request this store can make: the
+  /// version floor of its last transfer when the document has not
+  /// mutated since (and the lineage matches `target`), the full
+  /// page-stamp summary otherwise.
+  [[nodiscard]] SnapshotDeltaRequest make_delta_request(
+      const Address& target) const;
+  /// Serves a state transfer: page-granular against the request when one
+  /// is given (falling back to full when a floor predates the tombstone
+  /// horizon or names another lineage), the whole cached snapshot
+  /// otherwise. Counts delta_snapshots / full_snapshots.
+  [[nodiscard]] StateTransfer make_state_transfer(
+      const SnapshotDeltaRequest* req);
+  /// Follow-up to a FetchReply::need_snapshot cutover: request the delta
+  /// from the upstream and apply it.
+  void request_snapshot_delta();
+  void apply_state_transfer(const StateTransfer::View& st);
+  /// Shared tail of every state adoption (full restore or page delta):
+  /// clocks, log horizon, orderer resets, downstream forwarding.
+  void finish_state_adoption(const coherence::VectorClock& clock,
+                             std::uint64_t gseq);
+  /// Remembers the lineage of the transfer just applied, enabling the
+  /// floor mode until the document mutates again.
+  void note_transfer_lineage(StoreId source, std::uint64_t version);
+  /// Re-anchors on the full membership view (epoch gap in the delta
+  /// broadcast stream).
+  void fetch_full_view();
 
   // ---- membership ----
   void start_membership();
@@ -367,6 +409,18 @@ class StoreEngine {
   // Member addresses of the last applied view; subscriber pruning drops
   // only actual departures (in the old view, gone from the new one).
   std::vector<Address> last_view_members_;
+  // The last applied view in full, the base that ViewDelta diffs apply
+  // onto (valid when its epoch equals view_epoch_).
+  membership::View view_;
+  bool view_fetch_in_flight_ = false;  // collapse gap-burst re-anchors
+  // Lineage of the last applied state transfer: who sent it, at which
+  // document version, and what our own document version was right after
+  // applying. While our version is unchanged, the next delta request can
+  // be a bare floor instead of a page summary.
+  StoreId snap_source_ = kInvalidStore;
+  Address snap_source_addr_;
+  std::uint64_t snap_source_version_ = 0;
+  std::uint64_t snap_doc_version_ = 0;
   // Bounds re-subscription attempts when the upstream is unreachable
   // (each attempt itself carries a timeout + retries).
   int subscribe_retry_budget_ = 50;

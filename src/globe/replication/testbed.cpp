@@ -43,6 +43,7 @@ StoreEngine& Testbed::add_store_impl(StoreConfig cfg, std::string node_name) {
   cfg.naive_log_scan = options_.naive_log_scan;
   cfg.shared_fanout = options_.shared_fanout;
   cfg.shared_wire = options_.shared_wire;
+  cfg.delta_snapshots = options_.delta_snapshots;
   if (membership_ != nullptr) {
     cfg.membership = membership_->address();
     cfg.membership_heartbeat = options_.membership_heartbeat;
@@ -137,6 +138,7 @@ ClientBinding& Testbed::add_client_at(NodeId node, ObjectId object,
   opts.read_store = read_store;
   opts.timeout = options_.client_timeout;
   opts.retries = options_.client_retries;
+  opts.delta_snapshots = options_.delta_snapshots;
   if (membership_ != nullptr) {
     opts.membership = membership_->address();
     if (opts.timeout.count_micros() == 0) {

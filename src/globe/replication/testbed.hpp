@@ -46,6 +46,11 @@ struct TestbedOptions {
   /// Per-store byte-budget compaction (0 = disabled; complements
   /// log_compact_threshold).
   std::size_t log_compact_bytes = 0;
+  /// Page-granular delta snapshots on every state-transfer path
+  /// (compaction cutover, view-change resync, crash-recovery bootstrap,
+  /// client document fetches). False forces the seed full-snapshot
+  /// baseline; restored state is byte-identical either way.
+  bool delta_snapshots = true;
   /// Dynamic replica membership: stores join an epoch-numbered
   /// per-object view, heartbeat, and react to view changes; clients
   /// watch the view and re-bind when their store leaves it.

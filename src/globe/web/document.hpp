@@ -7,12 +7,25 @@
 // WebDocument is the semantics-object state: a set of named pages, each
 // remembering which write produced it. Applying a WriteRecord mutates the
 // document; snapshots support full-state coherence transfer.
+//
+// Delta snapshots: every mutation bumps a per-document monotonic version
+// counter and stamps the touched page with it, and deletions leave page
+// *tombstones* (the identity of the winning delete). A receiver that
+// already holds most of the document can then be brought to the sender's
+// exact state by shipping only the differing pages plus drop entries —
+// either against the receiver's page-stamp summary (always exact) or
+// against a version floor from a previous transfer of the same lineage
+// (cheapest; falls back to full when the floor predates the tombstone
+// horizon). Per-page encodings are cached, so a hot page is serialized
+// once and the fragment shared across concurrent delta requesters.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "globe/coherence/write_id.hpp"
@@ -32,6 +45,50 @@ struct Page {
   friend bool operator==(const Page&, const Page&) = default;
 };
 
+/// Identity of the write that produced a page version. Two stores whose
+/// stamps for a page match hold byte-identical copies of it (a WiD names
+/// one immutable write), which is what lets delta snapshots skip it.
+struct PageStamp {
+  std::string page;
+  WriteId writer;
+  std::uint64_t lamport = 0;
+  std::uint64_t global_seq = 0;
+
+  void encode(util::Writer& w) const {
+    w.str(page);
+    writer.encode(w);
+    w.varint(lamport);
+    w.varint(global_seq);
+  }
+
+  static PageStamp decode(util::Reader& r) {
+    PageStamp s;
+    s.page = r.str();
+    s.writer = coherence::WriteId::decode(r);
+    s.lamport = r.varint();
+    s.global_seq = r.varint();
+    return s;
+  }
+};
+
+/// Memory of a deletion: the identity of the winning delete write. Kept
+/// so (a) a stale concurrent put cannot resurrect the page under
+/// last-writer-wins once the delete record itself was compacted away,
+/// and (b) delta snapshots can ship the deletion as a drop entry.
+struct Tombstone {
+  WriteId writer;
+  std::uint64_t lamport = 0;
+  std::uint64_t global_seq = 0;
+  std::int64_t deleted_at_us = 0;
+  std::uint64_t version = 0;  // local mutation stamp (never serialized)
+};
+
+/// Delta-encode accounting surfaced to the metrics sink.
+struct DeltaStats {
+  std::size_t pages_shipped = 0;
+  std::size_t drops_shipped = 0;
+};
+
 class WebDocument {
  public:
   /// Applies a write record unconditionally (ordering was decided by the
@@ -40,7 +97,10 @@ class WebDocument {
 
   /// Applies a record only if it wins last-writer-wins against the
   /// current page version (used by eventual coherence). Returns true if
-  /// the document changed.
+  /// the document changed. Deletions are remembered as tombstones, which
+  /// later puts must also beat — a page deleted here cannot be
+  /// resurrected by a stale concurrent write arriving after the delete
+  /// record was compacted out of the logs.
   bool apply_lww(const WriteRecord& rec);
 
   [[nodiscard]] std::optional<Page> get(const std::string& page) const;
@@ -65,14 +125,88 @@ class WebDocument {
 
   void restore(util::BytesView snapshot);
 
+  // ---- delta snapshots ------------------------------------------------
+
+  /// Monotonic per-document mutation counter. Every state change bumps
+  /// it; the touched page (or tombstone) is stamped with the new value.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Stamp summary of every live page, in page-name order. A requester
+  /// sends this so the responder can encode exactly the difference.
+  [[nodiscard]] std::vector<PageStamp> summarize() const;
+
+  /// Encodes the pages (and drops) a receiver holding `have` is missing
+  /// relative to this document. Applying the result via apply_delta()
+  /// makes the receiver's pages byte-identical to this document's,
+  /// regardless of how the receiver diverged. Always succeeds.
+  [[nodiscard]] util::Buffer encode_delta(std::span<const PageStamp> have,
+                                          DeltaStats* stats = nullptr) const;
+
+  /// Floor fast path: encodes only pages and tombstones stamped after
+  /// `floor` — exact when the receiver mirrors this document's lineage
+  /// at `floor` and has not mutated since. Callers must check
+  /// can_delta_since() first; a floor below the tombstone horizon can no
+  /// longer prove which deletions the receiver missed.
+  [[nodiscard]] util::Buffer encode_delta_since(
+      std::uint64_t floor, DeltaStats* stats = nullptr) const;
+
+  /// True when a floor delta can be served: the floor is within this
+  /// document's version range and at or above the tombstone horizon
+  /// (deletion knowledge below the horizon was discarded by restore()).
+  /// Mirrors WriteLog::note_snapshot semantics: behind the horizon, only
+  /// a full transfer is sound.
+  [[nodiscard]] bool can_delta_since(std::uint64_t floor) const {
+    return floor <= version_ && floor >= tombstone_floor_;
+  }
+
+  /// Applies an encoded delta: shipped pages overwrite, drop entries
+  /// erase and leave tombstones. The sender's document version (the
+  /// receiver's next floor) travels alongside the delta, not inside it
+  /// (StateTransfer::version) — one authoritative location.
+  void apply_delta(util::BytesView delta);
+
+  /// Deletion memory (tests / state_as_records).
+  [[nodiscard]] const std::map<std::string, Tombstone>& tombstones() const {
+    return tombstones_;
+  }
+
+  /// Cached wire fragment of one live page (the per-page slice of the
+  /// snapshot encoding). Encoded on first use after a mutation of that
+  /// page; shared by reference across concurrent delta requesters.
+  [[nodiscard]] util::SharedBuffer page_fragment(const std::string& page) const;
+
   /// Structural equality of page contents (used by convergence checks);
-  /// deliberately ignores the snapshot cache.
+  /// deliberately ignores the snapshot cache, version stamps, and
+  /// tombstones.
   friend bool operator==(const WebDocument& a, const WebDocument& b) {
     return a.pages_ == b.pages_;
   }
 
  private:
+  struct PageMeta {
+    std::uint64_t version = 0;    // mutation stamp of the live page
+    util::SharedBuffer fragment;  // cached encode; null after mutation
+  };
+
+  /// Bookkeeping for a page mutation: bump the document version, stamp
+  /// the page, drop its cached fragment and the snapshot cache.
+  void touch(const std::string& page);
+  void encode_page(util::Writer& w, const std::string& name,
+                   const Page& p) const;
+  void append_fragment(util::Writer& w, const std::string& name,
+                       const Page& p, const PageMeta& meta) const;
+  void record_tombstone(const std::string& page, const WriteRecord& rec);
+
   std::map<std::string, Page> pages_;
+  // Parallel per-page bookkeeping (version stamp + cached fragment).
+  // Mutable: fragments fill lazily under const delta encodes.
+  mutable std::unordered_map<std::string, PageMeta> meta_;
+  std::map<std::string, Tombstone> tombstones_;
+  std::uint64_t version_ = 0;
+  // Versions below this lost their deletion memory (restore() replaces
+  // the state wholesale and clears the tombstones); floor deltas from
+  // below it must fall back to a full transfer.
+  std::uint64_t tombstone_floor_ = 0;
   // Cached encoding of pages_; reset by every mutation. Copies of the
   // document share the cache (it is immutable); a copy's own mutation
   // only drops its own reference.

@@ -183,6 +183,73 @@ TEST(Protocol, SubscribeAndSnapshotRoundTrip) {
   EXPECT_EQ(nback.gseq, 6u);
 }
 
+TEST(Protocol, SnapshotDeltaRequestRoundTrip) {
+  replication::SnapshotDeltaRequest req;
+  req.mode = replication::SnapshotDeltaRequest::Mode::kSummary;
+  req.have.push_back(web::PageStamp{"a.html", {3, 7}, 11, 5});
+  req.have.push_back(web::PageStamp{"b.html", {4, 1}, 2, 0});
+  const auto back =
+      replication::SnapshotDeltaRequest::decode(util::BytesView(req.encode()));
+  EXPECT_EQ(back.mode, replication::SnapshotDeltaRequest::Mode::kSummary);
+  ASSERT_EQ(back.have.size(), 2u);
+  EXPECT_EQ(back.have[0].page, "a.html");
+  EXPECT_EQ(back.have[0].writer, (coherence::WriteId{3, 7}));
+  EXPECT_EQ(back.have[0].lamport, 11u);
+  EXPECT_EQ(back.have[1].global_seq, 0u);
+
+  replication::SnapshotDeltaRequest floor;
+  floor.mode = replication::SnapshotDeltaRequest::Mode::kFloor;
+  floor.floor_source = 42;
+  floor.floor_version = 1234;
+  const auto fback = replication::SnapshotDeltaRequest::decode(
+      util::BytesView(floor.encode()));
+  EXPECT_EQ(fback.mode, replication::SnapshotDeltaRequest::Mode::kFloor);
+  EXPECT_EQ(fback.floor_source, 42u);
+  EXPECT_EQ(fback.floor_version, 1234u);
+
+  // A re-subscribe embeds the delta request in the subscribe body.
+  replication::SubscribeMsg sub;
+  sub.subscriber = {9, 3};
+  sub.store_id = 8;
+  sub.want_delta = true;
+  sub.delta_req = floor;
+  const auto sback =
+      replication::SubscribeMsg::decode(util::BytesView(sub.encode()));
+  EXPECT_TRUE(sback.want_delta);
+  EXPECT_EQ(sback.delta_req.floor_source, 42u);
+}
+
+TEST(Protocol, StateTransferRoundTrip) {
+  replication::StateTransfer full;
+  full.full = true;
+  full.snapshot =
+      std::make_shared<const util::Buffer>(util::to_buffer("whole-doc"));
+  full.clock.set(1, 9);
+  full.gseq = 3;
+  full.source = 6;
+  full.version = 77;
+  const util::Buffer fwire = full.encode();
+  const auto fview =
+      replication::StateTransfer::decode_view(util::BytesView(fwire));
+  EXPECT_TRUE(fview.full);
+  EXPECT_EQ(util::to_string(fview.snapshot), "whole-doc");
+  EXPECT_EQ(fview.source, 6u);
+  EXPECT_EQ(fview.version, 77u);
+
+  replication::StateTransfer delta;
+  delta.full = false;
+  delta.delta = util::to_buffer("page-delta");
+  delta.gseq = 4;
+  delta.source = 2;
+  delta.version = 15;
+  const util::Buffer dwire = delta.encode();
+  const auto dview =
+      replication::StateTransfer::decode_view(util::BytesView(dwire));
+  EXPECT_FALSE(dview.full);
+  EXPECT_EQ(util::to_string(dview.delta), "page-delta");
+  EXPECT_EQ(dview.version, 15u);
+}
+
 TEST(Protocol, InvalidateAndNotifyRoundTrip) {
   replication::InvalidateMsg inv;
   inv.pages = {"x", "y"};

@@ -1,0 +1,286 @@
+// Delta snapshots end to end: every state-transfer path (compaction
+// cutover, crash-recovery rejoin, client document fetch) run under
+// delta_snapshots=true must restore byte-identical state to the seed
+// full-snapshot baseline — on clean histories, churned ones, and
+// randomized workloads — and the horizon/lineage fallbacks must serve
+// full snapshots. Also the tombstone regression: a page deleted and
+// compacted away before a heal must NOT be resurrected by the peer's
+// stale copy (the long-open LWW caveat from docs/perf.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "globe/replication/testbed.hpp"
+
+namespace globe::replication {
+namespace {
+
+constexpr ObjectId kObj = 1;
+
+core::ReplicationPolicy pull_policy(coherence::ObjectModel model) {
+  core::ReplicationPolicy policy;
+  policy.model = model;
+  if (model == coherence::ObjectModel::kCausal ||
+      model == coherence::ObjectModel::kEventual) {
+    policy.write_set = core::WriteSet::kMultiple;
+  }
+  policy.initiative = core::TransferInitiative::kPull;
+  policy.coherence_transfer = core::CoherenceTransfer::kPartial;
+  policy.lazy_period = sim::SimDuration::millis(10);
+  return policy;
+}
+
+/// Per-store document encodes after a run (the restored-state digest the
+/// delta/full equivalence compares).
+std::vector<util::Buffer> doc_digests(const Testbed& bed) {
+  std::vector<util::Buffer> out;
+  for (const auto& s : bed.stores()) {
+    out.push_back(s->document().encode_snapshot());
+  }
+  return out;
+}
+
+/// A crash/recover + sparse-write scenario against a compacting primary,
+/// parameterized on the transfer mode. Both modes must converge to the
+/// same bytes.
+std::vector<util::Buffer> run_rejoin_scenario(bool delta_snapshots,
+                                              std::uint64_t seed) {
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.record_history = false;
+  opts.log_compact_threshold = 24;  // aggressive: cutovers happen
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  opts.delta_snapshots = delta_snapshots;
+  Testbed bed(opts);
+
+  core::ReplicationPolicy policy;  // PRAM push immediate partial
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  auto& primary = bed.add_primary(kObj, policy);
+  for (int i = 0; i < 12; ++i) {
+    primary.seed("page" + std::to_string(i) + ".html", std::string(256, 'v'));
+  }
+  for (int s = 0; s < 3; ++s) {
+    bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  }
+  bed.settle();
+
+  util::Rng rng(seed);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t victim = 1 + (round % 3);
+    bed.crash_store(victim);
+    bed.run_for(sim::SimDuration::millis(3));
+    for (int w = 0; w < 30; ++w) {  // push the log past the horizon
+      primary.seed("page" + std::to_string(rng.below(12)) + ".html",
+                   "r" + std::to_string(round) + "w" + std::to_string(w));
+    }
+    bed.run_for(sim::SimDuration::millis(5));
+    bed.recover_store(victim);
+    bed.settle();
+  }
+  bed.settle();
+  EXPECT_TRUE(bed.converged(kObj)) << "delta=" << delta_snapshots;
+  return doc_digests(bed);
+}
+
+TEST(DeltaSnapshotEquivalence, RejoinRestoresByteIdenticalState) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    const auto full = run_rejoin_scenario(false, seed);
+    const auto delta = run_rejoin_scenario(true, seed);
+    EXPECT_EQ(full, delta) << "seed " << seed;
+  }
+}
+
+TEST(DeltaSnapshotEquivalence, CompactionCutoverGoesThroughDeltaPath) {
+  // A puller isolated across a burst that compacts the primary's log
+  // must catch up via the deferred-cutover delta round trip.
+  TestbedOptions opts;
+  opts.record_history = false;
+  opts.log_compact_threshold = 24;
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  Testbed bed(opts);
+  const auto policy = pull_policy(coherence::ObjectModel::kPram);
+  auto& primary = bed.add_primary(kObj, policy);
+  auto& puller =
+      bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  for (int i = 0; i < 8; ++i) {
+    primary.seed("p" + std::to_string(i) + ".html", std::string(128, 'x'));
+  }
+  bed.settle();
+
+  bed.net().partition(primary.address().node, puller.address().node);
+  for (int i = 0; i < 200; ++i) {
+    primary.seed("p" + std::to_string(i % 8) + ".html",
+                 "v" + std::to_string(i));
+  }
+  ASSERT_FALSE(
+      primary.write_log().can_serve(puller.applied_clock(), 0, true));
+  const std::uint64_t deltas_before = bed.metrics().delta_snapshots();
+
+  bed.net().heal_all();
+  bed.run_for(sim::SimDuration::millis(200));
+  bed.settle();
+  EXPECT_TRUE(bed.converged(kObj));
+  // The cutover was served page-granularly, not as a full restore.
+  EXPECT_GT(bed.metrics().delta_snapshots(), deltas_before);
+  EXPECT_GT(bed.metrics().snapshot_pages_shipped(), 0u);
+}
+
+TEST(DeltaSnapshotEquivalence, FloorFallsBackToFullAcrossLineages) {
+  // A client fetches the document from store A (recording A's lineage as
+  // its floor), then rebinds to store B. The binding detects the address
+  // change and sends a summary; but a floor naming a foreign lineage —
+  // forced here by re-pointing the read store back and forth so the
+  // caches disagree — must be answered with a full snapshot, never a
+  // wrong delta. We drive the responder directly with a crafted floor.
+  TestbedOptions opts;
+  opts.record_history = false;
+  Testbed bed(opts);
+  core::ReplicationPolicy policy;
+  auto& primary = bed.add_primary(kObj, policy);
+  primary.seed("a.html", "alpha");
+  primary.seed("b.html", "beta");
+  bed.settle();
+
+  // A probe endpoint speaking the raw protocol.
+  core::CommunicationObject probe(bed.factory(bed.add_node("probe")),
+                                  &bed.sim());
+  struct Result {
+    bool got = false;
+    bool full = false;
+    std::size_t delta_size = 0;
+  } res;
+  const auto ask = [&](SnapshotDeltaRequest req) {
+    res = Result{};
+    probe.request_with(
+        primary.address(), msg::MsgType::kSnapshotDeltaRequest, kObj,
+        [&](util::Writer& w) { req.encode(w); },
+        [&](bool ok, const net::Address&, const msg::EnvelopeView& env) {
+          if (!ok) return;
+          const auto st = StateTransfer::decode_view(env.body);
+          res.got = true;
+          res.full = st.full;
+          res.delta_size = st.delta.size();
+        });
+    bed.sim().run();
+  };
+
+  // Valid floor from the primary's own lineage: a delta comes back.
+  SnapshotDeltaRequest good;
+  good.mode = SnapshotDeltaRequest::Mode::kFloor;
+  good.floor_source = primary.config().store_id;
+  good.floor_version = primary.document().version();
+  ask(good);
+  EXPECT_TRUE(res.got);
+  EXPECT_FALSE(res.full);
+
+  // Same floor but naming another store's lineage: full fallback.
+  SnapshotDeltaRequest foreign = good;
+  foreign.floor_source = primary.config().store_id + 1000;
+  ask(foreign);
+  EXPECT_TRUE(res.got);
+  EXPECT_TRUE(res.full);
+
+  // Summary mode is always exact regardless of lineage.
+  SnapshotDeltaRequest summary;
+  summary.mode = SnapshotDeltaRequest::Mode::kSummary;
+  ask(summary);
+  EXPECT_TRUE(res.got);
+  EXPECT_FALSE(res.full);
+}
+
+TEST(DeltaSnapshotEquivalence, ClientDocumentFetchUsesDeltas) {
+  TestbedOptions opts;
+  opts.record_history = false;
+  Testbed bed(opts);
+  core::ReplicationPolicy policy;
+  auto& primary = bed.add_primary(kObj, policy);
+  for (int i = 0; i < 10; ++i) {
+    primary.seed("p" + std::to_string(i) + ".html", std::string(512, 'c'));
+  }
+  bed.settle();
+  auto& client = bed.add_client(kObj, coherence::ClientModel::kNone,
+                                primary.address());
+
+  int fetched = 0;
+  web::WebDocument got;
+  const auto grab = [&] {
+    client.get_document([&](DocumentResult r) {
+      ASSERT_TRUE(r.ok);
+      got = std::move(r.document);
+      ++fetched;
+    });
+    bed.settle();
+  };
+
+  grab();
+  EXPECT_EQ(fetched, 1);
+  EXPECT_EQ(got, primary.document());
+  const std::uint64_t deltas_after_first = bed.metrics().delta_snapshots();
+
+  // Unchanged document: the floor fetch ships zero pages.
+  const std::uint64_t shipped_before = bed.metrics().snapshot_pages_shipped();
+  grab();
+  EXPECT_EQ(fetched, 2);
+  EXPECT_EQ(got, primary.document());
+  EXPECT_GT(bed.metrics().delta_snapshots(), deltas_after_first);
+  EXPECT_EQ(bed.metrics().snapshot_pages_shipped(), shipped_before);
+
+  // A sparse change ships exactly the changed page.
+  primary.seed("p3.html", "updated");
+  bed.settle();
+  grab();
+  EXPECT_EQ(got, primary.document());
+  EXPECT_EQ(bed.metrics().snapshot_pages_shipped(), shipped_before + 1);
+}
+
+TEST(DeltaSnapshotEquivalence, CompactedDeleteDoesNotResurrect) {
+  // The long-open tombstone caveat: primary deletes a page, the delete
+  // record compacts away while the mirror is partitioned, and on heal
+  // the anti-entropy state-records exchange used to leave (or even
+  // re-spread) the stale page. Page tombstones must kill it everywhere.
+  TestbedOptions opts;
+  opts.record_history = false;
+  opts.log_compact_threshold = 24;
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  Testbed bed(opts);
+  const auto policy = pull_policy(coherence::ObjectModel::kEventual);
+  auto& primary = bed.add_primary(kObj, policy);
+  auto& mirror =
+      bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  primary.seed("doomed.html", "soon gone");
+  for (int i = 0; i < 5; ++i) {
+    primary.seed("keep" + std::to_string(i) + ".html", "k");
+  }
+  bed.settle();
+  ASSERT_TRUE(mirror.document().has("doomed.html"));
+
+  bed.net().partition(primary.address().node, mirror.address().node);
+  // Delete at the primary via a co-located client, then push the log far
+  // past the horizon so the delete record itself is compacted away.
+  auto& deleter = bed.add_client(kObj, coherence::ClientModel::kNone,
+                                 primary.address(), primary.address());
+  bool deleted = false;
+  deleter.remove("doomed.html", [&](WriteResult r) { deleted = r.ok; });
+  bed.run_for(sim::SimDuration::millis(50));
+  ASSERT_TRUE(deleted);
+  ASSERT_FALSE(primary.document().has("doomed.html"));
+  for (int i = 0; i < 200; ++i) {
+    primary.seed("keep" + std::to_string(i % 5) + ".html",
+                 "v" + std::to_string(i));
+  }
+  // The mirror is behind the compaction horizon: only the state-records
+  // cutover can repair it after the heal.
+  ASSERT_FALSE(primary.write_log().can_serve(mirror.applied_clock(), 0));
+
+  bed.net().heal_all();
+  bed.run_for(sim::SimDuration::seconds(1));
+  bed.settle();
+  EXPECT_TRUE(bed.converged(kObj));
+  EXPECT_FALSE(primary.document().has("doomed.html"));
+  EXPECT_FALSE(mirror.document().has("doomed.html"))
+      << "stale page resurrected across the compaction horizon";
+}
+
+}  // namespace
+}  // namespace globe::replication

@@ -1,0 +1,159 @@
+// Membership view diffs: view changes broadcast as ViewDelta
+// (epoch + joined/left) instead of full member lists, with a full-view
+// fetch whenever a receiver's epoch has a gap.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "globe/membership/view.hpp"
+#include "globe/replication/testbed.hpp"
+
+namespace globe::membership {
+namespace {
+
+naming::ContactPoint contact(NodeId node, StoreId id,
+                             bool primary = false) {
+  naming::ContactPoint c;
+  c.address = net::Address{node, 1};
+  c.store_id = id;
+  c.is_primary = primary;
+  return c;
+}
+
+TEST(ViewDelta, AppliesJoinsAndLeavesOntoABase) {
+  View base;
+  base.object = 7;
+  base.epoch = 4;
+  base.members = {contact(1, 1, true), contact(2, 2), contact(3, 3)};
+
+  ViewDelta d;
+  d.object = 7;
+  d.epoch = 5;
+  d.joined = {contact(4, 4)};
+  d.left = {net::Address{2, 1}};
+
+  View next = base;
+  d.apply_to(next);
+  EXPECT_EQ(next.epoch, 5u);
+  EXPECT_EQ(next.members.size(), 3u);
+  EXPECT_TRUE(next.contains(net::Address{1, 1}));
+  EXPECT_FALSE(next.contains(net::Address{2, 1}));
+  EXPECT_TRUE(next.contains(net::Address{4, 1}));
+
+  // Round-trips the wire.
+  util::Writer w;
+  d.encode(w);
+  const util::Buffer wire = w.take();
+  const ViewDelta back = ViewDelta::decode(util::BytesView(wire));
+  EXPECT_EQ(back.epoch, d.epoch);
+  EXPECT_EQ(back.joined.size(), 1u);
+  EXPECT_EQ(back.left.size(), 1u);
+  EXPECT_EQ(back.left.front(), (net::Address{2, 1}));
+}
+
+}  // namespace
+}  // namespace globe::membership
+
+namespace globe::replication {
+namespace {
+
+constexpr ObjectId kObj = 1;
+
+TestbedOptions membership_options() {
+  TestbedOptions opts;
+  opts.record_history = false;
+  opts.enable_membership = true;
+  opts.membership_heartbeat = sim::SimDuration::millis(20);
+  opts.failure_timeout = sim::SimDuration::millis(80);
+  opts.wan.base_latency = sim::SimDuration::millis(1);
+  return opts;
+}
+
+TEST(ViewDelta, SteadyChurnIsBroadcastAsDiffs) {
+  Testbed bed(membership_options());
+  core::ReplicationPolicy policy;
+  bed.add_primary(kObj, policy);
+  bed.settle();
+  for (int s = 0; s < 4; ++s) {
+    bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+    bed.settle();
+  }
+  // After the first full broadcast, every subsequent join went out as a
+  // delta, and every store still tracks the service's epoch.
+  EXPECT_GT(bed.membership().stats().delta_broadcasts, 0u);
+  const std::uint64_t epoch = bed.membership().epoch(kObj);
+  for (const auto& s : bed.stores()) {
+    EXPECT_EQ(s->view_epoch(), epoch) << "store " << s->id();
+  }
+
+  // A graceful leave is a diff too, applied by the survivors.
+  const std::uint64_t deltas = bed.membership().stats().delta_broadcasts;
+  bed.leave_store(4);
+  bed.settle();
+  EXPECT_GT(bed.membership().stats().delta_broadcasts, deltas);
+  EXPECT_EQ(bed.stores().front()->view_epoch(), bed.membership().epoch(kObj));
+  EXPECT_EQ(bed.membership().stats().view_fetches, 0u)
+      << "contiguous deltas should never need a full-view fetch";
+}
+
+TEST(ViewDelta, EpochGapTriggersFullViewFetch) {
+  Testbed bed(membership_options());
+  core::ReplicationPolicy policy;
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  bed.add_primary(kObj, policy);
+  bed.settle();
+  StoreEngine& isolated =
+      bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  StoreEngine& witness =
+      bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  bed.settle();
+
+  // Cut one store off: it misses heartbeats, gets evicted (one epoch),
+  // and misses that view change entirely.
+  bed.net().set_node_down(isolated.address().node, true);
+  bed.run_for(sim::SimDuration::millis(300));
+  EXPECT_LT(isolated.view_epoch(), bed.membership().epoch(kObj));
+
+  // Reconnect: its next heartbeat re-admits it; the resulting delta has
+  // an epoch gap from its perspective, so it re-anchors via a full-view
+  // fetch and catches up.
+  bed.net().set_node_down(isolated.address().node, false);
+  bed.run_for(sim::SimDuration::millis(400));
+  bed.settle();
+  EXPECT_GT(bed.membership().stats().rejoins, 0u);
+  EXPECT_GT(bed.membership().stats().view_fetches, 0u);
+  EXPECT_EQ(isolated.view_epoch(), bed.membership().epoch(kObj));
+  EXPECT_EQ(witness.view_epoch(), bed.membership().epoch(kObj));
+  EXPECT_TRUE(bed.converged(kObj));
+}
+
+TEST(ViewDelta, WatchingClientsFollowDiffBroadcasts) {
+  Testbed bed(membership_options());
+  core::ReplicationPolicy policy;
+  bed.add_primary(kObj, policy);
+  bed.settle();
+  StoreEngine& cache =
+      bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy);
+  bed.settle();
+  ClientBinding& client =
+      bed.add_client(kObj, coherence::ClientModel::kNone, cache.address());
+  bed.settle();
+
+  // The client's first push is a delta it has no base for: it must have
+  // re-anchored via a fetch (or a full broadcast) and then track diffs.
+  bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  bed.settle();
+  EXPECT_EQ(client.view_epoch(), bed.membership().epoch(kObj));
+
+  // Its cache leaving the view (a diff broadcast) still rebinds it.
+  cache.leave();
+  bed.settle();
+  bed.run_for(sim::SimDuration::millis(200));
+  bed.settle();
+  EXPECT_EQ(client.view_epoch(), bed.membership().epoch(kObj));
+  EXPECT_GT(client.rebinds(), 0u);
+  EXPECT_NE(client.read_store(), cache.address());
+}
+
+}  // namespace
+}  // namespace globe::replication
