@@ -34,6 +34,13 @@
 //     flash-crowd join, under EVERY coherence model; the run must
 //     converge and the indexed checkers must return clean verdicts.
 //
+// 10. multicast_window — the windowed credit-based multicast on the
+//     threaded runtime: a 128-subscriber fan-out run unwindowed (the
+//     seed path) and windowed (sliding windows + coalescing + cross-
+//     peer frame sharing), delivering byte-identical state, plus a
+//     slow-subscriber fault where the victim's channel must pause
+//     inside its bound and catch up after the heal.
+//
 //  9. snapshot_delta — page-granular state transfer: a trajectory-scale
 //     deployment with a large document suffers repeated sparse-update
 //     rejoins (caches crash and recover between small writes), run once
@@ -56,6 +63,7 @@
 #include "bench_common.hpp"
 #include "globe/fault/scenario.hpp"
 #include "globe/net/loopback.hpp"
+#include "globe/net/windowed_multicast.hpp"
 #include "globe/replication/write_log.hpp"
 #include "globe/web/document.hpp"
 
@@ -394,17 +402,25 @@ struct LoopbackRow {
 };
 
 FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared,
-                              bool shared_wire = true) {
+                              bool shared_wire = true,
+                              net::WindowedMulticast* window = nullptr) {
   net::LoopbackRouter router;
   sim::Simulator sim;  // clock source only; delivery is thread-driven
   std::vector<std::unique_ptr<StoreEngine>> stores;
   NodeId next_node = 0;
-  auto make_factory = [&router, &next_node]() {
+  auto make_factory = [&router, &next_node, window]() {
     const NodeId node = next_node++;
-    return core::TransportFactory(
+    core::TransportFactory base(
         [&router, node](net::MessageHandler h) -> std::unique_ptr<net::Transport> {
           return std::make_unique<net::LoopbackTransport>(
               router, net::Address{node, 1}, std::move(h));
+        });
+    if (window == nullptr) return base;
+    net::TransportFactoryFn wrapped =
+        net::windowed_factory(*window, std::move(base));
+    return core::TransportFactory(
+        [wrapped = std::move(wrapped)](net::MessageHandler h) {
+          return wrapped(std::move(h));
         });
   };
 
@@ -414,6 +430,7 @@ FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared,
   pcfg.is_primary = true;
   pcfg.shared_fanout = shared;
   pcfg.shared_wire = shared_wire;
+  pcfg.flow = window;
   stores.push_back(
       std::make_unique<StoreEngine>(make_factory(), sim, pcfg));
   const net::Address primary_addr = stores.front()->address();
@@ -425,6 +442,7 @@ FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared,
     cfg.upstream = primary_addr;
     cfg.shared_fanout = shared;
     cfg.shared_wire = shared_wire;
+    cfg.flow = window;
     stores.push_back(
         std::make_unique<StoreEngine>(make_factory(), sim, cfg));
   }
@@ -435,8 +453,23 @@ FanoutRun run_loopback_fanout(int subscribers, int writes, bool shared,
   for (int i = 0; i < writes; ++i) {
     stores.front()->seed("page" + std::to_string(i % 16) + ".html",
                          payload + std::to_string(i));
+    // Run the network periodically: acks and credit only move when the
+    // router does, and a burst that never yields starves the flow
+    // window until the engine declares every peer hopeless. The cadence
+    // leaves enough queued between drains for coalescing to engage, and
+    // applies to unwindowed runs too so timings stay comparable.
+    if (i % 64 == 63) router.drain();
   }
   router.drain();
+  if (window != nullptr) {
+    // Batches parked while a peer was flow-paused flush on the
+    // propagation path once the resume event is polled; a few explicit
+    // rounds drain them (mirrors Testbed::settle).
+    for (int round = 0; round < 8; ++round) {
+      for (auto& s : stores) s->finalize_propagation();
+      router.drain();
+    }
+  }
 
   FanoutRun out;
   out.wall_s = seconds_since(start);
@@ -496,6 +529,240 @@ MulticastRow run_loopback_multicast(int subscribers, int writes) {
     std::fprintf(stderr, "FATAL: shared-wire multicast digests diverged\n");
     std::exit(1);
   }
+  return row;
+}
+
+// ---------------------------------------------------------------------
+// 10. Windowed credit-based multicast on the threaded runtime
+// ---------------------------------------------------------------------
+
+struct WindowRow {
+  int subscribers = 0;
+  int writes = 0;
+  double unwindowed_s = 0;
+  double windowed_s = 0;
+  double mb_per_s = 0;   // delivered payload bytes, windowed run
+  double ops_per_s = 0;  // seeds per second, windowed run
+  std::uint64_t data_frames = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t frames_shared = 0;
+  std::uint64_t retransmits = 0;
+  std::size_t queue_high_watermark = 0;
+  std::size_t max_queue = 0;
+  bool queue_bounded = false;
+  bool identical = false;
+  bool converged = false;
+  // Slow-subscriber fault: one peer's data frames are dropped mid-burst.
+  bool fault_paused = false;     // the engine saw the pause
+  bool fault_bounded = false;    // pending stayed inside the bound
+  bool fault_recovered = false;  // victim caught up after the heal
+  std::uint64_t fault_evictions = 0;
+};
+
+/// Loopback transport decorator that drops windowed DATA frames sent to
+/// one victim address while the fault flag is up — the wire-level shape
+/// of a subscriber whose inbound path stopped draining.
+class DropToPeerTransport final : public net::Transport {
+ public:
+  DropToPeerTransport(std::unique_ptr<net::Transport> inner,
+                      net::Address victim,
+                      std::shared_ptr<std::atomic<bool>> dropping)
+      : inner_(std::move(inner)),
+        victim_(victim),
+        dropping_(std::move(dropping)) {}
+
+  void send_shared(const net::Address& to,
+                   util::SharedBuffer payload) override {
+    if (dropping_->load() && to == victim_ && !payload->empty() &&
+        static_cast<std::uint8_t>((*payload)[0]) == net::kDataFrameKind) {
+      return;
+    }
+    inner_->send_shared(to, std::move(payload));
+  }
+
+  [[nodiscard]] net::Address local_address() const override {
+    return inner_->local_address();
+  }
+
+ private:
+  std::unique_ptr<net::Transport> inner_;
+  net::Address victim_;
+  std::shared_ptr<std::atomic<bool>> dropping_;
+};
+
+/// One slow subscriber under a windowed fan-out: its channel must pause
+/// (not grow without bound), healthy peers must keep converging, and the
+/// victim must catch up once its path heals.
+void run_window_fault(int subscribers, int writes, WindowRow& row) {
+  net::WindowOptions wopts;
+  wopts.window_size = 8;
+  wopts.max_queue = 16;  // pause at 8 pending, resume at <= 4
+  net::WindowedMulticast window(wopts);
+  net::LoopbackRouter router;
+  sim::Simulator sim;
+  auto dropping = std::make_shared<std::atomic<bool>>(false);
+  const net::Address victim{1, 1};  // first subscriber (primary is node 0)
+
+  std::vector<std::unique_ptr<StoreEngine>> stores;
+  NodeId next_node = 0;
+  auto make_factory = [&]() {
+    const NodeId node = next_node++;
+    const bool is_primary = node == 0;
+    net::TransportFactoryFn inner =
+        [&router, node, is_primary, victim, dropping](
+            net::MessageHandler h) -> std::unique_ptr<net::Transport> {
+      auto t = std::make_unique<net::LoopbackTransport>(
+          router, net::Address{node, 1}, std::move(h));
+      if (!is_primary) return t;
+      return std::make_unique<DropToPeerTransport>(std::move(t), victim,
+                                                   dropping);
+    };
+    net::TransportFactoryFn wrapped =
+        net::windowed_factory(window, std::move(inner));
+    return core::TransportFactory(
+        [wrapped = std::move(wrapped)](net::MessageHandler h) {
+          return wrapped(std::move(h));
+        });
+  };
+
+  StoreConfig pcfg;
+  pcfg.object = 1;
+  pcfg.store_id = 0;
+  pcfg.is_primary = true;
+  pcfg.shared_fanout = true;
+  pcfg.flow = &window;
+  // This leg measures pause -> park -> resume recovery, so the victim's
+  // parked batches must outlive the burst: disable the hopeless-peer
+  // disposition that would otherwise discard them after 64 paused rounds.
+  pcfg.flow_paused_rounds_limit = 0;
+  stores.push_back(std::make_unique<StoreEngine>(make_factory(), sim, pcfg));
+  const net::Address primary_addr = stores.front()->address();
+  for (int s = 0; s < subscribers; ++s) {
+    StoreConfig cfg;
+    cfg.object = 1;
+    cfg.store_id = static_cast<StoreId>(s + 1);
+    cfg.store_class = naming::StoreClass::kObjectInitiated;
+    cfg.upstream = primary_addr;
+    cfg.shared_fanout = true;
+    cfg.flow = &window;
+    stores.push_back(std::make_unique<StoreEngine>(make_factory(), sim, cfg));
+  }
+  router.drain();  // subscriptions + bootstrap before the fault
+
+  dropping->store(true);
+  const std::string payload(2048, 'f');
+  for (int i = 0; i < writes; ++i) {
+    stores.front()->seed("page" + std::to_string(i % 16) + ".html",
+                         payload + std::to_string(i));
+    // Keep the network moving so healthy peers' acks return credit and
+    // they resume mid-burst; the victim's acks are dropped, so it stays
+    // paused and its batches stay parked.
+    if (i % 8 == 7) router.drain();
+  }
+  router.drain();
+  // Healthy peers can brush the pause threshold during the burst too;
+  // flush their parked batches. The victim stays paused (no acks), so
+  // its parked state survives these rounds.
+  for (int round = 0; round < 8; ++round) {
+    for (auto& s : stores) s->finalize_propagation();
+    router.drain();
+  }
+
+  row.fault_paused = window.peer_paused(primary_addr, victim) ||
+                     window.stats().pauses > 0;
+  row.fault_bounded =
+      window.stats().queue_high_watermark <= wopts.max_queue;
+  bool healthy_converged = true;
+  for (std::size_t i = 2; i < stores.size(); ++i) {
+    healthy_converged = healthy_converged &&
+                        stores[i]->document() == stores.front()->document();
+  }
+  row.fault_bounded = row.fault_bounded && healthy_converged;
+
+  dropping->store(false);
+  for (int round = 0; round < 200; ++round) {
+    if (stores[1]->document() == stores.front()->document()) break;
+    window.tick(primary_addr);  // retransmit into the healed path
+    router.drain();
+    for (auto& s : stores) s->finalize_propagation();
+    router.drain();
+  }
+  row.fault_recovered =
+      stores[1]->document() == stores.front()->document();
+  row.fault_evictions = window.stats().evictions;
+  stores.clear();
+}
+
+WindowRow run_multicast_window(int subscribers, int writes) {
+  WindowRow row;
+  row.subscribers = subscribers;
+  row.writes = writes;
+
+  const FanoutRun plain =
+      run_loopback_fanout(subscribers, writes, true, true, nullptr);
+  net::WindowedMulticast window;  // default options
+  const FanoutRun windowed =
+      run_loopback_fanout(subscribers, writes, true, true, &window);
+
+  row.unwindowed_s = plain.wall_s;
+  row.windowed_s = windowed.wall_s;
+  row.converged = plain.converged && windowed.converged;
+  row.identical = plain.digests == windowed.digests;
+  if (!row.identical) {
+    for (std::size_t i = 0; i < plain.digests.size(); ++i) {
+      if (plain.digests[i] == windowed.digests[i]) continue;
+      std::size_t off = 0;
+      const std::size_t n =
+          std::min(plain.digests[i].size(), windowed.digests[i].size());
+      while (off < n && plain.digests[i][off] == windowed.digests[i][off]) {
+        ++off;
+      }
+      std::fprintf(stderr,
+                   "  store %zu: digests differ at byte %zu (%zu vs %zu)\n",
+                   i, off, plain.digests[i].size(),
+                   windowed.digests[i].size());
+    }
+    const net::WindowStats ws = window.stats();
+    std::fprintf(stderr,
+                 "  window: frames=%llu dropped=%llu pauses=%llu "
+                 "resumes=%llu evictions=%llu queue_hwm=%zu stash_drops=%llu "
+                 "retransmits=%llu\n",
+                 static_cast<unsigned long long>(ws.data_frames_sent),
+                 static_cast<unsigned long long>(ws.dropped_payloads),
+                 static_cast<unsigned long long>(ws.pauses),
+                 static_cast<unsigned long long>(ws.resumes),
+                 static_cast<unsigned long long>(ws.evictions),
+                 ws.queue_high_watermark,
+                 static_cast<unsigned long long>(ws.stash_drops),
+                 static_cast<unsigned long long>(ws.retransmits));
+    std::fprintf(stderr, "FATAL: windowed multicast digests diverged\n");
+    std::exit(1);
+  }
+
+  // Delivered payload volume: every seed's content reaches every
+  // subscriber (records also carry page names and clocks; this is the
+  // conservative content-only number).
+  double delivered_bytes = 0;
+  for (int i = 0; i < writes; ++i) {
+    delivered_bytes += static_cast<double>(
+        (2048 + std::to_string(i).size()) *
+        static_cast<std::size_t>(subscribers));
+  }
+  if (windowed.wall_s > 0) {
+    row.mb_per_s = delivered_bytes / windowed.wall_s / 1e6;
+    row.ops_per_s = writes / windowed.wall_s;
+  }
+  const net::WindowStats s = window.stats();
+  row.data_frames = s.data_frames_sent;
+  row.coalesced = s.datagrams_coalesced;
+  row.frames_shared = s.frames_shared;
+  row.retransmits = s.retransmits;
+  row.queue_high_watermark = s.queue_high_watermark;
+  row.max_queue = window.options().max_queue;
+  row.queue_bounded = s.queue_high_watermark <= row.max_queue &&
+                      s.dropped_payloads == 0;
+
+  run_window_fault(subscribers, writes, row);
   return row;
 }
 
@@ -1081,7 +1348,7 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const SnapshotMicroResult& snap, const E2eResult& pull,
                const E2eResult& ae, const std::vector<FanoutRow>& fanout,
                const LoopbackRow& loopback, const MulticastRow& multicast,
-               const HistoryBenchResult& hist,
+               const WindowRow& win, const HistoryBenchResult& hist,
                const std::vector<ChurnRow>& churn,
                const SnapshotDeltaResult& sd,
                const std::vector<TrajectoryRow>& rows) {
@@ -1151,6 +1418,29 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                speedup(multicast.per_target_s, multicast.shared_wire_s),
                multicast.identical ? "true" : "false",
                multicast.converged ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"multicast_window\": {\"subscribers\": %d, \"writes\": %d, "
+      "\"unwindowed_s\": %.4f, \"windowed_s\": %.4f, \"mb_per_s\": %.2f, "
+      "\"ops_per_s\": %.1f, \"data_frames\": %llu, \"coalesced\": %llu, "
+      "\"frames_shared\": %llu, \"retransmits\": %llu, "
+      "\"queue_high_watermark\": %zu, \"max_queue\": %zu, "
+      "\"queue_bounded\": %s, \"identical\": %s, \"converged\": %s, "
+      "\"fault\": {\"paused\": %s, \"bounded\": %s, \"recovered\": %s, "
+      "\"evictions\": %llu}},\n",
+      win.subscribers, win.writes, win.unwindowed_s, win.windowed_s,
+      win.mb_per_s, win.ops_per_s,
+      static_cast<unsigned long long>(win.data_frames),
+      static_cast<unsigned long long>(win.coalesced),
+      static_cast<unsigned long long>(win.frames_shared),
+      static_cast<unsigned long long>(win.retransmits),
+      win.queue_high_watermark, win.max_queue,
+      win.queue_bounded ? "true" : "false",
+      win.identical ? "true" : "false", win.converged ? "true" : "false",
+      win.fault_paused ? "true" : "false",
+      win.fault_bounded ? "true" : "false",
+      win.fault_recovered ? "true" : "false",
+      static_cast<unsigned long long>(win.fault_evictions));
   std::fprintf(
       f,
       "  \"history\": {\"stores\": %d, \"clients\": %d, \"ops\": %d, "
@@ -1311,6 +1601,22 @@ int run(bool smoke, const std::string& out_path) {
               multicast.per_target_s / multicast.shared_wire_s,
               multicast.identical, multicast.converged);
 
+  const int win_subs = smoke ? 16 : 128;
+  const int win_writes = smoke ? 40 : 300;
+  std::printf("bench_scale: windowed multicast (%d subscribers)...\n",
+              win_subs);
+  const WindowRow win = run_multicast_window(win_subs, win_writes);
+  std::printf(
+      "  unwindowed %.3fs, windowed %.3fs, %.1f MB/s, %.0f op/s, "
+      "frames=%llu coalesced=%llu shared=%llu queue<=%zu/%zu, "
+      "identical=%d fault: paused=%d bounded=%d recovered=%d\n",
+      win.unwindowed_s, win.windowed_s, win.mb_per_s, win.ops_per_s,
+      static_cast<unsigned long long>(win.data_frames),
+      static_cast<unsigned long long>(win.coalesced),
+      static_cast<unsigned long long>(win.frames_shared),
+      win.queue_high_watermark, win.max_queue, win.identical,
+      win.fault_paused, win.fault_bounded, win.fault_recovered);
+
   std::printf("bench_scale: history recording + checker pipeline...\n");
   const HistoryBenchResult hist =
       run_history_bench(/*mirrors=*/4, traj_caches, traj_clients, traj_ops);
@@ -1380,7 +1686,7 @@ int run(bool smoke, const std::string& out_path) {
     return 1;
   }
   emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
-            hist, churn, sd, rows);
+            win, hist, churn, sd, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -1402,6 +1708,15 @@ int run(bool smoke, const std::string& out_path) {
   }
   if (!multicast.converged || !multicast.identical) {
     std::fprintf(stderr, "FAIL: shared-wire multicast broke equivalence\n");
+    return 1;
+  }
+  if (!win.converged || !win.identical || !win.queue_bounded ||
+      !win.fault_paused || !win.fault_bounded || !win.fault_recovered) {
+    std::fprintf(stderr,
+                 "FAIL: windowed multicast conv=%d identical=%d bounded=%d "
+                 "fault(paused=%d bounded=%d recovered=%d)\n",
+                 win.converged, win.identical, win.queue_bounded,
+                 win.fault_paused, win.fault_bounded, win.fault_recovered);
     return 1;
   }
   for (const ChurnRow& r : churn) {

@@ -152,13 +152,21 @@ class CommunicationObject {
     if (to.empty()) return;
     const auto wire = std::make_shared<const Buffer>(
         make_wire(type, object, 0, std::forward<F>(encode_body)));
-    for (const Address& addr : to) {
-      if (observer_ != nullptr) observer_->on_send(type, wire->size());
-      if (background) {
-        transport_->send_shared_background(addr, wire);
-      } else {
-        transport_->send_shared(addr, wire);
+    if (observer_ != nullptr) {
+      for (std::size_t i = 0; i < to.size(); ++i) {
+        observer_->on_send(type, wire->size());
       }
+    }
+    if (background) {
+      // Beacon lane stays per-destination: it bypasses flow control.
+      for (const Address& addr : to) {
+        transport_->send_shared_background(addr, wire);
+      }
+    } else {
+      // One transport operation for the whole fan-out, so a windowed
+      // transport can admit it into every peer channel atomically and
+      // share frame encodes across peers.
+      transport_->multicast_shared(to, wire);
     }
   }
 

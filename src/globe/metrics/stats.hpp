@@ -68,6 +68,13 @@ class MetricsSink {
   /// propagation is the policy's normal traffic and is not counted.
   void record_full_snapshot() { ++full_snapshots_; }
 
+  /// Transport backpressure (windowed multicast): a subscriber channel
+  /// crossed its queue high watermark / drained back / was dropped after
+  /// making no progress against the configured deadline.
+  void record_flow_pause() { ++flow_pauses_; }
+  void record_flow_resume() { ++flow_resumes_; }
+  void record_flow_eviction() { ++flow_evictions_; }
+
   [[nodiscard]] const TypeTraffic& total_traffic() const { return total_; }
   [[nodiscard]] const std::map<std::uint8_t, TypeTraffic>& traffic_by_type()
       const {
@@ -108,6 +115,11 @@ class MetricsSink {
   [[nodiscard]] std::uint64_t snapshot_bytes_saved() const {
     return snapshot_bytes_saved_;
   }
+  [[nodiscard]] std::uint64_t flow_pauses() const { return flow_pauses_; }
+  [[nodiscard]] std::uint64_t flow_resumes() const { return flow_resumes_; }
+  [[nodiscard]] std::uint64_t flow_evictions() const {
+    return flow_evictions_;
+  }
 
   void reset() { *this = MetricsSink{}; }
 
@@ -127,6 +139,9 @@ class MetricsSink {
   std::uint64_t full_snapshots_ = 0;
   std::uint64_t snapshot_pages_shipped_ = 0;
   std::uint64_t snapshot_bytes_saved_ = 0;
+  std::uint64_t flow_pauses_ = 0;
+  std::uint64_t flow_resumes_ = 0;
+  std::uint64_t flow_evictions_ = 0;
 };
 
 }  // namespace globe::metrics

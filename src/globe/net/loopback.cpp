@@ -1,5 +1,7 @@
 #include "globe/net/loopback.hpp"
 
+#include <algorithm>
+
 #include "globe/util/assert.hpp"
 
 namespace globe::net {
@@ -13,6 +15,7 @@ LoopbackRouter::~LoopbackRouter() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   dispatcher_.join();
 }
 
@@ -31,10 +34,47 @@ void LoopbackRouter::unbind(const Address& at) {
   handlers_.erase(at);
 }
 
-void LoopbackRouter::enqueue(Pending msg) {
+void LoopbackRouter::set_queue_limit(std::size_t max_depth,
+                                     QueueFullPolicy policy) {
   {
     std::lock_guard lock(mu_);
+    max_depth_ = max_depth;
+    full_policy_ = policy;
+  }
+  space_cv_.notify_all();  // a raised limit may unblock posters
+}
+
+std::uint64_t LoopbackRouter::queue_rejections() const {
+  std::lock_guard lock(mu_);
+  return queue_rejections_;
+}
+
+std::size_t LoopbackRouter::queue_high_watermark() const {
+  std::lock_guard lock(mu_);
+  return queue_high_watermark_;
+}
+
+void LoopbackRouter::enqueue(Pending msg) {
+  {
+    std::unique_lock lock(mu_);
+    if (max_depth_ != 0 && queue_.size() >= max_depth_) {
+      // The dispatcher posting to itself (a handler sending) must never
+      // block — it is the only drainer. It overflows to drop-newest.
+      const bool self_post =
+          std::this_thread::get_id() == dispatcher_.get_id();
+      if (full_policy_ == QueueFullPolicy::kBlock && !self_post) {
+        space_cv_.wait(lock, [this] {
+          return stopping_ || max_depth_ == 0 || queue_.size() < max_depth_;
+        });
+      }
+      if (stopping_) return;
+      if (max_depth_ != 0 && queue_.size() >= max_depth_) {
+        ++queue_rejections_;
+        return;
+      }
+    }
     queue_.push_back(std::move(msg));
+    queue_high_watermark_ = std::max(queue_high_watermark_, queue_.size());
   }
   cv_.notify_one();
 }
@@ -91,6 +131,7 @@ void LoopbackRouter::dispatch_loop() {
     if (stopping_) return;
     Pending msg = std::move(queue_.front());
     queue_.pop_front();
+    space_cv_.notify_one();  // a blocked poster can take the freed slot
     const bool faulted =
         partitions_.count(pair_key(msg.from.node, msg.to.node)) > 0 ||
         down_nodes_.count(msg.from.node) > 0 ||

@@ -58,8 +58,28 @@ class LoopbackRouter {
   void heal_all();
   void set_node_down(NodeId n, bool down);
 
+  /// What a full queue does to a new post.
+  enum class QueueFullPolicy : std::uint8_t {
+    kDropNewest = 0,  // drop the incoming message, count it
+    kBlock = 1,       // block the poster until the dispatcher drains
+  };
+
+  /// Bounds the router queue. `max_depth` of 0 (the default) means
+  /// unbounded; the high watermark is tracked either way. A post from
+  /// the dispatcher thread itself (a handler sending) never blocks —
+  /// blocking there would deadlock the only drainer — it overflows to
+  /// drop-newest instead. Thread-safe.
+  void set_queue_limit(std::size_t max_depth,
+                       QueueFullPolicy policy = QueueFullPolicy::kDropNewest);
+
   /// Messages dropped by fault injection or missing endpoints.
   [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Messages rejected by the queue bound (kDropNewest overflow).
+  [[nodiscard]] std::uint64_t queue_rejections() const;
+
+  /// Peak queue depth observed since construction.
+  [[nodiscard]] std::size_t queue_high_watermark() const;
 
   /// Blocks until the queue is empty and the dispatcher is idle.
   void drain();
@@ -82,11 +102,16 @@ class LoopbackRouter {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable space_cv_;
   std::deque<Pending> queue_;
   std::unordered_map<Address, MessageHandler> handlers_;
   std::unordered_set<std::uint64_t> partitions_;
   std::unordered_set<NodeId> down_nodes_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t queue_rejections_ = 0;
+  std::size_t max_depth_ = 0;  // 0 = unbounded
+  QueueFullPolicy full_policy_ = QueueFullPolicy::kDropNewest;
+  std::size_t queue_high_watermark_ = 0;
   bool stopping_ = false;
   bool busy_ = false;
   std::thread dispatcher_;
@@ -106,10 +131,8 @@ class LoopbackTransport final : public Transport {
   LoopbackTransport(const LoopbackTransport&) = delete;
   LoopbackTransport& operator=(const LoopbackTransport&) = delete;
 
-  void send(const Address& to, Buffer payload) override {
-    router_.post(local_, to, std::move(payload));
-  }
-
+  // Plain send uses the base default (move-wrap into a SharedBuffer):
+  // the router's native queue entry is reference-counted already.
   void send_shared(const Address& to, util::SharedBuffer payload) override {
     router_.post_shared(local_, to, std::move(payload));
   }

@@ -10,6 +10,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "globe/net/address.hpp"
 #include "globe/util/buffer.hpp"
@@ -29,15 +32,32 @@ class Transport {
 
   /// Sends `payload` to `to`. Fire-and-forget; reliability depends on the
   /// underlying implementation (see Section 4.2 of the paper).
-  virtual void send(const Address& to, Buffer payload) = 0;
+  ///
+  /// A transport must override at least one of send / send_shared; the
+  /// defaults express each in terms of the other. The plain-send default
+  /// wraps the buffer into a SharedBuffer by MOVE — no byte copy — so a
+  /// transport whose native path is reference-counted only implements
+  /// send_shared.
+  virtual void send(const Address& to, Buffer payload) {
+    send_shared(to, std::make_shared<const Buffer>(std::move(payload)));
+  }
 
   /// Sends a shared, immutable datagram: the multicast fan-out path. One
   /// encoded wire buffer can be handed to many destinations without a
   /// per-destination copy — the transport only retains a reference until
-  /// delivery. The default falls back to a copying send for transports
-  /// that own their payloads.
+  /// delivery. The copying fallback exists only for transports that
+  /// insist on owning a mutable payload and override send alone.
   virtual void send_shared(const Address& to, util::SharedBuffer payload) {
     send(to, Buffer(*payload));
+  }
+
+  /// Fans one shared datagram out to every destination. The default is
+  /// the obvious per-destination loop; windowed transports override it
+  /// so the whole fan-out enters flow control as one operation (shared
+  /// frame encodes across peers at the same stream position).
+  virtual void multicast_shared(const std::vector<Address>& to,
+                                util::SharedBuffer payload) {
+    for (const Address& addr : to) send_shared(addr, payload);
   }
 
   /// Background sends: periodic liveness chatter (membership heartbeats,

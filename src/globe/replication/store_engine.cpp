@@ -693,6 +693,7 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
   if (config_.policy.initiative == TransferInitiative::kPull) {
     return;  // downstream stores poll; nothing is pushed
   }
+  service_flow_events();
   std::vector<Address> targets;
   for (const Subscriber& s : subscribers_) targets.push_back(s.address);
   if (multi_master() && !config_.is_primary && config_.upstream.valid()) {
@@ -755,7 +756,12 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
       }
     }
     if (out.empty()) continue;
-    if (lazy) {
+    const FlowDisposition fd =
+        lazy ? FlowDisposition::kPark : flow_disposition(tkey);
+    if (fd == FlowDisposition::kSkip) continue;  // dropped under deadline
+    if (fd == FlowDisposition::kPark) {
+      // Lazy mode, or a windowed channel under backpressure: park the
+      // shared batches; resume (or the lazy timer) flushes them in order.
       auto& queue = lazy_queues_[tkey];
       queue.insert(queue.end(), std::make_move_iterator(out.begin()),
                    std::make_move_iterator(out.end()));
@@ -877,6 +883,7 @@ void StoreEngine::send_coherence(
 }
 
 void StoreEngine::flush_lazy() {
+  service_flow_events();
   if (!lazy_dirty_) return;
   lazy_dirty_ = false;
   auto queues = std::move(lazy_queues_);
@@ -887,9 +894,83 @@ void StoreEngine::flush_lazy() {
       config_.policy.propagation == Propagation::kUpdate &&
       config_.policy.coherence_transfer != CoherenceTransfer::kPartial;
   for (auto& [key, batches] : queues) {
+    if (paused_peers_.count(key) != 0) {
+      // Still under transport backpressure: keep the segment parked
+      // (resume or the deadline in flow_disposition settles it later).
+      auto& back = lazy_queues_[key];
+      back.insert(back.end(), std::make_move_iterator(batches.begin()),
+                  std::make_move_iterator(batches.end()));
+      lazy_dirty_ = true;
+      continue;
+    }
     if (batches.empty() && !data_free) continue;
     send_coherence(key_addr(key), batches);
   }
+}
+
+bool StoreEngine::service_flow_events() {
+  if (config_.flow == nullptr) return false;
+  bool dropped = false;
+  for (const net::FlowControl::Event& ev :
+       config_.flow->poll_events(address())) {
+    const std::uint64_t key = addr_key(ev.peer);
+    switch (ev.what) {
+      case net::FlowControl::PeerEvent::kPaused:
+        paused_peers_.insert(key);
+        if (metrics_ != nullptr) metrics_->record_flow_pause();
+        break;
+      case net::FlowControl::PeerEvent::kResumed: {
+        paused_peers_.erase(key);
+        paused_rounds_.erase(key);
+        if (metrics_ != nullptr) metrics_->record_flow_resume();
+        // The channel drained below its low watermark: everything parked
+        // for this peer can go out now, in its original order.
+        auto it = lazy_queues_.find(key);
+        if (it != lazy_queues_.end() && !it->second.empty()) {
+          auto batches = std::move(it->second);
+          lazy_queues_.erase(it);
+          send_coherence(ev.peer, batches);
+        }
+        break;
+      }
+      case net::FlowControl::PeerEvent::kEvicted:
+        drop_flow_peer(key);
+        if (metrics_ != nullptr) metrics_->record_flow_eviction();
+        dropped = true;
+        break;
+    }
+  }
+  return dropped;
+}
+
+StoreEngine::FlowDisposition StoreEngine::flow_disposition(
+    std::uint64_t key) {
+  if (paused_peers_.count(key) == 0) return FlowDisposition::kSend;
+  const std::size_t rounds = ++paused_rounds_[key];
+  const auto queued = lazy_queues_.find(key);
+  const std::size_t depth =
+      queued == lazy_queues_.end() ? 0 : queued->second.size();
+  const bool hopeless =
+      (config_.flow_paused_rounds_limit != 0 &&
+       rounds > config_.flow_paused_rounds_limit) ||
+      (config_.flow_paused_batches_limit != 0 &&
+       depth >= config_.flow_paused_batches_limit);
+  if (hopeless) {
+    drop_flow_peer(key);
+    if (metrics_ != nullptr) metrics_->record_flow_eviction();
+    return FlowDisposition::kSkip;
+  }
+  return FlowDisposition::kPark;
+}
+
+void StoreEngine::drop_flow_peer(std::uint64_t key) {
+  const Address peer = key_addr(key);
+  std::erase_if(subscribers_,
+                [&](const Subscriber& s) { return s.address == peer; });
+  lazy_queues_.erase(key);
+  paused_peers_.erase(key);
+  paused_rounds_.erase(key);
+  if (config_.flow != nullptr) config_.flow->reset_peer(address(), peer);
 }
 
 void StoreEngine::pull_from_upstream() {
@@ -1148,6 +1229,12 @@ void StoreEngine::apply_view(const membership::View& view) {
                 [&](const Subscriber& s) { return left(s.address); });
   for (auto it = lazy_queues_.begin(); it != lazy_queues_.end();) {
     it = left(key_addr(it->first)) ? lazy_queues_.erase(it) : std::next(it);
+  }
+  for (auto it = paused_peers_.begin(); it != paused_peers_.end();) {
+    it = left(key_addr(*it)) ? paused_peers_.erase(it) : std::next(it);
+  }
+  for (auto it = paused_rounds_.begin(); it != paused_rounds_.end();) {
+    it = left(key_addr(it->first)) ? paused_rounds_.erase(it) : std::next(it);
   }
   last_view_members_.clear();
   for (const auto& m : view.members) last_view_members_.push_back(m.address);
@@ -1601,6 +1688,15 @@ void StoreEngine::handle_subscribe(const Address& from,
                          });
   if (it == subscribers_.end()) {
     subscribers_.push_back(Subscriber{m.subscriber, m.store_id});
+    if (config_.flow != nullptr) {
+      // Fresh subscription: clear any stale backpressure verdict (the
+      // subscriber may be re-joining after an eviction) so its windowed
+      // channel restarts clean alongside the state transfer below.
+      config_.flow->reset_peer(address(), m.subscriber);
+      const std::uint64_t key = addr_key(m.subscriber);
+      paused_peers_.erase(key);
+      paused_rounds_.erase(key);
+    }
   }
   const StateTransfer st =
       make_state_transfer(m.want_delta ? &m.delta_req : nullptr);
@@ -1754,10 +1850,16 @@ void StoreEngine::handle_anti_entropy(const Address& from,
                    env.request_id, [&](util::Writer& w) { rep.encode(w); });
 }
 
-util::Buffer store_state_digest(const StoreEngine& s) {
+util::Buffer store_state_digest(const StoreEngine& s, bool mask_wall_clock) {
   util::Writer w;
-  web::encode_records(w, s.write_log().retained());
-  w.bytes(util::BytesView(s.document().encode_snapshot()));
+  if (mask_wall_clock) {
+    std::vector<web::WriteRecord> records = s.write_log().retained();
+    for (web::WriteRecord& rec : records) rec.issued_at_us = 0;
+    web::encode_records(w, records);
+  } else {
+    web::encode_records(w, s.write_log().retained());
+  }
+  w.bytes(util::BytesView(s.document().encode_snapshot(mask_wall_clock)));
   w.varint(s.applied_gseq());
   s.applied_clock().encode(w);
   return w.take();

@@ -35,6 +35,7 @@
 #include "globe/membership/view.hpp"
 #include "globe/metrics/stats.hpp"
 #include "globe/naming/contact.hpp"
+#include "globe/net/flow.hpp"
 #include "globe/replication/orderer.hpp"
 #include "globe/replication/protocol.hpp"
 #include "globe/replication/write_log.hpp"
@@ -115,6 +116,20 @@ struct StoreConfig {
   /// (drops evicted subscribers, re-resolves its upstream, resyncs).
   Address membership;
   sim::SimDuration membership_heartbeat = sim::SimDuration::millis(100);
+  /// Flow-control surface of a windowed transport (net/flow.hpp); null =
+  /// no transport backpressure, every peer is always writable. When set,
+  /// the engine polls it before every propagation round: updates for
+  /// paused subscribers park in the lazy queues instead of flooding the
+  /// transport, resume flushes them, and a subscriber that stays paused
+  /// past the deadlines below is dropped (a live peer re-subscribes and
+  /// resyncs via the normal state-transfer path).
+  net::FlowControl* flow = nullptr;
+  /// Consecutive propagation rounds a subscriber may stay paused before
+  /// it is dropped. 0 = never drop.
+  std::size_t flow_paused_rounds_limit = 64;
+  /// Batches parked for one paused subscriber before it is dropped.
+  /// 0 = unbounded.
+  std::size_t flow_paused_batches_limit = 4096;
 };
 
 class StoreEngine {
@@ -284,6 +299,18 @@ class StoreEngine {
   void send_coherence_multi(const std::vector<Address>& to,
                             std::span<const web::RecordBatchPtr> batches);
   void flush_lazy();
+  /// Drains config_.flow's pause/resume/evict events (no-op when flow is
+  /// null). Called from the propagation paths, i.e. always on the thread
+  /// that owns this engine. Returns true if any subscriber was dropped.
+  bool service_flow_events();
+  /// What to do with an immediate update for `key` under transport
+  /// backpressure. Enforces the paused-rounds/batches deadlines: a
+  /// hopeless peer is dropped on the spot (kSkip).
+  enum class FlowDisposition { kSend, kPark, kSkip };
+  FlowDisposition flow_disposition(std::uint64_t key);
+  /// Removes a subscriber plus all flow/lazy state; resets its windowed
+  /// channel so a future re-subscribe starts clean.
+  void drop_flow_peer(std::uint64_t key);
   void pull_from_upstream();
   void advertise_clock();
   void configure_timers();
@@ -387,6 +414,10 @@ class StoreEngine {
   // N subscribers hold N pointers to one encode, not N record copies.
   std::map<std::uint64_t, std::vector<web::RecordBatchPtr>> lazy_queues_;
   bool lazy_dirty_ = false;  // for notify/full lazy transfers
+  // Transport backpressure (config_.flow): subscribers whose windowed
+  // channel is paused, and how many propagation rounds each has parked.
+  std::set<std::uint64_t> paused_peers_;
+  std::map<std::uint64_t, std::size_t> paused_rounds_;
   std::optional<sim::PeriodicTimer> lazy_timer_;
   std::optional<sim::PeriodicTimer> pull_timer_;
   std::optional<sim::PeriodicTimer> heartbeat_timer_;
@@ -440,6 +471,15 @@ class StoreEngine {
 /// cache), and the applied gseq/clock. The fan-out equivalence test and
 /// the bench_scale gate compare these digests to prove two propagation
 /// configurations delivered byte-identical records.
-[[nodiscard]] util::Buffer store_state_digest(const StoreEngine& s);
+///
+/// `mask_wall_clock` zeroes the issue/update timestamps embedded in
+/// records and pages. Two runs that differ only in how the transport
+/// schedules datagrams (e.g. windowed/coalesced vs one-send-per-payload)
+/// advance simulated time differently, which shifts those stamps at the
+/// *source* — every replica still receives them byte-identically. Gates
+/// comparing across transports mask them; gates comparing propagation
+/// strategies over the same transport keep the default.
+[[nodiscard]] util::Buffer store_state_digest(const StoreEngine& s,
+                                              bool mask_wall_clock = false);
 
 }  // namespace globe::replication

@@ -7,6 +7,9 @@ namespace globe::replication {
 Testbed::Testbed(TestbedOptions options)
     : options_(options), sim_(), net_(sim_, options.seed) {
   net_.set_default_link(options_.wan);
+  if (options_.windowed_multicast) {
+    window_ = std::make_unique<net::WindowedMulticast>(options_.window);
+  }
   const NodeId naming_node = add_node("naming");
   naming_ = std::make_unique<naming::NamingServer>(factory(naming_node), &sim_);
   service_nodes_.push_back(naming_node);
@@ -29,11 +32,19 @@ NodeId Testbed::add_node(std::string name) {
 }
 
 core::TransportFactory Testbed::factory(NodeId node) {
-  return [this, node](net::MessageHandler handler)
-             -> std::unique_ptr<net::Transport> {
+  core::TransportFactory base = [this, node](net::MessageHandler handler)
+      -> std::unique_ptr<net::Transport> {
     const PortId port = next_port_.at(node)++;
     return std::make_unique<net::SimTransport>(
         net_, net::Address{node, port}, std::move(handler));
+  };
+  if (window_ == nullptr) return base;
+  // Windowed runtime: every endpoint's shared-datagram lane goes through
+  // the one host; plain/background traffic passes straight through.
+  net::TransportFactoryFn wrapped =
+      net::windowed_factory(*window_, std::move(base));
+  return [wrapped = std::move(wrapped)](net::MessageHandler handler) {
+    return wrapped(std::move(handler));
   };
 }
 
@@ -48,6 +59,7 @@ StoreEngine& Testbed::add_store_impl(StoreConfig cfg, std::string node_name) {
     cfg.membership = membership_->address();
     cfg.membership_heartbeat = options_.membership_heartbeat;
   }
+  cfg.flow = window_.get();  // null when not windowed
   const NodeId node = add_node(std::move(node_name));
   auto store = std::make_unique<StoreEngine>(
       factory(node), sim_, std::move(cfg),

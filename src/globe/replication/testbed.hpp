@@ -22,6 +22,7 @@
 #include "globe/metrics/stats.hpp"
 #include "globe/naming/service.hpp"
 #include "globe/net/sim_transport.hpp"
+#include "globe/net/windowed_multicast.hpp"
 #include "globe/replication/client_binding.hpp"
 #include "globe/replication/store_engine.hpp"
 #include "globe/sim/network.hpp"
@@ -62,6 +63,12 @@ struct TestbedOptions {
   /// instead of pending forever.
   sim::SimDuration client_timeout{};
   int client_retries = 0;
+  /// Windowed credit-based multicast on the fan-out lane: every endpoint
+  /// runs through one shared net::WindowedMulticast and stores receive
+  /// its backpressure events. False (the seed behaviour): datagrams hit
+  /// the transport directly. Delivered state is byte-identical.
+  bool windowed_multicast = false;
+  net::WindowOptions window;
 };
 
 class Testbed {
@@ -81,6 +88,9 @@ class Testbed {
   [[nodiscard]] bool membership_enabled() const {
     return membership_ != nullptr;
   }
+  /// Non-null with TestbedOptions::windowed_multicast (window stats and
+  /// queue-depth probes for tests/benchmarks).
+  [[nodiscard]] net::WindowedMulticast* window() { return window_.get(); }
 
   /// Creates a node (an address space) and returns its id.
   NodeId add_node(std::string name = {});
@@ -191,6 +201,7 @@ class Testbed {
   TestbedOptions options_;
   sim::Simulator sim_;
   sim::Network net_;
+  std::unique_ptr<net::WindowedMulticast> window_;  // shared by all endpoints
   coherence::History history_;
   metrics::MetricsSink metrics_;
   metrics::StalenessOracle oracle_;

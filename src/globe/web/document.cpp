@@ -114,20 +114,22 @@ util::SharedBuffer WebDocument::snapshot() const {
 }
 
 void WebDocument::encode_page(util::Writer& w, const std::string& name,
-                              const Page& p) const {
+                              const Page& p, bool mask_wall_clock) const {
   w.str(name);
   w.str(p.content);
   w.str(p.mime);
   p.last_writer.encode(w);
   w.varint(p.global_seq);
   w.varint(p.lamport);
-  w.i64(p.updated_at_us);
+  w.i64(mask_wall_clock ? 0 : p.updated_at_us);
 }
 
-util::Buffer WebDocument::encode_snapshot() const {
+util::Buffer WebDocument::encode_snapshot(bool mask_wall_clock) const {
   util::Writer w;
   w.varint(pages_.size());
-  for (const auto& [name, p] : pages_) encode_page(w, name, p);
+  for (const auto& [name, p] : pages_) {
+    encode_page(w, name, p, mask_wall_clock);
+  }
   return w.take();
 }
 

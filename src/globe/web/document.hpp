@@ -121,7 +121,11 @@ class WebDocument {
 
   /// Reference encoder: always re-encodes, bypassing the cache. Used by
   /// the cache fill and by equivalence tests as the uncached oracle.
-  [[nodiscard]] util::Buffer encode_snapshot() const;
+  /// `mask_wall_clock` zeroes the per-page updated_at stamp: equivalence
+  /// gates across transports use it because a different datagram schedule
+  /// legitimately shifts simulated time without changing delivered state.
+  [[nodiscard]] util::Buffer encode_snapshot(
+      bool mask_wall_clock = false) const;
 
   void restore(util::BytesView snapshot);
 
@@ -192,7 +196,7 @@ class WebDocument {
   /// the page, drop its cached fragment and the snapshot cache.
   void touch(const std::string& page);
   void encode_page(util::Writer& w, const std::string& name,
-                   const Page& p) const;
+                   const Page& p, bool mask_wall_clock = false) const;
   void append_fragment(util::Writer& w, const std::string& name,
                        const Page& p, const PageMeta& meta) const;
   void record_tombstone(const std::string& page, const WriteRecord& rec);

@@ -1,0 +1,266 @@
+// Wire-framing codec tests: flow frames (windowed multicast), socket
+// frames, and the TCP length-prefix reassembler. Malformed input of any
+// shape must surface as CodecError, never as garbage deliveries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "globe/net/framing.hpp"
+#include "globe/util/buffer.hpp"
+
+namespace globe::net {
+namespace {
+
+using util::to_buffer;
+using util::to_string;
+
+Buffer bytes_of(std::initializer_list<int> vals) {
+  Buffer b;
+  for (int v : vals) b.push_back(static_cast<std::byte>(v));
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// Flow frames
+// ---------------------------------------------------------------------
+
+TEST(DataFrameCodec, RoundTripsCoalescedPayloads) {
+  const Buffer p1 = to_buffer("alpha");
+  const Buffer p2 = to_buffer("beta-beta");
+  const Buffer p3 = to_buffer("");
+  util::Writer w;
+  DataFrame::encode(w, 42, /*ack_now=*/true, /*reset=*/false,
+                    {BytesView(p1), BytesView(p2), BytesView(p3)});
+  const Buffer wire = w.take();
+
+  ASSERT_TRUE(is_flow_frame(BytesView(wire)));
+  const DataFrame f = DataFrame::decode(BytesView(wire));
+  EXPECT_EQ(f.seq, 42u);
+  EXPECT_TRUE(f.ack_now);
+  EXPECT_FALSE(f.reset);
+  ASSERT_EQ(f.payloads.size(), 3u);
+  EXPECT_EQ(to_string(f.payloads[0]), "alpha");
+  EXPECT_EQ(to_string(f.payloads[1]), "beta-beta");
+  EXPECT_TRUE(f.payloads[2].empty());
+}
+
+TEST(DataFrameCodec, RoundTripsResetFlag) {
+  const Buffer p = to_buffer("x");
+  util::Writer w;
+  DataFrame::encode(w, 7, false, /*reset=*/true, {BytesView(p)});
+  const DataFrame f = DataFrame::decode(BytesView(w.view()));
+  EXPECT_TRUE(f.reset);
+  EXPECT_FALSE(f.ack_now);
+}
+
+TEST(DataFrameCodec, RejectsTruncatedFrame) {
+  const Buffer p = to_buffer("payload");
+  util::Writer w;
+  DataFrame::encode(w, 1, false, false, {BytesView(p)});
+  Buffer wire = w.take();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    const BytesView truncated(wire.data(), wire.size() - cut);
+    EXPECT_THROW(DataFrame::decode(truncated), CodecError) << "cut=" << cut;
+  }
+}
+
+TEST(DataFrameCodec, RejectsTrailingGarbage) {
+  const Buffer p = to_buffer("payload");
+  util::Writer w;
+  DataFrame::encode(w, 1, false, false, {BytesView(p)});
+  Buffer wire = w.take();
+  wire.push_back(std::byte{0x00});
+  EXPECT_THROW(DataFrame::decode(BytesView(wire)), CodecError);
+}
+
+TEST(DataFrameCodec, RejectsUnknownFlagsEmptyAndBogusCounts) {
+  // Unknown flag bit.
+  {
+    const Buffer p = to_buffer("x");
+    util::Writer w;
+    DataFrame::encode(w, 1, false, false, {BytesView(p)});
+    Buffer wire = w.take();
+    wire[9] = std::byte{0x80};  // flags byte: kind(1) + seq(8)
+    EXPECT_THROW(DataFrame::decode(BytesView(wire)), CodecError);
+  }
+  // Zero payloads.
+  {
+    util::Writer w;
+    DataFrame::encode(w, 1, false, false, {});
+    EXPECT_THROW(DataFrame::decode(BytesView(w.view())), CodecError);
+  }
+  // Payload count far beyond the frame size.
+  {
+    util::Writer w;
+    w.u8(kDataFrameKind);
+    w.u64(1);
+    w.u8(0);
+    w.varint(1u << 20);
+    EXPECT_THROW(DataFrame::decode(BytesView(w.view())), CodecError);
+  }
+  // Wrong kind byte.
+  EXPECT_THROW(DataFrame::decode(BytesView(bytes_of({0x01, 0, 0, 0}))),
+               CodecError);
+}
+
+TEST(AckFrameCodec, RoundTripsMissingList) {
+  AckFrame a;
+  a.cumulative = 1000;
+  a.credit = 17;
+  a.missing = {1001, 1003, 1007};
+  util::Writer w;
+  a.encode(w);
+
+  ASSERT_TRUE(is_flow_frame(BytesView(w.view())));
+  const AckFrame d = AckFrame::decode(BytesView(w.view()));
+  EXPECT_EQ(d.cumulative, 1000u);
+  EXPECT_EQ(d.credit, 17u);
+  EXPECT_EQ(d.missing, (std::vector<std::uint64_t>{1001, 1003, 1007}));
+}
+
+TEST(AckFrameCodec, RejectsOversizedMissingListAndTruncation) {
+  {
+    util::Writer w;
+    w.u8(kAckFrameKind);
+    w.u64(5);
+    w.u32(1);
+    w.varint(1000);  // claims 1000 seqs, frame ends here
+    EXPECT_THROW(AckFrame::decode(BytesView(w.view())), CodecError);
+  }
+  {
+    AckFrame a;
+    a.cumulative = 9;
+    util::Writer w;
+    a.encode(w);
+    const Buffer& wire = w.view();
+    EXPECT_THROW(
+        AckFrame::decode(BytesView(wire.data(), wire.size() - 1)),
+        CodecError);
+  }
+}
+
+TEST(FlowFrameDiscrimination, PlainEnvelopesAreNotFlowFrames) {
+  // MsgType values are small; anything below 0xF0 passes through.
+  for (int t = 0; t < 0x40; ++t) {
+    EXPECT_FALSE(is_flow_frame(BytesView(bytes_of({t, 1, 2, 3}))));
+  }
+  EXPECT_FALSE(is_flow_frame(BytesView()));
+  EXPECT_TRUE(is_flow_frame(BytesView(bytes_of({0xF1}))));
+  EXPECT_TRUE(is_flow_frame(BytesView(bytes_of({0xF2}))));
+}
+
+// ---------------------------------------------------------------------
+// Socket frames
+// ---------------------------------------------------------------------
+
+TEST(SocketFrameCodec, RoundTripsHeaderAndPayload) {
+  const Buffer payload = to_buffer("state transfer bytes");
+  util::Writer w;
+  SocketFrame::encode_header(w, Address{3, 7}, Address{9, 2},
+                             /*background=*/true);
+  w.raw(BytesView(payload));
+  const Buffer wire = w.take();
+
+  const SocketFrame f = SocketFrame::decode(BytesView(wire));
+  EXPECT_EQ(f.from, (Address{3, 7}));
+  EXPECT_EQ(f.to, (Address{9, 2}));
+  EXPECT_TRUE(f.background);
+  EXPECT_EQ(to_string(f.payload), "state transfer bytes");
+}
+
+TEST(SocketFrameCodec, RejectsBadMagicFlagsAndTruncation) {
+  const Buffer header = SocketFrame::header_bytes({1, 1}, {2, 2}, false);
+  {
+    Buffer wire = header;
+    wire[0] = std::byte{0xAA};  // corrupt magic
+    EXPECT_THROW(SocketFrame::decode(BytesView(wire)), CodecError);
+  }
+  {
+    Buffer wire = header;
+    wire[4] = std::byte{0xFE};  // unknown flag bits
+    EXPECT_THROW(SocketFrame::decode(BytesView(wire)), CodecError);
+  }
+  for (std::size_t cut = 1; cut <= header.size(); ++cut) {
+    EXPECT_THROW(
+        SocketFrame::decode(BytesView(header.data(), header.size() - cut)),
+        CodecError);
+  }
+}
+
+// ---------------------------------------------------------------------
+// TCP stream reassembly
+// ---------------------------------------------------------------------
+
+TEST(TcpFrameAssembler, ExtractsFramesAcrossArbitraryFragmentation) {
+  // Build a stream of length-prefixed frames, then feed it in random
+  // chunk sizes: every frame must come out once, intact, in order.
+  std::mt19937 rng(20260809);
+  std::vector<Buffer> frames;
+  util::Writer stream;
+  for (int i = 0; i < 64; ++i) {
+    std::uniform_int_distribution<int> len_dist(1, 5000);
+    Buffer frame;
+    const int len = len_dist(rng);
+    frame.reserve(static_cast<std::size_t>(len));
+    for (int b = 0; b < len; ++b) {
+      frame.push_back(static_cast<std::byte>((i * 31 + b) & 0xFF));
+    }
+    TcpFrameAssembler::encode_prefix(stream, frame.size());
+    stream.raw(BytesView(frame));
+    frames.push_back(std::move(frame));
+  }
+  const Buffer wire = stream.take();
+
+  TcpFrameAssembler assembler;
+  std::vector<Buffer> got;
+  std::size_t pos = 0;
+  std::uniform_int_distribution<std::size_t> chunk_dist(1, 173);
+  while (pos < wire.size()) {
+    const std::size_t n = std::min(chunk_dist(rng), wire.size() - pos);
+    auto out = assembler.feed(BytesView(wire.data() + pos, n));
+    for (auto& f : out) got.push_back(std::move(f));
+    pos += n;
+  }
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+  ASSERT_EQ(got.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(got[i], frames[i]) << "frame " << i;
+  }
+}
+
+TEST(TcpFrameAssembler, HoldsIncompleteTail) {
+  util::Writer stream;
+  const Buffer frame = to_buffer("0123456789");
+  TcpFrameAssembler::encode_prefix(stream, frame.size());
+  stream.raw(BytesView(frame));
+  const Buffer wire = stream.take();
+
+  TcpFrameAssembler assembler;
+  // All but the last byte: nothing extracted yet.
+  auto out = assembler.feed(BytesView(wire.data(), wire.size() - 1));
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(assembler.pending_bytes(), 0u);
+  out = assembler.feed(BytesView(wire.data() + wire.size() - 1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(to_string(BytesView(out[0])), "0123456789");
+}
+
+TEST(TcpFrameAssembler, PoisonsOnZeroLengthAndOversizedPrefix) {
+  {
+    TcpFrameAssembler assembler;
+    EXPECT_THROW(assembler.feed(BytesView(bytes_of({0, 0, 0, 0, 1}))),
+                 CodecError);
+  }
+  {
+    TcpFrameAssembler assembler(/*max_frame=*/16);
+    util::Writer w;
+    TcpFrameAssembler::encode_prefix(w, 17);
+    EXPECT_THROW(assembler.feed(BytesView(w.view())), CodecError);
+  }
+}
+
+}  // namespace
+}  // namespace globe::net
