@@ -56,6 +56,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -1343,6 +1344,256 @@ HistoryBenchResult run_history_bench(int mirrors, int caches, int clients,
 }
 
 // ---------------------------------------------------------------------
+// 11. multi_object — many-object sharding (placement + per-shard
+// subgroups + the multi-object engine). Three gates: aggregate scaling
+// with the shard count, hot-shard churn isolation, and digest
+// equivalence of a single-object deployment against the legacy path.
+// ---------------------------------------------------------------------
+
+struct MultiObjectRow {
+  int shards = 0;
+  int objects = 0;
+  int ops = 0;
+  double wall_s = 0;
+  std::uint64_t messages = 0;
+  double msgs_per_op = 0;
+  bool converged = false;
+  std::map<ShardId, metrics::ShardStats> shard_stats;  // per-shard rollup
+};
+
+struct MultiObjectResult {
+  std::vector<MultiObjectRow> scaling;  // one row per shard count
+  // Hot-shard churn isolation (2 shards, membership on).
+  std::uint64_t churn_crashes = 0;
+  std::uint64_t cold_epoch_before = 0;
+  std::uint64_t cold_epoch_after = 0;
+  std::uint64_t hot_epoch_after = 0;
+  bool cold_untouched = false;
+  bool isolation_converged = false;
+  // One object, one shard, placed through the placement service vs the
+  // legacy single-object testbed: per-store state digests must match.
+  bool baseline_identical = false;
+};
+
+core::ReplicationPolicy multi_object_policy() {
+  core::ReplicationPolicy policy;  // PRAM push immediate partial
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  return policy;
+}
+
+/// A placed deployment of `objects` objects over `shards` shards (one
+/// primary + one secondary each), `ops` Zipf-distributed client writes
+/// and reads through placed bindings.
+MultiObjectRow run_multi_object_scale(int shards, int objects, int ops,
+                                      std::uint64_t seed) {
+  MultiObjectRow row;
+  row.shards = shards;
+  row.objects = objects;
+  row.ops = ops;
+  const auto start = Clock::now();
+
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.shards = static_cast<std::uint32_t>(shards);
+  opts.record_history = false;
+  Testbed bed(opts);
+  const auto policy = multi_object_policy();
+  for (ShardId s = 0; s < static_cast<ShardId>(shards); ++s) {
+    bed.add_shard_store(s, naming::StoreClass::kPermanent, policy,
+                        /*primary=*/true);
+    bed.add_shard_store(s, naming::StoreClass::kObjectInitiated, policy);
+  }
+  std::vector<ObjectId> ids;
+  ids.reserve(static_cast<std::size_t>(objects));
+  for (ObjectId id = 1; id <= static_cast<ObjectId>(objects); ++id) {
+    ids.push_back(id);
+  }
+  bed.place_objects(ids);
+  for (const ObjectId id : ids) {
+    bed.primary(id).seed(id, "page.html", "base-" + std::to_string(id));
+  }
+  bed.settle();
+
+  constexpr int kClients = 4;
+  std::vector<replication::ClientBinding*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(
+        &bed.add_placed_client(coherence::ClientModel::kReadYourWrites));
+  }
+  bed.metrics().reset();
+
+  workload::ZipfGenerator zipf(ids.size(), 0.9);
+  util::Rng rng(seed * 77 + shards);
+  int failures = 0;
+  for (int op = 0; op < ops; ++op) {
+    const ObjectId id = ids[zipf.sample(rng)];
+    auto& client = *clients[op % kClients];
+    if (op % 3 == 0) {
+      client.write(id, "page.html", "v" + std::to_string(op),
+                   [&](replication::WriteResult r) {
+                     if (!r.ok) ++failures;
+                   });
+    } else {
+      client.read(id, "page.html", [&](replication::ReadResult r) {
+        if (!r.ok) ++failures;
+      });
+    }
+    // Drain in small batches: sessions serialize per object, so an
+    // unbounded backlog would only measure queue depth.
+    if (op % 64 == 63) bed.settle();
+  }
+  bed.settle();
+
+  row.wall_s = seconds_since(start);
+  row.messages = bed.metrics().total_traffic().messages;
+  row.msgs_per_op = ops > 0 ? static_cast<double>(row.messages) / ops : 0;
+  row.shard_stats = bed.metrics().shard_stats();
+  row.converged = failures == 0;
+  for (const ObjectId id : ids) {
+    if (!bed.converged(id)) {
+      row.converged = false;
+      break;
+    }
+  }
+  return row;
+}
+
+/// Hot-shard churn isolation: Zipf's head lives on one shard; churn it
+/// while writing everywhere; the cold shard's subgroup view must not
+/// move and every object must still converge.
+void run_multi_object_isolation(int objects, std::uint64_t seed,
+                                MultiObjectResult* out) {
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.shards = 2;
+  opts.record_history = false;
+  opts.enable_membership = true;
+  opts.membership_heartbeat = sim::SimDuration::millis(50);
+  opts.failure_timeout = sim::SimDuration::millis(200);
+  opts.wan.base_latency = sim::SimDuration::millis(2);
+  Testbed bed(opts);
+  const auto policy = multi_object_policy();
+  for (ShardId s = 0; s < 2; ++s) {
+    bed.add_shard_store(s, naming::StoreClass::kPermanent, policy,
+                        /*primary=*/true);
+    bed.add_shard_store(s, naming::StoreClass::kObjectInitiated, policy);
+    bed.add_shard_store(s, naming::StoreClass::kObjectInitiated, policy);
+  }
+  std::vector<ObjectId> ids;
+  for (ObjectId id = 1; id <= static_cast<ObjectId>(objects); ++id) {
+    ids.push_back(id);
+  }
+  bed.place_objects(ids);
+  for (const ObjectId id : ids) {
+    bed.primary(id).seed(id, "page.html", "base-" + std::to_string(id));
+  }
+  bed.settle();
+
+  const ShardId hot = bed.placement().layout().shard_of(ids.front());
+  const ShardId cold = hot == 0 ? 1 : 0;
+  out->cold_epoch_before = bed.shard_primary(cold).view_epoch();
+
+  fault::ScenarioScript script;
+  std::string error;
+  const std::string text = "at 100ms churn period=300ms until=1500ms "
+                           "down=250ms fraction=0.5 shard=" +
+                           std::to_string(hot) + "\n";
+  if (!fault::ScenarioScript::parse(text, &script, &error)) {
+    std::fprintf(stderr, "FATAL: bad isolation script: %s\n", error.c_str());
+    std::exit(1);
+  }
+  replication::TestbedFaultHost host(bed);
+  fault::ScenarioEngine engine(script, host, seed);
+  engine.arm(bed.sim());
+
+  int version = 0;
+  for (int step = 0; step < 25; ++step) {
+    ++version;
+    for (const ObjectId id : ids) {
+      bed.primary(id).seed(id, "page.html",
+                           "v" + std::to_string(version) + "-" +
+                               std::to_string(id));
+    }
+    bed.run_for(sim::SimDuration::millis(100));
+  }
+  bed.run_for(sim::SimDuration::millis(800));
+  bed.settle();
+
+  out->churn_crashes = engine.stats().crashes;
+  out->cold_epoch_after = bed.shard_primary(cold).view_epoch();
+  out->hot_epoch_after = bed.shard_primary(hot).view_epoch();
+  out->cold_untouched = out->churn_crashes > 0 &&
+                        out->cold_epoch_after == out->cold_epoch_before &&
+                        out->hot_epoch_after > out->cold_epoch_after;
+  out->isolation_converged = true;
+  for (const ObjectId id : ids) {
+    if (!bed.converged(id)) {
+      out->isolation_converged = false;
+      break;
+    }
+  }
+}
+
+/// The same single-object write stream through the legacy testbed path
+/// and through a one-shard placed deployment: the refactor must not
+/// change what the stores end up holding.
+bool run_multi_object_baseline(int writes, std::uint64_t seed) {
+  constexpr ObjectId kObj = 1;
+  const auto policy = multi_object_policy();
+  const auto drive = [&](Testbed& bed) {
+    for (int i = 0; i < writes; ++i) {
+      bed.primary(kObj).seed(kObj, "page.html", "w" + std::to_string(i));
+      bed.run_for(sim::SimDuration::millis(10));
+    }
+    bed.settle();
+  };
+
+  TestbedOptions legacy_opts;
+  legacy_opts.seed = seed;
+  legacy_opts.record_history = false;
+  Testbed legacy(legacy_opts);
+  legacy.add_primary(kObj, policy);
+  legacy.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+  drive(legacy);
+
+  TestbedOptions placed_opts;
+  placed_opts.seed = seed;
+  placed_opts.record_history = false;
+  placed_opts.shards = 1;
+  Testbed placed(placed_opts);
+  placed.add_shard_store(0, naming::StoreClass::kPermanent, policy,
+                         /*primary=*/true);
+  placed.add_shard_store(0, naming::StoreClass::kObjectInitiated, policy);
+  placed.place_objects({kObj});
+  drive(placed);
+
+  // Topologies differ (the placement node shifts event timing), so the
+  // wall-clock stamps are masked; everything else must match per store.
+  for (std::size_t i = 0; i < legacy.stores().size(); ++i) {
+    const auto a = replication::store_state_digest(*legacy.stores()[i], kObj,
+                                                   /*mask_wall_clock=*/true);
+    const auto b = replication::store_state_digest(*placed.stores()[i], kObj,
+                                                   /*mask_wall_clock=*/true);
+    if (!(a == b)) return false;
+  }
+  return true;
+}
+
+MultiObjectResult run_multi_object(bool smoke) {
+  MultiObjectResult res;
+  const int objects = smoke ? 200 : 10000;
+  const int ops = smoke ? 120 : 4000;
+  for (const int shards : {1, 2, 4}) {
+    res.scaling.push_back(
+        run_multi_object_scale(shards, objects, ops, /*seed=*/29));
+  }
+  run_multi_object_isolation(smoke ? 40 : 400, /*seed=*/31, &res);
+  res.baseline_identical = run_multi_object_baseline(smoke ? 20 : 200,
+                                                     /*seed=*/37);
+  return res;
+}
+
+// ---------------------------------------------------------------------
 
 void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const SnapshotMicroResult& snap, const E2eResult& pull,
@@ -1351,6 +1602,7 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const WindowRow& win, const HistoryBenchResult& hist,
                const std::vector<ChurnRow>& churn,
                const SnapshotDeltaResult& sd,
+               const MultiObjectResult& mo,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -1512,6 +1764,31 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
       static_cast<unsigned long long>(sd.delta.pages_shipped),
       static_cast<unsigned long long>(sd.delta.bytes_saved),
       sd.identical ? "true" : "false");
+  std::fprintf(f, "  \"multi_object\": {\n    \"scaling\": [\n");
+  for (std::size_t i = 0; i < mo.scaling.size(); ++i) {
+    const MultiObjectRow& r = mo.scaling[i];
+    std::fprintf(f,
+                 "      {\"shards\": %d, \"objects\": %d, \"ops\": %d, "
+                 "\"wall_s\": %.4f, \"messages\": %llu, \"msgs_per_op\": "
+                 "%.2f, \"converged\": %s}%s\n",
+                 r.shards, r.objects, r.ops, r.wall_s,
+                 static_cast<unsigned long long>(r.messages), r.msgs_per_op,
+                 r.converged ? "true" : "false",
+                 i + 1 < mo.scaling.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "    ],\n    \"isolation\": {\"churn_crashes\": %llu, "
+      "\"cold_epoch_before\": %llu, \"cold_epoch_after\": %llu, "
+      "\"hot_epoch_after\": %llu, \"cold_untouched\": %s, "
+      "\"converged\": %s},\n    \"baseline_identical\": %s\n  },\n",
+      static_cast<unsigned long long>(mo.churn_crashes),
+      static_cast<unsigned long long>(mo.cold_epoch_before),
+      static_cast<unsigned long long>(mo.cold_epoch_after),
+      static_cast<unsigned long long>(mo.hot_epoch_after),
+      mo.cold_untouched ? "true" : "false",
+      mo.isolation_converged ? "true" : "false",
+      mo.baseline_identical ? "true" : "false");
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -1664,6 +1941,28 @@ int run(bool smoke, const std::string& out_path) {
       static_cast<unsigned long long>(sd.delta.full_transfers),
       sd.identical);
 
+  std::printf("bench_scale: many-object sharding...\n");
+  const MultiObjectResult mo = run_multi_object(smoke);
+  for (const MultiObjectRow& r : mo.scaling) {
+    std::printf("  %d shard(s) %5d objects %5d ops: %.2fs, %.2f msgs/op, "
+                "conv=%d\n",
+                r.shards, r.objects, r.ops, r.wall_s, r.msgs_per_op,
+                r.converged);
+  }
+  if (!mo.scaling.empty()) {
+    std::printf("  per-shard rollup of the widest run:\n%s",
+                metrics::render_shard_stats(mo.scaling.back().shard_stats)
+                    .c_str());
+  }
+  std::printf("  isolation: crashes=%llu cold epoch %llu->%llu hot=%llu "
+              "untouched=%d conv=%d; baseline_identical=%d\n",
+              static_cast<unsigned long long>(mo.churn_crashes),
+              static_cast<unsigned long long>(mo.cold_epoch_before),
+              static_cast<unsigned long long>(mo.cold_epoch_after),
+              static_cast<unsigned long long>(mo.hot_epoch_after),
+              mo.cold_untouched, mo.isolation_converged,
+              mo.baseline_identical);
+
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
   for (const auto model :
@@ -1686,7 +1985,7 @@ int run(bool smoke, const std::string& out_path) {
     return 1;
   }
   emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
-            win, hist, churn, sd, rows);
+            win, hist, churn, sd, mo, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -1740,6 +2039,23 @@ int run(bool smoke, const std::string& out_path) {
                  "FAIL: delta snapshots identical=%d reduction=%.2f "
                  "(want identical and >= 5x)\n",
                  sd.identical, sd.reduction);
+    return 1;
+  }
+  for (const MultiObjectRow& r : mo.scaling) {
+    if (!r.converged) {
+      std::fprintf(stderr,
+                   "FAIL: multi-object scaling run (%d shards) did not "
+                   "converge\n",
+                   r.shards);
+      return 1;
+    }
+  }
+  if (!mo.cold_untouched || !mo.isolation_converged ||
+      !mo.baseline_identical) {
+    std::fprintf(stderr,
+                 "FAIL: multi-object untouched=%d conv=%d baseline=%d\n",
+                 mo.cold_untouched, mo.isolation_converged,
+                 mo.baseline_identical);
     return 1;
   }
   return 0;

@@ -79,6 +79,33 @@ bool parse_index_list(std::string_view tok, std::vector<std::size_t>* out) {
   return !out->empty();
 }
 
+bool parse_u64(std::string_view tok, std::uint64_t* out) {
+  const auto [rest, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+  return ec == std::errc{} && rest == tok.data() + tok.size();
+}
+
+/// Consumes a `shard=<id>` / `object=<id>` token into the action's
+/// scope. Returns false for any other token.
+bool parse_scope_kv(std::string_view kv, Action* a) {
+  const std::size_t eq = kv.find('=');
+  if (eq == std::string_view::npos) return false;
+  const std::string_view key = kv.substr(0, eq);
+  const std::string_view val = kv.substr(eq + 1);
+  std::uint64_t value = 0;
+  if (key == "shard") {
+    if (!parse_u64(val, &value) || value >= kInvalidShard) return false;
+    a->shard = static_cast<ShardId>(value);
+    return true;
+  }
+  if (key == "object") {
+    if (!parse_u64(val, &value) || value == 0) return false;
+    a->object = value;
+    return true;
+  }
+  return false;
+}
+
 bool parse_fraction(std::string_view tok, double* out) {
   double value = 0;
   const auto [rest, ec] =
@@ -122,12 +149,24 @@ bool ScenarioScript::parse(std::string_view text, ScenarioScript* out,
     const std::string_view verb = toks[2];
 
     if (verb == "crash" || verb == "recover" || verb == "leave") {
-      if (toks.size() != 4 || !parse_index(toks[3], &a.store)) {
-        return fail(line_no, "want '" + std::string(verb) + " <store-index>'");
-      }
       a.kind = verb == "crash"     ? ActionKind::kCrash
                : verb == "recover" ? ActionKind::kRecover
                                    : ActionKind::kLeave;
+      // Either one store index, or one-or-more scope arguments
+      // (shard=<id>, object=<id>).
+      bool scoped_form = toks.size() > 3;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        if (!parse_scope_kv(toks[i], &a)) {
+          scoped_form = false;
+          break;
+        }
+      }
+      if (!scoped_form &&
+          (toks.size() != 4 || !parse_index(toks[3], &a.store))) {
+        return fail(line_no, "want '" + std::string(verb) +
+                                 " <store-index>' or '" + std::string(verb) +
+                                 " shard=<id>|object=<id>'");
+      }
     } else if (verb == "join") {
       if (toks.size() != 4 || !parse_index(toks[3], &a.count) ||
           a.count == 0) {
@@ -135,17 +174,26 @@ bool ScenarioScript::parse(std::string_view text, ScenarioScript* out,
       }
       a.kind = ActionKind::kJoin;
     } else if (verb == "partition") {
-      if (toks.size() != 4) {
-        return fail(line_no, "want 'partition <i,j,..>|<k,l,..>'");
-      }
-      const std::string_view arg = toks[3];
-      const std::size_t bar = arg.find('|');
-      if (bar == std::string_view::npos ||
-          !parse_index_list(arg.substr(0, bar), &a.side_a) ||
-          !parse_index_list(arg.substr(bar + 1), &a.side_b)) {
-        return fail(line_no, "want 'partition <i,j,..>|<k,l,..>'");
-      }
       a.kind = ActionKind::kPartition;
+      // Either explicit sides, or a scope cut off from everyone else.
+      bool scoped_form = toks.size() > 3;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        if (!parse_scope_kv(toks[i], &a)) {
+          scoped_form = false;
+          break;
+        }
+      }
+      if (!scoped_form) {
+        const std::string_view arg = toks.size() == 4 ? toks[3] : "";
+        const std::size_t bar = arg.find('|');
+        if (toks.size() != 4 || bar == std::string_view::npos ||
+            !parse_index_list(arg.substr(0, bar), &a.side_a) ||
+            !parse_index_list(arg.substr(bar + 1), &a.side_b)) {
+          return fail(line_no,
+                      "want 'partition <i,j,..>|<k,l,..>' or 'partition "
+                      "shard=<id>|object=<id>'");
+        }
+      }
     } else if (verb == "heal") {
       if (toks.size() != 3) return fail(line_no, "want 'heal'");
       a.kind = ActionKind::kHeal;
@@ -171,6 +219,8 @@ bool ScenarioScript::parse(std::string_view text, ScenarioScript* out,
           ok = parse_time(val, &a.downtime);
         } else if (key == "fraction") {
           ok = parse_fraction(val, &a.fraction);
+        } else if (key == "shard" || key == "object") {
+          ok = parse_scope_kv(kv, &a);
         }
         if (!ok) {
           return fail(line_no, "bad churn argument '" + std::string(kv) + "'");
@@ -234,22 +284,58 @@ void ScenarioEngine::advance_to(SimDuration elapsed) {
   }
 }
 
+bool ScenarioEngine::in_scope(const Action& a, std::size_t index) const {
+  if (a.shard != kInvalidShard && host_.store_shard(index) != a.shard) {
+    return false;
+  }
+  if (a.object != 0 && !host_.store_hosts_object(index, a.object)) {
+    return false;
+  }
+  return true;
+}
+
 void ScenarioEngine::apply(const Action& a) {
   switch (a.kind) {
     case ActionKind::kCrash:
-      if (a.store < host_.store_count() && host_.store_alive(a.store)) {
+      if (a.scoped()) {
+        // Scoped sweeps exempt primaries (the persistence root); a
+        // scripted primary crash names its index explicitly.
+        for (std::size_t i = 0; i < host_.store_count(); ++i) {
+          if (in_scope(a, i) && host_.store_alive(i) &&
+              !host_.store_is_primary(i)) {
+            host_.crash_store(i);
+            ++stats_.crashes;
+          }
+        }
+      } else if (a.store < host_.store_count() && host_.store_alive(a.store)) {
         host_.crash_store(a.store);
         ++stats_.crashes;
       }
       return;
     case ActionKind::kRecover:
-      if (a.store < host_.store_count() && !host_.store_alive(a.store)) {
+      if (a.scoped()) {
+        for (std::size_t i = 0; i < host_.store_count(); ++i) {
+          if (in_scope(a, i) && !host_.store_alive(i)) {
+            host_.recover_store(i);
+            ++stats_.recoveries;
+          }
+        }
+      } else if (a.store < host_.store_count() &&
+                 !host_.store_alive(a.store)) {
         host_.recover_store(a.store);
         ++stats_.recoveries;
       }
       return;
     case ActionKind::kLeave:
-      if (a.store < host_.store_count() && host_.store_alive(a.store)) {
+      if (a.scoped()) {
+        for (std::size_t i = 0; i < host_.store_count(); ++i) {
+          if (in_scope(a, i) && host_.store_alive(i) &&
+              !host_.store_is_primary(i)) {
+            host_.leave_store(i);
+            ++stats_.leaves;
+          }
+        }
+      } else if (a.store < host_.store_count() && host_.store_alive(a.store)) {
         host_.leave_store(a.store);
         ++stats_.leaves;
       }
@@ -259,7 +345,17 @@ void ScenarioEngine::apply(const Action& a) {
       stats_.joins += a.count;
       return;
     case ActionKind::kPartition:
-      host_.partition(a.side_a, a.side_b);
+      if (a.scoped()) {
+        // The scope vs the rest of the world.
+        std::vector<std::size_t> side_a, side_b;
+        for (std::size_t i = 0; i < host_.store_count(); ++i) {
+          (in_scope(a, i) ? side_a : side_b).push_back(i);
+        }
+        if (side_a.empty() || side_b.empty()) return;
+        host_.partition(side_a, side_b);
+      } else {
+        host_.partition(a.side_a, a.side_b);
+      }
       ++stats_.partitions;
       return;
     case ActionKind::kHeal:
@@ -270,7 +366,8 @@ void ScenarioEngine::apply(const Action& a) {
       ++stats_.churn_ticks;
       std::vector<std::size_t> eligible;
       for (std::size_t i = 0; i < host_.store_count(); ++i) {
-        if (host_.store_alive(i) && !host_.store_is_primary(i)) {
+        if (host_.store_alive(i) && !host_.store_is_primary(i) &&
+            in_scope(a, i)) {
           eligible.push_back(i);
         }
       }

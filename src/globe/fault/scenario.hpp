@@ -23,6 +23,21 @@
 // one's recovery `down` later, until `until`. Indices are host store
 // indices (the Testbed's construction order). The engine is
 // deterministic given its seed.
+//
+// Sharded deployments scope actions with `shard=<id>` and/or
+// `object=<id>` instead of store indices:
+//
+//   at 2s   crash shard=1                 # every non-primary store of shard 1
+//   at 3s   recover shard=1
+//   at 4s   partition shard=0             # shard 0 vs everyone else
+//   at 1s   churn period=200ms until=5s shard=1
+//   at 6s   leave object=77               # stores hosting object 77
+//
+// A scope selects the matching stores through the host's
+// store_shard()/store_hosts_object() accessors. Scoped crash, leave,
+// and churn exempt shard primaries (like unscoped churn): the paper's
+// permanent store is the persistence root — crashing it is a scripted
+// `crash <index>`, not a scope sweep.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +47,7 @@
 #include <vector>
 
 #include "globe/sim/simulator.hpp"
+#include "globe/util/ids.hpp"
 #include "globe/util/rng.hpp"
 #include "globe/util/time.hpp"
 
@@ -59,6 +75,14 @@ struct Action {
   std::vector<std::size_t> side_a, side_b;   // partition (store indices)
   SimDuration period{}, until{}, downtime{};  // churn
   double fraction = 0.05;                    // churn
+  // Scopes (sharded deployments): restrict the action to the stores of
+  // one shard and/or the stores hosting one object, instead of naming
+  // store indices. kInvalidShard / 0 = unscoped.
+  ShardId shard = kInvalidShard;
+  ObjectId object = 0;
+  [[nodiscard]] bool scoped() const {
+    return shard != kInvalidShard || object != 0;
+  }
 };
 
 struct ScenarioScript {
@@ -86,6 +110,19 @@ class FaultHost {
   [[nodiscard]] virtual std::size_t store_count() const = 0;
   [[nodiscard]] virtual bool store_alive(std::size_t index) const = 0;
   [[nodiscard]] virtual bool store_is_primary(std::size_t index) const = 0;
+  /// Shard the store serves (sharded hosts override; single-shard
+  /// deployments live in shard 0).
+  [[nodiscard]] virtual ShardId store_shard(std::size_t index) const {
+    (void)index;
+    return 0;
+  }
+  /// Whether the store hosts `object` (multi-object hosts override).
+  [[nodiscard]] virtual bool store_hosts_object(std::size_t index,
+                                                ObjectId object) const {
+    (void)index;
+    (void)object;
+    return true;
+  }
 
   virtual void crash_store(std::size_t index) = 0;
   virtual void recover_store(std::size_t index) = 0;
@@ -132,6 +169,7 @@ class ScenarioEngine {
  private:
   void apply(const Action& a);
   void dispatch(const Action& a, SimDuration at);
+  [[nodiscard]] bool in_scope(const Action& a, std::size_t index) const;
 
   FaultHost& host_;
   util::Rng rng_;

@@ -20,31 +20,39 @@ MembershipService::MembershipService(const TransportFactory& factory,
   }
 }
 
-std::uint64_t MembershipService::epoch(ObjectId object) const {
-  auto it = objects_.find(object);
-  return it == objects_.end() ? 0 : it->second.epoch;
+std::uint64_t MembershipService::shard_epoch(ObjectId scope,
+                                             ShardId shard) const {
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return 0;
+  auto sit = it->second.shards.find(shard);
+  return sit == it->second.shards.end() ? 0 : sit->second.epoch;
 }
 
-std::size_t MembershipService::watcher_count(ObjectId object) const {
-  auto it = watchers_.find(object);
+std::size_t MembershipService::watcher_count(ObjectId object,
+                                             ShardId shard) const {
+  auto it = watchers_.find({object, shard});
   return it == watchers_.end() ? 0 : it->second.size();
 }
 
-View MembershipService::snapshot_view(ObjectId object) const {
+View MembershipService::snapshot_view(ObjectId scope, ShardId shard) const {
   View v;
-  v.object = object;
-  auto it = objects_.find(object);
-  if (it == objects_.end()) return v;
-  v.epoch = it->second.epoch;
-  v.members.reserve(it->second.members.size());
-  for (const MemberState& m : it->second.members) v.members.push_back(m.contact);
+  v.object = scope;
+  v.shard = shard;
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return v;
+  auto sit = it->second.shards.find(shard);
+  if (sit == it->second.shards.end()) return v;
+  v.epoch = sit->second.epoch;
+  for (const MemberState& m : it->second.members) {
+    if (m.shard == shard) v.members.push_back(m.contact);
+  }
   return v;
 }
 
-void MembershipService::admit(ObjectId object,
+void MembershipService::admit(ObjectId scope,
                               const naming::ContactPoint& contact,
-                              bool* added) {
-  ObjectState& state = objects_[object];
+                              ShardId shard, bool* added) {
+  ScopeState& state = scopes_[scope];
   auto it = std::find_if(state.members.begin(), state.members.end(),
                          [&](const MemberState& m) {
                            return m.contact.address == contact.address;
@@ -55,92 +63,100 @@ void MembershipService::admit(ObjectId object,
     *added = false;
     return;
   }
-  state.members.push_back(MemberState{contact, now()});
-  ++state.epoch;
+  state.members.push_back(MemberState{contact, shard, now()});
+  ++state.shards[shard].epoch;
   if (options_.naming != nullptr) {
-    options_.naming->register_contact(object, contact);
+    options_.naming->register_contact(scope, contact);
   }
   *added = true;
 }
 
-void MembershipService::remove(ObjectId object, const Address& addr,
+void MembershipService::remove(ObjectId scope, const Address& addr,
                                bool evicted) {
-  auto it = objects_.find(object);
-  if (it == objects_.end()) return;
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return;
   auto& members = it->second.members;
-  const auto before = members.size();
-  std::erase_if(members, [&](const MemberState& m) {
-    return m.contact.address == addr;
-  });
-  if (members.size() == before) return;
-  ++it->second.epoch;
+  auto mit = std::find_if(members.begin(), members.end(),
+                          [&](const MemberState& m) {
+                            return m.contact.address == addr;
+                          });
+  if (mit == members.end()) return;
+  const ShardId shard = mit->shard;
+  members.erase(mit);
+  ++it->second.shards[shard].epoch;
   if (options_.naming != nullptr) {
-    options_.naming->unregister_contact(object, addr);
+    options_.naming->unregister_contact(scope, addr);
   }
   if (evicted) {
     ++stats_.evictions;
   } else {
     ++stats_.leaves;
   }
-  broadcast(object);
+  broadcast(scope, shard);
 }
 
 void MembershipService::sweep() {
-  for (auto& [object, state] : objects_) {
-    std::vector<Address> dead;
+  for (auto& [scope, state] : scopes_) {
+    // Collect the silent members per shard: each affected shard gets one
+    // epoch bump and one broadcast for the whole batch, and untouched
+    // shards get neither — hot-shard churn cannot stall cold shards.
+    std::map<ShardId, std::vector<Address>> dead;
     for (const MemberState& m : state.members) {
       if (m.contact.is_primary && !options_.evict_primary) continue;
       if (now() - m.last_heard > options_.failure_timeout) {
-        dead.push_back(m.contact.address);
+        dead[m.shard].push_back(m.contact.address);
       }
     }
-    if (dead.empty()) continue;
-    // One epoch bump for the whole batch: members that stayed see a
-    // contiguous epoch sequence (+1), which is what lets them tell
-    // "routine change" from "I missed view changes myself".
-    auto& members = state.members;
-    for (const Address& addr : dead) {
-      std::erase_if(members, [&](const MemberState& m) {
-        return m.contact.address == addr;
-      });
-      if (options_.naming != nullptr) {
-        options_.naming->unregister_contact(object, addr);
+    for (const auto& [shard, addrs] : dead) {
+      auto& members = state.members;
+      for (const Address& addr : addrs) {
+        std::erase_if(members, [&](const MemberState& m) {
+          return m.contact.address == addr;
+        });
+        if (options_.naming != nullptr) {
+          options_.naming->unregister_contact(scope, addr);
+        }
+        ++stats_.evictions;
       }
-      ++stats_.evictions;
+      ++state.shards[shard].epoch;
+      broadcast(scope, shard);
     }
-    ++state.epoch;
-    broadcast(object);
   }
 }
 
-void MembershipService::broadcast(ObjectId object, const Address* exclude) {
+void MembershipService::broadcast(ObjectId scope, ShardId shard,
+                                  const Address* exclude) {
   ++stats_.view_changes;
-  const View v = snapshot_view(object);
+  if (options_.metrics != nullptr) {
+    options_.metrics->record_shard_view_change(shard);
+  }
+  const View v = snapshot_view(scope, shard);
   std::vector<Address> targets;
   for (const auto& m : v.members) {
     if (exclude != nullptr && m.address == *exclude) continue;
     targets.push_back(m.address);
   }
-  auto wit = watchers_.find(object);
+  auto wit = watchers_.find({scope, shard});
   if (wit != watchers_.end()) {
     targets.insert(targets.end(), wit->second.begin(), wit->second.end());
   }
 
-  ObjectState& state = objects_[object];
+  ShardGroup& group = scopes_[scope].shards[shard];
   // Diff broadcast: epoch + joined/left instead of the full member list.
   // Only sound when the receivers can have seen the previous epoch —
   // i.e. something was broadcast before and exactly one epoch elapsed
   // since (admit() bumps the epoch without broadcasting only for the
   // join path, which broadcasts immediately after).
-  const bool can_delta = options_.view_deltas && state.broadcast_epoch != 0 &&
-                         v.epoch == state.broadcast_epoch + 1;
+  const bool can_delta = options_.view_deltas && group.broadcast_epoch != 0 &&
+                         v.epoch == group.broadcast_epoch + 1;
   if (can_delta) {
     ViewDelta d;
-    d.object = object;
+    d.object = scope;
+    d.shard = shard;
     d.epoch = v.epoch;
     for (const auto& m : v.members) {
       bool had = false;
-      for (const auto& prev : state.broadcast_members) {
+      for (const auto& prev : group.broadcast_members) {
         if (prev.address == m.address) {
           had = true;
           break;
@@ -148,18 +164,18 @@ void MembershipService::broadcast(ObjectId object, const Address* exclude) {
       }
       if (!had) d.joined.push_back(m);
     }
-    for (const auto& prev : state.broadcast_members) {
+    for (const auto& prev : group.broadcast_members) {
       if (!v.contains(prev.address)) d.left.push_back(prev.address);
     }
     ++stats_.delta_broadcasts;
-    comm_.multicast_with(targets, msg::MsgType::kViewDelta, object,
+    comm_.multicast_with(targets, msg::MsgType::kViewDelta, scope,
                          [&](util::Writer& w) { d.encode(w); });
   } else {
-    comm_.multicast_with(targets, msg::MsgType::kViewChange, object,
+    comm_.multicast_with(targets, msg::MsgType::kViewChange, scope,
                          [&](util::Writer& w) { v.encode(w); });
   }
-  state.broadcast_members = v.members;
-  state.broadcast_epoch = v.epoch;
+  group.broadcast_members = v.members;
+  group.broadcast_epoch = v.epoch;
 }
 
 void MembershipService::on_message(const Address& from,
@@ -168,12 +184,12 @@ void MembershipService::on_message(const Address& from,
     case msg::MsgType::kMembershipJoin: {
       const MemberAnnounce m = MemberAnnounce::decode(env.body);
       bool added = false;
-      admit(env.object, m.contact, &added);
+      admit(env.object, m.contact, m.shard, &added);
       if (added) {
         ++stats_.joins;
-        broadcast(env.object, &m.contact.address);
+        broadcast(env.object, m.shard, &m.contact.address);
       }
-      const View v = snapshot_view(env.object);
+      const View v = snapshot_view(env.object, m.shard);
       comm_.reply_with(from, msg::MsgType::kMembershipJoinAck, env.object,
                        env.request_id, [&](util::Writer& w) { v.encode(w); });
       return;
@@ -181,12 +197,12 @@ void MembershipService::on_message(const Address& from,
     case msg::MsgType::kMembershipHeartbeat: {
       const MemberAnnounce m = MemberAnnounce::decode(env.body);
       bool added = false;
-      admit(env.object, m.contact, &added);
+      admit(env.object, m.contact, m.shard, &added);
       if (added) {
         // Heard from a store the view does not contain: it was evicted
         // during a partition (or crashed and recovered) and is back.
         ++stats_.rejoins;
-        broadcast(env.object);
+        broadcast(env.object, m.shard);
       }
       return;
     }
@@ -199,14 +215,15 @@ void MembershipService::on_message(const Address& from,
       // A receiver with an epoch gap (it missed delta broadcasts, e.g.
       // across a partition) re-anchors on the full view.
       ++stats_.view_fetches;
-      const View v = snapshot_view(env.object);
+      const ViewFetchMsg m = ViewFetchMsg::decode(env.body);
+      const View v = snapshot_view(env.object, m.shard);
       comm_.reply_with(from, msg::MsgType::kViewFetchReply, env.object,
                        env.request_id, [&](util::Writer& w) { v.encode(w); });
       return;
     }
     case msg::MsgType::kMembershipWatch: {
       const WatchMsg m = WatchMsg::decode(env.body);
-      auto& list = watchers_[env.object];
+      auto& list = watchers_[{env.object, m.shard}];
       if (!m.subscribe) {
         std::erase(list, m.watcher);
         return;

@@ -18,6 +18,14 @@
 // register the store's contact point, leaves and evictions unregister it
 // — evicted stores disappear from resolution instead of lingering as
 // stale contacts.
+//
+// Sharded deployments use the same machinery with one twist: all stores
+// of a cluster join ONE scope (the envelope object id), each announcing
+// the shard it serves. The scope keeps a single member list and a single
+// heartbeat stream, but projects per-shard subgroup views out of it
+// (Derecho-style): each shard has its own epoch and its own broadcast
+// fan-out, so churn in a hot shard bumps and broadcasts only that
+// shard's view — cold shards never hear about it.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 
 #include "globe/core/comm.hpp"
 #include "globe/membership/view.hpp"
+#include "globe/metrics/stats.hpp"
 #include "globe/naming/service.hpp"
 #include "globe/sim/simulator.hpp"
 
@@ -52,6 +61,8 @@ struct MembershipOptions {
   /// instead of full member lists; receivers with an epoch gap fetch
   /// the full view. False restores the full-view broadcast baseline.
   bool view_deltas = true;
+  /// When set, per-shard view changes feed the shard rollups.
+  metrics::MetricsSink* metrics = nullptr;
 };
 
 /// Aggregate protocol counters (tests / benchmarks).
@@ -78,12 +89,21 @@ class MembershipService {
   [[nodiscard]] Address address() const { return comm_.local_address(); }
 
   /// Current view of an object (epoch 0 / empty when nobody joined).
+  /// Legacy single-object deployments live entirely in shard 0.
   [[nodiscard]] View current_view(ObjectId object) const {
-    return snapshot_view(object);
+    return snapshot_view(object, 0);
   }
-  [[nodiscard]] std::uint64_t epoch(ObjectId object) const;
+  [[nodiscard]] std::uint64_t epoch(ObjectId object) const {
+    return shard_epoch(object, 0);
+  }
+  /// Per-shard subgroup projections of one scope's member list.
+  [[nodiscard]] View shard_view(ObjectId scope, ShardId shard) const {
+    return snapshot_view(scope, shard);
+  }
+  [[nodiscard]] std::uint64_t shard_epoch(ObjectId scope, ShardId shard) const;
   [[nodiscard]] const MembershipStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t watcher_count(ObjectId object) const;
+  [[nodiscard]] std::size_t watcher_count(ObjectId object,
+                                          ShardId shard = 0) const;
 
   /// Runs one failure-detector sweep immediately (tests).
   void sweep_now() { sweep(); }
@@ -91,28 +111,36 @@ class MembershipService {
  private:
   struct MemberState {
     naming::ContactPoint contact;
+    ShardId shard = 0;
     util::SimTime last_heard{};
   };
-  struct ObjectState {
+  /// Per-shard epoch + broadcast bookkeeping. The member list itself is
+  /// scope-wide (one heartbeat stream, one failure detector); these are
+  /// the independently-advancing subgroup projections of it.
+  struct ShardGroup {
     std::uint64_t epoch = 0;
-    std::vector<MemberState> members;
     // Members as of the last broadcast, for computing ViewDelta diffs.
     // Empty epoch-0 state means nothing was broadcast yet (the first
     // change always goes out as a full view).
     std::vector<naming::ContactPoint> broadcast_members;
     std::uint64_t broadcast_epoch = 0;
   };
+  struct ScopeState {
+    std::vector<MemberState> members;
+    std::map<ShardId, ShardGroup> shards;
+  };
 
   void on_message(const Address& from, const msg::EnvelopeView& env);
-  void admit(ObjectId object, const naming::ContactPoint& contact,
-             bool* added);
-  void remove(ObjectId object, const Address& addr, bool evicted);
+  void admit(ObjectId scope, const naming::ContactPoint& contact,
+             ShardId shard, bool* added);
+  void remove(ObjectId scope, const Address& addr, bool evicted);
   void sweep();
   /// `exclude` suppresses the broadcast to one member — a fresh joiner
   /// whose join ack already carries the full view (a delta would only
   /// trigger a redundant full-view fetch at its 0-epoch base).
-  void broadcast(ObjectId object, const Address* exclude = nullptr);
-  [[nodiscard]] View snapshot_view(ObjectId object) const;
+  void broadcast(ObjectId scope, ShardId shard,
+                 const Address* exclude = nullptr);
+  [[nodiscard]] View snapshot_view(ObjectId scope, ShardId shard) const;
   [[nodiscard]] util::SimTime now() const {
     return sim_ != nullptr ? sim_->now() : util::SimTime{};
   }
@@ -120,8 +148,8 @@ class MembershipService {
   sim::Simulator* sim_;
   MembershipOptions options_;
   CommunicationObject comm_;
-  std::map<ObjectId, ObjectState> objects_;
-  std::map<ObjectId, std::vector<Address>> watchers_;
+  std::map<ObjectId, ScopeState> scopes_;
+  std::map<std::pair<ObjectId, ShardId>, std::vector<Address>> watchers_;
   std::optional<sim::PeriodicTimer> sweep_timer_;
   MembershipStats stats_;
 };

@@ -21,10 +21,17 @@
 
 namespace globe::membership {
 
-/// One object's replica membership at one epoch. Members are the alive
-/// stores only: evicted and departed stores are simply absent.
+/// One replica subgroup's membership at one epoch. Members are the
+/// alive stores only: evicted and departed stores are simply absent.
+///
+/// `object` names the membership scope: a single object in the original
+/// per-object mode, or a whole cluster of stores in sharded mode. In
+/// sharded mode the scope's one member list is projected into per-shard
+/// subgroup views (Derecho-style), and `shard` says which projection
+/// this view is; each shard's epoch advances independently.
 struct View {
-  ObjectId object = 0;
+  ObjectId object = 0;  // membership scope (object id or cluster id)
+  ShardId shard = 0;    // subgroup within the scope (0 in legacy mode)
   std::uint64_t epoch = 0;
   std::vector<naming::ContactPoint> members;
 
@@ -52,6 +59,7 @@ struct View {
 
   void encode(util::Writer& w) const {
     w.u64(object);
+    w.u32(shard);
     w.varint(epoch);
     w.varint(members.size());
     for (const auto& m : members) m.encode(w);
@@ -60,6 +68,7 @@ struct View {
   static View decode(util::Reader& r) {
     View v;
     v.object = r.u64();
+    v.shard = r.u32();
     v.epoch = r.varint();
     const std::uint64_t n = r.varint();
     v.members.reserve(n);
@@ -100,7 +109,8 @@ struct View {
 /// when the epoch is contiguous; on a gap (it missed deltas) it fetches
 /// the full view with kViewFetchRequest.
 struct ViewDelta {
-  ObjectId object = 0;
+  ObjectId object = 0;  // membership scope
+  ShardId shard = 0;    // subgroup the diff applies to
   std::uint64_t epoch = 0;  // the epoch AFTER this change
   std::vector<naming::ContactPoint> joined;
   std::vector<net::Address> left;
@@ -134,11 +144,13 @@ struct ViewDelta {
       if (!base.contains(c.address)) base.members.push_back(c);
     }
     base.object = object;
+    base.shard = shard;
     base.epoch = epoch;
   }
 
   void encode(util::Writer& w) const {
     w.u64(object);
+    w.u32(shard);
     w.varint(epoch);
     w.varint(joined.size());
     for (const auto& c : joined) c.encode(w);
@@ -153,6 +165,7 @@ struct ViewDelta {
     util::Reader r(wire);
     ViewDelta d;
     d.object = r.u64();
+    d.shard = r.u32();
     d.epoch = r.varint();
     const std::uint64_t nj = r.varint();
     d.joined.reserve(nj);
@@ -182,13 +195,18 @@ struct ViewDelta {
 /// is what re-admits replicas automatically after a heal.
 struct MemberAnnounce {
   naming::ContactPoint contact;
+  ShardId shard = 0;  // subgroup the announcing store serves
 
-  void encode(util::Writer& w) const { contact.encode(w); }
+  void encode(util::Writer& w) const {
+    contact.encode(w);
+    w.u32(shard);
+  }
 
   static MemberAnnounce decode(util::BytesView wire) {
     util::Reader r(wire);
     MemberAnnounce m;
     m.contact = naming::ContactPoint::decode(r);
+    m.shard = r.u32();
     r.expect_end();
     return m;
   }
@@ -217,11 +235,13 @@ struct LeaveMsg {
 /// subscribe=false, unsubscribing from) view-change pushes.
 struct WatchMsg {
   net::Address watcher;
+  ShardId shard = 0;  // subgroup whose view changes the watcher wants
   bool subscribe = true;
 
   void encode(util::Writer& w) const {
     w.u32(watcher.node);
     w.u16(watcher.port);
+    w.u32(shard);
     w.boolean(subscribe);
   }
 
@@ -230,7 +250,25 @@ struct WatchMsg {
     WatchMsg m;
     m.watcher.node = r.u32();
     m.watcher.port = r.u16();
+    m.shard = r.u32();
     m.subscribe = r.boolean();
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kViewFetchRequest body: which subgroup's full view to fetch. Legacy
+/// senders omitted the body entirely; an empty body means shard 0.
+struct ViewFetchMsg {
+  ShardId shard = 0;
+
+  void encode(util::Writer& w) const { w.u32(shard); }
+
+  static ViewFetchMsg decode(util::BytesView wire) {
+    ViewFetchMsg m;
+    if (wire.empty()) return m;
+    util::Reader r(wire);
+    m.shard = r.u32();
     r.expect_end();
     return m;
   }

@@ -12,12 +12,26 @@
 #include <string>
 
 #include "globe/metrics/histogram.hpp"
+#include "globe/util/ids.hpp"
 
 namespace globe::metrics {
 
 struct TypeTraffic {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+};
+
+/// Per-shard rollup for multi-object deployments: enough to tell a hot
+/// shard from a cold one (ops served, wire bytes handled, client
+/// rebinds, membership view changes) without a per-object histogram.
+struct ShardStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t rebinds = 0;       // client contact re-resolutions
+  std::uint64_t view_changes = 0;  // subgroup view epoch bumps
+
+  [[nodiscard]] std::uint64_t ops() const { return reads + writes; }
 };
 
 class MetricsSink {
@@ -74,6 +88,20 @@ class MetricsSink {
   void record_flow_pause() { ++flow_pauses_; }
   void record_flow_resume() { ++flow_resumes_; }
   void record_flow_eviction() { ++flow_evictions_; }
+
+  // Per-shard rollups (multi-object deployments; shard 0 otherwise).
+  void record_shard_read(ShardId shard) { ++shards_[shard].reads; }
+  void record_shard_write(ShardId shard) { ++shards_[shard].writes; }
+  void record_shard_bytes(ShardId shard, std::size_t bytes) {
+    shards_[shard].bytes += bytes;
+  }
+  void record_shard_rebind(ShardId shard) { ++shards_[shard].rebinds; }
+  void record_shard_view_change(ShardId shard) {
+    ++shards_[shard].view_changes;
+  }
+  [[nodiscard]] const std::map<ShardId, ShardStats>& shard_stats() const {
+    return shards_;
+  }
 
   [[nodiscard]] const TypeTraffic& total_traffic() const { return total_; }
   [[nodiscard]] const std::map<std::uint8_t, TypeTraffic>& traffic_by_type()
@@ -142,6 +170,7 @@ class MetricsSink {
   std::uint64_t flow_pauses_ = 0;
   std::uint64_t flow_resumes_ = 0;
   std::uint64_t flow_evictions_ = 0;
+  std::map<ShardId, ShardStats> shards_;
 };
 
 }  // namespace globe::metrics

@@ -34,6 +34,12 @@ const char* to_string(MsgType t) {
     case MsgType::kViewDelta: return "ViewDelta";
     case MsgType::kViewFetchRequest: return "ViewFetchRequest";
     case MsgType::kViewFetchReply: return "ViewFetchReply";
+    case MsgType::kPlacementFetch: return "PlacementFetch";
+    case MsgType::kPlacementFetchReply: return "PlacementFetchReply";
+    case MsgType::kPlacementResolve: return "PlacementResolve";
+    case MsgType::kPlacementResolveReply: return "PlacementResolveReply";
+    case MsgType::kPlacementWatch: return "PlacementWatch";
+    case MsgType::kPlacementInvalidate: return "PlacementInvalidate";
   }
   return "Unknown";
 }

@@ -64,6 +64,13 @@ enum class MsgType : std::uint8_t {
   kViewDelta = 32,          // incremental view-change broadcast
   kViewFetchRequest = 33,   // full-view fetch after an epoch gap
   kViewFetchReply = 34,     // reply: the current view
+  // Placement service (object -> shard -> contact resolution).
+  kPlacementFetch = 35,        // full layout + shard contact tables
+  kPlacementFetchReply = 36,
+  kPlacementResolve = 37,      // resolve one object (env.object)
+  kPlacementResolveReply = 38,
+  kPlacementWatch = 39,        // subscribe to placement invalidations
+  kPlacementInvalidate = 40,   // push: placement version changed
 };
 
 [[nodiscard]] const char* to_string(MsgType t);
@@ -82,6 +89,8 @@ enum class MsgType : std::uint8_t {
     case MsgType::kMembershipJoinAck:
     case MsgType::kSnapshotDeltaReply:
     case MsgType::kViewFetchReply:
+    case MsgType::kPlacementFetchReply:
+    case MsgType::kPlacementResolveReply:
       return true;
     default:
       return false;

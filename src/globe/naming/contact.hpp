@@ -59,10 +59,27 @@ struct ContactPoint {
   }
 };
 
+/// Tie-break hash for same-layer contact selection: a splitmix64-style
+/// mix of (object, client). Using the raw client id spreads clients of
+/// ONE object, but a client binding to many objects would land on the
+/// same replica index everywhere, and sequentially-numbered clients
+/// stripe instead of scatter; mixing both coordinates spreads the load
+/// in either direction.
+[[nodiscard]] inline std::uint64_t contact_spread(ObjectId object,
+                                                 std::uint64_t client) {
+  std::uint64_t x = object + 0x9E3779B97F4A7C15ull * (client + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Read-contact selection shared by the Binder and by view-change
 /// rebinding: nearest layer at or below the preferred one, falling back
 /// upward (cache -> mirror -> permanent). `spread` breaks ties among
-/// same-layer contacts (e.g. a client id), so rebinding clients spread
+/// same-layer contacts (see contact_spread), so rebinding clients spread
 /// across the surviving stores instead of piling onto the first one.
 [[nodiscard]] inline const ContactPoint* choose_read_contact(
     const std::vector<ContactPoint>& contacts, StoreClass preferred,

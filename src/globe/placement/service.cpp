@@ -1,0 +1,221 @@
+#include "globe/placement/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "globe/util/assert.hpp"
+#include "globe/util/log.hpp"
+
+namespace globe::placement {
+
+// ---------------------------------------------------------------------------
+// PlacementServer
+
+PlacementServer::PlacementServer(const TransportFactory& factory,
+                                 sim::Simulator* sim)
+    : comm_(factory, sim) {
+  comm_.set_delivery_handler(
+      [this](const Address& from, const msg::EnvelopeView& env) {
+        on_message(from, env);
+      });
+}
+
+void PlacementServer::set_layout(Layout layout) {
+  GLOBE_ASSERT_MSG(layout.epoch > layout_.epoch,
+                   "layout epoch must advance");
+  layout_ = std::move(layout);
+  ++version_;
+  notify_watchers();
+}
+
+void PlacementServer::register_contact(ShardId shard,
+                                       const ContactPoint& contact) {
+  auto& list = contacts_[shard];
+  auto it = std::find_if(list.begin(), list.end(), [&](const ContactPoint& c) {
+    return c.address == contact.address;
+  });
+  if (it != list.end()) {
+    if (*it == contact) return;  // no change, no invalidation
+    *it = contact;
+  } else {
+    list.push_back(contact);
+  }
+  ++version_;
+  notify_watchers();
+}
+
+void PlacementServer::unregister_contact(ShardId shard, const Address& addr) {
+  auto it = contacts_.find(shard);
+  if (it == contacts_.end()) return;
+  const auto erased = std::erase_if(it->second, [&](const ContactPoint& c) {
+    return c.address == addr;
+  });
+  if (erased == 0) return;
+  ++version_;
+  notify_watchers();
+}
+
+std::vector<ContactPoint> PlacementServer::shard_contacts(
+    ShardId shard) const {
+  auto it = contacts_.find(shard);
+  return it == contacts_.end() ? std::vector<ContactPoint>{} : it->second;
+}
+
+Resolution PlacementServer::resolve(ObjectId object) const {
+  Resolution res;
+  res.version = version_;
+  res.layout_epoch = layout_.epoch;
+  res.shard = layout_.shard_of(object);
+  res.contacts = shard_contacts(res.shard);
+  return res;
+}
+
+void PlacementServer::encode_state(util::Writer& w) const {
+  w.u64(version_);
+  layout_.encode(w);
+  w.varint(contacts_.size());
+  for (const auto& [shard, list] : contacts_) {
+    w.u32(shard);
+    w.varint(list.size());
+    for (const auto& c : list) c.encode(w);
+  }
+}
+
+void PlacementServer::notify_watchers() {
+  if (watchers_.empty()) return;
+  stats_.invalidations_sent += watchers_.size();
+  comm_.multicast_with(
+      watchers_, msg::MsgType::kPlacementInvalidate, 0,
+      [this](util::Writer& w) { w.u64(version_); });
+}
+
+void PlacementServer::on_message(const Address& from,
+                                 const msg::EnvelopeView& env) {
+  switch (env.type) {
+    case msg::MsgType::kPlacementFetch: {
+      ++stats_.fetches_served;
+      comm_.reply_with(from, msg::MsgType::kPlacementFetchReply, env.object,
+                       env.request_id,
+                       [this](util::Writer& w) { encode_state(w); });
+      return;
+    }
+    case msg::MsgType::kPlacementResolve: {
+      ++stats_.resolves_served;
+      const Resolution res = resolve(env.object);
+      comm_.reply_with(from, msg::MsgType::kPlacementResolveReply, env.object,
+                       env.request_id, [&](util::Writer& w) {
+                         w.u64(res.version);
+                         w.u64(res.layout_epoch);
+                         w.u32(res.shard);
+                         w.varint(res.contacts.size());
+                         for (const auto& c : res.contacts) c.encode(w);
+                       });
+      return;
+    }
+    case msg::MsgType::kPlacementWatch: {
+      util::Reader r{env.body};
+      const bool subscribe = r.boolean();
+      auto it = std::find(watchers_.begin(), watchers_.end(), from);
+      if (subscribe && it == watchers_.end()) {
+        watchers_.push_back(from);
+      } else if (!subscribe && it != watchers_.end()) {
+        watchers_.erase(it);
+      }
+      return;
+    }
+    default:
+      GLOBE_LOG_ERROR("placement", "unexpected message type %d",
+                      static_cast<int>(env.type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlacementCache
+
+PlacementCache::PlacementCache(const TransportFactory& factory,
+                               sim::Simulator* sim, Address server)
+    : comm_(factory, sim), server_(server) {
+  comm_.set_delivery_handler(
+      [this](const Address& from, const msg::EnvelopeView& env) {
+        on_message(from, env);
+      });
+}
+
+void PlacementCache::start() {
+  comm_.send_with(server_, msg::MsgType::kPlacementWatch, 0,
+                  [](util::Writer& w) { w.boolean(true); });
+  fetch();
+}
+
+std::optional<Resolution> PlacementCache::resolve(ObjectId object) const {
+  if (version_ == 0) return std::nullopt;
+  Resolution res;
+  res.version = version_;
+  res.layout_epoch = layout_.epoch;
+  res.shard = layout_.shard_of(object);
+  if (auto it = contacts_.find(res.shard); it != contacts_.end()) {
+    res.contacts = it->second;
+  }
+  return res;
+}
+
+void PlacementCache::ensure(EnsureHandler cb) {
+  if (fresh()) {
+    cb(true);
+    return;
+  }
+  waiters_.push_back(std::move(cb));
+  fetch();
+}
+
+void PlacementCache::invalidate() {
+  if (version_ == 0 || stale_) return;
+  stale_ = true;
+  ++invalidations_;
+}
+
+void PlacementCache::fetch() {
+  if (fetch_in_flight_) return;
+  fetch_in_flight_ = true;
+  comm_.request_with(
+      server_, msg::MsgType::kPlacementFetch, 0, [](util::Writer&) {},
+      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
+        fetch_in_flight_ = false;
+        if (ok) {
+          util::Reader r{env.body};
+          version_ = r.u64();
+          layout_ = Layout::decode(r);
+          contacts_.clear();
+          const std::uint64_t shards = r.varint();
+          for (std::uint64_t i = 0; i < shards; ++i) {
+            const ShardId shard = r.u32();
+            const std::uint64_t n = r.varint();
+            auto& list = contacts_[shard];
+            list.reserve(n);
+            for (std::uint64_t j = 0; j < n; ++j) {
+              list.push_back(ContactPoint::decode(r));
+            }
+          }
+          stale_ = false;
+          ++refreshes_;
+        }
+        auto waiters = std::move(waiters_);
+        waiters_.clear();
+        for (auto& cb : waiters) cb(ok);
+      });
+}
+
+void PlacementCache::on_message(const Address& from,
+                                const msg::EnvelopeView& env) {
+  (void)from;
+  if (env.type != msg::MsgType::kPlacementInvalidate) {
+    GLOBE_LOG_ERROR("placement", "unexpected message type %d",
+                    static_cast<int>(env.type));
+    return;
+  }
+  util::Reader r{env.body};
+  const std::uint64_t version = r.u64();
+  if (version != version_) invalidate();
+}
+
+}  // namespace globe::placement

@@ -93,7 +93,10 @@ class Binder {
   std::unique_ptr<ClientBinding> make_binding(
       ObjectId object, const BindRequest& request,
       const std::vector<naming::ContactPoint>& contacts) {
-    const auto* read = choose_read_contact(contacts, request.preferred_layer);
+    const auto* read =
+        naming::choose_read_contact(contacts, request.preferred_layer,
+                                    naming::contact_spread(object,
+                                                           request.client));
     const auto* write =
         choose_write_contact(contacts, request.object_model, read);
     if (read == nullptr) return nullptr;

@@ -16,9 +16,20 @@ ClientBinding::ClientBinding(const TransportFactory& factory,
       comm_(factory, &sim, &traffic_),
       history_(history),
       metrics_(metrics) {
-  GLOBE_ASSERT_MSG(options_.read_store.valid(), "bind requires a read store");
+  GLOBE_ASSERT_MSG(options_.read_store.valid() || options_.placement.valid(),
+                   "bind requires a read store or a placement server");
   if (!options_.write_store.valid()) {
     options_.write_store = options_.read_store;
+  }
+  // Seed the default session from the static addresses (possibly
+  // invalid; placement resolution then fills them on first use).
+  Session& def = session(options_.object);
+  def.read_store = options_.read_store;
+  def.write_store = options_.write_store;
+  if (options_.placement.valid()) {
+    placement_ = std::make_unique<placement::PlacementCache>(
+        factory, &sim, options_.placement);
+    placement_->start();
   }
   if (options_.membership.valid()) {
     // Watch the object's replica view: the membership service pushes a
@@ -34,6 +45,94 @@ ClientBinding::ClientBinding(const TransportFactory& factory,
           }
         });
     announce_watch(/*subscribe=*/true);
+  }
+}
+
+ClientBinding::Session& ClientBinding::session(ObjectId object) {
+  auto it = sessions_.find(object);
+  if (it == sessions_.end()) {
+    auto s = std::make_unique<Session>();
+    s->object = object;
+    it = sessions_.emplace(object, std::move(s)).first;
+  }
+  return *it->second;
+}
+
+Address ClientBinding::session_or_options_read() const {
+  auto it = sessions_.find(options_.object);
+  return it == sessions_.end() ? options_.read_store
+                               : it->second->read_store;
+}
+
+Address ClientBinding::session_or_options_write() const {
+  auto it = sessions_.find(options_.object);
+  return it == sessions_.end() ? options_.write_store
+                               : it->second->write_store;
+}
+
+const coherence::VectorClock& ClientBinding::read_set() const {
+  static const coherence::VectorClock kEmpty;
+  auto it = sessions_.find(options_.object);
+  return it == sessions_.end() ? kEmpty : it->second->read_set;
+}
+
+std::uint64_t ClientBinding::writes_issued() const {
+  auto it = sessions_.find(options_.object);
+  return it == sessions_.end() ? 0 : it->second->write_seq;
+}
+
+const web::WebDocument& ClientBinding::document_cache() const {
+  static const web::WebDocument kEmpty;
+  auto it = sessions_.find(options_.object);
+  return it == sessions_.end() ? kEmpty : it->second->doc_cache;
+}
+
+void ClientBinding::bind_object(ObjectId object, const Address& read_store,
+                                const Address& write_store) {
+  Session& s = session(object);
+  s.read_store = read_store;
+  s.write_store = write_store.valid() ? write_store : read_store;
+  // A static binding wins over placement resolution until invalidated.
+  s.resolved_version = placement_ != nullptr ? placement_->version() : 0;
+}
+
+void ClientBinding::resolve(Session& s, std::function<void()> then) {
+  if (placement_ == nullptr) {
+    then();
+    return;
+  }
+  if (s.read_store.valid() && placement_->fresh() &&
+      s.resolved_version == placement_->version()) {
+    then();
+    return;
+  }
+  placement_->ensure([this, &s, then = std::move(then)](bool ok) {
+    if (ok) apply_resolution(s);
+    then();
+  });
+}
+
+void ClientBinding::apply_resolution(Session& s) {
+  const auto res = placement_->resolve(s.object);
+  if (!res.has_value() || res->contacts.empty()) return;
+  s.resolved_version = res->version;
+  const naming::ContactPoint* read = naming::choose_read_contact(
+      res->contacts, options_.preferred_layer,
+      naming::contact_spread(s.object, options_.client));
+  const naming::ContactPoint* write =
+      naming::choose_write_contact(res->contacts, multi_master(), read);
+  const Address old_read = s.read_store;
+  const Address old_write = s.write_store;
+  if (read != nullptr) s.read_store = read->address;
+  if (write != nullptr) s.write_store = write->address;
+  if (old_read.valid() &&
+      (s.read_store != old_read || s.write_store != old_write)) {
+    // A layout-epoch (or contact-table) change moved this session onto
+    // different stores; the session filter keeps its state, so the
+    // guarantees travel to the new store and park there until it
+    // catches up.
+    ++rebinds_;
+    if (metrics_ != nullptr) metrics_->record_shard_rebind(res->shard);
   }
 }
 
@@ -78,12 +177,15 @@ void ClientBinding::announce_watch(bool subscribe) {
                   [&](util::Writer& w) { watch.encode(w); });
 }
 
-void ClientBinding::on_operation_failed() {
+void ClientBinding::on_operation_failed(Session& s) {
   // A timed-out operation is churn evidence. The watch registration is
   // a one-shot datagram, so a loss (or a service that was unreachable
   // at bind time) would otherwise silently disable rebinding forever —
   // re-announce it whenever the session observes a failure.
   if (options_.membership.valid()) announce_watch(/*subscribe=*/true);
+  // A placement-routed session re-resolves on its next operation: the
+  // shard's contacts may have moved under us.
+  if (placement_ != nullptr) s.resolved_version = 0;
 }
 
 void ClientBinding::on_view_change(const membership::View& view) {
@@ -91,29 +193,31 @@ void ClientBinding::on_view_change(const membership::View& view) {
   view_epoch_ = view.epoch;
   view_ = view;  // the base the next ViewDelta diff applies onto
   if (view.members.empty()) return;
-  const bool multi_master =
-      options_.object_model == ObjectModel::kCausal ||
-      options_.object_model == ObjectModel::kEventual;
-  if (!view.contains(options_.read_store)) {
+  Session& s = default_session();
+  if (!view.contains(s.read_store)) {
     // The store serving our reads is gone from the view: re-bind onto a
     // surviving store of the preferred layer. The session filter keeps
     // its state, so monotonic-reads / read-your-writes requirements
     // travel to the new store and park there until it catches up.
     const naming::ContactPoint* read = naming::choose_read_contact(
-        view.members, options_.preferred_layer, options_.client);
+        view.members, options_.preferred_layer,
+        naming::contact_spread(options_.object, options_.client));
     if (read != nullptr) {
+      s.read_store = read->address;
       options_.read_store = read->address;
       ++rebinds_;
     }
   }
-  if (!view.contains(options_.write_store)) {
+  if (!view.contains(s.write_store)) {
     const naming::ContactPoint* write = naming::choose_write_contact(
-        view.members, multi_master, view.find(options_.read_store));
+        view.members, multi_master(), view.find(s.read_store));
     if (write != nullptr) {
+      s.write_store = write->address;
       options_.write_store = write->address;
       ++rebinds_;
-    } else if (multi_master) {
-      options_.write_store = options_.read_store;
+    } else if (multi_master()) {
+      s.write_store = s.read_store;
+      options_.write_store = s.read_store;
       ++rebinds_;
     }
   }
@@ -124,7 +228,8 @@ bool ClientBinding::wants(ClientModel m) const {
   return !coherence::subsumes(options_.object_model, m);
 }
 
-ClientRequest ClientBinding::base_request(msg::Invocation inv) {
+ClientRequest ClientBinding::base_request(Session& s, msg::Invocation inv) {
+  (void)s;
   ClientRequest req;
   req.inv = std::move(inv);
   req.client = options_.client;
@@ -133,56 +238,65 @@ ClientRequest ClientBinding::base_request(msg::Invocation inv) {
   return req;
 }
 
-void ClientBinding::read(const std::string& page, ReadHandler cb) {
+void ClientBinding::read(ObjectId object, const std::string& page,
+                         ReadHandler cb) {
+  Session& s = session(object);
+  resolve(s, [this, &s, page, cb = std::move(cb)]() mutable {
+    read_impl(s, page, std::move(cb));
+  });
+}
+
+void ClientBinding::read_impl(Session& s, const std::string& page,
+                              ReadHandler cb) {
   if (options_.object_model == ObjectModel::kSequential &&
-      pending_writes_ > 0) {
+      s.pending_writes > 0) {
     // Program order: the read's floor must cover the in-flight writes;
     // defer it until their total-order positions are known.
-    deferred_reads_.push_back(
-        [this, page, cb = std::move(cb)]() mutable {
-          read(page, std::move(cb));
+    s.deferred_reads.push_back(
+        [this, &s, page, cb = std::move(cb)]() mutable {
+          read_impl(s, page, std::move(cb));
         });
     return;
   }
-  if (read_inflight_) {
+  if (s.read_inflight) {
     // A session is a serial construct: the monotonic-reads floor of the
     // NEXT read must include what this one observes, so overlapping
     // reads of one session would race their own guarantee. Reads queue
     // behind the in-flight read (writes serialize separately).
-    queued_reads_.push_back([this, page, cb = std::move(cb)]() mutable {
-      read(page, std::move(cb));
+    s.queued_reads.push_back([this, &s, page, cb = std::move(cb)]() mutable {
+      read_impl(s, page, std::move(cb));
     });
     return;
   }
-  read_inflight_ = true;
-  ClientRequest req = base_request(msg::Invocation::get_page(page));
+  s.read_inflight = true;
+  ClientRequest req = base_request(s, msg::Invocation::get_page(page));
 
   // Session requirements the serving store must satisfy before replying.
-  if (wants(ClientModel::kReadYourWrites) && write_seq_ > 0) {
-    req.min_clock.advance(options_.client, write_seq_);
+  if (wants(ClientModel::kReadYourWrites) && s.write_seq > 0) {
+    req.min_clock.advance(options_.client, s.write_seq);
   }
   if (wants(ClientModel::kMonotonicReads)) {
-    req.min_clock.merge(read_set_);
+    req.min_clock.merge(s.read_set);
   }
   if (options_.object_model == ObjectModel::kSequential) {
-    req.min_global_seq = max_gseq_seen_;
+    req.min_global_seq = s.max_gseq_seen;
   }
 
   const util::SimTime issued = sim_.now();
   const std::uint64_t op_index = req.client_op_index;
   comm_.request_with(
-      options_.read_store, msg::MsgType::kInvokeRequest, options_.object,
+      s.read_store, msg::MsgType::kInvokeRequest, s.object,
       [&](util::Writer& w) { req.encode(w); },
-      [this, cb = std::move(cb), page, issued, op_index](
+      [this, &s, cb = std::move(cb), page, issued, op_index](
           bool ok, const Address&, const msg::EnvelopeView& env) {
         ReadResult res;
         res.issued_at = issued;
         res.completed_at = sim_.now();
         if (!ok) {
           res.error = "request timed out";
-          on_operation_failed();
+          on_operation_failed(s);
           cb(std::move(res));
-          next_queued_read();
+          next_queued_read(s);
           return;
         }
         InvokeReply::View rep = InvokeReply::decode_view(env.body);
@@ -191,6 +305,14 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
         res.store = rep.store;
         res.store_global_seq = rep.global_seq;
         res.store_clock = rep.store_clock;
+        if (!rep.ok && res.error == "unknown object" &&
+            placement_ != nullptr) {
+          // The store no longer hosts this object (rebalance moved it):
+          // drop the resolution so the next operation re-resolves
+          // through a fresh layout.
+          placement_->invalidate();
+          s.resolved_version = 0;
+        }
         if (rep.ok) {
           util::Reader r{rep.value};
           core::PageReadValue v = core::PageReadValue::decode(r);
@@ -199,8 +321,8 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
           res.writer = v.writer;
         }
         // Update session state from what this read observed.
-        read_set_.merge(rep.store_clock);
-        if (rep.global_seq > max_gseq_seen_) max_gseq_seen_ = rep.global_seq;
+        s.read_set.merge(rep.store_clock);
+        if (rep.global_seq > s.max_gseq_seen) s.max_gseq_seen = rep.global_seq;
 
         if (history_ != nullptr) {
           coherence::ReadEvent e;
@@ -219,32 +341,33 @@ void ClientBinding::read(const std::string& page, ReadHandler cb) {
               static_cast<double>((res.completed_at - issued).count_micros()));
         }
         cb(std::move(res));
-        next_queued_read();
+        next_queued_read(s);
       },
       options_.timeout, options_.retries);
 }
 
-void ClientBinding::next_queued_read() {
-  read_inflight_ = false;
-  if (queued_reads_.empty()) return;
-  auto next = std::move(queued_reads_.front());
-  queued_reads_.pop_front();
+void ClientBinding::next_queued_read(Session& s) {
+  s.read_inflight = false;
+  if (s.queued_reads.empty()) return;
+  auto next = std::move(s.queued_reads.front());
+  s.queued_reads.pop_front();
   next();
 }
 
-void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
-  ClientRequest req = base_request(std::move(inv));
-  req.wid = coherence::WriteId{options_.client, ++write_seq_};
-  ++pending_writes_;
+void ClientBinding::send_write(Session& s, msg::Invocation inv,
+                               WriteHandler cb) {
+  ClientRequest req = base_request(s, std::move(inv));
+  req.wid = coherence::WriteId{options_.client, ++s.write_seq};
+  ++s.pending_writes;
 
   // Dependencies the stores must order this write after.
   if (options_.object_model == ObjectModel::kCausal) {
-    req.deps = read_set_;
-    req.deps.advance(options_.client, write_seq_ - 1);
+    req.deps = s.read_set;
+    req.deps.advance(options_.client, s.write_seq - 1);
     req.deps.set(options_.client,
-                 write_seq_ - 1);  // own previous write, exactly
+                 s.write_seq - 1);  // own previous write, exactly
   } else if (wants(ClientModel::kWritesFollowReads)) {
-    req.deps = read_set_;
+    req.deps = s.read_set;
   }
   req.ordered = wants(ClientModel::kMonotonicWrites);
 
@@ -253,18 +376,19 @@ void ClientBinding::send_write(msg::Invocation inv, WriteHandler cb) {
   // the same session (it would invert the client's program order at the
   // accepting store); serializing the sends preserves per-writer order
   // through any combination of loss, retry, and partition.
-  if (write_inflight_) {
-    queued_writes_.push_back(
-        [this, req = std::move(req), cb = std::move(cb)]() mutable {
-          transmit_write(std::move(req), std::move(cb));
+  if (s.write_inflight) {
+    s.queued_writes.push_back(
+        [this, &s, req = std::move(req), cb = std::move(cb)]() mutable {
+          transmit_write(s, std::move(req), std::move(cb));
         });
     return;
   }
-  write_inflight_ = true;
-  transmit_write(std::move(req), std::move(cb));
+  s.write_inflight = true;
+  transmit_write(s, std::move(req), std::move(cb));
 }
 
-void ClientBinding::transmit_write(ClientRequest req, WriteHandler cb) {
+void ClientBinding::transmit_write(Session& s, ClientRequest req,
+                                   WriteHandler cb) {
   const util::SimTime issued = util::SimTime(req.issued_at_us);
   const std::uint64_t op_index = req.client_op_index;
   const coherence::WriteId wid = req.wid;
@@ -275,21 +399,21 @@ void ClientBinding::transmit_write(ClientRequest req, WriteHandler cb) {
   }();
 
   comm_.request_with(
-      options_.write_store, msg::MsgType::kInvokeRequest, options_.object,
+      s.write_store, msg::MsgType::kInvokeRequest, s.object,
       [&](util::Writer& w) { req.encode(w); },
-      [this, cb = std::move(cb), issued, op_index, wid, deps, page](
+      [this, &s, cb = std::move(cb), issued, op_index, wid, deps, page](
           bool ok, const Address&, const msg::EnvelopeView& env) {
         WriteResult res;
         res.issued_at = issued;
         res.completed_at = sim_.now();
         res.wid = wid;
-        --pending_writes_;
+        --s.pending_writes;
         if (!ok) {
           res.error = "request timed out";
-          on_operation_failed();
+          on_operation_failed(s);
           cb(std::move(res));
-          next_queued_write();
-          flush_deferred_reads();
+          next_queued_write(s);
+          flush_deferred_reads(s);
           return;
         }
         InvokeReply::View rep = InvokeReply::decode_view(env.body);
@@ -297,10 +421,15 @@ void ClientBinding::transmit_write(ClientRequest req, WriteHandler cb) {
         res.error = std::move(rep.error);
         res.global_seq = rep.global_seq;
         res.store = rep.store;
-        if (rep.global_seq > max_gseq_seen_) max_gseq_seen_ = rep.global_seq;
+        if (!rep.ok && res.error == "unknown object" &&
+            placement_ != nullptr) {
+          placement_->invalidate();
+          s.resolved_version = 0;
+        }
+        if (rep.global_seq > s.max_gseq_seen) s.max_gseq_seen = rep.global_seq;
         // A client sees its own writes: fold them into the read set used
         // for causal dependencies of later operations.
-        read_set_.observe(wid);
+        s.read_set.observe(wid);
 
         if (history_ != nullptr) {
           coherence::WriteEvent e;
@@ -319,110 +448,121 @@ void ClientBinding::transmit_write(ClientRequest req, WriteHandler cb) {
               static_cast<double>((res.completed_at - issued).count_micros()));
         }
         cb(std::move(res));
-        next_queued_write();
-        flush_deferred_reads();
+        next_queued_write(s);
+        flush_deferred_reads(s);
       },
       options_.timeout, options_.retries);
 }
 
-void ClientBinding::next_queued_write() {
-  if (queued_writes_.empty()) {
-    write_inflight_ = false;
+void ClientBinding::next_queued_write(Session& s) {
+  if (s.queued_writes.empty()) {
+    s.write_inflight = false;
     return;
   }
-  auto next = std::move(queued_writes_.front());
-  queued_writes_.pop_front();
+  auto next = std::move(s.queued_writes.front());
+  s.queued_writes.pop_front();
   next();
 }
 
-void ClientBinding::flush_deferred_reads() {
-  if (pending_writes_ > 0 || deferred_reads_.empty()) return;
-  auto pending = std::move(deferred_reads_);
-  deferred_reads_.clear();
+void ClientBinding::flush_deferred_reads(Session& s) {
+  if (s.pending_writes > 0 || s.deferred_reads.empty()) return;
+  auto pending = std::move(s.deferred_reads);
+  s.deferred_reads.clear();
   for (auto& fn : pending) fn();
 }
 
-void ClientBinding::write(const std::string& page, const std::string& content,
-                          WriteHandler cb, const std::string& mime) {
-  send_write(msg::Invocation::put_page(page, content, mime), std::move(cb));
+void ClientBinding::write(ObjectId object, const std::string& page,
+                          const std::string& content, WriteHandler cb,
+                          const std::string& mime) {
+  Session& s = session(object);
+  resolve(s, [this, &s, page, content, mime, cb = std::move(cb)]() mutable {
+    send_write(s, msg::Invocation::put_page(page, content, mime),
+               std::move(cb));
+  });
 }
 
-void ClientBinding::remove(const std::string& page, WriteHandler cb) {
-  send_write(msg::Invocation::delete_page(page), std::move(cb));
+void ClientBinding::remove(ObjectId object, const std::string& page,
+                           WriteHandler cb) {
+  Session& s = session(object);
+  resolve(s, [this, &s, page, cb = std::move(cb)]() mutable {
+    send_write(s, msg::Invocation::delete_page(page), std::move(cb));
+  });
 }
 
-void ClientBinding::get_document(DocumentHandler cb) {
-  if (options_.delta_snapshots) {
-    get_document_delta(std::move(cb));
-    return;
-  }
-  ClientRequest req = base_request(msg::Invocation::get_document());
-  comm_.request_with(options_.read_store, msg::MsgType::kInvokeRequest,
-                options_.object,
-                [&](util::Writer& w) { req.encode(w); },
-                [this, cb = std::move(cb)](bool ok, const Address&,
-                                           const msg::EnvelopeView& env) {
-                  DocumentResult res;
-                  if (!ok) {
-                    res.error = "request timed out";
-                    cb(std::move(res));
-                    return;
-                  }
-                  InvokeReply::View rep =
-                      InvokeReply::decode_view(env.body);
-                  res.ok = rep.ok;
-                  res.error = std::move(rep.error);
-                  res.store = rep.store;
-                  if (rep.ok) {
-                    res.document.restore(rep.value);
-                  }
-                  read_set_.merge(rep.store_clock);
-                  cb(std::move(res));
-                },
-                options_.timeout, options_.retries);
+void ClientBinding::get_document(ObjectId object, DocumentHandler cb) {
+  Session& s = session(object);
+  resolve(s, [this, &s, cb = std::move(cb)]() mutable {
+    if (options_.delta_snapshots) {
+      get_document_delta(s, std::move(cb));
+      return;
+    }
+    ClientRequest req = base_request(s, msg::Invocation::get_document());
+    comm_.request_with(s.read_store, msg::MsgType::kInvokeRequest, s.object,
+                       [&](util::Writer& w) { req.encode(w); },
+                       [this, &s, cb = std::move(cb)](
+                           bool ok, const Address&,
+                           const msg::EnvelopeView& env) {
+                         DocumentResult res;
+                         if (!ok) {
+                           res.error = "request timed out";
+                           cb(std::move(res));
+                           return;
+                         }
+                         InvokeReply::View rep =
+                             InvokeReply::decode_view(env.body);
+                         res.ok = rep.ok;
+                         res.error = std::move(rep.error);
+                         res.store = rep.store;
+                         if (rep.ok) {
+                           res.document.restore(rep.value);
+                         }
+                         s.read_set.merge(rep.store_clock);
+                         cb(std::move(res));
+                       },
+                       options_.timeout, options_.retries);
+  });
 }
 
-void ClientBinding::get_document_delta(DocumentHandler cb) {
+void ClientBinding::get_document_delta(Session& s, DocumentHandler cb) {
   // Fetch-miss restore through the delta-snapshot path: ship the cached
   // document's page summary (or a bare floor while the cache mirrors the
   // bound store's lineage) and receive only the pages that changed.
   SnapshotDeltaRequest req;
-  if (doc_source_ != kInvalidStore &&
-      doc_source_addr_ == options_.read_store) {
+  if (s.doc_source != kInvalidStore && s.doc_source_addr == s.read_store) {
     // The cache is only ever mutated by these transfers, so while the
     // binding is unchanged the last version is an exact floor.
     req.mode = SnapshotDeltaRequest::Mode::kFloor;
-    req.floor_source = doc_source_;
-    req.floor_version = doc_source_version_;
+    req.floor_source = s.doc_source;
+    req.floor_version = s.doc_source_version;
   } else {
     req.mode = SnapshotDeltaRequest::Mode::kSummary;
-    req.have = doc_cache_.summarize();
+    req.have = s.doc_cache.summarize();
   }
   comm_.request_with(
-      options_.read_store, msg::MsgType::kSnapshotDeltaRequest,
-      options_.object, [&](util::Writer& w) { req.encode(w); },
-      [this, cb = std::move(cb)](bool ok, const Address&,
-                                 const msg::EnvelopeView& env) {
+      s.read_store, msg::MsgType::kSnapshotDeltaRequest, s.object,
+      [&](util::Writer& w) { req.encode(w); },
+      [this, &s, cb = std::move(cb)](bool ok, const Address&,
+                                     const msg::EnvelopeView& env) {
         DocumentResult res;
         if (!ok) {
           res.error = "request timed out";
-          on_operation_failed();
+          on_operation_failed(s);
           cb(std::move(res));
           return;
         }
         StateTransfer::View st = StateTransfer::decode_view(env.body);
         if (st.full) {
-          doc_cache_.restore(st.snapshot);
+          s.doc_cache.restore(st.snapshot);
         } else {
-          doc_cache_.apply_delta(st.delta);
+          s.doc_cache.apply_delta(st.delta);
         }
-        doc_source_ = st.source;
-        doc_source_addr_ = options_.read_store;
-        doc_source_version_ = st.version;
-        read_set_.merge(st.clock);
+        s.doc_source = st.source;
+        s.doc_source_addr = s.read_store;
+        s.doc_source_version = st.version;
+        s.read_set.merge(st.clock);
         res.ok = true;
         res.store = st.source;
-        res.document = doc_cache_;
+        res.document = s.doc_cache;
         cb(std::move(res));
       },
       options_.timeout, options_.retries);

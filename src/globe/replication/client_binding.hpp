@@ -11,10 +11,19 @@
 // (own-writes clock, read-set clock, sequential floor) and attaches the
 // corresponding requirements to every request, which the stores then
 // guarantee — the paper's strengthening of Bayou's checked guarantees.
+//
+// One binding serves MANY objects: each object the client touches gets
+// its own session (clocks, write sequence, serialization queues,
+// document cache) keyed by ObjectId, sharing the endpoint. With a
+// placement server configured, read/write stores are resolved per
+// object through the cached layout (object -> shard -> contacts) and
+// re-resolved when the placement version moves — the layout-epoch
+// invalidation protocol.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -25,6 +34,7 @@
 #include "globe/core/semantics.hpp"
 #include "globe/membership/view.hpp"
 #include "globe/metrics/stats.hpp"
+#include "globe/placement/service.hpp"
 #include "globe/replication/protocol.hpp"
 
 namespace globe::replication {
@@ -38,7 +48,8 @@ struct BindOptions {
   ClientId client = 1;
   /// Client-based coherence models to enforce (Section 3.2.2).
   ClientModel session = ClientModel::kNone;
-  /// Store serving this client's reads (its cache, typically).
+  /// Store serving this client's reads (its cache, typically). May be
+  /// left invalid when `placement` is set: stores then resolve lazily.
   Address read_store;
   /// Store accepting this client's writes (the primary for the
   /// single-writer example of Section 4; may equal read_store).
@@ -53,6 +64,10 @@ struct BindOptions {
   /// object's replica view and re-resolves its read/write stores when a
   /// view change removes them (eviction, crash, leave).
   net::Address membership;
+  /// Placement server endpoint; when valid the binding resolves every
+  /// object's stores through the cached shard layout, and re-resolves
+  /// sessions whose resolution predates the current placement version.
+  net::Address placement;
   /// Store layer preferred when re-resolving reads after a view change.
   naming::StoreClass preferred_layer = naming::StoreClass::kClientInitiated;
   /// Page-granular document fetches: get_document() keeps a client-side
@@ -116,62 +131,141 @@ class ClientBinding {
   [[nodiscard]] ClientId id() const { return options_.client; }
   [[nodiscard]] Address address() const { return comm_.local_address(); }
 
-  /// Reads one page from the bound read store.
-  void read(const std::string& page, ReadHandler cb);
+  /// Reads one page from the object's bound read store.
+  void read(ObjectId object, const std::string& page, ReadHandler cb);
+  void read(const std::string& page, ReadHandler cb) {
+    read(options_.object, page, std::move(cb));
+  }
 
-  /// Writes (replaces) one page via the bound write store.
+  /// Writes (replaces) one page via the object's bound write store.
+  void write(ObjectId object, const std::string& page,
+             const std::string& content, WriteHandler cb,
+             const std::string& mime = "text/html");
   void write(const std::string& page, const std::string& content,
-             WriteHandler cb, const std::string& mime = "text/html");
+             WriteHandler cb, const std::string& mime = "text/html") {
+    write(options_.object, page, content, std::move(cb), mime);
+  }
 
   /// Deletes a page.
-  void remove(const std::string& page, WriteHandler cb);
+  void remove(ObjectId object, const std::string& page, WriteHandler cb);
+  void remove(const std::string& page, WriteHandler cb) {
+    remove(options_.object, page, std::move(cb));
+  }
 
   /// Fetches the entire document.
-  void get_document(DocumentHandler cb);
+  void get_document(ObjectId object, DocumentHandler cb);
+  void get_document(DocumentHandler cb) {
+    get_document(options_.object, std::move(cb));
+  }
+
+  /// Statically binds one object's stores (tests; deployments without a
+  /// placement server address non-default objects this way).
+  void bind_object(ObjectId object, const Address& read_store,
+                   const Address& write_store);
 
   /// Rebinds reads to a different store (mobile client; exercises the
-  /// monotonic-reads guarantee).
+  /// monotonic-reads guarantee). Default-object session.
   void switch_read_store(const Address& store) {
+    default_session().read_store = store;
     options_.read_store = store;
   }
   void switch_write_store(const Address& store) {
+    default_session().write_store = store;
     options_.write_store = store;
   }
 
-  [[nodiscard]] Address read_store() const { return options_.read_store; }
-  [[nodiscard]] Address write_store() const { return options_.write_store; }
-
-  [[nodiscard]] const coherence::VectorClock& read_set() const {
-    return read_set_;
+  [[nodiscard]] Address read_store() const {
+    return session_or_options_read();
   }
-  [[nodiscard]] std::uint64_t writes_issued() const { return write_seq_; }
+  [[nodiscard]] Address write_store() const {
+    return session_or_options_write();
+  }
+
+  [[nodiscard]] const coherence::VectorClock& read_set() const;
+  [[nodiscard]] std::uint64_t writes_issued() const;
 
   /// Replica-view epoch last applied (0 = none; membership disabled or
-  /// no change seen yet) and how often a view change forced this client
-  /// onto different stores.
+  /// no change seen yet) and how often a view or placement change forced
+  /// a session onto different stores.
   [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
   [[nodiscard]] std::uint64_t rebinds() const { return rebinds_; }
 
-  /// Client-side document cache maintained by delta-mode get_document()
-  /// (tests / examples).
-  [[nodiscard]] const web::WebDocument& document_cache() const {
-    return doc_cache_;
+  /// Placement cache (null without a placement server). Tests poke it to
+  /// force refreshes.
+  [[nodiscard]] placement::PlacementCache* placement_cache() {
+    return placement_ == nullptr ? nullptr : placement_.get();
   }
 
+  /// Client-side document cache maintained by delta-mode get_document()
+  /// (tests / examples). Default-object session.
+  [[nodiscard]] const web::WebDocument& document_cache() const;
+
  private:
-  void get_document_delta(DocumentHandler cb);
+  /// Per-object session: the client-based coherence state plus the
+  /// serialization queues, all scoped to one object. Heap-allocated and
+  /// never removed, so `&s` captured by callbacks stays valid.
+  struct Session {
+    ObjectId object = 0;
+    Address read_store;
+    Address write_store;
+    // Placement version the stores were resolved under (0 = static
+    // binding or never resolved).
+    std::uint64_t resolved_version = 0;
+
+    std::uint64_t write_seq = 0;        // WiD sequence numbers
+    coherence::VectorClock read_set;    // store clocks observed by reads
+    std::uint64_t max_gseq_seen = 0;    // sequential-model floor
+    // Under the sequential model a read's floor includes the client's
+    // own in-flight writes, whose total-order position is unknown until
+    // the ack arrives; such reads are deferred behind the pending
+    // writes.
+    int pending_writes = 0;
+    std::vector<std::function<void()>> deferred_reads;
+    // Per-writer order through loss and retries: one write request on
+    // the wire at a time, the rest queue here in program order. Reads
+    // serialize among themselves the same way (the monotonic-reads
+    // floor of a read must include the previous read's observation).
+    bool write_inflight = false;
+    std::deque<std::function<void()>> queued_writes;
+    bool read_inflight = false;
+    std::deque<std::function<void()>> queued_reads;
+
+    // Delta-mode document cache plus the lineage of its last transfer:
+    // which store sent it, at which document version, and from which
+    // read-store binding. While the binding is unchanged, the next
+    // fetch is a bare floor request.
+    web::WebDocument doc_cache;
+    StoreId doc_source = kInvalidStore;
+    net::Address doc_source_addr;
+    std::uint64_t doc_source_version = 0;
+  };
+
+  Session& session(ObjectId object);
+  Session& default_session() { return session(options_.object); }
+  [[nodiscard]] Address session_or_options_read() const;
+  [[nodiscard]] Address session_or_options_write() const;
+  /// Ensures `s` has fresh store addresses (placement resolution when
+  /// configured), then runs `then`.
+  void resolve(Session& s, std::function<void()> then);
+  void apply_resolution(Session& s);
+  void read_impl(Session& s, const std::string& page, ReadHandler cb);
+  void get_document_delta(Session& s, DocumentHandler cb);
   void on_view_delta(const membership::ViewDelta& delta);
   void fetch_full_view();
-  ClientRequest base_request(msg::Invocation inv);
-  void send_write(msg::Invocation inv, WriteHandler cb);
-  void transmit_write(ClientRequest req, WriteHandler cb);
-  void next_queued_write();
-  void next_queued_read();
-  void flush_deferred_reads();
+  ClientRequest base_request(Session& s, msg::Invocation inv);
+  void send_write(Session& s, msg::Invocation inv, WriteHandler cb);
+  void transmit_write(Session& s, ClientRequest req, WriteHandler cb);
+  void next_queued_write(Session& s);
+  void next_queued_read(Session& s);
+  void flush_deferred_reads(Session& s);
   void on_view_change(const membership::View& view);
   void announce_watch(bool subscribe);
-  void on_operation_failed();
+  void on_operation_failed(Session& s);
   [[nodiscard]] bool wants(ClientModel m) const;
+  [[nodiscard]] bool multi_master() const {
+    return options_.object_model == coherence::ObjectModel::kCausal ||
+           options_.object_model == coherence::ObjectModel::kEventual;
+  }
 
   class TrafficAdapter final : public core::TrafficObserver {
    public:
@@ -191,23 +285,9 @@ class ClientBinding {
   TrafficAdapter traffic_;
   core::CommunicationObject comm_;
 
-  std::uint64_t op_index_ = 0;   // program order
-  std::uint64_t write_seq_ = 0;  // WiD sequence numbers
-  coherence::VectorClock read_set_;   // store clocks observed by reads
-  std::uint64_t max_gseq_seen_ = 0;   // sequential-model floor
-  // Under the sequential model a read's floor includes the client's own
-  // in-flight writes, whose total-order position is unknown until the
-  // ack arrives; such reads are deferred behind the pending writes.
-  int pending_writes_ = 0;
-  std::vector<std::function<void()>> deferred_reads_;
-  // Per-writer order through loss and retries: one write request on the
-  // wire at a time, the rest queue here in program order. Reads
-  // serialize among themselves the same way (the monotonic-reads floor
-  // of a read must include the previous read's observation).
-  bool write_inflight_ = false;
-  std::deque<std::function<void()>> queued_writes_;
-  bool read_inflight_ = false;
-  std::deque<std::function<void()>> queued_reads_;
+  std::uint64_t op_index_ = 0;  // program order, across all sessions
+  std::map<ObjectId, std::unique_ptr<Session>> sessions_;
+  std::unique_ptr<placement::PlacementCache> placement_;
 
   std::uint64_t view_epoch_ = 0;
   std::uint64_t rebinds_ = 0;
@@ -215,15 +295,6 @@ class ClientBinding {
   // epoch equals view_epoch_).
   membership::View view_;
   bool view_fetch_in_flight_ = false;  // collapse gap-burst re-anchors
-
-  // Delta-mode document cache plus the lineage of its last transfer:
-  // which store sent it, at which document version, and from which
-  // read-store binding. While the binding is unchanged, the next fetch
-  // is a bare floor request.
-  web::WebDocument doc_cache_;
-  StoreId doc_source_ = kInvalidStore;
-  net::Address doc_source_addr_;
-  std::uint64_t doc_source_version_ = 0;
 
   coherence::History* history_;
   metrics::MetricsSink* metrics_;

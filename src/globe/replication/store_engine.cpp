@@ -40,97 +40,229 @@ StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
       comm_(factory, &sim, &traffic_),
       history_(history),
       metrics_(metrics) {
-  GLOBE_ASSERT_MSG(config_.policy.validate().empty(),
-                   "invalid replication policy");
-  GLOBE_ASSERT_MSG(config_.is_primary || config_.upstream.valid(),
-                   "non-primary store needs an upstream");
-
-  orderer_ = enforces_model() ? make_orderer(config_.policy.model)
-             : config_.policy.model == ObjectModel::kEventual
-                 ? make_orderer(ObjectModel::kEventual)
-                 : std::make_unique<FifoOrderer>();
-
   comm_.set_delivery_handler(
       [this](const Address& from, const msg::EnvelopeView& env) {
         on_message(from, env);
       });
-
+  // Seed the object table with the legacy single-object slice of the
+  // store config; sharded deployments add_object() the rest.
+  def_ = &create_object(config_.object_config());
   configure_timers();
   start_membership();
-
-  if (config_.is_primary || config_.cache_mode != CacheMode::kGlobe ||
-      !config_.auto_subscribe) {
-    ready_ = true;
-  } else {
-    subscribe_to_upstream();
-  }
 }
 
 StoreEngine::~StoreEngine() = default;
 
+StoreEngine::ObjectState& StoreEngine::create_object(const ObjectConfig& cfg) {
+  GLOBE_ASSERT_MSG(cfg.policy.validate().empty(),
+                   "invalid replication policy");
+  GLOBE_ASSERT_MSG(cfg.is_primary || cfg.upstream.valid(),
+                   "non-primary store needs an upstream");
+  GLOBE_ASSERT_MSG(objects_.count(cfg.object) == 0,
+                   "duplicate object id on one store");
+  auto state = std::make_unique<ObjectState>();
+  ObjectState& o = *state;
+  o.cfg = cfg;
+  objects_.emplace(cfg.object, std::move(state));
+
+  o.orderer = enforces_model(o) ? make_orderer(o.cfg.policy.model)
+              : o.cfg.policy.model == ObjectModel::kEventual
+                  ? make_orderer(ObjectModel::kEventual)
+                  : std::make_unique<FifoOrderer>();
+
+  if (o.cfg.is_primary || o.cfg.cache_mode != CacheMode::kGlobe ||
+      !o.cfg.auto_subscribe) {
+    o.ready = true;
+  } else {
+    subscribe_to_upstream(o);
+  }
+  return o;
+}
+
+void StoreEngine::add_object(const ObjectConfig& cfg) {
+  create_object(cfg);
+  // The new object may need a timer the current set lacks (or a shorter
+  // period than the current ticks).
+  configure_timers();
+}
+
+std::vector<ObjectId> StoreEngine::object_ids() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, o] : objects_) ids.push_back(id);
+  return ids;
+}
+
+StoreEngine::ObjectState* StoreEngine::find_object(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+const StoreEngine::ObjectState* StoreEngine::find_object(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+StoreEngine::ObjectState& StoreEngine::obj(ObjectId id) {
+  ObjectState* o = find_object(id);
+  GLOBE_ASSERT_MSG(o != nullptr, "unknown object id");
+  return *o;
+}
+
+const StoreEngine::ObjectState& StoreEngine::obj(ObjectId id) const {
+  const ObjectState* o = find_object(id);
+  GLOBE_ASSERT_MSG(o != nullptr, "unknown object id");
+  return *o;
+}
+
+const web::WebDocument& StoreEngine::document(ObjectId id) const {
+  return obj(id).semantics.document();
+}
+
+const coherence::VectorClock& StoreEngine::applied_clock(ObjectId id) const {
+  return obj(id).applied_clock;
+}
+
+std::uint64_t StoreEngine::applied_gseq(ObjectId id) const {
+  return obj(id).applied_gseq;
+}
+
+std::size_t StoreEngine::subscriber_count(ObjectId id) const {
+  return obj(id).subscribers.size();
+}
+
+bool StoreEngine::ready(ObjectId id) const { return obj(id).ready; }
+
+const WriteLog& StoreEngine::write_log(ObjectId id) const {
+  return obj(id).log;
+}
+
+std::size_t StoreEngine::parked_requests() const {
+  std::size_t n = 0;
+  for (const auto& [id, o] : objects_) n += o->parked.size();
+  return n;
+}
+
+std::uint64_t StoreEngine::reads_served() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, o] : objects_) n += o->reads_served;
+  return n;
+}
+
+std::uint64_t StoreEngine::writes_applied() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, o] : objects_) n += o->writes_applied;
+  return n;
+}
+
 void StoreEngine::configure_timers() {
-  const auto& p = config_.policy;
-  const bool is_globe_cache = config_.cache_mode == CacheMode::kGlobe;
   lazy_timer_.reset();
   pull_timer_.reset();
   heartbeat_timer_.reset();
 
-  // Lazy push flush timer: any store that may propagate data.
-  if (p.initiative == TransferInitiative::kPush &&
-      p.instant == TransferInstant::kLazy && is_globe_cache) {
-    lazy_timer_.emplace(sim_, p.lazy_period, [this] { flush_lazy(); });
+  // One timer set serves the whole object table: each timer runs at the
+  // minimum period any hosted object asks for, and its tick visits every
+  // object that qualifies (the per-object guards make extra visits
+  // no-ops). With one object this degenerates to the classic behaviour.
+  std::optional<sim::SimDuration> lazy_period;
+  std::optional<sim::SimDuration> pull_period;
+  std::optional<sim::SimDuration> beat_period;
+  const auto take_min = [](std::optional<sim::SimDuration>& slot,
+                           sim::SimDuration d) {
+    if (!slot.has_value() || d < *slot) slot = d;
+  };
+  for (const auto& [id, op] : objects_) {
+    const ObjectState& o = *op;
+    const auto& p = o.cfg.policy;
+    const bool is_globe_cache = o.cfg.cache_mode == CacheMode::kGlobe;
+    // Lazy push flush timer: any store that may propagate data.
+    if (p.initiative == TransferInitiative::kPush &&
+        p.instant == TransferInstant::kLazy && is_globe_cache) {
+      take_min(lazy_period, p.lazy_period);
+    }
+    // Pull poll timer: non-primary Globe stores poll their upstream.
+    if (p.initiative == TransferInitiative::kPull && !o.cfg.is_primary &&
+        is_globe_cache) {
+      take_min(pull_period, p.lazy_period);
+    }
+    // Heartbeat clock advertisement: with push + demand reaction, a
+    // subscriber that lost the *last* pushes of a burst would never
+    // learn it is behind (gap detection needs a later message). A
+    // periodic Notify carrying the sender's clock closes that window —
+    // this is what makes reliability a genuine side effect of the
+    // coherence model over lossy transports (Section 4.2).
+    if (p.initiative == TransferInitiative::kPush &&
+        p.object_outdate_reaction == OutdateReaction::kDemand &&
+        is_globe_cache) {
+      take_min(beat_period, p.instant == TransferInstant::kLazy
+                                ? p.lazy_period
+                                : sim::SimDuration::millis(500));
+    }
+  }
+  if (lazy_period.has_value()) {
+    lazy_timer_.emplace(sim_, *lazy_period, [this] { flush_lazy_all(); });
     lazy_timer_->start();
   }
-  // Pull poll timer: non-primary Globe stores poll their upstream.
-  if (p.initiative == TransferInitiative::kPull && !config_.is_primary &&
-      is_globe_cache) {
-    pull_timer_.emplace(sim_, p.lazy_period, [this] { pull_from_upstream(); });
+  if (pull_period.has_value()) {
+    pull_timer_.emplace(sim_, *pull_period, [this] {
+      for (auto& [id, op] : objects_) {
+        ObjectState& o = *op;
+        if (o.cfg.policy.initiative == TransferInitiative::kPull &&
+            !o.cfg.is_primary && o.cfg.cache_mode == CacheMode::kGlobe) {
+          pull_from_upstream(o);
+        }
+      }
+    });
     pull_timer_->start();
   }
-  // Heartbeat clock advertisement: with push + demand reaction, a
-  // subscriber that lost the *last* pushes of a burst would never learn
-  // it is behind (gap detection needs a later message). A periodic
-  // Notify carrying the sender's clock closes that window — this is
-  // what makes reliability a genuine side effect of the coherence model
-  // over lossy transports (Section 4.2).
-  if (p.initiative == TransferInitiative::kPush &&
-      p.object_outdate_reaction == OutdateReaction::kDemand &&
-      is_globe_cache) {
-    const auto period = p.instant == TransferInstant::kLazy
-                            ? p.lazy_period
-                            : sim::SimDuration::millis(500);
-    heartbeat_timer_.emplace(sim_, period, [this] { advertise_clock(); });
+  if (beat_period.has_value()) {
+    heartbeat_timer_.emplace(sim_, *beat_period, [this] {
+      for (auto& [id, op] : objects_) {
+        ObjectState& o = *op;
+        if (o.cfg.policy.initiative == TransferInitiative::kPush &&
+            o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand &&
+            o.cfg.cache_mode == CacheMode::kGlobe) {
+          advertise_clock(o);
+        }
+      }
+    });
     heartbeat_timer_->start();
   }
 }
 
 bool StoreEngine::update_policy(const core::ReplicationPolicy& policy) {
-  if (policy.model != config_.policy.model) return false;
+  return update_policy(*def_, policy);
+}
+
+bool StoreEngine::update_policy(ObjectState& o,
+                                const core::ReplicationPolicy& policy) {
+  if (policy.model != o.cfg.policy.model) return false;
   if (!policy.validate().empty()) return false;
-  if (policy == config_.policy) return true;
+  if (policy == o.cfg.policy) return true;
 
   // Drain anything queued under the old parameters, then switch.
-  flush_lazy();
-  config_.policy = policy;
+  flush_lazy(o);
+  o.cfg.policy = policy;
+  if (&o == def_) config_.policy = policy;  // keep the legacy view in step
   configure_timers();
 
   // Propagate the strategy change through the object (downstream).
-  for (const Subscriber& s : subscribers_) {
-    comm_.send_with(s.address, msg::MsgType::kPolicyUpdate, config_.object,
+  for (const Subscriber& s : o.subscribers) {
+    comm_.send_with(s.address, msg::MsgType::kPolicyUpdate, o.cfg.object,
                     [&](util::Writer& w) { policy.encode(w); });
   }
   return true;
 }
 
-void StoreEngine::handle_policy_update(const Address& /*from*/,
+void StoreEngine::handle_policy_update(ObjectState& o, const Address& /*from*/,
                                        const msg::EnvelopeView& env) {
   util::Reader r{env.body};
   const auto policy = core::ReplicationPolicy::decode(r);
-  update_policy(policy);
+  update_policy(o, policy);
 }
 
-bool StoreEngine::enforces_model() const {
-  switch (config_.policy.store_scope) {
+bool StoreEngine::enforces_model(const ObjectState& o) const {
+  switch (o.cfg.policy.store_scope) {
     case StoreScope::kPermanent:
       return config_.store_class == naming::StoreClass::kPermanent;
     case StoreScope::kPermanentAndObject:
@@ -141,14 +273,14 @@ bool StoreEngine::enforces_model() const {
   return true;
 }
 
-bool StoreEngine::multi_master() const {
-  return config_.policy.model == ObjectModel::kCausal ||
-         config_.policy.model == ObjectModel::kEventual;
+bool StoreEngine::multi_master(const ObjectState& o) {
+  return o.cfg.policy.model == ObjectModel::kCausal ||
+         o.cfg.policy.model == ObjectModel::kEventual;
 }
 
-bool StoreEngine::accepts_writes() const {
-  if (multi_master()) return true;
-  return config_.is_primary;
+bool StoreEngine::accepts_writes(const ObjectState& o) const {
+  if (multi_master(o)) return true;
+  return o.cfg.is_primary;
 }
 
 void StoreEngine::finalize_propagation() {
@@ -156,8 +288,14 @@ void StoreEngine::finalize_propagation() {
   // coherence state; the periodic timers keep running (they are
   // background events and never block quiescence on their own).
   if (!alive_ || departed_) return;
-  if (pull_timer_.has_value()) pull_from_upstream();
-  flush_lazy();
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    if (o.cfg.policy.initiative == TransferInitiative::kPull &&
+        !o.cfg.is_primary && o.cfg.cache_mode == CacheMode::kGlobe) {
+      pull_from_upstream(o);
+    }
+  }
+  flush_lazy_all();
 }
 
 naming::ContactPoint StoreEngine::contact() const {
@@ -171,21 +309,27 @@ naming::ContactPoint StoreEngine::contact() const {
 
 void StoreEngine::seed(const std::string& page, const std::string& content,
                        const std::string& mime) {
-  GLOBE_ASSERT_MSG(config_.is_primary, "seed() is a primary-store operation");
+  seed(def_->cfg.object, page, content, mime);
+}
+
+void StoreEngine::seed(ObjectId id, const std::string& page,
+                       const std::string& content, const std::string& mime) {
+  ObjectState& o = obj(id);
+  GLOBE_ASSERT_MSG(o.cfg.is_primary, "seed() is a primary-store operation");
   web::WriteRecord rec;
-  rec.wid = coherence::WriteId{0, applied_clock_.get(0) + 1};
+  rec.wid = coherence::WriteId{0, o.applied_clock.get(0) + 1};
   rec.op = web::WriteOp::kPut;
   rec.page = page;
   rec.content = content;
   rec.mime = mime;
   rec.issued_at_us = sim_.now().count_micros();
-  rec.lamport = ++lamport_;
+  rec.lamport = ++o.lamport;
   std::vector<web::WriteRecord> ready;
-  if (config_.policy.model == ObjectModel::kSequential) {
-    rec.global_seq = next_gseq_ + 1;
+  if (o.cfg.policy.model == ObjectModel::kSequential) {
+    rec.global_seq = o.next_gseq + 1;
   }
-  orderer_->admit(std::move(rec), ready);
-  apply_ready(std::move(ready));
+  o.orderer->admit(std::move(rec), ready);
+  apply_ready(o, std::move(ready));
 }
 
 // ---------------------------------------------------------------------
@@ -198,41 +342,10 @@ void StoreEngine::on_message(const Address& from,
   // layer usually drops its traffic already (node down), this guards the
   // co-located and loopback paths.
   if (!alive_ || departed_) return;
+
+  // Membership traffic names the scope, not a hosted object: one view
+  // message fans out to the whole object table.
   switch (env.type) {
-    case msg::MsgType::kInvokeRequest:
-      handle_client_request(from, env.request_id,
-                            ClientRequest::decode(env.body));
-      return;
-    case msg::MsgType::kWriteForward:
-      handle_write_forward(from, env);
-      return;
-    case msg::MsgType::kUpdate:
-      handle_update(from, env);
-      return;
-    case msg::MsgType::kSnapshot:
-      handle_snapshot(env);
-      return;
-    case msg::MsgType::kInvalidate:
-      handle_invalidate(from, env);
-      return;
-    case msg::MsgType::kNotify:
-      handle_notify(env);
-      return;
-    case msg::MsgType::kFetchRequest:
-      handle_fetch_request(from, env);
-      return;
-    case msg::MsgType::kSubscribe:
-      handle_subscribe(from, env);
-      return;
-    case msg::MsgType::kAntiEntropyRequest:
-      handle_anti_entropy(from, env);
-      return;
-    case msg::MsgType::kSnapshotDeltaRequest:
-      handle_snapshot_delta_request(from, env);
-      return;
-    case msg::MsgType::kPolicyUpdate:
-      handle_policy_update(from, env);
-      return;
     case msg::MsgType::kViewChange:
       apply_view(membership::ViewMsg::decode(env.body).view);
       return;
@@ -240,50 +353,107 @@ void StoreEngine::on_message(const Address& from,
       handle_view_delta(env);
       return;
     default:
+      break;
+  }
+
+  ObjectState* o = find_object(env.object);
+  if (o == nullptr) {
+    // Not our object (anymore): tell invoking clients so they re-resolve
+    // placement and rebind; drop coherence traffic (stale fan-out).
+    if (env.type == msg::MsgType::kInvokeRequest) {
+      InvokeReply rep;
+      rep.ok = false;
+      rep.error = "unknown object";
+      rep.store = config_.store_id;
+      comm_.reply(from, msg::MsgType::kInvokeReply, env.object, env.request_id,
+                  rep.encode());
+    }
+    return;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record_shard_bytes(config_.shard, env.body.size());
+  }
+  switch (env.type) {
+    case msg::MsgType::kInvokeRequest:
+      handle_client_request(*o, from, env.request_id,
+                            ClientRequest::decode(env.body));
+      return;
+    case msg::MsgType::kWriteForward:
+      handle_write_forward(*o, from, env);
+      return;
+    case msg::MsgType::kUpdate:
+      handle_update(*o, from, env);
+      return;
+    case msg::MsgType::kSnapshot:
+      handle_snapshot(*o, env);
+      return;
+    case msg::MsgType::kInvalidate:
+      handle_invalidate(*o, from, env);
+      return;
+    case msg::MsgType::kNotify:
+      handle_notify(*o, env);
+      return;
+    case msg::MsgType::kFetchRequest:
+      handle_fetch_request(*o, from, env);
+      return;
+    case msg::MsgType::kSubscribe:
+      handle_subscribe(*o, from, env);
+      return;
+    case msg::MsgType::kAntiEntropyRequest:
+      handle_anti_entropy(*o, from, env);
+      return;
+    case msg::MsgType::kSnapshotDeltaRequest:
+      handle_snapshot_delta_request(*o, from, env);
+      return;
+    case msg::MsgType::kPolicyUpdate:
+      handle_policy_update(*o, from, env);
+      return;
+    default:
       GLOBE_LOG_ERROR("store", "store %u: unexpected message type %s",
                       config_.store_id, msg::to_string(env.type));
   }
 }
 
-void StoreEngine::reply_invoke(const Address& to, std::uint64_t request_id,
+void StoreEngine::reply_invoke(ObjectState& o, const Address& to,
+                               std::uint64_t request_id,
                                const InvokeReply& rep) {
-  comm_.reply(to, msg::MsgType::kInvokeReply, config_.object, request_id,
+  comm_.reply(to, msg::MsgType::kInvokeReply, o.cfg.object, request_id,
               rep.encode());
 }
 
-void StoreEngine::handle_client_request(const Address& from,
+void StoreEngine::handle_client_request(ObjectState& o, const Address& from,
                                         std::uint64_t request_id,
                                         ClientRequest req) {
-  if (!ready_) {
-    park(from, request_id, std::move(req));
+  if (!o.ready) {
+    park(o, from, request_id, std::move(req));
     return;
   }
   if (req.inv.writes()) {
-    if (accepts_writes()) {
-      accept_write(from, request_id, std::move(req));
+    if (accepts_writes(o)) {
+      accept_write(o, from, request_id, std::move(req));
     } else {
       // Relay towards the accepting store; it replies to the origin.
       WriteForward fwd;
       fwd.origin = from;
       fwd.origin_request_id = request_id;
       fwd.request = std::move(req);
-      comm_.send(config_.upstream, msg::MsgType::kWriteForward, config_.object,
+      comm_.send(o.cfg.upstream, msg::MsgType::kWriteForward, o.cfg.object,
                  fwd.encode());
     }
     return;
   }
-  serve_read(from, request_id, req);
+  serve_read(o, from, request_id, req);
 }
 
-void StoreEngine::handle_write_forward(const Address& /*from*/,
+void StoreEngine::handle_write_forward(ObjectState& o, const Address& /*from*/,
                                        const msg::EnvelopeView& env) {
-  if (accepts_writes()) {
+  if (accepts_writes(o)) {
     WriteForward fwd = WriteForward::decode(env.body);
-    accept_write(fwd.origin, fwd.origin_request_id, std::move(fwd.request));
+    accept_write(o, fwd.origin, fwd.origin_request_id,
+                 std::move(fwd.request));
   } else {
     // Relay the encoded body as-is; no need to decode it here.
-    comm_.send_with(config_.upstream, msg::MsgType::kWriteForward,
-                    config_.object,
+    comm_.send_with(o.cfg.upstream, msg::MsgType::kWriteForward, o.cfg.object,
                     [&](util::Writer& w) { w.raw(env.body); });
   }
 }
@@ -292,59 +462,59 @@ void StoreEngine::handle_write_forward(const Address& /*from*/,
 // Write path
 // ---------------------------------------------------------------------
 
-void StoreEngine::accept_write(const Address& reply_to,
+void StoreEngine::accept_write(ObjectState& o, const Address& reply_to,
                                std::uint64_t request_id, ClientRequest req) {
-  web::WriteRecord rec = semantics_.to_record(req.inv);
+  web::WriteRecord rec = o.semantics.to_record(req.inv);
   rec.wid = req.wid;
   rec.deps = req.deps;
   rec.ordered = req.ordered;
   rec.issued_at_us = req.issued_at_us;
-  lamport_ = std::max(lamport_, applied_clock_.total()) + 1;
-  rec.lamport = lamport_;
-  if (config_.policy.model == ObjectModel::kSequential) {
-    GLOBE_ASSERT_MSG(config_.is_primary,
+  o.lamport = std::max(o.lamport, o.applied_clock.total()) + 1;
+  rec.lamport = o.lamport;
+  if (o.cfg.policy.model == ObjectModel::kSequential) {
+    GLOBE_ASSERT_MSG(o.cfg.is_primary,
                      "sequential writes are accepted only at the primary");
-    rec.global_seq = next_gseq_ + 1;
+    rec.global_seq = o.next_gseq + 1;
   }
 
   std::vector<web::WriteRecord> ready;
   Admission adm;
-  if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
+  if (rec.ordered && o.cfg.policy.model == ObjectModel::kEventual) {
     // Locally accepted ordered writes advance the SAME monotonic-writes
     // cursor as remote ones (admit_remote): a client that rebinds to
     // another store mid-session leaves a seq gap here, and the filter
     // must know which of its writes this store already carries.
     std::vector<web::WriteRecord> gated;
-    adm = mw_gate().admit(std::move(rec), gated);
+    adm = mw_gate(o).admit(std::move(rec), gated);
     for (auto& g : gated) {
       if (g.wid == req.wid) rec = g;  // keep the stamped copy for the ack
-      orderer_->admit(std::move(g), ready);
+      o.orderer->admit(std::move(g), ready);
     }
   } else {
-    adm = orderer_->admit(rec, ready);
+    adm = o.orderer->admit(rec, ready);
   }
   switch (adm) {
     case Admission::kApplied:
-      apply_ready(std::move(ready));
+      apply_ready(o, std::move(ready));
       // record_apply acked if it was registered; ack directly otherwise.
       {
         InvokeReply rep;
         rep.ok = true;
         rep.wid = req.wid;
         rep.global_seq =
-            rec.global_seq != 0 ? rec.global_seq : applied_gseq_;
-        rep.store_clock = applied_clock_;
+            rec.global_seq != 0 ? rec.global_seq : o.applied_gseq;
+        rep.store_clock = o.applied_clock;
         rep.store = config_.store_id;
-        reply_invoke(reply_to, request_id, rep);
+        reply_invoke(o, reply_to, request_id, rep);
       }
       return;
     case Admission::kBuffered:
       // Ack once the record is finally applied.
-      pending_write_acks_[req.wid] = {reply_to, request_id};
-      note_gaps();
-      if (!config_.is_primary &&
-          config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
-        demand_fetch();
+      o.pending_write_acks[req.wid] = {reply_to, request_id};
+      note_gaps(o);
+      if (!o.cfg.is_primary &&
+          o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+        demand_fetch(o);
       }
       return;
     case Admission::kDuplicate:
@@ -354,27 +524,28 @@ void StoreEngine::accept_write(const Address& reply_to,
       InvokeReply rep;
       rep.ok = true;
       rep.wid = req.wid;
-      rep.global_seq = applied_gseq_;
-      rep.store_clock = applied_clock_;
+      rep.global_seq = o.applied_gseq;
+      rep.store_clock = o.applied_clock;
       rep.store = config_.store_id;
-      reply_invoke(reply_to, request_id, rep);
+      reply_invoke(o, reply_to, request_id, rep);
       return;
     }
   }
 }
 
-void StoreEngine::record_snapshot_event() {
+void StoreEngine::record_snapshot_event(ObjectState& o) {
   if (history_ == nullptr) return;
   coherence::ApplyEvent e;
   e.at = sim_.now();
   e.store = config_.store_id;
-  e.deps = applied_clock_;
-  e.global_seq = applied_gseq_;
+  e.deps = o.applied_clock;
+  e.global_seq = o.applied_gseq;
   e.from_snapshot = true;
   history_->record_apply(std::move(e));
 }
 
-void StoreEngine::record_apply(const web::WriteRecord& rec, bool changed) {
+void StoreEngine::record_apply(ObjectState& o, const web::WriteRecord& rec,
+                               bool changed) {
   if (history_ != nullptr && changed) {
     coherence::ApplyEvent e;
     e.at = sim_.now();
@@ -385,213 +556,222 @@ void StoreEngine::record_apply(const web::WriteRecord& rec, bool changed) {
     e.global_seq = rec.global_seq;
     history_->record_apply(std::move(e));
   }
-  auto ack = pending_write_acks_.find(rec.wid);
-  if (ack != pending_write_acks_.end()) {
+  auto ack = o.pending_write_acks.find(rec.wid);
+  if (ack != o.pending_write_acks.end()) {
     InvokeReply rep;
     rep.ok = true;
     rep.wid = rec.wid;
-    rep.global_seq = rec.global_seq != 0 ? rec.global_seq : applied_gseq_;
-    rep.store_clock = applied_clock_;
+    rep.global_seq = rec.global_seq != 0 ? rec.global_seq : o.applied_gseq;
+    rep.store_clock = o.applied_clock;
     rep.store = config_.store_id;
-    reply_invoke(ack->second.first, ack->second.second, rep);
-    pending_write_acks_.erase(ack);
+    reply_invoke(o, ack->second.first, ack->second.second, rep);
+    o.pending_write_acks.erase(ack);
   }
 }
 
-void StoreEngine::apply_ready(std::vector<web::WriteRecord> ready) {
+void StoreEngine::apply_ready(ObjectState& o,
+                              std::vector<web::WriteRecord> ready) {
   if (ready.empty()) return;
   std::vector<web::WriteRecord> applied;
   applied.reserve(ready.size());
   for (web::WriteRecord& rec : ready) {
     // The primary stamps the total-order position at apply time for the
     // primary-ordered models (sequential records were stamped earlier).
-    if (config_.is_primary && rec.global_seq == 0 && !multi_master()) {
-      rec.global_seq = next_gseq_ + 1;
+    if (o.cfg.is_primary && rec.global_seq == 0 && !multi_master(o)) {
+      rec.global_seq = o.next_gseq + 1;
     }
-    if (rec.global_seq > next_gseq_) next_gseq_ = rec.global_seq;
+    if (rec.global_seq > o.next_gseq) o.next_gseq = rec.global_seq;
 
     // State application. Multi-master models need convergent conflict
     // resolution: last-writer-wins with a Lamport clock. For the causal
     // model the Lamport order refines the causal order (the clock is
     // advanced on every receive), so LWW picks a causally-consistent
     // winner among concurrent writes and every replica converges.
-    const bool is_eventual = config_.policy.model == ObjectModel::kEventual;
-    const bool is_causal = config_.policy.model == ObjectModel::kCausal;
+    const bool is_eventual = o.cfg.policy.model == ObjectModel::kEventual;
+    const bool is_causal = o.cfg.policy.model == ObjectModel::kCausal;
     bool changed = true;
     if (is_eventual || is_causal) {
-      changed = semantics_.apply_lww(rec);
+      changed = o.semantics.apply_lww(rec);
     } else {
-      semantics_.apply(rec);
+      o.semantics.apply(rec);
     }
     // Deletes must propagate even when the page was already absent.
     changed = changed || rec.op == web::WriteOp::kDelete;
-    applied_clock_.observe(rec.wid);
-    if (rec.global_seq > applied_gseq_ &&
-        (config_.policy.model != ObjectModel::kSequential ||
-         rec.global_seq == applied_gseq_ + 1)) {
-      applied_gseq_ = rec.global_seq;
+    o.applied_clock.observe(rec.wid);
+    if (rec.global_seq > o.applied_gseq &&
+        (o.cfg.policy.model != ObjectModel::kSequential ||
+         rec.global_seq == o.applied_gseq + 1)) {
+      o.applied_gseq = rec.global_seq;
     }
-    lamport_ = std::max(lamport_, rec.lamport);
-    invalid_pages_.erase(rec.page);
+    o.lamport = std::max(o.lamport, rec.lamport);
+    o.invalid_pages.erase(rec.page);
 
     // Causal records are logged and propagated even when LWW rejected
     // their content: other replicas need their WiDs for dependency
     // coverage. Eventual losers are dropped (the winner suffices).
     if (changed || !is_eventual) {
-      log_.append(rec);
-      record_apply(rec, /*changed=*/true);
-      ++writes_applied_;
+      o.log.append(rec);
+      record_apply(o, rec, /*changed=*/true);
+      ++o.writes_applied;
+      if (metrics_ != nullptr) metrics_->record_shard_write(config_.shard);
       applied.push_back(std::move(rec));
     } else {
       // Last-writer-wins rejected the record: the state kept a newer
       // version. Ack the writer but record no application.
-      record_apply(rec, /*changed=*/false);
+      record_apply(o, rec, /*changed=*/false);
     }
   }
-  demand_retry_budget_ = 100;  // progress: re-arm the retry budget
-  maybe_compact();
-  note_gaps();
-  unpark_ready();
-  if (!applied.empty()) propagate(applied);
+  o.demand_retry_budget = 100;  // progress: re-arm the retry budget
+  maybe_compact(o);
+  note_gaps(o);
+  unpark_ready(o);
+  if (!applied.empty()) propagate(o, applied);
 }
 
-void StoreEngine::maybe_compact() {
+void StoreEngine::maybe_compact(ObjectState& o) {
   bool compacted = false;
   const std::size_t threshold = config_.log_compact_threshold;
-  if (threshold != 0 && log_.size() > threshold) {
+  if (threshold != 0 && o.log.size() > threshold) {
     // Fold the oldest half into the base clock; requesters behind the
     // horizon fall back to a snapshot cutover (handle_fetch_request /
     // handle_anti_entropy check can_serve()).
-    log_.compact(threshold / 2);
+    o.log.compact(threshold / 2);
     compacted = true;
   }
   const std::size_t budget = config_.log_compact_bytes;
-  if (budget != 0 && log_.retained_bytes() > budget) {
+  if (budget != 0 && o.log.retained_bytes() > budget) {
     // Byte-budget policy: bound the retained payload regardless of
     // record count (a handful of huge pages can dwarf thousands of
     // small ones). Compact down to half the budget to amortize.
-    log_.compact_to_bytes(budget / 2);
+    o.log.compact_to_bytes(budget / 2);
     compacted = true;
   }
   if (compacted && metrics_ != nullptr) metrics_->record_log_compaction();
 }
 
-void StoreEngine::note_gaps() {
-  outdated_ = orderer_->has_gaps() ||
-              !applied_clock_.dominates(known_clock_) ||
-              applied_gseq_ < known_gseq_;
+void StoreEngine::note_gaps(ObjectState& o) {
+  o.outdated = o.orderer->has_gaps() ||
+               !o.applied_clock.dominates(o.known_clock) ||
+               o.applied_gseq < o.known_gseq;
 }
 
 // ---------------------------------------------------------------------
 // Read path
 // ---------------------------------------------------------------------
 
-bool StoreEngine::requirement_satisfied(const ClientRequest& req) const {
-  return applied_clock_.dominates(req.min_clock) &&
-         applied_gseq_ >= req.min_global_seq;
+bool StoreEngine::requirement_satisfied(const ObjectState& o,
+                                        const ClientRequest& req) {
+  return o.applied_clock.dominates(req.min_clock) &&
+         o.applied_gseq >= req.min_global_seq;
 }
 
-bool StoreEngine::needs_page_fetch(const ClientRequest& req) const {
+bool StoreEngine::needs_page_fetch(const ObjectState& o,
+                                   const ClientRequest& req) {
   if (req.inv.method != msg::Method::kGetPage) return false;
   util::Reader args{util::BytesView(req.inv.args)};
   const std::string page = args.str();
-  return invalid_pages_.count(page) > 0;
+  return o.invalid_pages.count(page) > 0;
 }
 
-InvokeReply StoreEngine::make_read_reply(const ClientRequest& req) {
-  core::InvokeResult res = semantics_.execute_read(req.inv);
+InvokeReply StoreEngine::make_read_reply(ObjectState& o,
+                                         const ClientRequest& req) {
+  core::InvokeResult res = o.semantics.execute_read(req.inv);
   InvokeReply rep;
   rep.ok = res.ok;
   rep.error = std::move(res.error);
   rep.value = std::move(res.value);
-  if (config_.policy.access_transfer == AccessTransfer::kFull &&
+  if (o.cfg.policy.access_transfer == AccessTransfer::kFull &&
       req.inv.method == msg::Method::kGetPage) {
     // Access transfer type "full": the whole document travels with the
     // access (Table 1), regardless of how little the client asked for.
-    rep.document = semantics_.snapshot();
+    rep.document = o.semantics.snapshot();
   }
-  rep.global_seq = applied_gseq_;
-  rep.store_clock = applied_clock_;
+  rep.global_seq = o.applied_gseq;
+  rep.store_clock = o.applied_clock;
   rep.store = config_.store_id;
-  ++reads_served_;
-  if (metrics_ != nullptr && outdated_) metrics_->record_stale_serve();
+  ++o.reads_served;
+  if (metrics_ != nullptr) {
+    metrics_->record_shard_read(config_.shard);
+    if (o.outdated) metrics_->record_stale_serve();
+  }
   return rep;
 }
 
-void StoreEngine::serve_read(const Address& from, std::uint64_t request_id,
+void StoreEngine::serve_read(ObjectState& o, const Address& from,
+                             std::uint64_t request_id,
                              const ClientRequest& req) {
-  if (config_.cache_mode == CacheMode::kCheckOnRead) {
-    serve_read_check_on_read(from, request_id, req);
+  if (o.cfg.cache_mode == CacheMode::kCheckOnRead) {
+    serve_read_check_on_read(o, from, request_id, req);
     return;
   }
-  if (config_.cache_mode == CacheMode::kTtl) {
-    serve_read_ttl(from, request_id, req);
+  if (o.cfg.cache_mode == CacheMode::kTtl) {
+    serve_read_ttl(o, from, request_id, req);
     return;
   }
 
-  const bool satisfied = requirement_satisfied(req);
-  const bool invalid = needs_page_fetch(req);
+  const bool satisfied = requirement_satisfied(o, req);
+  const bool invalid = needs_page_fetch(o, req);
   if (satisfied && !invalid) {
-    reply_invoke(from, request_id, make_read_reply(req));
+    reply_invoke(o, from, request_id, make_read_reply(o, req));
     return;
   }
 
   // The store cannot serve this read coherently yet: apply the outdate
   // reaction (Section 3.3): wait for propagation, or demand an update.
   if (invalid ||
-      config_.policy.client_outdate_reaction == OutdateReaction::kDemand) {
+      o.cfg.policy.client_outdate_reaction == OutdateReaction::kDemand) {
     if (metrics_ != nullptr) metrics_->record_session_demand();
     std::vector<std::string> pages;
     if (invalid &&
-        config_.policy.access_transfer == AccessTransfer::kPartial) {
+        o.cfg.policy.access_transfer == AccessTransfer::kPartial) {
       util::Reader args{util::BytesView(req.inv.args)};
       pages.push_back(args.str());
     }
-    park(from, request_id, req);
-    demand_fetch(std::move(pages));
+    park(o, from, request_id, req);
+    demand_fetch(o, std::move(pages));
   } else {
     if (metrics_ != nullptr) metrics_->record_session_wait();
-    park(from, request_id, req);
+    park(o, from, request_id, req);
   }
 }
 
-void StoreEngine::park(const Address& from, std::uint64_t request_id,
-                       ClientRequest req) {
-  parked_.push_back(Parked{from, request_id, std::move(req)});
+void StoreEngine::park(ObjectState& o, const Address& from,
+                       std::uint64_t request_id, ClientRequest req) {
+  o.parked.push_back(Parked{from, request_id, std::move(req)});
 }
 
-void StoreEngine::unpark_ready() {
-  if (parked_.empty() || unparking_) return;
-  unparking_ = true;
-  std::vector<Parked> waiting = std::move(parked_);
-  parked_.clear();
+void StoreEngine::unpark_ready(ObjectState& o) {
+  if (o.parked.empty() || o.unparking) return;
+  o.unparking = true;
+  std::vector<Parked> waiting = std::move(o.parked);
+  o.parked.clear();
   for (Parked& p : waiting) {
-    if (!ready_) {
-      parked_.push_back(std::move(p));
+    if (!o.ready) {
+      o.parked.push_back(std::move(p));
       continue;
     }
     if (p.request.inv.writes()) {
-      handle_client_request(p.from, p.request_id, std::move(p.request));
+      handle_client_request(o, p.from, p.request_id, std::move(p.request));
       continue;
     }
-    const bool satisfied = requirement_satisfied(p.request);
-    const bool invalid = needs_page_fetch(p.request);
+    const bool satisfied = requirement_satisfied(o, p.request);
+    const bool invalid = needs_page_fetch(o, p.request);
     if (satisfied && !invalid) {
-      reply_invoke(p.from, p.request_id, make_read_reply(p.request));
+      reply_invoke(o, p.from, p.request_id, make_read_reply(o, p.request));
     } else {
-      parked_.push_back(std::move(p));
+      o.parked.push_back(std::move(p));
     }
   }
-  unparking_ = false;
+  o.unparking = false;
   // Unsatisfied demand-mode reads must eventually retry: their update may
   // not have reached our upstream when we last fetched. The budget bounds
   // the loop when the awaited write never arrives.
-  if (!parked_.empty() && !fetch_in_flight_ &&
-      config_.policy.client_outdate_reaction == OutdateReaction::kDemand &&
-      !config_.is_primary && demand_retry_budget_ > 0) {
-    --demand_retry_budget_;
-    sim_.schedule_after(sim::SimDuration::millis(25), [this] {
-      if (!parked_.empty()) demand_fetch();
+  if (!o.parked.empty() && !o.fetch_in_flight &&
+      o.cfg.policy.client_outdate_reaction == OutdateReaction::kDemand &&
+      !o.cfg.is_primary && o.demand_retry_budget > 0) {
+    --o.demand_retry_budget;
+    sim_.schedule_after(sim::SimDuration::millis(25), [this, &o] {
+      if (!o.parked.empty()) demand_fetch(o);
     });
   }
 }
@@ -600,62 +780,62 @@ void StoreEngine::unpark_ready() {
 // Baseline Web cache protocols (Section 1)
 // ---------------------------------------------------------------------
 
-void StoreEngine::serve_read_check_on_read(const Address& from,
+void StoreEngine::serve_read_check_on_read(ObjectState& o, const Address& from,
                                            std::uint64_t request_id,
                                            ClientRequest req) {
   if (req.inv.method != msg::Method::kGetPage) {
-    reply_invoke(from, request_id, make_read_reply(req));
+    reply_invoke(o, from, request_id, make_read_reply(o, req));
     return;
   }
   util::Reader args{util::BytesView(req.inv.args)};
   const std::string page = args.str();
-  const auto current = semantics_.document().get(page);
+  const auto current = o.semantics.document().get(page);
 
   FetchRequest fetch;
   fetch.validate_only = true;
   fetch.pages.push_back(page);
   fetch.have_lamport = current ? current->lamport : 0;
   comm_.request_with(
-      config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+      o.cfg.upstream, msg::MsgType::kFetchRequest, o.cfg.object,
       [&](util::Writer& w) { fetch.encode(w); },
-      [this, from, request_id, req = std::move(req)](
+      [this, &o, from, request_id, req = std::move(req)](
           bool ok, const Address&, const msg::EnvelopeView& env) mutable {
         if (ok) {
           FetchReply::View rep = FetchReply::decode_view(env.body);
           if (!rep.not_modified) {
             for (auto& rec : rep.records) {
-              semantics_.apply(rec);
-              applied_clock_.observe(rec.wid);
+              o.semantics.apply(rec);
+              o.applied_clock.observe(rec.wid);
               // Same contiguity guard as apply_ready: a sequential-model
               // store must never advertise a gseq floor with holes
               // behind it (WriteLog::can_serve trusts that floor).
-              if (rec.global_seq > applied_gseq_ &&
-                  (config_.policy.model != ObjectModel::kSequential ||
-                   rec.global_seq == applied_gseq_ + 1)) {
-                applied_gseq_ = rec.global_seq;
+              if (rec.global_seq > o.applied_gseq &&
+                  (o.cfg.policy.model != ObjectModel::kSequential ||
+                   rec.global_seq == o.applied_gseq + 1)) {
+                o.applied_gseq = rec.global_seq;
               }
-              fetched_at_[rec.page] = sim_.now();
+              o.fetched_at[rec.page] = sim_.now();
             }
           }
         }
-        reply_invoke(from, request_id, make_read_reply(req));
+        reply_invoke(o, from, request_id, make_read_reply(o, req));
       });
 }
 
-void StoreEngine::serve_read_ttl(const Address& from, std::uint64_t request_id,
-                                 ClientRequest req) {
+void StoreEngine::serve_read_ttl(ObjectState& o, const Address& from,
+                                 std::uint64_t request_id, ClientRequest req) {
   if (req.inv.method != msg::Method::kGetPage) {
-    reply_invoke(from, request_id, make_read_reply(req));
+    reply_invoke(o, from, request_id, make_read_reply(o, req));
     return;
   }
   util::Reader args{util::BytesView(req.inv.args)};
   const std::string page = args.str();
-  const auto it = fetched_at_.find(page);
-  const bool fresh = semantics_.document().has(page) &&
-                     it != fetched_at_.end() &&
-                     sim_.now() - it->second < config_.ttl;
+  const auto it = o.fetched_at.find(page);
+  const bool fresh = o.semantics.document().has(page) &&
+                     it != o.fetched_at.end() &&
+                     sim_.now() - it->second < o.cfg.ttl;
   if (fresh) {
-    reply_invoke(from, request_id, make_read_reply(req));
+    reply_invoke(o, from, request_id, make_read_reply(o, req));
     return;
   }
   FetchRequest fetch;
@@ -663,25 +843,25 @@ void StoreEngine::serve_read_ttl(const Address& from, std::uint64_t request_id,
   fetch.pages.push_back(page);
   fetch.have_lamport = 0;
   comm_.request_with(
-      config_.upstream, msg::MsgType::kFetchRequest, config_.object,
+      o.cfg.upstream, msg::MsgType::kFetchRequest, o.cfg.object,
       [&](util::Writer& w) { fetch.encode(w); },
-      [this, from, request_id, page,
+      [this, &o, from, request_id, page,
        req = std::move(req)](bool ok, const Address&,
                              const msg::EnvelopeView& env) mutable {
         if (ok) {
           FetchReply::View rep = FetchReply::decode_view(env.body);
           for (auto& rec : rep.records) {
-            semantics_.apply(rec);
-            applied_clock_.observe(rec.wid);
-            if (rec.global_seq > applied_gseq_ &&
-                (config_.policy.model != ObjectModel::kSequential ||
-                 rec.global_seq == applied_gseq_ + 1)) {
-              applied_gseq_ = rec.global_seq;
+            o.semantics.apply(rec);
+            o.applied_clock.observe(rec.wid);
+            if (rec.global_seq > o.applied_gseq &&
+                (o.cfg.policy.model != ObjectModel::kSequential ||
+                 rec.global_seq == o.applied_gseq + 1)) {
+              o.applied_gseq = rec.global_seq;
             }
           }
-          fetched_at_[page] = sim_.now();
+          o.fetched_at[page] = sim_.now();
         }
-        reply_invoke(from, request_id, make_read_reply(req));
+        reply_invoke(o, from, request_id, make_read_reply(o, req));
       });
 }
 
@@ -689,15 +869,16 @@ void StoreEngine::serve_read_ttl(const Address& from, std::uint64_t request_id,
 // Propagation
 // ---------------------------------------------------------------------
 
-void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
-  if (config_.policy.initiative == TransferInitiative::kPull) {
+void StoreEngine::propagate(ObjectState& o,
+                            const std::vector<web::WriteRecord>& recs) {
+  if (o.cfg.policy.initiative == TransferInitiative::kPull) {
     return;  // downstream stores poll; nothing is pushed
   }
   service_flow_events();
   std::vector<Address> targets;
-  for (const Subscriber& s : subscribers_) targets.push_back(s.address);
-  if (multi_master() && !config_.is_primary && config_.upstream.valid()) {
-    targets.push_back(config_.upstream);
+  for (const Subscriber& s : o.subscribers) targets.push_back(s.address);
+  if (multi_master(o) && !o.cfg.is_primary && o.cfg.upstream.valid()) {
+    targets.push_back(o.cfg.upstream);
   }
   if (targets.empty()) return;
 
@@ -711,9 +892,9 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
   // partial updates splice the encoded bytes, invalidations read the
   // page list, notification/full transfers use the batch as a marker.
   const web::BatchNeeds needs{
-      .wire = config_.policy.propagation == Propagation::kUpdate &&
-              config_.policy.coherence_transfer == CoherenceTransfer::kPartial,
-      .pages = config_.policy.propagation == Propagation::kInvalidate};
+      .wire = o.cfg.policy.propagation == Propagation::kUpdate &&
+              o.cfg.policy.coherence_transfer == CoherenceTransfer::kPartial,
+      .pages = o.cfg.policy.propagation == Propagation::kInvalidate};
   std::vector<web::RecordBatchPtr> batches;
   if (config_.shared_fanout) {
     for (std::size_t i = 0; i < recs.size();) {
@@ -731,7 +912,7 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
   // Immediate pushes group destinations whose batch set is identical
   // (the common case: everyone but the record's origin receives
   // everything) so each group can travel as ONE shared wire datagram.
-  const bool lazy = config_.policy.instant == TransferInstant::kLazy;
+  const bool lazy = o.cfg.policy.instant == TransferInstant::kLazy;
   std::vector<std::pair<std::vector<web::RecordBatchPtr>, std::vector<Address>>>
       groups;
   for (const Address& t : targets) {
@@ -757,15 +938,15 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
     }
     if (out.empty()) continue;
     const FlowDisposition fd =
-        lazy ? FlowDisposition::kPark : flow_disposition(tkey);
+        lazy ? FlowDisposition::kPark : flow_disposition(o, tkey);
     if (fd == FlowDisposition::kSkip) continue;  // dropped under deadline
     if (fd == FlowDisposition::kPark) {
       // Lazy mode, or a windowed channel under backpressure: park the
       // shared batches; resume (or the lazy timer) flushes them in order.
-      auto& queue = lazy_queues_[tkey];
+      auto& queue = o.lazy_queues[tkey];
       queue.insert(queue.end(), std::make_move_iterator(out.begin()),
                    std::make_move_iterator(out.end()));
-      lazy_dirty_ = true;
+      o.lazy_dirty = true;
     } else {
       bool grouped = false;
       for (auto& g : groups) {
@@ -778,19 +959,19 @@ void StoreEngine::propagate(const std::vector<web::WriteRecord>& recs) {
       if (!grouped) groups.emplace_back(std::move(out), std::vector{t});
     }
   }
-  for (auto& g : groups) send_coherence_multi(g.second, g.first);
+  for (auto& g : groups) send_coherence_multi(o, g.second, g.first);
 }
 
 void StoreEngine::send_coherence_multi(
-    const std::vector<Address>& to,
+    ObjectState& o, const std::vector<Address>& to,
     std::span<const web::RecordBatchPtr> batches) {
   if (to.empty()) return;
   if (!config_.shared_wire || to.size() == 1) {
     // Baseline (and trivial) path: one header+body encode per target.
-    for (const Address& t : to) send_coherence(t, batches);
+    for (const Address& t : to) send_coherence(o, t, batches);
     return;
   }
-  const auto& p = config_.policy;
+  const auto& p = o.cfg.policy;
   if (p.propagation == Propagation::kInvalidate) {
     InvalidateMsg m;
     std::set<std::string> pages;
@@ -798,36 +979,36 @@ void StoreEngine::send_coherence_multi(
       pages.insert(b->pages().begin(), b->pages().end());
     }
     m.pages.assign(pages.begin(), pages.end());
-    m.known_clock = applied_clock_;
-    m.known_gseq = applied_gseq_;
-    comm_.multicast_with(to, msg::MsgType::kInvalidate, config_.object,
+    m.known_clock = o.applied_clock;
+    m.known_gseq = o.applied_gseq;
+    comm_.multicast_with(to, msg::MsgType::kInvalidate, o.cfg.object,
                          [&](util::Writer& w) { m.encode(w); });
     return;
   }
   switch (p.coherence_transfer) {
     case CoherenceTransfer::kNotification: {
       NotifyMsg m;
-      m.known_clock = applied_clock_;
-      m.known_gseq = applied_gseq_;
-      comm_.multicast_with(to, msg::MsgType::kNotify, config_.object,
+      m.known_clock = o.applied_clock;
+      m.known_gseq = o.applied_gseq;
+      comm_.multicast_with(to, msg::MsgType::kNotify, o.cfg.object,
                            [&](util::Writer& w) { m.encode(w); });
       return;
     }
     case CoherenceTransfer::kPartial: {
-      comm_.multicast_with(to, msg::MsgType::kUpdate, config_.object,
+      comm_.multicast_with(to, msg::MsgType::kUpdate, o.cfg.object,
                            [&](util::Writer& w) {
                              UpdateMsg::encode_batches(w, batches,
-                                                       applied_clock_,
-                                                       applied_gseq_);
+                                                       o.applied_clock,
+                                                       o.applied_gseq);
                            });
       return;
     }
     case CoherenceTransfer::kFull: {
       SnapshotMsg m;
-      m.document = semantics_.snapshot();
-      m.clock = applied_clock_;
-      m.gseq = applied_gseq_;
-      comm_.multicast_with(to, msg::MsgType::kSnapshot, config_.object,
+      m.document = o.semantics.snapshot();
+      m.clock = o.applied_clock;
+      m.gseq = o.applied_gseq;
+      comm_.multicast_with(to, msg::MsgType::kSnapshot, o.cfg.object,
                            [&](util::Writer& w) { m.encode(w); });
       return;
     }
@@ -835,8 +1016,9 @@ void StoreEngine::send_coherence_multi(
 }
 
 void StoreEngine::send_coherence(
-    const Address& to, std::span<const web::RecordBatchPtr> batches) {
-  const auto& p = config_.policy;
+    ObjectState& o, const Address& to,
+    std::span<const web::RecordBatchPtr> batches) {
+  const auto& p = o.cfg.policy;
   if (p.propagation == Propagation::kInvalidate) {
     InvalidateMsg m;
     std::set<std::string> pages;
@@ -844,18 +1026,18 @@ void StoreEngine::send_coherence(
       pages.insert(b->pages().begin(), b->pages().end());
     }
     m.pages.assign(pages.begin(), pages.end());
-    m.known_clock = applied_clock_;
-    m.known_gseq = applied_gseq_;
-    comm_.send_with(to, msg::MsgType::kInvalidate, config_.object,
+    m.known_clock = o.applied_clock;
+    m.known_gseq = o.applied_gseq;
+    comm_.send_with(to, msg::MsgType::kInvalidate, o.cfg.object,
                     [&](util::Writer& w) { m.encode(w); });
     return;
   }
   switch (p.coherence_transfer) {
     case CoherenceTransfer::kNotification: {
       NotifyMsg m;
-      m.known_clock = applied_clock_;
-      m.known_gseq = applied_gseq_;
-      comm_.send_with(to, msg::MsgType::kNotify, config_.object,
+      m.known_clock = o.applied_clock;
+      m.known_gseq = o.applied_gseq;
+      comm_.send_with(to, msg::MsgType::kNotify, o.cfg.object,
                       [&](util::Writer& w) { m.encode(w); });
       return;
     }
@@ -863,48 +1045,52 @@ void StoreEngine::send_coherence(
       // Splice the pre-encoded shared batches straight into the wire
       // buffer: the record payloads were serialized once, no matter how
       // many subscribers this update reaches.
-      comm_.send_with(to, msg::MsgType::kUpdate, config_.object,
+      comm_.send_with(to, msg::MsgType::kUpdate, o.cfg.object,
                       [&](util::Writer& w) {
-                        UpdateMsg::encode_batches(w, batches, applied_clock_,
-                                                  applied_gseq_);
+                        UpdateMsg::encode_batches(w, batches, o.applied_clock,
+                                                  o.applied_gseq);
                       });
       return;
     }
     case CoherenceTransfer::kFull: {
       SnapshotMsg m;
-      m.document = semantics_.snapshot();
-      m.clock = applied_clock_;
-      m.gseq = applied_gseq_;
-      comm_.send_with(to, msg::MsgType::kSnapshot, config_.object,
+      m.document = o.semantics.snapshot();
+      m.clock = o.applied_clock;
+      m.gseq = o.applied_gseq;
+      comm_.send_with(to, msg::MsgType::kSnapshot, o.cfg.object,
                       [&](util::Writer& w) { m.encode(w); });
       return;
     }
   }
 }
 
-void StoreEngine::flush_lazy() {
+void StoreEngine::flush_lazy_all() {
+  for (auto& [id, op] : objects_) flush_lazy(*op);
+}
+
+void StoreEngine::flush_lazy(ObjectState& o) {
   service_flow_events();
-  if (!lazy_dirty_) return;
-  lazy_dirty_ = false;
-  auto queues = std::move(lazy_queues_);
-  lazy_queues_.clear();
+  if (!o.lazy_dirty) return;
+  o.lazy_dirty = false;
+  auto queues = std::move(o.lazy_queues);
+  o.lazy_queues.clear();
   // Notification and full transfers carry no per-record data: a queued
   // target with an empty batch list still gets its (aggregated) message.
   const bool data_free =
-      config_.policy.propagation == Propagation::kUpdate &&
-      config_.policy.coherence_transfer != CoherenceTransfer::kPartial;
+      o.cfg.policy.propagation == Propagation::kUpdate &&
+      o.cfg.policy.coherence_transfer != CoherenceTransfer::kPartial;
   for (auto& [key, batches] : queues) {
     if (paused_peers_.count(key) != 0) {
       // Still under transport backpressure: keep the segment parked
       // (resume or the deadline in flow_disposition settles it later).
-      auto& back = lazy_queues_[key];
+      auto& back = o.lazy_queues[key];
       back.insert(back.end(), std::make_move_iterator(batches.begin()),
                   std::make_move_iterator(batches.end()));
-      lazy_dirty_ = true;
+      o.lazy_dirty = true;
       continue;
     }
     if (batches.empty() && !data_free) continue;
-    send_coherence(key_addr(key), batches);
+    send_coherence(o, key_addr(key), batches);
   }
 }
 
@@ -924,12 +1110,17 @@ bool StoreEngine::service_flow_events() {
         paused_rounds_.erase(key);
         if (metrics_ != nullptr) metrics_->record_flow_resume();
         // The channel drained below its low watermark: everything parked
-        // for this peer can go out now, in its original order.
-        auto it = lazy_queues_.find(key);
-        if (it != lazy_queues_.end() && !it->second.empty()) {
-          auto batches = std::move(it->second);
-          lazy_queues_.erase(it);
-          send_coherence(ev.peer, batches);
+        // for this peer can go out now, in its original order. The
+        // channel is per endpoint pair, so every hosted object's queue
+        // for it drains.
+        for (auto& [id, op] : objects_) {
+          ObjectState& o = *op;
+          auto it = o.lazy_queues.find(key);
+          if (it != o.lazy_queues.end() && !it->second.empty()) {
+            auto batches = std::move(it->second);
+            o.lazy_queues.erase(it);
+            send_coherence(o, ev.peer, batches);
+          }
         }
         break;
       }
@@ -944,12 +1135,12 @@ bool StoreEngine::service_flow_events() {
 }
 
 StoreEngine::FlowDisposition StoreEngine::flow_disposition(
-    std::uint64_t key) {
+    ObjectState& o, std::uint64_t key) {
   if (paused_peers_.count(key) == 0) return FlowDisposition::kSend;
   const std::size_t rounds = ++paused_rounds_[key];
-  const auto queued = lazy_queues_.find(key);
+  const auto queued = o.lazy_queues.find(key);
   const std::size_t depth =
-      queued == lazy_queues_.end() ? 0 : queued->second.size();
+      queued == o.lazy_queues.end() ? 0 : queued->second.size();
   const bool hopeless =
       (config_.flow_paused_rounds_limit != 0 &&
        rounds > config_.flow_paused_rounds_limit) ||
@@ -965,25 +1156,28 @@ StoreEngine::FlowDisposition StoreEngine::flow_disposition(
 
 void StoreEngine::drop_flow_peer(std::uint64_t key) {
   const Address peer = key_addr(key);
-  std::erase_if(subscribers_,
-                [&](const Subscriber& s) { return s.address == peer; });
-  lazy_queues_.erase(key);
+  for (auto& [id, op] : objects_) {
+    std::erase_if(op->subscribers,
+                  [&](const Subscriber& s) { return s.address == peer; });
+    op->lazy_queues.erase(key);
+  }
   paused_peers_.erase(key);
   paused_rounds_.erase(key);
   if (config_.flow != nullptr) config_.flow->reset_peer(address(), peer);
 }
 
-void StoreEngine::pull_from_upstream() {
-  if (multi_master()) {
+void StoreEngine::pull_from_upstream(ObjectState& o) {
+  if (multi_master(o)) {
     // Anti-entropy exchange: offer my clock; receive missing records and
     // learn what the upstream is missing so I can push it back.
     AntiEntropyRequest reqmsg;
-    reqmsg.have_clock = applied_clock_;
-    reqmsg.have_gseq = applied_gseq_;
+    reqmsg.have_clock = o.applied_clock;
+    reqmsg.have_gseq = o.applied_gseq;
     comm_.request_with(
-        config_.upstream, msg::MsgType::kAntiEntropyRequest, config_.object,
+        o.cfg.upstream, msg::MsgType::kAntiEntropyRequest, o.cfg.object,
         [&](util::Writer& w) { reqmsg.encode(w); },
-        [this](bool ok, const Address& from, const msg::EnvelopeView& env) {
+        [this, &o](bool ok, const Address& from,
+                   const msg::EnvelopeView& env) {
           if (!ok) return;
           AntiEntropyReply rep = AntiEntropyReply::decode(env.body);
           // Push back records the responder is missing — an indexed
@@ -995,110 +1189,111 @@ void StoreEngine::pull_from_upstream() {
           // past each other (a restore-snapshot would apply in neither
           // direction there).
           std::vector<web::WriteRecord> for_peer =
-              log_.can_serve(rep.responder_clock, rep.responder_gseq)
-                  ? records_since(rep.responder_clock, rep.responder_gseq,
+              o.log.can_serve(rep.responder_clock, rep.responder_gseq)
+                  ? records_since(o, rep.responder_clock, rep.responder_gseq,
                                   {})
-                  : state_as_records();
+                  : state_as_records(o);
           if (!for_peer.empty()) {
-            comm_.send_with(from, msg::MsgType::kUpdate, config_.object,
+            comm_.send_with(from, msg::MsgType::kUpdate, o.cfg.object,
                             [&](util::Writer& w) {
                               UpdateMsg::encode_fields(w, for_peer,
-                                                       applied_clock_,
-                                                       applied_gseq_);
+                                                       o.applied_clock,
+                                                       o.applied_gseq);
                             });
           }
           std::vector<web::WriteRecord> ready;
-          admit_remote(std::move(rep.records), addr_key(from), ready);
-          apply_ready(std::move(ready));
+          admit_remote(o, std::move(rep.records), addr_key(from), ready);
+          apply_ready(o, std::move(ready));
         });
     return;
   }
   FetchRequest fetch;
-  fetch.have_clock = applied_clock_;
-  fetch.have_gseq = fetch_gseq_floor();
+  fetch.have_clock = o.applied_clock;
+  fetch.have_gseq = fetch_gseq_floor(o);
   fetch.want_full =
-      config_.policy.coherence_transfer == CoherenceTransfer::kFull;
+      o.cfg.policy.coherence_transfer == CoherenceTransfer::kFull;
   fetch.accepts_delta = config_.delta_snapshots;
-  comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
-                     config_.object,
+  comm_.request_with(o.cfg.upstream, msg::MsgType::kFetchRequest,
+                     o.cfg.object,
                      [&](util::Writer& w) { fetch.encode(w); },
-                     [this](bool ok, const Address&,
-                            const msg::EnvelopeView& env) {
+                     [this, &o](bool ok, const Address&,
+                                const msg::EnvelopeView& env) {
                        if (!ok) return;
-                       apply_fetch_reply(FetchReply::decode_view(env.body));
+                       apply_fetch_reply(o, FetchReply::decode_view(env.body));
                      });
 }
 
-void StoreEngine::demand_fetch(std::vector<std::string> pages) {
-  if (fetch_in_flight_ || config_.is_primary) return;
-  fetch_in_flight_ = true;
+void StoreEngine::demand_fetch(ObjectState& o,
+                               std::vector<std::string> pages) {
+  if (o.fetch_in_flight || o.cfg.is_primary) return;
+  o.fetch_in_flight = true;
   FetchRequest fetch;
-  fetch.have_clock = applied_clock_;
-  fetch.have_gseq = fetch_gseq_floor();
+  fetch.have_clock = o.applied_clock;
+  fetch.have_gseq = fetch_gseq_floor(o);
   fetch.pages = std::move(pages);
   fetch.want_full =
-      config_.policy.coherence_transfer == CoherenceTransfer::kFull ||
+      o.cfg.policy.coherence_transfer == CoherenceTransfer::kFull ||
       (fetch.pages.empty() &&
-       config_.policy.access_transfer == AccessTransfer::kFull &&
-       config_.policy.propagation == Propagation::kInvalidate);
+       o.cfg.policy.access_transfer == AccessTransfer::kFull &&
+       o.cfg.policy.propagation == Propagation::kInvalidate);
   fetch.accepts_delta = config_.delta_snapshots;
   // Demand-updates must survive lossy links (Section 4.2: they are the
   // retransmission mechanism), so the request itself carries a timeout
   // and retries.
-  comm_.request_with(config_.upstream, msg::MsgType::kFetchRequest,
-                     config_.object,
+  comm_.request_with(o.cfg.upstream, msg::MsgType::kFetchRequest,
+                     o.cfg.object,
                      [&](util::Writer& w) { fetch.encode(w); },
-                     [this](bool ok, const Address&,
-                            const msg::EnvelopeView& env) {
-                       fetch_in_flight_ = false;
+                     [this, &o](bool ok, const Address&,
+                                const msg::EnvelopeView& env) {
+                       o.fetch_in_flight = false;
                        if (!ok) {
-                         if (demand_retry_budget_ > 0 &&
-                             (outdated_ || !parked_.empty())) {
-                           --demand_retry_budget_;
+                         if (o.demand_retry_budget > 0 &&
+                             (o.outdated || !o.parked.empty())) {
+                           --o.demand_retry_budget;
                            sim_.schedule_after(sim::SimDuration::millis(50),
-                                               [this] { demand_fetch(); });
+                                               [this, &o] { demand_fetch(o); });
                          }
                          return;
                        }
-                       apply_fetch_reply(FetchReply::decode_view(env.body));
+                       apply_fetch_reply(o, FetchReply::decode_view(env.body));
                      },
                      sim::SimDuration::millis(250), /*retries=*/4);
 }
 
-void StoreEngine::apply_fetch_reply(FetchReply::View reply) {
+void StoreEngine::apply_fetch_reply(ObjectState& o, FetchReply::View reply) {
   if (reply.not_modified) return;
   if (reply.need_snapshot) {
     // Cutover deferred for a delta-snapshot requester: ship our page
     // summary (or floor) and receive only what we are missing.
-    request_snapshot_delta();
+    request_snapshot_delta(o);
     return;
   }
   if (reply.full) {
     // Snapshot cutover: restore straight from the borrowed view — the
     // document bytes are never copied into an intermediate message.
-    apply_snapshot(reply.snapshot, reply.clock, reply.gseq);
+    apply_snapshot(o, reply.snapshot, reply.clock, reply.gseq);
     return;
   }
   std::vector<web::WriteRecord> ready;
-  admit_remote(std::move(reply.records), addr_key(config_.upstream), ready);
-  known_clock_.merge(reply.clock);
-  known_gseq_ = std::max(known_gseq_, reply.gseq);
-  apply_ready(std::move(ready));
-  note_gaps();
-  if (outdated_ &&
-      config_.policy.object_outdate_reaction == OutdateReaction::kDemand &&
-      demand_retry_budget_ > 0) {
+  admit_remote(o, std::move(reply.records), addr_key(o.cfg.upstream), ready);
+  o.known_clock.merge(reply.clock);
+  o.known_gseq = std::max(o.known_gseq, reply.gseq);
+  apply_ready(o, std::move(ready));
+  note_gaps(o);
+  if (o.outdated &&
+      o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand &&
+      o.demand_retry_budget > 0) {
     // Our fetch did not close every gap (e.g. the missing record had not
     // yet reached our upstream either): retry shortly.
-    --demand_retry_budget_;
-    sim_.schedule_after(sim::SimDuration::millis(25), [this] {
-      if (outdated_) demand_fetch();
+    --o.demand_retry_budget;
+    sim_.schedule_after(sim::SimDuration::millis(25), [this, &o] {
+      if (o.outdated) demand_fetch(o);
     });
   }
 }
 
-void StoreEngine::subscribe_to_upstream() {
-  if (!config_.upstream.valid()) return;
+void StoreEngine::subscribe_to_upstream(ObjectState& o) {
+  if (!o.cfg.upstream.valid()) return;
   SubscribeMsg sub;
   sub.subscriber = comm_.local_address();
   sub.store_id = config_.store_id;
@@ -1109,68 +1304,68 @@ void StoreEngine::subscribe_to_upstream() {
   // allows. Without membership the static topology is assumed healthy
   // and the request is untimed (the seed behaviour).
   const bool timed = config_.membership.valid();
-  const bool resubscribe = ready_;
+  const bool resubscribe = o.ready;
   if (resubscribe) ++resubscribes_;
   // A re-subscriber already holds state (view re-parenting, rejoin after
   // eviction, crash recovery): with delta snapshots it ships what it has
   // and receives only the difference, instead of the whole document.
   if (resubscribe && config_.delta_snapshots) {
     sub.want_delta = true;
-    sub.delta_req = make_delta_request(config_.upstream);
+    sub.delta_req = make_delta_request(o, o.cfg.upstream);
   }
   comm_.request_with(
-      config_.upstream, msg::MsgType::kSubscribe, config_.object,
+      o.cfg.upstream, msg::MsgType::kSubscribe, o.cfg.object,
       [&](util::Writer& w) { sub.encode(w); },
-      [this, resubscribe](bool ok, const Address&,
-                          const msg::EnvelopeView& env) {
+      [this, &o, resubscribe](bool ok, const Address&,
+                              const msg::EnvelopeView& env) {
         if (!ok) {
-          if (subscribe_retry_budget_ > 0 && alive_ && !departed_) {
-            --subscribe_retry_budget_;
-            sim_.schedule_after(sim::SimDuration::millis(500), [this] {
-              if (alive_ && !departed_) subscribe_to_upstream();
+          if (o.subscribe_retry_budget > 0 && alive_ && !departed_) {
+            --o.subscribe_retry_budget;
+            sim_.schedule_after(sim::SimDuration::millis(500), [this, &o] {
+              if (alive_ && !departed_) subscribe_to_upstream(o);
             });
           }
           return;
         }
-        subscribe_retry_budget_ = 50;
+        o.subscribe_retry_budget = 50;
         StateTransfer::View snap = StateTransfer::decode_view(env.body);
         if (resubscribe) {
           // Re-subscription of a store that already holds state: the
           // transfer (full or page-granular) merges forward-only, and a
           // resync round closes whatever it could not prove (e.g.
           // multi-master divergence where neither clock dominates).
-          apply_state_transfer(snap);
-          resync();
+          apply_state_transfer(o, snap);
+          resync(o);
           return;
         }
-        semantics_.restore(snap.snapshot);
-        applied_clock_.merge(snap.clock);
-        applied_gseq_ = std::max(applied_gseq_, snap.gseq);
-        log_.note_snapshot(snap.clock, snap.gseq,
-                           config_.policy.model == ObjectModel::kSequential);
-        note_transfer_lineage(snap.source, snap.version);
-        record_snapshot_event();
+        o.semantics.restore(snap.snapshot);
+        o.applied_clock.merge(snap.clock);
+        o.applied_gseq = std::max(o.applied_gseq, snap.gseq);
+        o.log.note_snapshot(snap.clock, snap.gseq,
+                            o.cfg.policy.model == ObjectModel::kSequential);
+        note_transfer_lineage(o, snap.source, snap.version);
+        record_snapshot_event(o);
         std::vector<web::WriteRecord> ready;
-        orderer_->reset_to(applied_clock_, applied_gseq_, ready);
-        if (mw_filter_ != nullptr) {
+        o.orderer->reset_to(o.applied_clock, o.applied_gseq, ready);
+        if (o.mw_filter != nullptr) {
           std::vector<web::WriteRecord> gated;
-          mw_filter_->reset_to(applied_clock_, applied_gseq_, gated);
-          for (auto& g : gated) orderer_->admit(std::move(g), ready);
+          o.mw_filter->reset_to(o.applied_clock, o.applied_gseq, gated);
+          for (auto& g : gated) o.orderer->admit(std::move(g), ready);
         }
         for (auto& rec : ready) {
-          rec.transient_origin = addr_key(config_.upstream);
+          rec.transient_origin = addr_key(o.cfg.upstream);
         }
-        ready_ = true;
-        apply_ready(std::move(ready));
-        note_gaps();
-        unpark_ready();
+        o.ready = true;
+        apply_ready(o, std::move(ready));
+        note_gaps(o);
+        unpark_ready(o);
       },
       timed ? sim::SimDuration::millis(250) : sim::SimDuration(0),
       timed ? 4 : 0);
 }
 
 // ---------------------------------------------------------------------
-// Dynamic membership and fault lifecycle
+// Membership & lifecycle
 // ---------------------------------------------------------------------
 
 void StoreEngine::start_membership() {
@@ -1184,8 +1379,9 @@ void StoreEngine::start_membership() {
 void StoreEngine::join_membership() {
   membership::MemberAnnounce ann;
   ann.contact = contact();
+  ann.shard = config_.shard;
   comm_.request_with(
-      config_.membership, msg::MsgType::kMembershipJoin, config_.object,
+      config_.membership, msg::MsgType::kMembershipJoin, membership_scope(),
       [&](util::Writer& w) { ann.encode(w); },
       [this](bool ok, const Address&, const msg::EnvelopeView& env) {
         if (!ok) return;  // heartbeats re-admit us once reachable
@@ -1197,14 +1393,18 @@ void StoreEngine::join_membership() {
 void StoreEngine::send_membership_heartbeat() {
   membership::MemberAnnounce ann;
   ann.contact = contact();
+  ann.shard = config_.shard;
   comm_.send_with_background(config_.membership,
                              msg::MsgType::kMembershipHeartbeat,
-                             config_.object,
+                             membership_scope(),
                              [&](util::Writer& w) { ann.encode(w); });
 }
 
 void StoreEngine::apply_view(const membership::View& view) {
-  if (view.object != config_.object || view.epoch <= view_epoch_) return;
+  if (view.object != membership_scope() || view.shard != config_.shard ||
+      view.epoch <= view_epoch_) {
+    return;
+  }
   // A member that stayed in the view sees every epoch in sequence
   // (reliable FIFO delivery); a jump means WE missed view changes —
   // evicted during a partition and just re-admitted, most likely — so
@@ -1215,9 +1415,11 @@ void StoreEngine::apply_view(const membership::View& view) {
 
   // Members of the PREVIOUS view that the new view lacks have left the
   // replica set (eviction, crash, graceful leave): they stop receiving
-  // fan-out immediately. Subscribers absent from both views are kept —
-  // a just-joined store can subscribe before the view catches up, and
-  // stores running without membership still subscribe the static way.
+  // fan-out immediately — for every object this store hosts, since the
+  // view covers the whole shard endpoint, not one object. Subscribers
+  // absent from both views are kept — a just-joined store can subscribe
+  // before the view catches up, and stores running without membership
+  // still subscribe the static way.
   const auto left = [&](const Address& a) {
     if (view.contains(a)) return false;
     for (const Address& m : last_view_members_) {
@@ -1225,10 +1427,14 @@ void StoreEngine::apply_view(const membership::View& view) {
     }
     return false;
   };
-  std::erase_if(subscribers_,
-                [&](const Subscriber& s) { return left(s.address); });
-  for (auto it = lazy_queues_.begin(); it != lazy_queues_.end();) {
-    it = left(key_addr(it->first)) ? lazy_queues_.erase(it) : std::next(it);
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    std::erase_if(o.subscribers,
+                  [&](const Subscriber& s) { return left(s.address); });
+    for (auto it = o.lazy_queues.begin(); it != o.lazy_queues.end();) {
+      it = left(key_addr(it->first)) ? o.lazy_queues.erase(it)
+                                     : std::next(it);
+    }
   }
   for (auto it = paused_peers_.begin(); it != paused_peers_.end();) {
     it = left(key_addr(*it)) ? paused_peers_.erase(it) : std::next(it);
@@ -1239,31 +1445,38 @@ void StoreEngine::apply_view(const membership::View& view) {
   last_view_members_.clear();
   for (const auto& m : view.members) last_view_members_.push_back(m.address);
 
-  if (config_.is_primary || config_.cache_mode != CacheMode::kGlobe ||
-      !config_.auto_subscribe) {
-    return;
-  }
-  bool need_resubscribe = jumped;
-  if (!view.contains(config_.upstream)) {
-    // Our propagation parent left the view (crash, leave, eviction):
-    // re-parent onto the best surviving member.
-    const naming::ContactPoint* next =
-        membership::choose_upstream(view, address());
-    if (next != nullptr) {
-      config_.upstream = next->address;
-      need_resubscribe = true;
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    if (o.cfg.is_primary || o.cfg.cache_mode != CacheMode::kGlobe ||
+        !o.cfg.auto_subscribe) {
+      continue;
     }
-  }
-  if (need_resubscribe && ready_) {
-    subscribe_to_upstream();
-  } else if (jumped) {
-    resync();
+    bool need_resubscribe = jumped;
+    if (!view.contains(o.cfg.upstream)) {
+      // Our propagation parent left the view (crash, leave, eviction):
+      // re-parent onto the best surviving member.
+      const naming::ContactPoint* next =
+          membership::choose_upstream(view, address());
+      if (next != nullptr) {
+        o.cfg.upstream = next->address;
+        if (&o == def_) config_.upstream = next->address;
+        need_resubscribe = true;
+      }
+    }
+    if (need_resubscribe && o.ready) {
+      subscribe_to_upstream(o);
+    } else if (jumped) {
+      resync(o);
+    }
   }
 }
 
 void StoreEngine::handle_view_delta(const msg::EnvelopeView& env) {
   const membership::ViewDelta d = membership::ViewDelta::decode(env.body);
-  if (d.object != config_.object || d.epoch <= view_epoch_) return;
+  if (d.object != membership_scope() || d.shard != config_.shard ||
+      d.epoch <= view_epoch_) {
+    return;
+  }
   membership::View next;
   if (d.try_apply(view_, view_epoch_, &next)) {
     apply_view(next);
@@ -1281,9 +1494,11 @@ void StoreEngine::fetch_full_view() {
   // inside one round trip, and each would otherwise trigger its own
   // full-view request — the amplification deltas exist to avoid.
   view_fetch_in_flight_ = true;
+  membership::ViewFetchMsg req;
+  req.shard = config_.shard;
   comm_.request_with(
-      config_.membership, msg::MsgType::kViewFetchRequest, config_.object,
-      [](util::Writer&) {},
+      config_.membership, msg::MsgType::kViewFetchRequest, membership_scope(),
+      [&](util::Writer& w) { req.encode(w); },
       [this](bool ok, const Address&, const msg::EnvelopeView& env) {
         view_fetch_in_flight_ = false;
         if (!ok) return;  // the next broadcast (or heartbeat) retries
@@ -1292,15 +1507,15 @@ void StoreEngine::fetch_full_view() {
       sim::SimDuration::millis(250), /*retries=*/2);
 }
 
-void StoreEngine::resync() {
-  if (config_.is_primary || !ready_ || !alive_ || departed_) return;
-  demand_retry_budget_ = 100;  // re-arm: a view event is fresh progress
-  if (multi_master()) {
+void StoreEngine::resync(ObjectState& o) {
+  if (o.cfg.is_primary || !o.ready || !alive_ || departed_) return;
+  o.demand_retry_budget = 100;  // re-arm: a view event is fresh progress
+  if (multi_master(o)) {
     // One anti-entropy exchange heals both directions with the upstream;
     // records received re-propagate to our own subscribers as usual.
-    pull_from_upstream();
+    pull_from_upstream(o);
   } else {
-    demand_fetch();
+    demand_fetch(o);
   }
 }
 
@@ -1313,72 +1528,84 @@ void StoreEngine::crash() {
   pull_timer_.reset();
   heartbeat_timer_.reset();
   membership_timer_.reset();
-  parked_.clear();
-  pending_write_acks_.clear();
-  lazy_queues_.clear();
-  lazy_dirty_ = false;
-  fetch_in_flight_ = false;
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    o.parked.clear();
+    o.pending_write_acks.clear();
+    o.lazy_queues.clear();
+    o.lazy_dirty = false;
+    o.fetch_in_flight = false;
+    o.unparking = false;
+  }
   view_fetch_in_flight_ = false;
-  unparking_ = false;
 }
 
 void StoreEngine::recover() {
   if (alive_ || departed_) return;
   alive_ = true;
-  subscribe_retry_budget_ = 50;
-  demand_retry_budget_ = 100;
+  for (auto& [id, op] : objects_) {
+    op->subscribe_retry_budget = 50;
+    op->demand_retry_budget = 100;
+  }
   configure_timers();
   start_membership();
-  if (!config_.is_primary && config_.cache_mode == CacheMode::kGlobe &&
-      config_.auto_subscribe) {
-    // Bootstrap through the cached-snapshot path; the ready_ flag is
-    // still set from before the crash, so this runs as a re-subscribe
-    // (forward-only snapshot merge + resync round).
-    subscribe_to_upstream();
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    if (!o.cfg.is_primary && o.cfg.cache_mode == CacheMode::kGlobe &&
+        o.cfg.auto_subscribe) {
+      // Bootstrap through the cached-snapshot path; the ready flag is
+      // still set from before the crash, so this runs as a re-subscribe
+      // (forward-only snapshot merge + resync round).
+      subscribe_to_upstream(o);
+    }
   }
 }
 
 void StoreEngine::leave() {
   if (departed_ || !alive_) return;
-  flush_lazy();  // drain what we still owe downstream
+  flush_lazy_all();  // drain what we still owe downstream
   if (config_.membership.valid()) {
     membership::LeaveMsg m;
     m.address = address();
     comm_.send_with(config_.membership, msg::MsgType::kMembershipLeave,
-                    config_.object, [&](util::Writer& w) { m.encode(w); });
+                    membership_scope(),
+                    [&](util::Writer& w) { m.encode(w); });
   }
   departed_ = true;
   lazy_timer_.reset();
   pull_timer_.reset();
   heartbeat_timer_.reset();
   membership_timer_.reset();
-  parked_.clear();
-  pending_write_acks_.clear();
+  for (auto& [id, op] : objects_) {
+    op->parked.clear();
+    op->pending_write_acks.clear();
+  }
 }
 
 // ---------------------------------------------------------------------
 // Inter-store message handlers
 // ---------------------------------------------------------------------
 
-Orderer& StoreEngine::mw_gate() {
-  if (mw_filter_ == nullptr) {
-    mw_filter_ = std::make_unique<PramOrderer>();
+Orderer& StoreEngine::mw_gate(ObjectState& o) {
+  if (o.mw_filter == nullptr) {
+    o.mw_filter = std::make_unique<PramOrderer>();
     // Seed the per-writer cursors with what this store already carries
     // (bootstrap snapshots included): a fresh filter starting at zero
     // would buffer the first ordered record forever, waiting for
     // predecessors a snapshot covered and nobody will resend.
     std::vector<web::WriteRecord> none;
-    mw_filter_->reset_to(applied_clock_, applied_gseq_, none);
+    o.mw_filter->reset_to(o.applied_clock, o.applied_gseq, none);
   }
-  return *mw_filter_;
+  return *o.mw_filter;
 }
 
-void StoreEngine::admit_remote(std::vector<web::WriteRecord> recs,
+void StoreEngine::admit_remote(ObjectState& o,
+                               std::vector<web::WriteRecord> recs,
                                std::uint64_t origin_key,
                                std::vector<web::WriteRecord>& ready) {
   for (auto& rec : recs) {
     rec.transient_origin = origin_key;
-    if (rec.ordered && config_.policy.model == ObjectModel::kEventual) {
+    if (rec.ordered && o.cfg.policy.model == ObjectModel::kEventual) {
       // Monotonic-writes clients need per-writer order even under
       // eventual coherence; gate through a PRAM filter first. EVERY
       // remote ingestion path (push update, anti-entropy reply, fetch
@@ -1387,196 +1614,200 @@ void StoreEngine::admit_remote(std::vector<web::WriteRecord> recs,
       // arrived the other way, and later ordered records would buffer
       // forever (a permanent post-partition wedge).
       std::vector<web::WriteRecord> gated;
-      mw_gate().admit(std::move(rec), gated);
-      for (auto& g : gated) orderer_->admit(std::move(g), ready);
+      mw_gate(o).admit(std::move(rec), gated);
+      for (auto& g : gated) o.orderer->admit(std::move(g), ready);
     } else {
-      orderer_->admit(std::move(rec), ready);
+      o.orderer->admit(std::move(rec), ready);
     }
   }
 }
 
-void StoreEngine::handle_update(const Address& from,
+void StoreEngine::handle_update(ObjectState& o, const Address& from,
                                 const msg::EnvelopeView& env) {
   UpdateMsg m = UpdateMsg::decode(env.body);
-  known_clock_.merge(m.sender_clock);
-  known_gseq_ = std::max(known_gseq_, m.sender_gseq);
+  o.known_clock.merge(m.sender_clock);
+  o.known_gseq = std::max(o.known_gseq, m.sender_gseq);
 
   std::vector<web::WriteRecord> ready;
-  admit_remote(std::move(m.records), addr_key(from), ready);
-  apply_ready(std::move(ready));
-  note_gaps();
-  if (outdated_ &&
-      config_.policy.object_outdate_reaction == OutdateReaction::kDemand &&
-      !config_.is_primary) {
-    demand_fetch();
+  admit_remote(o, std::move(m.records), addr_key(from), ready);
+  apply_ready(o, std::move(ready));
+  note_gaps(o);
+  if (o.outdated &&
+      o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand &&
+      !o.cfg.is_primary) {
+    demand_fetch(o);
   }
 }
 
-void StoreEngine::handle_snapshot(const msg::EnvelopeView& env) {
+void StoreEngine::handle_snapshot(ObjectState& o,
+                                  const msg::EnvelopeView& env) {
   SnapshotMsg::View m = SnapshotMsg::decode_view(env.body);
-  apply_snapshot(m.document, m.clock, m.gseq);
+  apply_snapshot(o, m.document, m.clock, m.gseq);
 }
 
-void StoreEngine::apply_snapshot(util::BytesView document,
+void StoreEngine::apply_snapshot(ObjectState& o, util::BytesView document,
                                  const coherence::VectorClock& clock,
                                  std::uint64_t gseq) {
   // Only move forward: ignore snapshots older than our state.
-  const bool newer = clock.dominates(applied_clock_) &&
-                     (clock != applied_clock_ || gseq > applied_gseq_);
-  if (!newer && !(gseq > applied_gseq_)) return;
-  semantics_.restore(document);
-  finish_state_adoption(clock, gseq);
+  const bool newer = clock.dominates(o.applied_clock) &&
+                     (clock != o.applied_clock || gseq > o.applied_gseq);
+  if (!newer && !(gseq > o.applied_gseq)) return;
+  o.semantics.restore(document);
+  finish_state_adoption(o, clock, gseq);
 }
 
-void StoreEngine::apply_state_transfer(const StateTransfer::View& st) {
+void StoreEngine::apply_state_transfer(ObjectState& o,
+                                       const StateTransfer::View& st) {
   // Only move forward, exactly like apply_snapshot: a transfer that
   // proves nothing new is skipped (the resync round closes the rest).
-  const bool newer = st.clock.dominates(applied_clock_) &&
-                     (st.clock != applied_clock_ || st.gseq > applied_gseq_);
-  if (!newer && !(st.gseq > applied_gseq_)) return;
+  const bool newer = st.clock.dominates(o.applied_clock) &&
+                     (st.clock != o.applied_clock || st.gseq > o.applied_gseq);
+  if (!newer && !(st.gseq > o.applied_gseq)) return;
   if (st.full) {
-    semantics_.restore(st.snapshot);
+    o.semantics.restore(st.snapshot);
   } else {
     // Page-granular adoption: shipped pages overwrite, drops erase and
     // leave tombstones. The result is byte-identical to restoring the
     // sender's full snapshot.
-    semantics_.document().apply_delta(st.delta);
+    o.semantics.document().apply_delta(st.delta);
   }
   // Lineage must snapshot the document version BEFORE the adoption tail
   // runs: finish_state_adoption can flush gated/buffered records into
   // the document, after which we no longer byte-mirror the sender and a
   // later floor request would wrongly claim we do.
-  note_transfer_lineage(st.source, st.version);
-  finish_state_adoption(st.clock, st.gseq);
+  note_transfer_lineage(o, st.source, st.version);
+  finish_state_adoption(o, st.clock, st.gseq);
 }
 
-void StoreEngine::note_transfer_lineage(StoreId source,
+void StoreEngine::note_transfer_lineage(ObjectState& o, StoreId source,
                                         std::uint64_t version) {
-  snap_source_ = source;
-  snap_source_addr_ = config_.upstream;
-  snap_source_version_ = version;
-  snap_doc_version_ = semantics_.document().version();
+  o.snap_source = source;
+  o.snap_source_addr = o.cfg.upstream;
+  o.snap_source_version = version;
+  o.snap_doc_version = o.semantics.document().version();
 }
 
-void StoreEngine::finish_state_adoption(const coherence::VectorClock& clock,
+void StoreEngine::finish_state_adoption(ObjectState& o,
+                                        const coherence::VectorClock& clock,
                                         std::uint64_t gseq) {
-  applied_clock_.merge(clock);
-  applied_gseq_ = std::max(applied_gseq_, gseq);
-  known_clock_.merge(clock);
-  known_gseq_ = std::max(known_gseq_, gseq);
+  o.applied_clock.merge(clock);
+  o.applied_gseq = std::max(o.applied_gseq, gseq);
+  o.known_clock.merge(clock);
+  o.known_gseq = std::max(o.known_gseq, gseq);
   // The records the snapshot covered were never appended to our log:
   // requesters below this horizon must get a snapshot cutover from us,
   // never a delta with a hole in it.
-  log_.note_snapshot(clock, gseq,
-                     config_.policy.model == ObjectModel::kSequential);
-  record_snapshot_event();
-  invalid_pages_.clear();
+  o.log.note_snapshot(clock, gseq,
+                      o.cfg.policy.model == ObjectModel::kSequential);
+  record_snapshot_event(o);
+  o.invalid_pages.clear();
   std::vector<web::WriteRecord> ready;
-  orderer_->reset_to(applied_clock_, applied_gseq_, ready);
-  if (mw_filter_ != nullptr) {
+  o.orderer->reset_to(o.applied_clock, o.applied_gseq, ready);
+  if (o.mw_filter != nullptr) {
     // The monotonic-writes cursor moves with the snapshot too, or
     // records above the snapshot horizon would wait forever for
     // records the snapshot already covers.
     std::vector<web::WriteRecord> gated;
-    mw_filter_->reset_to(applied_clock_, applied_gseq_, gated);
-    for (auto& g : gated) orderer_->admit(std::move(g), ready);
+    o.mw_filter->reset_to(o.applied_clock, o.applied_gseq, gated);
+    for (auto& g : gated) o.orderer->admit(std::move(g), ready);
   }
-  for (auto& rec : ready) rec.transient_origin = addr_key(config_.upstream);
-  apply_ready(std::move(ready));
+  for (auto& rec : ready) rec.transient_origin = addr_key(o.cfg.upstream);
+  apply_ready(o, std::move(ready));
   // Forward the (new) state downstream in full-transfer mode.
-  if (config_.policy.coherence_transfer == CoherenceTransfer::kFull &&
-      config_.policy.initiative == TransferInitiative::kPush &&
-      !subscribers_.empty()) {
-    if (config_.policy.instant == TransferInstant::kLazy) {
-      lazy_dirty_ = true;
-      for (const Subscriber& s : subscribers_) {
-        lazy_queues_[addr_key(s.address)];  // mark target; body is snapshot
+  if (o.cfg.policy.coherence_transfer == CoherenceTransfer::kFull &&
+      o.cfg.policy.initiative == TransferInitiative::kPush &&
+      !o.subscribers.empty()) {
+    if (o.cfg.policy.instant == TransferInstant::kLazy) {
+      o.lazy_dirty = true;
+      for (const Subscriber& s : o.subscribers) {
+        o.lazy_queues[addr_key(s.address)];  // mark target; body is snapshot
       }
     } else {
       std::vector<Address> targets;
-      targets.reserve(subscribers_.size());
-      for (const Subscriber& s : subscribers_) targets.push_back(s.address);
-      send_coherence_multi(targets, {});
+      targets.reserve(o.subscribers.size());
+      for (const Subscriber& s : o.subscribers) targets.push_back(s.address);
+      send_coherence_multi(o, targets, {});
     }
   }
-  note_gaps();
-  unpark_ready();
+  note_gaps(o);
+  unpark_ready(o);
 }
 
-void StoreEngine::handle_invalidate(const Address& from,
+void StoreEngine::handle_invalidate(ObjectState& o, const Address& from,
                                     const msg::EnvelopeView& env) {
   InvalidateMsg m = InvalidateMsg::decode(env.body);
-  for (const auto& p : m.pages) invalid_pages_.insert(p);
-  known_clock_.merge(m.known_clock);
-  known_gseq_ = std::max(known_gseq_, m.known_gseq);
-  note_gaps();
+  for (const auto& p : m.pages) o.invalid_pages.insert(p);
+  o.known_clock.merge(m.known_clock);
+  o.known_gseq = std::max(o.known_gseq, m.known_gseq);
+  note_gaps(o);
   // Forward invalidations downstream (re-serialized from the borrowed
   // body; one shared datagram for the whole fan-out).
   std::vector<Address> forward;
-  for (const Subscriber& s : subscribers_) {
+  for (const Subscriber& s : o.subscribers) {
     if (s.address != from) forward.push_back(s.address);
   }
   if (config_.shared_wire) {
-    comm_.multicast_with(forward, msg::MsgType::kInvalidate, config_.object,
+    comm_.multicast_with(forward, msg::MsgType::kInvalidate, o.cfg.object,
                          [&](util::Writer& w) { w.raw(env.body); });
   } else {
     for (const Address& t : forward) {
-      comm_.send_with(t, msg::MsgType::kInvalidate, config_.object,
+      comm_.send_with(t, msg::MsgType::kInvalidate, o.cfg.object,
                       [&](util::Writer& w) { w.raw(env.body); });
     }
   }
-  if (config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+  if (o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand) {
     std::vector<std::string> pages = m.pages;
-    if (config_.policy.access_transfer == AccessTransfer::kFull) pages.clear();
-    demand_fetch(std::move(pages));
+    if (o.cfg.policy.access_transfer == AccessTransfer::kFull) pages.clear();
+    demand_fetch(o, std::move(pages));
   }
 }
 
-void StoreEngine::handle_notify(const msg::EnvelopeView& env) {
+void StoreEngine::handle_notify(ObjectState& o, const msg::EnvelopeView& env) {
   NotifyMsg m = NotifyMsg::decode(env.body);
-  known_clock_.merge(m.known_clock);
-  known_gseq_ = std::max(known_gseq_, m.known_gseq);
-  note_gaps();
+  o.known_clock.merge(m.known_clock);
+  o.known_gseq = std::max(o.known_gseq, m.known_gseq);
+  note_gaps(o);
   if (config_.shared_wire) {
     std::vector<Address> forward;
-    forward.reserve(subscribers_.size());
-    for (const Subscriber& s : subscribers_) forward.push_back(s.address);
-    comm_.multicast_with(forward, msg::MsgType::kNotify, config_.object,
+    forward.reserve(o.subscribers.size());
+    for (const Subscriber& s : o.subscribers) forward.push_back(s.address);
+    comm_.multicast_with(forward, msg::MsgType::kNotify, o.cfg.object,
                          [&](util::Writer& w) { w.raw(env.body); });
   } else {
-    for (const Subscriber& s : subscribers_) {
-      comm_.send_with(s.address, msg::MsgType::kNotify, config_.object,
+    for (const Subscriber& s : o.subscribers) {
+      comm_.send_with(s.address, msg::MsgType::kNotify, o.cfg.object,
                       [&](util::Writer& w) { w.raw(env.body); });
     }
   }
-  if (outdated_ &&
-      config_.policy.object_outdate_reaction == OutdateReaction::kDemand) {
-    demand_fetch();
+  if (o.outdated &&
+      o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand) {
+    demand_fetch(o);
   }
 }
 
-void StoreEngine::advertise_clock() {
-  if (subscribers_.empty()) return;
+void StoreEngine::advertise_clock(ObjectState& o) {
+  if (o.subscribers.empty()) return;
   NotifyMsg m;
-  m.known_clock = applied_clock_;
-  m.known_gseq = applied_gseq_;
+  m.known_clock = o.applied_clock;
+  m.known_gseq = o.applied_gseq;
   if (config_.shared_wire) {
     std::vector<Address> targets;
-    targets.reserve(subscribers_.size());
-    for (const Subscriber& s : subscribers_) targets.push_back(s.address);
-    comm_.multicast_with(targets, msg::MsgType::kNotify, config_.object,
+    targets.reserve(o.subscribers.size());
+    for (const Subscriber& s : o.subscribers) targets.push_back(s.address);
+    comm_.multicast_with(targets, msg::MsgType::kNotify, o.cfg.object,
                          [&](util::Writer& w) { m.encode(w); },
                          /*background=*/true);
     return;
   }
-  for (const Subscriber& s : subscribers_) {
+  for (const Subscriber& s : o.subscribers) {
     comm_.send_with_background(s.address, msg::MsgType::kNotify,
-                               config_.object,
+                               o.cfg.object,
                                [&](util::Writer& w) { m.encode(w); });
   }
 }
 
-std::vector<web::WriteRecord> StoreEngine::state_as_records() const {
+std::vector<web::WriteRecord> StoreEngine::state_as_records(
+    const ObjectState& o) {
   // The whole document expressed as one LWW state record per page (the
   // page's last writer, total-order position, and Lamport stamp travel
   // with it). Used when a peer is behind the log's compaction horizon:
@@ -1585,11 +1816,11 @@ std::vector<web::WriteRecord> StoreEngine::state_as_records() const {
   // records reconstructed from the document's tombstones, so a peer
   // still holding the stale page drops it instead of resurrecting it —
   // this closes the tombstone-less LWW caveat (docs/perf.md).
-  const web::WebDocument& doc = semantics_.document();
+  const web::WebDocument& doc = o.semantics.document();
   std::vector<web::WriteRecord> out;
   const auto pages = doc.page_names();
   out.reserve(pages.size() + doc.tombstones().size());
-  for (const auto& page : pages) out.push_back(record_for_page(page));
+  for (const auto& page : pages) out.push_back(record_for_page(o, page));
   for (const auto& [page, t] : doc.tombstones()) {
     if (!t.writer.valid()) continue;  // deletion of unknown identity
     web::WriteRecord rec;
@@ -1604,8 +1835,9 @@ std::vector<web::WriteRecord> StoreEngine::state_as_records() const {
   return out;
 }
 
-web::WriteRecord StoreEngine::record_for_page(const std::string& page) const {
-  const auto p = semantics_.document().get(page);
+web::WriteRecord StoreEngine::record_for_page(const ObjectState& o,
+                                              const std::string& page) {
+  const auto p = o.semantics.document().get(page);
   web::WriteRecord rec;
   rec.page = page;
   if (!p) {
@@ -1623,33 +1855,33 @@ web::WriteRecord StoreEngine::record_for_page(const std::string& page) const {
 }
 
 std::vector<web::WriteRecord> StoreEngine::records_since(
-    const coherence::VectorClock& have, std::uint64_t have_gseq,
-    const std::vector<std::string>& pages) const {
+    const ObjectState& o, const coherence::VectorClock& have,
+    std::uint64_t have_gseq, const std::vector<std::string>& pages) const {
   return config_.naive_log_scan
-             ? log_.records_since_naive(have, have_gseq, pages)
-             : log_.records_since(have, have_gseq, pages);
+             ? o.log.records_since_naive(have, have_gseq, pages)
+             : o.log.records_since(have, have_gseq, pages);
 }
 
-void StoreEngine::handle_fetch_request(const Address& from,
+void StoreEngine::handle_fetch_request(ObjectState& o, const Address& from,
                                        const msg::EnvelopeView& env) {
   FetchRequest m = FetchRequest::decode(env.body);
   FetchReply rep;
-  rep.clock = applied_clock_;
-  rep.gseq = applied_gseq_;
+  rep.clock = o.applied_clock;
+  rep.gseq = o.applied_gseq;
 
   if (m.validate_only) {
     GLOBE_ASSERT_MSG(!m.pages.empty(), "validate requires a page");
-    const auto p = semantics_.document().get(m.pages.front());
+    const auto p = o.semantics.document().get(m.pages.front());
     if (p && m.have_lamport != 0 && p->lamport == m.have_lamport) {
       rep.not_modified = true;
     } else if (p) {
-      rep.records.push_back(record_for_page(m.pages.front()));
+      rep.records.push_back(record_for_page(o, m.pages.front()));
     }
     // Page absent: empty records; the cache serves not-found.
   } else if (m.want_full ||
-             !log_.can_serve(m.have_clock, m.have_gseq,
-                             config_.policy.model ==
-                                 ObjectModel::kSequential)) {
+             !o.log.can_serve(m.have_clock, m.have_gseq,
+                              o.cfg.policy.model ==
+                                  ObjectModel::kSequential)) {
     // Snapshot cutover: either the requester asked for full state, or it
     // is behind the log's compaction horizon and a delta can no longer
     // be computed for it. Only the forced case counts as a cutover in
@@ -1664,7 +1896,7 @@ void StoreEngine::handle_fetch_request(const Address& from,
       rep.need_snapshot = true;
     } else {
       rep.full = true;
-      rep.snapshot = semantics_.snapshot();
+      rep.snapshot = o.semantics.snapshot();
       // Routine want_full polls are the policy's normal transfer
       // traffic; only the forced cutover counts as a full state
       // transfer (same split as record_snapshot_cutover above).
@@ -1673,21 +1905,21 @@ void StoreEngine::handle_fetch_request(const Address& from,
       }
     }
   } else {
-    rep.records = records_since(m.have_clock, m.have_gseq, m.pages);
+    rep.records = records_since(o, m.have_clock, m.have_gseq, m.pages);
   }
-  comm_.reply_with(from, msg::MsgType::kFetchReply, config_.object,
+  comm_.reply_with(from, msg::MsgType::kFetchReply, o.cfg.object,
                    env.request_id, [&](util::Writer& w) { rep.encode(w); });
 }
 
-void StoreEngine::handle_subscribe(const Address& from,
+void StoreEngine::handle_subscribe(ObjectState& o, const Address& from,
                                    const msg::EnvelopeView& env) {
   SubscribeMsg m = SubscribeMsg::decode(env.body);
-  auto it = std::find_if(subscribers_.begin(), subscribers_.end(),
+  auto it = std::find_if(o.subscribers.begin(), o.subscribers.end(),
                          [&](const Subscriber& s) {
                            return s.address == m.subscriber;
                          });
-  if (it == subscribers_.end()) {
-    subscribers_.push_back(Subscriber{m.subscriber, m.store_id});
+  if (it == o.subscribers.end()) {
+    o.subscribers.push_back(Subscriber{m.subscriber, m.store_id});
     if (config_.flow != nullptr) {
       // Fresh subscription: clear any stale backpressure verdict (the
       // subscriber may be re-joining after an eviction) so its windowed
@@ -1699,31 +1931,33 @@ void StoreEngine::handle_subscribe(const Address& from,
     }
   }
   const StateTransfer st =
-      make_state_transfer(m.want_delta ? &m.delta_req : nullptr);
-  comm_.reply_with(from, msg::MsgType::kSubscribeAck, config_.object,
+      make_state_transfer(o, m.want_delta ? &m.delta_req : nullptr);
+  comm_.reply_with(from, msg::MsgType::kSubscribeAck, o.cfg.object,
                    env.request_id, [&](util::Writer& w) { st.encode(w); });
 }
 
-void StoreEngine::handle_snapshot_delta_request(const Address& from,
+void StoreEngine::handle_snapshot_delta_request(ObjectState& o,
+                                                const Address& from,
                                                 const msg::EnvelopeView& env) {
-  serve_snapshot_delta(from, env.request_id,
+  serve_snapshot_delta(o, from, env.request_id,
                        SnapshotDeltaRequest::decode(env.body),
                        /*defer_budget=*/100);
 }
 
-void StoreEngine::serve_snapshot_delta(const Address& from,
+void StoreEngine::serve_snapshot_delta(ObjectState& o, const Address& from,
                                        std::uint64_t request_id,
                                        SnapshotDeltaRequest req,
                                        int defer_budget) {
   // Same gating as a client read: a store still bootstrapping must not
   // hand out its (empty or partial) document. Re-attempt once state
   // arrives; the budget bounds the loop if bootstrap never completes.
-  if (!ready_ && defer_budget > 0) {
+  if (!o.ready && defer_budget > 0) {
     sim_.schedule_after(
         sim::SimDuration::millis(25),
-        [this, from, request_id, req = std::move(req), defer_budget]() mutable {
+        [this, &o, from, request_id, req = std::move(req),
+         defer_budget]() mutable {
           if (!alive_ || departed_) return;
-          serve_snapshot_delta(from, request_id, std::move(req),
+          serve_snapshot_delta(o, from, request_id, std::move(req),
                                defer_budget - 1);
         });
     return;
@@ -1731,24 +1965,24 @@ void StoreEngine::serve_snapshot_delta(const Address& from,
   // A document fetch is a read: keep the serving counters in step with
   // the invoke path (make_read_reply) so delta-mode clients don't
   // vanish from the read/staleness accounting.
-  ++reads_served_;
-  if (metrics_ != nullptr && outdated_) metrics_->record_stale_serve();
-  const StateTransfer st = make_state_transfer(&req);
-  comm_.reply_with(from, msg::MsgType::kSnapshotDeltaReply, config_.object,
+  ++o.reads_served;
+  if (metrics_ != nullptr && o.outdated) metrics_->record_stale_serve();
+  const StateTransfer st = make_state_transfer(o, &req);
+  comm_.reply_with(from, msg::MsgType::kSnapshotDeltaReply, o.cfg.object,
                    request_id, [&](util::Writer& w) { st.encode(w); });
 }
 
-SnapshotDeltaRequest StoreEngine::make_delta_request(
-    const Address& target) const {
+SnapshotDeltaRequest StoreEngine::make_delta_request(const ObjectState& o,
+                                                     const Address& target) {
   SnapshotDeltaRequest req;
-  const web::WebDocument& doc = semantics_.document();
-  if (snap_source_ != kInvalidStore && target == snap_source_addr_ &&
-      doc.version() == snap_doc_version_) {
+  const web::WebDocument& doc = o.semantics.document();
+  if (o.snap_source != kInvalidStore && target == o.snap_source_addr &&
+      doc.version() == o.snap_doc_version) {
     // The document has not mutated since the last transfer from this
     // lineage: a bare version floor replaces the page summary.
     req.mode = SnapshotDeltaRequest::Mode::kFloor;
-    req.floor_source = snap_source_;
-    req.floor_version = snap_source_version_;
+    req.floor_source = o.snap_source;
+    req.floor_version = o.snap_source_version;
   } else {
     req.mode = SnapshotDeltaRequest::Mode::kSummary;
     req.have = doc.summarize();
@@ -1757,12 +1991,12 @@ SnapshotDeltaRequest StoreEngine::make_delta_request(
 }
 
 StateTransfer StoreEngine::make_state_transfer(
-    const SnapshotDeltaRequest* req) {
+    ObjectState& o, const SnapshotDeltaRequest* req) {
   StateTransfer st;
-  st.clock = applied_clock_;
-  st.gseq = applied_gseq_;
+  st.clock = o.applied_clock;
+  st.gseq = o.applied_gseq;
   st.source = config_.store_id;
-  const web::WebDocument& doc = semantics_.document();
+  const web::WebDocument& doc = o.semantics.document();
   st.version = doc.version();
 
   bool serve_delta = req != nullptr;
@@ -1790,79 +2024,96 @@ StateTransfer StoreEngine::make_state_transfer(
     }
   } else {
     st.full = true;
-    st.snapshot = semantics_.snapshot();
+    st.snapshot = o.semantics.snapshot();
     if (metrics_ != nullptr) metrics_->record_full_snapshot();
   }
   return st;
 }
 
-void StoreEngine::request_snapshot_delta() {
-  if (fetch_in_flight_ || config_.is_primary) return;
-  fetch_in_flight_ = true;
-  const SnapshotDeltaRequest req = make_delta_request(config_.upstream);
+void StoreEngine::request_snapshot_delta(ObjectState& o) {
+  if (o.fetch_in_flight || o.cfg.is_primary) return;
+  o.fetch_in_flight = true;
+  const SnapshotDeltaRequest req = make_delta_request(o, o.cfg.upstream);
   comm_.request_with(
-      config_.upstream, msg::MsgType::kSnapshotDeltaRequest, config_.object,
+      o.cfg.upstream, msg::MsgType::kSnapshotDeltaRequest, o.cfg.object,
       [&](util::Writer& w) { req.encode(w); },
-      [this](bool ok, const Address&, const msg::EnvelopeView& env) {
-        fetch_in_flight_ = false;
+      [this, &o](bool ok, const Address&, const msg::EnvelopeView& env) {
+        o.fetch_in_flight = false;
         if (!ok) {
           // Same retry discipline as demand_fetch: the cutover that got
           // us here still needs to complete.
-          if (demand_retry_budget_ > 0 && (outdated_ || !parked_.empty())) {
-            --demand_retry_budget_;
+          if (o.demand_retry_budget > 0 && (o.outdated || !o.parked.empty())) {
+            --o.demand_retry_budget;
             sim_.schedule_after(sim::SimDuration::millis(50),
-                                [this] { demand_fetch(); });
+                                [this, &o] { demand_fetch(o); });
           }
           return;
         }
-        apply_state_transfer(StateTransfer::decode_view(env.body));
-        note_gaps();
-        unpark_ready();
+        apply_state_transfer(o, StateTransfer::decode_view(env.body));
+        note_gaps(o);
+        unpark_ready(o);
       },
       sim::SimDuration::millis(250), /*retries=*/4);
 }
 
-void StoreEngine::handle_anti_entropy(const Address& from,
+void StoreEngine::handle_anti_entropy(ObjectState& o, const Address& from,
                                       const msg::EnvelopeView& env) {
   AntiEntropyRequest m = AntiEntropyRequest::decode(env.body);
   AntiEntropyReply rep;
-  rep.responder_clock = applied_clock_;
-  rep.responder_gseq = applied_gseq_;
+  rep.responder_clock = o.applied_clock;
+  rep.responder_gseq = o.applied_gseq;
   // Anti-entropy runs under multi-master models, whose gseq floors are
   // not contiguous — only clock domination proves the peer is past the
   // compaction horizon (can_serve's gseq shortcut stays off). The
   // records_since gseq filter below is safe because multi-master
   // records are never sequenced (global_seq == 0); it only bites for
   // totally-ordered records the peer genuinely holds.
-  if (!log_.can_serve(m.have_clock, m.have_gseq)) {
+  if (!o.log.can_serve(m.have_clock, m.have_gseq)) {
     // Peer is behind the compaction horizon: send the current state as
     // records. They merge through the peer's normal orderer/LWW path,
     // which converges even when both peers compacted past each other —
     // a restore-snapshot would apply in neither direction there.
     if (metrics_ != nullptr) metrics_->record_snapshot_cutover();
-    rep.records = state_as_records();
+    rep.records = state_as_records(o);
   } else {
     // Indexed delta honoring the peer's total-order floor — gossip no
     // longer resends totally-ordered records the peer already holds.
-    rep.records = records_since(m.have_clock, m.have_gseq, {});
+    rep.records = records_since(o, m.have_clock, m.have_gseq, {});
   }
-  comm_.reply_with(from, msg::MsgType::kAntiEntropyReply, config_.object,
+  comm_.reply_with(from, msg::MsgType::kAntiEntropyReply, o.cfg.object,
                    env.request_id, [&](util::Writer& w) { rep.encode(w); });
 }
 
-util::Buffer store_state_digest(const StoreEngine& s, bool mask_wall_clock) {
+namespace {
+util::Buffer digest_from(const WriteLog& log,
+                         const web::WebDocument& doc, std::uint64_t gseq,
+                         const coherence::VectorClock& clock,
+                         bool mask_wall_clock) {
   util::Writer w;
   if (mask_wall_clock) {
-    std::vector<web::WriteRecord> records = s.write_log().retained();
+    std::vector<web::WriteRecord> records = log.retained();
     for (web::WriteRecord& rec : records) rec.issued_at_us = 0;
     web::encode_records(w, records);
   } else {
-    web::encode_records(w, s.write_log().retained());
+    web::encode_records(w, log.retained());
   }
-  w.bytes(util::BytesView(s.document().encode_snapshot(mask_wall_clock)));
-  w.varint(s.applied_gseq());
-  s.applied_clock().encode(w);
+  w.bytes(util::BytesView(doc.encode_snapshot(mask_wall_clock)));
+  w.varint(gseq);
+  clock.encode(w);
   return w.take();
+}
+}  // namespace
+
+util::Buffer store_state_digest(const StoreEngine& s, bool mask_wall_clock) {
+  return digest_from(s.write_log(), s.document(), s.applied_gseq(),
+                     s.applied_clock(), mask_wall_clock);
+}
+
+util::Buffer store_state_digest(const StoreEngine& s, ObjectId object,
+                                bool mask_wall_clock) {
+  return digest_from(s.write_log(object), s.document(object),
+                     s.applied_gseq(object), s.applied_clock(object),
+                     mask_wall_clock);
 }
 
 }  // namespace globe::replication

@@ -1,9 +1,8 @@
 // Store engine: the replication + control object of a store replica.
 //
 // One StoreEngine embodies a store from Figure 2 (permanent,
-// object-initiated, or client-initiated) of one distributed Web object.
-// It is the paper's replication object and control object fused for one
-// store role:
+// object-initiated, or client-initiated). It is the paper's replication
+// object and control object fused for one store role:
 //
 //   * it receives encoded client invocations (control object duty),
 //   * decides how they interact with the coherence protocol
@@ -16,6 +15,17 @@
 // a handful of policy branches. This mirrors the paper's observation
 // that "the replication objects all have the same interface ... however,
 // the internals differ".
+//
+// A store hosts MANY distributed objects: the engine keeps a table of
+// per-object replication states (document, write log, orderer, clocks,
+// subscriber set, upstream) keyed by ObjectId, and every wire message
+// carries the object key in its envelope, so one communication endpoint,
+// one timer set and one membership heartbeat stream serve the whole
+// table. The single-object constructor seeds the table with one object
+// from StoreConfig (the legacy deployment shape); sharded deployments
+// call add_object() for every object placement assigns to this store's
+// shard, and join membership under one cluster-wide scope
+// (StoreConfig::membership_scope) with their shard tag.
 #pragma once
 
 #include <deque>
@@ -67,6 +77,21 @@ enum class CacheMode : std::uint8_t {
   return "?";
 }
 
+/// Per-object replication parameters: everything that may differ between
+/// two objects hosted by the same store. Store-wide knobs (transport
+/// sharing, compaction budgets, membership, flow control) live in
+/// StoreConfig.
+struct ObjectConfig {
+  ObjectId object = 1;
+  bool is_primary = false;
+  Address upstream;  // propagation parent; invalid for the primary
+  ReplicationPolicy policy;
+  CacheMode cache_mode = CacheMode::kGlobe;
+  sim::SimDuration ttl = sim::SimDuration::seconds(60);
+  /// Subscribe to upstream at creation (Globe mode, non-primary).
+  bool auto_subscribe = true;
+};
+
 struct StoreConfig {
   ObjectId object = 1;
   StoreId store_id = 0;
@@ -111,11 +136,24 @@ struct StoreConfig {
   /// whole document. The restored state is byte-identical either way.
   bool delta_snapshots = true;
   /// Membership service endpoint; invalid = membership disabled. When
-  /// set, the store joins the object's replica view at construction,
-  /// heartbeats periodically, and reacts to epoch-numbered view changes
-  /// (drops evicted subscribers, re-resolves its upstream, resyncs).
+  /// set, the store joins its replica view at construction, heartbeats
+  /// periodically, and reacts to epoch-numbered view changes (drops
+  /// evicted subscribers, re-resolves upstreams, resyncs).
   Address membership;
   sim::SimDuration membership_heartbeat = sim::SimDuration::millis(100);
+  /// Membership scope this store joins. 0 (legacy) = the seed object's
+  /// id: per-object replica groups, one join per engine per object.
+  /// Sharded deployments set one cluster-wide scope for every store and
+  /// tag the join with `shard`; the membership service projects
+  /// per-shard subgroup views out of the single scope-wide member list,
+  /// and this engine applies the view of its own shard to every hosted
+  /// object. A multi-object engine with membership enabled must use a
+  /// cluster scope (per-object scopes would need one join per object,
+  /// defeating the single heartbeat stream).
+  std::uint64_t membership_scope = 0;
+  /// The shard this store serves; every hosted object belongs to it.
+  /// Shard 0 is the legacy single-shard deployment.
+  ShardId shard = 0;
   /// Flow-control surface of a windowed transport (net/flow.hpp); null =
   /// no transport backpressure, every peer is always writable. When set,
   /// the engine polls it before every propagation round: updates for
@@ -130,6 +168,19 @@ struct StoreConfig {
   /// Batches parked for one paused subscriber before it is dropped.
   /// 0 = unbounded.
   std::size_t flow_paused_batches_limit = 4096;
+
+  /// The per-object slice of this config (the seed object's parameters).
+  [[nodiscard]] ObjectConfig object_config() const {
+    ObjectConfig c;
+    c.object = object;
+    c.is_primary = is_primary;
+    c.upstream = upstream;
+    c.policy = policy;
+    c.cache_mode = cache_mode;
+    c.ttl = ttl;
+    c.auto_subscribe = auto_subscribe;
+    return c;
+  }
 };
 
 class StoreEngine {
@@ -145,21 +196,43 @@ class StoreEngine {
   [[nodiscard]] Address address() const { return comm_.local_address(); }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
   [[nodiscard]] StoreId id() const { return config_.store_id; }
+  [[nodiscard]] ShardId shard() const { return config_.shard; }
 
-  /// Local state inspection (tests / examples).
+  // ---- multi-object hosting ----
+
+  /// Adds another distributed object to this store's table. The object
+  /// gets its own replication state (document, log, orderer, clocks,
+  /// subscribers) but shares the engine's endpoint, timers, flow state
+  /// and membership stream. Asserts on a duplicate id.
+  void add_object(const ObjectConfig& cfg);
+  [[nodiscard]] bool has_object(ObjectId id) const {
+    return objects_.count(id) != 0;
+  }
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] std::vector<ObjectId> object_ids() const;
+
+  /// Local state inspection (tests / examples). The parameterless forms
+  /// read the seed object (the legacy single-object deployments).
   [[nodiscard]] const web::WebDocument& document() const {
-    return semantics_.document();
+    return def_->semantics.document();
   }
+  [[nodiscard]] const web::WebDocument& document(ObjectId id) const;
   [[nodiscard]] const coherence::VectorClock& applied_clock() const {
-    return applied_clock_;
+    return def_->applied_clock;
   }
-  [[nodiscard]] std::uint64_t applied_gseq() const { return applied_gseq_; }
-  [[nodiscard]] bool outdated() const { return outdated_; }
-  [[nodiscard]] std::size_t parked_requests() const { return parked_.size(); }
+  [[nodiscard]] const coherence::VectorClock& applied_clock(ObjectId id) const;
+  [[nodiscard]] std::uint64_t applied_gseq() const {
+    return def_->applied_gseq;
+  }
+  [[nodiscard]] std::uint64_t applied_gseq(ObjectId id) const;
+  [[nodiscard]] bool outdated() const { return def_->outdated; }
+  [[nodiscard]] std::size_t parked_requests() const;
   [[nodiscard]] std::size_t subscriber_count() const {
-    return subscribers_.size();
+    return def_->subscribers.size();
   }
-  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] std::size_t subscriber_count(ObjectId id) const;
+  [[nodiscard]] bool ready() const { return def_->ready; }
+  [[nodiscard]] bool ready(ObjectId id) const;
   /// Lifecycle state (fault injection / membership).
   [[nodiscard]] bool alive() const { return alive_; }
   [[nodiscard]] bool departed() const { return departed_; }
@@ -167,12 +240,14 @@ class StoreEngine {
   [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
   /// Times this store re-subscribed to an upstream after the initial
   /// bootstrap (view-driven re-parenting, post-eviction re-admission,
-  /// crash recovery).
+  /// crash recovery), summed over every hosted object.
   [[nodiscard]] std::uint64_t resubscribes() const { return resubscribes_; }
 
   /// Seeds initial content directly (primary only; used to set up the
   /// document before clients bind, like uploading files to a Web server).
   void seed(const std::string& page, const std::string& content,
+            const std::string& mime = "text/html");
+  void seed(ObjectId id, const std::string& page, const std::string& content,
             const std::string& mime = "text/html");
 
   /// This store's contact point for the location service.
@@ -186,14 +261,14 @@ class StoreEngine {
   // ---- dynamic membership / fault lifecycle ----
 
   /// Crash-stops the store: timers stop, volatile protocol state
-  /// (parked requests, pending acks, lazy queues) is lost; the document
-  /// and write log survive (a warm disk). Callers that model a real
+  /// (parked requests, pending acks, lazy queues) is lost; the documents
+  /// and write logs survive (a warm disk). Callers that model a real
   /// crash also cut the node off the network (sim::Network::
   /// set_node_down) so in-flight traffic is lost.
   void crash();
 
-  /// Restarts a crashed store: timers resume, the store rejoins the
-  /// object's replica view, and a non-primary re-subscribes to its
+  /// Restarts a crashed store: timers resume, the store rejoins its
+  /// replica view, and non-primary objects re-subscribe to their
   /// upstream — bootstrapping via the cached-snapshot transfer and
   /// closing any remaining gap with a resync round.
   void recover();
@@ -204,23 +279,23 @@ class StoreEngine {
   /// re-parent when the view change reaches them.
   void leave();
 
-  /// Replaces the implementation parameters of the object's strategy at
-  /// runtime and propagates the change to every downstream store
-  /// (Section 3.2.2: standardized interfaces make strategies dynamically
-  /// replaceable; Section 5 names self-adaptive policies as future
-  /// work). The coherence model itself cannot change (the orderer state
-  /// is model-specific); returns false and leaves the store untouched if
-  /// the new policy is invalid or alters the model.
+  /// Replaces the implementation parameters of the seed object's
+  /// strategy at runtime and propagates the change to every downstream
+  /// store (Section 3.2.2: standardized interfaces make strategies
+  /// dynamically replaceable; Section 5 names self-adaptive policies as
+  /// future work). The coherence model itself cannot change (the orderer
+  /// state is model-specific); returns false and leaves the store
+  /// untouched if the new policy is invalid or alters the model.
   bool update_policy(const core::ReplicationPolicy& policy);
 
-  /// Operation counters driving adaptive policy decisions.
-  [[nodiscard]] std::uint64_t reads_served() const { return reads_served_; }
-  [[nodiscard]] std::uint64_t writes_applied() const {
-    return writes_applied_;
-  }
+  /// Operation counters driving adaptive policy decisions (summed over
+  /// every hosted object).
+  [[nodiscard]] std::uint64_t reads_served() const;
+  [[nodiscard]] std::uint64_t writes_applied() const;
 
   /// The applied-record log with its delta indexes (tests / benches).
-  [[nodiscard]] const WriteLog& write_log() const { return log_; }
+  [[nodiscard]] const WriteLog& write_log() const { return def_->log; }
+  [[nodiscard]] const WriteLog& write_log(ObjectId id) const;
 
  private:
   struct Parked {
@@ -228,77 +303,159 @@ class StoreEngine {
     std::uint64_t request_id = 0;
     ClientRequest request;
   };
+  struct Subscriber {
+    Address address;
+    StoreId store_id;
+  };
+
+  /// The replication state of ONE hosted object: everything the paper's
+  /// per-object replication object owns. Engine-wide state (endpoint,
+  /// timers, flow backpressure, membership view, lifecycle flags) lives
+  /// on the StoreEngine. Heap-allocated and never removed, so callbacks
+  /// may capture stable pointers.
+  struct ObjectState {
+    ObjectConfig cfg;
+    core::WebSemanticsObject semantics;
+    std::unique_ptr<Orderer> orderer;
+    std::unique_ptr<Orderer> mw_filter;  // per-writer order for MW clients
+
+    coherence::VectorClock applied_clock;
+    coherence::VectorClock known_clock;  // heard of via notify/invalidate
+    std::uint64_t applied_gseq = 0;
+    std::uint64_t known_gseq = 0;
+    std::uint64_t next_gseq = 0;  // primary only: total-order counter
+    std::uint64_t lamport = 0;
+
+    WriteLog log;  // applied records, in apply order, with delta indexes
+    std::vector<Subscriber> subscribers;
+    // Per-target lazy segments: shared, immutable, pre-encoded batches.
+    // N subscribers hold N pointers to one encode, not N record copies.
+    std::map<std::uint64_t, std::vector<web::RecordBatchPtr>> lazy_queues;
+    bool lazy_dirty = false;  // for notify/full lazy transfers
+
+    std::vector<Parked> parked;
+    // Writes buffered by the orderer whose client still awaits an ack.
+    std::map<coherence::WriteId, std::pair<Address, std::uint64_t>>
+        pending_write_acks;
+    std::set<std::string> invalid_pages;
+    std::map<std::string, sim::SimTime> fetched_at;  // TTL bookkeeping
+    bool outdated = false;
+    bool fetch_in_flight = false;
+    bool ready = false;
+    bool unparking = false;  // reentrancy guard for unpark_ready()
+    // Lineage of the last applied state transfer: who sent it, at which
+    // document version, and what our own document version was right
+    // after applying. While our version is unchanged, the next delta
+    // request can be a bare floor instead of a page summary.
+    StoreId snap_source = kInvalidStore;
+    Address snap_source_addr;
+    std::uint64_t snap_source_version = 0;
+    std::uint64_t snap_doc_version = 0;
+    // Bounds re-subscription attempts when the upstream is unreachable
+    // (each attempt itself carries a timeout + retries).
+    int subscribe_retry_budget = 50;
+    // Bounds demand-fetch retry loops when a required write never
+    // arrives (the request then effectively degrades to wait).
+    int demand_retry_budget = 100;
+
+    std::uint64_t reads_served = 0;
+    std::uint64_t writes_applied = 0;
+  };
+
+  [[nodiscard]] ObjectState* find_object(ObjectId id);
+  [[nodiscard]] const ObjectState* find_object(ObjectId id) const;
+  [[nodiscard]] ObjectState& obj(ObjectId id);
+  [[nodiscard]] const ObjectState& obj(ObjectId id) const;
+  ObjectState& create_object(const ObjectConfig& cfg);
+  /// The scope this engine's membership join/heartbeat names.
+  [[nodiscard]] std::uint64_t membership_scope() const {
+    return config_.membership_scope != 0 ? config_.membership_scope
+                                         : def_->cfg.object;
+  }
 
   // ---- message dispatch ----
   void on_message(const Address& from, const msg::EnvelopeView& env);
-  void handle_client_request(const Address& from, std::uint64_t request_id,
-                             ClientRequest req);
-  void handle_write_forward(const Address& from, const msg::EnvelopeView& env);
-  void handle_update(const Address& from, const msg::EnvelopeView& env);
-  void handle_snapshot(const msg::EnvelopeView& env);
-  void handle_invalidate(const Address& from, const msg::EnvelopeView& env);
-  void handle_notify(const msg::EnvelopeView& env);
-  void handle_fetch_request(const Address& from, const msg::EnvelopeView& env);
-  void handle_subscribe(const Address& from, const msg::EnvelopeView& env);
-  void handle_anti_entropy(const Address& from, const msg::EnvelopeView& env);
-  void handle_snapshot_delta_request(const Address& from,
+  void handle_client_request(ObjectState& o, const Address& from,
+                             std::uint64_t request_id, ClientRequest req);
+  void handle_write_forward(ObjectState& o, const Address& from,
+                            const msg::EnvelopeView& env);
+  void handle_update(ObjectState& o, const Address& from,
+                     const msg::EnvelopeView& env);
+  void handle_snapshot(ObjectState& o, const msg::EnvelopeView& env);
+  void handle_invalidate(ObjectState& o, const Address& from,
+                         const msg::EnvelopeView& env);
+  void handle_notify(ObjectState& o, const msg::EnvelopeView& env);
+  void handle_fetch_request(ObjectState& o, const Address& from,
+                            const msg::EnvelopeView& env);
+  void handle_subscribe(ObjectState& o, const Address& from,
+                        const msg::EnvelopeView& env);
+  void handle_anti_entropy(ObjectState& o, const Address& from,
+                           const msg::EnvelopeView& env);
+  void handle_snapshot_delta_request(ObjectState& o, const Address& from,
                                      const msg::EnvelopeView& env);
   /// Gated service of one delta request: parks (bounded re-schedule)
   /// while the store bootstraps, counts the read, replies StateTransfer.
-  void serve_snapshot_delta(const Address& from, std::uint64_t request_id,
-                            SnapshotDeltaRequest req, int defer_budget);
+  void serve_snapshot_delta(ObjectState& o, const Address& from,
+                            std::uint64_t request_id, SnapshotDeltaRequest req,
+                            int defer_budget);
   void handle_view_delta(const msg::EnvelopeView& env);
+  void handle_policy_update(ObjectState& o, const Address& from,
+                            const msg::EnvelopeView& env);
 
   // ---- write path ----
-  [[nodiscard]] bool accepts_writes() const;
-  void accept_write(const Address& reply_to, std::uint64_t request_id,
-                    ClientRequest req);
+  [[nodiscard]] bool accepts_writes(const ObjectState& o) const;
+  void accept_write(ObjectState& o, const Address& reply_to,
+                    std::uint64_t request_id, ClientRequest req);
   /// Shared ingestion gate for records received from other stores; all
   /// remote paths (update push, anti-entropy, fetch reply) go through it
   /// so the monotonic-writes filter sees one consistent stream.
-  void admit_remote(std::vector<web::WriteRecord> recs,
+  void admit_remote(ObjectState& o, std::vector<web::WriteRecord> recs,
                     std::uint64_t origin_key,
                     std::vector<web::WriteRecord>& ready);
   /// The monotonic-writes filter, created on first use with its cursors
   /// seeded from the store's current coverage.
-  [[nodiscard]] Orderer& mw_gate();
+  [[nodiscard]] Orderer& mw_gate(ObjectState& o);
   /// Total-order floor this store may claim when fetching: only the
   /// sequential model applies records contiguously; PRAM-family stores
   /// advance their gseq with max semantics and must not have earlier
   /// missed records filtered away.
-  [[nodiscard]] std::uint64_t fetch_gseq_floor() const {
-    return config_.policy.model == coherence::ObjectModel::kSequential
-               ? applied_gseq_
+  [[nodiscard]] static std::uint64_t fetch_gseq_floor(const ObjectState& o) {
+    return o.cfg.policy.model == coherence::ObjectModel::kSequential
+               ? o.applied_gseq
                : 0;
   }
-  void apply_ready(std::vector<web::WriteRecord> ready);
-  void note_gaps();
-  void maybe_compact();
+  void apply_ready(ObjectState& o, std::vector<web::WriteRecord> ready);
+  void note_gaps(ObjectState& o);
+  void maybe_compact(ObjectState& o);
 
   // ---- read path ----
-  void serve_read(const Address& from, std::uint64_t request_id,
-                  const ClientRequest& req);
-  [[nodiscard]] bool requirement_satisfied(const ClientRequest& req) const;
-  [[nodiscard]] bool needs_page_fetch(const ClientRequest& req) const;
-  void park(const Address& from, std::uint64_t request_id, ClientRequest req);
-  void unpark_ready();
+  void serve_read(ObjectState& o, const Address& from,
+                  std::uint64_t request_id, const ClientRequest& req);
+  [[nodiscard]] static bool requirement_satisfied(const ObjectState& o,
+                                                  const ClientRequest& req);
+  [[nodiscard]] static bool needs_page_fetch(const ObjectState& o,
+                                             const ClientRequest& req);
+  void park(ObjectState& o, const Address& from, std::uint64_t request_id,
+            ClientRequest req);
+  void unpark_ready(ObjectState& o);
 
   // ---- baselines ----
-  void serve_read_check_on_read(const Address& from, std::uint64_t request_id,
-                                ClientRequest req);
-  void serve_read_ttl(const Address& from, std::uint64_t request_id,
-                      ClientRequest req);
+  void serve_read_check_on_read(ObjectState& o, const Address& from,
+                                std::uint64_t request_id, ClientRequest req);
+  void serve_read_ttl(ObjectState& o, const Address& from,
+                      std::uint64_t request_id, ClientRequest req);
 
   // ---- propagation ----
-  void propagate(const std::vector<web::WriteRecord>& recs);
-  void send_coherence(const Address& to,
+  void propagate(ObjectState& o, const std::vector<web::WriteRecord>& recs);
+  void send_coherence(ObjectState& o, const Address& to,
                       std::span<const web::RecordBatchPtr> batches);
   /// Fan-out of ONE coherence message to many destinations: with
   /// shared_wire the body is encoded once and the datagram shared by
   /// reference; otherwise falls back to per-destination send_coherence.
-  void send_coherence_multi(const std::vector<Address>& to,
+  void send_coherence_multi(ObjectState& o, const std::vector<Address>& to,
                             std::span<const web::RecordBatchPtr> batches);
-  void flush_lazy();
+  void flush_lazy(ObjectState& o);
+  void flush_lazy_all();
   /// Drains config_.flow's pause/resume/evict events (no-op when flow is
   /// null). Called from the propagation paths, i.e. always on the thread
   /// that owns this engine. Returns true if any subscriber was dropped.
@@ -307,44 +464,47 @@ class StoreEngine {
   /// backpressure. Enforces the paused-rounds/batches deadlines: a
   /// hopeless peer is dropped on the spot (kSkip).
   enum class FlowDisposition { kSend, kPark, kSkip };
-  FlowDisposition flow_disposition(std::uint64_t key);
-  /// Removes a subscriber plus all flow/lazy state; resets its windowed
-  /// channel so a future re-subscribe starts clean.
+  FlowDisposition flow_disposition(ObjectState& o, std::uint64_t key);
+  /// Removes a subscriber plus all flow/lazy state (from EVERY hosted
+  /// object; the windowed channel is per peer endpoint, not per object);
+  /// resets its channel so a future re-subscribe starts clean.
   void drop_flow_peer(std::uint64_t key);
-  void pull_from_upstream();
-  void advertise_clock();
+  void pull_from_upstream(ObjectState& o);
+  void advertise_clock(ObjectState& o);
   void configure_timers();
-  void handle_policy_update(const Address& from, const msg::EnvelopeView& env);
-  void demand_fetch(std::vector<std::string> pages = {});
-  void apply_fetch_reply(FetchReply::View reply);
-  void apply_snapshot(util::BytesView document,
+  void demand_fetch(ObjectState& o, std::vector<std::string> pages = {});
+  void apply_fetch_reply(ObjectState& o, FetchReply::View reply);
+  void apply_snapshot(ObjectState& o, util::BytesView document,
                       const coherence::VectorClock& clock, std::uint64_t gseq);
-  void subscribe_to_upstream();
+  void subscribe_to_upstream(ObjectState& o);
+  bool update_policy(ObjectState& o, const core::ReplicationPolicy& policy);
 
   // ---- delta snapshots ----
   /// Builds the cheapest exact delta request this store can make: the
   /// version floor of its last transfer when the document has not
   /// mutated since (and the lineage matches `target`), the full
   /// page-stamp summary otherwise.
-  [[nodiscard]] SnapshotDeltaRequest make_delta_request(
-      const Address& target) const;
+  [[nodiscard]] static SnapshotDeltaRequest make_delta_request(
+      const ObjectState& o, const Address& target);
   /// Serves a state transfer: page-granular against the request when one
   /// is given (falling back to full when a floor predates the tombstone
   /// horizon or names another lineage), the whole cached snapshot
   /// otherwise. Counts delta_snapshots / full_snapshots.
   [[nodiscard]] StateTransfer make_state_transfer(
-      const SnapshotDeltaRequest* req);
+      ObjectState& o, const SnapshotDeltaRequest* req);
   /// Follow-up to a FetchReply::need_snapshot cutover: request the delta
   /// from the upstream and apply it.
-  void request_snapshot_delta();
-  void apply_state_transfer(const StateTransfer::View& st);
+  void request_snapshot_delta(ObjectState& o);
+  void apply_state_transfer(ObjectState& o, const StateTransfer::View& st);
   /// Shared tail of every state adoption (full restore or page delta):
   /// clocks, log horizon, orderer resets, downstream forwarding.
-  void finish_state_adoption(const coherence::VectorClock& clock,
+  void finish_state_adoption(ObjectState& o,
+                             const coherence::VectorClock& clock,
                              std::uint64_t gseq);
   /// Remembers the lineage of the transfer just applied, enabling the
   /// floor mode until the document mutates again.
-  void note_transfer_lineage(StoreId source, std::uint64_t version);
+  void note_transfer_lineage(ObjectState& o, StoreId source,
+                             std::uint64_t version);
   /// Re-anchors on the full membership view (epoch gap in the delta
   /// broadcast stream).
   void fetch_full_view();
@@ -353,28 +513,33 @@ class StoreEngine {
   void start_membership();
   void join_membership();
   void send_membership_heartbeat();
-  /// Applies a newer replica view: prunes evicted subscribers,
-  /// re-resolves the upstream when it left the view, and re-subscribes /
-  /// resyncs when this store itself missed view changes (it was evicted
-  /// and re-admitted, or its parent changed).
+  /// Applies a newer replica view of this store's (scope, shard)
+  /// subgroup to EVERY hosted object: prunes evicted subscribers,
+  /// re-resolves upstreams that left the view, and re-subscribes /
+  /// resyncs objects when this store itself missed view changes (it was
+  /// evicted and re-admitted, or its parent changed).
   void apply_view(const membership::View& view);
   /// One catch-up round after a view event: anti-entropy for
   /// multi-master objects, a demand fetch otherwise.
-  void resync();
+  void resync(ObjectState& o);
 
   // ---- helpers ----
-  [[nodiscard]] bool enforces_model() const;
-  [[nodiscard]] bool multi_master() const;
-  void record_apply(const web::WriteRecord& rec, bool changed);
-  void record_snapshot_event();
-  [[nodiscard]] InvokeReply make_read_reply(const ClientRequest& req);
-  void reply_invoke(const Address& to, std::uint64_t request_id,
-                    const InvokeReply& rep);
+  [[nodiscard]] bool enforces_model(const ObjectState& o) const;
+  [[nodiscard]] static bool multi_master(const ObjectState& o);
+  void record_apply(ObjectState& o, const web::WriteRecord& rec, bool changed);
+  void record_snapshot_event(ObjectState& o);
+  [[nodiscard]] InvokeReply make_read_reply(ObjectState& o,
+                                            const ClientRequest& req);
+  void reply_invoke(ObjectState& o, const Address& to,
+                    std::uint64_t request_id, const InvokeReply& rep);
   [[nodiscard]] std::vector<web::WriteRecord> records_since(
-      const coherence::VectorClock& have, std::uint64_t have_gseq,
-      const std::vector<std::string>& pages = {}) const;
-  [[nodiscard]] web::WriteRecord record_for_page(const std::string& page) const;
-  [[nodiscard]] std::vector<web::WriteRecord> state_as_records() const;
+      const ObjectState& o, const coherence::VectorClock& have,
+      std::uint64_t have_gseq, const std::vector<std::string>& pages = {})
+      const;
+  [[nodiscard]] static web::WriteRecord record_for_page(
+      const ObjectState& o, const std::string& page);
+  [[nodiscard]] static std::vector<web::WriteRecord> state_as_records(
+      const ObjectState& o);
 
   class TrafficAdapter final : public core::TrafficObserver {
    public:
@@ -393,29 +558,16 @@ class StoreEngine {
   StoreConfig config_;
   TrafficAdapter traffic_;
   CommunicationObject comm_;
-  core::WebSemanticsObject semantics_;
-  std::unique_ptr<Orderer> orderer_;
-  std::unique_ptr<Orderer> mw_filter_;  // per-writer order for MW clients
 
-  coherence::VectorClock applied_clock_;
-  coherence::VectorClock known_clock_;  // heard of via notify/invalidate
-  std::uint64_t applied_gseq_ = 0;
-  std::uint64_t known_gseq_ = 0;
-  std::uint64_t next_gseq_ = 0;  // primary only: total-order counter
-  std::uint64_t lamport_ = 0;
+  // The object table. `def_` is the seed object (StoreConfig::object);
+  // the parameterless accessors and the legacy single-object API read
+  // it. Entries are never removed.
+  std::map<ObjectId, std::unique_ptr<ObjectState>> objects_;
+  ObjectState* def_ = nullptr;
 
-  WriteLog log_;  // applied records, in apply order, with delta indexes
-  struct Subscriber {
-    Address address;
-    StoreId store_id;
-  };
-  std::vector<Subscriber> subscribers_;
-  // Per-target lazy segments: shared, immutable, pre-encoded batches.
-  // N subscribers hold N pointers to one encode, not N record copies.
-  std::map<std::uint64_t, std::vector<web::RecordBatchPtr>> lazy_queues_;
-  bool lazy_dirty_ = false;  // for notify/full lazy transfers
   // Transport backpressure (config_.flow): subscribers whose windowed
   // channel is paused, and how many propagation rounds each has parked.
+  // Peer channels are per endpoint pair, shared by every hosted object.
   std::set<std::uint64_t> paused_peers_;
   std::map<std::uint64_t, std::size_t> paused_rounds_;
   std::optional<sim::PeriodicTimer> lazy_timer_;
@@ -423,18 +575,8 @@ class StoreEngine {
   std::optional<sim::PeriodicTimer> heartbeat_timer_;
   std::optional<sim::PeriodicTimer> membership_timer_;
 
-  std::vector<Parked> parked_;
-  // Writes buffered by the orderer whose client still awaits an ack.
-  std::map<coherence::WriteId, std::pair<Address, std::uint64_t>>
-      pending_write_acks_;
-  std::set<std::string> invalid_pages_;
-  std::map<std::string, sim::SimTime> fetched_at_;  // TTL bookkeeping
-  bool outdated_ = false;
-  bool fetch_in_flight_ = false;
-  bool ready_ = false;
-  bool unparking_ = false;  // reentrancy guard for unpark_ready()
-  bool alive_ = true;       // false while crash-stopped
-  bool departed_ = false;   // true after a graceful leave
+  bool alive_ = true;      // false while crash-stopped
+  bool departed_ = false;  // true after a graceful leave
   std::uint64_t view_epoch_ = 0;
   std::uint64_t resubscribes_ = 0;
   // Member addresses of the last applied view; subscriber pruning drops
@@ -444,33 +586,18 @@ class StoreEngine {
   // onto (valid when its epoch equals view_epoch_).
   membership::View view_;
   bool view_fetch_in_flight_ = false;  // collapse gap-burst re-anchors
-  // Lineage of the last applied state transfer: who sent it, at which
-  // document version, and what our own document version was right after
-  // applying. While our version is unchanged, the next delta request can
-  // be a bare floor instead of a page summary.
-  StoreId snap_source_ = kInvalidStore;
-  Address snap_source_addr_;
-  std::uint64_t snap_source_version_ = 0;
-  std::uint64_t snap_doc_version_ = 0;
-  // Bounds re-subscription attempts when the upstream is unreachable
-  // (each attempt itself carries a timeout + retries).
-  int subscribe_retry_budget_ = 50;
-  // Bounds demand-fetch retry loops when a required write never arrives
-  // (the request then effectively degrades to wait).
-  int demand_retry_budget_ = 100;
-
-  std::uint64_t reads_served_ = 0;
-  std::uint64_t writes_applied_ = 0;
 
   coherence::History* history_;
   metrics::MetricsSink* metrics_;
 };
 
-/// Serialized delivered state of a store: the retained log records in
-/// apply order, the document (oracle-encoded, bypassing the snapshot
-/// cache), and the applied gseq/clock. The fan-out equivalence test and
-/// the bench_scale gate compare these digests to prove two propagation
-/// configurations delivered byte-identical records.
+/// Serialized delivered state of one hosted object of a store: the
+/// retained log records in apply order, the document (oracle-encoded,
+/// bypassing the snapshot cache), and the applied gseq/clock. The
+/// fan-out equivalence test and the bench_scale gate compare these
+/// digests to prove two propagation configurations delivered
+/// byte-identical records. The two-argument form digests the seed
+/// object.
 ///
 /// `mask_wall_clock` zeroes the issue/update timestamps embedded in
 /// records and pages. Two runs that differ only in how the transport
@@ -481,5 +608,8 @@ class StoreEngine {
 /// strategies over the same transport keep the default.
 [[nodiscard]] util::Buffer store_state_digest(const StoreEngine& s,
                                               bool mask_wall_clock = false);
+[[nodiscard]] util::Buffer store_state_digest(const StoreEngine& s,
+                                              ObjectId object,
+                                              bool mask_wall_clock);
 
 }  // namespace globe::replication

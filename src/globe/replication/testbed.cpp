@@ -23,6 +23,16 @@ Testbed::Testbed(TestbedOptions options)
         factory(membership_node), &sim_, mo);
     service_nodes_.push_back(membership_node);
   }
+  if (options_.shards > 0) {
+    const NodeId placement_node = add_node("placement");
+    placement_ = std::make_unique<placement::PlacementServer>(
+        factory(placement_node), &sim_);
+    placement::Layout layout;
+    layout.epoch = 1;
+    layout.shard_count = options_.shards;
+    placement_->set_layout(layout);
+    service_nodes_.push_back(placement_node);
+  }
 }
 
 NodeId Testbed::add_node(std::string name) {
@@ -184,6 +194,106 @@ ClientBinding& Testbed::add_client_at(NodeId node, ObjectId object,
   return ref;
 }
 
+StoreEngine& Testbed::add_shard_store(ShardId shard,
+                                      naming::StoreClass store_class,
+                                      const core::ReplicationPolicy& policy,
+                                      bool primary, std::string node_name) {
+  GLOBE_ASSERT_MSG(placement_ != nullptr,
+                   "add_shard_store needs TestbedOptions::shards");
+  GLOBE_ASSERT(shard < options_.shards);
+  StoreConfig cfg;
+  cfg.object = kShardAnchorBase + shard;
+  cfg.store_id = next_store_id_++;
+  cfg.store_class = primary ? naming::StoreClass::kPermanent : store_class;
+  cfg.is_primary = primary;
+  cfg.policy = policy;
+  cfg.shard = shard;
+  cfg.membership_scope = kShardMembershipScope;
+  if (primary) {
+    GLOBE_ASSERT_MSG(shard_primaries_.find(shard) == shard_primaries_.end(),
+                     "shard already has a primary");
+  } else {
+    GLOBE_ASSERT_MSG(shard_primaries_.find(shard) != shard_primaries_.end(),
+                     "add the shard's primary first");
+    cfg.upstream = shard_primary(shard).address();
+  }
+  const ObjectId anchor = cfg.object;
+  if (node_name.empty()) {
+    node_name = "shard" + std::to_string(shard) + "-" +
+                (primary ? std::string("primary")
+                         : std::to_string(cfg.store_id));
+  }
+  StoreEngine& ref = add_store_impl(std::move(cfg), std::move(node_name));
+  shard_stores_[shard].push_back(&ref);
+  if (primary) {
+    shard_primaries_[shard] = &ref;
+    primaries_[anchor] = &ref;
+  }
+  placement_->register_contact(shard, ref.contact());
+  return ref;
+}
+
+void Testbed::place_objects(const std::vector<ObjectId>& objects) {
+  GLOBE_ASSERT_MSG(placement_ != nullptr,
+                   "place_objects needs TestbedOptions::shards");
+  for (const ObjectId object : objects) {
+    const ShardId shard = placement_->layout().shard_of(object);
+    auto sit = shard_stores_.find(shard);
+    GLOBE_ASSERT_MSG(sit != shard_stores_.end(),
+                     "object placed on a shard with no stores");
+    StoreEngine* primary = shard_primaries_.at(shard);
+    ObjectConfig oc;
+    oc.object = object;
+    oc.is_primary = true;
+    oc.policy = primary->config().policy;
+    primary->add_object(oc);
+    primaries_[object] = primary;
+    for (StoreEngine* s : sit->second) {
+      if (s == primary) continue;
+      ObjectConfig sc;
+      sc.object = object;
+      sc.upstream = primary->address();
+      sc.policy = s->config().policy;
+      sc.cache_mode = s->config().cache_mode;
+      sc.ttl = s->config().ttl;
+      s->add_object(sc);
+    }
+  }
+}
+
+ClientBinding& Testbed::add_placed_client(coherence::ClientModel session,
+                                          coherence::ObjectModel object_model,
+                                          std::string node_name) {
+  GLOBE_ASSERT_MSG(placement_ != nullptr,
+                   "add_placed_client needs TestbedOptions::shards");
+  if (node_name.empty()) {
+    node_name = "client-" + std::to_string(next_client_id_);
+  }
+  const NodeId node = add_node(std::move(node_name));
+  BindOptions opts;
+  opts.client = next_client_id_++;
+  opts.session = session;
+  opts.object_model = object_model;
+  opts.placement = placement_->address();
+  opts.timeout = options_.client_timeout;
+  opts.retries = options_.client_retries;
+  opts.delta_snapshots = options_.delta_snapshots;
+  if (opts.timeout.count_micros() == 0) {
+    // Placed clients exist to be churned: an untimed request into a
+    // crashed store would wedge the session's serialized queues.
+    opts.timeout = sim::SimDuration::seconds(1);
+    opts.retries = std::max(opts.retries, 1);
+  }
+  // No History: per-object write sequences repeat WriteIds across
+  // objects, which a shared recorder would conflate.
+  auto client = std::make_unique<ClientBinding>(factory(node), sim_,
+                                                std::move(opts), nullptr,
+                                                &metrics_);
+  ClientBinding& ref = *client;
+  clients_.push_back(std::move(client));
+  return ref;
+}
+
 void Testbed::flush_propagation() {
   for (auto& s : stores_) s->finalize_propagation();
 }
@@ -199,19 +309,18 @@ void Testbed::settle() {
 }
 
 bool Testbed::converged(ObjectId object) const {
-  const StoreEngine* primary = nullptr;
   auto pit = primaries_.find(object);
   if (pit == primaries_.end()) return false;
-  primary = pit->second;
+  const StoreEngine* primary = pit->second;
   for (const auto& s : stores_) {
-    if (s->config().object != object) continue;
+    if (!s->has_object(object)) continue;
     if (s->config().cache_mode != CacheMode::kGlobe) continue;
     // Crashed and departed stores are out of the replica set; every
     // store still in it — including ones that joined or recovered mid-
     // run — must be bootstrapped and equal to the primary.
     if (!s->alive() || s->departed()) continue;
-    if (!s->ready()) return false;
-    if (!(s->document() == primary->document())) return false;
+    if (!s->ready(object)) return false;
+    if (!(s->document(object) == primary->document(object))) return false;
   }
   return true;
 }
@@ -292,7 +401,7 @@ void Testbed::join_stores(std::size_t count) {
 void Testbed::publish(ObjectId object, const std::string& name) {
   naming_->register_name(name, object);
   for (const auto& s : stores_) {
-    if (s->config().object == object) {
+    if (s->has_object(object)) {
       naming_->register_contact(object, s->contact());
     }
   }

@@ -23,6 +23,7 @@
 #include "globe/naming/service.hpp"
 #include "globe/net/sim_transport.hpp"
 #include "globe/net/windowed_multicast.hpp"
+#include "globe/placement/service.hpp"
 #include "globe/replication/client_binding.hpp"
 #include "globe/replication/store_engine.hpp"
 #include "globe/sim/network.hpp"
@@ -69,7 +70,24 @@ struct TestbedOptions {
   /// the transport directly. Delivered state is byte-identical.
   bool windowed_multicast = false;
   net::WindowOptions window;
+  /// Sharded deployment: > 0 stands up a placement server with an
+  /// epoch-1 layout of this many shards. Stores are then added with
+  /// add_shard_store(), objects distributed with place_objects(), and
+  /// clients bound with add_placed_client() (they resolve stores through
+  /// the cached layout instead of static addresses).
+  std::uint32_t shards = 0;
 };
+
+/// Membership scope shared by every sharded store: one cluster-wide
+/// member list the membership service projects into per-shard subgroup
+/// views (StoreConfig::membership_scope).
+inline constexpr std::uint64_t kShardMembershipScope = 0xC1A5'7E21ull;
+
+/// Seed-object id of shard `s`'s stores (base + s). Every StoreEngine
+/// hosts its config object from birth; sharded stores anchor on a
+/// per-shard id far outside the workload's object range so placed
+/// objects never collide with it.
+inline constexpr ObjectId kShardAnchorBase = 0xA11C'0000ull;
 
 class Testbed {
  public:
@@ -129,6 +147,46 @@ class Testbed {
                                coherence::ClientModel session,
                                net::Address read_store,
                                net::Address write_store = {});
+
+  // ---- sharded deployments (TestbedOptions::shards > 0) --------------
+
+  /// Valid only when sharded.
+  [[nodiscard]] placement::PlacementServer& placement() {
+    return *placement_;
+  }
+  [[nodiscard]] bool sharded() const { return placement_ != nullptr; }
+
+  /// Adds a store serving `shard` on a fresh node, registered as a
+  /// placement contact. The first store of each shard must be its
+  /// primary (`primary = true`, permanent class); later stores subscribe
+  /// to it. Sharded stores join the cluster membership scope tagged with
+  /// their shard.
+  StoreEngine& add_shard_store(ShardId shard,
+                               naming::StoreClass store_class,
+                               const core::ReplicationPolicy& policy,
+                               bool primary = false,
+                               std::string node_name = {});
+
+  /// Places every object on its layout shard: a primary replica on the
+  /// shard's primary store, secondary replicas on the shard's other
+  /// stores (subscribed to the primary). Policies are inherited from the
+  /// hosting store.
+  void place_objects(const std::vector<ObjectId>& objects);
+
+  /// Binds a client that resolves every object's stores through the
+  /// placement server (no static store addresses).
+  ClientBinding& add_placed_client(
+      coherence::ClientModel session,
+      coherence::ObjectModel object_model = coherence::ObjectModel::kPram,
+      std::string node_name = {});
+
+  [[nodiscard]] StoreEngine& shard_primary(ShardId shard) {
+    return *shard_primaries_.at(shard);
+  }
+  [[nodiscard]] const std::vector<StoreEngine*>& shard_stores(
+      ShardId shard) const {
+    return shard_stores_.at(shard);
+  }
 
   [[nodiscard]] StoreEngine& primary(ObjectId object) {
     return *primaries_.at(object);
@@ -208,8 +266,11 @@ class Testbed {
   std::map<NodeId, PortId> next_port_;
   std::unique_ptr<naming::NamingServer> naming_;
   std::unique_ptr<membership::MembershipService> membership_;
-  std::vector<NodeId> service_nodes_;  // naming + membership nodes
+  std::unique_ptr<placement::PlacementServer> placement_;
+  std::vector<NodeId> service_nodes_;  // naming + membership + placement
   std::map<ObjectId, StoreEngine*> primaries_;
+  std::map<ShardId, StoreEngine*> shard_primaries_;
+  std::map<ShardId, std::vector<StoreEngine*>> shard_stores_;
   std::vector<std::unique_ptr<StoreEngine>> stores_;
   std::vector<std::unique_ptr<ClientBinding>> clients_;
   StoreSpawner spawner_;
@@ -231,6 +292,13 @@ class TestbedFaultHost final : public fault::FaultHost {
   }
   [[nodiscard]] bool store_is_primary(std::size_t index) const override {
     return bed_.stores().at(index)->config().is_primary;
+  }
+  [[nodiscard]] ShardId store_shard(std::size_t index) const override {
+    return bed_.stores().at(index)->shard();
+  }
+  [[nodiscard]] bool store_hosts_object(std::size_t index,
+                                        ObjectId object) const override {
+    return bed_.stores().at(index)->has_object(object);
   }
   void crash_store(std::size_t index) override { bed_.crash_store(index); }
   void recover_store(std::size_t index) override {

@@ -24,7 +24,12 @@ using ClientId = std::uint32_t;
 /// Identifies a store replica of an object (node-scoped role instance).
 using StoreId = std::uint32_t;
 
+/// Identifies a placement shard: a subgroup of stores hosting a slice of
+/// the object space. Single-object deployments live in shard 0.
+using ShardId = std::uint32_t;
+
 inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
 inline constexpr StoreId kInvalidStore = 0xFFFFFFFFu;
+inline constexpr ShardId kInvalidShard = 0xFFFFFFFFu;
 
 }  // namespace globe

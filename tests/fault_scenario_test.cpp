@@ -75,6 +75,49 @@ TEST(ScenarioScriptTest, RejectsMalformedLines) {
   }
 }
 
+TEST(ScenarioScriptTest, ParsesScopedActions) {
+  const std::string text = R"(
+    at 2s crash shard=1
+    at 3s recover shard=1
+    at 4s partition shard=0
+    at 5s leave object=77
+    at 1s churn period=100ms until=2s shard=1
+  )";
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse(text, &script, &error)) << error;
+  ASSERT_EQ(script.actions.size(), 5u);
+
+  EXPECT_EQ(script.actions[0].kind, ActionKind::kCrash);
+  EXPECT_EQ(script.actions[0].shard, ShardId{1});
+  EXPECT_EQ(script.actions[0].object, ObjectId{0});
+  EXPECT_TRUE(script.actions[0].scoped());
+  EXPECT_EQ(script.actions[1].kind, ActionKind::kRecover);
+  EXPECT_EQ(script.actions[1].shard, ShardId{1});
+  EXPECT_EQ(script.actions[2].kind, ActionKind::kPartition);
+  EXPECT_EQ(script.actions[2].shard, ShardId{0});
+  EXPECT_TRUE(script.actions[2].side_a.empty());
+  EXPECT_EQ(script.actions[3].kind, ActionKind::kLeave);
+  EXPECT_EQ(script.actions[3].object, ObjectId{77});
+  EXPECT_EQ(script.actions[3].shard, kInvalidShard);
+  EXPECT_EQ(script.actions[4].kind, ActionKind::kChurn);
+  EXPECT_EQ(script.actions[4].shard, ShardId{1});
+}
+
+TEST(ScenarioScriptTest, RejectsMalformedScopes) {
+  const char* bad[] = {
+      "at 1s crash shard=",      // empty value
+      "at 1s crash shard=abc",   // non-numeric
+      "at 1s leave object=0",    // 0 is not a valid object id
+      "at 1s recover shard=1 2", // scope and index mixed
+  };
+  for (const char* text : bad) {
+    ScenarioScript script;
+    std::string error;
+    EXPECT_FALSE(ScenarioScript::parse(text, &script, &error)) << text;
+  }
+}
+
 /// Records calls; alive/primary bookkeeping matches the engine's
 /// contract so churn picks only alive non-primaries.
 class FakeHost final : public FaultHost {
@@ -100,14 +143,56 @@ class FakeHost final : public FaultHost {
     alive_.insert(alive_.end(), n, true);
     log_.push_back("join " + std::to_string(n));
   }
-  void partition(const std::vector<std::size_t>&,
-                 const std::vector<std::size_t>&) override {
+  void partition(const std::vector<std::size_t>& a,
+                 const std::vector<std::size_t>& b) override {
     log_.push_back("partition");
+    last_side_a_ = a;
+    last_side_b_ = b;
   }
   void heal() override { log_.push_back("heal"); }
 
   std::vector<std::string> log_;
   std::vector<bool> alive_;
+  std::vector<std::size_t> last_side_a_, last_side_b_;
+};
+
+/// FakeHost with a shard map and an object table: stores 0..1 serve
+/// shard 0, stores 2..4 serve shard 1; each shard's first store is its
+/// primary; object 77 lives on stores 1 and 3.
+class ShardedFakeHost final : public FaultHost {
+ public:
+  std::size_t store_count() const override { return alive_.size(); }
+  bool store_alive(std::size_t i) const override { return alive_[i]; }
+  bool store_is_primary(std::size_t i) const override {
+    return i == 0 || i == 2;
+  }
+  ShardId store_shard(std::size_t i) const override { return i < 2 ? 0 : 1; }
+  bool store_hosts_object(std::size_t i, ObjectId object) const override {
+    return object == 77 && (i == 1 || i == 3);
+  }
+  void crash_store(std::size_t i) override {
+    alive_[i] = false;
+    log_.push_back("crash " + std::to_string(i));
+  }
+  void recover_store(std::size_t i) override {
+    alive_[i] = true;
+    log_.push_back("recover " + std::to_string(i));
+  }
+  void leave_store(std::size_t i) override {
+    alive_[i] = false;
+    log_.push_back("leave " + std::to_string(i));
+  }
+  void join_stores(std::size_t) override {}
+  void partition(const std::vector<std::size_t>& a,
+                 const std::vector<std::size_t>& b) override {
+    last_side_a_ = a;
+    last_side_b_ = b;
+  }
+  void heal() override {}
+
+  std::vector<bool> alive_ = std::vector<bool>(5, true);
+  std::vector<std::string> log_;
+  std::vector<std::size_t> last_side_a_, last_side_b_;
 };
 
 TEST(ScenarioEngineTest, FiresScriptedActionsInOrderOnSimulator) {
@@ -186,6 +271,60 @@ TEST(ScenarioEngineTest, ManualSteppingDrivesHostsWithoutASimulator) {
   EXPECT_EQ(engine.pending(), 0u);
   for (std::size_t i = 0; i < host.alive_.size(); ++i) {
     EXPECT_TRUE(host.alive_[i]) << i;
+  }
+}
+
+TEST(ScenarioEngineTest, ScopedActionsSelectMatchingStores) {
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse("at 100ms crash shard=1\n"
+                                    "at 200ms recover shard=1\n"
+                                    "at 300ms leave object=77\n"
+                                    "at 400ms partition shard=1\n",
+                                    &script, &error))
+      << error;
+  ShardedFakeHost host;
+  ScenarioEngine engine(script, host, /*seed=*/9);
+  sim::Simulator sim;
+  engine.arm(sim);
+  sim.run_until(sim::SimTime(SimDuration::seconds(1).count_micros()));
+
+  // crash shard=1 sweeps shard 1's non-primaries (3, 4); store 2 is the
+  // shard primary and exempt. recover shard=1 brings both back. leave
+  // object=77 hits the stores hosting it (1, 3); partition shard=1
+  // splits {2,3,4} from {0,1}.
+  EXPECT_EQ(host.log_,
+            (std::vector<std::string>{"crash 3", "crash 4", "recover 3",
+                                      "recover 4", "leave 1", "leave 3"}));
+  EXPECT_EQ(host.last_side_a_, (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_EQ(host.last_side_b_, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(engine.stats().crashes, 2u);
+  EXPECT_EQ(engine.stats().recoveries, 2u);
+  EXPECT_EQ(engine.stats().leaves, 2u);
+  EXPECT_EQ(engine.stats().partitions, 1u);
+}
+
+TEST(ScenarioEngineTest, ScopedChurnStaysInsideItsShard) {
+  ScenarioScript script;
+  std::string error;
+  ASSERT_TRUE(ScenarioScript::parse(
+                  "at 100ms churn period=100ms until=600ms down=100ms "
+                  "fraction=1.0 shard=1\n",
+                  &script, &error))
+      << error;
+  ShardedFakeHost host;
+  ScenarioEngine engine(script, host, /*seed=*/13);
+  sim::Simulator sim;
+  engine.arm(sim);
+  sim.run_until(sim::SimTime(SimDuration::seconds(2).count_micros()));
+
+  EXPECT_GE(engine.stats().crashes, 6u);  // fraction=1: both eligibles/tick
+  EXPECT_EQ(engine.stats().recoveries, engine.stats().crashes);
+  for (const std::string& entry : host.log_) {
+    // Only shard 1's non-primaries (3 and 4) ever churn.
+    EXPECT_TRUE(entry == "crash 3" || entry == "crash 4" ||
+                entry == "recover 3" || entry == "recover 4")
+        << entry;
   }
 }
 
