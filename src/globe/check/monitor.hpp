@@ -1,0 +1,202 @@
+// Online protocol invariant monitors (checked builds).
+//
+// The coherence::History checkers are post-hoc: they certify only the
+// executions a harness happens to sample, after the run is over. The
+// monitors here move the load-bearing protocol invariants INTO the
+// execution: compiled-in hooks on the replication, membership,
+// placement, and flow-control hot paths that crash-with-context the
+// instant an invariant breaks, in every test and Testbed run, not just
+// the scripted scenarios.
+//
+// Invariant catalogue (see docs/checking.md for the full table):
+//
+//   gseq        per-object applied total-order position never regresses;
+//               under the sequential model it advances contiguously
+//               (+1 per applied record) between state adoptions
+//   gseq-floor  only sequential-model stores claim a nonzero total-order
+//               fetch floor (PRAM-family gseqs are max-semantics and
+//               must not filter away missed records)
+//   mw-filter   per (store, object, writer) applied write sequence is
+//               strictly increasing — nothing regresses past the
+//               monotonic-writes gate
+//   view-epoch  the membership service publishes strictly increasing
+//               epochs per (scope, shard); a store's applied view epoch
+//               and a client's watched epoch never move backwards
+//   placement   placement-state version and layout epoch are monotonic
+//   window      credit conservation on every windowed channel:
+//               frames issued == frames acked + frames in flight
+//               (next_seq - ack_base == |inflight|), in-flight never
+//               exceeds the window, receiver-granted credit never
+//               exceeds the window, pending queues stay bounded
+//   parked      per-subscriber parked lazy batches respect the
+//               flow-control drop deadline
+//   horizon     a floor delta below the tombstone horizon (or beyond
+//               the document version) must be refused — the serving
+//               store has lost the deletion knowledge to make it exact
+//   session     a client session's write sequence and read floors
+//               (read-set total, sequential gseq floor) are monotonic
+//
+// Every monitor keeps a per-key ring buffer of recent transitions, so a
+// trip dumps the offending history, not just a stack. Monitors are
+// compiled in only under GLOBE_CHECKED (the default build; release
+// benches configure -DGLOBE_CHECKED=OFF) and are enabled at runtime by
+// default; bench harnesses may check::set_enabled(false).
+//
+// Components report observations through the free-function hooks below,
+// keyed by an owner pointer (the component instance), and call
+// check::release(owner) from their destructor so a later allocation at
+// the same address starts clean. Hooks are thread-safe (the registry
+// has its own mutex and never calls back into the reporting component).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "globe/util/ids.hpp"
+
+namespace globe::check {
+
+/// What a monitor saw when an invariant broke: which monitor, for which
+/// key, why, and the ring buffer of recent transitions leading up to it.
+struct TripReport {
+  std::string monitor;
+  std::string key;
+  std::string message;
+  std::string history;  // formatted ring-buffer dump, oldest first
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Runtime switch (monitors compiled in but disabled: hooks return
+/// immediately). Enabled by default.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Total invariant trips since process start (or the last handler that
+/// chose to keep running).
+[[nodiscard]] std::uint64_t trip_count();
+
+/// Replaces the trip handler. The default handler prints the report to
+/// stderr and aborts. A test handler that returns normally resumes the
+/// run with the monitor re-anchored on the violating observation (so one
+/// corruption yields one trip, not a cascade). Pass nullptr to restore
+/// the default.
+using TripHandler = std::function<void(const TripReport&)>;
+void set_trip_handler(TripHandler handler);
+
+/// RAII trip capture for tests and the schedule explorer: installs a
+/// collecting handler on construction, restores the previous behaviour
+/// on destruction.
+class ScopedTripCapture {
+ public:
+  ScopedTripCapture();
+  ~ScopedTripCapture();
+
+  ScopedTripCapture(const ScopedTripCapture&) = delete;
+  ScopedTripCapture& operator=(const ScopedTripCapture&) = delete;
+
+  [[nodiscard]] const std::vector<TripReport>& reports() const {
+    return *reports_;
+  }
+  [[nodiscard]] bool tripped() const { return !reports_->empty(); }
+
+ private:
+  std::shared_ptr<std::vector<TripReport>> reports_;
+};
+
+/// Drops every monitor keyed under `owner` (component destructors; also
+/// used by WindowedMulticast::reset_peer to re-anchor a reset channel).
+void release(const void* owner);
+
+// ---------------------------------------------------------------------
+// Hooks. All are cheap no-ops when disabled; compiled out entirely
+// without GLOBE_CHECKED via the GLOBE_CHECK_HOOK macro below.
+// ---------------------------------------------------------------------
+
+/// StoreEngine: the object's applied gseq moved to `gseq` by applying a
+/// record. `sequential` demands contiguity (+1) between adoptions.
+void on_gseq_apply(const void* owner, StoreId store, ObjectId object,
+                   bool sequential, std::uint64_t gseq);
+
+/// StoreEngine: the object adopted a state transfer at (clock total,
+/// gseq). Re-anchors the gseq and per-writer monitors: adoption may
+/// jump floors forward (never backwards).
+void on_state_adoption(const void* owner, StoreId store, ObjectId object,
+                       std::uint64_t gseq);
+
+/// StoreEngine: the total-order floor this store claims on a fetch.
+void on_fetch_floor(const void* owner, StoreId store, ObjectId object,
+                    bool sequential, std::uint64_t floor);
+
+/// StoreEngine: one record from `writer` with sequence `seq` was applied
+/// to the object's document.
+void on_writer_apply(const void* owner, StoreId store, ObjectId object,
+                     ClientId writer, std::uint64_t seq);
+
+/// MembershipService: a view of (scope, shard) is being published at
+/// `epoch` (must be strictly increasing per subgroup).
+void on_view_publish(const void* owner, std::uint64_t scope, ShardId shard,
+                     std::uint64_t epoch);
+
+/// StoreEngine / ClientBinding: a replica view at `epoch` was applied.
+void on_view_adopt(const void* owner, const char* role, std::uint64_t id,
+                   std::uint64_t epoch);
+
+/// PlacementServer / PlacementCache: placement state moved to
+/// (version, layout_epoch). Both must be monotonic.
+void on_placement_state(const void* owner, std::uint64_t version,
+                        std::uint64_t layout_epoch);
+
+/// WindowedMulticast: one tx channel's accounting after a mutation.
+/// `channel` keys the monitor (stable per peer channel).
+struct WindowChannelState {
+  std::uint64_t next_seq = 0;
+  std::uint64_t ack_base = 0;
+  std::size_t inflight = 0;
+  std::size_t pending = 0;
+  std::uint32_t credit = 0;
+  std::size_t window_size = 0;
+  std::size_t max_queue = 0;
+};
+void on_window_channel(const void* owner, const void* channel,
+                       std::uint64_t local_key, std::uint64_t peer_key,
+                       const WindowChannelState& st);
+
+/// StoreEngine: parked lazy batches for one paused subscriber. `bound`
+/// is the configured drop deadline (0 = unbounded).
+void on_parked_batches(const void* owner, StoreId store, std::uint64_t peer_key,
+                       std::size_t depth, std::size_t bound);
+
+/// StoreEngine: a state-transfer request with floor mode was served.
+/// `refused` = the store fell back to a full transfer. Serving a floor
+/// delta below the tombstone horizon (or beyond the version) trips.
+void on_delta_serve(const void* owner, StoreId store, ObjectId object,
+                    std::uint64_t floor, std::uint64_t horizon,
+                    std::uint64_t version, bool refused);
+
+/// ClientBinding: a session's monotonic floors after an operation
+/// completed. `write_seq` is the WiD sequence, `read_total` the
+/// read-set clock total, `gseq_floor` the sequential-model floor.
+void on_session_floors(const void* owner, ClientId client, ObjectId object,
+                       std::uint64_t write_seq, std::uint64_t read_total,
+                       std::uint64_t gseq_floor);
+
+}  // namespace globe::check
+
+// Call-site gate: compiled out (arguments unevaluated) without
+// GLOBE_CHECKED, so release benches pay nothing for the hooks.
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+#define GLOBE_CHECK_HOOK(call)            \
+  do {                                    \
+    if (::globe::check::enabled()) {      \
+      ::globe::check::call;               \
+    }                                     \
+  } while (false)
+#else
+#define GLOBE_CHECK_HOOK(call) \
+  do {                         \
+  } while (false)
+#endif

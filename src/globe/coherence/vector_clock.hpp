@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "globe/coherence/write_id.hpp"
+#include "globe/util/assert.hpp"
 #include "globe/util/buffer.hpp"
 #include "globe/util/ids.hpp"
 
@@ -91,6 +92,14 @@ class VectorClock {
     merged.insert(merged.end(), a, entries_.end());
     merged.insert(merged.end(), b, other.entries_.end());
     entries_ = std::move(merged);
+    // Every lookup below binary-searches on the sorted entries; the
+    // check is O(n) per merge, so it rides the checked build only.
+    GLOBE_DCHECK_MSG(
+        std::is_sorted(entries_.begin(), entries_.end(),
+                       [](const Entry& x, const Entry& y) {
+                         return x.first < y.first;
+                       }),
+        "merge broke the sorted-entry invariant");
   }
 
   /// True if every entry of `other` is <= the corresponding entry here.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "globe/check/monitor.hpp"
 #include "globe/util/log.hpp"
 
 namespace globe::membership {
@@ -18,6 +19,10 @@ MembershipService::MembershipService(const TransportFactory& factory,
     sweep_timer_.emplace(*sim_, options_.heartbeat_period, [this] { sweep(); });
     sweep_timer_->start();
   }
+}
+
+MembershipService::~MembershipService() {
+  check::release(this);
 }
 
 std::uint64_t MembershipService::shard_epoch(ObjectId scope,
@@ -131,6 +136,7 @@ void MembershipService::broadcast(ObjectId scope, ShardId shard,
     options_.metrics->record_shard_view_change(shard);
   }
   const View v = snapshot_view(scope, shard);
+  GLOBE_CHECK_HOOK(on_view_publish(this, scope, shard, v.epoch));
   std::vector<Address> targets;
   for (const auto& m : v.members) {
     if (exclude != nullptr && m.address == *exclude) continue;

@@ -82,6 +82,7 @@ class MembershipService {
   /// stays off and only explicit join/leave traffic changes views.
   MembershipService(const TransportFactory& factory, sim::Simulator* sim,
                     MembershipOptions options = {});
+  ~MembershipService();
 
   MembershipService(const MembershipService&) = delete;
   MembershipService& operator=(const MembershipService&) = delete;

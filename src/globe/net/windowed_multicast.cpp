@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "globe/check/monitor.hpp"
+
 namespace globe::net {
 
 namespace {
@@ -11,6 +13,12 @@ namespace {
 /// channels fed by the same multicast compare equal without touching a
 /// byte. Part of the frame-sharing key in flush_channels.
 using PayloadRun = std::vector<const void*>;
+
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+[[nodiscard]] std::uint64_t addr_key(const Address& a) {
+  return (static_cast<std::uint64_t>(a.node) << 16) | a.port;
+}
+#endif
 
 }  // namespace
 
@@ -22,6 +30,29 @@ WindowedMulticast::WindowedMulticast(WindowOptions options)
   if (options_.ack_every == 0) options_.ack_every = 1;
   if (options_.stash_limit == 0) options_.stash_limit = 2 * options_.window_size;
 }
+
+WindowedMulticast::~WindowedMulticast() { check::release(this); }
+
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+/// Snapshot one tx channel's accounting into the credit-conservation
+/// monitor. Called under mu_ after every channel mutation.
+void WindowedMulticast::report_channel(const Endpoint& ep,
+                                       const TxChannel& tx) {
+  if (tx.evicted) return;
+  check::WindowChannelState st;
+  st.next_seq = tx.next_seq;
+  st.ack_base = tx.ack_base;
+  st.inflight = tx.inflight.size();
+  st.pending = tx.pending.size();
+  st.credit = tx.credit;
+  st.window_size = options_.window_size;
+  st.max_queue = options_.max_queue;
+  const Address local = ep.transport != nullptr
+                            ? ep.transport->local_address()
+                            : Address{};
+  check::on_window_channel(this, &tx, addr_key(local), addr_key(tx.peer), st);
+}
+#endif
 
 // ---------------------------------------------------------------------
 // Registration
@@ -236,6 +267,9 @@ void WindowedMulticast::flush_channels(Endpoint& ep,
       if (bodies.size() > 1) stats_.datagrams_coalesced += bodies.size();
       actions.push_back(Action{&ep.transport->inner(), tx.peer, frame});
     }
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+    if (check::enabled()) report_channel(ep, tx);
+#endif
   }
 }
 
@@ -425,6 +459,9 @@ void WindowedMulticast::handle_ack(Endpoint& ep, const Address& from,
     tx.paused = false;
     raise(ep, from, PeerEvent::kResumed);
   }
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+  if (check::enabled()) report_channel(ep, tx);
+#endif
 }
 
 void WindowedMulticast::run_actions(std::vector<Action>& actions) {

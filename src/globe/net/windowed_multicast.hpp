@@ -85,6 +85,7 @@ class WindowedTransport;
 class WindowedMulticast final : public FlowControl {
  public:
   explicit WindowedMulticast(WindowOptions options = {});
+  ~WindowedMulticast() override;
 
   WindowedMulticast(const WindowedMulticast&) = delete;
   WindowedMulticast& operator=(const WindowedMulticast&) = delete;
@@ -185,6 +186,9 @@ class WindowedMulticast final : public FlowControl {
                 std::vector<Action>& actions);
 
   TxChannel& tx_channel(Endpoint& ep, const Address& peer);
+  /// Feeds one channel's accounting to the credit-conservation monitor
+  /// (checked builds only; no definition otherwise).
+  void report_channel(const Endpoint& ep, const TxChannel& tx);
   void raise(Endpoint& ep, const Address& peer, PeerEvent what);
   static void run_actions(std::vector<Action>& actions);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "globe/check/monitor.hpp"
 #include "globe/util/assert.hpp"
 #include "globe/util/log.hpp"
 
@@ -81,7 +82,10 @@ void PlacementServer::encode_state(util::Writer& w) const {
   }
 }
 
+PlacementServer::~PlacementServer() { check::release(this); }
+
 void PlacementServer::notify_watchers() {
+  GLOBE_CHECK_HOOK(on_placement_state(this, version_, layout_.epoch));
   if (watchers_.empty()) return;
   stats_.invalidations_sent += watchers_.size();
   comm_.multicast_with(
@@ -141,6 +145,8 @@ PlacementCache::PlacementCache(const TransportFactory& factory,
       });
 }
 
+PlacementCache::~PlacementCache() { check::release(this); }
+
 void PlacementCache::start() {
   comm_.send_with(server_, msg::MsgType::kPlacementWatch, 0,
                   [](util::Writer& w) { w.boolean(true); });
@@ -198,6 +204,7 @@ void PlacementCache::fetch() {
           }
           stale_ = false;
           ++refreshes_;
+          GLOBE_CHECK_HOOK(on_placement_state(this, version_, layout_.epoch));
         }
         auto waiters = std::move(waiters_);
         waiters_.clear();

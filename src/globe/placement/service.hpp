@@ -48,6 +48,7 @@ struct PlacementStats {
 class PlacementServer {
  public:
   PlacementServer(const TransportFactory& factory, sim::Simulator* sim);
+  ~PlacementServer();
 
   [[nodiscard]] Address address() const { return comm_.local_address(); }
 
@@ -88,6 +89,7 @@ class PlacementCache {
 
   PlacementCache(const TransportFactory& factory, sim::Simulator* sim,
                  Address server);
+  ~PlacementCache();
 
   [[nodiscard]] Address address() const { return comm_.local_address(); }
 

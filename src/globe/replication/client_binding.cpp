@@ -1,5 +1,6 @@
 #include "globe/replication/client_binding.hpp"
 
+#include "globe/check/monitor.hpp"
 #include "globe/util/assert.hpp"
 
 namespace globe::replication {
@@ -166,6 +167,8 @@ ClientBinding::~ClientBinding() {
   // Best-effort: take this endpoint off the service's watcher list so
   // long-lived deployments do not broadcast views to dead clients.
   if (options_.membership.valid()) announce_watch(/*subscribe=*/false);
+  for (auto& [id, s] : sessions_) check::release(s.get());
+  check::release(this);
 }
 
 void ClientBinding::announce_watch(bool subscribe) {
@@ -191,6 +194,8 @@ void ClientBinding::on_operation_failed(Session& s) {
 void ClientBinding::on_view_change(const membership::View& view) {
   if (view.object != options_.object || view.epoch <= view_epoch_) return;
   view_epoch_ = view.epoch;
+  GLOBE_CHECK_HOOK(
+      on_view_adopt(this, "client", options_.client, view.epoch));
   view_ = view;  // the base the next ViewDelta diff applies onto
   if (view.members.empty()) return;
   Session& s = default_session();
@@ -323,6 +328,9 @@ void ClientBinding::read_impl(Session& s, const std::string& page,
         // Update session state from what this read observed.
         s.read_set.merge(rep.store_clock);
         if (rep.global_seq > s.max_gseq_seen) s.max_gseq_seen = rep.global_seq;
+        GLOBE_CHECK_HOOK(on_session_floors(&s, options_.client, s.object,
+                                           s.write_seq, s.read_set.total(),
+                                           s.max_gseq_seen));
 
         if (history_ != nullptr) {
           coherence::ReadEvent e;
@@ -430,6 +438,9 @@ void ClientBinding::transmit_write(Session& s, ClientRequest req,
         // A client sees its own writes: fold them into the read set used
         // for causal dependencies of later operations.
         s.read_set.observe(wid);
+        GLOBE_CHECK_HOOK(on_session_floors(&s, options_.client, s.object,
+                                           s.write_seq, s.read_set.total(),
+                                           s.max_gseq_seen));
 
         if (history_ != nullptr) {
           coherence::WriteEvent e;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "globe/check/monitor.hpp"
 #include "globe/util/assert.hpp"
 #include "globe/util/log.hpp"
 
@@ -51,7 +52,12 @@ StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
   start_membership();
 }
 
-StoreEngine::~StoreEngine() = default;
+StoreEngine::~StoreEngine() {
+  // Drop the invariant monitors keyed on this engine and its object
+  // states: a later allocation at the same address starts clean.
+  for (auto& [id, o] : objects_) check::release(o.get());
+  check::release(this);
+}
 
 StoreEngine::ObjectState& StoreEngine::create_object(const ObjectConfig& cfg) {
   GLOBE_ASSERT_MSG(cfg.policy.validate().empty(),
@@ -391,7 +397,7 @@ void StoreEngine::on_message(const Address& from,
       handle_invalidate(*o, from, env);
       return;
     case msg::MsgType::kNotify:
-      handle_notify(*o, env);
+      handle_notify(*o, from, env);
       return;
     case msg::MsgType::kFetchRequest:
       handle_fetch_request(*o, from, env);
@@ -485,7 +491,7 @@ void StoreEngine::accept_write(ObjectState& o, const Address& reply_to,
     // another store mid-session leaves a seq gap here, and the filter
     // must know which of its writes this store already carries.
     std::vector<web::WriteRecord> gated;
-    adm = mw_gate(o).admit(std::move(rec), gated);
+    adm = mw_gate(o, gated).admit(std::move(rec), gated);
     for (auto& g : gated) {
       if (g.wid == req.wid) rec = g;  // keep the stamped copy for the ack
       o.orderer->admit(std::move(g), ready);
@@ -602,6 +608,13 @@ void StoreEngine::apply_ready(ObjectState& o,
         (o.cfg.policy.model != ObjectModel::kSequential ||
          rec.global_seq == o.applied_gseq + 1)) {
       o.applied_gseq = rec.global_seq;
+      GLOBE_CHECK_HOOK(on_gseq_apply(
+          &o, config_.store_id, o.cfg.object,
+          o.cfg.policy.model == ObjectModel::kSequential, o.applied_gseq));
+    }
+    if (rec.ordered) {
+      GLOBE_CHECK_HOOK(on_writer_apply(&o, config_.store_id, o.cfg.object,
+                                       rec.wid.client, rec.wid.seq));
     }
     o.lamport = std::max(o.lamport, rec.lamport);
     o.invalid_pages.erase(rec.page);
@@ -813,6 +826,10 @@ void StoreEngine::serve_read_check_on_read(ObjectState& o, const Address& from,
                   (o.cfg.policy.model != ObjectModel::kSequential ||
                    rec.global_seq == o.applied_gseq + 1)) {
                 o.applied_gseq = rec.global_seq;
+                GLOBE_CHECK_HOOK(on_gseq_apply(
+                    &o, config_.store_id, o.cfg.object,
+                    o.cfg.policy.model == ObjectModel::kSequential,
+                    o.applied_gseq));
               }
               o.fetched_at[rec.page] = sim_.now();
             }
@@ -857,6 +874,10 @@ void StoreEngine::serve_read_ttl(ObjectState& o, const Address& from,
                 (o.cfg.policy.model != ObjectModel::kSequential ||
                  rec.global_seq == o.applied_gseq + 1)) {
               o.applied_gseq = rec.global_seq;
+              GLOBE_CHECK_HOOK(on_gseq_apply(
+                  &o, config_.store_id, o.cfg.object,
+                  o.cfg.policy.model == ObjectModel::kSequential,
+                  o.applied_gseq));
             }
           }
           o.fetched_at[page] = sim_.now();
@@ -1141,6 +1162,8 @@ StoreEngine::FlowDisposition StoreEngine::flow_disposition(
   const auto queued = o.lazy_queues.find(key);
   const std::size_t depth =
       queued == o.lazy_queues.end() ? 0 : queued->second.size();
+  GLOBE_CHECK_HOOK(on_parked_batches(&o, config_.store_id, key, depth,
+                                     config_.flow_paused_batches_limit));
   const bool hopeless =
       (config_.flow_paused_rounds_limit != 0 &&
        rounds > config_.flow_paused_rounds_limit) ||
@@ -1210,6 +1233,9 @@ void StoreEngine::pull_from_upstream(ObjectState& o) {
   FetchRequest fetch;
   fetch.have_clock = o.applied_clock;
   fetch.have_gseq = fetch_gseq_floor(o);
+  GLOBE_CHECK_HOOK(on_fetch_floor(
+      &o, config_.store_id, o.cfg.object,
+      o.cfg.policy.model == ObjectModel::kSequential, fetch.have_gseq));
   fetch.want_full =
       o.cfg.policy.coherence_transfer == CoherenceTransfer::kFull;
   fetch.accepts_delta = config_.delta_snapshots;
@@ -1230,6 +1256,9 @@ void StoreEngine::demand_fetch(ObjectState& o,
   FetchRequest fetch;
   fetch.have_clock = o.applied_clock;
   fetch.have_gseq = fetch_gseq_floor(o);
+  GLOBE_CHECK_HOOK(on_fetch_floor(
+      &o, config_.store_id, o.cfg.object,
+      o.cfg.policy.model == ObjectModel::kSequential, fetch.have_gseq));
   fetch.pages = std::move(pages);
   fetch.want_full =
       o.cfg.policy.coherence_transfer == CoherenceTransfer::kFull ||
@@ -1341,6 +1370,8 @@ void StoreEngine::subscribe_to_upstream(ObjectState& o) {
         o.semantics.restore(snap.snapshot);
         o.applied_clock.merge(snap.clock);
         o.applied_gseq = std::max(o.applied_gseq, snap.gseq);
+        GLOBE_CHECK_HOOK(on_state_adoption(&o, config_.store_id, o.cfg.object,
+                                           o.applied_gseq));
         o.log.note_snapshot(snap.clock, snap.gseq,
                             o.cfg.policy.model == ObjectModel::kSequential);
         note_transfer_lineage(o, snap.source, snap.version);
@@ -1411,6 +1442,7 @@ void StoreEngine::apply_view(const membership::View& view) {
   // our upstream may have dropped us as a subscriber.
   const bool jumped = view_epoch_ != 0 && view.epoch > view_epoch_ + 1;
   view_epoch_ = view.epoch;
+  GLOBE_CHECK_HOOK(on_view_adopt(this, "store", config_.store_id, view.epoch));
   view_ = view;  // the base the next ViewDelta diff applies onto
 
   // Members of the PREVIOUS view that the new view lacks have left the
@@ -1586,7 +1618,8 @@ void StoreEngine::leave() {
 // Inter-store message handlers
 // ---------------------------------------------------------------------
 
-Orderer& StoreEngine::mw_gate(ObjectState& o) {
+Orderer& StoreEngine::mw_gate(ObjectState& o,
+                              std::vector<web::WriteRecord>& unwedged) {
   if (o.mw_filter == nullptr) {
     o.mw_filter = std::make_unique<PramOrderer>();
     // Seed the per-writer cursors with what this store already carries
@@ -1596,6 +1629,15 @@ Orderer& StoreEngine::mw_gate(ObjectState& o) {
     std::vector<web::WriteRecord> none;
     o.mw_filter->reset_to(o.applied_clock, o.applied_gseq, none);
   }
+  // The cursors must never trail the applied clock afterwards either:
+  // an ordered writer's record can reach the document AROUND the gate —
+  // a snapshot-cutover state record carries no `ordered` bit, so it is
+  // admitted ungated — and peers never resend writes our clock already
+  // covers. A cursor stuck behind the clock would then buffer every
+  // later record of that writer forever (a permanent post-partition
+  // wedge: the gap it waits on is already applied). Records the sync
+  // unwedges surface through `unwedged` and must be admitted onward.
+  o.mw_filter->reset_to(o.applied_clock, o.applied_gseq, unwedged);
   return *o.mw_filter;
 }
 
@@ -1614,7 +1656,7 @@ void StoreEngine::admit_remote(ObjectState& o,
       // arrived the other way, and later ordered records would buffer
       // forever (a permanent post-partition wedge).
       std::vector<web::WriteRecord> gated;
-      mw_gate(o).admit(std::move(rec), gated);
+      mw_gate(o, gated).admit(std::move(rec), gated);
       for (auto& g : gated) o.orderer->admit(std::move(g), ready);
     } else {
       o.orderer->admit(std::move(rec), ready);
@@ -1692,6 +1734,8 @@ void StoreEngine::finish_state_adoption(ObjectState& o,
                                         std::uint64_t gseq) {
   o.applied_clock.merge(clock);
   o.applied_gseq = std::max(o.applied_gseq, gseq);
+  GLOBE_CHECK_HOOK(
+      on_state_adoption(&o, config_.store_id, o.cfg.object, o.applied_gseq));
   o.known_clock.merge(clock);
   o.known_gseq = std::max(o.known_gseq, gseq);
   // The records the snapshot covered were never appended to our log:
@@ -1736,23 +1780,31 @@ void StoreEngine::finish_state_adoption(ObjectState& o,
 void StoreEngine::handle_invalidate(ObjectState& o, const Address& from,
                                     const msg::EnvelopeView& env) {
   InvalidateMsg m = InvalidateMsg::decode(env.body);
-  for (const auto& p : m.pages) o.invalid_pages.insert(p);
+  // Same duplicate suppression as handle_notify: excluding the sender
+  // stops a two-store cycle, but a longer propagation cycle still loops
+  // unless no-news invalidations are dropped. Anything here is news if
+  // it invalidates a page that was still valid or advances the frontier.
+  bool news = m.known_gseq > o.known_gseq ||
+              !o.known_clock.dominates(m.known_clock);
+  for (const auto& p : m.pages) news |= o.invalid_pages.insert(p).second;
   o.known_clock.merge(m.known_clock);
   o.known_gseq = std::max(o.known_gseq, m.known_gseq);
   note_gaps(o);
-  // Forward invalidations downstream (re-serialized from the borrowed
-  // body; one shared datagram for the whole fan-out).
-  std::vector<Address> forward;
-  for (const Subscriber& s : o.subscribers) {
-    if (s.address != from) forward.push_back(s.address);
-  }
-  if (config_.shared_wire) {
-    comm_.multicast_with(forward, msg::MsgType::kInvalidate, o.cfg.object,
-                         [&](util::Writer& w) { w.raw(env.body); });
-  } else {
-    for (const Address& t : forward) {
-      comm_.send_with(t, msg::MsgType::kInvalidate, o.cfg.object,
-                      [&](util::Writer& w) { w.raw(env.body); });
+  if (news) {
+    // Forward invalidations downstream (re-serialized from the borrowed
+    // body; one shared datagram for the whole fan-out).
+    std::vector<Address> forward;
+    for (const Subscriber& s : o.subscribers) {
+      if (s.address != from) forward.push_back(s.address);
+    }
+    if (config_.shared_wire) {
+      comm_.multicast_with(forward, msg::MsgType::kInvalidate, o.cfg.object,
+                           [&](util::Writer& w) { w.raw(env.body); });
+    } else {
+      for (const Address& t : forward) {
+        comm_.send_with(t, msg::MsgType::kInvalidate, o.cfg.object,
+                        [&](util::Writer& w) { w.raw(env.body); });
+      }
     }
   }
   if (o.cfg.policy.object_outdate_reaction == OutdateReaction::kDemand) {
@@ -1762,21 +1814,35 @@ void StoreEngine::handle_invalidate(ObjectState& o, const Address& from,
   }
 }
 
-void StoreEngine::handle_notify(ObjectState& o, const msg::EnvelopeView& env) {
+void StoreEngine::handle_notify(ObjectState& o, const Address& from,
+                                const msg::EnvelopeView& env) {
   NotifyMsg m = NotifyMsg::decode(env.body);
+  // Forward only notifications that advance our known frontier, and
+  // never back to the sender. View-driven re-parenting can transiently
+  // wire two mirrors as each other's subscriber; an unconditional
+  // re-broadcast then circulates the same frontier around that cycle
+  // forever, each hop re-amplifying it into its whole fan-out. A notify
+  // that taught us nothing was already propagated when we first learned
+  // its frontier, so dropping the duplicate loses no information.
+  const bool news = m.known_gseq > o.known_gseq ||
+                    !o.known_clock.dominates(m.known_clock);
   o.known_clock.merge(m.known_clock);
   o.known_gseq = std::max(o.known_gseq, m.known_gseq);
   note_gaps(o);
-  if (config_.shared_wire) {
+  if (news) {
     std::vector<Address> forward;
     forward.reserve(o.subscribers.size());
-    for (const Subscriber& s : o.subscribers) forward.push_back(s.address);
-    comm_.multicast_with(forward, msg::MsgType::kNotify, o.cfg.object,
-                         [&](util::Writer& w) { w.raw(env.body); });
-  } else {
     for (const Subscriber& s : o.subscribers) {
-      comm_.send_with(s.address, msg::MsgType::kNotify, o.cfg.object,
-                      [&](util::Writer& w) { w.raw(env.body); });
+      if (s.address != from) forward.push_back(s.address);
+    }
+    if (config_.shared_wire) {
+      comm_.multicast_with(forward, msg::MsgType::kNotify, o.cfg.object,
+                           [&](util::Writer& w) { w.raw(env.body); });
+    } else {
+      for (const Address& t : forward) {
+        comm_.send_with(t, msg::MsgType::kNotify, o.cfg.object,
+                        [&](util::Writer& w) { w.raw(env.body); });
+      }
     }
   }
   if (o.outdated &&
@@ -2008,6 +2074,12 @@ StateTransfer StoreEngine::make_state_transfer(
     // proven — fall back to the full snapshot, mirroring the
     // note_snapshot horizon rule.
     serve_delta = false;
+  }
+  if (req != nullptr && req->mode == SnapshotDeltaRequest::Mode::kFloor) {
+    GLOBE_CHECK_HOOK(on_delta_serve(&o, config_.store_id, o.cfg.object,
+                                    req->floor_version,
+                                    doc.tombstone_horizon(), doc.version(),
+                                    /*refused=*/!serve_delta));
   }
   if (serve_delta) {
     web::DeltaStats stats;

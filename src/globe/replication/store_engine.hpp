@@ -384,7 +384,8 @@ class StoreEngine {
   void handle_snapshot(ObjectState& o, const msg::EnvelopeView& env);
   void handle_invalidate(ObjectState& o, const Address& from,
                          const msg::EnvelopeView& env);
-  void handle_notify(ObjectState& o, const msg::EnvelopeView& env);
+  void handle_notify(ObjectState& o, const Address& from,
+                     const msg::EnvelopeView& env);
   void handle_fetch_request(ObjectState& o, const Address& from,
                             const msg::EnvelopeView& env);
   void handle_subscribe(ObjectState& o, const Address& from,
@@ -414,7 +415,8 @@ class StoreEngine {
                     std::vector<web::WriteRecord>& ready);
   /// The monotonic-writes filter, created on first use with its cursors
   /// seeded from the store's current coverage.
-  [[nodiscard]] Orderer& mw_gate(ObjectState& o);
+  [[nodiscard]] Orderer& mw_gate(ObjectState& o,
+                                 std::vector<web::WriteRecord>& unwedged);
   /// Total-order floor this store may claim when fetching: only the
   /// sequential model applies records contiguously; PRAM-family stores
   /// advance their gseq with max semantics and must not have earlier

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "globe/util/assert.hpp"
+
 namespace globe::replication {
+
+namespace {
+
+template <typename Index>
+[[maybe_unused]] bool keyed_sorted(const Index& index) {
+  return std::is_sorted(
+      index.begin(), index.end(),
+      [](const auto& a, const auto& b) { return a.key < b.key; });
+}
+
+}  // namespace
 
 void WriteLog::append(const web::WriteRecord& rec) {
   const std::uint64_t pos = first_pos_ + entries_.size();
@@ -39,6 +52,12 @@ void WriteLog::append(const web::WriteRecord& rec) {
           gkeyed);
     }
   }
+  // Index coherence is load-bearing for every binary search below; the
+  // checks are O(index) so they live behind GLOBE_DCHECK.
+  GLOBE_DCHECK_MSG(keyed_sorted(client_index),
+                   "per-client index lost its seq order");
+  GLOBE_DCHECK_MSG(keyed_sorted(by_gseq_),
+                   "global-sequence index lost its order");
 }
 
 void WriteLog::emit_sorted(std::vector<std::uint64_t>& positions,

@@ -3,6 +3,11 @@
 // GLOBE_ASSERT is enabled in all build types: the library is a research
 // artifact where silent invariant violations would invalidate experiment
 // results, so we prefer a crash with a message over undefined behaviour.
+//
+// GLOBE_DCHECK is the hot-path variant: it compiles to the same crash
+// under GLOBE_CHECKED (the default build, see CMakeLists.txt) and to
+// nothing in unchecked release benches — use it where the check itself
+// costs measurable time on the apply/merge/encode paths.
 #pragma once
 
 #include <cstdio>
@@ -32,3 +37,24 @@ namespace globe::util {
       ::globe::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
     }                                                                   \
   } while (false)
+
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+#define GLOBE_DCHECK(expr) GLOBE_ASSERT(expr)
+#define GLOBE_DCHECK_MSG(expr, msg) GLOBE_ASSERT_MSG(expr, msg)
+#else
+// Compiled out: the expression is never evaluated (benches pay nothing),
+// but it still parses, so a DCHECK cannot rot behind the option.
+#define GLOBE_DCHECK(expr)        \
+  do {                            \
+    if (false) {                  \
+      (void)(expr);               \
+    }                             \
+  } while (false)
+#define GLOBE_DCHECK_MSG(expr, msg) \
+  do {                              \
+    if (false) {                    \
+      (void)(expr);                 \
+      (void)(msg);                  \
+    }                               \
+  } while (false)
+#endif

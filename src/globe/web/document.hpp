@@ -163,6 +163,12 @@ class WebDocument {
     return floor <= version_ && floor >= tombstone_floor_;
   }
 
+  /// The tombstone horizon: deletion knowledge below this version was
+  /// discarded by restore(). Exposed for the invariant monitors.
+  [[nodiscard]] std::uint64_t tombstone_horizon() const {
+    return tombstone_floor_;
+  }
+
   /// Applies an encoded delta: shipped pages overwrite, drop entries
   /// erase and leave tombstones. The sender's document version (the
   /// receiver's next floor) travels alongside the delta, not inside it

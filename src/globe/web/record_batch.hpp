@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "globe/util/assert.hpp"
 #include "globe/util/buffer.hpp"
 #include "globe/web/write_record.hpp"
 
@@ -79,7 +80,13 @@ inline void encode_batches(util::Writer& w,
   std::uint64_t total = 0;
   for (const RecordBatchPtr& b : batches) total += b->count();
   w.varint(total);
-  for (const RecordBatchPtr& b : batches) w.raw(b->bytes());
+  for (const RecordBatchPtr& b : batches) {
+    // A batch built with needs.wire=false has a count but no bytes;
+    // splicing it here would silently emit a short kUpdate body.
+    GLOBE_DCHECK_MSG(b->count() == 0 || !b->bytes().empty(),
+                     "encoding a record batch captured without wire bytes");
+    w.raw(b->bytes());
+  }
 }
 
 /// Total records across a batch sequence.
