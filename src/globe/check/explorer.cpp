@@ -1,0 +1,95 @@
+#include "globe/check/explorer.hpp"
+
+#include <utility>
+
+namespace globe::check {
+
+namespace {
+
+std::string repro_line(const std::string& name, std::uint64_t seed,
+                       std::uint64_t ops) {
+  return "./build/schedule_explorer --scenario=" + name +
+         " --seed=" + std::to_string(seed) + " --ops=" + std::to_string(ops);
+}
+
+}  // namespace
+
+ScheduleExplorer::ScheduleExplorer(std::string name, Scenario scenario,
+                                   std::uint64_t default_ops)
+    : name_(std::move(name)),
+      scenario_(std::move(scenario)),
+      default_ops_(default_ops) {}
+
+ScenarioVerdict ScheduleExplorer::replay(std::uint64_t seed,
+                                         std::uint64_t max_ops) const {
+  return scenario_(seed, max_ops);
+}
+
+ExploreResult ScheduleExplorer::explore(const ExploreOptions& opts) const {
+  ExploreResult res;
+  const std::uint64_t budget = opts.max_ops != 0 ? opts.max_ops : default_ops_;
+  for (std::uint64_t i = 0; i < opts.seeds; ++i) {
+    const std::uint64_t seed = opts.first_seed + i;
+    const ScenarioVerdict v = scenario_(seed, budget);
+    ++res.runs;
+    if (v.ok) {
+      if (opts.progress && (i + 1) % 25 == 0) {
+        opts.progress("seeds " + std::to_string(opts.first_seed) + ".." +
+                      std::to_string(seed) + " clean");
+      }
+      continue;
+    }
+    res.found_failure = true;
+    res.failing_seed = seed;
+    res.failure = v.failure;
+    // The scenario may have exhausted its workload below the budget;
+    // shrink from what actually ran.
+    res.minimal_ops = v.ops_issued != 0 ? v.ops_issued : budget;
+    if (opts.progress) {
+      opts.progress("seed " + std::to_string(seed) + " FAILED: " + v.failure);
+    }
+    if (opts.shrink && res.minimal_ops > 0) shrink(seed, res, opts);
+    res.repro = repro_line(name_, seed, res.minimal_ops);
+    return res;
+  }
+  return res;
+}
+
+void ScheduleExplorer::shrink(std::uint64_t seed, ExploreResult& res,
+                              const ExploreOptions& opts) const {
+  // Does the pure fault schedule (no workload) already fail? Then the
+  // ops prefix is irrelevant.
+  {
+    const ScenarioVerdict v = scenario_(seed, 0);
+    ++res.runs;
+    if (!v.ok) {
+      res.minimal_ops = 0;
+      res.failure = v.failure;
+      return;
+    }
+  }
+  // Binary search for the smallest failing budget. Invariant: `hi`
+  // fails, `lo` passes. Failure monotonicity in the prefix length is an
+  // assumption (standard delta debugging); if it does not hold, `hi` is
+  // still a genuine failing budget, just maybe not the global minimum.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = res.minimal_ops;
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const ScenarioVerdict v = scenario_(seed, mid);
+    ++res.runs;
+    if (v.ok) {
+      lo = mid;
+    } else {
+      hi = mid;
+      res.failure = v.failure;
+    }
+    if (opts.progress) {
+      opts.progress("shrink seed " + std::to_string(seed) + ": ops in (" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+  }
+  res.minimal_ops = hi;
+}
+
+}  // namespace globe::check

@@ -1,0 +1,102 @@
+// Deterministic schedule explorer.
+//
+// A Scenario is a deterministic function of (seed, op budget): it builds
+// a Testbed deployment, derives the schedule knobs — message jitter,
+// fault timings, workload interleaving — from a util::Rng(seed), runs a
+// bounded workload, and folds three verdict sources into one pass/fail:
+//
+//   * the online invariant monitors (check/monitor.hpp), captured with
+//     ScopedTripCapture so a trip fails the run instead of aborting,
+//   * the post-hoc coherence checkers (object model + session
+//     guarantees) over the run's recorded history,
+//   * convergence of the surviving replica set.
+//
+// The ScheduleExplorer drives a scenario across N seeds, ascending from
+// `first_seed`, so the first failure it reports is already the minimal
+// failing seed. On failure it then shrinks the workload: a binary
+// search for the shortest op prefix that still reproduces the failure
+// (each probe is a full deterministic re-run — the scenario's fault
+// schedule depends only on the seed, so truncating the workload never
+// perturbs the environment). The result carries a one-line repro
+// command for the `schedule_explorer` CLI tool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace globe::check {
+
+/// Outcome of one scenario execution.
+struct ScenarioVerdict {
+  bool ok = true;
+  /// Empty when ok; otherwise the first failure plus a tally of the
+  /// rest ("monitor trip: ...", "object-model checker: ...", ...).
+  std::string failure;
+  /// Operations actually issued (<= the requested budget: a scenario
+  /// may run out of workload before the budget does).
+  std::uint64_t ops_issued = 0;
+};
+
+/// A deterministic scenario: same (seed, max_ops) => same verdict.
+/// `max_ops` is the exact operation budget; 0 runs the pure fault
+/// schedule with no client workload at all.
+using Scenario =
+    std::function<ScenarioVerdict(std::uint64_t seed, std::uint64_t max_ops)>;
+
+struct ExploreOptions {
+  /// Number of seeds to scan, ascending from `first_seed`.
+  std::uint64_t seeds = 200;
+  std::uint64_t first_seed = 1;
+  /// Op budget per run; 0 uses the scenario's default budget.
+  std::uint64_t max_ops = 0;
+  /// Shrink the failing run to its minimal op prefix before reporting.
+  bool shrink = true;
+  /// Optional progress sink (one line per milestone).
+  std::function<void(const std::string&)> progress;
+};
+
+struct ExploreResult {
+  /// Scenario executions performed, including shrink probes.
+  std::uint64_t runs = 0;
+  bool found_failure = false;
+  /// Smallest failing seed (the scan is ascending, so the first hit is
+  /// minimal by construction).
+  std::uint64_t failing_seed = 0;
+  /// Smallest op budget that still reproduces the failure at that seed.
+  std::uint64_t minimal_ops = 0;
+  /// Verdict text of the minimal repro.
+  std::string failure;
+  /// One-line CLI command that replays the minimal failing run.
+  std::string repro;
+};
+
+class ScheduleExplorer {
+ public:
+  /// `name` keys the repro command's --scenario= flag; `default_ops`
+  /// is the budget used when ExploreOptions.max_ops is 0.
+  ScheduleExplorer(std::string name, Scenario scenario,
+                   std::uint64_t default_ops);
+
+  /// Runs the scan (and shrink, if a failure surfaces). Deterministic:
+  /// same scenario + options => same result.
+  [[nodiscard]] ExploreResult explore(const ExploreOptions& opts = {}) const;
+
+  /// One replay of (seed, max_ops); the budget is exact (0 = pure
+  /// fault schedule). This is what the repro command executes.
+  [[nodiscard]] ScenarioVerdict replay(std::uint64_t seed,
+                                       std::uint64_t max_ops) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t default_ops() const { return default_ops_; }
+
+ private:
+  void shrink(std::uint64_t seed, ExploreResult& res,
+              const ExploreOptions& opts) const;
+
+  std::string name_;
+  Scenario scenario_;
+  std::uint64_t default_ops_;
+};
+
+}  // namespace globe::check

@@ -1,0 +1,228 @@
+#include "globe/check/scenarios.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "globe/check/monitor.hpp"
+#include "globe/coherence/checkers.hpp"
+#include "globe/fault/scenario.hpp"
+#include "globe/replication/testbed.hpp"
+#include "globe/util/rng.hpp"
+
+namespace globe::check {
+
+namespace {
+
+using coherence::ClientModel;
+using coherence::ObjectModel;
+
+constexpr ObjectId kObj = 1;
+
+struct ChurnProfile {
+  ObjectModel model{};
+  bool pull = false;
+  std::uint64_t jitter_ms = 0;
+  std::uint64_t partition_at_ms = 0;
+  std::uint64_t heal_at_ms = 0;
+  bool churn_mirror = false;
+  std::uint64_t crash_at_ms = 0;
+  std::uint64_t recover_at_ms = 0;
+};
+
+// Everything the seed decides, derived up front in a fixed order so the
+// fault schedule is identical for every op budget (shrinking the
+// workload must not move the faults).
+ChurnProfile derive_profile(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ChurnProfile p;
+  constexpr ObjectModel kModels[] = {
+      ObjectModel::kSequential, ObjectModel::kPram, ObjectModel::kFifoPram,
+      ObjectModel::kCausal,     ObjectModel::kEventual,
+      ObjectModel::kEventual,  // second slot runs the pull variant
+  };
+  const std::uint64_t pick = rng.below(6);
+  p.model = kModels[pick];
+  p.pull = pick == 5;
+  p.jitter_ms = rng.below(9);                       // 0..8ms on every hop
+  p.partition_at_ms = 150 + rng.below(300);         // cut at 150..449ms
+  p.heal_at_ms = p.partition_at_ms + 1500 + rng.below(1000);
+  p.churn_mirror = rng.chance(0.5);
+  p.crash_at_ms = p.heal_at_ms + 100 + rng.below(400);
+  p.recover_at_ms = p.crash_at_ms + 300 + rng.below(300);
+  return p;
+}
+
+std::string script_text(const ChurnProfile& p) {
+  // Store indices follow construction order below: 0=primary,
+  // 1-2=mirrors, 3-4=caches. Side B {2,4} loses the services quorum.
+  std::string text = "at " + std::to_string(p.partition_at_ms) +
+                     "ms partition 0,1,3|2,4\n" + "at " +
+                     std::to_string(p.heal_at_ms) + "ms heal\n";
+  if (p.churn_mirror) {
+    // Churn the object-initiated mirror, not a cache: a client-initiated
+    // cache only refreshes on client demand, so crashing it after the
+    // workload drains would leave it legitimately stale forever.
+    text += "at " + std::to_string(p.crash_at_ms) + "ms crash 2\n";
+    text += "at " + std::to_string(p.recover_at_ms) + "ms recover 2\n";
+  }
+  return text;
+}
+
+void note(std::vector<std::string>& failures, bool ok, std::string what) {
+  if (!ok) failures.push_back(std::move(what));
+}
+
+}  // namespace
+
+ScenarioVerdict run_partition_churn(std::uint64_t seed,
+                                    std::uint64_t max_ops) {
+  namespace repl = globe::replication;
+  const ChurnProfile profile = derive_profile(seed);
+
+  ScenarioVerdict verdict;
+  std::vector<std::string> failures;
+
+  // Monitor trips fail the run instead of aborting the process; the
+  // capture spans the whole deployment lifetime.
+  ScopedTripCapture trips;
+  {
+    repl::TestbedOptions opts;
+    opts.seed = seed;
+    opts.enable_membership = true;
+    opts.membership_heartbeat = sim::SimDuration::millis(50);
+    opts.failure_timeout = sim::SimDuration::millis(200);
+    opts.wan.base_latency = sim::SimDuration::millis(5);
+    opts.wan.jitter = sim::SimDuration::millis(profile.jitter_ms);
+    opts.client_timeout = sim::SimDuration::millis(250);
+    opts.client_retries = 1;
+    repl::Testbed bed(opts);
+
+    core::ReplicationPolicy policy;
+    policy.model = profile.model;
+    policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+    if (profile.model == ObjectModel::kCausal ||
+        profile.model == ObjectModel::kEventual) {
+      policy.write_set = core::WriteSet::kMultiple;
+    }
+    if (profile.pull) {
+      policy.initiative = core::TransferInitiative::kPull;
+      policy.lazy_period = sim::SimDuration::millis(50);
+    }
+
+    auto& primary = bed.add_primary(kObj, policy);
+    for (int i = 0; i < 6; ++i) {
+      primary.seed("page" + std::to_string(i) + ".html", "seed");
+    }
+    auto& mirror_a =
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+    auto& mirror_b =
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy);
+    bed.settle();
+    auto& cache_a = bed.add_store(kObj, naming::StoreClass::kClientInitiated,
+                                  policy, mirror_a.address());
+    auto& cache_b = bed.add_store(kObj, naming::StoreClass::kClientInitiated,
+                                  policy, mirror_b.address());
+    bed.settle();
+
+    // WFR needs a cross-writer apply order; only the sequential total
+    // order and the causal orderer provide one (see
+    // partition_matrix_test.cpp for the full rationale).
+    auto session = ClientModel::kMonotonicWrites |
+                   ClientModel::kReadYourWrites | ClientModel::kMonotonicReads;
+    if (profile.model == ObjectModel::kSequential ||
+        profile.model == ObjectModel::kCausal) {
+      session = session | ClientModel::kWritesFollowReads;
+    }
+    auto& client_a = bed.add_client(kObj, session, cache_a.address());
+    auto& client_b = bed.add_client(kObj, session, cache_b.address());
+    bed.run_for(sim::SimDuration::millis(100));
+
+    fault::ScenarioScript script;
+    std::string error;
+    if (!fault::ScenarioScript::parse(script_text(profile), &script, &error)) {
+      verdict.ok = false;
+      verdict.failure = "scenario script rejected: " + error;
+      return verdict;
+    }
+    repl::TestbedFaultHost host(bed);
+    fault::ScenarioEngine engine(script, host, seed);
+    engine.arm(bed.sim());
+
+    // Workload spanning before, during, and after the partition. Ops
+    // are counted in issue order so an op budget truncates a prefix of
+    // this exact sequence.
+    std::uint64_t issued = 0;
+    const auto budget_left = [&] { return issued < max_ops; };
+    for (int i = 0; i < 30 && budget_left(); ++i) {
+      const std::string tick = std::to_string(i);
+      if (budget_left()) {
+        client_a.write("page0.html", "a" + tick, [](repl::WriteResult) {});
+        ++issued;
+      }
+      if (budget_left()) {
+        client_b.write("page1.html", "b" + tick, [](repl::WriteResult) {});
+        ++issued;
+      }
+      if (budget_left()) {
+        client_a.read("page2.html", [](repl::ReadResult) {});
+        ++issued;
+      }
+      if (budget_left()) {
+        client_b.read("page2.html", [](repl::ReadResult) {});
+        ++issued;
+      }
+      bed.run_for(sim::SimDuration::millis(100));
+    }
+    verdict.ops_issued = issued;
+
+    // Run past the last scripted fault, let heartbeats re-admit the
+    // minority side and resyncs drain, then settle to quiescence.
+    bed.run_for(engine.duration() + sim::SimDuration::seconds(3));
+    bed.settle();
+
+    note(failures, bed.converged(kObj),
+         std::string("diverged: replicas disagree with the primary (model=") +
+             coherence::to_string(profile.model) + ")");
+
+    const auto object_verdict =
+        coherence::check_object_model(bed.history(), profile.model);
+    note(failures, object_verdict.ok,
+         "object-model checker: " + object_verdict.summary());
+
+    const std::vector<coherence::SessionSpec> specs = {
+        {client_a.id(), session}, {client_b.id(), session}};
+    for (const auto& result :
+         coherence::check_sessions(bed.history(), specs)) {
+      note(failures, result.ok, "session checker: " + result.summary());
+    }
+  }
+
+  for (const TripReport& report : trips.reports()) {
+    failures.push_back("monitor trip: " + report.str());
+  }
+
+  if (!failures.empty()) {
+    verdict.ok = false;
+    verdict.failure = failures.front();
+    if (failures.size() > 1) {
+      verdict.failure +=
+          " (+" + std::to_string(failures.size() - 1) + " more)";
+    }
+  }
+  return verdict;
+}
+
+ScenarioLookup find_scenario(std::string_view name) {
+  ScenarioLookup out;
+  if (name == "partition_churn") {
+    out.found = true;
+    out.explorer = ScheduleExplorer("partition_churn", run_partition_churn,
+                                    kPartitionChurnDefaultOps);
+  }
+  return out;
+}
+
+std::vector<std::string> scenario_names() { return {"partition_churn"}; }
+
+}  // namespace globe::check

@@ -1,0 +1,46 @@
+// Canned explorer scenarios.
+//
+// Each scenario is a deterministic function of (seed, op budget) — see
+// explorer.hpp for the contract. The seed picks a coherence profile and
+// perturbs the schedule (message jitter, partition timing, cache churn,
+// workload phasing); the budget truncates the client workload so the
+// explorer can shrink a failing run to its minimal op prefix.
+//
+// The registry maps CLI names (schedule_explorer --scenario=) to
+// ready-built explorers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "globe/check/explorer.hpp"
+
+namespace globe::check {
+
+/// Partition + churn smoke scenario: primary, two mirrors, a cache under
+/// each mirror, two session-guarantee clients. The seed chooses the
+/// coherence model (sequential / PRAM / FIFO-PRAM / causal / eventual /
+/// eventual-pull), the WAN jitter, when the partition cuts the minority
+/// side off, how long it lasts, and whether a cache additionally
+/// crash-recovers after the heal. Fails on any monitor trip, checker
+/// violation, or failure to converge.
+[[nodiscard]] ScenarioVerdict run_partition_churn(std::uint64_t seed,
+                                                  std::uint64_t max_ops);
+
+/// Default op budget of run_partition_churn (the shrink upper bound).
+inline constexpr std::uint64_t kPartitionChurnDefaultOps = 120;
+
+/// Explorer for a registered scenario name, or nullptr-equivalent
+/// (found=false) if unknown.
+struct ScenarioLookup {
+  bool found = false;
+  ScheduleExplorer explorer{"", nullptr, 0};
+};
+[[nodiscard]] ScenarioLookup find_scenario(std::string_view name);
+
+/// Registered scenario names, for --list and error messages.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace globe::check

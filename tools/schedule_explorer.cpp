@@ -1,0 +1,172 @@
+// Schedule explorer CLI.
+//
+// Two modes:
+//
+//   * explore (default): scan N seeds of a scenario, ascending; on the
+//     first failure, shrink the workload to its minimal op prefix and
+//     print a one-line repro command. Exit 1 if a failure was found.
+//
+//       ./build/schedule_explorer --scenario=partition_churn --seeds=200
+//
+//   * replay: run one (seed, ops) pair — the command the explorer
+//     prints as a repro — and report its verdict. Exit 1 on failure.
+//
+//       ./build/schedule_explorer --scenario=partition_churn --seed=7 --ops=23
+//
+// Build with -DGLOBE_CHECKED=ON (the default) so the invariant
+// monitors are part of the verdict; an unchecked build still runs the
+// post-hoc checkers and convergence test.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "globe/check/explorer.hpp"
+#include "globe/check/scenarios.hpp"
+
+namespace {
+
+struct Args {
+  std::string scenario = "partition_churn";
+  std::uint64_t seeds = 200;
+  std::uint64_t first_seed = 1;
+  bool have_seed = false;
+  std::uint64_t seed = 0;
+  bool have_ops = false;
+  std::uint64_t ops = 0;
+  bool no_shrink = false;
+  bool list = false;
+  bool quiet = false;
+};
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool take(std::string_view arg, std::string_view flag, std::string_view* rest) {
+  if (arg.substr(0, flag.size()) != flag) return false;
+  *rest = arg.substr(flag.size());
+  return true;
+}
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario=NAME] [--seeds=N] [--first-seed=S]\n"
+      "          [--seed=S [--ops=K]] [--no-shrink] [--list] [--quiet]\n"
+      "\n"
+      "Explore mode scans --seeds seeds ascending from --first-seed and\n"
+      "shrinks the first failure to a minimal repro. Passing --seed runs\n"
+      "a single replay of that seed (with --ops bounding the workload).\n",
+      prog);
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view rest;
+    if (arg == "--list") {
+      args->list = true;
+    } else if (arg == "--no-shrink") {
+      args->no_shrink = true;
+    } else if (arg == "--quiet") {
+      args->quiet = true;
+    } else if (take(arg, "--scenario=", &rest)) {
+      args->scenario = std::string(rest);
+    } else if (take(arg, "--seeds=", &rest)) {
+      if (!parse_u64(rest, &args->seeds)) return false;
+    } else if (take(arg, "--first-seed=", &rest)) {
+      if (!parse_u64(rest, &args->first_seed)) return false;
+    } else if (take(arg, "--seed=", &rest)) {
+      if (!parse_u64(rest, &args->seed)) return false;
+      args->have_seed = true;
+    } else if (take(arg, "--ops=", &rest)) {
+      if (!parse_u64(rest, &args->ops)) return false;
+      args->have_ops = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (args.list) {
+    for (const std::string& name : globe::check::scenario_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  globe::check::ScenarioLookup lookup =
+      globe::check::find_scenario(args.scenario);
+  if (!lookup.found) {
+    std::fprintf(stderr, "unknown scenario '%s'; --list shows the catalogue\n",
+                 args.scenario.c_str());
+    return 2;
+  }
+  const globe::check::ScheduleExplorer& explorer = lookup.explorer;
+
+  if (args.have_seed) {
+    // Replay mode: one deterministic run with an exact op budget.
+    const std::uint64_t budget =
+        args.have_ops ? args.ops : explorer.default_ops();
+    const globe::check::ScenarioVerdict v = explorer.replay(args.seed, budget);
+    if (v.ok) {
+      std::printf("%s seed=%llu ops=%llu: PASS\n", args.scenario.c_str(),
+                  static_cast<unsigned long long>(args.seed),
+                  static_cast<unsigned long long>(v.ops_issued));
+      return 0;
+    }
+    std::printf("%s seed=%llu ops=%llu: FAIL\n  %s\n", args.scenario.c_str(),
+                static_cast<unsigned long long>(args.seed),
+                static_cast<unsigned long long>(v.ops_issued),
+                v.failure.c_str());
+    return 1;
+  }
+
+  globe::check::ExploreOptions opts;
+  opts.seeds = args.seeds;
+  opts.first_seed = args.first_seed;
+  opts.shrink = !args.no_shrink;
+  if (!args.quiet) {
+    opts.progress = [](const std::string& line) {
+      std::printf("  %s\n", line.c_str());
+    };
+  }
+  std::printf("exploring %s: %llu seeds from %llu, %llu ops each\n",
+              args.scenario.c_str(),
+              static_cast<unsigned long long>(opts.seeds),
+              static_cast<unsigned long long>(opts.first_seed),
+              static_cast<unsigned long long>(explorer.default_ops()));
+  const globe::check::ExploreResult result = explorer.explore(opts);
+  if (!result.found_failure) {
+    std::printf("clean: %llu runs, no failures\n",
+                static_cast<unsigned long long>(result.runs));
+    return 0;
+  }
+  std::printf("FAILURE at seed %llu (minimal ops %llu, %llu runs total)\n"
+              "  %s\n"
+              "  repro: %s\n",
+              static_cast<unsigned long long>(result.failing_seed),
+              static_cast<unsigned long long>(result.minimal_ops),
+              static_cast<unsigned long long>(result.runs),
+              result.failure.c_str(), result.repro.c_str());
+  return 1;
+}
