@@ -168,7 +168,9 @@ TEST(ShardingTest, HotShardChurnLeavesColdShardUntouched) {
   EXPECT_GE(engine.stats().crashes, 1u);
   // Only shard 1 stores were touched.
   for (const auto& store : bed.stores()) {
-    if (store->shard() == 0) EXPECT_TRUE(store->alive());
+    if (store->shard() == 0) {
+      EXPECT_TRUE(store->alive());
+    }
   }
   // The cold shard's view never moved: hot-shard churn is invisible to
   // the other subgroup (per-shard view epochs).
