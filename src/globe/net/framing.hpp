@@ -124,7 +124,9 @@ struct AckFrame {
     a.cumulative = r.u64();
     a.credit = r.u32();
     const std::uint64_t count = r.varint();
-    if (count * 8 > r.remaining()) {
+    // Division, not multiplication: `count * 8` wraps for attacker-chosen
+    // counts >= 2^61 and would reach reserve() as a std::length_error.
+    if (count > r.remaining() / 8) {
       throw CodecError("ack missing-list exceeds frame");
     }
     a.missing.reserve(count);

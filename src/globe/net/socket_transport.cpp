@@ -93,13 +93,18 @@ SocketHost::~SocketHost() {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard lock(conn_threads_mu_);
-    for (std::thread& t : conn_threads_) {
-      if (t.joinable()) t.join();
+    for (ConnThread& t : conn_threads_) {
+      if (t.thread.joinable()) t.thread.join();
     }
+    conn_threads_.clear();
   }
   {
     std::lock_guard lock(tcp_mu_);
-    for (auto& [node, fd] : tcp_conns_) ::close(fd);
+    for (auto& [node, conn] : tcp_conns_) {
+      std::lock_guard conn_lock(conn->mu);
+      if (conn->fd >= 0) ::close(conn->fd);
+      conn->fd = -1;
+    }
     tcp_conns_.clear();
   }
   if (udp_fd_ >= 0) ::close(udp_fd_);
@@ -184,8 +189,12 @@ void SocketHost::send_frame(const Address& from, const Address& to,
   }
 
   // Bulk lane: [u32 len][header][payload] on a lazily-connected stream.
-  std::lock_guard tcp_lock(tcp_mu_);
-  const int fd = tcp_socket_for(to.node, route);
+  // Only the per-peer lock is held across connect/write, so one
+  // unresponsive peer cannot stall bulk sends to every other node.
+  const std::shared_ptr<TcpConn> conn = tcp_conn_for(to.node);
+  std::lock_guard conn_lock(conn->mu);
+  int fd = conn->fd;
+  if (fd < 0) fd = tcp_connect_locked(*conn, route);
   if (fd < 0) {
     std::lock_guard lock(mu_);
     ++stats_.send_errors;
@@ -200,7 +209,7 @@ void SocketHost::send_frame(const Address& from, const Address& to,
   if (!sent) {
     // Connection went bad: drop it; the next send reconnects.
     ::close(fd);
-    tcp_conns_.erase(to.node);
+    conn->fd = -1;
   }
   std::lock_guard lock(mu_);
   if (sent) {
@@ -210,11 +219,14 @@ void SocketHost::send_frame(const Address& from, const Address& to,
   }
 }
 
-int SocketHost::tcp_socket_for(NodeId node, const SocketEndpoint& ep) {
-  // Caller holds tcp_mu_.
-  if (auto it = tcp_conns_.find(node); it != tcp_conns_.end()) {
-    return it->second;
-  }
+std::shared_ptr<SocketHost::TcpConn> SocketHost::tcp_conn_for(NodeId node) {
+  std::lock_guard lock(tcp_mu_);
+  auto& conn = tcp_conns_[node];
+  if (!conn) conn = std::make_shared<TcpConn>();
+  return conn;
+}
+
+int SocketHost::tcp_connect_locked(TcpConn& conn, const SocketEndpoint& ep) {
   sockaddr_in dest{};
   if (!make_sockaddr(ep.host, ep.tcp_port, dest)) return -1;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -225,7 +237,7 @@ int SocketHost::tcp_socket_for(NodeId node, const SocketEndpoint& ep) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  tcp_conns_.emplace(node, fd);
+  conn.fd = fd;
   return fd;
 }
 
@@ -282,8 +294,23 @@ void SocketHost::tcp_accept_loop() {
     if (ready <= 0) continue;
     const int conn = ::accept(tcp_listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard lock(conn_threads_mu_);
-    conn_threads_.emplace_back([this, conn] { tcp_conn_loop(conn); });
+    // Reap threads whose connection loop has exited so churn does not
+    // accumulate dead std::thread handles for the host's lifetime.
+    for (auto it = conn_threads_.begin(); it != conn_threads_.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = conn_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conn_threads_.push_back(
+        {done, std::thread([this, conn, done] {
+           tcp_conn_loop(conn);
+           done->store(true, std::memory_order_release);
+         })});
   }
 }
 

@@ -109,8 +109,20 @@ class SocketHost {
   void udp_recv_loop();
   void tcp_accept_loop();
   void tcp_conn_loop(int fd);
-  /// Lazily-connected TCP socket to a node; -1 on failure.
-  int tcp_socket_for(NodeId node, const SocketEndpoint& ep);
+  /// One outbound TCP connection. Each peer has its own lock so a slow
+  /// connect or stalled write to one node never blocks bulk sends to the
+  /// others; fd < 0 means "not connected, dial on next send".
+  struct TcpConn {
+    std::mutex mu;
+    int fd = -1;
+  };
+
+  /// The connection slot for a node (created on demand). Only the map
+  /// lookup holds tcp_mu_; connecting and writing lock the slot itself.
+  std::shared_ptr<TcpConn> tcp_conn_for(NodeId node);
+  /// Dials `ep` and stores the socket in `conn` (caller holds conn.mu);
+  /// returns the fd, or -1 on failure.
+  int tcp_connect_locked(TcpConn& conn, const SocketEndpoint& ep);
 
   SocketHostOptions options_;
   bool ok_ = false;
@@ -124,14 +136,22 @@ class SocketHost {
   std::unordered_map<Address, MessageHandler> handlers_;
   SocketHostStats stats_;
 
-  std::mutex tcp_mu_;  // outbound connections (connect + framed write)
-  std::unordered_map<NodeId, int> tcp_conns_;
+  std::mutex tcp_mu_;  // guards the connection map only, never held for I/O
+  std::unordered_map<NodeId, std::shared_ptr<TcpConn>> tcp_conns_;
 
   std::atomic<bool> stopping_{false};
   std::thread udp_thread_;
   std::thread accept_thread_;
+
+  /// Inbound connection threads, reaped by the accept loop once their
+  /// connection loop exits (done flag) so churn does not grow the vector
+  /// for the host's lifetime.
+  struct ConnThread {
+    std::shared_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
   std::mutex conn_threads_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<ConnThread> conn_threads_;
 };
 
 /// Transport endpoint on a SocketHost. The payload of send_shared is

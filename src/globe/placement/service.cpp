@@ -188,23 +188,37 @@ void PlacementCache::fetch() {
       [this](bool ok, const Address&, const msg::EnvelopeView& env) {
         fetch_in_flight_ = false;
         if (ok) {
-          util::Reader r{env.body};
-          version_ = r.u64();
-          layout_ = Layout::decode(r);
-          contacts_.clear();
-          const std::uint64_t shards = r.varint();
-          for (std::uint64_t i = 0; i < shards; ++i) {
-            const ShardId shard = r.u32();
-            const std::uint64_t n = r.varint();
-            auto& list = contacts_[shard];
-            list.reserve(n);
-            for (std::uint64_t j = 0; j < n; ++j) {
-              list.push_back(ContactPoint::decode(r));
+          // Decode into locals and commit only on success: a truncated or
+          // corrupt reply is a failed fetch, not an exception through the
+          // comm delivery path or a half-updated cache.
+          try {
+            util::Reader r{env.body};
+            const std::uint64_t version = r.u64();
+            Layout layout = Layout::decode(r);
+            std::map<ShardId, std::vector<ContactPoint>> contacts;
+            const std::uint64_t shards = r.varint();
+            for (std::uint64_t i = 0; i < shards; ++i) {
+              const ShardId shard = r.u32();
+              const std::uint64_t n = r.varint();
+              if (n > r.remaining()) {
+                throw util::CodecError("contact list exceeds reply");
+              }
+              auto& list = contacts[shard];
+              list.reserve(n);
+              for (std::uint64_t j = 0; j < n; ++j) {
+                list.push_back(ContactPoint::decode(r));
+              }
             }
+            version_ = version;
+            layout_ = std::move(layout);
+            contacts_ = std::move(contacts);
+            stale_ = false;
+            ++refreshes_;
+            GLOBE_CHECK_HOOK(
+                on_placement_state(this, version_, layout_.epoch));
+          } catch (const util::CodecError&) {
+            ok = false;
           }
-          stale_ = false;
-          ++refreshes_;
-          GLOBE_CHECK_HOOK(on_placement_state(this, version_, layout_.epoch));
         }
         auto waiters = std::move(waiters_);
         waiters_.clear();

@@ -140,6 +140,17 @@ TEST(AckFrameCodec, RejectsOversizedMissingListAndTruncation) {
         AckFrame::decode(BytesView(wire.data(), wire.size() - 1)),
         CodecError);
   }
+  {
+    // A count near 2^64 must still be a CodecError: the length guard
+    // must not wrap (count * 8 overflows) and reach reserve(), which
+    // would throw std::length_error and escape the codec contract.
+    util::Writer w;
+    w.u8(kAckFrameKind);
+    w.u64(5);
+    w.u32(1);
+    w.varint(std::uint64_t{1} << 61);
+    EXPECT_THROW(AckFrame::decode(BytesView(w.view())), CodecError);
+  }
 }
 
 TEST(FlowFrameDiscrimination, PlainEnvelopesAreNotFlowFrames) {
