@@ -49,12 +49,22 @@
 //     documents must be byte-identical between the runs, and the
 //     delta run must ship at least 5x fewer state-transfer bytes.
 //
+// 11. observability — the write-lifecycle tracer: a deployment run
+//     with tracing off must put byte-identical traffic on the wire
+//     run-to-run (FNV digest over every delivered datagram), tracing
+//     every write must cost <= 2% wall clock, the sampled write's
+//     spans must form one connected trace, and the Chrome-trace JSON
+//     plus (checked builds) a monitor-trip window dump are written as
+//     artifacts.
+//
 // Usage: bench_scale [--smoke] [--out <path>]
 //   --smoke  tiny sizes; validates the harness (CI bitrot check)
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -62,9 +72,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "globe/check/monitor.hpp"
 #include "globe/fault/scenario.hpp"
+#include "globe/metrics/histogram.hpp"
 #include "globe/net/loopback.hpp"
 #include "globe/net/windowed_multicast.hpp"
+#include "globe/obs/export.hpp"
+#include "globe/obs/trace.hpp"
 #include "globe/replication/write_log.hpp"
 #include "globe/web/document.hpp"
 
@@ -1594,6 +1608,295 @@ MultiObjectResult run_multi_object(bool smoke) {
 }
 
 // ---------------------------------------------------------------------
+// 11. observability — the write-lifecycle tracer's two contracts:
+//     tracing disabled leaves the simulated wire byte-identical
+//     run-to-run (digest gate), and tracing every write costs <= 2%
+//     wall clock on a full deployment. The traced run must also yield
+//     one connected trace per write and feed the propagation
+//     histograms; the Chrome-trace artifact and (in checked builds) a
+//     monitor-trip window dump are left on disk for CI to upload.
+// ---------------------------------------------------------------------
+
+struct ObservabilityResult {
+  int stores = 0;
+  int clients = 0;
+  int ops = 0;
+  int reps = 0;
+  std::uint64_t sample_every = 1;  // production sampling rate under test
+  double off_s = 0;  // best-of-reps wall, tracing disabled
+  double on_s = 0;   // best-of-reps wall, tracing enabled (sampled)
+  double overhead_pct = 0;
+  bool wire_identical_tracing_off = false;
+  bool tracing_visible_on_wire = false;
+  bool lifecycle_connected = false;
+  std::size_t spans = 0;
+  std::uint64_t span_overflow = 0;
+  std::uint64_t writes_accepted = 0;
+  std::uint64_t writes_applied_remotely = 0;
+  double prop_first_p50_us = 0;
+  double prop_first_p99_us = 0;
+  double prop_last_p99_us = 0;
+  bool checked = false;       // monitor hooks compiled in?
+  bool trip_dump_ok = false;  // vacuously true when !checked
+  std::string trace_json;     // Chrome trace artifact path
+};
+
+struct ObsRun {
+  double wall_s = 0;
+  std::uint64_t digest = 0;
+  std::vector<coherence::WriteId> wids;
+  std::vector<obs::Span> spans;          // traced runs only
+  std::vector<obs::GaugeSeries> gauges;  // traced runs only
+  std::uint64_t overflow = 0;
+};
+
+/// One immediate-propagation deployment (primary + caches + clients)
+/// driving `ops` writes, identical virtual-time schedule either way;
+/// `traced` is the only degree of freedom the digest may see.
+ObsRun run_obs_workload(int caches, int clients, int ops, bool traced,
+                        std::uint64_t sample_every,
+                        metrics::Histogram* first_us,
+                        metrics::Histogram* last_us,
+                        obs::PropagationStats* prop) {
+  TestbedOptions o;
+  o.seed = 41;
+  o.record_history = false;
+  Testbed bed(o);
+  bed.net().enable_wire_digest(true);
+  if (traced) {
+    Testbed::ObservabilityOptions oo;
+    oo.trace_capacity = 1 << 14;  // holds every sampled span of the run
+    oo.sample_every = sample_every;
+    bed.enable_observability(oo);
+  }
+  constexpr ObjectId kObj = 1;
+  constexpr int kPages = 8;
+  constexpr std::size_t kPageBytes = 4096;
+  core::ReplicationPolicy policy;
+  policy.instant = core::TransferInstant::kImmediate;
+  auto& primary = bed.add_primary(kObj, policy);
+  util::Rng content_rng(o.seed * 7919 + 13);
+  std::vector<std::string> contents;
+  for (int i = 0; i < kPages; ++i) {
+    contents.push_back(workload::make_content(content_rng, kPageBytes));
+    primary.seed("page" + std::to_string(i) + ".html", contents.back());
+  }
+  std::vector<net::Address> cache_addrs;
+  for (int i = 0; i < caches; ++i) {
+    cache_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy)
+            .address());
+  }
+  bed.settle();
+  std::vector<replication::ClientBinding*> cls;
+  for (int i = 0; i < clients; ++i) {
+    cls.push_back(&bed.add_client(kObj, coherence::ClientModel::kNone,
+                                  cache_addrs[i % cache_addrs.size()]));
+  }
+
+  ObsRun out;
+  // Time the steady-state workload only: deployment setup (including
+  // the tracer's one-time ring allocation) is the same whether tracing
+  // ever gets enabled in production or not, and would otherwise drown
+  // the per-write cost this section budgets.
+  const auto start = Clock::now();
+  for (int i = 0; i < ops; ++i) {
+    // Full-page rewrites: every write ships kPageBytes to every cache,
+    // the paper's workload shape (documents, not counters).
+    std::string body = contents[i % kPages];
+    body.replace(0, 12, "v" + std::to_string(100000 + i));
+    cls[i % clients]->write("page" + std::to_string(i % kPages) + ".html",
+                            body, [&out](replication::WriteResult r) {
+                              if (r.ok) out.wids.push_back(r.wid);
+                            });
+    bed.run_for(sim::SimDuration::millis(5));
+  }
+  bed.settle();
+  out.wall_s = seconds_since(start);  // before harvest/snapshot work
+  out.digest = bed.net().wire_digest();
+  if (traced) {
+    // ~Testbed disables the process tracer: snapshot before it dies.
+    out.spans = obs::Tracer::instance().snapshot();
+    out.overflow = obs::Tracer::instance().overflow();
+    if (bed.recorder() != nullptr) out.gauges = bed.recorder()->snapshot();
+    const obs::PropagationStats p = bed.harvest_propagation();
+    if (prop != nullptr) {
+      prop->writes_accepted += p.writes_accepted;
+      prop->writes_applied_remotely += p.writes_applied_remotely;
+    }
+    if (first_us != nullptr) first_us->merge(bed.metrics().propagation_first_us());
+    if (last_us != nullptr) last_us->merge(bed.metrics().propagation_last_us());
+  }
+  return out;
+}
+
+/// True iff `wid`'s spans form one tree: a single parentless
+/// client.write root, every other parent resolving inside the trace,
+/// and the whole accept/order/apply/ack lifecycle present.
+bool lifecycle_connected(const std::vector<obs::Span>& spans,
+                         const coherence::WriteId& wid) {
+  const std::uint64_t trace = obs::trace_of(wid.client, wid.seq);
+  std::map<std::uint64_t, int> ids;  // span_id -> count
+  std::size_t roots = 0, accepts = 0, orders = 0, applies = 0, acks = 0;
+  for (const obs::Span& s : spans) {
+    if (s.trace_id != trace) continue;
+    ids[s.span_id] = 1;
+    switch (s.kind) {
+      case obs::SpanKind::kClientWrite:
+        if (s.parent_id == 0) ++roots;
+        break;
+      case obs::SpanKind::kStoreAccept: ++accepts; break;
+      case obs::SpanKind::kOrder: ++orders; break;
+      case obs::SpanKind::kApply: ++applies; break;
+      case obs::SpanKind::kAck: ++acks; break;
+      default: break;
+    }
+  }
+  if (roots != 1 || accepts < 1 || orders != 1 || applies < 2 || acks != 1) {
+    return false;
+  }
+  for (const obs::Span& s : spans) {
+    if (s.trace_id != trace) continue;
+    if (s.parent_id == 0) {
+      if (s.kind != obs::SpanKind::kClientWrite) return false;
+    } else if (ids.find(s.parent_id) == ids.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// In checked builds: force a synthetic monitor trip against a small
+/// observed testbed and verify the window dump lands and parses.
+bool run_obs_trip_dump(const std::string& dump_path) {
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+  std::remove(dump_path.c_str());
+  Testbed bed;
+  Testbed::ObservabilityOptions oo;
+  oo.trip_dump_path = dump_path;
+  oo.gauge_period = sim::SimDuration::millis(20);
+  bed.enable_observability(oo);
+  constexpr ObjectId kObj = 1;
+  core::ReplicationPolicy policy;
+  policy.instant = core::TransferInstant::kImmediate;
+  bed.add_primary(kObj, policy);
+  bed.add_store(kObj, naming::StoreClass::kPermanent, policy);
+  bed.settle();
+  auto& client = bed.add_client(kObj, coherence::ClientModel::kNone);
+  client.write("p", "v", [](replication::WriteResult) {});
+  bed.settle();
+  bed.run_for(sim::SimDuration::millis(200));  // gauge samples
+
+  {
+    check::ScopedTripCapture trips;
+    int owner = 0;
+    check::note_owner_context(&owner, /*store=*/1, /*view_epoch=*/1);
+    check::on_gseq_apply(&owner, 1, kObj, true, 7);
+    check::on_gseq_apply(&owner, 1, kObj, true, 6);  // regression: trips
+    check::release(&owner);
+    if (!trips.tripped()) return false;
+  }
+  std::ifstream in(dump_path);
+  if (!in.good()) return false;
+  std::vector<obs::Span> spans;
+  std::vector<obs::GaugeSeries> gauges;
+  std::string err;
+  if (!obs::read_dump(in, &spans, &gauges, &err)) return false;
+  return !spans.empty() && !gauges.empty();
+#else
+  (void)dump_path;
+  return true;  // no monitors compiled in: nothing to trip
+#endif
+}
+
+ObservabilityResult run_observability(bool smoke,
+                                      const std::string& artifact_dir) {
+  ObservabilityResult res;
+  const int caches = smoke ? 6 : 16;
+  const int clients = smoke ? 12 : 32;
+  const int ops = smoke ? 400 : 1500;
+  const int reps = smoke ? 5 : 3;
+  // The production configuration under test: sampled tracing (1-in-N
+  // writes carry a context; unsampled traffic pays one branch per
+  // message). Full sampling is exercised by the tests; the overhead
+  // budget applies to the deployable config, like any sampling tracer.
+  const std::uint64_t sample_every = 16;
+  res.stores = 1 + caches;
+  res.clients = clients;
+  res.ops = ops;
+  res.reps = reps;
+  res.sample_every = sample_every;
+#if defined(GLOBE_CHECKED) && GLOBE_CHECKED
+  res.checked = true;
+#endif
+
+  metrics::Histogram first_us, last_us;  // merged across traced reps
+  obs::PropagationStats prop;
+  double off_best = std::numeric_limits<double>::infinity();
+  double on_best = std::numeric_limits<double>::infinity();
+  std::uint64_t off_digest = 0, on_digest = 0;
+  bool off_equal = true;
+  ObsRun traced_keep;  // last traced run's spans/gauges for artifacts
+  // Interleave off/on reps so drift hits both sides equally; wall
+  // comparisons take the min (noise is one-sided).
+  for (int r = 0; r < reps; ++r) {
+    ObsRun off = run_obs_workload(caches, clients, ops, /*traced=*/false,
+                                  sample_every, nullptr, nullptr, nullptr);
+    if (r == 0) {
+      off_digest = off.digest;
+    } else if (off.digest != off_digest) {
+      off_equal = false;
+    }
+    off_best = std::min(off_best, off.wall_s);
+    ObsRun on = run_obs_workload(caches, clients, ops, /*traced=*/true,
+                                 sample_every, &first_us, &last_us, &prop);
+    on_best = std::min(on_best, on.wall_s);
+    on_digest = on.digest;
+    if (r + 1 == reps) traced_keep = std::move(on);
+  }
+  res.off_s = off_best;
+  res.on_s = on_best;
+  res.overhead_pct =
+      off_best > 0 ? std::max(0.0, (on_best - off_best) / off_best * 100.0)
+                   : 0.0;
+  res.wire_identical_tracing_off = off_equal;
+  res.tracing_visible_on_wire = on_digest != off_digest;
+
+  res.spans = traced_keep.spans.size();
+  res.span_overflow = traced_keep.overflow;
+  // Connectivity is checked on the newest *sampled* write: only 1-in-N
+  // writes carry a context, so pick one whose trace actually exists.
+  const coherence::WriteId* sampled_wid = nullptr;
+  for (auto it = traced_keep.wids.rbegin(); it != traced_keep.wids.rend();
+       ++it) {
+    if (obs::trace_of(it->client, it->seq) % sample_every == 0) {
+      sampled_wid = &*it;
+      break;
+    }
+  }
+  res.lifecycle_connected =
+      sampled_wid != nullptr && traced_keep.overflow == 0 &&
+      lifecycle_connected(traced_keep.spans, *sampled_wid);
+  res.writes_accepted = prop.writes_accepted;
+  res.writes_applied_remotely = prop.writes_applied_remotely;
+  res.prop_first_p50_us = first_us.p50();
+  res.prop_first_p99_us = first_us.p99();
+  res.prop_last_p99_us = last_us.p99();
+
+  res.trace_json = artifact_dir + "BENCH_observability_trace.json";
+  std::ofstream trace_out(res.trace_json);
+  if (trace_out.good()) {
+    obs::write_chrome_trace(trace_out, traced_keep.spans,
+                            traced_keep.gauges);
+  } else {
+    res.trace_json.clear();
+  }
+  res.trip_dump_ok =
+      run_obs_trip_dump(artifact_dir + "BENCH_observability_trip.obstrace");
+  return res;
+}
+
+// ---------------------------------------------------------------------
 
 void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const SnapshotMicroResult& snap, const E2eResult& pull,
@@ -1603,6 +1906,7 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const std::vector<ChurnRow>& churn,
                const SnapshotDeltaResult& sd,
                const MultiObjectResult& mo,
+               const ObservabilityResult& ob,
                const std::vector<TrajectoryRow>& rows) {
   auto speedup = [](double before, double after) {
     return after > 0 ? before / after : 0.0;
@@ -1789,6 +2093,28 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
       mo.cold_untouched ? "true" : "false",
       mo.isolation_converged ? "true" : "false",
       mo.baseline_identical ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"observability\": {\"stores\": %d, \"clients\": %d, \"ops\": %d, "
+      "\"reps\": %d, \"sample_every\": %llu, \"off_s\": %.4f, "
+      "\"on_s\": %.4f, "
+      "\"overhead_pct\": %.2f, \"wire_identical_tracing_off\": %s, "
+      "\"tracing_visible_on_wire\": %s, \"lifecycle_connected\": %s, "
+      "\"spans\": %zu, \"span_overflow\": %llu, \"writes_accepted\": %llu, "
+      "\"writes_applied_remotely\": %llu, \"prop_first_p50_us\": %.0f, "
+      "\"prop_first_p99_us\": %.0f, \"prop_last_p99_us\": %.0f, "
+      "\"checked\": %s, \"trip_dump_ok\": %s, \"trace_json\": \"%s\"},\n",
+      ob.stores, ob.clients, ob.ops, ob.reps,
+      static_cast<unsigned long long>(ob.sample_every), ob.off_s, ob.on_s,
+      ob.overhead_pct, ob.wire_identical_tracing_off ? "true" : "false",
+      ob.tracing_visible_on_wire ? "true" : "false",
+      ob.lifecycle_connected ? "true" : "false", ob.spans,
+      static_cast<unsigned long long>(ob.span_overflow),
+      static_cast<unsigned long long>(ob.writes_accepted),
+      static_cast<unsigned long long>(ob.writes_applied_remotely),
+      ob.prop_first_p50_us, ob.prop_first_p99_us, ob.prop_last_p99_us,
+      ob.checked ? "true" : "false", ob.trip_dump_ok ? "true" : "false",
+      ob.trace_json.c_str());
   std::fprintf(f, "  \"scale_trajectory\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TrajectoryRow& r = rows[i];
@@ -1963,6 +2289,23 @@ int run(bool smoke, const std::string& out_path) {
               mo.cold_untouched, mo.isolation_converged,
               mo.baseline_identical);
 
+  const std::size_t slash = out_path.find_last_of('/');
+  const std::string artifact_dir =
+      slash == std::string::npos ? std::string() : out_path.substr(0, slash + 1);
+  std::printf("bench_scale: observability (tracing off/on x%d)...\n",
+              smoke ? 5 : 3);
+  const ObservabilityResult ob = run_observability(smoke, artifact_dir);
+  std::printf(
+      "  %d stores %d clients %d ops (1-in-%llu): off %.3fs, on %.3fs "
+      "(overhead %.2f%%), wire_identical_off=%d visible_on=%d "
+      "connected=%d spans=%zu prop_first p50=%.0fus p99=%.0fus "
+      "trip_dump_ok=%d\n",
+      ob.stores, ob.clients, ob.ops,
+      static_cast<unsigned long long>(ob.sample_every), ob.off_s, ob.on_s,
+      ob.overhead_pct, ob.wire_identical_tracing_off,
+      ob.tracing_visible_on_wire, ob.lifecycle_connected, ob.spans,
+      ob.prop_first_p50_us, ob.prop_first_p99_us, ob.trip_dump_ok);
+
   std::printf("bench_scale: trajectory across coherence models...\n");
   std::vector<TrajectoryRow> rows;
   for (const auto model :
@@ -1985,7 +2328,7 @@ int run(bool smoke, const std::string& out_path) {
     return 1;
   }
   emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
-            win, hist, churn, sd, mo, rows);
+            win, hist, churn, sd, mo, ob, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -2056,6 +2399,29 @@ int run(bool smoke, const std::string& out_path) {
                  "FAIL: multi-object untouched=%d conv=%d baseline=%d\n",
                  mo.cold_untouched, mo.isolation_converged,
                  mo.baseline_identical);
+    return 1;
+  }
+  // The tracer's contracts: disabled must be invisible on the wire,
+  // enabled must stay within the overhead budget and still produce one
+  // connected trace per write (and a parseable trip dump when checked).
+  if (!ob.wire_identical_tracing_off) {
+    std::fprintf(stderr,
+                 "FAIL: wire digest differs across tracing-off runs\n");
+    return 1;
+  }
+  if (ob.overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.2f%% exceeds 2%% budget "
+                 "(off %.4fs on %.4fs)\n",
+                 ob.overhead_pct, ob.off_s, ob.on_s);
+    return 1;
+  }
+  if (!ob.lifecycle_connected || !ob.trip_dump_ok) {
+    std::fprintf(stderr,
+                 "FAIL: observability connected=%d trip_dump_ok=%d "
+                 "(spans=%zu overflow=%llu)\n",
+                 ob.lifecycle_connected, ob.trip_dump_ok, ob.spans,
+                 static_cast<unsigned long long>(ob.span_overflow));
     return 1;
   }
   return 0;

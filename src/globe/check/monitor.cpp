@@ -104,14 +104,21 @@ struct OwnerState {
   std::map<std::uint64_t, SessionState> sessions;   // by object
   std::map<std::uint64_t, Ring> parked;             // by peer key
   Ring deltas;
+  std::string context;  // component stamp (store id + view epoch)
 };
 
 struct Registry {
   std::mutex mu;
   std::unordered_map<const void*, OwnerState> owners;
   TripHandler handler;  // empty = default print+abort
+  TripObserver observer;
   std::atomic<bool> enabled{true};
   std::atomic<std::uint64_t> trips{0};
+  // Dump emission is serialized separately from the monitor registry:
+  // the sink may be slow (file I/O) and must not block hot-path hooks,
+  // only other dumps.
+  std::mutex dump_mu;
+  DumpSink dump_sink;
 };
 
 Registry& registry() {
@@ -120,20 +127,24 @@ Registry& registry() {
 }
 
 /// Formats + dispatches one violation. Called with the registry lock
-/// held; the handler runs outside it (it may destroy testbeds, install
-/// handlers, or abort).
-void trip(std::unique_lock<std::mutex>& lock, const char* monitor,
-          std::string key, std::string message, const Ring& ring) {
+/// held; the observer and handler run outside it (they may destroy
+/// testbeds, install handlers, or abort).
+void trip(std::unique_lock<std::mutex>& lock, const void* owner,
+          const char* monitor, std::string key, std::string message,
+          const Ring& ring) {
   Registry& r = registry();
   r.trips.fetch_add(1, std::memory_order_relaxed);
-  TripReport report{monitor, std::move(key), std::move(message), ring.dump()};
+  TripReport report{monitor, std::move(key), std::move(message),
+                    r.owners[owner].context, ring.dump()};
   TripHandler handler = r.handler;
+  TripObserver observer = r.observer;
   lock.unlock();
+  if (observer) observer(report);
   if (handler) {
     handler(report);
     return;
   }
-  std::fputs(report.str().c_str(), stderr);
+  emit_dump(report.str());
   std::abort();
 }
 
@@ -159,6 +170,7 @@ std::string TripReport::str() const {
   std::string out = "GLOBE_CHECKED invariant violation\n";
   out += "  monitor: " + monitor + "\n";
   out += "  key:     " + key + "\n";
+  if (!context.empty()) out += "  where:   " + context + "\n";
   out += "  what:    " + message + "\n";
   out += "  recent transitions (oldest first):\n";
   out += history;
@@ -191,6 +203,37 @@ ScopedTripCapture::ScopedTripCapture()
 
 ScopedTripCapture::~ScopedTripCapture() { set_trip_handler(nullptr); }
 
+void set_trip_observer(TripObserver observer) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.observer = std::move(observer);
+}
+
+void set_dump_sink(DumpSink sink) {
+  Registry& r = registry();
+  std::lock_guard lock(r.dump_mu);
+  r.dump_sink = std::move(sink);
+}
+
+void emit_dump(const std::string& text) {
+  Registry& r = registry();
+  std::lock_guard lock(r.dump_mu);
+  if (r.dump_sink) {
+    r.dump_sink(text);
+    return;
+  }
+  std::fputs(text.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+void note_owner_context(const void* owner, StoreId store,
+                        std::uint64_t view_epoch) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.owners[owner].context =
+      fmt("store=%u view_epoch=%" PRIu64, store, view_epoch);
+}
+
 void release(const void* owner) {
   Registry& r = registry();
   std::lock_guard lock(r.mu);
@@ -213,7 +256,7 @@ void on_gseq_apply(const void* owner, StoreId store, ObjectId object,
     const Ring ring = st.ring;
     st.gseq = gseq;  // re-anchor so one corruption = one trip
     st.adopted = false;
-    trip(lock, "gseq", key_store_object(store, object), std::move(msg), ring);
+    trip(lock, owner, "gseq", key_store_object(store, object), std::move(msg), ring);
     return;
   }
   if (sequential && st.seen && !st.adopted && gseq != st.gseq + 1) {
@@ -224,7 +267,7 @@ void on_gseq_apply(const void* owner, StoreId store, ObjectId object,
     st.seen = true;
     st.gseq = gseq;
     st.adopted = false;
-    trip(lock, "gseq", key_store_object(store, object), std::move(msg), ring);
+    trip(lock, owner, "gseq", key_store_object(store, object), std::move(msg), ring);
     return;
   }
   st.seen = true;
@@ -244,7 +287,7 @@ void on_state_adoption(const void* owner, StoreId store, ObjectId object,
                    st.gseq, gseq);
     const Ring ring = st.ring;
     st.gseq = gseq;
-    trip(lock, "gseq", key_store_object(store, object), std::move(msg), ring);
+    trip(lock, owner, "gseq", key_store_object(store, object), std::move(msg), ring);
     return;
   }
   st.seen = true;
@@ -263,7 +306,7 @@ void on_fetch_floor(const void* owner, StoreId store, ObjectId object,
   std::unique_lock lock(r.mu);
   GseqState& st = r.owners[owner].gseq[object];
   st.ring.record("floor", floor, sequential ? 1 : 0);
-  trip(lock, "gseq-floor", key_store_object(store, object),
+  trip(lock, owner, "gseq-floor", key_store_object(store, object),
        fmt("non-sequential store claimed total-order fetch floor %" PRIu64
            " (max-semantics gseq must not filter missed records)",
            floor),
@@ -284,7 +327,7 @@ void on_writer_apply(const void* owner, StoreId store, ObjectId object,
                      writer, seq, it->second);
       const Ring ring = st.ring;
       it->second = seq;
-      trip(lock, "mw-filter", key_store_object(store, object), std::move(msg),
+      trip(lock, owner, "mw-filter", key_store_object(store, object), std::move(msg),
            ring);
       return;
     }
@@ -308,7 +351,7 @@ void on_view_publish(const void* owner, std::uint64_t scope, ShardId shard,
                    epoch, st.epoch);
     const Ring ring = st.ring;
     st.epoch = epoch;
-    trip(lock, "view-epoch",
+    trip(lock, owner, "view-epoch",
          fmt("scope=%" PRIu64 " shard=%u (publisher)", scope, shard),
          std::move(msg), ring);
     return;
@@ -328,7 +371,7 @@ void on_view_adopt(const void* owner, const char* role, std::uint64_t id,
                    st.epoch, epoch);
     const Ring ring = st.ring;
     st.epoch = epoch;
-    trip(lock, "view-epoch", fmt("%s=%" PRIu64, role, id), std::move(msg),
+    trip(lock, owner, "view-epoch", fmt("%s=%" PRIu64, role, id), std::move(msg),
          ring);
     return;
   }
@@ -349,7 +392,7 @@ void on_placement_state(const void* owner, std::uint64_t version,
     const Ring ring = st.ring;
     st.version = version;
     st.layout_epoch = layout_epoch;
-    trip(lock, "placement", fmt("placement@%p", owner), std::move(msg), ring);
+    trip(lock, owner, "placement", fmt("placement@%p", owner), std::move(msg), ring);
     return;
   }
   st.seen = true;
@@ -398,7 +441,7 @@ void on_window_channel(const void* owner, const void* channel,
     // Re-anchor: drop the channel's monitor so the (corrupt) state does
     // not retrip on every subsequent frame.
     r.owners[owner].windows.erase(channel);
-    trip(lock, what,
+    trip(lock, owner, what,
          fmt("channel %" PRIu64 " -> %" PRIu64, local_key, peer_key),
          std::move(detail), ring);
   }
@@ -414,7 +457,7 @@ void on_parked_batches(const void* owner, StoreId store, std::uint64_t peer_key,
   if (depth > bound) {
     const Ring copy = ring;
     r.owners[owner].parked.erase(peer_key);
-    trip(lock, "parked",
+    trip(lock, owner, "parked",
          fmt("store=%u subscriber=%" PRIu64, store, peer_key),
          fmt("parked lazy batches %zu exceed the drop deadline %zu", depth,
              bound),
@@ -435,7 +478,7 @@ void on_delta_serve(const void* owner, StoreId store, ObjectId object,
   ring.record(refused ? "refused" : "served", floor, horizon, version);
   if (!refused && (floor < horizon || floor > version)) {
     const Ring copy = ring;
-    trip(lock, "horizon", key_store_object(store, object),
+    trip(lock, owner, "horizon", key_store_object(store, object),
          fmt("floor delta served below the tombstone horizon: floor %" PRIu64
              ", horizon %" PRIu64 ", version %" PRIu64
              " (deletion knowledge was discarded)",
@@ -462,7 +505,7 @@ void on_session_floors(const void* owner, ClientId client, ObjectId object,
     st.write_seq = write_seq;
     st.read_total = read_total;
     st.gseq_floor = gseq_floor;
-    trip(lock, "session",
+    trip(lock, owner, "session",
          fmt("client=%u object=%" PRIu64, client, object), std::move(msg),
          ring);
     return;

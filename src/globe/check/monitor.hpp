@@ -65,6 +65,7 @@ struct TripReport {
   std::string monitor;
   std::string key;
   std::string message;
+  std::string context;  // owner stamp: store id + view epoch (may be "")
   std::string history;  // formatted ring-buffer dump, oldest first
 
   [[nodiscard]] std::string str() const;
@@ -86,6 +87,32 @@ void set_enabled(bool on);
 /// the default.
 using TripHandler = std::function<void(const TripReport&)>;
 void set_trip_handler(TripHandler handler);
+
+/// Secondary observer invoked on EVERY trip, before the handler and
+/// regardless of which handler is installed. The observability layer
+/// uses it to annotate the trace and dump the flight recorder; unlike
+/// the handler it must return (it cannot suppress the trip). Pass
+/// nullptr to remove.
+using TripObserver = std::function<void(const TripReport&)>;
+void set_trip_observer(TripObserver observer);
+
+/// All trip dumps flow through one serialized sink: concurrent trips
+/// from different stores emit whole reports, never interleaved lines.
+/// The default sink writes to stderr; a harness may redirect (file,
+/// collector). Pass nullptr to restore stderr.
+using DumpSink = std::function<void(const std::string&)>;
+void set_dump_sink(DumpSink sink);
+
+/// Emits one dump atomically through the configured sink (the default
+/// trip handler uses this; harness code may reuse it for its own dumps
+/// so they serialize against trip output).
+void emit_dump(const std::string& text);
+
+/// Stamps the owner's component context (store id, applied view epoch)
+/// into every subsequent TripReport for monitors keyed under `owner`.
+/// StoreEngine calls this at construction and on every view adoption.
+void note_owner_context(const void* owner, StoreId store,
+                        std::uint64_t view_epoch);
 
 /// RAII trip capture for tests and the schedule explorer: installs a
 /// collecting handler on construction, restores the previous behaviour

@@ -77,9 +77,46 @@ void CommunicationObject::transmit(const Address& to, MsgType type,
   transport_->send(to, std::move(wire));
 }
 
+obs::TraceContext CommunicationObject::note_wire_send(MsgType type,
+                                                      ObjectId object) {
+  obs::TraceContext ctx = obs::current_context();
+  if (!ctx.valid()) return ctx;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::Span s;
+  s.kind = obs::SpanKind::kWireSend;
+  s.trace_id = ctx.trace_id;
+  s.parent_id = ctx.span_id;
+  s.ts_us = tracer.now_us();
+  s.actor = transport_->local_address().node;
+  s.object = object;
+  s.set_label(msg::to_string(type));
+  ctx.span_id = tracer.emit(s);
+  return ctx;
+}
+
 void CommunicationObject::on_message(const Address& from,
                                      util::BytesView payload) {
   const EnvelopeView env = EnvelopeView::decode(payload);
+  // Install the carried context around the handler: a wire.deliver span
+  // per datagram (duplicate multicast frames are already deduped below
+  // this layer, so retransmits never reach here twice), then every span
+  // or forwarded message the handler produces chains to it implicitly.
+  obs::TraceContext deliver_ctx;
+  if (env.trace.valid() && obs::tracing_enabled()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::Span s;
+    s.kind = obs::SpanKind::kWireDeliver;
+    s.trace_id = env.trace.trace_id;
+    s.parent_id = env.trace.span_id;
+    s.ts_us = tracer.now_us();
+    s.actor = transport_->local_address().node;
+    s.object = env.object;
+    s.detail = payload.size();
+    s.set_label(msg::to_string(env.type));
+    deliver_ctx.trace_id = env.trace.trace_id;
+    deliver_ctx.span_id = tracer.emit(s);
+  }
+  const obs::ContextScope scope(deliver_ctx);
   if (env.request_id != 0 && msg::is_reply(env.type)) {
     auto it = pending_.find(env.request_id);
     if (it == pending_.end()) return;  // late duplicate after timeout

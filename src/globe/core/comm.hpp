@@ -28,6 +28,7 @@
 
 #include "globe/msg/envelope.hpp"
 #include "globe/net/transport.hpp"
+#include "globe/obs/trace.hpp"
 #include "globe/sim/simulator.hpp"
 #include "globe/util/assert.hpp"
 #include "globe/util/ids.hpp"
@@ -186,14 +187,31 @@ class CommunicationObject {
     sim::EventId timer = 0;
   };
 
+  // Tracing rides the encode funnel: when the calling thread carries a
+  // trace context (obs::ContextScope), the envelope gets the context
+  // appended (flag bit 0x80) with a fresh wire.send span as the carried
+  // parent, so the receiver's wire.deliver span chains to this exact
+  // datagram. Retransmissions reuse the stored wire — no re-encode, no
+  // duplicate wire.send span. With tracing disabled this is one relaxed
+  // atomic load and the three-field header: byte-identical wire.
   template <typename F>
   [[nodiscard]] Buffer make_wire(MsgType type, ObjectId object,
                                  std::uint64_t request_id, F&& encode_body) {
     util::Writer w;
-    Envelope::encode_header(w, type, object, request_id);
+    if (obs::tracing_enabled()) {
+      Envelope::encode_header(w, type, object, request_id,
+                              note_wire_send(type, object));
+    } else {
+      Envelope::encode_header(w, type, object, request_id);
+    }
     encode_body(w);
     return w.take();
   }
+
+  /// Emits the wire.send span for an outgoing traced datagram and
+  /// returns the context to carry (invalid if the thread has none).
+  [[nodiscard]] obs::TraceContext note_wire_send(MsgType type,
+                                                 ObjectId object);
 
   std::uint64_t start_request(const Address& to, MsgType type,
                               std::uint64_t request_id, Buffer wire,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <string>
+
+#include "globe/obs/trace.hpp"
 
 namespace globe::fault {
 
@@ -295,6 +298,12 @@ bool ScenarioEngine::in_scope(const Action& a, std::size_t index) const {
 }
 
 void ScenarioEngine::apply(const Action& a) {
+  // Fault actions mark the trace: a span of latency or a paused window
+  // in the flight recorder reads very differently next to a
+  // "fault:partition" marker than without one.
+  if (obs::tracing_enabled()) {
+    obs::annotate(std::string("fault:") + to_string(a.kind));
+  }
   switch (a.kind) {
     case ActionKind::kCrash:
       if (a.scoped()) {

@@ -62,6 +62,33 @@ class Histogram {
   [[nodiscard]] double p95() const { return percentile(95); }
   [[nodiscard]] double p99() const { return percentile(99); }
 
+  /// Merges another histogram's samples into this one: the roll-up
+  /// primitive for per-shard / per-object histograms combining into
+  /// cluster totals. Exact (raw samples are appended), so percentiles of
+  /// the merge equal percentiles of the concatenated sample sets.
+  void merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  /// Copy of the current samples; pair with reset() to hand off a
+  /// section's samples without double-counting them in the next section.
+  [[nodiscard]] Histogram snapshot() const { return *this; }
+
+  /// Atomically takes the samples: returns them as a new histogram and
+  /// leaves this one empty (snapshot + reset in one motion).
+  [[nodiscard]] Histogram take() {
+    Histogram out;
+    out.samples_ = std::move(samples_);
+    out.sorted_ = sorted_;
+    samples_.clear();
+    sorted_ = false;
+    return out;
+  }
+
+  void reset() { clear(); }
+
   void clear() {
     samples_.clear();
     sorted_ = false;

@@ -55,6 +55,14 @@ class MetricsSink {
     staleness_time_us_.add(time_behind_us);
   }
 
+  /// Derived per-write propagation latency (obs tracer): microseconds
+  /// from the accepting store's accept to the first / latest remote
+  /// subscriber apply. Fed by Tracer::drain_propagation.
+  void record_propagation_us(double to_first_us, double to_last_us) {
+    propagation_first_us_.add(to_first_us);
+    propagation_last_us_.add(to_last_us);
+  }
+
   void record_session_demand() { ++session_demands_; }
   void record_session_wait() { ++session_waits_; }
   void record_stale_serve() { ++stale_serves_; }
@@ -120,6 +128,18 @@ class MetricsSink {
   [[nodiscard]] const Histogram& staleness_time_us() const {
     return staleness_time_us_;
   }
+  [[nodiscard]] const Histogram& propagation_first_us() const {
+    return propagation_first_us_;
+  }
+  [[nodiscard]] const Histogram& propagation_last_us() const {
+    return propagation_last_us_;
+  }
+  [[nodiscard]] Histogram& propagation_first_us() {
+    return propagation_first_us_;
+  }
+  [[nodiscard]] Histogram& propagation_last_us() {
+    return propagation_last_us_;
+  }
   [[nodiscard]] std::uint64_t session_demands() const {
     return session_demands_;
   }
@@ -158,6 +178,8 @@ class MetricsSink {
   Histogram write_latency_;
   Histogram staleness_versions_;
   Histogram staleness_time_us_;
+  Histogram propagation_first_us_;
+  Histogram propagation_last_us_;
   std::uint64_t session_demands_ = 0;
   std::uint64_t session_waits_ = 0;
   std::uint64_t stale_serves_ = 0;

@@ -11,11 +11,21 @@
 // as the remainder of the datagram. The body carries no length prefix —
 // the envelope is always the whole payload — which is what lets the
 // receive path decode an EnvelopeView without copying a single body byte.
+//
+// Trace context (observability): bit 0x80 of the type byte — unused by
+// every MsgType, all of which are <= 0x40 — flags an optional trace
+// context appended after request_id as two u64s (trace id, parent span
+// id). When tracing is off the bit is never set and the wire stream is
+// byte-identical to a build without tracing; bench_scale gates this with
+// a wire digest. The context rides inside the datagram, so multicast
+// frame batching, retransmission, and the TCP bulk lane carry it
+// untouched.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "globe/obs/context.hpp"
 #include "globe/util/buffer.hpp"
 #include "globe/util/ids.hpp"
 
@@ -107,14 +117,23 @@ struct EnvelopeView {
   MsgType type{};
   ObjectId object = 0;
   std::uint64_t request_id = 0;  // 0 when not a correlated request/reply
+  obs::TraceContext trace;       // invalid unless the sender was traced
   BytesView body;
+
+  /// Set in the type byte when a trace context follows the request id.
+  static constexpr std::uint8_t kTraceFlag = 0x80;
 
   static EnvelopeView decode(BytesView wire) {
     Reader r(wire);
     EnvelopeView e;
-    e.type = static_cast<MsgType>(r.u8());
+    const std::uint8_t raw = r.u8();
+    e.type = static_cast<MsgType>(raw & ~kTraceFlag);
     e.object = r.u64();
     e.request_id = r.u64();
+    if ((raw & kTraceFlag) != 0) {
+      e.trace.trace_id = r.u64();
+      e.trace.span_id = r.u64();
+    }
     e.body = r.rest();
     return e;
   }
@@ -126,6 +145,7 @@ struct Envelope {
   MsgType type{};
   ObjectId object = 0;
   std::uint64_t request_id = 0;  // 0 when not a correlated request/reply
+  obs::TraceContext trace;       // invalid unless the sender was traced
   Buffer body;
 
   /// Writes the fixed header; the body follows as raw bytes, so a sender
@@ -138,10 +158,27 @@ struct Envelope {
     w.u64(request_id);
   }
 
+  /// Header with a trace context: sets the flag bit and appends the two
+  /// context words. An invalid context encodes exactly like the
+  /// three-field overload — same bytes, no flag.
+  static void encode_header(Writer& w, MsgType type, ObjectId object,
+                            std::uint64_t request_id,
+                            const obs::TraceContext& trace) {
+    if (!trace.valid()) {
+      encode_header(w, type, object, request_id);
+      return;
+    }
+    w.u8(static_cast<std::uint8_t>(type) | EnvelopeView::kTraceFlag);
+    w.u64(object);
+    w.u64(request_id);
+    w.u64(trace.trace_id);
+    w.u64(trace.span_id);
+  }
+
   [[nodiscard]] Buffer encode() const {
     Writer w;
-    w.reserve(1 + 8 + 8 + body.size());
-    encode_header(w, type, object, request_id);
+    w.reserve(1 + 8 + 8 + (trace.valid() ? 16 : 0) + body.size());
+    encode_header(w, type, object, request_id, trace);
     w.raw(BytesView(body));
     return w.take();
   }
@@ -152,7 +189,8 @@ struct Envelope {
 };
 
 inline Envelope EnvelopeView::to_owned() const {
-  return Envelope{type, object, request_id, Buffer(body.begin(), body.end())};
+  return Envelope{type, object, request_id, trace,
+                  Buffer(body.begin(), body.end())};
 }
 
 }  // namespace globe::msg

@@ -1,0 +1,26 @@
+// Trace context carried by the wire envelope.
+//
+// Deliberately dependency-free: the msg layer embeds a TraceContext in
+// every decoded envelope, and the obs layer threads it through handlers,
+// so both include this header without creating a msg <-> obs cycle.
+//
+// A context is two 64-bit ids. `trace_id` names one logical write's
+// end-to-end lifecycle (derived deterministically from the WriteId, so
+// any process can compute it without coordination); `span_id` names the
+// sender-side span that caused this message, i.e. the parent of whatever
+// span the receiver emits. trace_id == 0 means "no context": the wire
+// encoding is then byte-identical to a build that never heard of tracing.
+#pragma once
+
+#include <cstdint>
+
+namespace globe::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+}  // namespace globe::obs

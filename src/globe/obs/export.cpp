@@ -1,0 +1,172 @@
+#include "globe/obs/export.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace globe::obs {
+
+namespace {
+
+constexpr const char* kMagic = "obstrace v1";
+
+// Dump labels may not contain whitespace (they are one whitespace-split
+// token); sanitize on write so read_dump round-trips.
+std::string dump_token(const char* s) {
+  std::string t(s);
+  if (t.empty()) return "-";
+  for (char& c : t) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  return t;
+}
+
+void json_escape(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_kind(const std::string& name, SpanKind* kind) {
+  static constexpr std::array<SpanKind, 8> kKinds = {
+      SpanKind::kClientWrite, SpanKind::kStoreAccept, SpanKind::kOrder,
+      SpanKind::kWireSend,    SpanKind::kWireDeliver, SpanKind::kApply,
+      SpanKind::kAck,         SpanKind::kAnnotation,
+  };
+  for (SpanKind k : kKinds) {
+    if (name == to_string(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_dump(std::ostream& out, const std::vector<Span>& spans,
+                const std::vector<GaugeSeries>& gauges) {
+  out << kMagic << '\n';
+  for (const Span& s : spans) {
+    out << "S " << to_string(s.kind) << ' ' << s.trace_id << ' ' << s.span_id
+        << ' ' << s.parent_id << ' ' << s.ts_us << ' ' << s.dur_us << ' '
+        << s.actor << ' ' << s.object << ' ' << s.detail << ' '
+        << dump_token(s.label) << '\n';
+  }
+  for (const GaugeSeries& g : gauges) {
+    const std::string name = dump_token(g.name.c_str());
+    for (const GaugePoint& p : g.points) {
+      out << "G " << name << ' ' << p.ts_us << ' ' << p.value << '\n';
+    }
+  }
+}
+
+bool read_dump(std::istream& in, std::vector<Span>* spans,
+               std::vector<GaugeSeries>* gauges, std::string* err) {
+  auto fail = [&](const std::string& why) {
+    if (err != nullptr) *err = why;
+    return false;
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return fail("missing 'obstrace v1' header");
+  }
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "S") {
+      std::string kind_name;
+      Span s;
+      std::string label;
+      std::uint32_t actor = 0;
+      ls >> kind_name >> s.trace_id >> s.span_id >> s.parent_id >> s.ts_us >>
+          s.dur_us >> actor >> s.object >> s.detail >> label;
+      if (ls.fail() || !parse_kind(kind_name, &s.kind)) {
+        return fail("bad span at line " + std::to_string(lineno));
+      }
+      s.actor = actor;
+      s.set_label(label == "-" ? "" : label.c_str());
+      if (spans != nullptr) spans->push_back(s);
+    } else if (tag == "G") {
+      std::string name;
+      GaugePoint p;
+      ls >> name >> p.ts_us >> p.value;
+      if (ls.fail()) {
+        return fail("bad gauge point at line " + std::to_string(lineno));
+      }
+      if (gauges != nullptr) {
+        if (gauges->empty() || gauges->back().name != name) {
+          GaugeSeries* existing = nullptr;
+          for (GaugeSeries& g : *gauges) {
+            if (g.name == name) existing = &g;
+          }
+          if (existing == nullptr) {
+            gauges->push_back(GaugeSeries{name, {}});
+            existing = &gauges->back();
+          }
+          existing->points.push_back(p);
+        } else {
+          gauges->back().points.push_back(p);
+        }
+      }
+    }
+    // Unknown tags: skip (forward compatibility).
+  }
+  return true;
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
+                        const std::vector<GaugeSeries>& gauges) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  for (const Span& s : spans) {
+    sep();
+    const bool instant =
+        s.kind == SpanKind::kAnnotation && s.dur_us == 0;
+    out << "{\"name\":\"";
+    if (s.label[0] != '\0') {
+      json_escape(out, s.label);
+    } else {
+      out << to_string(s.kind);
+    }
+    out << "\",\"cat\":\"" << to_string(s.kind) << "\",\"ph\":\""
+        << (instant ? 'i' : 'X') << "\",\"ts\":" << s.ts_us
+        << ",\"pid\":" << s.actor << ",\"tid\":" << (s.trace_id % 1000000);
+    if (instant) {
+      out << ",\"s\":\"g\"";
+    } else {
+      out << ",\"dur\":" << (s.dur_us > 0 ? s.dur_us : 1);
+    }
+    out << ",\"args\":{\"trace\":\"" << s.trace_id << "\",\"span\":\""
+        << s.span_id << "\",\"parent\":\"" << s.parent_id << "\",\"object\":"
+        << s.object << ",\"detail\":" << s.detail << "}}";
+  }
+  for (const GaugeSeries& g : gauges) {
+    for (const GaugePoint& p : g.points) {
+      sep();
+      out << "{\"name\":\"";
+      json_escape(out, g.name.c_str());
+      out << "\",\"cat\":\"gauge\",\"ph\":\"C\",\"ts\":" << p.ts_us
+          << ",\"pid\":0,\"args\":{\"v\":" << p.value << "}}";
+    }
+  }
+  out << "]}\n";
+}
+
+}  // namespace globe::obs

@@ -1,0 +1,39 @@
+// Trace/flight-recorder export.
+//
+// Two formats:
+//   * .obstrace — a line-oriented dump written at monitor-trip time.
+//     Cheap to emit from a failing process (no JSON escaping, no
+//     allocation churn): a header line, one `S` line per span, one `G`
+//     line per gauge point. tools/trace_export converts it offline.
+//   * Chrome trace_event JSON — loadable in chrome://tracing and
+//     Perfetto. Spans become complete ("X") events grouped pid=actor,
+//     gauges become counter ("C") events, annotations become instants.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "globe/obs/flight_recorder.hpp"
+#include "globe/obs/trace.hpp"
+
+namespace globe::obs {
+
+/// Writes the line-oriented dump format.
+void write_dump(std::ostream& out, const std::vector<Span>& spans,
+                const std::vector<GaugeSeries>& gauges);
+
+/// Parses a dump produced by write_dump. Returns false (with *err set)
+/// on malformed input; unknown line tags are skipped for forward compat.
+bool read_dump(std::istream& in, std::vector<Span>* spans,
+               std::vector<GaugeSeries>* gauges, std::string* err);
+
+/// Writes Chrome trace_event JSON ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
+                        const std::vector<GaugeSeries>& gauges);
+
+/// Parses the span-kind token used by the dump format ("store.accept").
+/// Returns false for unknown names.
+bool parse_kind(const std::string& name, SpanKind* kind);
+
+}  // namespace globe::obs

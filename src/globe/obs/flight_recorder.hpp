@@ -1,0 +1,109 @@
+// Flight recorder: periodic sampling of internal gauges into bounded
+// per-gauge time-series rings.
+//
+// A gauge is a name plus a pull callback; the owner (Testbed, bench
+// harness) registers callbacks over live components — lazy-park queue
+// depths, multicast window credits/paused peers, write-log retained
+// bytes, membership epochs, placement cache version, staleness counters —
+// and drives sample() from a periodic timer. Each gauge keeps the most
+// recent `ring_capacity` points (drop-oldest), so a monitor trip can dump
+// the last N seconds of every gauge next to the span ring: the "what was
+// the system doing just before it went wrong" record.
+//
+// Not global: recorders are owned, so callbacks can capture raw pointers
+// into the owning harness without lifetime hazards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace globe::obs {
+
+struct GaugePoint {
+  std::int64_t ts_us = 0;
+  double value = 0;
+};
+
+struct GaugeSeries {
+  std::string name;
+  std::vector<GaugePoint> points;  // oldest first
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t ring_capacity = 512)
+      : capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Registers a gauge; the callback is pulled on every sample(). Names
+  /// should be dotted paths ("store3.parked", "window.paused_peers").
+  void register_gauge(std::string name, std::function<double()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.push_back(Gauge{std::move(name), std::move(fn), {}, 0, 0});
+    gauges_.back().ring.resize(capacity_);
+  }
+
+  /// Samples every gauge at `ts_us` (drop-oldest per ring).
+  void sample(std::int64_t ts_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Gauge& g : gauges_) {
+      g.ring[g.head] = GaugePoint{ts_us, g.fn()};
+      g.head = (g.head + 1) % g.ring.size();
+      if (g.count < g.ring.size()) ++g.count;
+    }
+    ++samples_;
+  }
+
+  [[nodiscard]] std::size_t gauge_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_.size();
+  }
+
+  [[nodiscard]] std::uint64_t samples_taken() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+  /// Per-gauge snapshot, oldest point first, optionally restricted to
+  /// points with ts_us >= since_us.
+  [[nodiscard]] std::vector<GaugeSeries> snapshot(
+      std::int64_t since_us = INT64_MIN) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<GaugeSeries> out;
+    out.reserve(gauges_.size());
+    for (const Gauge& g : gauges_) {
+      GaugeSeries series;
+      series.name = g.name;
+      series.points.reserve(g.count);
+      const std::size_t cap = g.ring.size();
+      for (std::size_t i = 0; i < g.count; ++i) {
+        const GaugePoint& p = g.ring[(g.head + cap - g.count + i) % cap];
+        if (p.ts_us >= since_us) series.points.push_back(p);
+      }
+      out.push_back(std::move(series));
+    }
+    return out;
+  }
+
+ private:
+  struct Gauge {
+    std::string name;
+    std::function<double()> fn;
+    std::vector<GaugePoint> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Gauge> gauges_;
+  std::size_t capacity_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace globe::obs

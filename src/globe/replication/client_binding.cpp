@@ -1,6 +1,7 @@
 #include "globe/replication/client_binding.hpp"
 
 #include "globe/check/monitor.hpp"
+#include "globe/obs/trace.hpp"
 #include "globe/util/assert.hpp"
 
 namespace globe::replication {
@@ -406,16 +407,63 @@ void ClientBinding::transmit_write(Session& s, ClientRequest req,
     return r.str();
   }();
 
+  // Trace root: the client.write span. Its context rides the request
+  // envelope (the store's wire.deliver/accept spans chain to it); the
+  // span itself is emitted at completion, when the duration is known.
+  obs::TraceContext trace_ctx;
+  std::int64_t trace_start_us = 0;
+  {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+      const std::uint64_t trace = obs::trace_of(options_.client, wid.seq);
+      if (tracer.sampled(trace)) {
+        trace_ctx = obs::TraceContext{trace, tracer.new_span_id()};
+        trace_start_us = tracer.now_us();
+      }
+    }
+  }
+  const obs::ContextScope trace_scope(trace_ctx);
+
   comm_.request_with(
       s.write_store, msg::MsgType::kInvokeRequest, s.object,
       [&](util::Writer& w) { req.encode(w); },
-      [this, &s, cb = std::move(cb), issued, op_index, wid, deps, page](
-          bool ok, const Address&, const msg::EnvelopeView& env) {
+      [this, &s, cb = std::move(cb), issued, op_index, wid, deps, page,
+       trace_ctx, trace_start_us](bool ok, const Address&,
+                                  const msg::EnvelopeView& env) {
         WriteResult res;
         res.issued_at = issued;
         res.completed_at = sim_.now();
         res.wid = wid;
         --s.pending_writes;
+        if (trace_ctx.valid() && obs::tracing_enabled()) {
+          obs::Tracer& tracer = obs::Tracer::instance();
+          const std::int64_t end_us = tracer.now_us();
+          obs::Span root;
+          root.kind = obs::SpanKind::kClientWrite;
+          root.trace_id = trace_ctx.trace_id;
+          root.span_id = trace_ctx.span_id;
+          root.ts_us = trace_start_us;
+          root.dur_us = end_us - trace_start_us;
+          root.actor = options_.client;
+          root.object = s.object;
+          if (!ok) root.set_label("timeout");
+          tracer.emit(root);
+          if (ok) {
+            // Instant ack span, parented to the reply's wire.deliver
+            // span (the comm layer installed it around this callback).
+            obs::Span ack;
+            ack.kind = obs::SpanKind::kAck;
+            ack.trace_id = trace_ctx.trace_id;
+            const obs::TraceContext cur = obs::current_context();
+            ack.parent_id = cur.trace_id == trace_ctx.trace_id
+                                ? cur.span_id
+                                : trace_ctx.span_id;
+            ack.ts_us = end_us;
+            ack.actor = options_.client;
+            ack.object = s.object;
+            tracer.emit(ack);
+          }
+        }
         if (!ok) {
           res.error = "request timed out";
           on_operation_failed(s);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "globe/check/monitor.hpp"
+#include "globe/obs/trace.hpp"
 #include "globe/util/assert.hpp"
 #include "globe/util/log.hpp"
 
@@ -30,6 +31,29 @@ namespace {
   return a;
 }
 
+// Lifecycle span for one write at this store. The trace id is derived
+// from the WriteId, so spans join the write's trace even on paths that
+// carried no context (lazy flush, anti-entropy); the parent links only
+// when the calling thread's context belongs to the same trace (a batch
+// may deliver records of several traces under one envelope).
+void trace_write_span(obs::SpanKind kind, StoreId store, ObjectId object,
+                      const web::WriteId& wid, std::uint64_t detail) {
+  obs::Tracer& t = obs::Tracer::instance();
+  if (!t.enabled()) return;
+  const std::uint64_t trace = obs::trace_of(wid.client, wid.seq);
+  if (!t.sampled(trace)) return;
+  const obs::TraceContext ctx = obs::current_context();
+  obs::Span s;
+  s.kind = kind;
+  s.trace_id = trace;
+  s.parent_id = ctx.trace_id == trace ? ctx.span_id : 0;
+  s.ts_us = t.now_us();
+  s.actor = store;
+  s.object = object;
+  s.detail = detail;
+  t.emit(s);
+}
+
 }  // namespace
 
 StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
@@ -48,6 +72,7 @@ StoreEngine::StoreEngine(const TransportFactory& factory, sim::Simulator& sim,
   // Seed the object table with the legacy single-object slice of the
   // store config; sharded deployments add_object() the rest.
   def_ = &create_object(config_.object_config());
+  GLOBE_CHECK_HOOK(note_owner_context(this, config_.store_id, 0));
   configure_timers();
   start_membership();
 }
@@ -70,6 +95,9 @@ StoreEngine::ObjectState& StoreEngine::create_object(const ObjectConfig& cfg) {
   ObjectState& o = *state;
   o.cfg = cfg;
   objects_.emplace(cfg.object, std::move(state));
+  // Trip reports for monitors keyed on this object state carry the
+  // store id + view epoch stamp (refreshed on every view adoption).
+  GLOBE_CHECK_HOOK(note_owner_context(&o, config_.store_id, view_epoch_));
 
   o.orderer = enforces_model(o) ? make_orderer(o.cfg.policy.model)
               : o.cfg.policy.model == ObjectModel::kEventual
@@ -470,6 +498,8 @@ void StoreEngine::handle_write_forward(ObjectState& o, const Address& /*from*/,
 
 void StoreEngine::accept_write(ObjectState& o, const Address& reply_to,
                                std::uint64_t request_id, ClientRequest req) {
+  trace_write_span(obs::SpanKind::kStoreAccept, config_.store_id,
+                   o.cfg.object, req.wid, 0);
   web::WriteRecord rec = o.semantics.to_record(req.inv);
   rec.wid = req.wid;
   rec.deps = req.deps;
@@ -587,6 +617,11 @@ void StoreEngine::apply_ready(ObjectState& o,
       rec.global_seq = o.next_gseq + 1;
     }
     if (rec.global_seq > o.next_gseq) o.next_gseq = rec.global_seq;
+    // The ordering authority releases the record into the total order.
+    if (o.cfg.is_primary) {
+      trace_write_span(obs::SpanKind::kOrder, config_.store_id, o.cfg.object,
+                       rec.wid, rec.global_seq);
+    }
 
     // State application. Multi-master models need convergent conflict
     // resolution: last-writer-wins with a Lamport clock. For the causal
@@ -624,6 +659,8 @@ void StoreEngine::apply_ready(ObjectState& o,
     // coverage. Eventual losers are dropped (the winner suffices).
     if (changed || !is_eventual) {
       o.log.append(rec);
+      trace_write_span(obs::SpanKind::kApply, config_.store_id, o.cfg.object,
+                       rec.wid, rec.global_seq);
       record_apply(o, rec, /*changed=*/true);
       ++o.writes_applied;
       if (metrics_ != nullptr) metrics_->record_shard_write(config_.shard);
@@ -1443,6 +1480,11 @@ void StoreEngine::apply_view(const membership::View& view) {
   const bool jumped = view_epoch_ != 0 && view.epoch > view_epoch_ + 1;
   view_epoch_ = view.epoch;
   GLOBE_CHECK_HOOK(on_view_adopt(this, "store", config_.store_id, view.epoch));
+  GLOBE_CHECK_HOOK(note_owner_context(this, config_.store_id, view.epoch));
+  for (auto& [id, op] : objects_) {
+    GLOBE_CHECK_HOOK(note_owner_context(op.get(), config_.store_id,
+                                        view.epoch));
+  }
   view_ = view;  // the base the next ViewDelta diff applies onto
 
   // Members of the PREVIOUS view that the new view lacks have left the

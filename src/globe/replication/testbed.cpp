@@ -1,5 +1,10 @@
 #include "globe/replication/testbed.hpp"
 
+#include <algorithm>
+#include <fstream>
+
+#include "globe/check/monitor.hpp"
+#include "globe/obs/export.hpp"
 #include "globe/util/assert.hpp"
 
 namespace globe::replication {
@@ -33,6 +38,111 @@ Testbed::Testbed(TestbedOptions options)
     placement_->set_layout(layout);
     service_nodes_.push_back(placement_node);
   }
+}
+
+Testbed::~Testbed() {
+  if (!obs_enabled_) return;
+  // The tracer clock and trip observer are process-global and capture
+  // this testbed; detach them before the members they reference die.
+  gauge_timer_.reset();
+  check::set_trip_observer(nullptr);
+  obs::Tracer::instance().set_clock(nullptr);
+  obs::Tracer::instance().disable();
+}
+
+void Testbed::enable_observability(ObservabilityOptions opts) {
+  obs_opts_ = std::move(opts);
+  obs_enabled_ = true;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_clock([this] { return sim_.now().count_micros(); });
+  obs::TracerOptions to;
+  to.capacity = obs_opts_.trace_capacity;
+  to.sample_every = obs_opts_.sample_every;
+  tracer.enable(to);
+
+  recorder_ = std::make_unique<obs::FlightRecorder>(obs_opts_.gauge_ring);
+  register_observability_gauges();
+  gauge_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, obs_opts_.gauge_period,
+      [this] { recorder_->sample(sim_.now().count_micros()); });
+  gauge_timer_->start();
+
+  check::set_trip_observer(
+      [this](const check::TripReport& r) { on_monitor_trip(r.monitor); });
+}
+
+void Testbed::register_observability_gauges() {
+  // Aggregates stay valid as stores join later (crashed stores keep
+  // their engine object, so iterating stores_ is always safe).
+  recorder_->register_gauge("stores.parked_total", [this] {
+    double total = 0;
+    for (const auto& s : stores_) total += s->parked_requests();
+    return total;
+  });
+  recorder_->register_gauge("stores.log_bytes_total", [this] {
+    double total = 0;
+    for (const auto& s : stores_) {
+      for (const ObjectId id : s->object_ids()) {
+        total += static_cast<double>(s->write_log(id).retained_bytes());
+      }
+    }
+    return total;
+  });
+  recorder_->register_gauge("stores.view_epoch_max", [this] {
+    double epoch = 0;
+    for (const auto& s : stores_) {
+      epoch = std::max(epoch, static_cast<double>(s->view_epoch()));
+    }
+    return epoch;
+  });
+  recorder_->register_gauge("stores.count", [this] {
+    return static_cast<double>(stores_.size());
+  });
+  if (window_ != nullptr) {
+    recorder_->register_gauge("window.credit_stalls", [this] {
+      return static_cast<double>(window_->stats().credit_stalls);
+    });
+    recorder_->register_gauge("window.retransmits", [this] {
+      return static_cast<double>(window_->stats().retransmits);
+    });
+    recorder_->register_gauge("window.dropped_payloads", [this] {
+      return static_cast<double>(window_->stats().dropped_payloads);
+    });
+  }
+  if (placement_ != nullptr) {
+    recorder_->register_gauge("placement.version", [this] {
+      return static_cast<double>(placement_->version());
+    });
+  }
+  recorder_->register_gauge("metrics.stale_serves", [this] {
+    return static_cast<double>(metrics_.stale_serves());
+  });
+  recorder_->register_gauge("metrics.staleness_seen", [this] {
+    return static_cast<double>(metrics_.staleness_versions().count());
+  });
+  recorder_->register_gauge("metrics.flow_pauses", [this] {
+    return static_cast<double>(metrics_.flow_pauses());
+  });
+}
+
+void Testbed::on_monitor_trip(const std::string& monitor) {
+  obs::annotate("trip:" + monitor);
+  if (obs_opts_.trip_dump_path.empty()) return;
+  // Dump the preceding window of spans + gauge rings next to the trip
+  // report. Overwrite-on-trip: the last trip wins (each dump is a
+  // complete, self-contained window).
+  const std::int64_t since =
+      sim_.now().count_micros() - obs_opts_.trip_dump_window.count_micros();
+  std::ofstream out(obs_opts_.trip_dump_path);
+  if (!out) return;
+  obs::write_dump(out, obs::Tracer::instance().snapshot(since),
+                  recorder_ != nullptr ? recorder_->snapshot(since)
+                                       : std::vector<obs::GaugeSeries>{});
+}
+
+obs::PropagationStats Testbed::harvest_propagation() {
+  return obs::Tracer::instance().drain_propagation(
+      &metrics_.propagation_first_us(), &metrics_.propagation_last_us());
 }
 
 NodeId Testbed::add_node(std::string name) {

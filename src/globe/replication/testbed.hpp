@@ -23,6 +23,8 @@
 #include "globe/naming/service.hpp"
 #include "globe/net/sim_transport.hpp"
 #include "globe/net/windowed_multicast.hpp"
+#include "globe/obs/flight_recorder.hpp"
+#include "globe/obs/trace.hpp"
 #include "globe/placement/service.hpp"
 #include "globe/replication/client_binding.hpp"
 #include "globe/replication/store_engine.hpp"
@@ -92,6 +94,7 @@ inline constexpr ObjectId kShardAnchorBase = 0xA11C'0000ull;
 class Testbed {
  public:
   explicit Testbed(TestbedOptions options = {});
+  ~Testbed();
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Network& net() { return net_; }
@@ -251,7 +254,39 @@ class Testbed {
   }
   void join_stores(std::size_t count);
 
+  // ---- observability (obs::Tracer + flight recorder) -----------------
+
+  struct ObservabilityOptions {
+    std::size_t trace_capacity = 1 << 16;
+    std::uint64_t sample_every = 1;  // trace 1-in-N writes
+    std::size_t gauge_ring = 512;    // points retained per gauge
+    sim::SimDuration gauge_period = sim::SimDuration::millis(50);
+    /// On a monitor trip, write an .obstrace dump (the spans and gauge
+    /// rings from the preceding window) to this path. Empty = no file.
+    std::string trip_dump_path;
+    sim::SimDuration trip_dump_window = sim::SimDuration::seconds(5);
+  };
+
+  /// Puts the process tracer on the simulated clock, registers gauges
+  /// over this testbed's components (lazy-park depths, write-log bytes,
+  /// window pressure, view epochs, placement version, staleness) into a
+  /// flight recorder sampled every gauge_period, and hooks monitor trips
+  /// into the trace (annotation + optional window dump). The hooks are
+  /// process-global and uninstalled by the destructor — one observed
+  /// testbed at a time. Gauges aggregate over stores added later, too.
+  void enable_observability(ObservabilityOptions opts);
+  void enable_observability() { enable_observability(ObservabilityOptions{}); }
+
+  /// Non-null after enable_observability().
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
+
+  /// Drains the tracer's derived accept -> k-th-subscriber propagation
+  /// latencies into metrics() (propagation_first_us / propagation_last_us).
+  obs::PropagationStats harvest_propagation();
+
  private:
+  void register_observability_gauges();
+  void on_monitor_trip(const std::string& monitor);
   StoreEngine& add_store_impl(StoreConfig cfg, std::string node_name);
   [[nodiscard]] std::vector<NodeId> side_nodes(
       const std::vector<std::size_t>& side) const;
@@ -276,6 +311,10 @@ class Testbed {
   StoreSpawner spawner_;
   StoreId next_store_id_ = 1;
   ClientId next_client_id_ = 1;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<sim::PeriodicTimer> gauge_timer_;
+  ObservabilityOptions obs_opts_;
+  bool obs_enabled_ = false;
 };
 
 /// Adapter presenting a Testbed to the fault scenario engine.

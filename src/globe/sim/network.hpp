@@ -134,6 +134,17 @@ class Network {
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Wire digest (observability gate): when enabled, every delivered
+  /// payload is folded into an order-sensitive FNV-1a digest. Two runs
+  /// of a deterministic scenario produce equal digests iff they put the
+  /// same bytes on the wire in the same order — bench_scale uses this to
+  /// prove that disabled tracing leaves the wire stream byte-identical.
+  void enable_wire_digest(bool on) {
+    digest_enabled_ = on;
+    wire_digest_ = kFnvOffset;
+  }
+  [[nodiscard]] std::uint64_t wire_digest() const { return wire_digest_; }
+
   /// Latency currently configured between two nodes (base, no jitter).
   [[nodiscard]] SimDuration base_latency(NodeId a, NodeId b) const {
     return link(a, b).base_latency;
@@ -183,6 +194,9 @@ class Network {
   std::size_t sends_since_fifo_prune_ = 0;
   LinkSpec default_link_;
   TrafficStats stats_;
+  static constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+  bool digest_enabled_ = false;
+  std::uint64_t wire_digest_ = kFnvOffset;
 };
 
 }  // namespace globe::sim

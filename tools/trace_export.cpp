@@ -1,0 +1,111 @@
+// trace_export: converts an .obstrace dump (monitor-trip flight data,
+// bench artifacts) into Chrome trace_event JSON for chrome://tracing or
+// Perfetto, or prints a one-screen summary.
+//
+// Usage:
+//   trace_export <dump.obstrace> [-o out.json] [--summary]
+//
+// With no -o the JSON goes to stdout. --summary instead prints span
+// counts per kind, trace count, gauge list, and the time window — the
+// "what is in this dump" view for a terminal.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "globe/obs/export.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump.obstrace> [-o out.json] [--summary]\n",
+               argv0);
+  return 2;
+}
+
+void print_summary(const std::vector<globe::obs::Span>& spans,
+                   const std::vector<globe::obs::GaugeSeries>& gauges) {
+  std::map<std::string, std::size_t> by_kind;
+  std::set<std::uint64_t> traces;
+  std::int64_t first = 0;
+  std::int64_t last = 0;
+  for (const globe::obs::Span& s : spans) {
+    ++by_kind[globe::obs::to_string(s.kind)];
+    if (s.trace_id != 0) traces.insert(s.trace_id);
+    if (first == 0 || s.ts_us < first) first = s.ts_us;
+    if (s.ts_us + s.dur_us > last) last = s.ts_us + s.dur_us;
+  }
+  std::printf("spans:  %zu (%zu traces), window %lld..%lld us\n",
+              spans.size(), traces.size(), static_cast<long long>(first),
+              static_cast<long long>(last));
+  for (const auto& [kind, n] : by_kind) {
+    std::printf("  %-14s %zu\n", kind.c_str(), n);
+  }
+  std::printf("gauges: %zu\n", gauges.size());
+  for (const globe::obs::GaugeSeries& g : gauges) {
+    double lo = 0;
+    double hi = 0;
+    for (std::size_t i = 0; i < g.points.size(); ++i) {
+      if (i == 0 || g.points[i].value < lo) lo = g.points[i].value;
+      if (i == 0 || g.points[i].value > hi) hi = g.points[i].value;
+    }
+    std::printf("  %-26s %4zu points, range [%g, %g]\n", g.name.c_str(),
+                g.points.size(), lo, hi);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  const char* output = nullptr;
+  bool summary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input == nullptr) return usage(argv[0]);
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "trace_export: cannot open %s\n", input);
+    return 1;
+  }
+  std::vector<globe::obs::Span> spans;
+  std::vector<globe::obs::GaugeSeries> gauges;
+  std::string err;
+  if (!globe::obs::read_dump(in, &spans, &gauges, &err)) {
+    std::fprintf(stderr, "trace_export: %s: %s\n", input, err.c_str());
+    return 1;
+  }
+
+  if (summary) {
+    print_summary(spans, gauges);
+    return 0;
+  }
+  if (output != nullptr) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "trace_export: cannot write %s\n", output);
+      return 1;
+    }
+    globe::obs::write_chrome_trace(out, spans, gauges);
+  } else {
+    globe::obs::write_chrome_trace(std::cout, spans, gauges);
+  }
+  return 0;
+}
