@@ -805,6 +805,9 @@ struct ChurnRow {
   std::uint64_t full_snapshots = 0;
   std::uint64_t snapshot_pages_shipped = 0;
   std::uint64_t snapshot_bytes_saved = 0;
+  std::uint64_t horizon_advances = 0;
+  std::uint64_t events_retired = 0;
+  std::uint64_t tombstones_collected = 0;
   std::size_t events = 0;
   bool converged = false;
   bool model_ok = false;
@@ -959,6 +962,9 @@ ChurnRow run_churn(coherence::ObjectModel model, int mirrors, int caches,
   row.full_snapshots = bed.metrics().full_snapshots();
   row.snapshot_pages_shipped = bed.metrics().snapshot_pages_shipped();
   row.snapshot_bytes_saved = bed.metrics().snapshot_bytes_saved();
+  row.horizon_advances = bed.metrics().horizon_advances();
+  row.events_retired = bed.metrics().events_retired();
+  row.tombstones_collected = bed.metrics().tombstones_collected();
   for (const auto* u : users) row.client_rebinds += u->rebinds();
   row.events = bed.history().size();
   row.converged = bed.converged(kObj);
@@ -971,6 +977,244 @@ ChurnRow run_churn(coherence::ObjectModel model, int mirrors, int caches,
     row.sessions_ok = row.sessions_ok && res.ok;
   }
   row.wall_s = seconds_since(start);
+  return row;
+}
+
+// ---------------------------------------------------------------------
+// 8b. Soak: bounded-memory verification + stability-horizon GC, 10x ops
+// ---------------------------------------------------------------------
+//
+// The long-run configuration the streaming checker and the horizon
+// collectors exist for: 10x the trajectory op count under rolling store
+// churn, with a live StreamingChecker attached to the recorder and the
+// cluster stability horizon as the ONLY write-log compactor
+// (log_compact_threshold = 0). Gates: the checker's retained-event high
+// watermark stays under 25% of the event total, write-log records and
+// tombstones are collected behind the advancing floor, verdicts are
+// byte-identical to the post-hoc indexed checkers over the fully
+// retained history, and the check-as-you-record overhead — measured by
+// replaying the recorded stream with and without the checker attached —
+// stays within 10% of record-only.
+
+struct SoakRow {
+  std::string model;
+  int stores = 0;
+  int clients = 0;
+  int ops = 0;
+  double wall_s = 0;
+  double ops_per_s = 0;
+  double record_only_s = 0;   // replayed stream, recorder alone
+  double record_check_s = 0;  // replayed stream, checker attached
+  double check_overhead_pct = 0;
+  std::size_t events = 0;
+  std::size_t retained_hwm = 0;
+  std::uint64_t events_retired = 0;
+  std::uint64_t horizon_advances = 0;
+  std::uint64_t tombstones_collected = 0;
+  std::size_t tombstones_left = 0;
+  std::uint64_t log_compactions = 0;
+  std::uint64_t log_appended = 0;
+  std::size_t log_retained_records = 0;
+  std::size_t log_retained_bytes = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  bool verdicts_equal = false;
+  bool exact = false;
+  bool memory_bounded = false;
+  bool clean = false;
+  bool converged = false;
+};
+
+// Runs the soak deployment + workload once. With `with_streaming`, a
+// StreamingChecker (with buffered read clocks — churn-era timeouts and
+// retries legitimately complete client ops out of program order) rides
+// the recorder and `row` is filled from the run; without it the same
+// run is the unbounded record-only baseline. Returns wall seconds.
+double run_soak_sim(int mirrors, int caches, int clients, int ops,
+                    bool smoke, bool with_streaming, SoakRow* row) {
+  TestbedOptions opts;
+  opts.seed = 101;
+  opts.enable_membership = true;
+  opts.membership_heartbeat = sim::SimDuration::millis(smoke ? 10 : 100);
+  opts.failure_timeout = sim::SimDuration::millis(smoke ? 30 : 400);
+  opts.wan.base_latency = sim::SimDuration::millis(5);
+  opts.client_timeout = sim::SimDuration::millis(300);
+  opts.client_retries = 1;
+  // No count-based compaction: a bounded log at the end proves the
+  // stability horizon collected it.
+  opts.log_compact_threshold = 0;
+  Testbed bed(opts);
+  constexpr ObjectId kObj = 1;
+  const auto model = coherence::ObjectModel::kCausal;
+  coherence::StreamingChecker* sc = nullptr;
+  if (with_streaming) {
+    coherence::StreamingChecker::Options sc_opts;
+    sc_opts.buffer_clocks = true;
+    sc = &bed.enable_streaming(model, sc_opts);
+  }
+
+  const auto start = Clock::now();
+  core::ReplicationPolicy policy;
+  policy.model = model;
+  policy.write_set = core::WriteSet::kMultiple;
+  policy.object_outdate_reaction = core::OutdateReaction::kDemand;
+  const auto session = coherence::ClientModel::kMonotonicWrites |
+                       coherence::ClientModel::kReadYourWrites |
+                       coherence::ClientModel::kMonotonicReads |
+                       coherence::ClientModel::kWritesFollowReads;
+
+  auto& primary = bed.add_primary(kObj, policy);
+  const int pages = 24;
+  for (int i = 0; i < pages; ++i) {
+    primary.seed("page" + std::to_string(i) + ".html", "v0");
+  }
+  std::vector<net::Address> mirror_addrs;
+  for (int i = 0; i < mirrors; ++i) {
+    mirror_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kObjectInitiated, policy)
+            .address());
+  }
+  bed.settle();
+  std::vector<net::Address> cache_addrs;
+  for (int i = 0; i < caches; ++i) {
+    cache_addrs.push_back(
+        bed.add_store(kObj, naming::StoreClass::kClientInitiated, policy,
+                      mirror_addrs[i % mirror_addrs.size()])
+            .address());
+  }
+  bed.settle();
+  std::vector<replication::ClientBinding*> users;
+  for (int i = 0; i < clients; ++i) {
+    users.push_back(&bed.add_client(kObj, session,
+                                    cache_addrs[i % cache_addrs.size()]));
+  }
+  bed.settle();
+
+  // Rolling churn through the middle 60% of the run: caches crash, sit
+  // out past the failure timeout (eviction + horizon exclusion), and
+  // recover into a snapshot bootstrap against the compacted logs.
+  const auto think = sim::SimDuration::millis(10);
+  const std::int64_t total_ms = ops * think.count_micros() / 1000;
+  const auto at = [&](double frac) {
+    return std::to_string(
+               static_cast<std::int64_t>(frac * static_cast<double>(total_ms))) +
+           "ms";
+  };
+  const std::string text = "at " + at(0.20) + " churn period=" + at(0.02) +
+                           " until=" + at(0.80) + " down=" + at(0.03) +
+                           " fraction=0.05\n";
+  fault::ScenarioScript script;
+  std::string error;
+  if (!fault::ScenarioScript::parse(text, &script, &error)) {
+    std::fprintf(stderr, "FATAL: soak script did not parse: %s\n%s\n",
+                 error.c_str(), text.c_str());
+    std::exit(1);
+  }
+  replication::TestbedFaultHost host(bed);
+  fault::ScenarioEngine engine(std::move(script), host, opts.seed);
+  engine.arm(bed.sim());
+
+  util::Rng rng(opts.seed * 31 + 7);
+  workload::ZipfGenerator zipf(pages, 0.9);
+  for (int op = 0; op < ops; ++op) {
+    auto& c = *users[rng.below(users.size())];
+    const std::string page =
+        "page" + std::to_string(zipf.sample(rng)) + ".html";
+    if (op % 97 == 41) {
+      // Deletions feed the tombstone collector; the page comes back via
+      // later zipf writes.
+      c.remove(page, [](replication::WriteResult) {});
+    } else if (rng.chance(0.10)) {
+      c.write(page, "v" + std::to_string(op), [](replication::WriteResult) {});
+    } else {
+      c.read(page, [](replication::ReadResult) {});
+    }
+    bed.run_for(think);
+  }
+  bed.run_for(engine.duration() + sim::SimDuration::seconds(smoke ? 1 : 3));
+  bed.settle();
+  // Let the final applied clocks ride a few heartbeats so the horizon
+  // catches up with the quiesced run before the plateau is measured.
+  bed.run_for(sim::SimDuration::millis(smoke ? 200 : 1000));
+  const double wall = seconds_since(start);
+
+  if (row == nullptr) return wall;
+  row->model = coherence::to_string(model);
+  row->stores = static_cast<int>(bed.stores().size());
+  row->clients = clients;
+  row->ops = ops;
+  row->wall_s = wall;
+  row->ops_per_s = wall > 0 ? ops / wall : 0.0;
+  row->crashes = engine.stats().crashes;
+  row->recoveries = engine.stats().recoveries;
+  row->events = bed.history().size();
+  row->retained_hwm = sc->retained_high_watermark();
+  row->events_retired = sc->events_retired();
+  row->horizon_advances = bed.metrics().horizon_advances();
+  row->tombstones_collected = bed.metrics().tombstones_collected();
+  row->log_compactions = bed.metrics().log_compactions();
+  for (const auto& s : bed.stores()) {
+    const WriteLog& log = s->write_log(kObj);
+    row->log_appended += log.appended_total();
+    row->log_retained_records += log.size();
+    row->log_retained_bytes += log.retained_bytes();
+    row->tombstones_left += s->document(kObj).tombstones().size();
+  }
+  row->converged = bed.converged(kObj);
+
+  // Verdict equivalence against the retained post-hoc checkers, exact
+  // down to the violation strings (CheckResult operator==).
+  const coherence::CheckResult model_posthoc =
+      coherence::check_object_model(bed.history(), model);
+  std::vector<coherence::SessionSpec> specs;
+  specs.reserve(users.size());
+  for (const auto* u : users) specs.push_back({u->id(), session});
+  const auto sessions_posthoc =
+      coherence::check_sessions(bed.history(), specs);
+  row->verdicts_equal = sc->model_result() == model_posthoc &&
+                        sc->session_results() == sessions_posthoc;
+  // Informational, not gated: churn-era retries complete ops out of
+  // program order across retirement boundaries, which the checker
+  // conservatively reports as inexact even when (as the line above
+  // verifies directly) every verdict matches the post-hoc walk.
+  row->exact = sc->exact();
+  row->clean = model_posthoc.ok;
+  for (const auto& res : sessions_posthoc) row->clean = row->clean && res.ok;
+
+  // Bounded memory: the checker's retained-event peak stayed under 25%
+  // of the event total, and the horizon (the only compactor in this
+  // run) kept the write logs and tombstones from growing with the run.
+  row->memory_bounded =
+      row->events_retired > 0 && row->horizon_advances > 0 &&
+      row->tombstones_collected > 0 && row->retained_hwm * 4 < row->events &&
+      row->log_retained_records * 4 <
+          static_cast<std::size_t>(row->log_appended);
+  return wall;
+}
+
+SoakRow run_soak(int mirrors, int caches, int clients, int ops, bool smoke) {
+  SoakRow row;
+  // Check-as-you-record overhead: the identical deterministic run with
+  // and without the checker attached to the recorder (the unbounded
+  // record-only baseline). Best-of-N on both sides keeps the smoke-sized
+  // comparison out of scheduler noise.
+  const int reps = smoke ? 3 : 1;
+  double with_check = 0, record_only = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    SoakRow* fill = rep == 0 ? &row : nullptr;
+    const double w =
+        run_soak_sim(mirrors, caches, clients, ops, smoke, true, fill);
+    with_check = rep == 0 ? w : std::min(with_check, w);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    const double w =
+        run_soak_sim(mirrors, caches, clients, ops, smoke, false, nullptr);
+    record_only = rep == 0 ? w : std::min(record_only, w);
+  }
+  row.record_check_s = with_check;
+  row.record_only_s = record_only;
+  row.check_overhead_pct =
+      record_only > 0 ? (with_check / record_only - 1.0) * 100.0 : 0.0;
   return row;
 }
 
@@ -1903,7 +2147,7 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
                const E2eResult& ae, const std::vector<FanoutRow>& fanout,
                const LoopbackRow& loopback, const MulticastRow& multicast,
                const WindowRow& win, const HistoryBenchResult& hist,
-               const std::vector<ChurnRow>& churn,
+               const std::vector<ChurnRow>& churn, const SoakRow& soak,
                const SnapshotDeltaResult& sd,
                const MultiObjectResult& mo,
                const ObservabilityResult& ob,
@@ -2027,7 +2271,8 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
         "\"client_rebinds\": %llu, \"snapshot_cutovers\": %llu, "
         "\"delta_snapshots\": %llu, \"full_snapshots\": %llu, "
         "\"snapshot_pages_shipped\": %llu, \"snapshot_bytes_saved\": %llu, "
-        "\"events\": "
+        "\"horizon_advances\": %llu, \"events_retired\": %llu, "
+        "\"tombstones_collected\": %llu, \"events\": "
         "%zu, \"converged\": %s, \"model_ok\": %s, \"sessions_ok\": %s}%s\n",
         r.model.c_str(), r.stores, r.clients, r.ops, r.wall_s,
         static_cast<unsigned long long>(r.crashes),
@@ -2043,13 +2288,43 @@ void emit_json(std::FILE* f, bool smoke, const MicroResult& micro,
         static_cast<unsigned long long>(r.delta_snapshots),
         static_cast<unsigned long long>(r.full_snapshots),
         static_cast<unsigned long long>(r.snapshot_pages_shipped),
-        static_cast<unsigned long long>(r.snapshot_bytes_saved), r.events,
+        static_cast<unsigned long long>(r.snapshot_bytes_saved),
+        static_cast<unsigned long long>(r.horizon_advances),
+        static_cast<unsigned long long>(r.events_retired),
+        static_cast<unsigned long long>(r.tombstones_collected), r.events,
         r.converged ? "true" : "false", r.model_ok ? "true" : "false",
         r.sessions_ok ? "true" : "false", i + 1 < churn.size() ? "," : "");
   }
   std::fprintf(f, "    ],\n    \"all_converged\": %s,\n    \"all_clean\": %s\n  },\n",
                churn_all_converged ? "true" : "false",
                churn_all_clean ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"soak\": {\"model\": \"%s\", \"stores\": %d, \"clients\": %d, "
+      "\"ops\": %d, \"wall_s\": %.4f, \"ops_per_s\": %.1f, \"events\": %zu, "
+      "\"retained_high_watermark\": %zu, \"events_retired\": %llu, "
+      "\"horizon_advances\": %llu, \"tombstones_collected\": %llu, "
+      "\"tombstones_left\": %zu, \"log_compactions\": %llu, "
+      "\"log_appended\": %llu, \"log_retained_records\": %zu, "
+      "\"log_retained_bytes\": %zu, \"crashes\": %llu, \"recoveries\": %llu, "
+      "\"record_only_s\": %.4f, \"record_check_s\": %.4f, "
+      "\"check_overhead_pct\": %.2f, \"verdicts_equal\": %s, \"exact\": %s, "
+      "\"memory_bounded\": %s, \"clean\": %s, \"converged\": %s},\n",
+      soak.model.c_str(), soak.stores, soak.clients, soak.ops, soak.wall_s,
+      soak.ops_per_s, soak.events, soak.retained_hwm,
+      static_cast<unsigned long long>(soak.events_retired),
+      static_cast<unsigned long long>(soak.horizon_advances),
+      static_cast<unsigned long long>(soak.tombstones_collected),
+      soak.tombstones_left,
+      static_cast<unsigned long long>(soak.log_compactions),
+      static_cast<unsigned long long>(soak.log_appended),
+      soak.log_retained_records, soak.log_retained_bytes,
+      static_cast<unsigned long long>(soak.crashes),
+      static_cast<unsigned long long>(soak.recoveries), soak.record_only_s,
+      soak.record_check_s, soak.check_overhead_pct,
+      soak.verdicts_equal ? "true" : "false", soak.exact ? "true" : "false",
+      soak.memory_bounded ? "true" : "false", soak.clean ? "true" : "false",
+      soak.converged ? "true" : "false");
   std::fprintf(
       f,
       "  \"snapshot_delta\": {\"stores\": %d, \"pages\": %d, "
@@ -2254,6 +2529,32 @@ int run(bool smoke, const std::string& out_path) {
         r.model_ok, r.sessions_ok);
   }
 
+  const int soak_ops = 10 * traj_ops;
+  std::printf("bench_scale: soak (streaming verification + horizon GC, "
+              "%d ops under churn)...\n",
+              soak_ops);
+  const SoakRow soak =
+      run_soak(/*mirrors=*/2, smoke ? 4 : 8, smoke ? 8 : 16, soak_ops, smoke);
+  std::printf(
+      "  %d stores %d clients %d ops: %.2fs (%.0f op/s), %zu events, "
+      "retained hwm=%zu (%.1f%%), retired=%llu, log %zu/%llu records "
+      "(%zu KB), tombstones collected=%llu left=%zu, overhead %.2f%% "
+      "(record %.4fs / check %.4fs), verdicts_equal=%d exact=%d "
+      "memory_bounded=%d clean=%d conv=%d\n",
+      soak.stores, soak.clients, soak.ops, soak.wall_s, soak.ops_per_s,
+      soak.events, soak.retained_hwm,
+      soak.events > 0 ? 100.0 * static_cast<double>(soak.retained_hwm) /
+                            static_cast<double>(soak.events)
+                      : 0.0,
+      static_cast<unsigned long long>(soak.events_retired),
+      soak.log_retained_records,
+      static_cast<unsigned long long>(soak.log_appended),
+      soak.log_retained_bytes / 1024,
+      static_cast<unsigned long long>(soak.tombstones_collected),
+      soak.tombstones_left, soak.check_overhead_pct, soak.record_only_s,
+      soak.record_check_s, soak.verdicts_equal, soak.exact,
+      soak.memory_bounded, soak.clean, soak.converged);
+
   std::printf("bench_scale: delta-snapshot sparse-update rejoins...\n");
   const SnapshotDeltaResult sd = run_snapshot_delta(smoke);
   std::printf(
@@ -2328,7 +2629,7 @@ int run(bool smoke, const std::string& out_path) {
     return 1;
   }
   emit_json(f, smoke, micro, snap, pull, ae, fanout, loopback, multicast,
-            win, hist, churn, sd, mo, ob, rows);
+            win, hist, churn, soak, sd, mo, ob, rows);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -2368,6 +2669,17 @@ int run(bool smoke, const std::string& out_path) {
                    r.model.c_str(), r.converged, r.model_ok, r.sessions_ok);
       return 1;
     }
+  }
+  // The soak section's reasons to exist: byte-identical verdicts from
+  // the streaming checker, bounded retained memory, and a check budget.
+  if (!soak.verdicts_equal || !soak.memory_bounded || !soak.clean ||
+      !soak.converged || soak.check_overhead_pct > 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: soak verdicts_equal=%d memory_bounded=%d clean=%d "
+                 "conv=%d overhead=%.2f%% (budget 10%%)\n",
+                 soak.verdicts_equal, soak.memory_bounded, soak.clean,
+                 soak.converged, soak.check_overhead_pct);
+    return 1;
   }
   // run_history_bench already aborts on verdict divergence; a session or
   // model violation in this clean scenario is a regression too.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "globe/coherence/streaming.hpp"
+
 namespace globe::coherence {
 
 PageId History::intern(std::string_view name) {
@@ -12,7 +14,24 @@ PageId History::intern(std::string_view name) {
   const auto id = static_cast<PageId>(page_names_.size());
   page_names_.emplace_back(name);
   page_ids_.emplace(page_names_.back(), id);
+  if (streaming_ != nullptr) streaming_->note_page(id, page_names_.back());
   return id;
+}
+
+void History::attach_streaming(StreamingChecker* checker) {
+  streaming_ = checker;
+  if (streaming_ == nullptr) return;
+  // Replay the intern table so diagnostics for pages interned before the
+  // attach render by name, not "#id".
+  for (PageId id = 1; id < page_names_.size(); ++id) {
+    streaming_->note_page(id, page_names_[id]);
+  }
+}
+
+std::size_t History::note_horizon(const VectorClock& clock,
+                                  std::uint64_t gseq) {
+  if (streaming_ == nullptr) return 0;
+  return streaming_->advance_horizon(clock, gseq);
 }
 
 std::string History::page_name(PageId id) const {
@@ -36,6 +55,8 @@ void History::note_client_op(ClientId client, std::uint64_t op_index,
 }
 
 void History::record_write(WriteEvent e) {
+  if (streaming_ != nullptr) streaming_->record_write(e);
+  if (!retain_events_) return;
   const auto pos = static_cast<std::uint32_t>(writes_.size());
   if (indexed_) {
     note_client_op(e.client, e.client_op_index, OpRef{pos, true});
@@ -44,6 +65,8 @@ void History::record_write(WriteEvent e) {
 }
 
 void History::record_read(ReadEvent e) {
+  if (streaming_ != nullptr) streaming_->record_read(e);
+  if (!retain_events_) return;
   const auto pos = static_cast<std::uint32_t>(reads_.size());
   if (indexed_) {
     note_client_op(e.client, e.client_op_index, OpRef{pos, false});
@@ -52,6 +75,8 @@ void History::record_read(ReadEvent e) {
 }
 
 void History::record_apply(ApplyEvent e) {
+  if (streaming_ != nullptr) streaming_->record_apply(e);
+  if (!retain_events_) return;
   if (indexed_) {
     by_store_[e.store].push_back(static_cast<std::uint32_t>(applies_.size()));
   }
@@ -66,6 +91,10 @@ void History::clear() {
   by_store_.clear();
   page_ids_.clear();
   page_names_.assign(1, std::string());
+  // A reused recorder must behave exactly like a fresh one: the intern
+  // table restarts at id 1, so the attached checker's mirror (and all
+  // its event state) has to restart with it.
+  if (streaming_ != nullptr) streaming_->reset();
 }
 
 // Deterministic program order: by client_op_index; operations sharing an

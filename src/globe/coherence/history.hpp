@@ -32,6 +32,8 @@
 
 namespace globe::coherence {
 
+class StreamingChecker;
+
 using util::SimTime;
 
 /// Interned page name. Id 0 (`kNoPage`) is the empty name, used by
@@ -104,6 +106,27 @@ class History {
   void record_read(ReadEvent e);
   void record_apply(ApplyEvent e);
 
+  /// Attaches a streaming checker that is fed every event as it is
+  /// recorded (plus the already-interned page table on attach, so late
+  /// attachment renders diagnostics identically). Pass nullptr to
+  /// detach. The checker must outlive the History or be detached first;
+  /// clear() resets it alongside the event log.
+  void attach_streaming(StreamingChecker* checker);
+  [[nodiscard]] StreamingChecker* streaming() const { return streaming_; }
+
+  /// With retention off, events are teed to the attached streaming
+  /// checker but NOT stored: recording becomes O(1) memory and the
+  /// post-hoc views (writes()/client_ops()/...) stay empty. This is the
+  /// bounded-memory soak mode; leave retention on when a post-hoc
+  /// checker or convergence comparison still needs the full log.
+  void set_retain_events(bool retain) { retain_events_ = retain; }
+  [[nodiscard]] bool retain_events() const { return retain_events_; }
+
+  /// Forwards a cluster stability horizon to the attached streaming
+  /// checker (no-op without one); returns how many retained entries the
+  /// checker retired.
+  std::size_t note_horizon(const VectorClock& clock, std::uint64_t gseq);
+
   [[nodiscard]] const std::vector<WriteEvent>& writes() const {
     return writes_;
   }
@@ -170,6 +193,8 @@ class History {
   static void sort_ops(std::vector<ClientOp>& ops);
 
   bool indexed_ = true;
+  bool retain_events_ = true;
+  StreamingChecker* streaming_ = nullptr;
   std::vector<WriteEvent> writes_;
   std::vector<ReadEvent> reads_;
   std::vector<ApplyEvent> applies_;

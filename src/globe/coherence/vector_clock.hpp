@@ -102,6 +102,28 @@ class VectorClock {
         "merge broke the sorted-entry invariant");
   }
 
+  /// Component-wise minimum with `other` — the stability-horizon fold.
+  /// An entry absent on either side is 0, so it drops out entirely,
+  /// keeping clocks canonical (no explicit zero entries).
+  void floor_with(const VectorClock& other) {
+    std::vector<Entry> out;
+    out.reserve(std::min(entries_.size(), other.entries_.size()));
+    auto a = entries_.begin();
+    auto b = other.entries_.begin();
+    while (a != entries_.end() && b != other.entries_.end()) {
+      if (a->first < b->first) {
+        ++a;
+      } else if (b->first < a->first) {
+        ++b;
+      } else {
+        out.emplace_back(a->first, std::min(a->second, b->second));
+        ++a;
+        ++b;
+      }
+    }
+    entries_ = std::move(out);
+  }
+
   /// True if every entry of `other` is <= the corresponding entry here.
   /// Two-pointer walk over the sorted entries.
   [[nodiscard]] bool dominates(const VectorClock& other) const {

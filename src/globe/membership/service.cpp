@@ -54,10 +54,10 @@ View MembershipService::snapshot_view(ObjectId scope, ShardId shard) const {
   return v;
 }
 
-void MembershipService::admit(ObjectId scope,
-                              const naming::ContactPoint& contact,
-                              ShardId shard, bool* added) {
+void MembershipService::admit(ObjectId scope, const MemberAnnounce& announce,
+                              bool* added) {
   ScopeState& state = scopes_[scope];
+  const naming::ContactPoint& contact = announce.contact;
   auto it = std::find_if(state.members.begin(), state.members.end(),
                          [&](const MemberState& m) {
                            return m.contact.address == contact.address;
@@ -65,15 +65,88 @@ void MembershipService::admit(ObjectId scope,
   if (it != state.members.end()) {
     it->contact = contact;
     it->last_heard = now();
+    if (announce.has_applied) {
+      it->has_applied = true;
+      it->applied = announce.applied;
+      it->applied_gseq = announce.applied_gseq;
+    }
     *added = false;
     return;
   }
-  state.members.push_back(MemberState{contact, shard, now()});
-  ++state.shards[shard].epoch;
+  MemberState m{contact, announce.shard, now()};
+  m.has_applied = announce.has_applied;
+  m.applied = announce.applied;
+  m.applied_gseq = announce.applied_gseq;
+  state.members.push_back(std::move(m));
+  ++state.shards[announce.shard].epoch;
   if (options_.naming != nullptr) {
     options_.naming->register_contact(scope, contact);
   }
   *added = true;
+}
+
+HorizonMsg MembershipService::stability_horizon(ObjectId scope) const {
+  HorizonMsg h;
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) return h;
+  h.clock = it->second.horizon;
+  h.gseq = it->second.horizon_gseq;
+  return h;
+}
+
+void MembershipService::update_horizon(ObjectId scope, ScopeState& state) {
+  // Candidate floor: element-wise min applied clock (and min gseq) over
+  // the data-carrying members that are still live. A member silent past
+  // the failure timeout is excluded even if not (yet) evicted — notably
+  // the eviction-exempt primary — so one crashed store cannot freeze GC
+  // for the whole cluster. On the loopback runtime now() is constant and
+  // every member stays included.
+  bool any = false;
+  coherence::VectorClock candidate;
+  std::uint64_t candidate_gseq = 0;
+  for (const MemberState& m : state.members) {
+    if (!m.has_applied) continue;
+    if (now() - m.last_heard > options_.failure_timeout) continue;
+    if (!any) {
+      candidate = m.applied;
+      candidate_gseq = m.applied_gseq;
+      any = true;
+    } else {
+      candidate.floor_with(m.applied);
+      candidate_gseq = std::min(candidate_gseq, m.applied_gseq);
+    }
+  }
+  if (!any) return;
+
+  // The floor is monotonic: merge, never replace, so a stale or partial
+  // announcement (a fresh joiner that has not applied yet reports
+  // has_applied with an empty clock) can stall but not regress it.
+  coherence::VectorClock merged = state.horizon;
+  merged.merge(candidate);
+  bool advanced = false;
+  if (!(merged == state.horizon)) {
+    state.horizon = std::move(merged);
+    advanced = true;
+  }
+  if (candidate_gseq > state.horizon_gseq) {
+    state.horizon_gseq = candidate_gseq;
+    advanced = true;
+  }
+  if (!advanced) return;
+  ++stats_.horizon_advances;
+  if (options_.metrics != nullptr) {
+    options_.metrics->record_horizon_advance();
+  }
+  HorizonMsg h;
+  h.clock = state.horizon;
+  h.gseq = state.horizon_gseq;
+  std::vector<Address> targets;
+  targets.reserve(state.members.size());
+  for (const MemberState& m : state.members) {
+    targets.push_back(m.contact.address);
+  }
+  comm_.multicast_with(targets, msg::MsgType::kStabilityHorizon, scope,
+                       [&](util::Writer& w) { h.encode(w); });
 }
 
 void MembershipService::remove(ObjectId scope, const Address& addr,
@@ -126,6 +199,9 @@ void MembershipService::sweep() {
       ++state.shards[shard].epoch;
       broadcast(scope, shard);
     }
+    // Evictions (and timeouts that have not evicted yet, e.g. a crashed
+    // primary) can unblock the GC floor; re-aggregate every sweep.
+    update_horizon(scope, state);
   }
 }
 
@@ -190,7 +266,7 @@ void MembershipService::on_message(const Address& from,
     case msg::MsgType::kMembershipJoin: {
       const MemberAnnounce m = MemberAnnounce::decode(env.body);
       bool added = false;
-      admit(env.object, m.contact, m.shard, &added);
+      admit(env.object, m, &added);
       if (added) {
         ++stats_.joins;
         broadcast(env.object, m.shard, &m.contact.address);
@@ -203,13 +279,16 @@ void MembershipService::on_message(const Address& from,
     case msg::MsgType::kMembershipHeartbeat: {
       const MemberAnnounce m = MemberAnnounce::decode(env.body);
       bool added = false;
-      admit(env.object, m.contact, m.shard, &added);
+      admit(env.object, m, &added);
       if (added) {
         // Heard from a store the view does not contain: it was evicted
         // during a partition (or crashed and recovered) and is back.
         ++stats_.rejoins;
         broadcast(env.object, m.shard);
       }
+      // Every heartbeat carries an applied-state piggyback; fold it into
+      // the scope's GC floor and push the floor out when it moved.
+      update_horizon(env.object, scopes_[env.object]);
       return;
     }
     case msg::MsgType::kMembershipLeave: {

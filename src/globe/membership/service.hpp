@@ -74,6 +74,7 @@ struct MembershipStats {
   std::uint64_t view_changes = 0;
   std::uint64_t delta_broadcasts = 0;  // view changes sent as diffs
   std::uint64_t view_fetches = 0;      // full-view fetches (epoch gaps)
+  std::uint64_t horizon_advances = 0;  // stability-horizon floor moves
 };
 
 class MembershipService {
@@ -106,6 +107,14 @@ class MembershipService {
   [[nodiscard]] std::size_t watcher_count(ObjectId object,
                                           ShardId shard = 0) const;
 
+  /// The scope's current stability horizon: the element-wise minimum
+  /// applied clock (and minimum applied global seq) over every live,
+  /// data-carrying member, folded from heartbeat piggybacks. Members
+  /// silent past `failure_timeout` are excluded even before eviction —
+  /// including the eviction-exempt primary — so one crashed store cannot
+  /// freeze GC cluster-wide. Monotonic: only ever advances.
+  [[nodiscard]] HorizonMsg stability_horizon(ObjectId scope) const;
+
   /// Runs one failure-detector sweep immediately (tests).
   void sweep_now() { sweep(); }
 
@@ -114,6 +123,11 @@ class MembershipService {
     naming::ContactPoint contact;
     ShardId shard = 0;
     util::SimTime last_heard{};
+    // Latest stability-horizon piggyback from this member (view.hpp
+    // MemberAnnounce): false until the store reports hosting data.
+    bool has_applied = false;
+    coherence::VectorClock applied;
+    std::uint64_t applied_gseq = 0;
   };
   /// Per-shard epoch + broadcast bookkeeping. The member list itself is
   /// scope-wide (one heartbeat stream, one failure detector); these are
@@ -129,13 +143,18 @@ class MembershipService {
   struct ScopeState {
     std::vector<MemberState> members;
     std::map<ShardId, ShardGroup> shards;
+    // Scope-wide stability horizon (monotonic GC floor).
+    coherence::VectorClock horizon;
+    std::uint64_t horizon_gseq = 0;
   };
 
   void on_message(const Address& from, const msg::EnvelopeView& env);
-  void admit(ObjectId scope, const naming::ContactPoint& contact,
-             ShardId shard, bool* added);
+  void admit(ObjectId scope, const MemberAnnounce& announce, bool* added);
   void remove(ObjectId scope, const Address& addr, bool evicted);
   void sweep();
+  /// Re-aggregates `scope`'s stability horizon from its live members and
+  /// broadcasts kStabilityHorizon to them when the floor advanced.
+  void update_horizon(ObjectId scope, ScopeState& state);
   /// `exclude` suppresses the broadcast to one member — a fresh joiner
   /// whose join ack already carries the full view (a delta would only
   /// trigger a redundant full-view fetch at its 0-epoch base).

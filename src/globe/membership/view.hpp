@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "globe/coherence/vector_clock.hpp"
 #include "globe/naming/contact.hpp"
 #include "globe/net/address.hpp"
 #include "globe/util/buffer.hpp"
@@ -197,9 +198,23 @@ struct MemberAnnounce {
   naming::ContactPoint contact;
   ShardId shard = 0;  // subgroup the announcing store serves
 
+  // Stability-horizon piggyback: the announcing store's minimum applied
+  // state across the objects it hosts (element-wise min clock, min
+  // global seq). The membership service folds these into the
+  // cluster-wide GC floor it broadcasts as kStabilityHorizon.
+  // `has_applied` is false for stores hosting no replicated object yet —
+  // they carry no data and must not stall the floor. Legacy senders omit
+  // the trailing fields entirely; the decoder tolerates their absence.
+  bool has_applied = false;
+  coherence::VectorClock applied;
+  std::uint64_t applied_gseq = 0;
+
   void encode(util::Writer& w) const {
     contact.encode(w);
     w.u32(shard);
+    w.boolean(has_applied);
+    applied.encode(w);
+    w.varint(applied_gseq);
   }
 
   static MemberAnnounce decode(util::BytesView wire) {
@@ -207,6 +222,37 @@ struct MemberAnnounce {
     MemberAnnounce m;
     m.contact = naming::ContactPoint::decode(r);
     m.shard = r.u32();
+    if (!r.at_end()) {
+      m.has_applied = r.boolean();
+      m.applied = coherence::VectorClock::decode(r);
+      m.applied_gseq = r.varint();
+    }
+    r.expect_end();
+    return m;
+  }
+};
+
+/// kStabilityHorizon body: the scope-wide GC floor — the element-wise
+/// minimum applied clock and minimum applied global seq over every live
+/// member that hosts data. Everything at or below this floor has been
+/// applied cluster-wide, so write-log entries can compact past it,
+/// tombstones for covered deletes can be collected, and the streaming
+/// checker can retire buffered events. The floor only ever advances;
+/// receivers must treat a regressing announcement as stale.
+struct HorizonMsg {
+  coherence::VectorClock clock;
+  std::uint64_t gseq = 0;
+
+  void encode(util::Writer& w) const {
+    clock.encode(w);
+    w.varint(gseq);
+  }
+
+  static HorizonMsg decode(util::BytesView wire) {
+    util::Reader r(wire);
+    HorizonMsg m;
+    m.clock = coherence::VectorClock::decode(r);
+    m.gseq = r.varint();
     r.expect_end();
     return m;
   }

@@ -90,6 +90,14 @@ class MetricsSink {
   /// propagation is the policy's normal traffic and is not counted.
   void record_full_snapshot() { ++full_snapshots_; }
 
+  // Stability-horizon GC (streaming verification, tombstone collection,
+  // horizon-keyed write-log compaction).
+  void record_horizon_advance() { ++horizon_advances_; }
+  void record_events_retired(std::uint64_t n) { events_retired_ += n; }
+  void record_tombstones_collected(std::uint64_t n) {
+    tombstones_collected_ += n;
+  }
+
   /// Transport backpressure (windowed multicast): a subscriber channel
   /// crossed its queue high watermark / drained back / was dropped after
   /// making no progress against the configured deadline.
@@ -163,6 +171,15 @@ class MetricsSink {
   [[nodiscard]] std::uint64_t snapshot_bytes_saved() const {
     return snapshot_bytes_saved_;
   }
+  [[nodiscard]] std::uint64_t horizon_advances() const {
+    return horizon_advances_;
+  }
+  [[nodiscard]] std::uint64_t events_retired() const {
+    return events_retired_;
+  }
+  [[nodiscard]] std::uint64_t tombstones_collected() const {
+    return tombstones_collected_;
+  }
   [[nodiscard]] std::uint64_t flow_pauses() const { return flow_pauses_; }
   [[nodiscard]] std::uint64_t flow_resumes() const { return flow_resumes_; }
   [[nodiscard]] std::uint64_t flow_evictions() const {
@@ -183,6 +200,9 @@ class MetricsSink {
   std::uint64_t session_demands_ = 0;
   std::uint64_t session_waits_ = 0;
   std::uint64_t stale_serves_ = 0;
+  std::uint64_t horizon_advances_ = 0;
+  std::uint64_t events_retired_ = 0;
+  std::uint64_t tombstones_collected_ = 0;
   std::uint64_t log_compactions_ = 0;
   std::uint64_t snapshot_cutovers_ = 0;
   std::uint64_t delta_snapshots_ = 0;

@@ -40,6 +40,7 @@ const char* to_string(MsgType t) {
     case MsgType::kPlacementResolveReply: return "PlacementResolveReply";
     case MsgType::kPlacementWatch: return "PlacementWatch";
     case MsgType::kPlacementInvalidate: return "PlacementInvalidate";
+    case MsgType::kStabilityHorizon: return "StabilityHorizon";
   }
   return "Unknown";
 }

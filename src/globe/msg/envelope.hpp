@@ -81,6 +81,11 @@ enum class MsgType : std::uint8_t {
   kPlacementResolveReply = 38,
   kPlacementWatch = 39,        // subscribe to placement invalidations
   kPlacementInvalidate = 40,   // push: placement version changed
+  // Cluster-wide GC floor (min applied clock over the live view),
+  // aggregated by the membership service from heartbeat piggybacks and
+  // broadcast to members to key write-log compaction, tombstone GC, and
+  // streaming-checker event retirement.
+  kStabilityHorizon = 41,
 };
 
 [[nodiscard]] const char* to_string(MsgType t);

@@ -129,6 +129,8 @@ class ClientBinding {
   ClientBinding& operator=(const ClientBinding&) = delete;
 
   [[nodiscard]] ClientId id() const { return options_.client; }
+  /// Client-based coherence models this binding enforces.
+  [[nodiscard]] ClientModel session_models() const { return options_.session; }
   [[nodiscard]] Address address() const { return comm_.local_address(); }
 
   /// Reads one page from the object's bound read store.

@@ -386,6 +386,9 @@ void StoreEngine::on_message(const Address& from,
     case msg::MsgType::kViewDelta:
       handle_view_delta(env);
       return;
+    case msg::MsgType::kStabilityHorizon:
+      handle_stability_horizon(env);
+      return;
     default:
       break;
   }
@@ -1444,10 +1447,65 @@ void StoreEngine::start_membership() {
   membership_timer_->start();
 }
 
+void StoreEngine::fill_applied(membership::MemberAnnounce& ann) const {
+  bool first = true;
+  for (const auto& [id, op] : objects_) {
+    if (first) {
+      ann.applied = op->applied_clock;
+      ann.applied_gseq = op->applied_gseq;
+      first = false;
+    } else {
+      ann.applied.floor_with(op->applied_clock);
+      ann.applied_gseq = std::min(ann.applied_gseq, op->applied_gseq);
+    }
+  }
+  ann.has_applied = !first;
+}
+
+void StoreEngine::handle_stability_horizon(const msg::EnvelopeView& env) {
+  const membership::HorizonMsg h = membership::HorizonMsg::decode(env.body);
+  // The floor only advances. A stale or reordered broadcast is a no-op,
+  // so the collectors below run once per actual advance.
+  coherence::VectorClock merged = horizon_clock_;
+  merged.merge(h.clock);
+  bool advanced = false;
+  if (!(merged == horizon_clock_)) {
+    horizon_clock_ = std::move(merged);
+    advanced = true;
+  }
+  if (h.gseq > horizon_gseq_) {
+    horizon_gseq_ = h.gseq;
+    advanced = true;
+  }
+  if (!advanced) return;
+
+  std::uint64_t tombstones = 0;
+  for (auto& [id, op] : objects_) {
+    ObjectState& o = *op;
+    if (o.log.compact_below(horizon_clock_, horizon_gseq_) > 0 &&
+        metrics_ != nullptr) {
+      metrics_->record_log_compaction();
+    }
+    tombstones +=
+        o.semantics.document().collect_tombstones(horizon_clock_);
+  }
+  if (metrics_ != nullptr && tombstones > 0) {
+    metrics_->record_tombstones_collected(tombstones);
+  }
+  if (history_ != nullptr) {
+    const std::size_t retired =
+        history_->note_horizon(horizon_clock_, horizon_gseq_);
+    if (metrics_ != nullptr && retired > 0) {
+      metrics_->record_events_retired(retired);
+    }
+  }
+}
+
 void StoreEngine::join_membership() {
   membership::MemberAnnounce ann;
   ann.contact = contact();
   ann.shard = config_.shard;
+  fill_applied(ann);
   comm_.request_with(
       config_.membership, msg::MsgType::kMembershipJoin, membership_scope(),
       [&](util::Writer& w) { ann.encode(w); },
@@ -1462,6 +1520,7 @@ void StoreEngine::send_membership_heartbeat() {
   membership::MemberAnnounce ann;
   ann.contact = contact();
   ann.shard = config_.shard;
+  fill_applied(ann);
   comm_.send_with_background(config_.membership,
                              msg::MsgType::kMembershipHeartbeat,
                              membership_scope(),

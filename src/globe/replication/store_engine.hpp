@@ -515,6 +515,15 @@ class StoreEngine {
   void start_membership();
   void join_membership();
   void send_membership_heartbeat();
+  /// Fills the announce's stability-horizon piggyback: the element-wise
+  /// minimum applied clock (and minimum applied gseq) over every hosted
+  /// object — the most conservative state this store can vouch for.
+  void fill_applied(membership::MemberAnnounce& ann) const;
+  /// kStabilityHorizon from the membership service: adopts the new GC
+  /// floor (monotonic; stale rebroadcasts are ignored) and runs the
+  /// three horizon-keyed collectors — write-log compaction, tombstone
+  /// collection, and streaming-checker event retirement.
+  void handle_stability_horizon(const msg::EnvelopeView& env);
   /// Applies a newer replica view of this store's (scope, shard)
   /// subgroup to EVERY hosted object: prunes evicted subscribers,
   /// re-resolves upstreams that left the view, and re-subscribes /
@@ -580,6 +589,10 @@ class StoreEngine {
   bool alive_ = true;      // false while crash-stopped
   bool departed_ = false;  // true after a graceful leave
   std::uint64_t view_epoch_ = 0;
+  // Last adopted stability horizon (the cluster-wide GC floor); only
+  // ever advances, so a reordered broadcast cannot re-run collectors.
+  coherence::VectorClock horizon_clock_;
+  std::uint64_t horizon_gseq_ = 0;
   std::uint64_t resubscribes_ = 0;
   // Member addresses of the last applied view; subscriber pruning drops
   // only actual departures (in the old view, gone from the new one).

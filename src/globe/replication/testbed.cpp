@@ -24,6 +24,7 @@ Testbed::Testbed(TestbedOptions options)
     mo.heartbeat_period = options_.membership_heartbeat;
     mo.failure_timeout = options_.failure_timeout;
     mo.naming = naming_.get();
+    mo.metrics = &metrics_;
     membership_ = std::make_unique<membership::MembershipService>(
         factory(membership_node), &sim_, mo);
     service_nodes_.push_back(membership_node);
@@ -88,6 +89,11 @@ void Testbed::register_observability_gauges() {
     }
     return total;
   });
+  recorder_->register_gauge("checker.retained_events", [this] {
+    return streaming_ != nullptr
+               ? static_cast<double>(streaming_->retained_events())
+               : 0.0;
+  });
   recorder_->register_gauge("stores.view_epoch_max", [this] {
     double epoch = 0;
     for (const auto& s : stores_) {
@@ -138,6 +144,16 @@ void Testbed::on_monitor_trip(const std::string& monitor) {
   obs::write_dump(out, obs::Tracer::instance().snapshot(since),
                   recorder_ != nullptr ? recorder_->snapshot(since)
                                        : std::vector<obs::GaugeSeries>{});
+}
+
+coherence::StreamingChecker& Testbed::enable_streaming(
+    coherence::ObjectModel model, coherence::StreamingChecker::Options opts) {
+  streaming_ = std::make_unique<coherence::StreamingChecker>(model, opts);
+  for (const auto& c : clients_) {
+    streaming_->add_session({c->id(), c->session_models()});
+  }
+  history_.attach_streaming(streaming_.get());
+  return *streaming_;
 }
 
 obs::PropagationStats Testbed::harvest_propagation() {
@@ -301,6 +317,10 @@ ClientBinding& Testbed::add_client_at(NodeId node, ObjectId object,
       options_.record_history ? &history_ : nullptr, &metrics_);
   ClientBinding& ref = *client;
   clients_.push_back(std::move(client));
+  if (streaming_ != nullptr) {
+    // Session specs must be registered before the client's first event.
+    streaming_->add_session({ref.id(), ref.session_models()});
+  }
   return ref;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "globe/coherence/history.hpp"
+#include "globe/coherence/streaming.hpp"
 #include "globe/fault/scenario.hpp"
 #include "globe/membership/service.hpp"
 #include "globe/metrics/staleness.hpp"
@@ -112,6 +113,23 @@ class Testbed {
   /// Non-null with TestbedOptions::windowed_multicast (window stats and
   /// queue-depth probes for tests/benchmarks).
   [[nodiscard]] net::WindowedMulticast* window() { return window_.get(); }
+
+  /// Attaches an incremental StreamingChecker to the history recorder:
+  /// events are verified as they are recorded and retired once the
+  /// cluster's stability horizon passes them (bounded retained-event
+  /// memory). Sessions of already-bound clients are registered, and
+  /// clients added afterwards register automatically. Call before any
+  /// client issues operations.
+  coherence::StreamingChecker& enable_streaming(
+      coherence::ObjectModel model,
+      coherence::StreamingChecker::Options opts);
+  coherence::StreamingChecker& enable_streaming(coherence::ObjectModel model) {
+    return enable_streaming(model, coherence::StreamingChecker::Options{});
+  }
+  /// Non-null after enable_streaming().
+  [[nodiscard]] coherence::StreamingChecker* streaming() {
+    return streaming_.get();
+  }
 
   /// Creates a node (an address space) and returns its id.
   NodeId add_node(std::string name = {});
@@ -296,6 +314,7 @@ class Testbed {
   sim::Network net_;
   std::unique_ptr<net::WindowedMulticast> window_;  // shared by all endpoints
   coherence::History history_;
+  std::unique_ptr<coherence::StreamingChecker> streaming_;
   metrics::MetricsSink metrics_;
   metrics::StalenessOracle oracle_;
   std::map<NodeId, PortId> next_port_;

@@ -159,6 +159,20 @@ void WriteLog::compact_to_bytes(std::size_t budget) {
   compact(entries_.size() - drop);
 }
 
+std::size_t WriteLog::compact_below(const VectorClock& horizon,
+                                    std::uint64_t gseq_horizon) {
+  std::size_t drop = 0;
+  while (drop < entries_.size()) {
+    const web::WriteRecord& rec = entries_[drop];
+    if (!horizon.covers(rec.wid)) break;
+    if (rec.global_seq != 0 && rec.global_seq > gseq_horizon) break;
+    ++drop;
+  }
+  if (drop == 0) return 0;
+  compact(entries_.size() - drop);
+  return drop;
+}
+
 void WriteLog::compact(std::size_t keep) {
   if (entries_.size() <= keep) return;
   const std::size_t drop = entries_.size() - keep;

@@ -86,6 +86,15 @@ class WriteLog {
   /// records are retained.
   void compact(std::size_t keep);
 
+  /// Stability-horizon compaction: folds the append-order prefix of
+  /// records that every live replica has applied — the record's writer
+  /// entry is covered by `horizon` and, when it carries a global seq, it
+  /// is at or below `gseq_horizon`. Stops at the first uncovered record
+  /// (compaction must stay a prefix fold so the indexes keep their
+  /// position invariant). Returns how many records were dropped.
+  std::size_t compact_below(const VectorClock& horizon,
+                            std::uint64_t gseq_horizon);
+
   /// Approximate payload bytes of the retained records (page, content
   /// and mime strings plus a fixed per-record overhead). Drives the
   /// byte-budget compaction policy.

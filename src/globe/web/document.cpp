@@ -1,5 +1,6 @@
 #include "globe/web/document.hpp"
 
+#include <algorithm>
 #include <tuple>
 
 #include "globe/util/assert.hpp"
@@ -85,6 +86,24 @@ bool WebDocument::apply_lww(const WriteRecord& rec) {
     }
   }
   return apply(rec);
+}
+
+std::size_t WebDocument::collect_tombstones(
+    const coherence::VectorClock& horizon) {
+  std::size_t collected = 0;
+  for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+    if (horizon.covers(it->second.writer)) {
+      // Raising the floor past the collected stamp keeps floor deltas
+      // honest: a receiver whose floor predates this deletion must take
+      // a full transfer, since the drop entry can no longer be encoded.
+      tombstone_floor_ = std::max(tombstone_floor_, it->second.version);
+      it = tombstones_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
 }
 
 std::optional<Page> WebDocument::get(const std::string& page) const {

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "globe/coherence/vector_clock.hpp"
 #include "globe/coherence/write_id.hpp"
 #include "globe/util/buffer.hpp"
 #include "globe/web/write_record.hpp"
@@ -179,6 +180,16 @@ class WebDocument {
   [[nodiscard]] const std::map<std::string, Tombstone>& tombstones() const {
     return tombstones_;
   }
+
+  /// Stability-horizon tombstone GC: discards tombstones whose winning
+  /// delete is covered by `horizon` — every live replica has applied the
+  /// delete, so no stale concurrent put that it must outrank can still
+  /// arrive. The tombstone horizon rises to the newest collected stamp,
+  /// so encode_delta_since() keeps its refusal semantics: a floor from
+  /// before the collection can no longer prove which deletions the
+  /// receiver missed and falls back to a full transfer, exactly as after
+  /// restore(). Returns how many tombstones were collected.
+  std::size_t collect_tombstones(const coherence::VectorClock& horizon);
 
   /// Cached wire fragment of one live page (the per-page slice of the
   /// snapshot encoding). Encoded on first use after a mutation of that
